@@ -1,0 +1,54 @@
+//! Benchmarks of the §2 dataset-analysis pipeline (Table 1 and Figures 1–6)
+//! over a synthetic trace — the cost of regenerating the paper's measurement
+//! section.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_model::metrics::{Metric, Thresholds};
+use via_netsim::{World, WorldConfig};
+use via_trace::analysis;
+use via_trace::{Trace, TraceConfig, TraceGenerator};
+
+fn trace() -> Trace {
+    let world = World::generate(&WorldConfig::tiny(), 7);
+    TraceGenerator::new(&world, TraceConfig::tiny(), 7).generate()
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let world = World::generate(&WorldConfig::tiny(), 7);
+    let mut g = c.benchmark_group("trace_generate");
+    g.sample_size(10);
+    g.bench_function("tiny_8k_calls", |b| {
+        b.iter(|| TraceGenerator::new(black_box(&world), TraceConfig::tiny(), 7).generate())
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let tr = trace();
+    let thresholds = Thresholds::default();
+    let mut g = c.benchmark_group("analysis");
+
+    g.bench_function("table1_summary", |b| {
+        b.iter(|| analysis::dataset_summary(black_box(&tr)))
+    });
+    g.bench_function("fig01_pcr_curve", |b| {
+        b.iter(|| analysis::pcr_vs_metric(black_box(&tr), Metric::Rtt, 800.0, 16, 30))
+    });
+    g.bench_function("fig02_metric_cdf", |b| {
+        b.iter(|| analysis::metric_cdf(black_box(&tr), Metric::Loss))
+    });
+    g.bench_function("fig04_scope_pnr", |b| {
+        b.iter(|| analysis::pnr_by_scope(black_box(&tr), &thresholds))
+    });
+    g.bench_function("fig05_concentration", |b| {
+        b.iter(|| analysis::worst_pair_concentration(black_box(&tr), &thresholds))
+    });
+    g.bench_function("fig06_temporal_patterns", |b| {
+        b.iter(|| analysis::temporal_patterns(black_box(&tr), &thresholds, 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_generation, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Benchmarks of the RTP-layer substrate: header codec, loss/delay
+//! processes, and full packet-level call simulation (the §2.2 validation
+//! workload, 70 K calls in the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use via_media::call_sim::{simulate_call, CallSimConfig};
+use via_media::loss::GilbertElliott;
+use via_media::packet::RtpPacket;
+use via_model::metrics::PathMetrics;
+
+fn bench_rtp_codec(c: &mut Criterion) {
+    let pkt = RtpPacket {
+        payload_type: 0,
+        marker: false,
+        seq: 1234,
+        timestamp: 567_890,
+        ssrc: 0xABCD_EF01,
+        payload_len: 160,
+    };
+    let wire = pkt.encode();
+    let mut g = c.benchmark_group("rtp");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode", |b| b.iter(|| black_box(&pkt).encode()));
+    g.bench_function("decode", |b| b.iter(|| RtpPacket::decode(black_box(&wire))));
+    g.finish();
+}
+
+fn bench_loss_model(c: &mut Criterion) {
+    c.bench_function("gilbert_elliott_step", |b| {
+        let mut seed_rng = StdRng::seed_from_u64(1);
+        let mut ge = GilbertElliott::with_mean_loss(2.0, 6.0, &mut seed_rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| ge.next_lost(&mut rng))
+    });
+}
+
+fn bench_call_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet_level_call");
+    g.sample_size(20);
+    for (label, metrics, secs) in [
+        ("clean_60s", PathMetrics::new(80.0, 0.2, 3.0), 60.0),
+        ("poor_60s", PathMetrics::new(450.0, 4.0, 25.0), 60.0),
+        ("clean_300s", PathMetrics::new(80.0, 0.2, 3.0), 300.0),
+    ] {
+        // 50 packets/s: report throughput in simulated packets.
+        g.throughput(Throughput::Elements((secs * 50.0) as u64));
+        g.bench_function(label, |b| {
+            b.iter(|| simulate_call(black_box(&metrics), secs, &CallSimConfig::default(), 3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_rtp_codec, bench_loss_model, bench_call_sim);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Per-figure regeneration benches: each bench runs the replay pipeline that
+//! produces one of the paper's evaluation figures, at a miniature scale.
+//! They track the end-to-end cost of the experiments and catch performance
+//! regressions in the selection stack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use via_core::replay::{ReplayConfig, ReplaySim, SpatialGranularity};
+use via_core::strategy::StrategyKind;
+use via_model::metrics::Metric;
+use via_netsim::{World, WorldConfig};
+use via_trace::{Trace, TraceConfig, TraceGenerator};
+
+fn env() -> (World, Trace) {
+    let world = World::generate(&WorldConfig::tiny(), 7);
+    let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 7).generate();
+    (world, trace)
+}
+
+fn run(world: &World, trace: &Trace, kind: StrategyKind, cfg: ReplayConfig) -> f64 {
+    ReplaySim::new(world, trace, cfg)
+        .run(kind)
+        .pnr_any(&Default::default())
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let (world, trace) = env();
+    let mut g = c.benchmark_group("replay_fig12");
+    g.sample_size(10);
+    for kind in [
+        StrategyKind::Default,
+        StrategyKind::Oracle,
+        StrategyKind::PredictionOnly,
+        StrategyKind::ExplorationOnly,
+        StrategyKind::Via,
+    ] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                run(
+                    black_box(&world),
+                    &trace,
+                    kind,
+                    ReplayConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    let (world, trace) = env();
+    let mut g = c.benchmark_group("replay_fig16");
+    g.sample_size(10);
+    for budget in [0.1, 0.3] {
+        g.bench_function(format!("budget_{budget}"), |b| {
+            b.iter(|| {
+                run(
+                    black_box(&world),
+                    &trace,
+                    StrategyKind::ViaBudgeted { budget },
+                    ReplayConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let (world, trace) = env();
+    let mut g = c.benchmark_group("replay_fig17");
+    g.sample_size(10);
+    for (label, granularity) in [
+        ("country", SpatialGranularity::Country),
+        ("as", SpatialGranularity::As),
+        ("subas4", SpatialGranularity::SubAs { buckets: 4 }),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                run(
+                    black_box(&world),
+                    &trace,
+                    StrategyKind::Via,
+                    ReplayConfig {
+                        granularity,
+                        objective: Metric::Rtt,
+                        ..ReplayConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_budget, bench_granularity);
+criterion_main!(benches);

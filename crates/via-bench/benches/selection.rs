@@ -1,0 +1,105 @@
+//! Microbenchmarks of the per-call selection path: top-k pruning, the
+//! modified UCB1 bandit, the budget gate, and the streaming quantile
+//! estimator. These bound the controller's per-call overhead (§7 discusses
+//! controller scalability).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use via_core::bandit::UcbBandit;
+use via_core::budget::BudgetGate;
+use via_core::topk::{top_k, ScoredOption};
+use via_model::ids::RelayId;
+use via_model::options::RelayOption;
+use via_model::stats::P2Quantile;
+
+fn scored_options(n: u32, seed: u64) -> Vec<ScoredOption> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let mean = rng.random_range(50.0..400.0);
+            let half = rng.random_range(5.0..60.0);
+            ScoredOption {
+                option: RelayOption::Bounce(RelayId(i)),
+                mean,
+                lower: mean - half,
+                upper: mean + half,
+            }
+        })
+        .collect()
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("topk");
+    for n in [8u32, 17, 64] {
+        let scored = scored_options(n, 7);
+        g.bench_function(format!("closure_{n}_options"), |b| {
+            b.iter(|| top_k(black_box(&scored)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bandit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bandit");
+    let options: Vec<RelayOption> = (0..8).map(|i| RelayOption::Bounce(RelayId(i))).collect();
+
+    g.bench_function("choose_8_arms", |b| {
+        let mut bandit = UcbBandit::new(options.clone(), 200.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let o = bandit.choose().unwrap();
+            bandit.update(o, rng.random_range(50.0..300.0));
+        }
+        b.iter(|| black_box(&bandit).choose())
+    });
+
+    g.bench_function("choose_update_cycle", |b| {
+        b.iter_batched(
+            || UcbBandit::with_priors(options.iter().map(|&o| (o, 150.0)), 200.0, 3),
+            |mut bandit| {
+                for _ in 0..64 {
+                    let o = bandit.choose().unwrap();
+                    bandit.update(o, 120.0);
+                }
+                bandit
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_budget(c: &mut Criterion) {
+    c.bench_function("budget_gate_admit", |b| {
+        let mut gate = BudgetGate::new(0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            gate.admit(rng.random_range(0.0..100.0));
+        }
+        let mut x = 0.0;
+        b.iter(|| {
+            x += 1.0;
+            gate.admit(black_box(x % 100.0))
+        })
+    });
+}
+
+fn bench_p2(c: &mut Criterion) {
+    c.bench_function("p2_quantile_push", |b| {
+        let mut q = P2Quantile::new(0.7);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            q.push(rng.random::<f64>());
+        }
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x = (x + 0.37) % 1.0;
+            q.push(black_box(x));
+        })
+    });
+}
+
+criterion_group!(benches, bench_topk, bench_bandit, bench_budget, bench_p2);
+criterion_main!(benches);

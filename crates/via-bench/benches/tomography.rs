@@ -1,0 +1,81 @@
+//! Benchmarks of the tomography solver (stage 2 of Algorithm 1): fitting a
+//! window of relayed observations and stitching predictions. The fit runs
+//! once per control period over the whole history; stitching runs per
+//! (pair, option) query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+use via_core::history::{CallHistory, KeyPair};
+use via_core::tomography::{Tomography, TomographyConfig};
+use via_model::ids::RelayId;
+use via_model::metrics::PathMetrics;
+use via_model::options::RelayOption;
+use via_model::time::{SimTime, Window, WindowLen};
+
+fn window() -> Window {
+    WindowLen::DAY.window_of(SimTime::ZERO)
+}
+
+/// Synthesizes a history window: `keys` spatial keys, `relays` relays,
+/// random bounce observations with ground truth u[a,r] = 20 + 3a + 5r.
+fn synth_history(keys: u32, relays: u32, observations: usize, seed: u64) -> CallHistory {
+    let truth = |a: u32, r: u32| 20.0 + 3.0 * a as f64 + 5.0 * r as f64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut h = CallHistory::new();
+    for _ in 0..observations {
+        let a = rng.random_range(0..keys);
+        let b = rng.random_range(0..keys);
+        let r = rng.random_range(0..relays);
+        let y = truth(a, r) + truth(b, r) + rng.random_range(-5.0..5.0);
+        h.record(
+            window(),
+            KeyPair::new(a, b),
+            RelayOption::Bounce(RelayId(r)),
+            &PathMetrics::new(y, 0.3, 3.0),
+        );
+    }
+    h
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let bb = |_: RelayId, _: RelayId| PathMetrics::new(50.0, 0.01, 0.4);
+    let mut g = c.benchmark_group("tomography_fit");
+    g.sample_size(20);
+    for (keys, relays, obs) in [(50u32, 10u32, 2_000usize), (200, 30, 20_000)] {
+        let h = synth_history(keys, relays, obs, 5);
+        g.bench_function(format!("{keys}keys_{relays}relays_{obs}obs"), |b| {
+            b.iter(|| {
+                Tomography::fit(
+                    black_box(&h),
+                    window(),
+                    &bb,
+                    &TomographyConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stitch(c: &mut Criterion) {
+    let bb = |_: RelayId, _: RelayId| PathMetrics::new(50.0, 0.01, 0.4);
+    let h = synth_history(100, 20, 10_000, 9);
+    let tomo = Tomography::fit(&h, window(), &bb, &TomographyConfig::default());
+    c.bench_function("tomography_stitch", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 100;
+            tomo.stitch(
+                black_box(i),
+                black_box((i + 31) % 100),
+                RelayOption::Bounce(RelayId(i % 20)),
+                &bb,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_fit, bench_stitch);
+criterion_main!(benches);

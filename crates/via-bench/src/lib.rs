@@ -1,0 +1,1 @@
+//! Criterion benchmark crate: all content lives in `benches/`.

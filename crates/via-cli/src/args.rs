@@ -1,0 +1,155 @@
+//! Minimal flag parser for the CLI (no external dependencies).
+//!
+//! Supports `--key value` flags and positional arguments, with typed
+//! accessors and helpful error messages.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags and positionals.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: HashMap<String, String>,
+    positionals: Vec<String>,
+}
+
+/// Flag-parsing errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FlagError {
+    /// A `--flag` appeared with no following value.
+    MissingValue(String),
+    /// A value failed to parse as its expected type.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// What it should have been.
+        expected: &'static str,
+        /// What was given.
+        got: String,
+    },
+    /// A required flag or positional was absent.
+    Missing(&'static str),
+}
+
+impl std::fmt::Display for FlagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlagError::MissingValue(flag) => write!(f, "--{flag} expects a value"),
+            FlagError::BadValue {
+                flag,
+                expected,
+                got,
+            } => write!(f, "--{flag} expects {expected}, got '{got}'"),
+            FlagError::Missing(what) => write!(f, "missing required {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FlagError {}
+
+impl Flags {
+    /// Parses an argument list (excluding the program and subcommand names).
+    pub fn parse(args: &[String]) -> Result<Flags, FlagError> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(name) = args[i].strip_prefix("--") {
+                let value = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| FlagError::MissingValue(name.to_string()))?;
+                flags.values.insert(name.to_string(), value.clone());
+                i += 2;
+            } else {
+                flags.positionals.push(args[i].clone());
+                i += 1;
+            }
+        }
+        Ok(flags)
+    }
+
+    /// String flag with a default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Integer flag with a default.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, FlagError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| FlagError::BadValue {
+                flag: key.to_string(),
+                expected: "an integer",
+                got: v.clone(),
+            }),
+        }
+    }
+
+    /// Float flag with a default.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64, FlagError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| FlagError::BadValue {
+                flag: key.to_string(),
+                expected: "a number",
+                got: v.clone(),
+            }),
+        }
+    }
+
+    /// First positional argument, required.
+    pub fn positional(&self, what: &'static str) -> Result<&str, FlagError> {
+        self.positionals
+            .first()
+            .map(String::as_str)
+            .ok_or(FlagError::Missing(what))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let f = Flags::parse(&argv(&["input.jsonl", "--seed", "7", "--scale", "small"])).unwrap();
+        assert_eq!(f.positional("input").unwrap(), "input.jsonl");
+        assert_eq!(f.u64_or("seed", 0).unwrap(), 7);
+        assert_eq!(f.str_or("scale", "tiny"), "small");
+        assert_eq!(f.str_or("absent", "fallback"), "fallback");
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = Flags::parse(&argv(&["--seed"])).unwrap_err();
+        assert_eq!(err, FlagError::MissingValue("seed".into()));
+        let err2 = Flags::parse(&argv(&["--seed", "--scale", "x"])).unwrap_err();
+        assert_eq!(err2, FlagError::MissingValue("seed".into()));
+    }
+
+    #[test]
+    fn bad_numeric_values_report_type() {
+        let f = Flags::parse(&argv(&["--seed", "abc"])).unwrap();
+        let err = f.u64_or("seed", 0).unwrap_err();
+        assert!(matches!(err, FlagError::BadValue { .. }));
+        assert!(err.to_string().contains("integer"));
+        let g = Flags::parse(&argv(&["--budget", "lots"])).unwrap();
+        assert!(g.f64_or("budget", 1.0).is_err());
+    }
+
+    #[test]
+    fn missing_positional_is_reported() {
+        let f = Flags::parse(&argv(&["--seed", "1"])).unwrap();
+        assert_eq!(f.positional("trace file"), Err(FlagError::Missing("trace file")));
+    }
+
+    #[test]
+    fn defaults_pass_through() {
+        let f = Flags::parse(&[]).unwrap();
+        assert_eq!(f.u64_or("seed", 42).unwrap(), 42);
+        assert_eq!(f.f64_or("budget", 0.3).unwrap(), 0.3);
+    }
+}

@@ -1,0 +1,279 @@
+//! `via` — command-line interface to the VIA reproduction.
+//!
+//! ```text
+//! via gen      --scale small --seed 7 --out trace.jsonl   generate a trace
+//! via analyze  trace.jsonl                                 §2 dataset analysis
+//! via replay   --scale small --strategy via --objective rtt  run one strategy
+//! via testbed  --clients 4 --relays 4 --pairs 3 --rounds 3   live loopback run
+//! ```
+//!
+//! Everything except `testbed` is deterministic in `--seed`.
+
+mod args;
+
+use args::Flags;
+use via_core::replay::{ReplayConfig, ReplaySim};
+use via_core::strategy::StrategyKind;
+use via_model::metrics::{Metric, Thresholds};
+use via_netsim::{World, WorldConfig};
+use via_trace::{Trace, TraceConfig, TraceGenerator};
+
+const USAGE: &str = "\
+via — predictive relay selection for Internet telephony (SIGCOMM 2016 reproduction)
+
+USAGE:
+    via gen     [--scale tiny|small|paper] [--seed N] [--out FILE]
+    via analyze FILE
+    via replay  [--scale tiny|small|paper] [--seed N]
+                [--strategy default|oracle|prediction|exploration|via|budgeted|racing]
+                [--objective rtt|loss|jitter] [--budget F]
+    via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "analyze" => cmd_analyze(rest),
+        "replay" => cmd_replay(rest),
+        "testbed" => cmd_testbed(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown subcommand '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn scale_configs(scale: &str) -> Result<(WorldConfig, TraceConfig), String> {
+    match scale {
+        "tiny" => Ok((WorldConfig::tiny(), TraceConfig::tiny())),
+        "small" => Ok((WorldConfig::small(), TraceConfig::small())),
+        "paper" => Ok((WorldConfig::paper_scale(), TraceConfig::paper_scale())),
+        other => Err(format!("unknown scale '{other}' (tiny|small|paper)")),
+    }
+}
+
+fn build(scale: &str, seed: u64) -> Result<(World, Trace), String> {
+    let (wc, tc) = scale_configs(scale)?;
+    let world = World::generate(&wc, seed);
+    let trace = TraceGenerator::new(&world, tc, seed).generate();
+    Ok((world, trace))
+}
+
+fn cmd_gen(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    let seed = flags.u64_or("seed", 2016)?;
+    let scale = flags.str_or("scale", "small");
+    let out = flags.str_or("out", "trace.jsonl").to_string();
+    let (world, trace) = build(scale, seed)?;
+    via_trace::io::write_jsonl(&trace, std::path::Path::new(&out))?;
+    println!(
+        "generated {} calls over {} days ({} countries, {} ASes, {} relays, seed {seed}) -> {out}",
+        trace.len(),
+        trace.days,
+        world.countries.len(),
+        world.ases.len(),
+        world.relays.len(),
+    );
+    Ok(())
+}
+
+fn cmd_analyze(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    let path = flags.positional("trace file")?;
+    let trace = via_trace::io::read_jsonl(std::path::Path::new(path))?;
+    let thresholds = Thresholds::default();
+
+    let s = via_trace::analysis::dataset_summary(&trace);
+    println!("calls: {}", s.calls);
+    println!("users: {}", s.users);
+    println!("ASes: {}   countries: {}   days: {}", s.ases, s.countries, s.days);
+    println!(
+        "international: {:.1}%   inter-AS: {:.1}%   wireless: {:.1}%",
+        100.0 * s.international_fraction,
+        100.0 * s.inter_as_fraction,
+        100.0 * s.wireless_fraction
+    );
+
+    println!("\nmetric distribution (default paths):");
+    println!("| metric | p50 | p90 | p99 | beyond threshold |");
+    println!("|---|---|---|---|---|");
+    for metric in Metric::ALL {
+        let cdf = via_trace::analysis::metric_cdf(&trace, metric)
+            .ok_or("trace holds no calls")?;
+        println!(
+            "| {metric} | {:.1} | {:.1} | {:.1} | {:.1}% |",
+            cdf.quantile(0.5),
+            cdf.quantile(0.9),
+            cdf.quantile(0.99),
+            100.0 * cdf.fraction_at_or_above(thresholds.for_metric(metric)),
+        );
+    }
+
+    let scope = via_trace::analysis::pnr_by_scope(&trace, &thresholds);
+    println!(
+        "\nPNR(any): international {:.1}% vs domestic {:.1}%",
+        100.0 * scope.international.any,
+        100.0 * scope.domestic.any
+    );
+    Ok(())
+}
+
+fn parse_strategy(name: &str, budget: f64) -> Result<StrategyKind, String> {
+    Ok(match name {
+        "default" => StrategyKind::Default,
+        "oracle" => StrategyKind::Oracle,
+        "prediction" => StrategyKind::PredictionOnly,
+        "exploration" => StrategyKind::ExplorationOnly,
+        "via" => StrategyKind::Via,
+        "budgeted" => StrategyKind::ViaBudgeted { budget },
+        "racing" => StrategyKind::HybridRacing { k: 3 },
+        other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn parse_objective(name: &str) -> Result<Metric, String> {
+    Ok(match name {
+        "rtt" => Metric::Rtt,
+        "loss" => Metric::Loss,
+        "jitter" => Metric::Jitter,
+        other => return Err(format!("unknown objective '{other}' (rtt|loss|jitter)")),
+    })
+}
+
+fn cmd_replay(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    let seed = flags.u64_or("seed", 2016)?;
+    let scale = flags.str_or("scale", "small");
+    let budget = flags.f64_or("budget", 0.3)?;
+    let kind = parse_strategy(flags.str_or("strategy", "via"), budget)?;
+    let objective = parse_objective(flags.str_or("objective", "rtt"))?;
+
+    let (world, trace) = build(scale, seed)?;
+    let cfg = ReplayConfig {
+        objective,
+        seed,
+        ..ReplayConfig::default()
+    };
+    let out = ReplaySim::new(&world, &trace, cfg).run(kind);
+    let pnr = out.pnr(&Thresholds::default());
+    let (direct, bounce, transit) = out.option_mix();
+
+    println!("strategy: {}   objective: {objective}   calls: {}", out.strategy, out.calls.len());
+    println!(
+        "PNR: rtt {:.1}%  loss {:.1}%  jitter {:.1}%  any {:.1}%",
+        100.0 * pnr.rtt,
+        100.0 * pnr.loss,
+        100.0 * pnr.jitter,
+        100.0 * pnr.any
+    );
+    println!(
+        "mix: direct {:.0}%  bounce {:.0}%  transit {:.0}%   controller contacts: {}",
+        100.0 * direct,
+        100.0 * bounce,
+        100.0 * transit,
+        out.controller_contacts
+    );
+    Ok(())
+}
+
+fn cmd_testbed(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    // Narrow with range checks so oversized values error instead of
+    // silently truncating.
+    fn bounded<T: TryFrom<u64>>(value: u64, flag: &str) -> Result<T, String> {
+        T::try_from(value).map_err(|_| format!("--{flag} value {value} is out of range"))
+    }
+    let cfg = via_testbed::TestbedConfig {
+        n_clients: bounded(flags.u64_or("clients", 4)?, "clients")?,
+        n_relays: bounded(flags.u64_or("relays", 4)?, "relays")?,
+        n_pairs: bounded(flags.u64_or("pairs", 3)?, "pairs")?,
+        rounds: bounded(flags.u64_or("rounds", 3)?, "rounds")?,
+        probes: bounded(flags.u64_or("probes", 15)?, "probes")?,
+        gap_ms: flags.u64_or("gap-ms", 2)?,
+        seed: flags.u64_or("seed", 18)?,
+        ..via_testbed::TestbedConfig::fast()
+    };
+    let result = via_testbed::run_testbed(&cfg)?;
+    println!(
+        "{} reports collected; {} probes forwarded, {} dropped by impairment",
+        result.reports.len(),
+        result.forwarded,
+        result.dropped
+    );
+    let eval = via_testbed::evaluate_via_selection(&result.reports, Metric::Rtt);
+    println!(
+        "VIA selection: {} decisions, best relay picked {:.0}% of the time",
+        eval.decisions,
+        100.0 * eval.best_pick_fraction
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_names_parse() {
+        assert!(matches!(
+            parse_strategy("default", 0.3).unwrap(),
+            StrategyKind::Default
+        ));
+        assert!(matches!(
+            parse_strategy("via", 0.3).unwrap(),
+            StrategyKind::Via
+        ));
+        assert!(matches!(
+            parse_strategy("budgeted", 0.25).unwrap(),
+            StrategyKind::ViaBudgeted { .. }
+        ));
+        assert!(matches!(
+            parse_strategy("racing", 0.3).unwrap(),
+            StrategyKind::HybridRacing { k: 3 }
+        ));
+        assert!(parse_strategy("bogus", 0.3).is_err());
+    }
+
+    #[test]
+    fn objectives_parse() {
+        assert_eq!(parse_objective("rtt").unwrap(), Metric::Rtt);
+        assert_eq!(parse_objective("loss").unwrap(), Metric::Loss);
+        assert_eq!(parse_objective("jitter").unwrap(), Metric::Jitter);
+        assert!(parse_objective("bandwidth").is_err());
+    }
+
+    #[test]
+    fn scales_resolve_to_configs() {
+        for scale in ["tiny", "small", "paper"] {
+            let (wc, tc) = scale_configs(scale).unwrap();
+            assert!(wc.n_countries >= 2);
+            assert!(tc.calls_per_day > 0);
+        }
+        assert!(scale_configs("enormous").is_err());
+    }
+
+    #[test]
+    fn build_produces_consistent_world_and_trace() {
+        let (world, trace) = build("tiny", 5).unwrap();
+        assert!(!trace.is_empty());
+        for r in trace.records.iter().take(50) {
+            assert!(r.src_as.index() < world.ases.len());
+            assert!(r.dst_as.index() < world.ases.len());
+        }
+    }
+}

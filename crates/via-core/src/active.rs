@@ -1,0 +1,231 @@
+//! Active measurement planning — the paper's §7 future-work item,
+//! implemented: "Active measurements can be intelligently orchestrated to
+//! fill 'holes' in the passively obtained measurements, thereby making our
+//! prediction-guided exploration (both its aspects — tomography as well as
+//! bandit solution) more effective."
+//!
+//! Given the demand (which pairs are expected to call), the candidate
+//! options per pair, and the current predictor, the planner finds the
+//! *holes* — candidate options whose prediction still falls back to the
+//! geographic prior — and greedily selects a probe set under a budget,
+//! preferring probes whose client-side segments appear in many holes
+//! (one probe of `bounce(a, r)` helps every pair touching segment `(a, r)`
+//! through tomography).
+
+use std::collections::{HashMap, HashSet};
+use via_model::ids::RelayId;
+use via_model::options::RelayOption;
+
+use crate::predictor::{PredictionSource, Predictor};
+
+/// One planned probe: make a mock call between the two keys over the option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Probe {
+    /// Source spatial key.
+    pub a: u32,
+    /// Destination spatial key.
+    pub b: u32,
+    /// Option to exercise.
+    pub option: RelayOption,
+}
+
+/// The client-side tomography segments a probe of `option` between keys
+/// `(a, b)` would measure.
+fn segments_of(a: u32, b: u32, option: RelayOption) -> Vec<(u32, RelayId)> {
+    match option.canonical() {
+        RelayOption::Direct => vec![],
+        RelayOption::Bounce(r) => vec![(a, r), (b, r)],
+        RelayOption::Transit(r1, r2) => vec![(a, r1), (b, r2), (a, r2), (b, r1)],
+    }
+}
+
+/// Plans up to `budget` probes for the given demand set.
+///
+/// `demands` lists (source key, destination key, candidate options) for the
+/// pairs expected to carry calls. A candidate is a *hole* when the
+/// predictor's answer is prior-sourced. The planner scores each hole probe
+/// by how many distinct holes share its segments (set-cover greedy) and
+/// returns the best `budget` probes.
+pub fn plan_probes(
+    demands: &[(u32, u32, Vec<RelayOption>)],
+    predictor: &Predictor,
+    budget: usize,
+) -> Vec<Probe> {
+    if budget == 0 {
+        return Vec::new();
+    }
+
+    // Collect holes and segment demand frequencies.
+    let mut holes: Vec<Probe> = Vec::new();
+    let mut seg_demand: HashMap<(u32, RelayId), u32> = HashMap::new();
+    for (a, b, options) in demands {
+        for &option in options {
+            if !option.is_relayed() {
+                continue; // direct paths cannot be stitched (tomography is relay-based)
+            }
+            let pred = predictor.predict(*a, *b, option);
+            if pred.source == PredictionSource::Prior {
+                holes.push(Probe {
+                    a: *a,
+                    b: *b,
+                    option,
+                });
+                for seg in segments_of(*a, *b, option) {
+                    *seg_demand.entry(seg).or_default() += 1;
+                }
+            }
+        }
+    }
+    if holes.is_empty() {
+        return Vec::new();
+    }
+
+    // Greedy: repeatedly take the probe covering the most not-yet-covered
+    // segment demand.
+    let mut covered: HashSet<(u32, RelayId)> = HashSet::new();
+    let mut plan = Vec::with_capacity(budget.min(holes.len()));
+    let mut remaining: Vec<Probe> = holes;
+    while plan.len() < budget && !remaining.is_empty() {
+        let (best_idx, best_score) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let score: u32 = segments_of(p.a, p.b, p.option)
+                    .into_iter()
+                    .filter(|seg| !covered.contains(seg))
+                    .map(|seg| seg_demand.get(&seg).copied().unwrap_or(0))
+                    .sum();
+                (i, score)
+            })
+            .max_by_key(|&(_, s)| s)
+            .expect("remaining non-empty");
+        if best_score == 0 {
+            break; // every remaining probe only re-measures covered segments
+        }
+        let probe = remaining.swap_remove(best_idx);
+        for seg in segments_of(probe.a, probe.b, probe.option) {
+            covered.insert(seg);
+        }
+        plan.push(probe);
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::CallHistory;
+    use crate::predictor::{GeoPrior, PredictorConfig};
+    use via_model::metrics::PathMetrics;
+    use via_model::time::{SimTime, WindowLen};
+    use via_netsim::GeoPoint;
+
+    fn cold_predictor(n_keys: usize, n_relays: usize) -> Predictor {
+        let prior = GeoPrior::new(
+            (0..n_keys)
+                .map(|i| GeoPoint::new(10.0 + i as f64, 10.0 + i as f64))
+                .collect(),
+            (0..n_relays)
+                .map(|i| GeoPoint::new(-10.0 - i as f64, 20.0))
+                .collect(),
+        );
+        Predictor::cold(
+            prior,
+            Box::new(|_, _| PathMetrics::new(50.0, 0.01, 0.4)),
+            PredictorConfig::default(),
+        )
+    }
+
+    fn demands(n_pairs: u32, relays: u32) -> Vec<(u32, u32, Vec<RelayOption>)> {
+        (0..n_pairs)
+            .map(|i| {
+                let options = (0..relays)
+                    .map(|r| RelayOption::Bounce(RelayId(r)))
+                    .collect();
+                (i, i + 1, options)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_budget_plans_nothing() {
+        let p = cold_predictor(5, 3);
+        assert!(plan_probes(&demands(3, 2), &p, 0).is_empty());
+    }
+
+    #[test]
+    fn cold_predictor_means_everything_is_a_hole() {
+        let p = cold_predictor(5, 3);
+        let plan = plan_probes(&demands(3, 2), &p, 100);
+        // 3 pairs × 2 options = 6 holes, but greedy stops once segments are
+        // covered; every planned probe must be a demanded one.
+        assert!(!plan.is_empty());
+        assert!(plan.len() <= 6);
+        for probe in &plan {
+            assert!(probe.option.is_relayed());
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let p = cold_predictor(10, 4);
+        let plan = plan_probes(&demands(8, 4), &p, 3);
+        assert!(plan.len() <= 3);
+    }
+
+    #[test]
+    fn shared_segments_are_prioritized() {
+        // Pairs (0,1), (0,2), (0,3) all share key 0; probing a bounce for
+        // key 0 covers the hot segment. The first chosen probe must involve
+        // key 0.
+        let p = cold_predictor(5, 1);
+        let d = vec![
+            (0, 1, vec![RelayOption::Bounce(RelayId(0))]),
+            (0, 2, vec![RelayOption::Bounce(RelayId(0))]),
+            (0, 3, vec![RelayOption::Bounce(RelayId(0))]),
+            (4, 3, vec![RelayOption::Bounce(RelayId(0))]),
+        ];
+        let plan = plan_probes(&d, &p, 1);
+        assert_eq!(plan.len(), 1);
+        assert!(plan[0].a == 0 || plan[0].b == 0, "should probe the hot key");
+    }
+
+    #[test]
+    fn no_holes_when_history_is_dense() {
+        // Train a predictor that has empirical data for every demanded cell.
+        let window = WindowLen::DAY.window_of(SimTime::ZERO);
+        let mut h = CallHistory::new();
+        let d = demands(3, 2);
+        for (a, b, options) in &d {
+            for &o in options {
+                for _ in 0..5 {
+                    h.record(
+                        window,
+                        crate::history::KeyPair::new(*a, *b),
+                        o,
+                        &PathMetrics::new(120.0, 0.3, 4.0),
+                    );
+                }
+            }
+        }
+        let prior = GeoPrior::new(
+            (0..5).map(|i| GeoPoint::new(i as f64, i as f64)).collect(),
+            (0..2).map(|i| GeoPoint::new(-(i as f64), 5.0)).collect(),
+        );
+        let p = Predictor::fit(
+            &h,
+            window,
+            prior,
+            Box::new(|_, _| PathMetrics::ZERO),
+            PredictorConfig::default(),
+        );
+        assert!(plan_probes(&d, &p, 10).is_empty());
+    }
+
+    #[test]
+    fn direct_options_are_never_probed() {
+        let p = cold_predictor(3, 1);
+        let d = vec![(0, 1, vec![RelayOption::Direct])];
+        assert!(plan_probes(&d, &p, 5).is_empty());
+    }
+}

@@ -1,0 +1,290 @@
+//! The modified UCB1 exploration–exploitation step (Algorithm 3).
+//!
+//! Within one control window and one source–destination pair, the pruned
+//! top-k options are the arms of a multi-armed bandit. VIA adapts UCB1
+//! ([Auer et al. 2002]) in two ways (§4.5):
+//!
+//! 1. **Outlier-robust normalization** — rewards are not normalized by the
+//!    full value range (heavy tails would crush common-case differences) but
+//!    by `w`, the mean of the top-k candidates' `Pred_upper` bounds.
+//! 2. **Minimization form** — network metrics are costs, so the selection
+//!    minimizes `mean_normalized_cost − √(0.1·ln T / n_r)` (exploration bonus
+//!    subtracted rather than added).
+//!
+//! A separate ε-fraction of calls bypasses the bandit entirely and samples a
+//! uniformly random option from the *full* candidate set — the "general
+//! exploration" that keeps the next window's pruning honest when reward
+//! distributions drift (the paper's second modification).
+
+use via_model::options::RelayOption;
+
+/// Per-arm statistics.
+#[derive(Debug, Clone)]
+struct Arm {
+    option: RelayOption,
+    /// Calls assigned to this arm so far (|C_r|).
+    n: u64,
+    /// Sum of observed raw costs Q(c, r).
+    cost_sum: f64,
+}
+
+/// Bandit state for one (pair, window): the `Explore` function of
+/// Algorithm 3, kept incrementally instead of recomputed per call.
+#[derive(Debug, Clone)]
+pub struct UcbBandit {
+    arms: Vec<Arm>,
+    /// Total assignments made through this bandit (T − 1).
+    total: u64,
+    /// Normalizer w = mean of top-k Pred_upper values.
+    w: f64,
+    /// Exploration coefficient (paper: 0.1 under the square root).
+    pub exploration_coef: f64,
+    /// If false, raw costs are used without normalization (the "original
+    /// UCB1" ablation of Figure 15).
+    pub normalize: bool,
+}
+
+impl UcbBandit {
+    /// Creates a bandit over the pruned top-k options. `w` is the
+    /// normalizer: the mean of the options' upper confidence bounds on the
+    /// objective metric (Algorithm 3 line 3).
+    pub fn new(options: impl IntoIterator<Item = RelayOption>, w: f64) -> UcbBandit {
+        UcbBandit {
+            arms: options
+                .into_iter()
+                .map(|option| Arm {
+                    option,
+                    n: 0,
+                    cost_sum: 0.0,
+                })
+                .collect(),
+            total: 0,
+            w: if w > 0.0 { w } else { 1.0 },
+            exploration_coef: 0.1,
+            normalize: true,
+        }
+    }
+
+    /// Creates a bandit whose arms are warm-started with `virtual_n`
+    /// pseudo-observations at their *predicted* cost.
+    ///
+    /// Plain UCB1 plays every arm once before comparing; with only tens of
+    /// calls per (pair, window), that initial sweep dominates. VIA already
+    /// holds a prediction for every pruned candidate, so arms start from the
+    /// predicted cost and the UCB bonus arbitrates between prediction and
+    /// observation — this is the "prediction-guided" half of
+    /// prediction-guided exploration applied inside the bandit.
+    pub fn with_priors(
+        options: impl IntoIterator<Item = (RelayOption, f64)>,
+        w: f64,
+        virtual_n: u64,
+    ) -> UcbBandit {
+        let mut bandit = UcbBandit {
+            arms: options
+                .into_iter()
+                .map(|(option, predicted_cost)| Arm {
+                    option,
+                    n: virtual_n,
+                    cost_sum: predicted_cost.max(0.0) * virtual_n as f64,
+                })
+                .collect(),
+            total: 0,
+            w: if w > 0.0 { w } else { 1.0 },
+            exploration_coef: 0.1,
+            normalize: true,
+        };
+        bandit.total = bandit.arms.len() as u64 * virtual_n;
+        bandit
+    }
+
+    /// Number of arms.
+    pub fn len(&self) -> usize {
+        self.arms.len()
+    }
+
+    /// True if the bandit has no arms.
+    pub fn is_empty(&self) -> bool {
+        self.arms.is_empty()
+    }
+
+    /// The arm options.
+    pub fn options(&self) -> impl Iterator<Item = RelayOption> + '_ {
+        self.arms.iter().map(|a| a.option)
+    }
+
+    /// Picks the arm with the minimal lower-confidence cost index. Unplayed
+    /// arms take priority (UCB1 plays every arm once before comparing).
+    /// Returns `None` only when the bandit has no arms.
+    pub fn choose(&self) -> Option<RelayOption> {
+        if self.arms.is_empty() {
+            return None;
+        }
+        if let Some(unplayed) = self.arms.iter().find(|a| a.n == 0) {
+            return Some(unplayed.option);
+        }
+        let t = (self.total + 1) as f64;
+        let mut best: Option<(f64, RelayOption)> = None;
+        for arm in &self.arms {
+            let norm = if self.normalize { self.w } else { 1.0 };
+            let mean_cost = arm.cost_sum / (norm * arm.n as f64);
+            let bonus = (self.exploration_coef * t.ln() / arm.n as f64).sqrt();
+            let index = mean_cost - bonus;
+            if best.is_none_or(|(b, _)| index < b) {
+                best = Some((index, arm.option));
+            }
+        }
+        best.map(|(_, o)| o)
+    }
+
+    /// Records the realized cost of a call assigned to `option`. Costs for
+    /// options outside the arm set (e.g. ε general-exploration picks) are
+    /// ignored here — they feed the history/predictor instead.
+    pub fn update(&mut self, option: RelayOption, cost: f64) {
+        let option = option.canonical();
+        if let Some(arm) = self.arms.iter_mut().find(|a| a.option == option) {
+            arm.n += 1;
+            arm.cost_sum += cost.max(0.0);
+            self.total += 1;
+        }
+    }
+
+    /// Assignments recorded so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean observed cost of one arm, if it was played.
+    pub fn arm_mean(&self, option: RelayOption) -> Option<f64> {
+        let option = option.canonical();
+        self.arms
+            .iter()
+            .find(|a| a.option == option && a.n > 0)
+            .map(|a| a.cost_sum / a.n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use via_model::ids::RelayId;
+
+    fn opts(n: u32) -> Vec<RelayOption> {
+        (0..n).map(|i| RelayOption::Bounce(RelayId(i))).collect()
+    }
+
+    #[test]
+    fn empty_bandit_chooses_nothing() {
+        let b = UcbBandit::new([], 1.0);
+        assert!(b.is_empty());
+        assert_eq!(b.choose(), None);
+    }
+
+    #[test]
+    fn plays_every_arm_once_first() {
+        let mut b = UcbBandit::new(opts(3), 100.0);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            let o = b.choose().unwrap();
+            seen.push(o);
+            b.update(o, 50.0);
+        }
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 3, "each arm must be tried once");
+    }
+
+    #[test]
+    fn converges_to_best_arm() {
+        // Arm costs: R0 = 100, R1 = 60 (best), R2 = 90, with noise.
+        let mut b = UcbBandit::new(opts(3), 100.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cost_of = |o: RelayOption, rng: &mut StdRng| {
+            let base = match o {
+                RelayOption::Bounce(RelayId(0)) => 100.0,
+                RelayOption::Bounce(RelayId(1)) => 60.0,
+                _ => 90.0,
+            };
+            base + rng.random_range(-10.0..10.0)
+        };
+        let mut picks = [0u32; 3];
+        for _ in 0..500 {
+            let o = b.choose().unwrap();
+            if let RelayOption::Bounce(r) = o {
+                picks[r.index()] += 1;
+            }
+            let c = cost_of(o, &mut rng);
+            b.update(o, c);
+        }
+        assert!(
+            picks[1] > 350,
+            "best arm picked only {}/500 times ({picks:?})",
+            picks[1]
+        );
+        assert!(b.arm_mean(RelayOption::Bounce(RelayId(1))).unwrap() < 70.0);
+    }
+
+    #[test]
+    fn keeps_exploring_under_ties() {
+        let mut b = UcbBandit::new(opts(2), 10.0);
+        for _ in 0..200 {
+            let o = b.choose().unwrap();
+            b.update(o, 10.0); // identical costs
+        }
+        // Both arms should keep being sampled when indistinguishable.
+        let n0 = b.arm_mean(RelayOption::Bounce(RelayId(0)));
+        let n1 = b.arm_mean(RelayOption::Bounce(RelayId(1)));
+        assert!(n0.is_some() && n1.is_some());
+        assert_eq!(b.total(), 200);
+    }
+
+    #[test]
+    fn updates_for_unknown_options_are_ignored() {
+        let mut b = UcbBandit::new(opts(2), 10.0);
+        b.update(RelayOption::Bounce(RelayId(99)), 5.0);
+        assert_eq!(b.total(), 0);
+    }
+
+    #[test]
+    fn normalization_tames_outliers() {
+        // With normalization off and huge w-relative costs, the exploration
+        // bonus becomes negligible and the bandit can lock onto a lucky arm.
+        // With normalization on (costs ÷ w ≈ O(1)), the bonus stays relevant.
+        let run = |normalize: bool, seed: u64| {
+            let mut b = UcbBandit::new(opts(2), 1000.0);
+            b.normalize = normalize;
+            let mut rng = StdRng::seed_from_u64(seed);
+            // True means: arm0 = 900, arm1 = 800 (better), heavy noise.
+            let mut picks1 = 0;
+            for _ in 0..400 {
+                let o = b.choose().unwrap();
+                let base = if o == RelayOption::Bounce(RelayId(1)) {
+                    picks1 += 1;
+                    800.0
+                } else {
+                    900.0
+                };
+                let spike = if rng.random::<f64>() < 0.02 { 5000.0 } else { 0.0 };
+                b.update(o, base + rng.random_range(-200.0..200.0) + spike);
+            }
+            picks1
+        };
+        // Average over seeds to avoid flakiness.
+        let norm: u32 = (0..10).map(|s| run(true, s)).sum();
+        let raw: u32 = (0..10).map(|s| run(false, s)).sum();
+        assert!(
+            norm >= raw,
+            "normalized ({norm}) should find the better arm at least as often as raw ({raw})"
+        );
+    }
+
+    #[test]
+    fn canonicalizes_arm_updates() {
+        let t = RelayOption::Transit(RelayId(1), RelayId(0));
+        let mut b = UcbBandit::new([t.canonical()], 10.0);
+        b.update(t, 5.0);
+        assert_eq!(b.total(), 1);
+        assert_eq!(b.arm_mean(t), Some(5.0));
+    }
+}

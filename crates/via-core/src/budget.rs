@@ -1,0 +1,175 @@
+//! Budget-aware relaying (§4.6 of the paper).
+//!
+//! Operators cap the fraction of calls the managed network carries. With a
+//! budget `B`, a call should be relayed only when its *predicted benefit*
+//! (predicted cost of the direct path minus predicted cost of the best relay
+//! option) lies in the top `B` percentile of benefits seen recently. VIA
+//! tracks that percentile with a streaming P² estimator — O(1) state, no
+//! benefit history retained — plus a hard running-fraction guard so the cap
+//! holds even while the estimator warms up or the benefit distribution
+//! drifts.
+
+use via_model::stats::P2Quantile;
+
+/// Streaming budget gate.
+#[derive(Debug, Clone)]
+pub struct BudgetGate {
+    /// Budget: maximum fraction of calls relayed, in (0, 1].
+    budget: f64,
+    /// Tracks the (1−B) quantile of predicted benefits.
+    quantile: Option<P2Quantile>,
+    relayed: u64,
+    total: u64,
+}
+
+impl BudgetGate {
+    /// Creates a gate with the given budget fraction. Panics unless
+    /// `0 < budget ≤ 1`. A budget of 1.0 disables gating (always allows).
+    pub fn new(budget: f64) -> BudgetGate {
+        assert!(
+            budget > 0.0 && budget <= 1.0,
+            "budget must be a fraction in (0, 1]"
+        );
+        let quantile = (budget < 1.0).then(|| P2Quantile::new(1.0 - budget));
+        BudgetGate {
+            budget,
+            quantile,
+            relayed: 0,
+            total: 0,
+        }
+    }
+
+    /// The configured budget fraction.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// Decides whether a call with the given predicted benefit may be
+    /// relayed, and records the decision. `benefit` is in objective-metric
+    /// units (e.g. predicted RTT saved); non-positive benefits never relay.
+    pub fn admit(&mut self, benefit: f64) -> bool {
+        self.total += 1;
+        let decision = self.decide(benefit);
+        if let Some(q) = &mut self.quantile {
+            q.push(benefit.max(0.0));
+        }
+        if decision {
+            self.relayed += 1;
+        }
+        decision
+    }
+
+    fn decide(&self, benefit: f64) -> bool {
+        if benefit <= 0.0 {
+            return false;
+        }
+        let Some(q) = &self.quantile else {
+            return true; // budget = 1.0
+        };
+        // Hard guard: never exceed the cap on the running fraction.
+        let projected = (self.relayed + 1) as f64 / (self.total.max(1)) as f64;
+        if projected > self.budget && self.total > 20 {
+            return false;
+        }
+        match q.estimate() {
+            // Warm-up: admit while under the cap.
+            None => true,
+            Some(threshold) => benefit >= threshold,
+        }
+    }
+
+    /// Fraction of calls relayed so far.
+    pub fn relayed_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.relayed as f64 / self.total as f64
+        }
+    }
+
+    /// Calls seen so far.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    #[should_panic(expected = "budget must be a fraction")]
+    fn rejects_zero_budget() {
+        BudgetGate::new(0.0);
+    }
+
+    #[test]
+    fn full_budget_admits_any_positive_benefit() {
+        let mut g = BudgetGate::new(1.0);
+        assert!(g.admit(0.001));
+        assert!(!g.admit(0.0));
+        assert!(!g.admit(-5.0));
+    }
+
+    #[test]
+    fn negative_benefit_never_relays() {
+        let mut g = BudgetGate::new(0.5);
+        for _ in 0..100 {
+            assert!(!g.admit(-1.0));
+        }
+        assert_eq!(g.relayed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn respects_budget_fraction_on_uniform_benefits() {
+        let mut g = BudgetGate::new(0.3);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20_000 {
+            g.admit(rng.random::<f64>() * 100.0);
+        }
+        let f = g.relayed_fraction();
+        assert!(
+            f <= 0.32 && f > 0.15,
+            "relayed fraction {f} should track the 0.3 budget"
+        );
+    }
+
+    #[test]
+    fn admits_the_largest_benefits() {
+        let mut g = BudgetGate::new(0.2);
+        let mut rng = StdRng::seed_from_u64(9);
+        // Warm the estimator.
+        for _ in 0..5_000 {
+            g.admit(rng.random::<f64>() * 10.0);
+        }
+        // Now huge benefits must be admitted, tiny ones rejected.
+        assert!(g.admit(1_000.0));
+        assert!(!g.admit(0.01));
+    }
+
+    #[test]
+    fn hard_guard_caps_fraction_under_drift() {
+        // Adversarial: benefits grow over time, so the quantile estimator
+        // lags and would over-admit without the hard guard.
+        let mut g = BudgetGate::new(0.25);
+        for i in 0..10_000u64 {
+            g.admit(i as f64);
+        }
+        assert!(
+            g.relayed_fraction() <= 0.27,
+            "fraction {} exceeded cap under drift",
+            g.relayed_fraction()
+        );
+    }
+
+    #[test]
+    fn counts_are_tracked() {
+        let mut g = BudgetGate::new(0.5);
+        g.admit(1.0);
+        g.admit(-1.0);
+        assert_eq!(g.total(), 2);
+        assert_eq!(g.budget(), 0.5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Call-history storage: the controller's measurement database.
+//!
+//! §3.1 of the paper: clients push the network metrics of completed calls to
+//! the controller, which aggregates them per (source, destination, relaying
+//! option) and time window. This store keeps one [`MetricStats`] (a Welford
+//! accumulator per metric) per `(pair, option, window)` cell and can iterate
+//! a whole window's cells — the training set for the tomography predictor.
+//!
+//! Pairs are keyed by a *spatial key* rather than raw AS ids so the same
+//! machinery supports the granularity sweep of Figure 17a (country-level,
+//! AS-level, or finer-than-AS decisions).
+
+use std::collections::HashMap;
+use via_model::metrics::{Metric, PathMetrics};
+use via_model::options::RelayOption;
+use via_model::stats::OnlineStats;
+use via_model::time::Window;
+
+/// Canonical (order-independent) pair of spatial keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyPair {
+    /// Smaller key.
+    pub lo: u32,
+    /// Larger key.
+    pub hi: u32,
+}
+
+impl KeyPair {
+    /// Builds the canonical pair.
+    pub fn new(a: u32, b: u32) -> Self {
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+}
+
+/// Per-metric Welford accumulators for one (pair, option, window) cell.
+#[derive(Debug, Clone, Default)]
+pub struct MetricStats {
+    stats: [OnlineStats; 3],
+}
+
+impl MetricStats {
+    /// Folds one call's metrics in.
+    pub fn push(&mut self, m: &PathMetrics) {
+        for (i, &metric) in Metric::ALL.iter().enumerate() {
+            self.stats[i].push(m[metric]);
+        }
+    }
+
+    /// Accumulator for one metric axis.
+    pub fn metric(&self, m: Metric) -> &OnlineStats {
+        match m {
+            Metric::Rtt => &self.stats[0],
+            Metric::Loss => &self.stats[1],
+            Metric::Jitter => &self.stats[2],
+        }
+    }
+
+    /// Number of calls aggregated (same for every axis).
+    pub fn count(&self) -> u64 {
+        self.stats[0].count()
+    }
+}
+
+/// The controller's measurement store.
+#[derive(Debug, Default)]
+pub struct CallHistory {
+    /// window index → (pair, option) → stats.
+    windows: HashMap<u64, HashMap<(KeyPair, RelayOption), MetricStats>>,
+}
+
+impl CallHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed call's measurements.
+    pub fn record(&mut self, window: Window, pair: KeyPair, option: RelayOption, m: &PathMetrics) {
+        self.windows
+            .entry(window.index)
+            .or_default()
+            .entry((pair, option.canonical()))
+            .or_default()
+            .push(m);
+    }
+
+    /// Stats of one cell, if any calls were observed.
+    pub fn cell(&self, window: Window, pair: KeyPair, option: RelayOption) -> Option<&MetricStats> {
+        self.windows
+            .get(&window.index)?
+            .get(&(pair, option.canonical()))
+    }
+
+    /// Iterates all cells of a window.
+    pub fn window_cells(
+        &self,
+        window: Window,
+    ) -> impl Iterator<Item = (&(KeyPair, RelayOption), &MetricStats)> {
+        self.windows
+            .get(&window.index)
+            .into_iter()
+            .flat_map(|m| m.iter())
+    }
+
+    /// Number of distinct cells in a window.
+    pub fn window_len(&self, window: Window) -> usize {
+        self.windows.get(&window.index).map_or(0, |m| m.len())
+    }
+
+    /// Total calls recorded in a window.
+    pub fn window_calls(&self, window: Window) -> u64 {
+        self.windows
+            .get(&window.index)
+            .map_or(0, |m| m.values().map(|s| s.count()).sum())
+    }
+
+    /// Discards windows older than `keep_from` (controller memory bound; the
+    /// predictor only ever trains on the previous window).
+    pub fn prune_before(&mut self, keep_from: u64) {
+        self.windows.retain(|&w, _| w >= keep_from);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_model::time::{SimTime, WindowLen};
+    use via_model::ids::RelayId;
+
+    fn w(i: u64) -> Window {
+        WindowLen::DAY.window_of(SimTime::from_days(i))
+    }
+
+    #[test]
+    fn key_pair_is_canonical() {
+        assert_eq!(KeyPair::new(5, 2), KeyPair::new(2, 5));
+        assert_eq!(KeyPair::new(2, 5).lo, 2);
+    }
+
+    #[test]
+    fn record_and_read_back() {
+        let mut h = CallHistory::new();
+        let pair = KeyPair::new(1, 2);
+        let opt = RelayOption::Bounce(RelayId(3));
+        h.record(w(0), pair, opt, &PathMetrics::new(100.0, 1.0, 5.0));
+        h.record(w(0), pair, opt, &PathMetrics::new(200.0, 2.0, 7.0));
+        let cell = h.cell(w(0), pair, opt).unwrap();
+        assert_eq!(cell.count(), 2);
+        assert_eq!(cell.metric(Metric::Rtt).mean(), Some(150.0));
+        assert_eq!(cell.metric(Metric::Loss).mean(), Some(1.5));
+        assert!(h.cell(w(1), pair, opt).is_none());
+    }
+
+    #[test]
+    fn options_are_canonicalized_on_both_paths() {
+        let mut h = CallHistory::new();
+        let pair = KeyPair::new(0, 1);
+        h.record(
+            w(0),
+            pair,
+            RelayOption::Transit(RelayId(9), RelayId(4)),
+            &PathMetrics::new(80.0, 0.5, 3.0),
+        );
+        let cell = h
+            .cell(w(0), pair, RelayOption::Transit(RelayId(4), RelayId(9)))
+            .unwrap();
+        assert_eq!(cell.count(), 1);
+    }
+
+    #[test]
+    fn window_iteration_and_counts() {
+        let mut h = CallHistory::new();
+        for i in 0..5 {
+            h.record(
+                w(1),
+                KeyPair::new(i, i + 1),
+                RelayOption::Direct,
+                &PathMetrics::new(50.0, 0.1, 1.0),
+            );
+        }
+        assert_eq!(h.window_len(w(1)), 5);
+        assert_eq!(h.window_calls(w(1)), 5);
+        assert_eq!(h.window_cells(w(1)).count(), 5);
+        assert_eq!(h.window_len(w(0)), 0);
+    }
+
+    #[test]
+    fn prune_drops_old_windows() {
+        let mut h = CallHistory::new();
+        let pair = KeyPair::new(1, 2);
+        h.record(w(0), pair, RelayOption::Direct, &PathMetrics::ZERO);
+        h.record(w(5), pair, RelayOption::Direct, &PathMetrics::ZERO);
+        h.prune_before(3);
+        assert!(h.cell(w(0), pair, RelayOption::Direct).is_none());
+        assert!(h.cell(w(5), pair, RelayOption::Direct).is_some());
+    }
+}

@@ -1,0 +1,67 @@
+//! The VIA contribution: prediction-guided exploration for relay selection.
+//!
+//! This crate implements §4 of the paper end to end, plus the evaluation
+//! machinery of §5.1:
+//!
+//! * [`history`] — the controller's measurement store: per (pair, option,
+//!   window) Welford aggregates fed by completed calls.
+//! * [`tomography`] — relay-based network tomography (§4.4, Figure 11):
+//!   linearizes loss (log-survival) and jitter (variance), solves client-side
+//!   segments by weighted least squares, and stitches predictions for paths
+//!   never observed.
+//! * [`predictor`] — `Pred` of Algorithm 1: empirical → tomography →
+//!   geographic prior, each with mean and 95 % confidence bounds.
+//! * [`topk`] — Algorithm 2: the minimal confidence-interval closure that
+//!   provably contains every plausibly-best option.
+//! * [`bandit`] — Algorithm 3: UCB1 modified with outlier-robust
+//!   normalization, in cost-minimization form.
+//! * [`budget`] — §4.6: streaming-percentile budget gate.
+//! * [`active`] — §7 future work, implemented: greedy set-cover planning of
+//!   active probes that fill tomography holes.
+//! * [`placement`] — Figure 17c's follow-up: submodular greedy relay-fleet
+//!   placement over a demand matrix.
+//! * [`coords`] — Vivaldi network coordinates (the paper's related-work
+//!   reference 18), for the
+//!   prediction-accuracy comparison in `ext_vivaldi`.
+//! * [`strategy`] / [`replay`] — the oracle, strawman baselines, VIA and its
+//!   ablations, replayed chronologically with common random numbers.
+//!
+//! ```
+//! use via_core::replay::{ReplayConfig, ReplaySim};
+//! use via_core::strategy::StrategyKind;
+//! use via_netsim::{World, WorldConfig};
+//! use via_trace::{TraceConfig, TraceGenerator};
+//!
+//! let world = World::generate(&WorldConfig::tiny(), 42);
+//! let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 42).generate();
+//! let cfg = ReplayConfig::default();
+//! let default = ReplaySim::new(&world, &trace, cfg.clone()).run(StrategyKind::Default);
+//! let via = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Via);
+//! let t = Default::default();
+//! assert!(via.pnr_any(&t) <= default.pnr_any(&t) + 0.05);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod bandit;
+pub mod budget;
+pub mod coords;
+pub mod placement;
+pub mod history;
+pub mod predictor;
+pub mod replay;
+pub mod strategy;
+pub mod tomography;
+pub mod topk;
+
+pub use active::{plan_probes, Probe};
+pub use placement::{plan_placement, Demand, Placement};
+pub use bandit::UcbBandit;
+pub use coords::{Coord, Vivaldi, VivaldiConfig};
+pub use budget::BudgetGate;
+pub use history::{CallHistory, KeyPair, MetricStats};
+pub use predictor::{GeoPrior, Prediction, PredictionSource, Predictor, PredictorConfig};
+pub use replay::{CallOutcome, Outcome, ReplayConfig, ReplaySim, SpatialGranularity};
+pub use strategy::StrategyKind;
+pub use topk::{top_k, ScoredOption};

@@ -1,0 +1,207 @@
+//! Relay-fleet placement planning — the follow-up Figure 17c calls for:
+//! "the contribution of benefits from different relay nodes are highly
+//! skewed … new relays should be deployed carefully in future."
+//!
+//! Given candidate sites and a demand matrix (how many calls each AS pair
+//! carries, and what the default path costs them), [`plan_placement`]
+//! greedily selects the fleet that maximizes predicted total improvement —
+//! the classic submodular facility-location greedy, which carries a
+//! (1 − 1/e) approximation guarantee for this objective.
+//!
+//! The objective credits a site set `S` with
+//! `Σ_pairs weight × max(0, default_cost − best_cost_via_S)`, where the
+//! per-site cost comes from a caller-supplied oracle (in experiments, the
+//! world model's ground truth; in deployment, the tomography predictor).
+
+use via_model::ids::RelayId;
+
+/// One demand entry: an AS pair, its traffic weight, and path costs.
+#[derive(Debug, Clone)]
+pub struct Demand {
+    /// Traffic weight (e.g. calls per day).
+    pub weight: f64,
+    /// Cost of the default path on the objective metric.
+    pub default_cost: f64,
+    /// Cost via the best option using each candidate site, indexed like the
+    /// candidate list passed to [`plan_placement`].
+    pub site_cost: Vec<f64>,
+}
+
+/// Result of a placement plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Chosen sites, in selection order (first = most valuable).
+    pub sites: Vec<RelayId>,
+    /// Objective value (weighted cost reduction) after each selection —
+    /// monotone non-decreasing, with diminishing increments.
+    pub gain_curve: Vec<f64>,
+}
+
+/// Greedily selects up to `k` sites from `candidates` maximizing the total
+/// weighted improvement over the demand set.
+///
+/// # Panics
+/// Panics if any demand's `site_cost` length differs from the candidate
+/// count.
+pub fn plan_placement(candidates: &[RelayId], demands: &[Demand], k: usize) -> Placement {
+    for d in demands {
+        assert_eq!(
+            d.site_cost.len(),
+            candidates.len(),
+            "demand cost vector must match candidate count"
+        );
+    }
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut gain_curve = Vec::new();
+    // Current best cost per demand under the chosen set.
+    let mut current_best: Vec<f64> = demands.iter().map(|d| d.default_cost).collect();
+
+    for _ in 0..k.min(candidates.len()) {
+        let mut best: Option<(usize, f64)> = None;
+        for (s, _) in candidates.iter().enumerate() {
+            if chosen.contains(&s) {
+                continue;
+            }
+            let marginal: f64 = demands
+                .iter()
+                .zip(&current_best)
+                .map(|(d, &cur)| d.weight * (cur - d.site_cost[s].min(cur)))
+                .sum();
+            if best.is_none_or(|(_, g)| marginal > g) {
+                best = Some((s, marginal));
+            }
+        }
+        let Some((s, marginal)) = best else { break };
+        if marginal <= 0.0 && !chosen.is_empty() {
+            break; // no site adds value: stop early
+        }
+        chosen.push(s);
+        for (cur, d) in current_best.iter_mut().zip(demands) {
+            *cur = cur.min(d.site_cost[s]);
+        }
+        let total: f64 = demands
+            .iter()
+            .zip(&current_best)
+            .map(|(d, &cur)| d.weight * (d.default_cost - cur).max(0.0))
+            .sum();
+        gain_curve.push(total);
+    }
+
+    Placement {
+        sites: chosen.into_iter().map(|s| candidates[s]).collect(),
+        gain_curve,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(i: u32) -> RelayId {
+        RelayId(i)
+    }
+
+    /// Three sites; site 1 helps both demands, sites 0/2 help one each.
+    fn demands() -> Vec<Demand> {
+        vec![
+            Demand {
+                weight: 10.0,
+                default_cost: 100.0,
+                site_cost: vec![50.0, 60.0, 100.0],
+            },
+            Demand {
+                weight: 10.0,
+                default_cost: 100.0,
+                site_cost: vec![100.0, 60.0, 50.0],
+            },
+        ]
+    }
+
+    #[test]
+    fn picks_the_shared_site_first() {
+        let p = plan_placement(&[rid(0), rid(1), rid(2)], &demands(), 3);
+        // Site 1 gives 40×10 + 40×10 = 800; sites 0/2 give 500 each.
+        assert_eq!(p.sites[0], rid(1));
+        assert_eq!(p.sites.len(), 3);
+        assert!((p.gain_curve[0] - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_curve_is_monotone_with_diminishing_increments() {
+        let p = plan_placement(&[rid(0), rid(1), rid(2)], &demands(), 3);
+        for w in p.gain_curve.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "gain must not decrease");
+        }
+        if p.gain_curve.len() >= 3 {
+            let inc1 = p.gain_curve[1] - p.gain_curve[0];
+            let inc2 = p.gain_curve[2] - p.gain_curve[1];
+            assert!(inc2 <= inc1 + 1e-9, "submodularity: increments shrink");
+        }
+    }
+
+    #[test]
+    fn stops_when_no_site_helps() {
+        let d = vec![Demand {
+            weight: 1.0,
+            default_cost: 10.0,
+            site_cost: vec![20.0, 30.0], // every site is worse than default
+        }];
+        let p = plan_placement(&[rid(0), rid(1)], &d, 2);
+        // The first pick is allowed (zero marginal), but nothing after.
+        assert!(p.sites.len() <= 1);
+        if let Some(&g) = p.gain_curve.first() {
+            assert_eq!(g, 0.0);
+        }
+    }
+
+    #[test]
+    fn k_larger_than_candidates_is_fine() {
+        let d = vec![Demand {
+            weight: 5.0,
+            default_cost: 100.0,
+            site_cost: vec![40.0],
+        }];
+        let p = plan_placement(&[rid(0)], &d, 10);
+        assert_eq!(p.sites.len(), 1);
+        assert!((p.gain_curve[0] - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = plan_placement(&[], &[], 3);
+        assert!(p.sites.is_empty());
+        let p2 = plan_placement(&[rid(0)], &[], 2);
+        assert_eq!(p2.sites.len(), 1); // harmless: zero gain
+    }
+
+    #[test]
+    #[should_panic(expected = "must match candidate count")]
+    fn mismatched_cost_vector_panics() {
+        let d = vec![Demand {
+            weight: 1.0,
+            default_cost: 10.0,
+            site_cost: vec![5.0],
+        }];
+        plan_placement(&[rid(0), rid(1)], &d, 1);
+    }
+
+    #[test]
+    fn weights_steer_the_choice() {
+        // Same costs, but demand 0 carries 100× the traffic: its best site
+        // must win.
+        let d = vec![
+            Demand {
+                weight: 100.0,
+                default_cost: 100.0,
+                site_cost: vec![50.0, 90.0],
+            },
+            Demand {
+                weight: 1.0,
+                default_cost: 100.0,
+                site_cost: vec![90.0, 50.0],
+            },
+        ];
+        let p = plan_placement(&[rid(0), rid(1)], &d, 1);
+        assert_eq!(p.sites, vec![rid(0)]);
+    }
+}

@@ -1,0 +1,439 @@
+//! The `Pred` module of Algorithm 1: per-(pair, option) performance
+//! prediction with 95 % confidence bounds.
+//!
+//! For every queried (source key, destination key, relaying option) the
+//! predictor returns a [`Prediction`] carrying, per metric, a mean and a
+//! standard error in *linearized* space (see [`crate::tomography`]), from
+//! which the `Pred_lower` / `Pred_upper` bounds of §4.4 are derived as
+//! `mean ± 1.96·SEM`. Sources, in order of preference:
+//!
+//! 1. **Empirical** — the cell was observed in the training window with
+//!    enough samples; mean and SEM come straight from the data.
+//! 2. **Tomography** — the cell is a *hole*, but both client-side segments
+//!    were solved from other pairs' calls; the path is stitched (Figure 11).
+//! 3. **Prior** — nothing relevant was observed. The controller still knows
+//!    client and relay geography (GeoIP), so the prior predicts
+//!    inflation-scaled fiber latency and global typical loss/jitter, with a
+//!    deliberately wide SEM so priors lose to any data-backed estimate in
+//!    the top-k pruning.
+
+use via_model::ids::RelayId;
+use via_model::metrics::{Metric, PathMetrics};
+use via_model::options::RelayOption;
+use via_model::time::Window;
+use via_netsim::GeoPoint;
+
+use crate::history::{CallHistory, KeyPair};
+use crate::tomography::{linearize, linearize_sem, delinearize, Tomography, TomographyConfig};
+
+/// Where a prediction came from (diagnostics and the Figure 11 experiment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionSource {
+    /// Directly observed with this many samples.
+    Empirical(u64),
+    /// Stitched from tomography segments.
+    Tomography,
+    /// Geography-based prior.
+    Prior,
+}
+
+/// A prediction with confidence bounds, per metric.
+#[derive(Debug, Clone, Copy)]
+pub struct Prediction {
+    lin_mean: [f64; 3],
+    lin_sem: [f64; 3],
+    /// Provenance of the estimate.
+    pub source: PredictionSource,
+}
+
+impl Prediction {
+    /// Builds a prediction from linearized means and SEMs.
+    pub fn from_linear(lin_mean: [f64; 3], lin_sem: [f64; 3], source: PredictionSource) -> Self {
+        Self {
+            lin_mean,
+            lin_sem,
+            source,
+        }
+    }
+
+    /// Predicted mean of a metric, in metric units.
+    pub fn mean(&self, m: Metric) -> f64 {
+        delinearize(m, self.lin_mean[idx(m)])
+    }
+
+    /// `Pred_lower`: lower 95 % confidence bound, metric units.
+    pub fn lower(&self, m: Metric) -> f64 {
+        delinearize(m, self.lin_mean[idx(m)] - 1.96 * self.lin_sem[idx(m)])
+    }
+
+    /// `Pred_upper`: upper 95 % confidence bound, metric units.
+    pub fn upper(&self, m: Metric) -> f64 {
+        delinearize(m, self.lin_mean[idx(m)] + 1.96 * self.lin_sem[idx(m)])
+    }
+
+    /// All three predicted means as a [`PathMetrics`].
+    pub fn mean_metrics(&self) -> PathMetrics {
+        PathMetrics::new(
+            self.mean(Metric::Rtt),
+            self.mean(Metric::Loss),
+            self.mean(Metric::Jitter),
+        )
+    }
+}
+
+fn idx(m: Metric) -> usize {
+    match m {
+        Metric::Rtt => 0,
+        Metric::Loss => 1,
+        Metric::Jitter => 2,
+    }
+}
+
+/// Predictor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PredictorConfig {
+    /// Minimum samples for an empirical cell to be trusted over tomography.
+    pub min_empirical_samples: u64,
+    /// Relative SEM substitute when a cell has a mean but too few samples
+    /// for a variance estimate.
+    pub sparse_rel_sem: f64,
+    /// Relative SEM of the geographic prior (wide on purpose).
+    pub prior_rel_sem: f64,
+    /// Prior inflation over fiber RTT for unknown paths.
+    pub prior_inflation: f64,
+    /// Prior loss (percent) for unknown paths.
+    pub prior_loss_pct: f64,
+    /// Prior jitter (ms) for unknown paths.
+    pub prior_jitter_ms: f64,
+    /// Tomography solver settings.
+    pub tomography: TomographyConfig,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        Self {
+            min_empirical_samples: 3,
+            sparse_rel_sem: 0.5,
+            prior_rel_sem: 0.6,
+            prior_inflation: 1.9,
+            prior_loss_pct: 0.6,
+            prior_jitter_ms: 5.0,
+            tomography: TomographyConfig::default(),
+        }
+    }
+}
+
+/// Geography the controller knows: one representative position per spatial
+/// key and per relay. Built once per world by the replay engine / testbed.
+#[derive(Debug, Clone)]
+pub struct GeoPrior {
+    key_pos: Vec<GeoPoint>,
+    relay_pos: Vec<GeoPoint>,
+}
+
+impl GeoPrior {
+    /// Builds a prior from per-key and per-relay positions (indexable by key
+    /// value / relay id).
+    pub fn new(key_pos: Vec<GeoPoint>, relay_pos: Vec<GeoPoint>) -> Self {
+        Self { key_pos, relay_pos }
+    }
+
+    fn pos_of_key(&self, key: u32) -> Option<&GeoPoint> {
+        self.key_pos.get(key as usize)
+    }
+
+    /// Prior fiber-bound RTT of an option, ms.
+    fn path_rtt_floor(&self, a: u32, b: u32, option: RelayOption) -> Option<f64> {
+        let pa = self.pos_of_key(a)?;
+        let pb = self.pos_of_key(b)?;
+        Some(match option.canonical() {
+            RelayOption::Direct => pa.min_rtt_ms(pb),
+            RelayOption::Bounce(r) => {
+                let pr = self.relay_pos.get(r.index())?;
+                pa.min_rtt_ms(pr) + pr.min_rtt_ms(pb)
+            }
+            RelayOption::Transit(r1, r2) => {
+                let p1 = self.relay_pos.get(r1.index())?;
+                let p2 = self.relay_pos.get(r2.index())?;
+                // Orient for the shorter on-ramps, like the managed network.
+                let fwd = pa.min_rtt_ms(p1) + p2.min_rtt_ms(pb);
+                let rev = pa.min_rtt_ms(p2) + p1.min_rtt_ms(pb);
+                fwd.min(rev) + p1.min_rtt_ms(p2)
+            }
+        })
+    }
+}
+
+/// The fitted predictor for one control window.
+pub struct Predictor {
+    cfg: PredictorConfig,
+    window: Window,
+    empirical: std::collections::HashMap<(KeyPair, RelayOption), Prediction>,
+    tomography: Tomography,
+    prior: GeoPrior,
+    backbone: Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>,
+}
+
+impl std::fmt::Debug for Predictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Predictor")
+            .field("window", &self.window)
+            .field("empirical_cells", &self.empirical.len())
+            .field("tomography_segments", &self.tomography.len())
+            .finish()
+    }
+}
+
+impl Predictor {
+    /// Fits a predictor on the history of `training_window` (stage 1 + 2 of
+    /// Algorithm 1). `backbone` supplies known inter-relay metrics.
+    pub fn fit(
+        history: &CallHistory,
+        training_window: Window,
+        prior: GeoPrior,
+        backbone: Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>,
+        cfg: PredictorConfig,
+    ) -> Predictor {
+        let mut empirical = std::collections::HashMap::new();
+        for (&(pair, option), stats) in history.window_cells(training_window) {
+            let n = stats.count();
+            if n == 0 {
+                continue;
+            }
+            let mut lin_mean = [0.0; 3];
+            let mut lin_sem = [0.0; 3];
+            for &metric in Metric::ALL.iter() {
+                let s = stats.metric(metric);
+                let mean = s.mean().unwrap_or(0.0);
+                let sem = s
+                    .sem()
+                    .unwrap_or_else(|| mean.abs() * cfg.sparse_rel_sem)
+                    .max(1e-9);
+                lin_mean[idx(metric)] = linearize(metric, mean);
+                // Floor the SEM for sparse cells (a relative uncertainty
+                // decaying as 1/n) so one lucky sample cannot look
+                // authoritative, without chaining every interval together
+                // once a handful of samples exist.
+                lin_sem[idx(metric)] = linearize_sem(metric, mean, sem)
+                    .max(cfg.sparse_rel_sem / n as f64 * linearize(metric, mean).max(1e-6));
+            }
+            empirical.insert(
+                (pair, option),
+                Prediction::from_linear(lin_mean, lin_sem, PredictionSource::Empirical(n)),
+            );
+        }
+        let tomography = Tomography::fit(history, training_window, backbone.as_ref(), &cfg.tomography);
+        Predictor {
+            cfg,
+            window: training_window,
+            empirical,
+            tomography,
+            prior,
+            backbone,
+        }
+    }
+
+    /// A predictor with no history at all (cold start): prior-only.
+    pub fn cold(prior: GeoPrior, backbone: Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>, cfg: PredictorConfig) -> Predictor {
+        Predictor {
+            cfg,
+            window: Window {
+                index: 0,
+                len: via_model::time::WindowLen::DAY,
+            },
+            empirical: std::collections::HashMap::new(),
+            tomography: Tomography::default(),
+            prior,
+            backbone,
+        }
+    }
+
+    /// Number of empirical cells in the model.
+    pub fn empirical_cells(&self) -> usize {
+        self.empirical.len()
+    }
+
+    /// Number of tomography-solved segments.
+    pub fn tomography_segments(&self) -> usize {
+        self.tomography.len()
+    }
+
+    /// Predicts performance of `option` between spatial keys `a` and `b`.
+    /// Always succeeds: falls back to the geographic prior.
+    pub fn predict(&self, a: u32, b: u32, option: RelayOption) -> Prediction {
+        let option = option.canonical();
+        let pair = KeyPair::new(a, b);
+        if let Some(p) = self.empirical.get(&(pair, option)) {
+            if let PredictionSource::Empirical(n) = p.source {
+                if n >= self.cfg.min_empirical_samples {
+                    return *p;
+                }
+            }
+        }
+        if let Some((lin_mean, lin_sem)) =
+            self.tomography
+                .stitch(a, b, option, self.backbone.as_ref())
+        {
+            return Prediction::from_linear(lin_mean, lin_sem, PredictionSource::Tomography);
+        }
+        // Sparse empirical beats pure prior.
+        if let Some(p) = self.empirical.get(&(pair, option)) {
+            return *p;
+        }
+        self.prior_prediction(a, b, option)
+    }
+
+    fn prior_prediction(&self, a: u32, b: u32, option: RelayOption) -> Prediction {
+        let cfg = &self.cfg;
+        let rtt = self
+            .prior
+            .path_rtt_floor(a, b, option)
+            .map(|floor| floor * cfg.prior_inflation + 20.0)
+            .unwrap_or(250.0);
+        let mut lin_mean = [0.0; 3];
+        let mut lin_sem = [0.0; 3];
+        let means = [rtt, cfg.prior_loss_pct, cfg.prior_jitter_ms];
+        for (i, &metric) in Metric::ALL.iter().enumerate() {
+            lin_mean[i] = linearize(metric, means[i]);
+            lin_sem[i] = (cfg.prior_rel_sem * lin_mean[i]).max(1e-6);
+        }
+        Prediction::from_linear(lin_mean, lin_sem, PredictionSource::Prior)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_model::time::{SimTime, WindowLen};
+
+    fn window() -> Window {
+        WindowLen::DAY.window_of(SimTime::ZERO)
+    }
+
+    fn prior() -> GeoPrior {
+        GeoPrior::new(
+            vec![
+                GeoPoint::new(40.7, -74.0), // key 0: NYC
+                GeoPoint::new(51.5, -0.1),  // key 1: London
+                GeoPoint::new(35.7, 139.7), // key 2: Tokyo
+            ],
+            vec![
+                GeoPoint::new(38.9, -77.5), // R0: Virginia
+                GeoPoint::new(50.1, 8.7),   // R1: Frankfurt
+            ],
+        )
+    }
+
+    fn bb() -> Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync> {
+        Box::new(|_, _| PathMetrics::new(80.0, 0.01, 0.4))
+    }
+
+    #[test]
+    fn empirical_preferred_when_dense() {
+        let mut h = CallHistory::new();
+        let pair = KeyPair::new(0, 1);
+        for i in 0..10 {
+            h.record(
+                window(),
+                pair,
+                RelayOption::Direct,
+                &PathMetrics::new(100.0 + i as f64, 1.0, 5.0),
+            );
+        }
+        let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
+        let pred = p.predict(0, 1, RelayOption::Direct);
+        assert!(matches!(pred.source, PredictionSource::Empirical(10)));
+        assert!((pred.mean(Metric::Rtt) - 104.5).abs() < 0.5);
+        assert!(pred.lower(Metric::Rtt) < pred.mean(Metric::Rtt));
+        assert!(pred.upper(Metric::Rtt) > pred.mean(Metric::Rtt));
+    }
+
+    #[test]
+    fn tomography_fills_holes() {
+        let mut h = CallHistory::new();
+        let r = RelayId(0);
+        // Observe 0↔1 and 1↔2 bounces; 0↔2 is a hole.
+        for _ in 0..10 {
+            h.record(window(), KeyPair::new(0, 1), RelayOption::Bounce(r), &PathMetrics::new(100.0, 0.5, 4.0));
+            h.record(window(), KeyPair::new(1, 2), RelayOption::Bounce(r), &PathMetrics::new(140.0, 0.7, 5.0));
+        }
+        let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
+        let pred = p.predict(0, 2, RelayOption::Bounce(r));
+        assert_eq!(pred.source, PredictionSource::Tomography);
+        let rtt = pred.mean(Metric::Rtt);
+        // Under-determined with two equations and three unknowns, but the
+        // stitched value must land in a plausible range around 120.
+        assert!((60.0..200.0).contains(&rtt), "stitched RTT {rtt}");
+    }
+
+    #[test]
+    fn prior_used_when_nothing_known() {
+        let h = CallHistory::new();
+        let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
+        let pred = p.predict(0, 2, RelayOption::Direct);
+        assert_eq!(pred.source, PredictionSource::Prior);
+        // NYC–Tokyo fiber bound ≈ 108 ms; prior applies inflation.
+        let rtt = pred.mean(Metric::Rtt);
+        assert!(rtt > 150.0 && rtt < 400.0, "prior RTT {rtt}");
+        // Prior must be wide.
+        assert!(pred.upper(Metric::Rtt) / pred.lower(Metric::Rtt).max(1.0) > 1.5);
+    }
+
+    #[test]
+    fn prior_ranks_nearby_relay_better() {
+        let h = CallHistory::new();
+        let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
+        // NYC↔London via Virginia (on the way) vs via... a bounce through
+        // Frankfurt (detour past the destination).
+        let via_virginia = p.predict(0, 1, RelayOption::Bounce(RelayId(0)));
+        let via_frankfurt = p.predict(0, 1, RelayOption::Bounce(RelayId(1)));
+        assert!(
+            via_virginia.mean(Metric::Rtt) < via_frankfurt.mean(Metric::Rtt) + 30.0,
+            "prior should not wildly prefer the detour"
+        );
+    }
+
+    #[test]
+    fn cold_predictor_always_answers() {
+        let p = Predictor::cold(prior(), bb(), PredictorConfig::default());
+        for option in [
+            RelayOption::Direct,
+            RelayOption::Bounce(RelayId(1)),
+            RelayOption::Transit(RelayId(0), RelayId(1)),
+        ] {
+            let pred = p.predict(0, 2, option);
+            assert_eq!(pred.source, PredictionSource::Prior);
+            assert!(pred.mean(Metric::Rtt).is_finite());
+            assert!(pred.mean(Metric::Loss) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn bounds_bracket_mean_for_all_sources() {
+        let mut h = CallHistory::new();
+        h.record(window(), KeyPair::new(0, 1), RelayOption::Direct, &PathMetrics::new(90.0, 0.2, 2.0));
+        let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
+        for (a, b, opt) in [
+            (0, 1, RelayOption::Direct),
+            (0, 2, RelayOption::Direct),
+            (1, 2, RelayOption::Bounce(RelayId(0))),
+        ] {
+            let pred = p.predict(a, b, opt);
+            for m in Metric::ALL {
+                assert!(pred.lower(m) <= pred.mean(m) + 1e-9);
+                assert!(pred.upper(m) + 1e-9 >= pred.mean(m));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_empirical_beats_prior_but_not_tomography() {
+        let mut h = CallHistory::new();
+        // One single sample — below min_empirical_samples.
+        h.record(window(), KeyPair::new(0, 1), RelayOption::Direct, &PathMetrics::new(90.0, 0.2, 2.0));
+        let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
+        let pred = p.predict(0, 1, RelayOption::Direct);
+        // Direct has no tomography; sparse empirical should win over prior.
+        assert!(matches!(pred.source, PredictionSource::Empirical(1)));
+    }
+}

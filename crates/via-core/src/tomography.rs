@@ -1,0 +1,537 @@
+//! Relay-based network tomography (§4.4 of the paper, Figure 11).
+//!
+//! Call history only covers (pair, option) cells that actually carried calls.
+//! Tomography expands coverage: every relayed path decomposes into a
+//! *client-side segment* per (endpoint, relay) plus — for transit — a known
+//! backbone segment. By treating each observed relayed call as a linear
+//! equation over the unknown segment values,
+//!
+//! ```text
+//! bounce(a,b via r):        u[a,r] + u[b,r]            = y
+//! transit(a,b via r1,r2):   u[a,r1] + bb[r1,r2] + u[b,r2] = y
+//! ```
+//!
+//! a weighted least-squares solve recovers `u`, and stitching the estimates
+//! predicts paths never observed (the dotted line of Figure 11).
+//!
+//! RTT composes additively as-is. Loss and jitter are *linearized* first
+//! (§4.4: "metrics that compose linearly (e.g., RTT) or can be linearized
+//! (e.g., jitter and packet loss rate, under the assumption of independence
+//! across network segments)"):
+//!
+//! * loss `p` (%) → `x = −ln(1 − p/100)`, since survival probabilities
+//!   multiply across independent segments;
+//! * jitter `j` → `x = j²`, since variances of independent delay-variation
+//!   processes add.
+
+use std::collections::HashMap;
+use via_model::ids::RelayId;
+use via_model::metrics::{Metric, PathMetrics};
+use via_model::options::RelayOption;
+use via_model::time::Window;
+
+use crate::history::CallHistory;
+
+/// Maps a raw metric value into its additively-composing space.
+pub fn linearize(metric: Metric, value: f64) -> f64 {
+    match metric {
+        Metric::Rtt => value.max(0.0),
+        Metric::Loss => {
+            let p = (value / 100.0).clamp(0.0, 0.9999);
+            -(1.0 - p).ln()
+        }
+        Metric::Jitter => value.max(0.0).powi(2),
+    }
+}
+
+/// Inverse of [`linearize`].
+pub fn delinearize(metric: Metric, x: f64) -> f64 {
+    let x = x.max(0.0);
+    match metric {
+        Metric::Rtt => x,
+        Metric::Loss => 100.0 * (1.0 - (-x).exp()),
+        Metric::Jitter => x.sqrt(),
+    }
+}
+
+/// Delta-method transport of a standard error through [`linearize`].
+pub fn linearize_sem(metric: Metric, mean: f64, sem: f64) -> f64 {
+    match metric {
+        Metric::Rtt => sem,
+        Metric::Loss => {
+            // dx/dp at p percent: (1/100) / (1 − p/100).
+            let p = (mean / 100.0).clamp(0.0, 0.9999);
+            sem / 100.0 / (1.0 - p)
+        }
+        Metric::Jitter => 2.0 * mean.max(0.0) * sem,
+    }
+}
+
+/// One client-side segment: spatial key (AS, country, or finer — see
+/// `replay::SpatialGranularity`) to relay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentKey {
+    /// Spatial key of the client side.
+    pub key: u32,
+    /// Relay id.
+    pub relay: RelayId,
+}
+
+/// Solved estimate for one segment, in linearized space.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentEstimate {
+    /// Linearized value per metric.
+    pub value: [f64; 3],
+    /// Standard error per metric (linearized space).
+    pub sem: [f64; 3],
+    /// Number of observations touching this segment.
+    pub n_obs: u32,
+}
+
+/// One linear observation: `u[i] + u[j] = y` (per metric), with weight `w`
+/// (sample count).
+#[derive(Debug, Clone, Copy)]
+struct Obs {
+    i: usize,
+    j: usize,
+    y: [f64; 3],
+    w: f64,
+}
+
+/// Configuration for the tomography solve.
+#[derive(Debug, Clone, Copy)]
+pub struct TomographyConfig {
+    /// Gauss–Seidel sweeps (the system is sparse and well-conditioned;
+    /// 25 sweeps is far past convergence for realistic densities).
+    pub iterations: usize,
+    /// Relative SEM floor applied to solved segments (prevents overconfident
+    /// stitching off few observations).
+    pub min_rel_sem: f64,
+}
+
+impl Default for TomographyConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 25,
+            min_rel_sem: 0.05,
+        }
+    }
+}
+
+/// Fitted tomography model for one training window.
+#[derive(Debug, Default)]
+pub struct Tomography {
+    segments: HashMap<SegmentKey, SegmentEstimate>,
+}
+
+impl Tomography {
+    /// Fits segment estimates from one history window. `backbone` supplies
+    /// the provider's known inter-relay metrics (§3.2).
+    pub fn fit(
+        history: &CallHistory,
+        window: Window,
+        backbone: &dyn Fn(RelayId, RelayId) -> PathMetrics,
+        cfg: &TomographyConfig,
+    ) -> Tomography {
+        let mut index: HashMap<SegmentKey, usize> = HashMap::new();
+        let mut keys: Vec<SegmentKey> = Vec::new();
+        let mut obs: Vec<Obs> = Vec::new();
+
+        let intern = |k: SegmentKey, keys: &mut Vec<SegmentKey>, index: &mut HashMap<SegmentKey, usize>| -> usize {
+            *index.entry(k).or_insert_with(|| {
+                keys.push(k);
+                keys.len() - 1
+            })
+        };
+
+        // Sort cells so the solve is independent of hash-map iteration order
+        // (Gauss–Seidel results depend on update order at fixed iteration
+        // counts; determinism requires a stable order).
+        let mut cells: Vec<_> = history.window_cells(window).collect();
+        cells.sort_by_key(|(k, _)| **k);
+        for ((pair, option), stats) in cells.into_iter().map(|(k, s)| (*k, s)) {
+            let n = stats.count();
+            if n == 0 {
+                continue;
+            }
+            let mut y = [0.0f64; 3];
+            for (m_idx, &metric) in Metric::ALL.iter().enumerate() {
+                let mean = stats.metric(metric).mean().unwrap_or(0.0);
+                y[m_idx] = linearize(metric, mean);
+            }
+            match option.canonical() {
+                RelayOption::Direct => continue,
+                RelayOption::Bounce(r) => {
+                    let i = intern(SegmentKey { key: pair.lo, relay: r }, &mut keys, &mut index);
+                    let j = intern(SegmentKey { key: pair.hi, relay: r }, &mut keys, &mut index);
+                    obs.push(Obs { i, j, y, w: n as f64 });
+                }
+                RelayOption::Transit(r1, r2) => {
+                    // Ingress/egress assignment to lo/hi is unknown from the
+                    // aggregate; record both orientations at half weight —
+                    // with symmetric client legs this is the least-biased
+                    // linear attribution.
+                    let bbm = backbone(r1, r2);
+                    let mut y_adj = y;
+                    for (m_idx, &metric) in Metric::ALL.iter().enumerate() {
+                        y_adj[m_idx] =
+                            (y_adj[m_idx] - linearize(metric, bbm[metric])).max(0.0);
+                    }
+                    let i1 = intern(SegmentKey { key: pair.lo, relay: r1 }, &mut keys, &mut index);
+                    let j1 = intern(SegmentKey { key: pair.hi, relay: r2 }, &mut keys, &mut index);
+                    obs.push(Obs { i: i1, j: j1, y: y_adj, w: n as f64 / 2.0 });
+                    let i2 = intern(SegmentKey { key: pair.lo, relay: r2 }, &mut keys, &mut index);
+                    let j2 = intern(SegmentKey { key: pair.hi, relay: r1 }, &mut keys, &mut index);
+                    obs.push(Obs { i: i2, j: j2, y: y_adj, w: n as f64 / 2.0 });
+                }
+            }
+        }
+
+        if keys.is_empty() {
+            return Tomography::default();
+        }
+
+        // Initialize every unknown to half of the weighted mean of its
+        // observations, then Gauss–Seidel.
+        let n_unknowns = keys.len();
+        let mut u = vec![[0.0f64; 3]; n_unknowns];
+        let mut w_sum = vec![0.0f64; n_unknowns];
+        for o in &obs {
+            for (m, &y) in o.y.iter().enumerate() {
+                u[o.i][m] += o.w * y / 2.0;
+                u[o.j][m] += o.w * y / 2.0;
+            }
+            w_sum[o.i] += o.w;
+            w_sum[o.j] += o.w;
+        }
+        for (ui, &w) in u.iter_mut().zip(&w_sum) {
+            if w > 0.0 {
+                for v in ui.iter_mut() {
+                    *v /= w;
+                }
+            }
+        }
+
+        // Adjacency: unknown → observation indices.
+        let mut touching: Vec<Vec<usize>> = vec![Vec::new(); n_unknowns];
+        for (oi, o) in obs.iter().enumerate() {
+            touching[o.i].push(oi);
+            if o.j != o.i {
+                touching[o.j].push(oi);
+            }
+        }
+
+        for _ in 0..cfg.iterations {
+            for i in 0..n_unknowns {
+                let mut num = [0.0f64; 3];
+                let mut den = 0.0f64;
+                for &oi in &touching[i] {
+                    let o = &obs[oi];
+                    let partner = if o.i == i { o.j } else { o.i };
+                    for m in 0..3 {
+                        let partner_val = if partner == i { u[i][m] } else { u[partner][m] };
+                        num[m] += o.w * (o.y[m] - partner_val);
+                    }
+                    den += o.w;
+                }
+                if den > 0.0 {
+                    for m in 0..3 {
+                        u[i][m] = (num[m] / den).max(0.0);
+                    }
+                }
+            }
+        }
+
+        // Residual-based SEM per unknown.
+        let mut res_sq = vec![[0.0f64; 3]; n_unknowns];
+        let mut n_obs = vec![0u32; n_unknowns];
+        for o in &obs {
+            for m in 0..3 {
+                let r = o.y[m] - u[o.i][m] - u[o.j][m];
+                res_sq[o.i][m] += o.w * r * r;
+                res_sq[o.j][m] += o.w * r * r;
+            }
+            n_obs[o.i] += 1;
+            if o.j != o.i {
+                n_obs[o.j] += 1;
+            }
+        }
+
+        let mut segments = HashMap::with_capacity(n_unknowns);
+        for (idx, key) in keys.into_iter().enumerate() {
+            let mut sem = [0.0f64; 3];
+            for m in 0..3 {
+                let var = if w_sum[idx] > 0.0 {
+                    res_sq[idx][m] / w_sum[idx]
+                } else {
+                    0.0
+                };
+                let base = (var / (n_obs[idx].max(1) as f64)).sqrt();
+                sem[m] = base.max(cfg.min_rel_sem * u[idx][m]);
+            }
+            segments.insert(
+                key,
+                SegmentEstimate {
+                    value: u[idx],
+                    sem,
+                    n_obs: n_obs[idx],
+                },
+            );
+        }
+        Tomography { segments }
+    }
+
+    /// Number of solved segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if the model solved no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Solved estimate for one segment.
+    pub fn segment(&self, key: u32, relay: RelayId) -> Option<&SegmentEstimate> {
+        self.segments.get(&SegmentKey { key, relay })
+    }
+
+    /// Stitched prediction for a relayed option between spatial keys `a` and
+    /// `b`, in linearized space: `(mean, sem)` per metric. Returns `None` for
+    /// the direct option (tomography is relay-based) or when a needed
+    /// segment is unsolved.
+    pub fn stitch(
+        &self,
+        a: u32,
+        b: u32,
+        option: RelayOption,
+        backbone: &dyn Fn(RelayId, RelayId) -> PathMetrics,
+    ) -> Option<([f64; 3], [f64; 3])> {
+        match option.canonical() {
+            RelayOption::Direct => None,
+            RelayOption::Bounce(r) => {
+                let sa = self.segments.get(&SegmentKey { key: a, relay: r })?;
+                let sb = self.segments.get(&SegmentKey { key: b, relay: r })?;
+                let mut mean = [0.0; 3];
+                let mut sem = [0.0; 3];
+                for m in 0..3 {
+                    mean[m] = sa.value[m] + sb.value[m];
+                    sem[m] = (sa.sem[m].powi(2) + sb.sem[m].powi(2)).sqrt();
+                }
+                Some((mean, sem))
+            }
+            RelayOption::Transit(r1, r2) => {
+                // Try both orientations; use the better-covered one.
+                let fwd = self
+                    .segments
+                    .get(&SegmentKey { key: a, relay: r1 })
+                    .zip(self.segments.get(&SegmentKey { key: b, relay: r2 }));
+                let rev = self
+                    .segments
+                    .get(&SegmentKey { key: a, relay: r2 })
+                    .zip(self.segments.get(&SegmentKey { key: b, relay: r1 }));
+                let (sa, sb) = match (fwd, rev) {
+                    (Some(f), Some(r)) => {
+                        if f.0.n_obs + f.1.n_obs >= r.0.n_obs + r.1.n_obs {
+                            f
+                        } else {
+                            r
+                        }
+                    }
+                    (Some(f), None) => f,
+                    (None, Some(r)) => r,
+                    (None, None) => return None,
+                };
+                let bbm = backbone(r1, r2);
+                let mut mean = [0.0; 3];
+                let mut sem = [0.0; 3];
+                for (m_idx, &metric) in Metric::ALL.iter().enumerate() {
+                    mean[m_idx] =
+                        sa.value[m_idx] + sb.value[m_idx] + linearize(metric, bbm[metric]);
+                    sem[m_idx] = (sa.sem[m_idx].powi(2) + sb.sem[m_idx].powi(2)).sqrt();
+                }
+                Some((mean, sem))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::KeyPair;
+    use proptest::prelude::*;
+    use via_model::time::{SimTime, WindowLen};
+
+    #[test]
+    fn linearize_roundtrips() {
+        for metric in Metric::ALL {
+            for v in [0.0, 0.5, 5.0, 50.0] {
+                let x = linearize(metric, v);
+                let back = delinearize(metric, x);
+                assert!((back - v).abs() < 1e-9, "{metric} {v} → {x} → {back}");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_linearization_composes_multiplicatively() {
+        // Two segments at 2% and 3% loss: end-to-end = 1 − 0.98·0.97.
+        let x = linearize(Metric::Loss, 2.0) + linearize(Metric::Loss, 3.0);
+        let combined = delinearize(Metric::Loss, x);
+        assert!((combined - (100.0 * (1.0 - 0.98 * 0.97))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_linearization_adds_in_quadrature() {
+        let x = linearize(Metric::Jitter, 3.0) + linearize(Metric::Jitter, 4.0);
+        assert!((delinearize(Metric::Jitter, x) - 5.0).abs() < 1e-12);
+    }
+
+    /// Builds a synthetic ground truth of segment values, observes a few
+    /// bounce paths, and checks that the solver recovers held-out paths.
+    #[test]
+    fn solver_recovers_figure_11_scenario() {
+        // Figure 11: calls AS1↔AS4, AS2↔AS3, AS1↔AS2 through relay RN exist;
+        // predict AS3↔AS4.
+        let truth = |a: u32| 20.0 + 10.0 * a as f64; // u[a, RN] in ms
+        let r = RelayId(0);
+        let window = WindowLen::DAY.window_of(SimTime::ZERO);
+        let mut h = CallHistory::new();
+        let mut push = |a: u32, b: u32| {
+            let y = truth(a) + truth(b);
+            for _ in 0..10 {
+                h.record(
+                    window,
+                    KeyPair::new(a, b),
+                    RelayOption::Bounce(r),
+                    &PathMetrics::new(y, 0.0, 0.0),
+                );
+            }
+        };
+        push(1, 4);
+        push(2, 3);
+        push(1, 2);
+
+        let bb = |_: RelayId, _: RelayId| PathMetrics::ZERO;
+        let tomo = Tomography::fit(&h, window, &bb, &TomographyConfig::default());
+        let (mean, _) = tomo
+            .stitch(3, 4, RelayOption::Bounce(r), &bb)
+            .expect("stitched");
+        let expected = truth(3) + truth(4);
+        assert!(
+            (mean[0] - expected).abs() < 1.0,
+            "predicted {} expected {expected}",
+            mean[0]
+        );
+    }
+
+    #[test]
+    fn transit_stitching_subtracts_backbone() {
+        let r1 = RelayId(0);
+        let r2 = RelayId(1);
+        let window = WindowLen::DAY.window_of(SimTime::ZERO);
+        let mut h = CallHistory::new();
+        // Ground truth: u[1,r1]=30, u[2,r2]=50, backbone=40.
+        for _ in 0..10 {
+            h.record(
+                window,
+                KeyPair::new(1, 2),
+                RelayOption::Transit(r1, r2),
+                &PathMetrics::new(120.0, 0.0, 0.0),
+            );
+            // Anchor the split with bounce observations on each side.
+            h.record(
+                window,
+                KeyPair::new(1, 1),
+                RelayOption::Bounce(r1),
+                &PathMetrics::new(60.0, 0.0, 0.0),
+            );
+            h.record(
+                window,
+                KeyPair::new(2, 2),
+                RelayOption::Bounce(r2),
+                &PathMetrics::new(100.0, 0.0, 0.0),
+            );
+        }
+        let bb = |_: RelayId, _: RelayId| PathMetrics::new(40.0, 0.0, 0.0);
+        let tomo = Tomography::fit(&h, window, &bb, &TomographyConfig::default());
+        let (mean, _) = tomo
+            .stitch(1, 2, RelayOption::Transit(r1, r2), &bb)
+            .expect("stitched");
+        assert!((mean[0] - 120.0).abs() < 3.0, "got {}", mean[0]);
+    }
+
+    #[test]
+    fn empty_window_yields_empty_model() {
+        let h = CallHistory::new();
+        let window = WindowLen::DAY.window_of(SimTime::ZERO);
+        let bb = |_: RelayId, _: RelayId| PathMetrics::ZERO;
+        let tomo = Tomography::fit(&h, window, &bb, &TomographyConfig::default());
+        assert!(tomo.is_empty());
+        assert!(tomo.stitch(0, 1, RelayOption::Bounce(RelayId(0)), &bb).is_none());
+    }
+
+    #[test]
+    fn direct_paths_are_not_stitched() {
+        let tomo = Tomography::default();
+        let bb = |_: RelayId, _: RelayId| PathMetrics::ZERO;
+        assert!(tomo.stitch(0, 1, RelayOption::Direct, &bb).is_none());
+    }
+
+    #[test]
+    fn sem_shrinks_with_more_data() {
+        let r = RelayId(0);
+        let window = WindowLen::DAY.window_of(SimTime::ZERO);
+        let bb = |_: RelayId, _: RelayId| PathMetrics::ZERO;
+
+        let fit_with = |n_pairs: u32| {
+            let mut h = CallHistory::new();
+            for a in 0..n_pairs {
+                for b in (a + 1)..n_pairs {
+                    // Noisy observations around u=50 per side.
+                    for k in 0..5 {
+                        let y = 100.0 + (k as f64 - 2.0) * 4.0;
+                        h.record(
+                            window,
+                            KeyPair::new(a, b),
+                            RelayOption::Bounce(r),
+                            &PathMetrics::new(y, 0.0, 0.0),
+                        );
+                    }
+                }
+            }
+            let tomo = Tomography::fit(&h, window, &bb, &TomographyConfig::default());
+            tomo.segment(0, r).map(|s| s.sem[0])
+        };
+
+        let sparse = fit_with(3).unwrap();
+        let dense = fit_with(8).unwrap();
+        assert!(
+            dense <= sparse,
+            "denser coverage should not increase SEM ({dense} vs {sparse})"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn linearize_is_monotone(m_idx in 0usize..3, a in 0f64..99.0, b in 0f64..99.0) {
+            let metric = Metric::ALL[m_idx];
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(linearize(metric, lo) <= linearize(metric, hi) + 1e-12);
+        }
+
+        #[test]
+        fn delinearize_roundtrip(m_idx in 0usize..3, v in 0f64..95.0) {
+            let metric = Metric::ALL[m_idx];
+            let back = delinearize(metric, linearize(metric, v));
+            prop_assert!((back - v).abs() < 1e-6);
+        }
+
+        #[test]
+        fn linearize_sem_nonnegative(m_idx in 0usize..3, mean in 0f64..95.0, sem in 0f64..10.0) {
+            let metric = Metric::ALL[m_idx];
+            prop_assert!(linearize_sem(metric, mean, sem) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Dynamic top-k pruning of relaying options (Algorithm 2 of the paper).
+//!
+//! Rather than a fixed k, VIA selects the *minimal* set of options such that
+//! the lower 95 % confidence bound of every option outside the set is higher
+//! (worse) than the upper bound of every option inside it — i.e. the system
+//! is statistically confident every excluded option is worse than every kept
+//! one. Overlapping confidence intervals therefore pull options *into* the
+//! set, so uncertain candidates are kept for exploration rather than
+//! discarded.
+
+use via_model::metrics::Metric;
+use via_model::options::RelayOption;
+
+use crate::predictor::Prediction;
+
+/// An option with its confidence bounds on the objective metric.
+#[derive(Debug, Clone, Copy)]
+pub struct ScoredOption {
+    /// The relaying option.
+    pub option: RelayOption,
+    /// Predicted mean on the objective metric.
+    pub mean: f64,
+    /// `Pred_lower` on the objective metric.
+    pub lower: f64,
+    /// `Pred_upper` on the objective metric.
+    pub upper: f64,
+}
+
+impl ScoredOption {
+    /// Scores an option from a prediction for the given objective metric.
+    pub fn from_prediction(option: RelayOption, pred: &Prediction, metric: Metric) -> Self {
+        Self {
+            option,
+            mean: pred.mean(metric),
+            lower: pred.lower(metric),
+            upper: pred.upper(metric),
+        }
+    }
+}
+
+/// Computes the top-k closure: the minimal set `S` such that
+/// `min_{r ∉ S} lower(r) > max_{r ∈ S} upper(r)` — equivalently, the closure
+/// of "take the best upper bound, then pull in everything whose lower bound
+/// overlaps the set's worst upper bound".
+///
+/// Returns the selected options ordered by predicted mean (best first).
+/// An empty input yields an empty set.
+pub fn top_k(scored: &[ScoredOption]) -> Vec<ScoredOption> {
+    if scored.is_empty() {
+        return Vec::new();
+    }
+    // Sort by lower bound: candidates join the set in this order.
+    let mut by_lower: Vec<&ScoredOption> = scored.iter().collect();
+    by_lower.sort_by(|a, b| {
+        a.lower
+            .partial_cmp(&b.lower)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // Seed with the option with the smallest upper bound: it can never be
+    // excluded (its own lower ≤ its upper ≤ anything's upper).
+    let seed_upper = scored
+        .iter()
+        .map(|s| s.upper)
+        .fold(f64::INFINITY, f64::min);
+
+    let mut max_upper = seed_upper;
+    let mut selected: Vec<ScoredOption> = Vec::new();
+    let mut i = 0;
+    // Every option with lower ≤ current max_upper joins; joining may raise
+    // max_upper, admitting more. by_lower ordering makes one pass a fixpoint.
+    while i < by_lower.len() {
+        let cand = by_lower[i];
+        if cand.lower <= max_upper {
+            if cand.upper > max_upper {
+                max_upper = cand.upper;
+            }
+            selected.push(*cand);
+            i += 1;
+        } else {
+            break;
+        }
+    }
+
+    selected.sort_by(|a, b| {
+        a.mean
+            .partial_cmp(&b.mean)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use via_model::ids::RelayId;
+
+    fn opt(i: u32) -> RelayOption {
+        RelayOption::Bounce(RelayId(i))
+    }
+
+    fn so(i: u32, lower: f64, upper: f64) -> ScoredOption {
+        ScoredOption {
+            option: opt(i),
+            mean: (lower + upper) / 2.0,
+            lower,
+            upper,
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(top_k(&[]).is_empty());
+    }
+
+    #[test]
+    fn disjoint_intervals_select_single_best() {
+        let scored = [so(0, 10.0, 20.0), so(1, 30.0, 40.0), so(2, 50.0, 60.0)];
+        let sel = top_k(&scored);
+        assert_eq!(sel.len(), 1);
+        assert_eq!(sel[0].option, opt(0));
+    }
+
+    #[test]
+    fn overlapping_intervals_are_pulled_in() {
+        // 0: [10,25], 1: [20,35], 2: [35,50], 3: [60,70]
+        // Seed upper = 25. 1 overlaps (20 ≤ 25) → max_upper 35. 2 overlaps
+        // (35 ≤ 35) → max_upper 50. 3 does not (60 > 50).
+        let scored = [
+            so(0, 10.0, 25.0),
+            so(1, 20.0, 35.0),
+            so(2, 35.0, 50.0),
+            so(3, 60.0, 70.0),
+        ];
+        let sel = top_k(&scored);
+        let picked: Vec<RelayOption> = sel.iter().map(|s| s.option).collect();
+        assert_eq!(picked.len(), 3);
+        assert!(picked.contains(&opt(0)) && picked.contains(&opt(1)) && picked.contains(&opt(2)));
+    }
+
+    #[test]
+    fn identical_intervals_all_selected() {
+        let scored = [so(0, 10.0, 20.0), so(1, 10.0, 20.0), so(2, 10.0, 20.0)];
+        assert_eq!(top_k(&scored).len(), 3);
+    }
+
+    #[test]
+    fn result_sorted_by_mean() {
+        let scored = [so(1, 20.0, 35.0), so(0, 10.0, 25.0)];
+        let sel = top_k(&scored);
+        assert_eq!(sel[0].option, opt(0));
+        assert!(sel[0].mean <= sel[1].mean);
+    }
+
+    #[test]
+    fn wide_uncertainty_keeps_everything() {
+        // A single very-uncertain option overlapping all others pulls in the
+        // whole chain that overlaps transitively.
+        let scored = [so(0, 5.0, 100.0), so(1, 50.0, 60.0), so(2, 90.0, 95.0)];
+        assert_eq!(top_k(&scored).len(), 3);
+    }
+
+    proptest! {
+        /// The defining invariant: every excluded option's lower bound must
+        /// exceed every included option's upper bound.
+        #[test]
+        fn exclusion_invariant(bounds in prop::collection::vec((0f64..100.0, 0f64..50.0), 1..20)) {
+            let scored: Vec<ScoredOption> = bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, width))| so(i as u32, lo, lo + width))
+                .collect();
+            let sel = top_k(&scored);
+            prop_assert!(!sel.is_empty());
+            let max_upper = sel.iter().map(|s| s.upper).fold(f64::NEG_INFINITY, f64::max);
+            let selected_opts: Vec<RelayOption> = sel.iter().map(|s| s.option).collect();
+            for s in &scored {
+                if !selected_opts.contains(&s.option) {
+                    prop_assert!(s.lower > max_upper,
+                        "excluded option lower {} ≤ set max upper {}", s.lower, max_upper);
+                }
+            }
+        }
+
+        /// Minimality: dropping the member with the largest upper bound must
+        /// break the invariant (unless it is the only member or shares its
+        /// lower bound with the boundary).
+        #[test]
+        fn contains_min_upper_option(bounds in prop::collection::vec((0f64..100.0, 0f64..50.0), 1..20)) {
+            let scored: Vec<ScoredOption> = bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, width))| so(i as u32, lo, lo + width))
+                .collect();
+            let sel = top_k(&scored);
+            // The option with the globally smallest upper bound is always in.
+            let min_upper = scored
+                .iter()
+                .min_by(|a, b| a.upper.partial_cmp(&b.upper).unwrap())
+                .unwrap();
+            prop_assert!(sel.iter().any(|s| s.option == min_upper.option));
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Shared infrastructure for the experiment binaries.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` (see
+//! DESIGN.md §4 for the index). This library provides the common pieces:
+//! standard world/trace construction, the output directory layout, result
+//! serialization, and small table-printing helpers so each binary prints the
+//! same rows the paper reports.
+//!
+//! Binaries accept an optional `--scale tiny|small|paper` argument (default
+//! `small` — minutes, not hours, on a laptop) and an optional `--seed N`.
+
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use via_core::replay::{ReplayConfig, ReplaySim};
+use via_core::strategy::StrategyKind;
+use via_core::Outcome;
+use via_model::metrics::Metric;
+use via_netsim::{World, WorldConfig};
+use via_trace::{Trace, TraceConfig, TraceGenerator};
+
+/// Experiment scale preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds: CI smoke runs.
+    Tiny,
+    /// Tens of seconds: the default.
+    Small,
+    /// Minutes: full paper-shaped run (~1 M calls).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `tiny|small|paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// World preset for this scale.
+    pub fn world_config(self) -> WorldConfig {
+        match self {
+            Scale::Tiny => WorldConfig::tiny(),
+            Scale::Small => WorldConfig::small(),
+            Scale::Paper => WorldConfig::paper_scale(),
+        }
+    }
+
+    /// Trace preset for this scale.
+    pub fn trace_config(self) -> TraceConfig {
+        match self {
+            Scale::Tiny => TraceConfig::tiny(),
+            Scale::Small => TraceConfig::small(),
+            Scale::Paper => TraceConfig::paper_scale(),
+        }
+    }
+}
+
+/// Parsed common CLI arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct Args {
+    /// Selected scale.
+    pub scale: Scale,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `--scale` and `--seed` from `std::env::args`.
+    pub fn parse() -> Args {
+        let mut scale = Scale::Small;
+        let mut seed = 2016; // SIGCOMM 2016
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    scale = argv
+                        .get(i + 1)
+                        .and_then(|s| Scale::parse(s))
+                        .unwrap_or_else(|| panic!("--scale expects tiny|small|paper"));
+                    i += 2;
+                }
+                "--seed" => {
+                    seed = argv
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed expects an integer"));
+                    i += 2;
+                }
+                other => panic!("unknown argument {other}; use --scale tiny|small|paper, --seed N"),
+            }
+        }
+        Args { scale, seed }
+    }
+}
+
+/// A generated experiment environment: world + trace.
+pub struct Env {
+    /// The synthetic world.
+    pub world: World,
+    /// The call trace over it.
+    pub trace: Trace,
+    /// The seed everything derives from.
+    pub seed: u64,
+}
+
+/// Builds the standard environment for an experiment.
+pub fn build_env(args: Args) -> Env {
+    let world = World::generate(&args.scale.world_config(), args.seed);
+    let trace = TraceGenerator::new(&world, args.scale.trace_config(), args.seed).generate();
+    Env {
+        world,
+        trace,
+        seed: args.seed,
+    }
+}
+
+impl Env {
+    /// Runs one strategy with the given objective metric, standard config.
+    pub fn run(&self, kind: StrategyKind, objective: Metric) -> Outcome {
+        let cfg = ReplayConfig {
+            objective,
+            seed: self.seed,
+            ..ReplayConfig::default()
+        };
+        ReplaySim::new(&self.world, &self.trace, cfg).run(kind)
+    }
+
+    /// Runs one strategy with a custom replay config.
+    pub fn run_with(&self, kind: StrategyKind, cfg: ReplayConfig) -> Outcome {
+        ReplaySim::new(&self.world, &self.trace, cfg).run(kind)
+    }
+}
+
+/// The §5.1 evaluation filter: "for statistical confidence, in each 24-hour
+/// window, we focus on AS pairs where there are at least 10 calls" (the paper
+/// keeps 32 M of 430 M calls this way). Also skips a warm-up prefix of
+/// windows so learning strategies are past their cold start, as the paper's
+/// seven-month replay naturally is.
+///
+/// Returns one flag per trace record: `true` if the call participates in
+/// evaluation. Apply the same mask to every strategy's outcome.
+pub fn eligible_calls(
+    trace: &Trace,
+    window: via_model::WindowLen,
+    min_calls_per_window: usize,
+    warmup_windows: u64,
+) -> Vec<bool> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<(via_model::AsPair, u64), usize> = HashMap::new();
+    for r in &trace.records {
+        *counts
+            .entry((r.as_pair(), window.window_of(r.t).index))
+            .or_default() += 1;
+    }
+    trace
+        .records
+        .iter()
+        .map(|r| {
+            let w = window.window_of(r.t).index;
+            w >= warmup_windows && counts[&(r.as_pair(), w)] >= min_calls_per_window
+        })
+        .collect()
+}
+
+impl Env {
+    /// Standard evaluation mask for this environment: the §5.1 density
+    /// filter at the scale-appropriate threshold plus a 2-window warm-up.
+    pub fn eligible(&self, scale: Scale) -> Vec<bool> {
+        let min_calls = match scale {
+            Scale::Tiny => 5,
+            Scale::Small => 10,
+            Scale::Paper => 10,
+        };
+        eligible_calls(&self.trace, via_model::WindowLen::DAY, min_calls, 2)
+    }
+}
+
+/// PNR of an outcome restricted to the eligible mask.
+pub fn pnr_masked(
+    outcome: &Outcome,
+    mask: &[bool],
+    thresholds: &via_model::Thresholds,
+) -> via_quality::PnrReport {
+    via_quality::PnrReport::from_calls(
+        outcome
+            .calls
+            .iter()
+            .filter(|c| mask[c.call_index as usize])
+            .map(|c| &c.metrics),
+        thresholds,
+    )
+}
+
+/// Metric values of an outcome restricted to the eligible mask.
+pub fn metric_values_masked(
+    outcome: &Outcome,
+    mask: &[bool],
+    metric: Metric,
+) -> Vec<f64> {
+    outcome
+        .calls
+        .iter()
+        .filter(|c| mask[c.call_index as usize])
+        .map(|c| c.metrics[metric])
+        .collect()
+}
+
+/// Output directory for experiment artifacts (`experiments/out`), created on
+/// demand.
+pub fn out_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("experiments")
+        .join("out");
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    dir
+}
+
+/// Writes an experiment's result object as pretty JSON under
+/// `experiments/out/<name>.json` and returns the path.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = out_dir().join(format!("{name}.json"));
+    let file = std::fs::File::create(&path).expect("create result file");
+    serde_json::to_writer_pretty(file, value).expect("serialize result");
+    path
+}
+
+/// Prints a markdown table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown table header (and separator).
+pub fn header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+}
+
+/// Formats a fraction as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn env_builds_at_tiny_scale() {
+        let env = build_env(Args {
+            scale: Scale::Tiny,
+            seed: 1,
+        });
+        assert!(!env.trace.is_empty());
+        assert!(env.trace.is_chronological());
+    }
+
+    #[test]
+    fn out_dir_exists_after_call() {
+        let d = out_dir();
+        assert!(d.is_dir());
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

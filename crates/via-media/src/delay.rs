@@ -1,0 +1,119 @@
+//! Per-packet one-way delay process.
+//!
+//! Packets experience a base propagation/queueing delay plus a time-correlated
+//! variation (queue depth changes slowly relative to the 20 ms packet
+//! interval). The variation follows a discrete Ornstein–Uhlenbeck (AR(1))
+//! process, plus occasional delay spikes — the "transient latency spikes" the
+//! paper notes are invisible in per-call averages.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Normal};
+
+/// Correlated delay process for one direction of one call.
+#[derive(Debug, Clone)]
+pub struct DelayModel {
+    /// Base one-way delay, ms.
+    pub base_ms: f64,
+    /// Standard deviation of the stationary delay variation, ms.
+    pub sigma_ms: f64,
+    /// AR(1) coefficient per packet (0 = white noise, →1 = slow drift).
+    pub rho: f64,
+    /// Per-packet probability of a delay spike.
+    pub spike_prob: f64,
+    /// Mean spike magnitude, ms.
+    pub spike_ms: f64,
+    state: f64,
+}
+
+impl DelayModel {
+    /// Builds a delay process. `sigma_ms` is derived from a target RFC 3550
+    /// jitter via [`DelayModel::for_target_jitter`] in most callers.
+    pub fn new(base_ms: f64, sigma_ms: f64, rho: f64, spike_prob: f64, spike_ms: f64) -> Self {
+        Self {
+            base_ms: base_ms.max(0.0),
+            sigma_ms: sigma_ms.max(0.0),
+            rho: rho.clamp(0.0, 0.999),
+            spike_prob: spike_prob.clamp(0.0, 1.0),
+            spike_ms: spike_ms.max(0.0),
+            state: 0.0,
+        }
+    }
+
+    /// Builds a process whose RFC 3550 interarrival jitter estimate lands
+    /// near `jitter_ms`.
+    ///
+    /// For an AR(1) process with stationary deviation σ and coefficient ρ,
+    /// consecutive-difference deviations are σ·√(2(1−ρ)); the RFC 3550
+    /// estimator converges to the mean |difference| ≈ 0.8·σ_diff for
+    /// Gaussian variation. Inverting gives σ.
+    pub fn for_target_jitter(base_ms: f64, jitter_ms: f64, rho: f64) -> Self {
+        let sigma_diff = (jitter_ms / 0.8).max(0.0);
+        let sigma = sigma_diff / (2.0 * (1.0 - rho.clamp(0.0, 0.999))).sqrt();
+        Self::new(base_ms, sigma, rho, 0.004, 4.0 * jitter_ms.max(1.0))
+    }
+
+    /// One-way delay of the next packet, ms.
+    pub fn next_delay(&mut self, rng: &mut StdRng) -> f64 {
+        if self.sigma_ms > 0.0 {
+            let innovation = Normal::new(0.0, self.sigma_ms * (1.0 - self.rho * self.rho).sqrt())
+                .expect("valid normal")
+                .sample(rng);
+            self.state = self.rho * self.state + innovation;
+        }
+        let mut d = self.base_ms + self.state;
+        if self.spike_prob > 0.0 && rng.random::<f64>() < self.spike_prob {
+            d += self.spike_ms * (0.5 + rng.random::<f64>());
+        }
+        d.max(self.base_ms * 0.2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_model::stats::OnlineStats;
+
+    #[test]
+    fn mean_delay_near_base() {
+        let mut m = DelayModel::new(50.0, 3.0, 0.9, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = OnlineStats::new();
+        for _ in 0..50_000 {
+            s.push(m.next_delay(&mut rng));
+        }
+        let mean = s.mean().unwrap();
+        assert!((mean - 50.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn delays_are_autocorrelated() {
+        let mut m = DelayModel::new(50.0, 5.0, 0.95, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| m.next_delay(&mut rng)).collect();
+        let pairs: Vec<(f64, f64)> = xs.windows(2).map(|w| (w[0], w[1])).collect();
+        let r = via_model::stats::pearson(&pairs).unwrap();
+        assert!(r > 0.8, "lag-1 autocorrelation {r} too low for rho=0.95");
+    }
+
+    #[test]
+    fn spikes_raise_the_tail() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut no_spike = DelayModel::new(50.0, 2.0, 0.5, 0.0, 0.0);
+        let mut spiky = DelayModel::new(50.0, 2.0, 0.5, 0.02, 100.0);
+        let a: Vec<f64> = (0..20_000).map(|_| no_spike.next_delay(&mut rng)).collect();
+        let b: Vec<f64> = (0..20_000).map(|_| spiky.next_delay(&mut rng)).collect();
+        let p99a = via_model::stats::percentile(&a, 99.0).unwrap();
+        let p99b = via_model::stats::percentile(&b, 99.0).unwrap();
+        assert!(p99b > p99a + 20.0, "spikes invisible: {p99a} vs {p99b}");
+    }
+
+    #[test]
+    fn delay_never_negative() {
+        let mut m = DelayModel::new(5.0, 50.0, 0.0, 0.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            assert!(m.next_delay(&mut rng) > 0.0);
+        }
+    }
+}

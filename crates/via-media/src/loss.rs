@@ -1,0 +1,147 @@
+//! Gilbert–Elliott bursty packet loss.
+//!
+//! Real VoIP loss is bursty: congestion events drop runs of consecutive
+//! packets. The two-state Gilbert–Elliott chain is the standard model — a
+//! *good* state with near-zero loss and a *bad* state with high loss, with
+//! geometric sojourn times. The per-call average loss reported in the
+//! paper's dataset is this chain's stationary loss rate; the burst structure
+//! is what the packet-trace MOS of §2.2 sees and the averaged metrics hide.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Two-state Gilbert–Elliott loss process.
+#[derive(Debug, Clone)]
+pub struct GilbertElliott {
+    /// P(good → bad) per packet.
+    pub p_gb: f64,
+    /// P(bad → good) per packet.
+    pub p_bg: f64,
+    /// Loss probability in the good state.
+    pub loss_good: f64,
+    /// Loss probability in the bad state.
+    pub loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Builds a chain with explicit parameters. Probabilities are clamped to
+    /// [0, 1]; `p_bg` is floored at a tiny value so the bad state cannot be
+    /// absorbing.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        Self {
+            p_gb: p_gb.clamp(0.0, 1.0),
+            p_bg: p_bg.clamp(1e-6, 1.0),
+            loss_good: loss_good.clamp(0.0, 1.0),
+            loss_bad: loss_bad.clamp(0.0, 1.0),
+            in_bad: false,
+        }
+    }
+
+    /// Builds a chain whose *stationary* loss rate is `mean_loss_pct`
+    /// (percent) with mean burst length `burst_len` packets in the bad state.
+    ///
+    /// The bad state drops `loss_bad` of packets; the good state is clean.
+    /// Stationary P(bad) = p_gb / (p_gb + p_bg); mean loss =
+    /// P(bad)·loss_bad.
+    pub fn with_mean_loss(mean_loss_pct: f64, burst_len: f64, rng_hint: &mut StdRng) -> Self {
+        let loss_bad: f64 = 0.7;
+        let mean = (mean_loss_pct / 100.0).clamp(0.0, 0.65);
+        let p_bg = 1.0 / burst_len.max(1.0);
+        // P(bad) needed: mean / loss_bad. From p_gb/(p_gb+p_bg) = P(bad):
+        let p_bad = (mean / loss_bad).min(0.95);
+        let p_gb = if p_bad >= 0.95 {
+            1.0
+        } else {
+            p_bg * p_bad / (1.0 - p_bad)
+        };
+        let mut ge = Self::new(p_gb, p_bg, 0.0, loss_bad);
+        // Start from the stationary distribution so short calls are unbiased.
+        ge.in_bad = rng_hint.random::<f64>() < p_bad;
+        ge
+    }
+
+    /// Advances the chain one packet; returns true if the packet is lost.
+    pub fn next_lost(&mut self, rng: &mut StdRng) -> bool {
+        if self.in_bad {
+            if rng.random::<f64>() < self.p_bg {
+                self.in_bad = false;
+            }
+        } else if rng.random::<f64>() < self.p_gb {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        rng.random::<f64>() < p
+    }
+
+    /// Stationary loss probability of the chain.
+    pub fn stationary_loss(&self) -> f64 {
+        let p_bad = self.p_gb / (self.p_gb + self.p_bg);
+        p_bad * self.loss_bad + (1.0 - p_bad) * self.loss_good
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stationary_loss_matches_target() {
+        let mut seed_rng = StdRng::seed_from_u64(4);
+        for target in [0.3, 1.0, 3.0, 8.0] {
+            let mut ge = GilbertElliott::with_mean_loss(target, 6.0, &mut seed_rng);
+            assert!((ge.stationary_loss() * 100.0 - target).abs() < 0.05);
+            let mut rng = StdRng::seed_from_u64(9);
+            let n = 300_000;
+            let lost = (0..n).filter(|_| ge.next_lost(&mut rng)).count();
+            let measured = 100.0 * lost as f64 / n as f64;
+            assert!(
+                (measured - target).abs() / target < 0.15,
+                "target {target}% measured {measured}%"
+            );
+        }
+    }
+
+    #[test]
+    fn losses_are_bursty() {
+        let mut seed_rng = StdRng::seed_from_u64(5);
+        let mut ge = GilbertElliott::with_mean_loss(5.0, 8.0, &mut seed_rng);
+        let mut rng = StdRng::seed_from_u64(6);
+        let outcomes: Vec<bool> = (0..200_000).map(|_| ge.next_lost(&mut rng)).collect();
+        // Conditional loss probability after a loss must exceed marginal.
+        let marginal = outcomes.iter().filter(|&&l| l).count() as f64 / outcomes.len() as f64;
+        let mut after_loss = 0usize;
+        let mut losses = 0usize;
+        for w in outcomes.windows(2) {
+            if w[0] {
+                losses += 1;
+                if w[1] {
+                    after_loss += 1;
+                }
+            }
+        }
+        let conditional = after_loss as f64 / losses as f64;
+        assert!(
+            conditional > 2.0 * marginal,
+            "conditional {conditional:.3} vs marginal {marginal:.3}: not bursty"
+        );
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut seed_rng = StdRng::seed_from_u64(1);
+        let mut ge = GilbertElliott::with_mean_loss(0.0, 5.0, &mut seed_rng);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!((0..10_000).all(|_| !ge.next_lost(&mut rng)));
+    }
+
+    #[test]
+    fn bad_state_is_never_absorbing() {
+        let ge = GilbertElliott::new(0.5, 0.0, 0.0, 1.0);
+        assert!(ge.p_bg > 0.0);
+    }
+}

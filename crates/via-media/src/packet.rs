@@ -1,0 +1,204 @@
+//! RTP packet headers (RFC 3550 §5.1): wire encoding and parsing.
+//!
+//! The media simulator and the testbed's probe streams both speak real RTP
+//! fixed headers, so packet traces can be inspected with standard tooling and
+//! the jitter arithmetic operates on the same fields a VoIP client uses
+//! (sequence number, 8 kHz media timestamp).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// RTP protocol version (always 2).
+pub const RTP_VERSION: u8 = 2;
+/// Fixed header length in bytes (no CSRCs, no extensions).
+pub const RTP_HEADER_LEN: usize = 12;
+/// Media clock rate for narrowband audio, Hz.
+pub const AUDIO_CLOCK_HZ: u32 = 8_000;
+
+/// A parsed RTP fixed header plus payload length (payload bytes themselves
+/// are irrelevant to network simulation and are not stored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RtpPacket {
+    /// Payload type (e.g. 0 = PCMU).
+    pub payload_type: u8,
+    /// Marker bit (start of talkspurt).
+    pub marker: bool,
+    /// Sequence number, wrapping u16.
+    pub seq: u16,
+    /// Media timestamp in clock units (8 kHz for audio).
+    pub timestamp: u32,
+    /// Synchronization source identifier.
+    pub ssrc: u32,
+    /// Length of the payload that followed the header.
+    pub payload_len: usize,
+}
+
+/// Errors from parsing an RTP datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtpParseError {
+    /// Fewer than 12 bytes.
+    TooShort,
+    /// Version field was not 2.
+    BadVersion(u8),
+    /// CSRC count or extension indicated a header longer than the datagram.
+    Truncated,
+}
+
+impl std::fmt::Display for RtpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtpParseError::TooShort => write!(f, "datagram shorter than RTP header"),
+            RtpParseError::BadVersion(v) => write!(f, "unsupported RTP version {v}"),
+            RtpParseError::Truncated => write!(f, "RTP header fields exceed datagram"),
+        }
+    }
+}
+
+impl std::error::Error for RtpParseError {}
+
+impl RtpPacket {
+    /// Serializes the fixed header followed by `payload_len` zero bytes
+    /// (payload content does not matter to the network path).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(RTP_HEADER_LEN + self.payload_len);
+        let b0 = RTP_VERSION << 6; // no padding, no extension, zero CSRCs
+        buf.put_u8(b0);
+        let b1 = (u8::from(self.marker) << 7) | (self.payload_type & 0x7F);
+        buf.put_u8(b1);
+        buf.put_u16(self.seq);
+        buf.put_u32(self.timestamp);
+        buf.put_u32(self.ssrc);
+        buf.put_bytes(0, self.payload_len);
+        buf.freeze()
+    }
+
+    /// Parses a datagram into a header + payload length.
+    pub fn decode(mut data: &[u8]) -> Result<RtpPacket, RtpParseError> {
+        if data.len() < RTP_HEADER_LEN {
+            return Err(RtpParseError::TooShort);
+        }
+        let b0 = data.get_u8();
+        let version = b0 >> 6;
+        if version != RTP_VERSION {
+            return Err(RtpParseError::BadVersion(version));
+        }
+        let csrc_count = (b0 & 0x0F) as usize;
+        let has_extension = b0 & 0x10 != 0;
+        let b1 = data.get_u8();
+        let marker = b1 & 0x80 != 0;
+        let payload_type = b1 & 0x7F;
+        let seq = data.get_u16();
+        let timestamp = data.get_u32();
+        let ssrc = data.get_u32();
+
+        let mut header_extra = csrc_count * 4;
+        if data.len() < header_extra {
+            return Err(RtpParseError::Truncated);
+        }
+        data.advance(csrc_count * 4);
+        if has_extension {
+            if data.len() < 4 {
+                return Err(RtpParseError::Truncated);
+            }
+            data.advance(2); // profile-specific id
+            let ext_words = data.get_u16() as usize;
+            if data.len() < ext_words * 4 {
+                return Err(RtpParseError::Truncated);
+            }
+            data.advance(ext_words * 4);
+            header_extra += 4 + ext_words * 4;
+        }
+        let _ = header_extra;
+        Ok(RtpPacket {
+            payload_type,
+            marker,
+            seq,
+            timestamp,
+            ssrc,
+            payload_len: data.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> RtpPacket {
+        RtpPacket {
+            payload_type: 0,
+            marker: true,
+            seq: 0xABCD,
+            timestamp: 123_456_789,
+            ssrc: 0xDEAD_BEEF,
+            payload_len: 160,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample();
+        let wire = p.encode();
+        assert_eq!(wire.len(), RTP_HEADER_LEN + 160);
+        let back = RtpPacket::decode(&wire).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn wire_format_is_rfc3550() {
+        let wire = sample().encode();
+        assert_eq!(wire[0], 0b1000_0000, "V=2, P=0, X=0, CC=0");
+        assert_eq!(wire[1], 0b1000_0000, "M=1, PT=0");
+        assert_eq!(&wire[2..4], &[0xAB, 0xCD]);
+        assert_eq!(&wire[8..12], &[0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn rejects_short_and_bad_version() {
+        assert_eq!(RtpPacket::decode(&[0u8; 5]), Err(RtpParseError::TooShort));
+        let mut wire = sample().encode().to_vec();
+        wire[0] = 0b0100_0000; // version 1
+        assert_eq!(RtpPacket::decode(&wire), Err(RtpParseError::BadVersion(1)));
+    }
+
+    #[test]
+    fn skips_csrcs_and_extension() {
+        // Hand-build a header with 2 CSRCs and a 1-word extension.
+        let mut wire = Vec::new();
+        wire.push((RTP_VERSION << 6) | 0x10 | 2); // X=1, CC=2
+        wire.push(8); // PT=8
+        wire.extend_from_slice(&100u16.to_be_bytes());
+        wire.extend_from_slice(&1_000u32.to_be_bytes());
+        wire.extend_from_slice(&42u32.to_be_bytes());
+        wire.extend_from_slice(&[0; 8]); // 2 CSRCs
+        wire.extend_from_slice(&0u16.to_be_bytes()); // ext id
+        wire.extend_from_slice(&1u16.to_be_bytes()); // 1 word
+        wire.extend_from_slice(&[0; 4]); // ext body
+        wire.extend_from_slice(&[9; 20]); // payload
+        let p = RtpPacket::decode(&wire).unwrap();
+        assert_eq!(p.payload_type, 8);
+        assert_eq!(p.seq, 100);
+        assert_eq!(p.payload_len, 20);
+    }
+
+    #[test]
+    fn truncated_extension_detected() {
+        let mut wire = Vec::new();
+        wire.push((RTP_VERSION << 6) | 0x10);
+        wire.push(0);
+        wire.extend_from_slice(&[0; 10]);
+        wire.extend_from_slice(&0u16.to_be_bytes());
+        wire.extend_from_slice(&100u16.to_be_bytes()); // claims 100 words
+        assert_eq!(RtpPacket::decode(&wire), Err(RtpParseError::Truncated));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_header(pt in 0u8..128, marker in any::<bool>(), seq in any::<u16>(),
+                                ts in any::<u32>(), ssrc in any::<u32>(), len in 0usize..500) {
+            let p = RtpPacket { payload_type: pt, marker, seq, timestamp: ts, ssrc, payload_len: len };
+            let back = RtpPacket::decode(&p.encode()).unwrap();
+            prop_assert_eq!(back, p);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! RTCP receiver reports (RFC 3550 §6.4): the wire format VoIP clients use
+//! to feed network metrics back to their peers and — in VIA — to the
+//! controller.
+//!
+//! The paper's clients "periodically push the network metrics derived from
+//! their calls to the controller" (§3.1). A receiver report block carries
+//! exactly the fields VIA needs: cumulative loss, the loss fraction since
+//! the previous report, the highest sequence number received, interarrival
+//! jitter (in media-clock units), and the LSR/DLSR timestamps from which the
+//! sender computes RTT. This module implements the RR packet with one or
+//! more report blocks, plus the RTT arithmetic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// RTCP packet type for receiver reports.
+pub const RTCP_PT_RR: u8 = 201;
+/// Length of the RR header (version/count byte, PT, length, sender SSRC).
+pub const RR_HEADER_LEN: usize = 8;
+/// Length of one report block.
+pub const REPORT_BLOCK_LEN: usize = 24;
+
+/// One report block within a receiver report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportBlock {
+    /// SSRC of the stream this block reports on.
+    pub ssrc: u32,
+    /// Fraction of packets lost since the previous report, as a fixed-point
+    /// 8-bit value (loss × 256).
+    pub fraction_lost: u8,
+    /// Cumulative number of packets lost, 24-bit signed (clamped here to
+    /// the unsigned 24-bit range).
+    pub cumulative_lost: u32,
+    /// Extended highest sequence number received.
+    pub highest_seq: u32,
+    /// Interarrival jitter in media-clock units.
+    pub jitter: u32,
+    /// Middle 32 bits of the NTP timestamp of the last sender report (LSR).
+    pub last_sr: u32,
+    /// Delay since the last sender report, in 1/65536 s units (DLSR).
+    pub delay_since_last_sr: u32,
+}
+
+impl ReportBlock {
+    /// Encodes the loss fraction from a float in [0, 1].
+    pub fn fraction_from_f64(loss: f64) -> u8 {
+        (loss.clamp(0.0, 1.0) * 256.0).min(255.0) as u8
+    }
+
+    /// Decodes the loss fraction to a float in [0, 1].
+    pub fn fraction_as_f64(&self) -> f64 {
+        f64::from(self.fraction_lost) / 256.0
+    }
+
+    /// Jitter in milliseconds at the given media clock rate.
+    pub fn jitter_ms(&self, clock_hz: u32) -> f64 {
+        f64::from(self.jitter) / f64::from(clock_hz) * 1_000.0
+    }
+}
+
+/// A receiver report: reporter SSRC plus report blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiverReport {
+    /// SSRC of the reporting receiver.
+    pub reporter_ssrc: u32,
+    /// Report blocks (at most 31, per the 5-bit count field).
+    pub blocks: Vec<ReportBlock>,
+}
+
+/// RTCP parse failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtcpError {
+    /// Datagram shorter than the fixed header.
+    TooShort,
+    /// Version field was not 2.
+    BadVersion(u8),
+    /// Packet type was not RR.
+    NotReceiverReport(u8),
+    /// Length field disagrees with the block count.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for RtcpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtcpError::TooShort => write!(f, "datagram shorter than RTCP header"),
+            RtcpError::BadVersion(v) => write!(f, "unsupported RTCP version {v}"),
+            RtcpError::NotReceiverReport(pt) => write!(f, "not a receiver report (PT {pt})"),
+            RtcpError::LengthMismatch => write!(f, "RTCP length field inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for RtcpError {}
+
+impl ReceiverReport {
+    /// Builds an RR with a single block — the common case for one probe
+    /// stream.
+    pub fn single(reporter_ssrc: u32, block: ReportBlock) -> ReceiverReport {
+        ReceiverReport {
+            reporter_ssrc,
+            blocks: vec![block],
+        }
+    }
+
+    /// Serializes to wire format (RFC 3550 §6.4.2).
+    ///
+    /// # Panics
+    /// Panics if more than 31 blocks are present (the count field is 5 bits).
+    pub fn encode(&self) -> Bytes {
+        assert!(self.blocks.len() <= 31, "RR holds at most 31 blocks");
+        let len_words = (RR_HEADER_LEN + self.blocks.len() * REPORT_BLOCK_LEN) / 4 - 1;
+        let mut buf = BytesMut::with_capacity((len_words + 1) * 4);
+        buf.put_u8(0x80 | self.blocks.len() as u8); // V=2, P=0, RC
+        buf.put_u8(RTCP_PT_RR);
+        buf.put_u16(len_words as u16);
+        buf.put_u32(self.reporter_ssrc);
+        for b in &self.blocks {
+            buf.put_u32(b.ssrc);
+            buf.put_u8(b.fraction_lost);
+            let cum = b.cumulative_lost.min(0x00FF_FFFF);
+            buf.put_u8((cum >> 16) as u8);
+            buf.put_u16((cum & 0xFFFF) as u16);
+            buf.put_u32(b.highest_seq);
+            buf.put_u32(b.jitter);
+            buf.put_u32(b.last_sr);
+            buf.put_u32(b.delay_since_last_sr);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a receiver report.
+    pub fn decode(mut data: &[u8]) -> Result<ReceiverReport, RtcpError> {
+        if data.len() < RR_HEADER_LEN {
+            return Err(RtcpError::TooShort);
+        }
+        let b0 = data.get_u8();
+        let version = b0 >> 6;
+        if version != 2 {
+            return Err(RtcpError::BadVersion(version));
+        }
+        let count = (b0 & 0x1F) as usize;
+        let pt = data.get_u8();
+        if pt != RTCP_PT_RR {
+            return Err(RtcpError::NotReceiverReport(pt));
+        }
+        let len_words = data.get_u16() as usize;
+        let expected = (RR_HEADER_LEN + count * REPORT_BLOCK_LEN) / 4 - 1;
+        if len_words != expected || data.len() < 4 + count * REPORT_BLOCK_LEN {
+            return Err(RtcpError::LengthMismatch);
+        }
+        let reporter_ssrc = data.get_u32();
+        let mut blocks = Vec::with_capacity(count);
+        for _ in 0..count {
+            let ssrc = data.get_u32();
+            let fraction_lost = data.get_u8();
+            let hi = u32::from(data.get_u8());
+            let lo = u32::from(data.get_u16());
+            let cumulative_lost = (hi << 16) | lo;
+            blocks.push(ReportBlock {
+                ssrc,
+                fraction_lost,
+                cumulative_lost,
+                highest_seq: data.get_u32(),
+                jitter: data.get_u32(),
+                last_sr: data.get_u32(),
+                delay_since_last_sr: data.get_u32(),
+            });
+        }
+        Ok(ReceiverReport {
+            reporter_ssrc,
+            blocks,
+        })
+    }
+}
+
+/// RTT computation from RR fields (RFC 3550 §6.4.1): when the sender
+/// receives an RR at NTP-middle time `now`, the round-trip time is
+/// `now − LSR − DLSR`, all in 1/65536-second units. Returns milliseconds;
+/// `None` if the receiver never saw a sender report (LSR = 0).
+pub fn rtt_from_rr(now_ntp_middle: u32, block: &ReportBlock) -> Option<f64> {
+    if block.last_sr == 0 {
+        return None;
+    }
+    let delta = now_ntp_middle
+        .wrapping_sub(block.last_sr)
+        .wrapping_sub(block.delay_since_last_sr);
+    Some(f64::from(delta) / 65_536.0 * 1_000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn block() -> ReportBlock {
+        ReportBlock {
+            ssrc: 0x1234_5678,
+            fraction_lost: 25,
+            cumulative_lost: 1000,
+            highest_seq: 65_600,
+            jitter: 96,
+            last_sr: 0xAABB_CCDD,
+            delay_since_last_sr: 6_5536,
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_block() {
+        let rr = ReceiverReport::single(42, block());
+        let wire = rr.encode();
+        assert_eq!(wire.len(), RR_HEADER_LEN + REPORT_BLOCK_LEN);
+        let back = ReceiverReport::decode(&wire).unwrap();
+        assert_eq!(back, rr);
+    }
+
+    #[test]
+    fn roundtrip_multiple_blocks() {
+        let mut blocks = Vec::new();
+        for i in 0..5 {
+            let mut b = block();
+            b.ssrc = i;
+            blocks.push(b);
+        }
+        let rr = ReceiverReport {
+            reporter_ssrc: 7,
+            blocks,
+        };
+        let back = ReceiverReport::decode(&rr.encode()).unwrap();
+        assert_eq!(back.blocks.len(), 5);
+        assert_eq!(back, rr);
+    }
+
+    #[test]
+    fn wire_header_is_rfc3550() {
+        let rr = ReceiverReport::single(0x0102_0304, block());
+        let wire = rr.encode();
+        assert_eq!(wire[0], 0x81, "V=2, RC=1");
+        assert_eq!(wire[1], 201, "PT=RR");
+        // length = 7 32-bit words minus one.
+        assert_eq!(u16::from_be_bytes([wire[2], wire[3]]), 7);
+        assert_eq!(&wire[4..8], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert_eq!(ReceiverReport::decode(&[0x80]), Err(RtcpError::TooShort));
+        let mut wire = ReceiverReport::single(1, block()).encode().to_vec();
+        wire[0] = 0x41; // version 1
+        assert_eq!(
+            ReceiverReport::decode(&wire),
+            Err(RtcpError::BadVersion(1))
+        );
+        let mut wire2 = ReceiverReport::single(1, block()).encode().to_vec();
+        wire2[1] = 200; // SR, not RR
+        assert_eq!(
+            ReceiverReport::decode(&wire2),
+            Err(RtcpError::NotReceiverReport(200))
+        );
+        let mut wire3 = ReceiverReport::single(1, block()).encode().to_vec();
+        wire3[3] = 99; // bogus length
+        assert_eq!(
+            ReceiverReport::decode(&wire3),
+            Err(RtcpError::LengthMismatch)
+        );
+    }
+
+    #[test]
+    fn fraction_conversions() {
+        assert_eq!(ReportBlock::fraction_from_f64(0.0), 0);
+        assert_eq!(ReportBlock::fraction_from_f64(0.5), 128);
+        assert_eq!(ReportBlock::fraction_from_f64(1.0), 255);
+        assert_eq!(ReportBlock::fraction_from_f64(2.0), 255);
+        let b = ReportBlock {
+            fraction_lost: 64,
+            ..block()
+        };
+        assert!((b.fraction_as_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jitter_unit_conversion() {
+        let b = ReportBlock {
+            jitter: 80,
+            ..block()
+        };
+        // 80 units at 8 kHz = 10 ms.
+        assert!((b.jitter_ms(8_000) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rtt_arithmetic() {
+        // LSR at t=1000 (1/65536 s), DLSR = 32768 (0.5 s), now = 1000 + 32768
+        // + 6554 (≈0.1 s) → RTT ≈ 100 ms.
+        let b = ReportBlock {
+            last_sr: 1000,
+            delay_since_last_sr: 32_768,
+            ..block()
+        };
+        let rtt = rtt_from_rr(1000 + 32_768 + 6_554, &b).unwrap();
+        assert!((rtt - 100.0).abs() < 0.1, "rtt {rtt}");
+        // No sender report seen → None.
+        let b0 = ReportBlock {
+            last_sr: 0,
+            ..block()
+        };
+        assert_eq!(rtt_from_rr(5000, &b0), None);
+    }
+
+    #[test]
+    fn rtt_handles_wraparound() {
+        // now wrapped past u32::MAX.
+        let b = ReportBlock {
+            last_sr: u32::MAX - 100,
+            delay_since_last_sr: 0,
+            ..block()
+        };
+        let rtt = rtt_from_rr(100, &b).unwrap();
+        // 201 units ≈ 3.07 ms.
+        assert!((rtt - 201.0 / 65_536.0 * 1_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cumulative_lost_saturates_at_24_bits() {
+        let b = ReportBlock {
+            cumulative_lost: 0x0FFF_FFFF,
+            ..block()
+        };
+        let rr = ReceiverReport::single(1, b);
+        let back = ReceiverReport::decode(&rr.encode()).unwrap();
+        assert_eq!(back.blocks[0].cumulative_lost, 0x00FF_FFFF);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_block(ssrc in any::<u32>(), fl in any::<u8>(), cum in 0u32..0x0100_0000,
+                               seq in any::<u32>(), jit in any::<u32>(), lsr in any::<u32>(), dlsr in any::<u32>()) {
+            let b = ReportBlock {
+                ssrc, fraction_lost: fl, cumulative_lost: cum,
+                highest_seq: seq, jitter: jit, last_sr: lsr, delay_since_last_sr: dlsr,
+            };
+            let rr = ReceiverReport::single(99, b);
+            prop_assert_eq!(ReceiverReport::decode(&rr.encode()).unwrap(), rr);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Newtype identifiers for the entities of the VIA world.
+//!
+//! All identifiers are small dense integers assigned by the topology generator
+//! (`via-netsim`), so they can index into `Vec`s without hashing. They are
+//! deliberately *not* interchangeable: mixing up an AS id with a relay id is a
+//! compile error.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw dense index, suitable for `Vec` indexing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// A country or region. The paper's dataset spans 126 countries; the
+    /// synthetic world uses a configurable subset with realistic geography.
+    CountryId,
+    "C"
+);
+
+dense_id!(
+    /// An autonomous system (eyeball ISP). The paper observes 1.9 K ASes; AS
+    /// pairs are the paper's primary spatial aggregation unit.
+    AsId,
+    "AS"
+);
+
+dense_id!(
+    /// A VoIP client endpoint. Clients belong to an AS (and hence a country).
+    ClientId,
+    "U"
+);
+
+dense_id!(
+    /// A managed relay node hosted in a datacenter. All relays live in a single
+    /// provider AS connected by a private backbone (§3.1).
+    RelayId,
+    "R"
+);
+
+dense_id!(
+    /// A single audio call in a trace.
+    CallId,
+    "call"
+);
+
+/// An unordered source–destination AS pair.
+///
+/// The paper aggregates call performance per AS pair ("AS-pair" granularity,
+/// §2.3–§2.4, §5.1). Calls are bidirectional streams, so `(a, b)` and `(b, a)`
+/// refer to the same network path population; the constructor canonicalizes
+/// the order so the pair can be used directly as a map key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AsPair {
+    /// The smaller AS id of the pair.
+    pub lo: AsId,
+    /// The larger AS id of the pair.
+    pub hi: AsId,
+}
+
+impl AsPair {
+    /// Builds the canonical (order-independent) pair.
+    pub fn new(a: AsId, b: AsId) -> Self {
+        if a <= b {
+            Self { lo: a, hi: b }
+        } else {
+            Self { lo: b, hi: a }
+        }
+    }
+
+    /// True if both endpoints are in the same AS (an intra-AS call).
+    pub fn is_intra_as(&self) -> bool {
+        self.lo == self.hi
+    }
+}
+
+impl fmt::Display for AsPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_pair_is_canonical() {
+        let p1 = AsPair::new(AsId(7), AsId(3));
+        let p2 = AsPair::new(AsId(3), AsId(7));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.lo, AsId(3));
+        assert_eq!(p1.hi, AsId(7));
+    }
+
+    #[test]
+    fn as_pair_intra_as() {
+        assert!(AsPair::new(AsId(5), AsId(5)).is_intra_as());
+        assert!(!AsPair::new(AsId(5), AsId(6)).is_intra_as());
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(CountryId(3).to_string(), "C3");
+        assert_eq!(AsId(12).to_string(), "AS12");
+        assert_eq!(RelayId(0).to_string(), "R0");
+        assert_eq!(AsPair::new(AsId(1), AsId(2)).to_string(), "AS1-AS2");
+    }
+
+    #[test]
+    fn ids_index_roundtrip() {
+        assert_eq!(AsId::from(9u32).index(), 9);
+        assert_eq!(ClientId(42).index(), 42);
+    }
+
+    #[test]
+    fn ids_serde_transparent() {
+        let j = serde_json::to_string(&AsId(5)).unwrap();
+        assert_eq!(j, "5");
+        let back: AsId = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, AsId(5));
+    }
+}

@@ -1,0 +1,161 @@
+//! Relaying options: the action space of the relay-selection problem.
+//!
+//! §3.1 of the paper defines three kinds of path a call can take:
+//!
+//! * the **default path** — whatever BGP-derived route the public Internet
+//!   provides between caller and callee;
+//! * a **bouncing relay** — the call is "bounced off" one relay node, so both
+//!   legs (caller↔relay and relay↔callee) traverse the public Internet;
+//! * a **transit relay** pair — the call enters the managed network at an
+//!   ingress relay, crosses the private backbone, and exits at an egress
+//!   relay, so only the first and last legs are public.
+
+use crate::ids::RelayId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One relaying alternative for a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RelayOption {
+    /// The BGP-derived direct path between caller and callee.
+    Direct,
+    /// Bounce both directions of the call off a single relay.
+    Bounce(RelayId),
+    /// Enter at `ingress`, traverse the private backbone, exit at `egress`.
+    ///
+    /// The pair is stored as given (ingress near the caller); because call
+    /// legs are symmetric in the performance model, `canonical` collapses
+    /// `(a, b)` and `(b, a)`.
+    Transit(RelayId, RelayId),
+}
+
+impl RelayOption {
+    /// True for any relayed option (i.e., everything but `Direct`). Used by
+    /// the budget accounting in §4.6, which limits the *fraction of calls
+    /// relayed*.
+    pub fn is_relayed(&self) -> bool {
+        !matches!(self, RelayOption::Direct)
+    }
+
+    /// True for transit (two-relay) options.
+    pub fn is_transit(&self) -> bool {
+        matches!(self, RelayOption::Transit(_, _))
+    }
+
+    /// True for bouncing (single-relay) options.
+    pub fn is_bounce(&self) -> bool {
+        matches!(self, RelayOption::Bounce(_))
+    }
+
+    /// Canonical form: transit pairs are ordered so `(a, b)` and `(b, a)`
+    /// compare equal, and a degenerate transit through a single relay
+    /// collapses to a bounce. Call performance is direction-symmetric in
+    /// both the paper's dataset (per-call averages) and our model.
+    pub fn canonical(self) -> RelayOption {
+        match self {
+            RelayOption::Transit(a, b) if a == b => RelayOption::Bounce(a),
+            RelayOption::Transit(a, b) if b < a => RelayOption::Transit(b, a),
+            other => other,
+        }
+    }
+
+    /// A stable 64-bit code for this option, unique within a world (relay ids
+    /// are < 2²⁰). Used to derive per-(call, option) random streams so that
+    /// different strategies evaluating the same call over the same option see
+    /// the same realization (common random numbers).
+    pub fn stable_code(&self) -> u64 {
+        match self.canonical() {
+            RelayOption::Direct => 0,
+            RelayOption::Bounce(r) => 0x1_0000_0000 | u64::from(r.0),
+            RelayOption::Transit(a, b) => {
+                0x2_0000_0000 | (u64::from(a.0) << 20) | u64::from(b.0)
+            }
+        }
+    }
+
+    /// The relays this option uses, in path order (empty for `Direct`).
+    pub fn relays(&self) -> Vec<RelayId> {
+        match self {
+            RelayOption::Direct => vec![],
+            RelayOption::Bounce(r) => vec![*r],
+            RelayOption::Transit(a, b) => vec![*a, *b],
+        }
+    }
+}
+
+impl fmt::Display for RelayOption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelayOption::Direct => f.write_str("direct"),
+            RelayOption::Bounce(r) => write!(f, "bounce({r})"),
+            RelayOption::Transit(a, b) => write!(f, "transit({a},{b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relayed_classification() {
+        assert!(!RelayOption::Direct.is_relayed());
+        assert!(RelayOption::Bounce(RelayId(1)).is_relayed());
+        assert!(RelayOption::Transit(RelayId(1), RelayId(2)).is_relayed());
+        assert!(RelayOption::Transit(RelayId(1), RelayId(2)).is_transit());
+        assert!(RelayOption::Bounce(RelayId(1)).is_bounce());
+    }
+
+    #[test]
+    fn canonical_orders_transit() {
+        let a = RelayOption::Transit(RelayId(5), RelayId(2)).canonical();
+        let b = RelayOption::Transit(RelayId(2), RelayId(5)).canonical();
+        assert_eq!(a, b);
+        assert_eq!(a, RelayOption::Transit(RelayId(2), RelayId(5)));
+    }
+
+    #[test]
+    fn canonical_collapses_degenerate_transit() {
+        let d = RelayOption::Transit(RelayId(3), RelayId(3)).canonical();
+        assert_eq!(d, RelayOption::Bounce(RelayId(3)));
+    }
+
+    #[test]
+    fn relays_in_path_order() {
+        assert!(RelayOption::Direct.relays().is_empty());
+        assert_eq!(
+            RelayOption::Transit(RelayId(4), RelayId(1)).relays(),
+            vec![RelayId(4), RelayId(1)]
+        );
+    }
+
+    #[test]
+    fn stable_codes_are_distinct_and_canonical() {
+        let codes = [
+            RelayOption::Direct.stable_code(),
+            RelayOption::Bounce(RelayId(0)).stable_code(),
+            RelayOption::Bounce(RelayId(1)).stable_code(),
+            RelayOption::Transit(RelayId(0), RelayId(1)).stable_code(),
+            RelayOption::Transit(RelayId(1), RelayId(2)).stable_code(),
+        ];
+        let mut dedup = codes.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+        // Orientation-independent.
+        assert_eq!(
+            RelayOption::Transit(RelayId(1), RelayId(0)).stable_code(),
+            RelayOption::Transit(RelayId(0), RelayId(1)).stable_code()
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(RelayOption::Direct.to_string(), "direct");
+        assert_eq!(RelayOption::Bounce(RelayId(3)).to_string(), "bounce(R3)");
+        assert_eq!(
+            RelayOption::Transit(RelayId(1), RelayId(2)).to_string(),
+            "transit(R1,R2)"
+        );
+    }
+}

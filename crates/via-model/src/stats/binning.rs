@@ -1,0 +1,175 @@
+//! Fixed-width binning of (x, y) observations.
+//!
+//! Figure 1 of the paper bins calls by a network metric and plots the poor
+//! call rate per bin, keeping only bins with at least 1000 samples for
+//! statistical significance. Figure 3 does the same with the 10th/50th/90th
+//! percentiles of a second metric per bin. [`bin_means`] and
+//! [`bin_percentiles`] implement both shapes.
+
+use serde::{Deserialize, Serialize};
+
+use super::percentile::percentiles;
+
+/// One populated bin of an (x, y) binning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bin {
+    /// Center of the bin on the x axis.
+    pub x_center: f64,
+    /// Number of observations that fell into this bin.
+    pub count: usize,
+    /// Mean of the y values in the bin.
+    pub y_mean: f64,
+}
+
+/// Bins `(x, y)` points into `n_bins` equal-width bins over `[x_min, x_max)`
+/// and returns the per-bin mean of `y`, dropping bins with fewer than
+/// `min_samples` points.
+///
+/// Points with x outside the range, or with non-finite coordinates, are
+/// ignored.
+pub fn bin_means(
+    points: &[(f64, f64)],
+    x_min: f64,
+    x_max: f64,
+    n_bins: usize,
+    min_samples: usize,
+) -> Vec<Bin> {
+    assert!(n_bins > 0, "need at least one bin");
+    assert!(x_max > x_min, "x_max must exceed x_min");
+    let width = (x_max - x_min) / n_bins as f64;
+    let mut sums = vec![0.0f64; n_bins];
+    let mut counts = vec![0usize; n_bins];
+    for &(x, y) in points {
+        if !x.is_finite() || !y.is_finite() || x < x_min || x >= x_max {
+            continue;
+        }
+        let idx = (((x - x_min) / width) as usize).min(n_bins - 1);
+        sums[idx] += y;
+        counts[idx] += 1;
+    }
+    (0..n_bins)
+        .filter(|&i| counts[i] >= min_samples.max(1))
+        .map(|i| Bin {
+            x_center: x_min + (i as f64 + 0.5) * width,
+            count: counts[i],
+            y_mean: sums[i] / counts[i] as f64,
+        })
+        .collect()
+}
+
+/// One populated bin carrying y-percentiles instead of the mean.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PercentileBin {
+    /// Center of the bin on the x axis.
+    pub x_center: f64,
+    /// Number of observations that fell into this bin.
+    pub count: usize,
+    /// The requested percentiles of y within the bin, in request order.
+    pub y_percentiles: Vec<f64>,
+}
+
+/// Like [`bin_means`] but reports the given percentiles of `y` per bin
+/// (Figure 3 uses the 10th, 50th and 90th).
+pub fn bin_percentiles(
+    points: &[(f64, f64)],
+    x_min: f64,
+    x_max: f64,
+    n_bins: usize,
+    min_samples: usize,
+    ps: &[f64],
+) -> Vec<PercentileBin> {
+    assert!(n_bins > 0, "need at least one bin");
+    assert!(x_max > x_min, "x_max must exceed x_min");
+    let width = (x_max - x_min) / n_bins as f64;
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); n_bins];
+    for &(x, y) in points {
+        if !x.is_finite() || !y.is_finite() || x < x_min || x >= x_max {
+            continue;
+        }
+        let idx = (((x - x_min) / width) as usize).min(n_bins - 1);
+        buckets[idx].push(y);
+    }
+    buckets
+        .into_iter()
+        .enumerate()
+        .filter(|(_, b)| b.len() >= min_samples.max(1))
+        .map(|(i, b)| PercentileBin {
+            x_center: x_min + (i as f64 + 0.5) * width,
+            count: b.len(),
+            y_percentiles: percentiles(&b, ps).expect("bucket verified non-empty"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<(f64, f64)> {
+        // x in [0,10): y = 2x, two points per unit interval.
+        (0..20)
+            .map(|i| {
+                let x = i as f64 / 2.0;
+                (x, 2.0 * x)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn means_per_bin() {
+        let bins = bin_means(&grid(), 0.0, 10.0, 10, 1);
+        assert_eq!(bins.len(), 10);
+        // Bin 0 holds x = 0.0 and 0.5 → y mean = 0.5, center 0.5.
+        assert_eq!(bins[0].x_center, 0.5);
+        assert_eq!(bins[0].count, 2);
+        assert!((bins[0].y_mean - 0.5).abs() < 1e-12);
+        // Monotone data → monotone bin means.
+        for w in bins.windows(2) {
+            assert!(w[0].y_mean < w[1].y_mean);
+        }
+    }
+
+    #[test]
+    fn min_samples_filters_sparse_bins() {
+        let pts = [(0.5, 1.0), (5.5, 1.0), (5.6, 2.0)];
+        let bins = bin_means(&pts, 0.0, 10.0, 10, 2);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 2);
+        assert!((bins[0].y_mean - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_and_non_finite_ignored() {
+        let pts = [
+            (-1.0, 5.0),
+            (10.0, 5.0), // x_max is exclusive
+            (f64::NAN, 5.0),
+            (1.0, f64::INFINITY),
+            (1.0, 3.0),
+        ];
+        let bins = bin_means(&pts, 0.0, 10.0, 10, 1);
+        assert_eq!(bins.len(), 1);
+        assert_eq!(bins[0].count, 1);
+        assert_eq!(bins[0].y_mean, 3.0);
+    }
+
+    #[test]
+    fn percentile_bins_report_spread() {
+        let mut pts = Vec::new();
+        for i in 0..100 {
+            pts.push((0.5, i as f64)); // all in bin 0
+        }
+        let bins = bin_percentiles(&pts, 0.0, 1.0, 1, 1, &[10.0, 50.0, 90.0]);
+        assert_eq!(bins.len(), 1);
+        let p = &bins[0].y_percentiles;
+        assert!((p[0] - 9.9).abs() < 0.2);
+        assert!((p[1] - 49.5).abs() < 0.2);
+        assert!((p[2] - 89.1).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "x_max must exceed x_min")]
+    fn inverted_range_panics() {
+        bin_means(&[], 1.0, 0.0, 4, 1);
+    }
+}

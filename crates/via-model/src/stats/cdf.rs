@@ -1,0 +1,147 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Several of the paper's figures are CDFs (Figure 2: metric distributions;
+//! Figure 6: persistence/prevalence; Figure 9: option stability; Figure 18:
+//! sub-optimality). [`Cdf`] stores the sorted sample set and answers both
+//! directions: `F(x)` (fraction ≤ x) and the quantile function `F⁻¹(q)`.
+
+use serde::{Deserialize, Serialize};
+
+use super::percentile::percentile_sorted;
+
+/// An empirical CDF over a finite sample set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from samples. Non-finite samples are dropped. Returns
+    /// `None` if no finite samples remain.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Option<Self> {
+        let mut sorted: Vec<f64> = samples.into_iter().filter(|x| x.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(Self { sorted })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples ≤ `x` (right-continuous empirical CDF).
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        // partition_point gives the count of samples <= x via strict < on the
+        // complement predicate.
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples ≥ `x`; the "poor rate beyond threshold" direction
+    /// used when checking that ≥ 15 % of calls cross each threshold (Fig. 2).
+    pub fn fraction_at_or_above(&self, x: f64) -> f64 {
+        let below = self.sorted.partition_point(|&s| s < x);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile function: value at cumulative fraction `q` ∈ [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q.clamp(0.0, 1.0) * 100.0)
+    }
+
+    /// Evaluates the CDF at `n` evenly spaced sample values between min and
+    /// max, returning `(x, F(x))` pairs — the polyline a plotting tool would
+    /// draw. `n` must be ≥ 2.
+    pub fn polyline(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "polyline needs at least two points");
+        let min = self.sorted[0];
+        let max = *self.sorted.last().unwrap();
+        (0..n)
+            .map(|i| {
+                let x = min + (max - min) * i as f64 / (n - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_empty_and_non_finite() {
+        assert!(Cdf::from_samples([]).is_none());
+        assert!(Cdf::from_samples([f64::NAN, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn fraction_at_or_below_basics() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(2.5), 0.5);
+        assert_eq!(cdf.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn fraction_at_or_above_is_inclusive() {
+        let cdf = Cdf::from_samples([1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(cdf.fraction_at_or_above(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_above(3.1), 0.0);
+        assert_eq!(cdf.fraction_at_or_above(0.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts() {
+        let cdf = Cdf::from_samples((0..=100).map(|i| i as f64)).unwrap();
+        assert_eq!(cdf.quantile(0.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 50.0);
+        assert_eq!(cdf.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn polyline_spans_range_monotonically() {
+        let cdf = Cdf::from_samples([5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        let line = cdf.polyline(11);
+        assert_eq!(line.len(), 11);
+        assert_eq!(line[0].0, 1.0);
+        assert_eq!(line[10].0, 5.0);
+        assert_eq!(line[10].1, 1.0);
+        for w in line.windows(2) {
+            assert!(w[0].1 <= w[1].1, "CDF must be monotone");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_is_monotone(xs in prop::collection::vec(-1e6f64..1e6, 1..100), a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let cdf = Cdf::from_samples(xs).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(cdf.fraction_at_or_below(lo) <= cdf.fraction_at_or_below(hi));
+        }
+
+        #[test]
+        fn below_plus_strictly_above_is_one(xs in prop::collection::vec(-1e3f64..1e3, 1..50), x in -1e3f64..1e3) {
+            let cdf = Cdf::from_samples(xs.clone()).unwrap();
+            let below_or_eq = cdf.fraction_at_or_below(x);
+            let strictly_above = xs.iter().filter(|&&s| s > x).count() as f64 / xs.len() as f64;
+            prop_assert!((below_or_eq + strictly_above - 1.0).abs() < 1e-12);
+        }
+    }
+}

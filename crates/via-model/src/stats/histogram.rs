@@ -1,0 +1,267 @@
+//! Log-bucketed streaming histogram with bounded memory.
+//!
+//! A paper-scale trace holds millions of per-call metric values; extracting
+//! percentiles by sorting needs O(n) memory per metric per slice. This
+//! histogram records values into logarithmically spaced buckets at a
+//! configurable relative precision (HdrHistogram-style, without the
+//! dependency): O(buckets) memory, O(1) record, mergeable, and quantiles
+//! accurate to the bucket width.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over positive values with buckets spaced by a constant
+/// relative growth factor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Smallest distinguishable value; everything below lands in bucket 0.
+    min_value: f64,
+    /// log(growth) — buckets span `min_value·growth^i`.
+    log_growth: f64,
+    counts: Vec<u64>,
+    total: u64,
+    /// Exact running extremes (cheap, and useful for reporting).
+    min_seen: f64,
+    max_seen: f64,
+}
+
+impl LogHistogram {
+    /// Creates a histogram covering `[min_value, max_value]` with the given
+    /// relative precision (e.g. `0.01` = buckets 1 % apart). Values outside
+    /// the range clamp to the edge buckets.
+    ///
+    /// # Panics
+    /// Panics unless `0 < min_value < max_value` and `0 < precision < 1`.
+    pub fn new(min_value: f64, max_value: f64, precision: f64) -> LogHistogram {
+        assert!(min_value > 0.0 && max_value > min_value, "bad value range");
+        assert!(precision > 0.0 && precision < 1.0, "bad precision");
+        let log_growth = (1.0 + precision).ln();
+        let buckets = ((max_value / min_value).ln() / log_growth).ceil() as usize + 2;
+        LogHistogram {
+            min_value,
+            log_growth,
+            counts: vec![0; buckets],
+            total: 0,
+            min_seen: f64::INFINITY,
+            max_seen: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A default configuration suitable for call metrics: 0.01–10 000 with
+    /// 1 % buckets (~1 400 buckets).
+    pub fn for_metrics() -> LogHistogram {
+        LogHistogram::new(0.01, 10_000.0, 0.01)
+    }
+
+    fn bucket_of(&self, v: f64) -> usize {
+        if v <= self.min_value {
+            return 0;
+        }
+        let idx = ((v / self.min_value).ln() / self.log_growth) as usize + 1;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Representative (geometric-mid) value of a bucket.
+    fn value_of(&self, bucket: usize) -> f64 {
+        if bucket == 0 {
+            return self.min_value;
+        }
+        self.min_value * ((bucket as f64 - 0.5) * self.log_growth).exp()
+    }
+
+    /// Records one value. Non-finite and negative values are ignored; zeros
+    /// land in the lowest bucket.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() || v < 0.0 {
+            return;
+        }
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.min_seen = self.min_seen.min(v);
+        self.max_seen = self.max_seen.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value (exact).
+    pub fn min(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.min_seen)
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> Option<f64> {
+        (self.total > 0).then_some(self.max_seen)
+    }
+
+    /// Quantile `q ∈ [0, 1]`, accurate to the bucket precision. `None` when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample (1-based), matching nearest-rank
+        // semantics.
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Clamp to the exact extremes so tails never exceed reality.
+                return Some(self.value_of(b).clamp(
+                    self.min_seen,
+                    self.max_seen,
+                ));
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// Fraction of recorded values ≥ `x` (approximate at bucket precision) —
+    /// the "beyond threshold" direction used for PNR.
+    pub fn fraction_at_or_above(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let b = self.bucket_of(x);
+        let above: u64 = self.counts[b..].iter().sum();
+        above as f64 / self.total as f64
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.counts.len(), other.counts.len(), "config mismatch");
+        assert_eq!(self.min_value, other.min_value, "config mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min_seen = self.min_seen.min(other.min_seen);
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = LogHistogram::for_metrics();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.fraction_at_or_above(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantiles_match_exact_within_precision() {
+        let mut h = LogHistogram::new(0.1, 10_000.0, 0.01);
+        let values: Vec<f64> = (1..=10_000).map(|i| i as f64 / 10.0).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let exact = crate::stats::percentile(&values, q * 100.0).unwrap();
+            let approx = h.quantile(q).unwrap();
+            assert!(
+                (approx - exact).abs() / exact < 0.02,
+                "q={q}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = LogHistogram::for_metrics();
+        for v in [3.7, 120.0, 9_999.0, 0.5] {
+            h.record(v);
+        }
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(9_999.0));
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn threshold_fraction_matches_exact() {
+        let mut h = LogHistogram::for_metrics();
+        for i in 0..1_000 {
+            h.record(i as f64);
+        }
+        let frac = h.fraction_at_or_above(320.0);
+        assert!((frac - 0.68).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::for_metrics();
+        let mut b = LogHistogram::for_metrics();
+        let mut all = LogHistogram::for_metrics();
+        for i in 0..500 {
+            let v = 1.0 + i as f64;
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), all.len());
+        for q in [0.25, 0.5, 0.75] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn ignores_garbage() {
+        let mut h = LogHistogram::for_metrics();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(-1.0);
+        assert!(h.is_empty());
+        h.record(0.0); // clamps into bucket 0
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad value range")]
+    fn rejects_bad_range() {
+        LogHistogram::new(10.0, 1.0, 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_is_monotone(values in prop::collection::vec(0.01f64..9_000.0, 1..300),
+                                q1 in 0f64..1.0, q2 in 0f64..1.0) {
+            let mut h = LogHistogram::for_metrics();
+            for &v in &values {
+                h.record(v);
+            }
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(h.quantile(lo).unwrap() <= h.quantile(hi).unwrap() + 1e-9);
+        }
+
+        #[test]
+        fn quantile_within_observed_range(values in prop::collection::vec(0.01f64..9_000.0, 1..300), q in 0f64..1.0) {
+            let mut h = LogHistogram::for_metrics();
+            for &v in &values {
+                h.record(v);
+            }
+            let x = h.quantile(q).unwrap();
+            prop_assert!(x >= h.min().unwrap() - 1e-9 && x <= h.max().unwrap() + 1e-9);
+        }
+    }
+}

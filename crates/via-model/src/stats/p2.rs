@@ -1,0 +1,239 @@
+//! P² (Jain–Chlamtac) streaming quantile estimation.
+//!
+//! The budget-aware relaying gate (§4.6 of the paper) must know, for every
+//! call, whether the predicted benefit of relaying lies in the top `B`
+//! percentile of recently seen benefits — *without* storing the whole benefit
+//! history. The P² algorithm maintains a five-marker parabolic approximation
+//! of a single quantile in O(1) space and O(1) time per observation, which is
+//! exactly the profile a per-call control loop needs.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming estimator of a single quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values at the marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based ranks), updated as samples arrive.
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Number of observations seen so far.
+    count: u64,
+    /// First five observations, buffered until initialization.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` (e.g. `0.7` tracks the 70th
+    /// percentile — the paper's B = 30 % budget keeps benefits at or above
+    /// this marker). Panics unless `0 < q < 1`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        Self {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// The quantile this estimator tracks.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in. Non-finite values are ignored.
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+                for (h, v) in self.heights.iter_mut().zip(&self.init) {
+                    *h = *v;
+                }
+            }
+            return;
+        }
+
+        // Locate the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // Find first marker strictly above x; cell is the one before it.
+            let mut k = 0;
+            for i in 1..5 {
+                if x < self.heights[i] {
+                    k = i - 1;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(&self.increments) {
+            *d += inc;
+        }
+
+        // Adjust the interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, sign)
+                };
+                self.heights[i] = new_height;
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate. With fewer than five observations, falls
+    /// back to the exact quantile of the buffered samples; returns `None`
+    /// with no observations at all.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.init.len() < 5 {
+            let mut buf = self.init.clone();
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            return Some(super::percentile::percentile_sorted(&buf, self.q * 100.0));
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn empty_has_no_estimate() {
+        assert_eq!(P2Quantile::new(0.5).estimate(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_boundary_quantiles() {
+        P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn small_sample_exact() {
+        let mut p = P2Quantile::new(0.5);
+        p.push(3.0);
+        p.push(1.0);
+        p.push(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn uniform_stream_converges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &q in &[0.1, 0.5, 0.7, 0.9] {
+            let mut p = P2Quantile::new(q);
+            for _ in 0..50_000 {
+                p.push(rng.random::<f64>());
+            }
+            let est = p.estimate().unwrap();
+            assert!(
+                (est - q).abs() < 0.02,
+                "q={q}: estimate {est} too far from truth"
+            );
+        }
+    }
+
+    #[test]
+    fn lognormalish_stream_converges() {
+        // Heavy-tailed input — the shape of "predicted benefit" streams.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut p = P2Quantile::new(0.7);
+        let mut all = Vec::new();
+        for _ in 0..30_000 {
+            let u: f64 = rng.random();
+            let x = (-(1.0 - u).ln()).powf(2.0); // squared exponential: heavy tail
+            p.push(x);
+            all.push(x);
+        }
+        let truth = crate::stats::percentile(&all, 70.0).unwrap();
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - truth).abs() / truth < 0.1,
+            "estimate {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut p = P2Quantile::new(0.5);
+        p.push(f64::NAN);
+        assert_eq!(p.count(), 0);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            p.push(x);
+        }
+        assert_eq!(p.count(), 6);
+        assert!(p.estimate().unwrap() > 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_within_observed_range(xs in prop::collection::vec(-1e3f64..1e3, 1..500), qi in 1usize..10) {
+            let q = qi as f64 / 10.0;
+            let mut p = P2Quantile::new(q);
+            for &x in &xs { p.push(x); }
+            let est = p.estimate().unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= min - 1e-9 && est <= max + 1e-9,
+                "estimate {} outside [{}, {}]", est, min, max);
+        }
+    }
+}

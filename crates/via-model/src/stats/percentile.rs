@@ -1,0 +1,129 @@
+//! Percentile extraction from sample sets.
+
+/// Returns the `p`-th percentile (0–100) of `samples` using linear
+/// interpolation between closest ranks (the "linear" / type-7 method used by
+/// NumPy and R by default).
+///
+/// Returns `None` on an empty slice. Non-finite samples must be filtered by
+/// the caller; they would corrupt the sort order.
+///
+/// The input does not need to be sorted; an internal copy is sorted. For bulk
+/// extraction of many percentiles use [`percentiles`], which sorts once.
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    Some(percentile_sorted(&sorted, p))
+}
+
+/// Returns several percentiles of `samples`, sorting only once.
+pub fn percentiles(samples: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    Some(ps.iter().map(|&p| percentile_sorted(&sorted, p)).collect())
+}
+
+/// Percentile of an already ascending-sorted, non-empty slice.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median convenience wrapper.
+pub fn median(samples: &[f64]) -> Option<f64> {
+    percentile(samples, 50.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentiles(&[], &[50.0]), None);
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(percentile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 100.0), Some(7.0));
+        assert_eq!(percentile(&[7.0], 37.5), Some(7.0));
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), Some(10.0));
+        assert_eq!(percentile(&xs, 100.0), Some(40.0));
+        // rank = 0.5*3 = 1.5 → halfway between 20 and 30.
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+        // rank = 0.25*3 = 0.75 → 10 + 0.75*10.
+        assert_eq!(percentile(&xs, 25.0), Some(17.5));
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let xs = [40.0, 10.0, 30.0, 20.0];
+        assert_eq!(percentile(&xs, 50.0), Some(25.0));
+    }
+
+    #[test]
+    fn median_matches_p50() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(median(&xs), Some(2.0));
+    }
+
+    #[test]
+    fn bulk_matches_individual() {
+        let xs: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let ps = [10.0, 50.0, 90.0, 99.0];
+        let bulk = percentiles(&xs, &ps).unwrap();
+        for (i, &p) in ps.iter().enumerate() {
+            assert_eq!(Some(bulk[i]), percentile(&xs, p));
+        }
+    }
+
+    #[test]
+    fn out_of_range_p_clamps() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, -5.0), Some(1.0));
+        assert_eq!(percentile(&xs, 150.0), Some(3.0));
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..100), p in 0f64..100.0) {
+            let v = percentile(&xs, p).unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+        }
+
+        #[test]
+        fn percentile_monotone_in_p(xs in prop::collection::vec(-1e6f64..1e6, 1..100), p1 in 0f64..100.0, p2 in 0f64..100.0) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile(&xs, lo).unwrap();
+            let b = percentile(&xs, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Deterministic simulated time.
+//!
+//! The simulation never consults the wall clock. All timestamps are
+//! [`SimTime`], seconds since the start of the simulated trace. Aggregation —
+//! by the oracle, the tomography predictor, and the temporal-pattern analysis —
+//! happens over fixed-width [`Window`]s; the paper's default control period is
+//! T = 24 hours (§4.3, §5.1), and Figure 17b sweeps T.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 24 * SECS_PER_HOUR;
+
+/// A point in simulated time, in whole seconds since trace start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero — the start of the trace.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from whole days.
+    pub fn from_days(days: u64) -> Self {
+        SimTime(days * SECS_PER_DAY)
+    }
+
+    /// Constructs from whole hours.
+    pub fn from_hours(hours: u64) -> Self {
+        SimTime(hours * SECS_PER_HOUR)
+    }
+
+    /// Seconds since trace start.
+    #[inline]
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days since trace start (floor).
+    #[inline]
+    pub fn day(self) -> u64 {
+        self.0 / SECS_PER_DAY
+    }
+
+    /// Hour of day in [0, 24), used by the diurnal load model.
+    #[inline]
+    pub fn hour_of_day(self) -> f64 {
+        (self.0 % SECS_PER_DAY) as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// Fractional days since trace start.
+    #[inline]
+    pub fn days_f64(self) -> f64 {
+        self.0 as f64 / SECS_PER_DAY as f64
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    fn add(self, secs: u64) -> SimTime {
+        SimTime(self.0 + secs)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    /// Elapsed seconds; saturates at zero rather than panicking on underflow.
+    fn sub(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.day();
+        let rem = self.0 % SECS_PER_DAY;
+        let h = rem / SECS_PER_HOUR;
+        let m = (rem % SECS_PER_HOUR) / 60;
+        let s = rem % 60;
+        write!(f, "d{d}+{h:02}:{m:02}:{s:02}")
+    }
+}
+
+/// The width of an aggregation window.
+///
+/// The paper's control loop refreshes predictions and top-k candidate sets
+/// every `T` hours, with T = 24 by default; Figure 17b sweeps T from hours to
+/// multiple days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WindowLen {
+    secs: u64,
+}
+
+impl WindowLen {
+    /// The paper's default: 24-hour windows.
+    pub const DAY: WindowLen = WindowLen { secs: SECS_PER_DAY };
+
+    /// A window of `hours` hours. Panics if `hours` is zero.
+    pub fn hours(hours: u64) -> Self {
+        assert!(hours > 0, "window length must be positive");
+        WindowLen {
+            secs: hours * SECS_PER_HOUR,
+        }
+    }
+
+    /// Window length in seconds.
+    #[inline]
+    pub fn secs(self) -> u64 {
+        self.secs
+    }
+
+    /// The window containing `t`.
+    #[inline]
+    pub fn window_of(self, t: SimTime) -> Window {
+        Window {
+            index: t.0 / self.secs,
+            len: self,
+        }
+    }
+}
+
+impl Default for WindowLen {
+    fn default() -> Self {
+        WindowLen::DAY
+    }
+}
+
+/// A concrete aggregation window: the `index`-th interval of width `len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Window {
+    /// Zero-based window index since trace start.
+    pub index: u64,
+    /// The window width this index is relative to.
+    pub len: WindowLen,
+}
+
+impl Window {
+    /// Inclusive start time of the window.
+    pub fn start(self) -> SimTime {
+        SimTime(self.index * self.len.secs())
+    }
+
+    /// Exclusive end time of the window.
+    pub fn end(self) -> SimTime {
+        SimTime((self.index + 1) * self.len.secs())
+    }
+
+    /// The immediately preceding window, if any. Predictions for window `w`
+    /// are trained on data from `w.prev()` (§5.1: "tomography-based
+    /// performance prediction is made based on call performance in the last
+    /// 24-hour window").
+    pub fn prev(self) -> Option<Window> {
+        self.index.checked_sub(1).map(|index| Window {
+            index,
+            len: self.len,
+        })
+    }
+
+    /// True if `t` falls inside this window.
+    pub fn contains(self, t: SimTime) -> bool {
+        t >= self.start() && t < self.end()
+    }
+}
+
+impl fmt::Display for Window {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}[{}h]", self.index, self.len.secs() / SECS_PER_HOUR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_time_arithmetic() {
+        let t = SimTime::from_days(2) + 3 * SECS_PER_HOUR;
+        assert_eq!(t.day(), 2);
+        assert_eq!(t.hour_of_day(), 3.0);
+        assert_eq!(t - SimTime::from_days(2), 3 * SECS_PER_HOUR);
+        // Saturating subtraction.
+        assert_eq!(SimTime::ZERO - t, 0);
+    }
+
+    #[test]
+    fn sim_time_display() {
+        let t = SimTime::from_days(1) + (2 * SECS_PER_HOUR + 3 * 60 + 4);
+        assert_eq!(t.to_string(), "d1+02:03:04");
+    }
+
+    #[test]
+    fn window_of_assigns_boundaries_correctly() {
+        let day = WindowLen::DAY;
+        assert_eq!(day.window_of(SimTime(0)).index, 0);
+        assert_eq!(day.window_of(SimTime(SECS_PER_DAY - 1)).index, 0);
+        assert_eq!(day.window_of(SimTime(SECS_PER_DAY)).index, 1);
+    }
+
+    #[test]
+    fn window_contains_and_bounds() {
+        let w = WindowLen::hours(6).window_of(SimTime::from_hours(7));
+        assert_eq!(w.index, 1);
+        assert_eq!(w.start(), SimTime::from_hours(6));
+        assert_eq!(w.end(), SimTime::from_hours(12));
+        assert!(w.contains(SimTime::from_hours(6)));
+        assert!(w.contains(SimTime::from_hours(11)));
+        assert!(!w.contains(SimTime::from_hours(12)));
+    }
+
+    #[test]
+    fn window_prev_at_origin() {
+        let w0 = WindowLen::DAY.window_of(SimTime::ZERO);
+        assert!(w0.prev().is_none());
+        let w1 = WindowLen::DAY.window_of(SimTime::from_days(1));
+        assert_eq!(w1.prev(), Some(w0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window length must be positive")]
+    fn zero_window_rejected() {
+        WindowLen::hours(0);
+    }
+
+    #[test]
+    fn day_fraction() {
+        let t = SimTime::from_hours(36);
+        assert!((t.days_f64() - 1.5).abs() < 1e-12);
+    }
+}

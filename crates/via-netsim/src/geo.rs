@@ -1,0 +1,123 @@
+//! Geographic primitives: coordinates, great-circle distance, and the
+//! speed-of-light lower bound on round-trip time.
+//!
+//! The synthetic world places countries, ASes and datacenters at real
+//! latitude/longitude coordinates. The *minimum possible* RTT between two
+//! points is set by the great-circle distance and the propagation speed of
+//! light in fiber (≈ 2/3 c ≈ 200 km/ms one way). Real Internet paths are
+//! longer — path "inflation" over this bound is the central latent variable of
+//! the performance model, and routing around inflated default paths is exactly
+//! what a managed overlay exploits.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean Earth radius in kilometres.
+pub const EARTH_RADIUS_KM: f64 = 6_371.0;
+
+/// One-way propagation speed of light in fiber, km per millisecond.
+pub const FIBER_KM_PER_MS: f64 = 200.0;
+
+/// A point on the Earth's surface.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east.
+    pub lon_deg: f64,
+}
+
+impl GeoPoint {
+    /// Builds a point, validating the coordinate ranges.
+    pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
+        assert!((-90.0..=90.0).contains(&lat_deg), "latitude out of range");
+        assert!(
+            (-180.0..=180.0).contains(&lon_deg),
+            "longitude out of range"
+        );
+        Self { lat_deg, lon_deg }
+    }
+
+    /// Great-circle (haversine) distance to `other`, in kilometres.
+    pub fn distance_km(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.lat_deg.to_radians();
+        let lat2 = other.lat_deg.to_radians();
+        let dlat = (other.lat_deg - self.lat_deg).to_radians();
+        let dlon = (other.lon_deg - self.lon_deg).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_KM * a.sqrt().atan2((1.0 - a).sqrt())
+    }
+
+    /// Speed-of-light lower bound on the *round-trip* time to `other`, in
+    /// milliseconds, assuming fiber along the great circle.
+    pub fn min_rtt_ms(&self, other: &GeoPoint) -> f64 {
+        2.0 * self.distance_km(other) / FIBER_KM_PER_MS
+    }
+
+    /// Local solar hour of day in [0, 24) for a given UTC hour. Used by the
+    /// diurnal load model: each AS experiences its congestion peak in its own
+    /// evening.
+    pub fn local_hour(&self, utc_hour: f64) -> f64 {
+        (utc_hour + self.lon_deg / 15.0).rem_euclid(24.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nyc() -> GeoPoint {
+        GeoPoint::new(40.71, -74.01)
+    }
+    fn london() -> GeoPoint {
+        GeoPoint::new(51.51, -0.13)
+    }
+    fn sydney() -> GeoPoint {
+        GeoPoint::new(-33.87, 151.21)
+    }
+
+    #[test]
+    fn haversine_known_distances() {
+        // NYC–London ≈ 5 570 km, NYC–Sydney ≈ 15 990 km.
+        let d1 = nyc().distance_km(&london());
+        assert!((d1 - 5570.0).abs() < 60.0, "NYC-London got {d1}");
+        let d2 = nyc().distance_km(&sydney());
+        assert!((d2 - 15990.0).abs() < 160.0, "NYC-Sydney got {d2}");
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = nyc();
+        let b = sydney();
+        assert!((a.distance_km(&b) - b.distance_km(&a)).abs() < 1e-9);
+        assert!(a.distance_km(&a) < 1e-9);
+    }
+
+    #[test]
+    fn min_rtt_matches_distance() {
+        // NYC–London light-in-fiber RTT ≈ 2 × 5570/200 ≈ 55.7 ms.
+        let rtt = nyc().min_rtt_ms(&london());
+        assert!((rtt - 55.7).abs() < 1.0, "got {rtt}");
+    }
+
+    #[test]
+    fn local_hour_wraps() {
+        let p = GeoPoint::new(0.0, 150.0); // UTC+10
+        assert!((p.local_hour(20.0) - 6.0).abs() < 1e-9);
+        let w = GeoPoint::new(0.0, -75.0); // UTC-5
+        assert!((w.local_hour(2.0) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latitude out of range")]
+    fn rejects_bad_latitude() {
+        GeoPoint::new(91.0, 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_on_sphere() {
+        let a = nyc();
+        let b = london();
+        let c = sydney();
+        assert!(a.distance_km(&c) <= a.distance_km(&b) + b.distance_km(&c) + 1e-6);
+    }
+}

@@ -1,0 +1,49 @@
+//! Synthetic Internet substrate for the VIA reproduction.
+//!
+//! The paper evaluates on 430 million real Skype calls; that trace is
+//! proprietary, so this crate builds a *generative world* that reproduces the
+//! statistical structure the paper measures:
+//!
+//! * **Geography** ([`geo`], [`catalog`]) — countries and datacenter sites at
+//!   real coordinates, so propagation delays, time zones and the
+//!   international/domestic mix are plausible.
+//! * **Topology** ([`topology`]) — eyeball ASes per country with quality
+//!   tiers and market-share weights, plus a relay fleet in one provider AS.
+//! * **Performance** ([`perf`], [`segments`]) — every end-to-end path
+//!   decomposes into access, public-WAN, and backbone segments. Segments
+//!   carry static latents (RTT inflation over the fiber bound, base loss and
+//!   jitter), day-scale congestion episodes with skewed
+//!   persistence/prevalence (§2.4 of the paper), a diurnal load cycle, and
+//!   heavy-tailed per-call noise.
+//!
+//! The model exposes both the latent mean (for the oracle of §3.2) and
+//! realized samples (all any practical strategy observes), and is a
+//! deterministic pure function of `(config, seed)`.
+//!
+//! ```
+//! use via_netsim::{World, WorldConfig};
+//! use via_model::{RelayOption, SimTime};
+//!
+//! let world = World::generate(&WorldConfig::tiny(), 7);
+//! let src = world.ases[0].id;
+//! let dst = world.ases.last().unwrap().id;
+//! let options = world.candidate_options(src, dst);
+//! assert_eq!(options[0], RelayOption::Direct);
+//! let mean = world.perf().option_mean(src, dst, options[1], SimTime::from_days(1));
+//! assert!(mean.rtt_ms > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod config;
+pub mod geo;
+pub mod perf;
+pub mod segments;
+pub mod topology;
+
+pub use config::{PerfKnobs, WorldConfig};
+pub use geo::GeoPoint;
+pub use perf::PerfModel;
+pub use segments::{SegMetrics, Segment, Stability};
+pub use topology::{AsInfo, Country, Relay, World};

@@ -1,0 +1,575 @@
+//! The ground-truth path-performance model.
+//!
+//! [`PerfModel`] answers two questions for any (source AS, destination AS,
+//! relaying option, time):
+//!
+//! * [`PerfModel::option_mean`] — the *expected* metrics of the option at
+//!   that instant (latent world state: static segment quality + active
+//!   episodes + diurnal load). The oracle strategy of §3.2 reads this
+//!   directly; no real system can.
+//! * [`PerfModel::sample_option`] — one realized call's metrics: the mean
+//!   plus heavy-tailed per-call noise. This is all that VIA and the baseline
+//!   strategies ever observe, matching §5.1's methodology of drawing a random
+//!   call from the same (pair, option, window) population.
+//!
+//! Segment latents are derived deterministically from the world seed, so the
+//! model is a pure function of `(config, seed, query)` — queries can come in
+//! any order, from any component, and agree.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Gamma, LogNormal};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use via_model::ids::{AsId, RelayId};
+use via_model::metrics::PathMetrics;
+use via_model::options::RelayOption;
+use via_model::seed;
+use via_model::time::SimTime;
+
+use crate::config::{PerfKnobs, WorldConfig};
+use crate::geo::GeoPoint;
+use crate::segments::{draw_stability, EpisodeSeries, SegMetrics, Segment, Stability};
+use crate::topology::{AsInfo, Relay};
+
+/// Static latents plus episode series for one segment.
+#[derive(Debug, Clone)]
+struct SegState {
+    /// Fixed RTT contribution (propagation × inflation, or access delay), ms.
+    rtt_ms: f64,
+    /// Base loss, percent.
+    loss_pct: f64,
+    /// Base jitter, ms.
+    jitter_ms: f64,
+    /// Sensitivity to diurnal load (multiplies the configured amplitude).
+    diurnal_sens: f64,
+    /// Scale of episode penalties for this segment class (backbone ≈ 0).
+    episode_scale: f64,
+    /// Mean longitude of the segment endpoints, for local-time peaks.
+    lon_deg: f64,
+    /// Daily severity series.
+    episodes: EpisodeSeries,
+}
+
+/// Ground-truth performance model. Cheap to query; internally caches the
+/// latents of each touched segment behind a mutex (the model is logically
+/// immutable — the cache is a pure memoization).
+#[derive(Debug)]
+pub struct PerfModel {
+    world_seed: u64,
+    knobs: PerfKnobs,
+    horizon_days: u64,
+    as_pos: Vec<GeoPoint>,
+    as_tier: Vec<u8>,
+    relay_pos: Vec<GeoPoint>,
+    cache: Mutex<HashMap<Segment, Arc<SegState>>>,
+}
+
+impl PerfModel {
+    /// Builds the model for a generated topology.
+    pub(crate) fn new(
+        world_seed: u64,
+        config: WorldConfig,
+        ases: &[AsInfo],
+        relays: &[Relay],
+    ) -> Self {
+        Self {
+            world_seed,
+            knobs: config.perf,
+            horizon_days: config.horizon_days,
+            as_pos: ases.iter().map(|a| a.pos).collect(),
+            as_tier: ases.iter().map(|a| a.tier).collect(),
+            relay_pos: relays.iter().map(|r| r.pos).collect(),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of ASes the model knows about.
+    pub fn n_ases(&self) -> usize {
+        self.as_pos.len()
+    }
+
+    /// Number of relays the model knows about.
+    pub fn n_relays(&self) -> usize {
+        self.relay_pos.len()
+    }
+
+    fn state(&self, segment: Segment) -> Arc<SegState> {
+        if let Some(s) = self.cache.lock().expect("perf cache poisoned").get(&segment) {
+            return Arc::clone(s);
+        }
+        let built = Arc::new(self.build_state(segment));
+        self.cache
+            .lock()
+            .expect("perf cache poisoned")
+            .entry(segment)
+            .or_insert(built)
+            .clone()
+    }
+
+    fn build_state(&self, segment: Segment) -> SegState {
+        let k = &self.knobs;
+        let mut rng = StdRng::seed_from_u64(seed::derive_indexed(
+            self.world_seed,
+            "segment-latents",
+            segment.seed_code(),
+        ));
+
+        match segment {
+            Segment::Access(a) => {
+                let tier = f64::from(self.as_tier[a.index()]);
+                let rtt = lognormal_mean(&mut rng, k.access_rtt_base_ms * (0.6 + 0.45 * tier), 0.3);
+                let loss =
+                    lognormal_mean(&mut rng, k.access_loss_base_pct * tier.powf(1.8), 0.5);
+                let jitter =
+                    lognormal_mean(&mut rng, k.access_jitter_base_ms * (0.5 + 0.5 * tier), 0.4);
+                let stability = draw_stability(
+                    &mut rng,
+                    self.as_tier[a.index()],
+                    k.chronic_fraction * 0.6,
+                    k.flaky_fraction * 0.8,
+                );
+                SegState {
+                    rtt_ms: rtt,
+                    loss_pct: loss,
+                    jitter_ms: jitter,
+                    diurnal_sens: rng.random_range(0.6..1.4),
+                    episode_scale: 0.5,
+                    lon_deg: self.as_pos[a.index()].lon_deg,
+                    episodes: EpisodeSeries::generate(
+                        self.world_seed,
+                        segment,
+                        stability,
+                        self.horizon_days,
+                    ),
+                }
+            }
+            Segment::DirectWan(a, b) => {
+                let pa = self.as_pos[a.index()];
+                let pb = self.as_pos[b.index()];
+                let tier = f64::from(self.as_tier[a.index()].max(self.as_tier[b.index()]));
+                // International here means "far apart"; country identity lives
+                // in topology, but distance is the physical driver.
+                let dist = pa.distance_km(&pb);
+                let intl_like = dist > 2_500.0;
+
+                let mut inflation_median = k.direct_inflation_base
+                    * (1.0 + k.direct_inflation_tier_step * (tier - 1.0));
+                if intl_like {
+                    inflation_median *= k.direct_inflation_intl;
+                }
+                let mut inflation =
+                    lognormal_median(&mut rng, inflation_median, k.direct_inflation_sigma);
+                let p_path = if intl_like {
+                    k.pathological_prob_intl
+                } else {
+                    k.pathological_prob_domestic
+                };
+                if rng.random::<f64>() < p_path {
+                    inflation *= rng.random_range(1.8..3.2);
+                }
+
+                // Short paths still pay peering/queueing latency: add a floor.
+                let rtt = pa.min_rtt_ms(&pb) * inflation + rng.random_range(4.0..12.0);
+
+                let loss_mean = k.direct_loss_base_pct
+                    * tier.powf(1.6)
+                    * if intl_like { 1.8 } else { 1.0 };
+                let loss = lognormal_mean(&mut rng, loss_mean, 0.6);
+                let jitter_mean = k.direct_jitter_base_ms
+                    * (0.5 + 0.5 * tier)
+                    * if intl_like { 1.5 } else { 1.0 };
+                let jitter = lognormal_mean(&mut rng, jitter_mean, 0.5);
+
+                let stability = draw_stability(
+                    &mut rng,
+                    tier as u8,
+                    k.chronic_fraction,
+                    k.flaky_fraction,
+                );
+                SegState {
+                    rtt_ms: rtt,
+                    loss_pct: loss,
+                    jitter_ms: jitter,
+                    diurnal_sens: rng.random_range(0.5..1.5),
+                    episode_scale: 1.0,
+                    lon_deg: (pa.lon_deg + pb.lon_deg) / 2.0,
+                    episodes: EpisodeSeries::generate(
+                        self.world_seed,
+                        segment,
+                        stability,
+                        self.horizon_days,
+                    ),
+                }
+            }
+            Segment::RelayWan(a, r) => {
+                let pa = self.as_pos[a.index()];
+                let pr = self.relay_pos[r.index()];
+                let tier = f64::from(self.as_tier[a.index()]);
+                let inflation_median =
+                    k.relay_inflation_base * (1.0 + 0.08 * (tier - 1.0));
+                let inflation =
+                    lognormal_median(&mut rng, inflation_median, k.relay_inflation_sigma);
+                let rtt = pa.min_rtt_ms(&pr) * inflation + rng.random_range(2.0..8.0);
+                // Loss and jitter accumulate with public-WAN path length: a
+                // short on-ramp to a nearby relay is much cleaner than a
+                // half-planet bounce leg — the reason transit relaying
+                // (short on-ramps + private backbone) wins on long hauls.
+                let dist_factor = 0.4 + pa.distance_km(&pr) / 4_000.0;
+                let loss = lognormal_mean(
+                    &mut rng,
+                    k.relay_loss_base_pct * tier.powf(1.4) * dist_factor,
+                    0.5,
+                );
+                let jitter = lognormal_mean(
+                    &mut rng,
+                    k.relay_jitter_base_ms * (0.6 + 0.4 * tier) * dist_factor,
+                    0.4,
+                );
+                let stability = draw_stability(
+                    &mut rng,
+                    tier as u8,
+                    k.chronic_fraction * 0.7,
+                    k.flaky_fraction * 0.8,
+                );
+                SegState {
+                    rtt_ms: rtt,
+                    loss_pct: loss,
+                    jitter_ms: jitter,
+                    diurnal_sens: rng.random_range(0.4..1.1),
+                    episode_scale: 0.6,
+                    lon_deg: (pa.lon_deg + pr.lon_deg) / 2.0,
+                    episodes: EpisodeSeries::generate(
+                        self.world_seed,
+                        segment,
+                        stability,
+                        self.horizon_days,
+                    ),
+                }
+            }
+            Segment::Backbone(r1, r2) => {
+                let p1 = self.relay_pos[r1.index()];
+                let p2 = self.relay_pos[r2.index()];
+                SegState {
+                    rtt_ms: p1.min_rtt_ms(&p2) * k.backbone_inflation,
+                    loss_pct: k.backbone_loss_pct,
+                    jitter_ms: k.backbone_jitter_ms,
+                    diurnal_sens: 0.05,
+                    episode_scale: 0.0,
+                    lon_deg: (p1.lon_deg + p2.lon_deg) / 2.0,
+                    episodes: EpisodeSeries::generate(
+                        self.world_seed,
+                        segment,
+                        Stability::Stable,
+                        self.horizon_days,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Mean metrics contributed by one segment at time `t` (latent state:
+    /// episodes + diurnal load, no per-call noise).
+    pub fn segment_mean(&self, segment: Segment, t: SimTime) -> SegMetrics {
+        let s = self.state(segment);
+        let k = &self.knobs;
+        let sev = s.episodes.on_day(t.day()) * s.episode_scale;
+        // Diurnal load peaks at 20:00 local time at the segment midpoint.
+        let local = GeoPoint::new(0.0, s.lon_deg.clamp(-180.0, 180.0)).local_hour(t.hour_of_day());
+        let evening = 0.5 * (1.0 + ((local - 20.0) / 24.0 * std::f64::consts::TAU).cos());
+        let d = k.diurnal_amplitude * s.diurnal_sens * evening;
+
+        let episode_rtt = sev * k.episode_rtt_ms;
+        let loss_mult = 1.0 + sev * (k.episode_loss_mult - 1.0);
+        let jitter_mult = 1.0 + sev * (k.episode_jitter_mult - 1.0);
+
+        SegMetrics {
+            rtt_ms: s.rtt_ms + episode_rtt + 6.0 * d,
+            loss_pct: (s.loss_pct * loss_mult * (1.0 + 0.8 * d)).min(100.0),
+            jitter_ms: s.jitter_ms * jitter_mult * (1.0 + 0.8 * d),
+        }
+    }
+
+    /// Segments traversed by an option between `src` and `dst`, plus the
+    /// number of relay hops (for fixed forwarding cost).
+    pub fn segments_of(&self, src: AsId, dst: AsId, option: RelayOption) -> (Vec<Segment>, usize) {
+        match option.canonical() {
+            RelayOption::Direct => (
+                vec![
+                    Segment::Access(src),
+                    Segment::direct(src, dst),
+                    Segment::Access(dst),
+                ],
+                0,
+            ),
+            RelayOption::Bounce(r) => (
+                vec![
+                    Segment::Access(src),
+                    Segment::RelayWan(src, r),
+                    Segment::RelayWan(dst, r),
+                    Segment::Access(dst),
+                ],
+                1,
+            ),
+            RelayOption::Transit(r1, r2) => {
+                // Pick the orientation with the shorter on-ramps: the managed
+                // network routes sensibly.
+                let d_fwd = self.as_pos[src.index()].distance_km(&self.relay_pos[r1.index()])
+                    + self.as_pos[dst.index()].distance_km(&self.relay_pos[r2.index()]);
+                let d_rev = self.as_pos[src.index()].distance_km(&self.relay_pos[r2.index()])
+                    + self.as_pos[dst.index()].distance_km(&self.relay_pos[r1.index()]);
+                let (rin, rout) = if d_fwd <= d_rev { (r1, r2) } else { (r2, r1) };
+                (
+                    vec![
+                        Segment::Access(src),
+                        Segment::RelayWan(src, rin),
+                        Segment::backbone(rin, rout),
+                        Segment::RelayWan(dst, rout),
+                        Segment::Access(dst),
+                    ],
+                    2,
+                )
+            }
+        }
+    }
+
+    /// Expected end-to-end metrics of `option` at time `t`, *excluding*
+    /// per-call transient spikes (which inflate realized means uniformly by
+    /// `call_spike_prob × E[spike_mult − 1]` ≈ 5 % and therefore do not
+    /// change option rankings).
+    pub fn option_mean(&self, src: AsId, dst: AsId, option: RelayOption, t: SimTime) -> PathMetrics {
+        let (segments, hops) = self.segments_of(src, dst, option);
+        let mut acc = SegMetrics::default();
+        for seg in segments {
+            acc = acc.chain(&self.segment_mean(seg, t));
+        }
+        PathMetrics::new(
+            acc.rtt_ms + hops as f64 * self.knobs.relay_hop_cost_ms,
+            acc.loss_pct,
+            acc.jitter_ms,
+        )
+    }
+
+    /// Draws one realized call over `option` at time `t`: the mean plus
+    /// per-call noise (multiplicative lognormal on RTT and jitter, Gamma on
+    /// loss — heavy-tailed, mean-preserving).
+    pub fn sample_option(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        t: SimTime,
+        rng: &mut StdRng,
+    ) -> PathMetrics {
+        let mean = self.option_mean(src, dst, option, t);
+        let k = &self.knobs;
+
+        let rtt_noise = LogNormal::new(
+            -k.call_rtt_sigma * k.call_rtt_sigma / 2.0,
+            k.call_rtt_sigma,
+        )
+        .expect("valid lognormal")
+        .sample(rng);
+        let jitter_noise = LogNormal::new(
+            -k.call_jitter_sigma * k.call_jitter_sigma / 2.0,
+            k.call_jitter_sigma,
+        )
+        .expect("valid lognormal")
+        .sample(rng);
+
+        let loss = if mean.loss_pct > 1e-9 {
+            Gamma::new(k.call_loss_shape, mean.loss_pct / k.call_loss_shape)
+                .expect("valid gamma")
+                .sample(rng)
+        } else {
+            0.0
+        };
+
+        // Transient outliers: short-lived congestion events that per-call
+        // averages cannot hide — the heavy tail that breaks naive reward
+        // normalization (§4.5).
+        let (spike_mult, spike_loss) = if rng.random::<f64>() < k.call_spike_prob {
+            (
+                rng.random_range(1.5..k.call_spike_mult.max(1.6)),
+                rng.random_range(0.5..3.0),
+            )
+        } else {
+            (1.0, 0.0)
+        };
+
+        PathMetrics::new(
+            mean.rtt_ms * rtt_noise * spike_mult,
+            loss + spike_loss,
+            mean.jitter_ms * jitter_noise * spike_mult,
+        )
+    }
+
+    /// The controller's knowledge of inter-relay performance (§3.2: "we also
+    /// have information from Skype on the RTT, loss and jitter between their
+    /// relay nodes"). Static backbone metrics, no client noise.
+    pub fn backbone_metrics(&self, r1: RelayId, r2: RelayId) -> PathMetrics {
+        let m = self.segment_mean(Segment::backbone(r1, r2), SimTime::ZERO);
+        PathMetrics::new(m.rtt_ms, m.loss_pct, m.jitter_ms)
+    }
+}
+
+/// Lognormal with a given *mean* (log-sigma `sigma`), sampled once.
+fn lognormal_mean(rng: &mut StdRng, mean: f64, sigma: f64) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    LogNormal::new(mu, sigma).expect("valid lognormal").sample(rng)
+}
+
+/// Lognormal with a given *median*, sampled once.
+fn lognormal_median(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
+    LogNormal::new(median.ln(), sigma)
+        .expect("valid lognormal")
+        .sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorldConfig;
+    use crate::topology::World;
+    use via_model::stats::OnlineStats;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn means_are_deterministic_across_queries() {
+        let w = world();
+        let src = AsId(0);
+        let dst = AsId(5);
+        let t = SimTime::from_days(3);
+        let m1 = w.perf().option_mean(src, dst, RelayOption::Direct, t);
+        let m2 = w.perf().option_mean(src, dst, RelayOption::Direct, t);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn two_models_agree_regardless_of_query_order() {
+        let w1 = world();
+        let w2 = world();
+        let t = SimTime::from_days(2);
+        // Warm w2's cache in a different order first.
+        let _ = w2.perf().option_mean(AsId(3), AsId(4), RelayOption::Direct, t);
+        let a = w1.perf().option_mean(AsId(0), AsId(5), RelayOption::Bounce(RelayId(1)), t);
+        let b = w2.perf().option_mean(AsId(0), AsId(5), RelayOption::Bounce(RelayId(1)), t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn samples_scatter_around_mean() {
+        let w = world();
+        let t = SimTime::from_days(1);
+        let mean = w.perf().option_mean(AsId(0), AsId(7), RelayOption::Direct, t);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rtt = OnlineStats::new();
+        let mut loss = OnlineStats::new();
+        for _ in 0..4000 {
+            let s = w.perf().sample_option(AsId(0), AsId(7), RelayOption::Direct, t, &mut rng);
+            rtt.push(s.rtt_ms);
+            loss.push(s.loss_pct);
+        }
+        let rtt_mean = rtt.mean().unwrap();
+        // Transient spikes (call_spike_prob) uniformly inflate realized
+        // means ~5% above the spike-free `option_mean`; option rankings are
+        // unaffected.
+        assert!(
+            (rtt_mean - mean.rtt_ms) / mean.rtt_ms > -0.02,
+            "sample mean {rtt_mean} fell below model mean {}",
+            mean.rtt_ms
+        );
+        assert!(
+            (rtt_mean - mean.rtt_ms).abs() / mean.rtt_ms < 0.12,
+            "sample mean {rtt_mean} vs model mean {}",
+            mean.rtt_ms
+        );
+        if mean.loss_pct > 0.01 {
+            // Spikes also add ~0.05% absolute loss on average.
+            let loss_mean = loss.mean().unwrap();
+            assert!(
+                loss_mean >= mean.loss_pct * 0.7
+                    && loss_mean <= mean.loss_pct * 1.3 + 0.1,
+                "loss sample mean {loss_mean} vs {}",
+                mean.loss_pct
+            );
+        }
+    }
+
+    #[test]
+    fn backbone_beats_public_wan() {
+        let w = world();
+        let t = SimTime::ZERO;
+        // Compare the backbone segment against a direct WAN segment over a
+        // similar distance: the backbone must be much cleaner.
+        let bb = w.perf().backbone_metrics(RelayId(0), RelayId(1));
+        assert!(bb.loss_pct < 0.05);
+        assert!(bb.jitter_ms < 1.0);
+        let direct = w.perf().segment_mean(Segment::direct(AsId(0), AsId(9)), t);
+        assert!(direct.loss_pct > bb.loss_pct);
+    }
+
+    #[test]
+    fn transit_orientation_picks_short_on_ramps() {
+        let w = world();
+        let (segs, hops) = w
+            .perf()
+            .segments_of(AsId(0), AsId(9), RelayOption::Transit(RelayId(0), RelayId(1)));
+        assert_eq!(hops, 2);
+        assert_eq!(segs.len(), 5);
+        // First relay leg must attach to the source AS.
+        match segs[1] {
+            Segment::RelayWan(a, _) => assert_eq!(a, AsId(0)),
+            ref s => panic!("unexpected segment {s:?}"),
+        }
+    }
+
+    #[test]
+    fn rtt_respects_physics() {
+        let w = World::generate(&WorldConfig::small(), 3);
+        let t = SimTime::from_days(1);
+        for (a, b) in [(AsId(0), AsId(20)), (AsId(3), AsId(33))] {
+            let lower = w.ases[a.index()].pos.min_rtt_ms(&w.ases[b.index()].pos);
+            let m = w.perf().option_mean(a, b, RelayOption::Direct, t);
+            assert!(
+                m.rtt_ms >= lower,
+                "model RTT {} under the speed of light {}",
+                m.rtt_ms,
+                lower
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_variation_moves_metrics() {
+        let w = world();
+        let seg = Segment::direct(AsId(0), AsId(7));
+        let mut values: Vec<f64> = (0..24)
+            .map(|h| w.perf().segment_mean(seg, SimTime::from_hours(h)).jitter_ms)
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            values.last().unwrap() > &(values[0] * 1.05),
+            "expected diurnal swing, got flat {values:?}"
+        );
+    }
+
+    #[test]
+    fn loss_never_exceeds_bounds() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = SimTime::from_days(5);
+        for _ in 0..500 {
+            let s = w.perf().sample_option(AsId(1), AsId(8), RelayOption::Direct, t, &mut rng);
+            assert!((0.0..=100.0).contains(&s.loss_pct));
+            assert!(s.rtt_ms >= 0.0 && s.jitter_ms >= 0.0);
+            assert!(s.is_finite());
+        }
+    }
+}

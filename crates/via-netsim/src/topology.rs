@@ -1,0 +1,367 @@
+//! World generation: countries, eyeball ASes, relay fleet, and candidate
+//! relaying options.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use via_model::ids::{AsId, CountryId, RelayId};
+use via_model::options::RelayOption;
+use via_model::seed;
+
+use crate::catalog;
+use crate::config::WorldConfig;
+use crate::geo::GeoPoint;
+use crate::perf::PerfModel;
+
+/// A country instantiated in the world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Country {
+    /// Dense id.
+    pub id: CountryId,
+    /// Catalog name.
+    pub name: String,
+    /// Representative location.
+    pub pos: GeoPoint,
+    /// Quality tier, 1 (excellent) … 4 (poor).
+    pub tier: u8,
+    /// Relative call-traffic weight.
+    pub weight: f64,
+}
+
+/// An eyeball AS (ISP) instantiated in the world.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AsInfo {
+    /// Dense id.
+    pub id: AsId,
+    /// Country this AS serves.
+    pub country: CountryId,
+    /// PoP location (country centroid plus jitter).
+    pub pos: GeoPoint,
+    /// Quality tier; mostly the country tier, occasionally one better or
+    /// worse (ISPs within a country differ — the reason Figure 17a finds
+    /// AS-level decisions beat country-level ones).
+    pub tier: u8,
+    /// Relative share of the country's calls carried by this AS.
+    pub weight: f64,
+}
+
+/// A relay datacenter in the managed network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relay {
+    /// Dense id.
+    pub id: RelayId,
+    /// Site name.
+    pub name: String,
+    /// Site location.
+    pub pos: GeoPoint,
+}
+
+/// The fully generated world: topology plus the ground-truth performance
+/// model. Everything is deterministic in `(config, seed)`.
+#[derive(Debug)]
+pub struct World {
+    /// Generation parameters.
+    pub config: WorldConfig,
+    /// Seed the world was generated from.
+    pub seed: u64,
+    /// Instantiated countries.
+    pub countries: Vec<Country>,
+    /// Instantiated ASes, grouped contiguously by country.
+    pub ases: Vec<AsInfo>,
+    /// Relay fleet.
+    pub relays: Vec<Relay>,
+    perf: PerfModel,
+}
+
+impl World {
+    /// Generates a world from a configuration and a seed.
+    ///
+    /// # Panics
+    /// Panics if the configuration requests more countries or relays than the
+    /// catalog provides, or zero ASes per country.
+    pub fn generate(config: &WorldConfig, world_seed: u64) -> World {
+        assert!(
+            config.n_countries >= 2 && config.n_countries <= catalog::COUNTRIES.len(),
+            "n_countries out of range"
+        );
+        assert!(
+            config.n_relays >= 2 && config.n_relays <= catalog::SITES.len(),
+            "n_relays out of range"
+        );
+        assert!(config.ases_per_country >= 1, "need at least one AS/country");
+
+        let mut rng = StdRng::seed_from_u64(seed::derive(world_seed, "topology"));
+
+        let countries: Vec<Country> = catalog::COUNTRIES[..config.n_countries]
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Country {
+                id: CountryId(i as u32),
+                name: c.name.to_string(),
+                pos: GeoPoint::new(c.lat, c.lon),
+                tier: c.tier,
+                weight: c.call_weight,
+            })
+            .collect();
+
+        let mut ases = Vec::new();
+        for country in &countries {
+            // Bigger countries host more ASes: scale by sqrt(weight).
+            let scale = (country.weight / 3.0).sqrt().clamp(0.5, 2.5);
+            let n = ((config.ases_per_country as f64 * scale).round() as usize).max(1);
+            for k in 0..n {
+                let id = AsId(ases.len() as u32);
+                // Jitter the PoP position around the country centroid.
+                let lat = (country.pos.lat_deg + rng.random_range(-3.0..3.0)).clamp(-89.0, 89.0);
+                let lon = wrap_lon(country.pos.lon_deg + rng.random_range(-4.0..4.0));
+                // Tier varies ±1 around the country tier for some ASes.
+                let tier_delta: i8 = match rng.random_range(0..10) {
+                    0 => -1,
+                    1 | 2 => 1,
+                    _ => 0,
+                };
+                let tier = (i16::from(country.tier) + i16::from(tier_delta)).clamp(1, 4) as u8;
+                // Zipf-ish within-country market share.
+                let weight = 1.0 / (k as f64 + 1.0);
+                ases.push(AsInfo {
+                    id,
+                    country: country.id,
+                    pos: GeoPoint::new(lat, lon),
+                    tier,
+                    weight,
+                });
+            }
+        }
+
+        let relays: Vec<Relay> = catalog::SITES[..config.n_relays]
+            .iter()
+            .enumerate()
+            .map(|(i, s)| Relay {
+                id: RelayId(i as u32),
+                name: s.name.to_string(),
+                pos: GeoPoint::new(s.lat, s.lon),
+            })
+            .collect();
+
+        let perf = PerfModel::new(world_seed, config.clone(), &ases, &relays);
+
+        World {
+            config: config.clone(),
+            seed: world_seed,
+            countries,
+            ases,
+            relays,
+            perf,
+        }
+    }
+
+    /// The ground-truth performance model.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Country of an AS.
+    pub fn country_of(&self, a: AsId) -> CountryId {
+        self.ases[a.index()].country
+    }
+
+    /// True if the two ASes are in different countries — the paper's
+    /// definition of an international call.
+    pub fn is_international(&self, a: AsId, b: AsId) -> bool {
+        self.country_of(a) != self.country_of(b)
+    }
+
+    /// Enumerates the candidate relaying options for a source–destination AS
+    /// pair: the direct path, the `bounce_candidates` single relays with the
+    /// smallest geographic detour, and up to `transit_candidates` transit
+    /// pairs formed from relays near each endpoint.
+    ///
+    /// The managed overlay never considers *every* O(R²) pair for every call;
+    /// like the paper's deployment (9–20 options per pair, §5.5), the
+    /// candidate set is small and geographically sensible. Options are
+    /// returned in canonical form, deduplicated, `Direct` first.
+    pub fn candidate_options(&self, src: AsId, dst: AsId) -> Vec<RelayOption> {
+        let src_pos = self.ases[src.index()].pos;
+        let dst_pos = self.ases[dst.index()].pos;
+
+        // Rank relays by bounce detour distance.
+        let mut by_detour: Vec<(f64, RelayId)> = self
+            .relays
+            .iter()
+            .map(|r| {
+                let d = src_pos.distance_km(&r.pos) + r.pos.distance_km(&dst_pos);
+                (d, r.id)
+            })
+            .collect();
+        by_detour.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        let mut options = vec![RelayOption::Direct];
+        for &(_, r) in by_detour.iter().take(self.config.bounce_candidates) {
+            options.push(RelayOption::Bounce(r));
+        }
+
+        // Transit: ingress relays near the source, egress relays near the
+        // destination, ranked by total stitched distance.
+        let mut near_src: Vec<(f64, RelayId)> = self
+            .relays
+            .iter()
+            .map(|r| (src_pos.distance_km(&r.pos), r.id))
+            .collect();
+        near_src.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut near_dst: Vec<(f64, RelayId)> = self
+            .relays
+            .iter()
+            .map(|r| (dst_pos.distance_km(&r.pos), r.id))
+            .collect();
+        near_dst.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+
+        let k = self.config.transit_candidates.max(1);
+        let take = (k as f64).sqrt().ceil() as usize + 1;
+        let mut transits: Vec<(f64, RelayOption)> = Vec::new();
+        for &(d_in, r_in) in near_src.iter().take(take) {
+            for &(d_out, r_out) in near_dst.iter().take(take) {
+                if r_in == r_out {
+                    continue;
+                }
+                let bb = self.relays[r_in.index()]
+                    .pos
+                    .distance_km(&self.relays[r_out.index()].pos);
+                let total = d_in + bb + d_out;
+                transits.push((total, RelayOption::Transit(r_in, r_out).canonical()));
+            }
+        }
+        transits.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for (_, t) in transits {
+            if options.len() >= 1 + self.config.bounce_candidates + self.config.transit_candidates
+            {
+                break;
+            }
+            if !options.contains(&t) {
+                options.push(t);
+            }
+        }
+        options
+    }
+}
+
+fn wrap_lon(lon: f64) -> f64 {
+    let mut l = lon;
+    while l > 180.0 {
+        l -= 360.0;
+    }
+    while l < -180.0 {
+        l += 360.0;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::generate(&WorldConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w1 = world();
+        let w2 = world();
+        assert_eq!(w1.ases.len(), w2.ases.len());
+        for (a, b) in w1.ases.iter().zip(&w2.ases) {
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.tier, b.tier);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w1 = World::generate(&WorldConfig::tiny(), 1);
+        let w2 = World::generate(&WorldConfig::tiny(), 2);
+        let same = w1
+            .ases
+            .iter()
+            .zip(&w2.ases)
+            .all(|(a, b)| a.pos == b.pos && a.tier == b.tier);
+        assert!(!same);
+    }
+
+    #[test]
+    fn entities_have_dense_ids() {
+        let w = world();
+        for (i, a) in w.ases.iter().enumerate() {
+            assert_eq!(a.id.index(), i);
+        }
+        for (i, r) in w.relays.iter().enumerate() {
+            assert_eq!(r.id.index(), i);
+        }
+        assert_eq!(w.countries.len(), 6);
+        assert_eq!(w.relays.len(), 6);
+    }
+
+    #[test]
+    fn as_tiers_within_range() {
+        let w = World::generate(&WorldConfig::small(), 9);
+        for a in &w.ases {
+            assert!((1..=4).contains(&a.tier));
+            // AS must be near its country.
+            let c = &w.countries[a.country.index()];
+            assert!(a.pos.distance_km(&c.pos) < 900.0);
+        }
+    }
+
+    #[test]
+    fn international_classification() {
+        let w = world();
+        let first_country = w.ases[0].country;
+        let other = w
+            .ases
+            .iter()
+            .find(|a| a.country != first_country)
+            .expect("tiny world has multiple countries");
+        assert!(w.is_international(w.ases[0].id, other.id));
+        assert!(!w.is_international(w.ases[0].id, w.ases[0].id));
+    }
+
+    #[test]
+    fn candidate_options_shape() {
+        let w = world();
+        let src = w.ases[0].id;
+        let dst = w.ases.last().unwrap().id;
+        let opts = w.candidate_options(src, dst);
+        assert_eq!(opts[0], RelayOption::Direct);
+        let bounces = opts.iter().filter(|o| o.is_bounce()).count();
+        let transits = opts.iter().filter(|o| o.is_transit()).count();
+        assert_eq!(bounces, w.config.bounce_candidates.min(w.relays.len()));
+        assert!(transits >= 1, "expected at least one transit candidate");
+        assert!(opts.len() <= 1 + w.config.bounce_candidates + w.config.transit_candidates);
+        // No duplicates.
+        let mut dedup = opts.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), opts.len());
+    }
+
+    #[test]
+    fn candidate_options_are_canonical() {
+        let w = world();
+        for o in w.candidate_options(w.ases[0].id, w.ases[1].id) {
+            assert_eq!(o, o.canonical());
+        }
+    }
+
+    #[test]
+    fn wrap_lon_behaviour() {
+        assert_eq!(wrap_lon(190.0), -170.0);
+        assert_eq!(wrap_lon(-185.0), 175.0);
+        assert_eq!(wrap_lon(45.0), 45.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_countries out of range")]
+    fn rejects_oversized_config() {
+        let mut cfg = WorldConfig::tiny();
+        cfg.n_countries = 1000;
+        World::generate(&cfg, 1);
+    }
+}

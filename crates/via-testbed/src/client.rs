@@ -1,0 +1,305 @@
+//! The instrumented client: probe sender, echo responder, and measurement
+//! reporting.
+//!
+//! Mirrors the paper's modified Skype clients (§5.5): each client registers
+//! with the controller over TCP, answers probe streams addressed to it (the
+//! callee side echoes every probe back through the same relay), and — when
+//! instructed to place a call — sends a short RTP probe stream through the
+//! designated relay, measures RTT / loss / jitter from the echoes, and
+//! reports the triple to the controller.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use via_media::JitterEstimator;
+use via_model::metrics::PathMetrics;
+
+use crate::error::TestbedError;
+use crate::probe::{ProbeKind, ProbePacket};
+use crate::protocol::{read_frame, write_frame, ClientMsg, ControllerMsg};
+
+/// An echo received by the media socket, forwarded to the measurement loop.
+#[derive(Debug, Clone)]
+struct EchoEvent {
+    at: Instant,
+    session: u16,
+    seq: u16,
+    ssrc: u32,
+    rtp_timestamp: u32,
+}
+
+/// Runs one testbed client to completion (until the controller sends
+/// `Finished`). Blocks the calling thread.
+pub fn run_client(name: &str, controller: SocketAddr) -> Result<(), TestbedError> {
+    let udp = UdpSocket::bind("127.0.0.1:0")?;
+    udp.set_read_timeout(Some(Duration::from_millis(50)))?;
+    let udp_port = udp.local_addr()?.port();
+
+    let (echo_tx, echo_rx) = bounded::<EchoEvent>(4_096);
+    let stop = Arc::new(AtomicBool::new(false));
+    let responder = spawn_responder(udp.try_clone()?, echo_tx, Arc::clone(&stop))?;
+
+    let mut tcp = TcpStream::connect(controller)?;
+    write_frame(
+        &mut tcp,
+        &ClientMsg::Register {
+            name: name.to_string(),
+            udp_port,
+        },
+    )?;
+    let welcome: ControllerMsg = read_frame(&mut tcp)?;
+    if welcome != ControllerMsg::Welcome {
+        return Err(TestbedError::Protocol(format!(
+            "expected Welcome, got {welcome:?}"
+        )));
+    }
+
+    loop {
+        let msg: ControllerMsg = read_frame(&mut tcp)?;
+        match msg {
+            ControllerMsg::Welcome => {
+                return Err(TestbedError::Protocol("unexpected second Welcome".into()))
+            }
+            ControllerMsg::Finished => break,
+            ControllerMsg::Call {
+                relay_addr,
+                relay,
+                session,
+                round,
+                probes,
+                gap_ms,
+                callee,
+                ..
+            } => {
+                let relay_sock: SocketAddr = relay_addr.parse().map_err(|e| {
+                    TestbedError::Protocol(format!("bad relay addr {relay_addr}: {e}"))
+                })?;
+                let metrics = measure_call(&udp, &echo_rx, relay_sock, session, probes, gap_ms)?;
+                write_frame(
+                    &mut tcp,
+                    &ClientMsg::Report {
+                        caller: name.to_string(),
+                        callee,
+                        relay,
+                        round,
+                        metrics,
+                    },
+                )?;
+            }
+        }
+    }
+
+    write_frame(&mut tcp, &ClientMsg::Done { name: name.to_string() })?;
+    stop.store(true, Ordering::Relaxed);
+    let _ = responder.join();
+    Ok(())
+}
+
+/// Spawns the media-socket thread: echoes probes, channels echoes.
+fn spawn_responder(
+    udp: UdpSocket,
+    echo_tx: Sender<EchoEvent>,
+    stop: Arc<AtomicBool>,
+) -> Result<std::thread::JoinHandle<()>, TestbedError> {
+    let handle = std::thread::Builder::new()
+        .name("via-client-media".into())
+        .spawn(move || {
+            let mut buf = [0u8; 2048];
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let (len, src) = match udp.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue
+                    }
+                    Err(_) => return,
+                };
+                let Ok(pkt) = ProbePacket::decode(&buf[..len]) else {
+                    continue;
+                };
+                match pkt.kind {
+                    ProbeKind::Probe => {
+                        // Callee role: reflect through the relay it came from.
+                        let _ = udp.send_to(&pkt.to_echo().encode(), src);
+                    }
+                    ProbeKind::Echo => {
+                        let _ = echo_tx.try_send(EchoEvent {
+                            at: Instant::now(),
+                            session: pkt.session,
+                            seq: pkt.rtp.seq,
+                            ssrc: pkt.rtp.ssrc,
+                            rtp_timestamp: pkt.rtp.timestamp,
+                        });
+                    }
+                }
+            }
+        })
+        .map_err(TestbedError::Io)?;
+    Ok(handle)
+}
+
+/// Sends one probe stream and reduces the echoes to a metric triple.
+fn measure_call(
+    udp: &UdpSocket,
+    echo_rx: &Receiver<EchoEvent>,
+    relay: SocketAddr,
+    session: u16,
+    probes: u16,
+    gap_ms: u64,
+) -> Result<PathMetrics, TestbedError> {
+    // Drain stragglers from previous calls.
+    while echo_rx.try_recv().is_ok() {}
+
+    // A zero-probe call would divide by zero below; treat it as one probe
+    // (the controller never asks for zero, but the CLI can).
+    let probes = probes.max(1);
+    let ssrc: u32 = u32::from(session) << 16 | 0x5A5A;
+    let mut send_times = vec![None::<Instant>; usize::from(probes)];
+
+    for seq in 0..probes {
+        let pkt = ProbePacket::probe(session, seq, ssrc);
+        send_times[usize::from(seq)] = Some(Instant::now());
+        udp.send_to(&pkt.encode(), relay)?;
+        std::thread::sleep(Duration::from_millis(gap_ms));
+    }
+
+    // Collection window: a generous ceiling so even intercontinental
+    // emulated paths (~600 ms echo RTT) are counted, with an idle early-exit
+    // so clean fast paths don't pay for it: once at least one echo arrived,
+    // 250 ms of silence ends the call.
+    let deadline = Instant::now() + Duration::from_millis(1_200);
+    let idle_exit = Duration::from_millis(250);
+    let mut rtts: Vec<f64> = Vec::with_capacity(usize::from(probes));
+    let mut estimator = JitterEstimator::new();
+    let mut received = vec![false; usize::from(probes)];
+
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let mut wait = deadline.saturating_duration_since(now);
+        if rtts.is_empty() {
+            // Nothing yet: wait out the full window.
+        } else {
+            wait = wait.min(idle_exit);
+        }
+        let Ok(ev) = echo_rx.recv_timeout(wait) else {
+            if !rtts.is_empty() {
+                break; // idle after at least one echo: the stream is done
+            }
+            continue;
+        };
+        if ev.session != session || ev.ssrc != ssrc {
+            continue; // an old call's echo
+        }
+        let idx = usize::from(ev.seq);
+        if idx >= send_times.len() || received[idx] {
+            continue;
+        }
+        received[idx] = true;
+        if let Some(sent) = send_times[idx] {
+            rtts.push(ev.at.duration_since(sent).as_secs_f64() * 1_000.0);
+        }
+        let t0 = send_times[0].expect("first send recorded");
+        let arrival_ms = ev.at.duration_since(t0).as_secs_f64() * 1_000.0;
+        estimator.on_packet(arrival_ms, ev.rtp_timestamp);
+        if received.iter().all(|&r| r) {
+            break;
+        }
+    }
+
+    let got = received.iter().filter(|&&r| r).count();
+    let loss_pct = 100.0 * (f64::from(probes) - got as f64) / f64::from(probes);
+    let rtt_ms = if rtts.is_empty() {
+        // Total loss: report the collection ceiling, like a timed-out call.
+        1_000.0
+    } else {
+        rtts.iter().sum::<f64>() / rtts.len() as f64
+    };
+    Ok(PathMetrics::new(rtt_ms, loss_pct, estimator.jitter_ms()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impair::ImpairParams;
+    use crate::relay::{RelayHandle, Session};
+
+    /// End-to-end measurement through a real relay with known impairment.
+    #[test]
+    fn measures_known_impairment() {
+        let relay = RelayHandle::spawn(11).unwrap();
+
+        // Callee: a raw echo socket using the same responder logic.
+        let callee = UdpSocket::bind("127.0.0.1:0").unwrap();
+        callee
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let (tx, _rx) = bounded(16);
+        let stop = Arc::new(AtomicBool::new(false));
+        let responder =
+            spawn_responder(callee.try_clone().unwrap(), tx, Arc::clone(&stop)).unwrap();
+
+        // Caller media socket + echo channel.
+        let caller = UdpSocket::bind("127.0.0.1:0").unwrap();
+        caller
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .unwrap();
+        let (ctx, crx) = bounded(1024);
+        let cstop = Arc::new(AtomicBool::new(false));
+        let cresp = spawn_responder(caller.try_clone().unwrap(), ctx, Arc::clone(&cstop)).unwrap();
+
+        relay.register_session(
+            1,
+            Session::steady(
+                caller.local_addr().unwrap(),
+                callee.local_addr().unwrap(),
+                ImpairParams {
+                    delay_ms: 15.0,
+                    jitter_ms: 0.5,
+                    loss_pct: 0.0,
+                    corrupt_pct: 0.0,
+                },
+                ImpairParams {
+                    delay_ms: 15.0,
+                    jitter_ms: 0.5,
+                    loss_pct: 0.0,
+                    corrupt_pct: 0.0,
+                },
+            ),
+        );
+
+        let metrics = measure_call(&caller, &crx, relay.addr(), 1, 30, 2).unwrap();
+        // Expected RTT ≈ 30 ms of impairment (+ loopback overhead).
+        assert!(
+            metrics.rtt_ms > 25.0 && metrics.rtt_ms < 80.0,
+            "measured RTT {}",
+            metrics.rtt_ms
+        );
+        assert!(metrics.loss_pct < 10.0, "loss {}", metrics.loss_pct);
+
+        stop.store(true, Ordering::Relaxed);
+        cstop.store(true, Ordering::Relaxed);
+        let _ = responder.join();
+        let _ = cresp.join();
+    }
+
+    #[test]
+    fn total_loss_reports_ceiling() {
+        // No relay at all: every probe vanishes.
+        let caller = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let (_tx, rx) = bounded(4);
+        let dead: SocketAddr = "127.0.0.1:9".parse().unwrap(); // discard port
+        let metrics = measure_call(&caller, &rx, dead, 2, 5, 1).unwrap();
+        assert_eq!(metrics.loss_pct, 100.0);
+        assert!(metrics.rtt_ms >= 500.0);
+    }
+}

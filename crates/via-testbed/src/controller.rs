@@ -1,0 +1,271 @@
+//! The central controller: registration, session setup, call orchestration,
+//! and measurement collection.
+//!
+//! Mirrors the Azure-hosted controller of §5.5: it "orchestrated each client
+//! to make calls to the other clients … back-to-back calls using 9–20
+//! different relaying options, 4–5 times each". Pairs with distinct callers
+//! are driven in parallel (one orchestration thread per caller connection);
+//! a caller's own calls run strictly back-to-back.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use via_model::metrics::PathMetrics;
+
+use crate::error::TestbedError;
+use crate::protocol::{read_frame, write_frame, ClientMsg, ControllerMsg, RelayIndex};
+
+/// One caller–callee pair and its relaying options.
+#[derive(Debug, Clone)]
+pub struct PairSpec {
+    /// Caller client name.
+    pub caller: String,
+    /// Callee client name.
+    pub callee: String,
+    /// Relay options: (index for reporting, relay UDP address).
+    pub relays: Vec<(RelayIndex, SocketAddr)>,
+}
+
+/// Orchestration parameters.
+#[derive(Debug, Clone)]
+pub struct ControllerConfig {
+    /// Back-to-back sweeps per pair (paper: 4–5).
+    pub rounds: u32,
+    /// Probe packets per call.
+    pub probes: u16,
+    /// Gap between probes, ms.
+    pub gap_ms: u64,
+    /// The pair plan.
+    pub pairs: Vec<PairSpec>,
+}
+
+/// One collected measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportRecord {
+    /// Caller name.
+    pub caller: String,
+    /// Callee name.
+    pub callee: String,
+    /// Relay used.
+    pub relay: RelayIndex,
+    /// Sweep index.
+    pub round: u32,
+    /// Measured metrics.
+    pub metrics: PathMetrics,
+}
+
+/// Runs the controller: waits for `expected_clients` registrations on
+/// `listener`, installs sessions via `registrar` — a callback invoked as
+/// `(relay, session_id, caller_addr, callee_addr)` before any calls are
+/// placed — orchestrates all calls, releases the clients, and returns the
+/// collected reports.
+pub fn run_controller(
+    listener: TcpListener,
+    cfg: ControllerConfig,
+    expected_clients: usize,
+    registrar: impl Fn(RelayIndex, u16, SocketAddr, SocketAddr),
+) -> Result<Vec<ReportRecord>, TestbedError> {
+    // Phase 1: registration.
+    let mut clients: HashMap<String, (TcpStream, SocketAddr)> = HashMap::new();
+    while clients.len() < expected_clients {
+        let (mut stream, peer) = listener.accept()?;
+        let msg: ClientMsg = read_frame(&mut stream)?;
+        match msg {
+            ClientMsg::Register { name, udp_port } => {
+                let udp_addr = SocketAddr::new(peer.ip(), udp_port);
+                write_frame(&mut stream, &ControllerMsg::Welcome)?;
+                clients.insert(name, (stream, udp_addr));
+            }
+            other => {
+                return Err(TestbedError::Protocol(format!(
+                    "expected Register, got {other:?}"
+                )))
+            }
+        }
+    }
+
+    // Phase 2: session installation. One session id per (pair, relay).
+    let mut session_of: HashMap<(usize, RelayIndex), u16> = HashMap::new();
+    let mut next_session: u16 = 1;
+    for (pair_idx, pair) in cfg.pairs.iter().enumerate() {
+        let caller_addr = clients
+            .get(&pair.caller)
+            .ok_or_else(|| TestbedError::Protocol(format!("unknown caller {}", pair.caller)))?
+            .1;
+        let callee_addr = clients
+            .get(&pair.callee)
+            .ok_or_else(|| TestbedError::Protocol(format!("unknown callee {}", pair.callee)))?
+            .1;
+        for &(relay, _) in &pair.relays {
+            let id = next_session;
+            next_session = next_session.wrapping_add(1);
+            registrar(relay, id, caller_addr, callee_addr);
+            session_of.insert((pair_idx, relay), id);
+        }
+    }
+
+    // Phase 3: orchestration, one thread per caller.
+    let reports: Arc<Mutex<Vec<ReportRecord>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut by_caller: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, p) in cfg.pairs.iter().enumerate() {
+        by_caller.entry(p.caller.clone()).or_default().push(i);
+    }
+
+    let mut threads = Vec::new();
+    for (caller, pair_indices) in by_caller {
+        let (mut stream, _) = clients
+            .remove(&caller)
+            .ok_or_else(|| TestbedError::Protocol(format!("unknown caller {caller}")))?;
+        let pairs: Vec<(usize, PairSpec)> = pair_indices
+            .into_iter()
+            .map(|i| (i, cfg.pairs[i].clone()))
+            .collect();
+        let sessions = session_of.clone();
+        let reports = Arc::clone(&reports);
+        let rounds = cfg.rounds;
+        let probes = cfg.probes;
+        let gap_ms = cfg.gap_ms;
+        let callee_addrs: HashMap<String, SocketAddr> = pairs
+            .iter()
+            .map(|(_, p)| {
+                (
+                    p.callee.clone(),
+                    clients
+                        .get(&p.callee)
+                        .map(|c| c.1)
+                        // The callee may itself be a caller (already removed);
+                        // its UDP address was captured during registration and
+                        // embedded in the relay sessions, so it is only used
+                        // for the informational field of the Call message.
+                        .unwrap_or_else(|| "127.0.0.1:0".parse().expect("valid")),
+                )
+            })
+            .collect();
+
+        threads.push(std::thread::Builder::new().name(format!("via-ctrl-{caller}")).spawn(
+            move || -> Result<TcpStream, TestbedError> {
+                for round in 0..rounds {
+                    for (pair_idx, pair) in &pairs {
+                        for &(relay, relay_addr) in &pair.relays {
+                            let session = sessions[&(*pair_idx, relay)];
+                            write_frame(
+                                &mut stream,
+                                &ControllerMsg::Call {
+                                    callee_addr: callee_addrs[&pair.callee].to_string(),
+                                    relay_addr: relay_addr.to_string(),
+                                    relay,
+                                    session,
+                                    round,
+                                    probes,
+                                    gap_ms,
+                                    callee: pair.callee.clone(),
+                                },
+                            )?;
+                            let reply: ClientMsg = read_frame(&mut stream)?;
+                            match reply {
+                                ClientMsg::Report {
+                                    caller,
+                                    callee,
+                                    relay,
+                                    round,
+                                    metrics,
+                                } => reports.lock().push(ReportRecord {
+                                    caller,
+                                    callee,
+                                    relay,
+                                    round,
+                                    metrics,
+                                }),
+                                other => {
+                                    return Err(TestbedError::Protocol(format!(
+                                        "expected Report, got {other:?}"
+                                    )))
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(stream)
+            },
+        )?);
+    }
+
+    // Join orchestration threads, then release every client.
+    let mut caller_streams = Vec::new();
+    for t in threads {
+        let stream = t
+            .join()
+            .map_err(|_| TestbedError::Component("orchestration thread panicked".into()))??;
+        caller_streams.push(stream);
+    }
+    for mut stream in caller_streams {
+        write_frame(&mut stream, &ControllerMsg::Finished)?;
+        // Read the Done (best-effort; the client may have closed already).
+        let _ = read_frame::<ClientMsg>(&mut stream);
+    }
+    for (_, (mut stream, _)) in clients {
+        write_frame(&mut stream, &ControllerMsg::Finished)?;
+        let _ = read_frame::<ClientMsg>(&mut stream);
+    }
+
+    Ok(Arc::try_unwrap(reports)
+        .map_err(|_| TestbedError::Component("report sink still shared".into()))?
+        .into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_spec_and_config_are_cloneable() {
+        let p = PairSpec {
+            caller: "a".into(),
+            callee: "b".into(),
+            relays: vec![(0, "127.0.0.1:5000".parse().unwrap())],
+        };
+        let cfg = ControllerConfig {
+            rounds: 2,
+            probes: 10,
+            gap_ms: 5,
+            pairs: vec![p.clone()],
+        };
+        assert_eq!(cfg.pairs[0].caller, p.caller);
+    }
+
+    #[test]
+    fn rejects_unknown_caller_in_plan() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // One registering client named "real".
+        let joiner = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_frame(
+                &mut s,
+                &ClientMsg::Register {
+                    name: "real".into(),
+                    udp_port: 1,
+                },
+            )
+            .unwrap();
+            let _: ControllerMsg = read_frame(&mut s).unwrap();
+            // Keep the connection open until the controller errors out.
+            std::thread::sleep(std::time::Duration::from_millis(200));
+        });
+        let cfg = ControllerConfig {
+            rounds: 1,
+            probes: 1,
+            gap_ms: 1,
+            pairs: vec![PairSpec {
+                caller: "ghost".into(),
+                callee: "real".into(),
+                relays: vec![(0, "127.0.0.1:5000".parse().unwrap())],
+            }],
+        };
+        let err = run_controller(listener, cfg, 1, |_, _, _, _| {}).unwrap_err();
+        assert!(matches!(err, TestbedError::Protocol(_)));
+        joiner.join().unwrap();
+    }
+}

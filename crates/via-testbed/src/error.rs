@@ -1,0 +1,55 @@
+//! Testbed error type.
+
+use crate::protocol::FrameError;
+use std::io;
+
+/// Errors surfaced by testbed components.
+#[derive(Debug)]
+pub enum TestbedError {
+    /// Socket / stream failure.
+    Io(io::Error),
+    /// Control-plane framing failure.
+    Frame(FrameError),
+    /// Protocol violation (unexpected message), with context.
+    Protocol(String),
+    /// A component thread panicked or disconnected early.
+    Component(String),
+}
+
+impl std::fmt::Display for TestbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestbedError::Io(e) => write!(f, "testbed I/O error: {e}"),
+            TestbedError::Frame(e) => write!(f, "testbed framing error: {e}"),
+            TestbedError::Protocol(m) => write!(f, "testbed protocol violation: {m}"),
+            TestbedError::Component(m) => write!(f, "testbed component failure: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestbedError {}
+
+impl From<io::Error> for TestbedError {
+    fn from(e: io::Error) -> Self {
+        TestbedError::Io(e)
+    }
+}
+
+impl From<FrameError> for TestbedError {
+    fn from(e: FrameError) -> Self {
+        TestbedError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = TestbedError::Protocol("expected Welcome".into());
+        assert!(e.to_string().contains("expected Welcome"));
+        let io_err: TestbedError = io::Error::other("boom").into();
+        assert!(io_err.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,290 @@
+//! In-process testbed assembly: relays + clients + controller on loopback.
+//!
+//! Reproduces the shape of the paper's deployment (§5.5): a handful of
+//! clients "in different countries" (each assigned an AS of a `via-netsim`
+//! world, whose segment model supplies the emulated impairments), a fleet of
+//! relay forwarders, and the controller orchestrating back-to-back probe
+//! calls over every relaying option.
+
+use std::collections::HashMap;
+use std::net::TcpListener;
+use via_model::ids::{AsId, RelayId};
+use via_model::metrics::PathMetrics;
+use via_model::time::SimTime;
+use via_netsim::{World, WorldConfig};
+
+use crate::client::run_client;
+use crate::controller::{run_controller, ControllerConfig, PairSpec, ReportRecord};
+use crate::error::TestbedError;
+use crate::impair::ImpairParams;
+use crate::relay::{RelayHandle, Session};
+
+/// Testbed parameters.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Number of clients (paper: 14 machines).
+    pub n_clients: usize,
+    /// Number of relays (the paper's pairs saw 9–20 options).
+    pub n_relays: usize,
+    /// Number of caller–callee pairs (paper: 18).
+    pub n_pairs: usize,
+    /// Back-to-back sweeps per pair (paper: 4–5).
+    pub rounds: u32,
+    /// Probes per call.
+    pub probes: u16,
+    /// Inter-probe gap, ms.
+    pub gap_ms: u64,
+    /// World supplying geography + impairments.
+    pub world: WorldConfig,
+    /// Seed for everything.
+    pub seed: u64,
+}
+
+impl TestbedConfig {
+    /// A fast configuration for tests: completes in a few seconds.
+    pub fn fast() -> Self {
+        Self {
+            n_clients: 4,
+            n_relays: 4,
+            n_pairs: 3,
+            rounds: 3,
+            probes: 15,
+            gap_ms: 2,
+            world: WorldConfig::tiny(),
+            seed: 18,
+        }
+    }
+
+    /// The paper-shaped configuration: 18 pairs, 4–5 rounds, more relays.
+    /// Takes a minute or two of wall-clock (real delays are emulated).
+    pub fn paper_shaped() -> Self {
+        Self {
+            n_clients: 14,
+            n_relays: 6,
+            n_pairs: 18,
+            rounds: 4,
+            probes: 25,
+            gap_ms: 4,
+            world: WorldConfig::tiny(),
+            seed: 55,
+        }
+    }
+}
+
+/// Everything a testbed run produces.
+#[derive(Debug)]
+pub struct TestbedResult {
+    /// All measurements collected by the controller.
+    pub reports: Vec<ReportRecord>,
+    /// The impairment-derived expected metrics per (caller, callee, relay):
+    /// ground truth for validating measurements.
+    pub expected: HashMap<(String, String, u16), PathMetrics>,
+    /// Total packets forwarded by all relays.
+    pub forwarded: u64,
+    /// Total packets dropped by impairment.
+    pub dropped: u64,
+}
+
+/// Emulated one-way leg between a client (by AS) and a relay, derived from
+/// the world's segment model. Delay is half the segment RTT; jitter and loss
+/// split evenly between directions.
+fn leg_params(world: &World, as_id: AsId, relay: RelayId) -> ImpairParams {
+    let seg = world
+        .perf()
+        .segment_mean(via_netsim::Segment::RelayWan(as_id, relay), SimTime::from_days(1));
+    ImpairParams {
+        delay_ms: seg.rtt_ms / 2.0,
+        jitter_ms: seg.jitter_ms / std::f64::consts::SQRT_2,
+        loss_pct: seg.loss_pct / 2.0,
+        // A light corruption rate exercises the defensive parsers; corrupted
+        // probes surface as loss, like bit errors on a real path.
+        corrupt_pct: 0.05,
+    }
+}
+
+/// Runs a complete testbed experiment and returns the measurements.
+pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
+    assert!(cfg.n_clients >= 2, "need at least two clients");
+    assert!(cfg.n_relays >= 1, "need at least one relay");
+
+    let world = World::generate(&cfg.world, cfg.seed);
+    assert!(
+        world.ases.len() >= cfg.n_clients,
+        "world too small for the requested client count"
+    );
+    assert!(world.relays.len() >= cfg.n_relays);
+
+    // Spread clients across ASes (and hence countries).
+    let client_as: Vec<AsId> = (0..cfg.n_clients)
+        .map(|i| world.ases[(i * world.ases.len()) / cfg.n_clients].id)
+        .collect();
+    let client_names: Vec<String> = (0..cfg.n_clients).map(|i| format!("client-{i}")).collect();
+
+    // Relays.
+    let relays: Vec<RelayHandle> = (0..cfg.n_relays)
+        .map(|i| RelayHandle::spawn(cfg.seed + i as u64))
+        .collect::<Result<_, _>>()?;
+
+    // Pair plan: round-robin over distinct (caller, callee) combinations.
+    let mut pairs = Vec::new();
+    let mut k = 0usize;
+    'outer: for i in 0..cfg.n_clients {
+        for j in (i + 1)..cfg.n_clients {
+            pairs.push(PairSpec {
+                caller: client_names[i].clone(),
+                callee: client_names[j].clone(),
+                relays: (0..cfg.n_relays)
+                    .map(|r| (r as u16, relays[r].addr()))
+                    .collect(),
+            });
+            k += 1;
+            if k >= cfg.n_pairs {
+                break 'outer;
+            }
+        }
+    }
+
+    // Expected (ground-truth) per-(pair, relay) metrics from the impairment
+    // parameters: caller→relay→callee and back.
+    let as_of: HashMap<&str, AsId> = client_names
+        .iter()
+        .map(String::as_str)
+        .zip(client_as.iter().copied())
+        .collect();
+    let mut expected = HashMap::new();
+    for pair in &pairs {
+        let ca = as_of[pair.caller.as_str()];
+        let cb = as_of[pair.callee.as_str()];
+        for &(r, _) in &pair.relays {
+            let leg_a = leg_params(&world, ca, RelayId(u32::from(r)));
+            let leg_b = leg_params(&world, cb, RelayId(u32::from(r)));
+            let one_way = leg_a.chain(&leg_b);
+            // Echo path doubles delay; loss applies on both crossings.
+            let rt = one_way.chain(&one_way);
+            expected.insert(
+                (pair.caller.clone(), pair.callee.clone(), r),
+                PathMetrics::new(rt.delay_ms, rt.loss_pct, rt.jitter_ms),
+            );
+        }
+    }
+
+    // The session registrar wires controller-assigned sessions into relays
+    // with the impairments of the two legs.
+    let registrar_world = &world;
+    let registrar_relays = &relays;
+    let registrar_as_of = &as_of;
+
+    // Map from UDP addr to client index is only known post-registration, so
+    // the registrar resolves impairments by *position in the plan* instead:
+    // controller registers sessions pair-by-pair in plan order.
+    let plan_legs: Vec<(ImpairParams, ImpairParams)> = pairs
+        .iter()
+        .flat_map(|p| {
+            let ca = registrar_as_of[p.caller.as_str()];
+            let cb = registrar_as_of[p.callee.as_str()];
+            p.relays.iter().map(move |&(r, _)| {
+                let leg_a = leg_params(registrar_world, ca, RelayId(u32::from(r)));
+                let leg_b = leg_params(registrar_world, cb, RelayId(u32::from(r)));
+                (leg_a.chain(&leg_b), leg_b.chain(&leg_a))
+            })
+        })
+        .collect();
+    let session_counter = std::sync::atomic::AtomicUsize::new(0);
+    // Per-session temporal sway (deterministic in the seed + session order):
+    // effective delay oscillates ±25% with a period comparable to a sweep,
+    // so consecutive rounds can disagree about the best relay.
+    let sway_seed = cfg.seed;
+
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let controller_addr = listener.local_addr()?;
+    let controller_cfg = ControllerConfig {
+        rounds: cfg.rounds,
+        probes: cfg.probes,
+        gap_ms: cfg.gap_ms,
+        pairs,
+    };
+
+    // Clients run on their own threads.
+    let client_threads: Vec<_> = client_names
+        .iter()
+        .map(|name| {
+            let name = name.clone();
+            std::thread::Builder::new()
+                .name(format!("via-{name}"))
+                .spawn(move || run_client(&name, controller_addr))
+                .expect("spawn client")
+        })
+        .collect();
+
+    let reports = run_controller(listener, controller_cfg, cfg.n_clients, |relay,
+                                                                           session,
+                                                                           caller_addr,
+                                                                           callee_addr| {
+        let idx = session_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let (a_to_b, b_to_a) = plan_legs
+            .get(idx)
+            .copied()
+            .unwrap_or((ImpairParams::CLEAN, ImpairParams::CLEAN));
+        let mix = via_model::seed::derive_indexed(sway_seed, "sway", session as u64);
+        registrar_relays[usize::from(relay)].register_session(
+            session,
+            Session {
+                a: caller_addr,
+                b: callee_addr,
+                a_to_b,
+                b_to_a,
+                sway_amp: 0.10 + (mix % 1000) as f64 / 1000.0 * 0.25,
+                sway_period_s: 6.0 + (mix >> 10 & 0x3FF) as f64 / 1024.0 * 18.0,
+                sway_phase: (mix >> 20 & 0x3FF) as f64 / 1024.0 * std::f64::consts::TAU,
+            },
+        );
+    })?;
+
+    for t in client_threads {
+        t.join()
+            .map_err(|_| TestbedError::Component("client thread panicked".into()))??;
+    }
+
+    let forwarded = relays.iter().map(|r| r.forwarded()).sum();
+    let dropped = relays.iter().map(|r| r.dropped()).sum();
+
+    Ok(TestbedResult {
+        reports,
+        expected,
+        forwarded,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_testbed_completes_and_measures() {
+        let cfg = TestbedConfig::fast();
+        let result = run_testbed(&cfg).expect("testbed run");
+        let expected_reports = cfg.n_pairs * cfg.n_relays * cfg.rounds as usize;
+        assert_eq!(result.reports.len(), expected_reports);
+        assert!(result.forwarded > 0, "relays forwarded nothing");
+
+        // Measurements should land in the ballpark of the emulated paths.
+        let mut checked = 0;
+        for rec in &result.reports {
+            let key = (rec.caller.clone(), rec.callee.clone(), rec.relay);
+            let exp = &result.expected[&key];
+            if rec.metrics.loss_pct < 50.0 {
+                // RTT within a loose factor (loopback scheduling noise).
+                assert!(
+                    rec.metrics.rtt_ms > exp.rtt_ms * 0.5
+                        && rec.metrics.rtt_ms < exp.rtt_ms * 3.0 + 100.0,
+                    "pair {key:?}: measured {} vs expected {}",
+                    rec.metrics.rtt_ms,
+                    exp.rtt_ms
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > expected_reports / 2, "too few usable measurements");
+    }
+}

@@ -1,0 +1,41 @@
+//! Small-scale real deployment prototype of VIA (§5.5 of the paper).
+//!
+//! The paper deployed modified Skype clients on 14 machines across five
+//! countries, a controller on Azure, and used Skype's production relays.
+//! This crate rebuilds that system on loopback with real sockets:
+//!
+//! * [`protocol`] — length-prefixed JSON control plane over TCP.
+//! * [`probe`] — RTP-carrying probe/echo packets on UDP.
+//! * [`relay`] — session-based UDP forwarders (the dumb data plane).
+//! * [`impair`] — netem-like per-leg impairment (delay / jitter / loss)
+//!   applied at the relay, parameterized from a `via-netsim` world so the
+//!   emulated geography matches the simulation experiments.
+//! * [`client`] — instrumented clients: probe sender, echo responder,
+//!   RTT/loss/jitter measurement, reporting.
+//! * [`controller`] — registration, session setup, back-to-back call
+//!   orchestration, measurement collection.
+//! * [`harness`] — one-call assembly of the whole testbed.
+//! * [`selection`] — the Figure 18 controlled experiment: VIA's heuristic
+//!   evaluated against per-round ground truth (sub-optimality CDF).
+//!
+//! Everything binds to 127.0.0.1 with ephemeral ports; the only "network"
+//! is the loopback device plus emulated impairment.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod controller;
+pub mod error;
+pub mod harness;
+pub mod impair;
+pub mod probe;
+pub mod protocol;
+pub mod relay;
+pub mod selection;
+
+pub use controller::{ControllerConfig, PairSpec, ReportRecord};
+pub use error::TestbedError;
+pub use harness::{run_testbed, TestbedConfig, TestbedResult};
+pub use impair::ImpairParams;
+pub use relay::{RelayHandle, Session};
+pub use selection::{evaluate_via_selection, Fig18Result};

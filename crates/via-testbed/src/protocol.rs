@@ -1,0 +1,209 @@
+//! Control-plane protocol between testbed clients and the controller.
+//!
+//! The prototype of §5.5 runs a central controller (the paper deployed it on
+//! Azure) that instrumented clients contact over TCP. Messages are JSON
+//! objects framed with a 4-byte big-endian length prefix — simple, debuggable
+//! with standard tooling, and sufficient for a control plane that exchanges
+//! one round-trip per call.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use via_model::metrics::PathMetrics;
+
+/// Maximum accepted control frame, bytes (a Report is < 1 KiB; anything
+/// larger indicates a corrupt or hostile stream).
+pub const MAX_FRAME: u32 = 256 * 1024;
+
+/// One relay option in the testbed: an index into the harness's relay list.
+/// (The testbed omits the direct path, as the paper's §5.5 experiment does.)
+pub type RelayIndex = u16;
+
+/// Client → controller messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientMsg {
+    /// Announce this client and the UDP port it receives probes on.
+    Register {
+        /// Client name (unique per testbed).
+        name: String,
+        /// UDP port the client's media socket is bound to.
+        udp_port: u16,
+    },
+    /// Measured metrics of one probe call.
+    Report {
+        /// Caller name.
+        caller: String,
+        /// Callee name.
+        callee: String,
+        /// Relay used.
+        relay: RelayIndex,
+        /// Round number (back-to-back sweep index).
+        round: u32,
+        /// Measured metrics (RTT/loss/jitter over the probe stream).
+        metrics: PathMetrics,
+    },
+    /// The client is done with its assignments.
+    Done {
+        /// Client name.
+        name: String,
+    },
+}
+
+/// Controller → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControllerMsg {
+    /// Registration accepted.
+    Welcome,
+    /// Make one probe call.
+    Call {
+        /// Callee's UDP address (as string, e.g. "127.0.0.1:4000").
+        callee_addr: String,
+        /// Relay UDP address to send through.
+        relay_addr: String,
+        /// Relay index (for reporting).
+        relay: RelayIndex,
+        /// Session id pre-registered at the relay.
+        session: u16,
+        /// Round number.
+        round: u32,
+        /// Number of probe packets.
+        probes: u16,
+        /// Inter-probe gap in milliseconds.
+        gap_ms: u64,
+        /// Callee name (for reporting).
+        callee: String,
+    },
+    /// No more work; disconnect.
+    Finished,
+}
+
+/// Errors from frame I/O.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Socket failure.
+    Io(io::Error),
+    /// Frame exceeded [`MAX_FRAME`].
+    Oversized(u32),
+    /// JSON decode failure.
+    Decode(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
+            FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            FrameError::Decode(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed JSON frame.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    let body = serde_json::to_vec(msg).map_err(|e| FrameError::Decode(e.to_string()))?;
+    let len = u32::try_from(body.len()).map_err(|_| FrameError::Oversized(u32::MAX))?;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed JSON frame.
+pub fn read_frame<T: for<'de> Deserialize<'de>>(r: &mut impl Read) -> Result<T, FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    serde_json::from_slice(&body).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_client_messages() {
+        let msgs = vec![
+            ClientMsg::Register {
+                name: "sg-1".into(),
+                udp_port: 4001,
+            },
+            ClientMsg::Report {
+                caller: "sg-1".into(),
+                callee: "uk-1".into(),
+                relay: 3,
+                round: 2,
+                metrics: PathMetrics::new(123.0, 0.5, 4.2),
+            },
+            ClientMsg::Done { name: "sg-1".into() },
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for m in &msgs {
+            let back: ClientMsg = read_frame(&mut cur).unwrap();
+            assert_eq!(&back, m);
+        }
+    }
+
+    #[test]
+    fn roundtrip_controller_messages() {
+        let m = ControllerMsg::Call {
+            callee_addr: "127.0.0.1:4002".into(),
+            relay_addr: "127.0.0.1:5001".into(),
+            relay: 1,
+            session: 9,
+            round: 0,
+            probes: 50,
+            gap_ms: 20,
+            callee: "uk-1".into(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &m).unwrap();
+        let back: ControllerMsg = read_frame(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_on_read() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        let err = read_frame::<ClientMsg>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized(_)));
+    }
+
+    #[test]
+    fn truncated_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &ControllerMsg::Welcome).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame::<ControllerMsg>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, FrameError::Io(_)));
+    }
+
+    #[test]
+    fn garbage_is_decode_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&3u32.to_be_bytes());
+        buf.extend_from_slice(b"{{{");
+        let err = read_frame::<ControllerMsg>(&mut Cursor::new(buf)).unwrap_err();
+        assert!(matches!(err, FrameError::Decode(_)));
+    }
+}

@@ -1,0 +1,230 @@
+//! CSV export/import for call traces.
+//!
+//! JSON Lines (see [`crate::io`]) is the native format; CSV exists for
+//! interop with the usual analysis stack (pandas, R, DuckDB, spreadsheets).
+//! The writer emits one row per call with a fixed header; the reader accepts
+//! the same layout back. No external CSV dependency: the format here is
+//! strictly numeric-plus-bool, so quoting rules never trigger.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use via_model::ids::{AsId, CallId, ClientId, CountryId};
+use via_model::metrics::PathMetrics;
+use via_model::time::SimTime;
+
+use crate::record::{AccessExtra, CallRecord, Trace};
+
+/// The column header written and expected.
+pub const CSV_HEADER: &str = "call_id,t_secs,src_as,dst_as,src_country,dst_country,caller,callee,\
+wireless,duration_s,extra_rtt_ms,extra_loss_pct,extra_jitter_ms,rtt_ms,loss_pct,jitter_ms,rating";
+
+/// CSV persistence errors.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Wrong or missing header.
+    BadHeader(String),
+    /// A row failed to parse (line number, message).
+    BadRow(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "CSV I/O error: {e}"),
+            CsvError::BadHeader(h) => write!(f, "unexpected CSV header: {h}"),
+            CsvError::BadRow(line, msg) => write!(f, "CSV row {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes a trace as CSV.
+pub fn write_csv(trace: &Trace, path: &Path) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "{CSV_HEADER}")?;
+    for r in &trace.records {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.id.0,
+            r.t.secs(),
+            r.src_as.0,
+            r.dst_as.0,
+            r.src_country.0,
+            r.dst_country.0,
+            r.caller.0,
+            r.callee.0,
+            r.wireless,
+            r.duration_s,
+            r.access_extra.rtt_ms,
+            r.access_extra.loss_pct,
+            r.access_extra.jitter_ms,
+            r.direct_metrics.rtt_ms,
+            r.direct_metrics.loss_pct,
+            r.direct_metrics.jitter_ms,
+            r.rating.map(|x| x.to_string()).unwrap_or_default(),
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+fn field<'a, T: std::str::FromStr>(
+    fields: &'a [&'a str],
+    idx: usize,
+    line: usize,
+) -> Result<T, CsvError> {
+    fields
+        .get(idx)
+        .ok_or_else(|| CsvError::BadRow(line, format!("missing column {idx}")))?
+        .parse()
+        .map_err(|_| CsvError::BadRow(line, format!("unparsable column {idx}")))
+}
+
+/// Reads a trace written by [`write_csv`]. The `seed` and `days` provenance
+/// fields are not carried by CSV; they are reconstructed as 0 and the max
+/// observed day respectively.
+pub fn read_csv(path: &Path) -> Result<Trace, CsvError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::BadHeader("<empty file>".into()))??;
+    if header.trim() != CSV_HEADER {
+        return Err(CsvError::BadHeader(header));
+    }
+    let mut records = Vec::new();
+    let mut max_day = 0u64;
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let f: Vec<&str> = line.split(',').collect();
+        let lineno = i + 2;
+        let t = SimTime(field(&f, 1, lineno)?);
+        max_day = max_day.max(t.day() + 1);
+        let rating_raw: &str = f
+            .get(16)
+            .ok_or_else(|| CsvError::BadRow(lineno, "missing rating column".into()))?;
+        let rating = if rating_raw.is_empty() {
+            None
+        } else {
+            Some(
+                rating_raw
+                    .parse()
+                    .map_err(|_| CsvError::BadRow(lineno, "bad rating".into()))?,
+            )
+        };
+        records.push(CallRecord {
+            id: CallId(field(&f, 0, lineno)?),
+            t,
+            src_as: AsId(field(&f, 2, lineno)?),
+            dst_as: AsId(field(&f, 3, lineno)?),
+            src_country: CountryId(field(&f, 4, lineno)?),
+            dst_country: CountryId(field(&f, 5, lineno)?),
+            caller: ClientId(field(&f, 6, lineno)?),
+            callee: ClientId(field(&f, 7, lineno)?),
+            wireless: field(&f, 8, lineno)?,
+            duration_s: field(&f, 9, lineno)?,
+            access_extra: AccessExtra {
+                rtt_ms: field(&f, 10, lineno)?,
+                loss_pct: field(&f, 11, lineno)?,
+                jitter_ms: field(&f, 12, lineno)?,
+            },
+            direct_metrics: PathMetrics::new(
+                field(&f, 13, lineno)?,
+                field(&f, 14, lineno)?,
+                field(&f, 15, lineno)?,
+            ),
+            rating,
+        });
+    }
+    Ok(Trace {
+        seed: 0,
+        days: max_day,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{TraceConfig, TraceGenerator};
+    use via_netsim::{World, WorldConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("via-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_analysis_statistics() {
+        let world = World::generate(&WorldConfig::tiny(), 31);
+        let mut cfg = TraceConfig::tiny();
+        cfg.calls_per_day = 200;
+        let trace = TraceGenerator::new(&world, cfg, 31).generate();
+        let path = tmp("trace.csv");
+        write_csv(&trace, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.records.len(), trace.records.len());
+        assert_eq!(back.days, trace.days);
+        // Records round-trip exactly except provenance.
+        for (a, b) in trace.records.iter().zip(&back.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.t, b.t);
+            assert_eq!(a.rating, b.rating);
+            assert!((a.direct_metrics.rtt_ms - b.direct_metrics.rtt_ms).abs() < 1e-9);
+        }
+        let s1 = crate::analysis::dataset_summary(&trace);
+        let s2 = crate::analysis::dataset_summary(&back);
+        assert_eq!(s1.users, s2.users);
+        assert_eq!(s1.international_fraction, s2.international_fraction);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        let path = tmp("bad_header.csv");
+        std::fs::write(&path, "a,b,c\n1,2,3\n").unwrap();
+        assert!(matches!(read_csv(&path), Err(CsvError::BadHeader(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reports_bad_rows_with_line_numbers() {
+        let path = tmp("bad_row.csv");
+        std::fs::write(&path, format!("{CSV_HEADER}\nnot,nearly,enough\n")).unwrap();
+        match read_csv(&path) {
+            Err(CsvError::BadRow(line, _)) => assert_eq!(line, 2),
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_rating_roundtrips_as_none() {
+        let path = tmp("no_rating.csv");
+        std::fs::write(
+            &path,
+            format!("{CSV_HEADER}\n0,10,1,2,0,1,5,6,true,60.0,1.0,0.1,0.5,100.0,0.5,3.0,\n"),
+        )
+        .unwrap();
+        let trace = read_csv(&path).unwrap();
+        assert_eq!(trace.records[0].rating, None);
+        assert!(trace.records[0].wireless);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,150 @@
+//! Trace serialization: JSON Lines persistence for call traces.
+//!
+//! Traces regenerate deterministically from a seed, so persistence is a
+//! convenience (sharing a trace between experiment runs, inspecting records
+//! with standard tooling) rather than a necessity. The format is one JSON
+//! object per line — streamable, appendable, and diffable.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::record::{CallRecord, Trace};
+
+/// Errors arising from trace persistence.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line failed to parse as a record (line number, parser message).
+    Parse(usize, String),
+    /// The file had no header line.
+    MissingHeader,
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceIoError::Parse(line, msg) => write!(f, "trace parse error at line {line}: {msg}"),
+            TraceIoError::MissingHeader => write!(f, "trace file is missing its header line"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<io::Error> for TraceIoError {
+    fn from(e: io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Header line: trace provenance.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Header {
+    seed: u64,
+    days: u64,
+    records: usize,
+}
+
+/// Writes a trace as JSON Lines: a header object followed by one record per
+/// line.
+pub fn write_jsonl(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let header = Header {
+        seed: trace.seed,
+        days: trace.days,
+        records: trace.records.len(),
+    };
+    serde_json::to_writer(&mut w, &header).map_err(|e| TraceIoError::Parse(1, e.to_string()))?;
+    w.write_all(b"\n")?;
+    for r in &trace.records {
+        serde_json::to_writer(&mut w, r).map_err(|e| TraceIoError::Parse(0, e.to_string()))?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a trace written by [`write_jsonl`].
+pub fn read_jsonl(path: &Path) -> Result<Trace, TraceIoError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header_line = lines.next().ok_or(TraceIoError::MissingHeader)??;
+    let header: Header = serde_json::from_str(&header_line)
+        .map_err(|e| TraceIoError::Parse(1, e.to_string()))?;
+    let mut records = Vec::with_capacity(header.records);
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let r: CallRecord = serde_json::from_str(&line)
+            .map_err(|e| TraceIoError::Parse(i + 2, e.to_string()))?;
+        records.push(r);
+    }
+    Ok(Trace {
+        seed: header.seed,
+        days: header.days,
+        records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{TraceConfig, TraceGenerator};
+    use via_netsim::{World, WorldConfig};
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let world = World::generate(&WorldConfig::tiny(), 21);
+        let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 21).generate();
+        let dir = std::env::temp_dir().join("via-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.jsonl");
+        write_jsonl(&trace, &path).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back.seed, trace.seed);
+        assert_eq!(back.days, trace.days);
+        assert_eq!(back.records, trace.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_jsonl(Path::new("/nonexistent/via/trace.jsonl")).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+        assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn empty_file_is_missing_header() {
+        let dir = std::env::temp_dir().join("via-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.jsonl");
+        std::fs::write(&path, b"").unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        assert!(matches!(err, TraceIoError::MissingHeader));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_record_reports_line() {
+        let dir = std::env::temp_dir().join("via-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.jsonl");
+        std::fs::write(
+            &path,
+            b"{\"seed\":1,\"days\":1,\"records\":1}\nnot-json\n",
+        )
+        .unwrap();
+        let err = read_jsonl(&path).unwrap_err();
+        match err {
+            TraceIoError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

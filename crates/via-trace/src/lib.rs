@@ -1,0 +1,38 @@
+//! Call workload generation, trace records, and the paper's §2 dataset
+//! analysis.
+//!
+//! * [`record`] — [`record::CallRecord`] / [`record::Trace`]: one row per
+//!   call with endpoints, timing, wireless flag, default-path metrics, and an
+//!   optional user rating.
+//! * [`workload`] — [`workload::TraceGenerator`]: synthesizes chronological
+//!   traces over a `via-netsim` world with the paper's composition (46.6 %
+//!   international, 80.7 % inter-AS, 83 % wireless, diurnal arrivals).
+//! * [`analysis`] — every statistic of §2: Table 1, the PCR curves of
+//!   Figure 1, metric CDFs of Figure 2, pairwise correlations of Figure 3,
+//!   international/domestic and per-country PNR of Figure 4, worst-AS-pair
+//!   concentration of Figure 5, and the persistence/prevalence analysis of
+//!   Figure 6.
+//! * [`io`] — JSON Lines persistence for traces; [`csv`] — CSV interop for
+//!   the usual data-analysis stack.
+//!
+//! ```
+//! use via_netsim::{World, WorldConfig};
+//! use via_trace::workload::{TraceConfig, TraceGenerator};
+//! use via_trace::analysis;
+//!
+//! let world = World::generate(&WorldConfig::tiny(), 1);
+//! let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 1).generate();
+//! let summary = analysis::dataset_summary(&trace);
+//! assert_eq!(summary.calls, trace.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod csv;
+pub mod io;
+pub mod record;
+pub mod workload;
+
+pub use record::{AccessExtra, CallRecord, Trace};
+pub use workload::{TraceConfig, TraceGenerator};

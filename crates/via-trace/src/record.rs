@@ -1,0 +1,193 @@
+//! Call trace records.
+//!
+//! A [`CallRecord`] mirrors one row of the paper's dataset (§2.1): endpoints
+//! (AS and country), timestamp, whether the call is international / inter-AS
+//! / wireless, the average network metrics observed on the *default* path,
+//! and an optional 1–5 user rating. The [`Trace`] is the chronological list
+//! of records plus provenance.
+//!
+//! Replay experiments (§5) reuse the *skeleton* of each record — who calls
+//! whom, when, and the client-side access extras — and re-sample path metrics
+//! for whichever relaying option a strategy assigns.
+
+use serde::{Deserialize, Serialize};
+use via_model::ids::{AsId, CallId, ClientId, CountryId};
+use via_model::metrics::PathMetrics;
+use via_model::time::SimTime;
+
+/// Client-side access extras of one call: the last-hop contribution
+/// (e.g. Wi-Fi) that travels with the call no matter which relaying option
+/// carries it. Applied on top of any option's path metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccessExtra {
+    /// Additional round-trip latency, ms.
+    pub rtt_ms: f64,
+    /// Additional loss, percent (combined through complements).
+    pub loss_pct: f64,
+    /// Additional jitter, ms (combined in quadrature).
+    pub jitter_ms: f64,
+}
+
+impl AccessExtra {
+    /// Applies the extras to a path's metrics.
+    pub fn apply(&self, path: &PathMetrics) -> PathMetrics {
+        let p1 = (path.loss_pct / 100.0).clamp(0.0, 1.0);
+        let p2 = (self.loss_pct / 100.0).clamp(0.0, 1.0);
+        PathMetrics::new(
+            path.rtt_ms + self.rtt_ms,
+            100.0 * (1.0 - (1.0 - p1) * (1.0 - p2)),
+            (path.jitter_ms.powi(2) + self.jitter_ms.powi(2)).sqrt(),
+        )
+    }
+}
+
+/// One call in the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CallRecord {
+    /// Dense call id (also the per-call random stream selector in replay).
+    pub id: CallId,
+    /// Call start time.
+    pub t: SimTime,
+    /// Caller's AS.
+    pub src_as: AsId,
+    /// Callee's AS.
+    pub dst_as: AsId,
+    /// Caller's country.
+    pub src_country: CountryId,
+    /// Callee's country.
+    pub dst_country: CountryId,
+    /// Caller identity (for user counts).
+    pub caller: ClientId,
+    /// Callee identity.
+    pub callee: ClientId,
+    /// True if at least one endpoint is on a wireless last hop (83 % in the
+    /// paper's dataset).
+    pub wireless: bool,
+    /// Call duration in seconds.
+    pub duration_s: f64,
+    /// Client-side access extras; identical for every relaying option.
+    pub access_extra: AccessExtra,
+    /// Average network metrics observed on the default path (access extras
+    /// already applied) — what the paper's passive dataset records.
+    pub direct_metrics: PathMetrics,
+    /// User rating (1–5) if this call was sampled for feedback.
+    pub rating: Option<u8>,
+}
+
+impl CallRecord {
+    /// True if caller and callee are in different countries.
+    pub fn is_international(&self) -> bool {
+        self.src_country != self.dst_country
+    }
+
+    /// True if caller and callee are in different ASes.
+    pub fn is_inter_as(&self) -> bool {
+        self.src_as != self.dst_as
+    }
+
+    /// The canonical AS pair of this call.
+    pub fn as_pair(&self) -> via_model::ids::AsPair {
+        via_model::ids::AsPair::new(self.src_as, self.dst_as)
+    }
+}
+
+/// A chronological call trace plus generation provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Seed the trace was generated with.
+    pub seed: u64,
+    /// Trace horizon in days.
+    pub days: u64,
+    /// Records ordered by start time.
+    pub records: Vec<CallRecord>,
+}
+
+impl Trace {
+    /// Number of calls.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the trace holds no calls.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Verifies chronological ordering (replay depends on it).
+    pub fn is_chronological(&self) -> bool {
+        self.records.windows(2).all(|w| w[0].t <= w[1].t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_model::ids::AsPair;
+
+    fn record(src: u32, dst: u32, src_c: u32, dst_c: u32) -> CallRecord {
+        CallRecord {
+            id: CallId(0),
+            t: SimTime::ZERO,
+            src_as: AsId(src),
+            dst_as: AsId(dst),
+            src_country: CountryId(src_c),
+            dst_country: CountryId(dst_c),
+            caller: ClientId(1),
+            callee: ClientId(2),
+            wireless: true,
+            duration_s: 120.0,
+            access_extra: AccessExtra::default(),
+            direct_metrics: PathMetrics::new(100.0, 0.5, 5.0),
+            rating: None,
+        }
+    }
+
+    #[test]
+    fn classification_flags() {
+        let intl = record(0, 1, 0, 1);
+        assert!(intl.is_international());
+        assert!(intl.is_inter_as());
+        let domestic_intra = record(3, 3, 2, 2);
+        assert!(!domestic_intra.is_international());
+        assert!(!domestic_intra.is_inter_as());
+        assert_eq!(domestic_intra.as_pair(), AsPair::new(AsId(3), AsId(3)));
+    }
+
+    #[test]
+    fn access_extra_composition() {
+        let extra = AccessExtra {
+            rtt_ms: 10.0,
+            loss_pct: 1.0,
+            jitter_ms: 3.0,
+        };
+        let path = PathMetrics::new(100.0, 1.0, 4.0);
+        let m = extra.apply(&path);
+        assert_eq!(m.rtt_ms, 110.0);
+        assert!((m.loss_pct - 1.99).abs() < 1e-9);
+        assert!((m.jitter_ms - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_extra_is_identity() {
+        let path = PathMetrics::new(123.0, 2.5, 7.0);
+        let m = AccessExtra::default().apply(&path);
+        assert!((m.rtt_ms - path.rtt_ms).abs() < 1e-12);
+        assert!((m.loss_pct - path.loss_pct).abs() < 1e-9);
+        assert!((m.jitter_ms - path.jitter_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chronology_check() {
+        let mut tr = Trace {
+            seed: 0,
+            days: 1,
+            records: vec![record(0, 1, 0, 1), record(1, 2, 1, 2)],
+        };
+        tr.records[1].t = SimTime(100);
+        assert!(tr.is_chronological());
+        tr.records[0].t = SimTime(200);
+        assert!(!tr.is_chronological());
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+    }
+}

@@ -1,0 +1,440 @@
+//! Call workload generation.
+//!
+//! Produces a chronological [`Trace`] over a generated world, matching the
+//! composition of the paper's dataset (§2.1): 46.6 % of calls international,
+//! 80.7 % inter-AS, 83 % with a wireless last hop, diurnal arrival intensity
+//! peaked in the caller's local evening, and a heavy-tailed user population
+//! per AS.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rand_distr::{Distribution, Gamma, LogNormal};
+use serde::{Deserialize, Serialize};
+use via_model::ids::{AsId, CallId, ClientId, CountryId};
+use via_model::options::RelayOption;
+use via_model::seed;
+use via_model::time::{SimTime, SECS_PER_DAY};
+use via_netsim::World;
+use via_quality::RatingModel;
+
+use crate::record::{AccessExtra, CallRecord, Trace};
+
+/// Workload parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Mean calls per simulated day.
+    pub calls_per_day: usize,
+    /// Days to generate; capped by the world's episode horizon.
+    pub days: u64,
+    /// Target fraction of international calls (paper: 0.466).
+    pub international_fraction: f64,
+    /// Target fraction of inter-AS calls (paper: 0.807).
+    pub inter_as_fraction: f64,
+    /// Fraction of calls with a wireless last hop (paper: 0.83).
+    pub wireless_fraction: f64,
+    /// Mean call duration, seconds.
+    pub mean_duration_s: f64,
+    /// Number of distinct users per unit of AS weight.
+    pub users_per_weight: usize,
+    /// User rating model (drives the PCR analysis).
+    pub rating: RatingModel,
+}
+
+impl TraceConfig {
+    /// Tiny workload for doc tests: ~1 K calls/day for 8 days.
+    pub fn tiny() -> Self {
+        Self {
+            calls_per_day: 1_000,
+            days: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Small workload for integration tests and the default experiment
+    /// scale: dense enough that popular international AS pairs pass the
+    /// paper's ≥10-calls-per-window evaluation filter.
+    pub fn small() -> Self {
+        Self {
+            calls_per_day: 10_000,
+            days: 21,
+            ..Self::default()
+        }
+    }
+
+    /// Experiment-scale workload: ~2.2 M calls over 8 weeks.
+    pub fn paper_scale() -> Self {
+        Self {
+            calls_per_day: 40_000,
+            days: 56,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            calls_per_day: 1_000,
+            days: 14,
+            international_fraction: 0.466,
+            inter_as_fraction: 0.807,
+            wireless_fraction: 0.83,
+            mean_duration_s: 180.0,
+            users_per_weight: 400,
+            rating: RatingModel {
+                // Rate every generated call: the synthetic trace plays the
+                // role of the *rated subsample* of the paper's dataset.
+                rating_probability: 1.0,
+                ..RatingModel::default()
+            },
+        }
+    }
+}
+
+/// Weighted-alias-free cumulative sampler over AS indices.
+#[derive(Debug, Clone)]
+struct WeightedAses {
+    cumulative: Vec<f64>,
+    total: f64,
+    indices: Vec<usize>,
+}
+
+impl WeightedAses {
+    fn new(weights: impl Iterator<Item = (usize, f64)>) -> Option<Self> {
+        let mut cumulative = Vec::new();
+        let mut indices = Vec::new();
+        let mut total = 0.0;
+        for (idx, w) in weights {
+            if w <= 0.0 {
+                continue;
+            }
+            total += w;
+            cumulative.push(total);
+            indices.push(idx);
+        }
+        (total > 0.0).then_some(Self {
+            cumulative,
+            total,
+            indices,
+        })
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = rng.random::<f64>() * self.total;
+        let pos = self.cumulative.partition_point(|&c| c < u);
+        self.indices[pos.min(self.indices.len() - 1)]
+    }
+}
+
+/// Generates call traces over a world.
+pub struct TraceGenerator<'w> {
+    world: &'w World,
+    config: TraceConfig,
+    trace_seed: u64,
+    global: WeightedAses,
+    by_country: Vec<Option<WeightedAses>>,
+    intl_by_country: Vec<Option<WeightedAses>>,
+    /// Users per AS, proportional to weight.
+    users_per_as: Vec<u32>,
+}
+
+impl<'w> TraceGenerator<'w> {
+    /// Prepares a generator; cheap, all sampling tables are built here.
+    pub fn new(world: &'w World, config: TraceConfig, trace_seed: u64) -> Self {
+        let as_weight = |a: &via_netsim::AsInfo| {
+            a.weight * world.countries[a.country.index()].weight
+        };
+        let global = WeightedAses::new(
+            world
+                .ases
+                .iter()
+                .enumerate()
+                .map(|(i, a)| (i, as_weight(a))),
+        )
+        .expect("world has ASes");
+
+        let n_countries = world.countries.len();
+        let mut by_country = Vec::with_capacity(n_countries);
+        let mut intl_by_country = Vec::with_capacity(n_countries);
+        for c in 0..n_countries {
+            let cid = CountryId(c as u32);
+            by_country.push(WeightedAses::new(
+                world
+                    .ases
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.country == cid)
+                    .map(|(i, a)| (i, as_weight(a))),
+            ));
+            intl_by_country.push(WeightedAses::new(
+                world
+                    .ases
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.country != cid)
+                    .map(|(i, a)| (i, as_weight(a))),
+            ));
+        }
+
+        let users_per_as = world
+            .ases
+            .iter()
+            .map(|a| ((as_weight(a) * config.users_per_weight as f64).ceil() as u32).max(2))
+            .collect();
+
+        Self {
+            world,
+            config,
+            trace_seed,
+            global,
+            by_country,
+            intl_by_country,
+            users_per_as,
+        }
+    }
+
+    /// Generates the full trace. Deterministic in `(world, config, seed)`.
+    pub fn generate(&self) -> Trace {
+        let days = self.config.days.min(self.world.config.horizon_days);
+        let mut rng = StdRng::seed_from_u64(seed::derive(self.trace_seed, "workload"));
+        let duration_dist = LogNormal::new(
+            self.config.mean_duration_s.ln() - 0.5 * 0.8 * 0.8,
+            0.8,
+        )
+        .expect("valid lognormal");
+        let wifi_jitter = LogNormal::new(3.0f64.ln() - 0.5 * 0.5 * 0.5, 0.5).expect("valid");
+        let wifi_loss: Gamma<f64> = Gamma::new(0.5, 0.3).expect("valid gamma");
+
+        let mut records = Vec::with_capacity((self.config.calls_per_day as u64 * days) as usize);
+        for day in 0..days {
+            for _ in 0..self.config.calls_per_day {
+                let call_id = CallId(records.len() as u32);
+                let (src_idx, t) = self.sample_caller_and_time(day, &mut rng);
+                let dst_idx = self.sample_callee(src_idx, &mut rng);
+
+                let src = &self.world.ases[src_idx];
+                let dst = &self.world.ases[dst_idx];
+
+                let wireless = rng.random::<f64>() < self.config.wireless_fraction;
+                let access_extra = if wireless {
+                    AccessExtra {
+                        rtt_ms: rng.random_range(2.0..15.0),
+                        loss_pct: wifi_loss.sample(&mut rng).min(5.0),
+                        jitter_ms: wifi_jitter.sample(&mut rng).min(40.0),
+                    }
+                } else {
+                    AccessExtra {
+                        rtt_ms: rng.random_range(0.0..2.0),
+                        loss_pct: 0.0,
+                        jitter_ms: rng.random_range(0.0..0.5),
+                    }
+                };
+
+                let path = self
+                    .world
+                    .perf()
+                    .sample_option(src.id, dst.id, RelayOption::Direct, t, &mut rng);
+                let direct_metrics = access_extra.apply(&path);
+
+                let caller = self.sample_user(src_idx, &mut rng);
+                let callee = self.sample_user(dst_idx, &mut rng);
+                let rating = self.config.rating.maybe_rate(&direct_metrics, &mut rng);
+
+                records.push(CallRecord {
+                    id: call_id,
+                    t,
+                    src_as: src.id,
+                    dst_as: dst.id,
+                    src_country: src.country,
+                    dst_country: dst.country,
+                    caller,
+                    callee,
+                    wireless,
+                    duration_s: duration_dist.sample(&mut rng).clamp(5.0, 7_200.0),
+                    access_extra,
+                    direct_metrics,
+                    rating,
+                });
+            }
+        }
+        records.sort_by_key(|r| (r.t, r.id));
+        // Re-number ids chronologically so id order == time order.
+        for (i, r) in records.iter_mut().enumerate() {
+            r.id = CallId(i as u32);
+        }
+        Trace {
+            seed: self.trace_seed,
+            days,
+            records,
+        }
+    }
+
+    /// Picks a caller AS and a start time inside `day`, biased toward the
+    /// caller's local daytime/evening (rejection sampling on the activity
+    /// curve).
+    fn sample_caller_and_time(&self, day: u64, rng: &mut StdRng) -> (usize, SimTime) {
+        loop {
+            let src_idx = self.global.sample(rng);
+            let secs = rng.random_range(0..SECS_PER_DAY);
+            let t = SimTime(day * SECS_PER_DAY + secs);
+            let local = self.world.ases[src_idx].pos.local_hour(t.hour_of_day());
+            // Activity: low at night, rising through the day, peak ~20:00.
+            let activity = 0.15 + 0.85 * 0.5 * (1.0 + ((local - 17.0) / 24.0 * std::f64::consts::TAU).cos());
+            if rng.random::<f64>() < activity {
+                return (src_idx, t);
+            }
+        }
+    }
+
+    /// Picks a callee AS honoring the international / inter-AS mix.
+    fn sample_callee(&self, src_idx: usize, rng: &mut StdRng) -> usize {
+        let src_country = self.world.ases[src_idx].country.index();
+        let want_intl = rng.random::<f64>() < self.config.international_fraction;
+        if want_intl {
+            if let Some(s) = &self.intl_by_country[src_country] {
+                return s.sample(rng);
+            }
+        }
+        // Domestic: decide intra-AS vs other AS in the same country so the
+        // overall inter-AS fraction comes out right:
+        // P(intra) = (1 − inter_as) / (1 − international).
+        let p_intra = ((1.0 - self.config.inter_as_fraction)
+            / (1.0 - self.config.international_fraction))
+            .clamp(0.0, 1.0);
+        if rng.random::<f64>() < p_intra {
+            return src_idx;
+        }
+        if let Some(s) = &self.by_country[src_country] {
+            // Rejection: try to land on a different AS in the country.
+            for _ in 0..8 {
+                let cand = s.sample(rng);
+                if cand != src_idx {
+                    return cand;
+                }
+            }
+        }
+        src_idx // single-AS country: intra-AS call
+    }
+
+    /// Draws a user id within an AS (Zipf-ish popularity).
+    fn sample_user(&self, as_idx: usize, rng: &mut StdRng) -> ClientId {
+        let pool = self.users_per_as[as_idx];
+        // Zipf via inverse-power transform of a uniform draw.
+        let u: f64 = rng.random::<f64>().max(1e-9);
+        let rank = ((pool as f64).powf(u) - 1.0).floor() as u32;
+        // Namespace users by AS: 20 bits of AS, 12 bits of rank would limit
+        // pools; use multiplication instead.
+        ClientId(as_idx as u32 * 100_000 + rank.min(pool - 1))
+    }
+
+    /// The world this generator draws from.
+    pub fn world(&self) -> &World {
+        self.world
+    }
+
+    /// The AS an id refers to (test helper / analysis use).
+    pub fn as_of_user(user: ClientId) -> AsId {
+        AsId(user.0 / 100_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_netsim::WorldConfig;
+
+    fn gen_trace(seed: u64) -> Trace {
+        let world = World::generate(&WorldConfig::tiny(), seed);
+        TraceGenerator::new(&world, TraceConfig::tiny(), seed).generate()
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let t1 = gen_trace(5);
+        let t2 = gen_trace(5);
+        assert_eq!(t1.records.len(), t2.records.len());
+        assert_eq!(t1.records[10], t2.records[10]);
+    }
+
+    #[test]
+    fn trace_is_chronological_with_dense_ids() {
+        let t = gen_trace(6);
+        assert!(t.is_chronological());
+        for (i, r) in t.records.iter().enumerate() {
+            assert_eq!(r.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn composition_fractions_match_targets() {
+        let world = World::generate(&WorldConfig::small(), 3);
+        let trace = TraceGenerator::new(&world, TraceConfig::small(), 3).generate();
+        let n = trace.len() as f64;
+        let intl = trace.records.iter().filter(|r| r.is_international()).count() as f64 / n;
+        let inter_as = trace.records.iter().filter(|r| r.is_inter_as()).count() as f64 / n;
+        let wireless = trace.records.iter().filter(|r| r.wireless).count() as f64 / n;
+        assert!((intl - 0.466).abs() < 0.03, "international fraction {intl}");
+        assert!((inter_as - 0.807).abs() < 0.04, "inter-AS fraction {inter_as}");
+        assert!((wireless - 0.83).abs() < 0.02, "wireless fraction {wireless}");
+    }
+
+    #[test]
+    fn countries_match_as_assignment() {
+        let world = World::generate(&WorldConfig::tiny(), 8);
+        let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 8).generate();
+        for r in trace.records.iter().take(500) {
+            assert_eq!(world.ases[r.src_as.index()].country, r.src_country);
+            assert_eq!(world.ases[r.dst_as.index()].country, r.dst_country);
+        }
+    }
+
+    #[test]
+    fn durations_and_metrics_are_sane() {
+        let t = gen_trace(9);
+        for r in &t.records {
+            assert!(r.duration_s >= 5.0 && r.duration_s <= 7_200.0);
+            assert!(r.direct_metrics.is_finite());
+            assert!(r.direct_metrics.rtt_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn most_calls_are_rated_under_default_config() {
+        // TraceConfig defaults set rating_probability = 1.0.
+        let t = gen_trace(10);
+        let rated = t.records.iter().filter(|r| r.rating.is_some()).count();
+        assert_eq!(rated, t.len());
+    }
+
+    #[test]
+    fn user_ids_map_back_to_as() {
+        let world = World::generate(&WorldConfig::tiny(), 4);
+        let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 4).generate();
+        for r in trace.records.iter().take(200) {
+            assert_eq!(TraceGenerator::as_of_user(r.caller), r.src_as);
+            assert_eq!(TraceGenerator::as_of_user(r.callee), r.dst_as);
+        }
+    }
+
+    #[test]
+    fn arrivals_follow_diurnal_cycle() {
+        let world = World::generate(&WorldConfig::tiny(), 12);
+        let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 12).generate();
+        // Count arrivals by caller-local hour: evening (16..24) should beat
+        // night (0..8).
+        let mut evening = 0usize;
+        let mut night = 0usize;
+        for r in &trace.records {
+            let local = world.ases[r.src_as.index()].pos.local_hour(r.t.hour_of_day());
+            if (16.0..24.0).contains(&local) {
+                evening += 1;
+            } else if local < 8.0 {
+                night += 1;
+            }
+        }
+        assert!(
+            evening > night * 2,
+            "evening {evening} vs night {night} arrivals"
+        );
+    }
+}
