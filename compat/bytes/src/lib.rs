@@ -1,0 +1,267 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset this workspace uses: [`Bytes`] / [`BytesMut`] as
+//! `Vec<u8>`-backed buffers, [`Buf`] for big-endian reads that consume a
+//! `&[u8]`, and [`BufMut`] for big-endian appends. Reads past the end panic,
+//! matching the real crate's contract.
+
+use std::ops::Deref;
+
+/// An immutable byte buffer; dereferences to `&[u8]`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Bytes {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Copies a slice into a new buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+/// A growable byte buffer for building wire messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> BytesMut {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    #[must_use]
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+
+    /// Buffer length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Big-endian reads that consume from the front of a buffer.
+///
+/// Reads past `remaining()` panic.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Returns the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Reads a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&c[..8]);
+        self.advance(8);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Copies bytes into `dst`, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Big-endian appends to the end of a buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends `cnt` copies of `val`.
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.data.resize(self.data.len() + cnt, val);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        self.resize(self.len() + cnt, val);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_bytes(0, 3);
+        let frozen = buf.freeze();
+        assert_eq!(frozen.len(), 10);
+
+        let mut rd: &[u8] = &frozen;
+        assert_eq!(rd.get_u8(), 0xAB);
+        assert_eq!(rd.get_u16(), 0x1234);
+        assert_eq!(rd.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(rd.remaining(), 3);
+        rd.advance(3);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout_matches_network_order() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0x0102);
+        assert_eq!(&buf[..], &[0x01, 0x02]);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn reading_past_end_panics() {
+        let mut rd: &[u8] = &[1];
+        let _ = rd.get_u16();
+    }
+}

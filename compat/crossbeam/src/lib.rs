@@ -1,0 +1,149 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`. The
+//! subset matches what the testbed uses: bounded channels, non-blocking
+//! `try_send`/`try_recv`, and `recv_timeout`.
+
+pub mod channel {
+    //! Multi-producer channels with crossbeam's API shape.
+
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+    /// Error from [`Sender::send`] on a disconnected channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel buffer is full.
+        Full(T),
+        /// All receivers have been dropped.
+        Disconnected(T),
+    }
+
+    /// The sending half of a bounded channel. Cloneable.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is buffered or the channel disconnects.
+        ///
+        /// # Errors
+        /// Returns the message back if all receivers are gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(m)| SendError(m))
+        }
+
+        /// Attempts to buffer the message without blocking.
+        ///
+        /// # Errors
+        /// Returns the message back if the buffer is full or the channel is
+        /// disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+            })
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        ///
+        /// # Errors
+        /// Returns an error once the channel is empty and disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Attempts to take a buffered message without blocking.
+        ///
+        /// # Errors
+        /// Returns an error if the buffer is empty or disconnected.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        /// Returns an error on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Iterates over messages until the channel disconnects.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates a bounded channel holding at most `cap` in-flight messages.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_and_backpressure() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert!(rx.try_recv().is_err());
+        }
+
+        #[test]
+        fn recv_timeout_times_out_when_empty() {
+            let (_tx, rx) = bounded::<u32>(1);
+            assert!(rx.recv_timeout(Duration::from_millis(5)).is_err());
+        }
+
+        #[test]
+        fn disconnect_is_observable() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn cloned_senders_share_the_channel() {
+            let (tx, rx) = bounded::<u32>(4);
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx2.send(42).unwrap())
+                .join()
+                .unwrap();
+            tx.send(7).unwrap();
+            let mut got: Vec<u32> = rx.iter().take(2).collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![7, 42]);
+        }
+    }
+}

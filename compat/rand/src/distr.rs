@@ -1,0 +1,20 @@
+//! The [`Distribution`] trait. Concrete non-uniform distributions live in
+//! the sibling `rand_distr` compat crate.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Uniform `[0, 1)` for floats; full-domain uniform for integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardUniform;
+
+impl<T: crate::StandardSample> Distribution<T> for StandardUniform {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_standard(rng)
+    }
+}

@@ -1,0 +1,38 @@
+//! Sequence helpers: random element choice and Fisher–Yates shuffling.
+
+use crate::{Rng, RngCore};
+
+/// Random element selection on slices.
+pub trait IndexedRandom {
+    /// Element type.
+    type Item;
+
+    /// Returns a uniformly random element, or `None` if empty.
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> IndexedRandom for [T] {
+    type Item = T;
+
+    fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.random_range(0..self.len()))
+        }
+    }
+}
+
+/// In-place random permutation of slices.
+pub trait SliceRandom {
+    /// Shuffles the slice uniformly (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.random_range(0..=i));
+        }
+    }
+}

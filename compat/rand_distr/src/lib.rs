@@ -1,0 +1,244 @@
+//! Offline stand-in for `rand_distr`: the continuous distributions the VIA
+//! network model draws from.
+//!
+//! Implements the textbook samplers — Box–Muller for the normal,
+//! `exp(Normal)` for the log-normal, Marsaglia–Tsang for the gamma, and
+//! inverse-CDF for the exponential. All are stateless and deterministic
+//! given the caller's seeded generator.
+
+pub use rand::distr::Distribution;
+use rand::RngCore;
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Error {
+    /// A scale-like parameter (standard deviation, scale, rate) was
+    /// negative, zero where positivity is required, or non-finite.
+    BadParam(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::BadParam(what) => write!(f, "invalid distribution parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draws a uniform f64 in [0, 1) from the top 53 bits of `next_u64`.
+///
+/// Goes through `RngCore` directly (not `Rng::random`) so `?Sized`
+/// generators work.
+fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws a standard normal deviate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so ln(u1) is finite; u2 ∈ [0, 1).
+    let u1 = uniform01(rng).max(f64::MIN_POSITIVE);
+    let u2 = uniform01(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<F = f64> {
+    mean: F,
+    std_dev: F,
+}
+
+impl Normal<f64> {
+    /// Creates a normal with the given mean and standard deviation.
+    ///
+    /// # Errors
+    /// Returns [`Error::BadParam`] if `std_dev` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal<f64>, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error::BadParam("normal std_dev must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal<F = f64> {
+    mu: F,
+    sigma: F,
+}
+
+impl LogNormal<f64> {
+    /// Creates a log-normal whose logarithm has mean `mu` and standard
+    /// deviation `sigma`.
+    ///
+    /// # Errors
+    /// Returns [`Error::BadParam`] if `sigma` is negative or either
+    /// parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal<f64>, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error::BadParam("log-normal sigma must be finite and >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Gamma distribution with shape `k` and scale `θ` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma<F = f64> {
+    shape: F,
+    scale: F,
+}
+
+impl Gamma<f64> {
+    /// Creates a gamma distribution.
+    ///
+    /// # Errors
+    /// Returns [`Error::BadParam`] unless both `shape` and `scale` are
+    /// finite and strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Gamma<f64>, Error> {
+        if !(shape.is_finite() && scale.is_finite() && shape > 0.0 && scale > 0.0) {
+            return Err(Error::BadParam("gamma shape and scale must be > 0"));
+        }
+        Ok(Gamma { shape, scale })
+    }
+}
+
+impl Distribution<f64> for Gamma<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia–Tsang squeeze method; the shape < 1 case is boosted
+        // through Gamma(shape + 1) · U^(1/shape).
+        let (shape, boost) = if self.shape < 1.0 {
+            let u = uniform01(rng).max(f64::MIN_POSITIVE);
+            (self.shape + 1.0, u.powf(1.0 / self.shape))
+        } else {
+            (self.shape, 1.0)
+        };
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = uniform01(rng).max(f64::MIN_POSITIVE);
+            if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+                return d * v * self.scale * boost;
+            }
+        }
+    }
+}
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp<F = f64> {
+    lambda: F,
+}
+
+impl Exp<f64> {
+    /// Creates an exponential distribution.
+    ///
+    /// # Errors
+    /// Returns [`Error::BadParam`] unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Exp<f64>, Error> {
+        if !(lambda.is_finite() && lambda > 0.0) {
+            return Err(Error::BadParam("exponential rate must be > 0"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u = uniform01(rng).max(f64::MIN_POSITIVE);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(10.0, 2.0).expect("valid params");
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_moments() {
+        let d = LogNormal::new(0.0, 0.5).expect("valid params");
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let expected_mean = (0.125f64).exp(); // exp(sigma^2 / 2)
+        let (mean, _) = moments(&samples);
+        assert!((mean - expected_mean).abs() < 0.03, "mean {mean}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn gamma_moments_both_shape_regimes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (shape, scale) in [(2.5, 3.0), (0.5, 2.0)] {
+            let d = Gamma::new(shape, scale).expect("valid params");
+            let samples: Vec<f64> = (0..80_000).map(|_| d.sample(&mut rng)).collect();
+            let (mean, var) = moments(&samples);
+            assert!(
+                (mean - shape * scale).abs() < 0.1 * shape * scale,
+                "shape {shape}: mean {mean}"
+            );
+            assert!(
+                (var - shape * scale * scale).abs() < 0.15 * shape * scale * scale,
+                "shape {shape}: var {var}"
+            );
+            assert!(samples.iter().all(|&x| x > 0.0));
+        }
+    }
+
+    #[test]
+    fn exp_mean() {
+        let d = Exp::new(0.25).expect("valid params");
+        let mut rng = StdRng::seed_from_u64(4);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, _) = moments(&samples);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn constructors_reject_bad_params() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -2.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+    }
+}

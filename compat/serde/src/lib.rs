@@ -1,0 +1,71 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde decouples data structures from formats through a visitor
+//! API. This workspace only ever serializes to and from JSON, so the
+//! stand-in collapses that machinery into a single concrete data model:
+//! [`Value`]. [`Serialize`] converts a type *to* a `Value`, [`Deserialize`]
+//! reconstructs it *from* one, and the `serde_json` compat crate maps
+//! `Value` to and from JSON text. The `#[derive(Serialize, Deserialize)]`
+//! macros (re-exported from `serde_derive`) generate the same external
+//! representations real serde would: structs as maps, newtype structs as
+//! their inner value, enums externally tagged.
+
+mod impls;
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;
+
+/// Error produced when a [`Value`] cannot be converted into the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// Creates a type-mismatch error: wanted `expected`, found `value`.
+    pub fn expected(expected: &str, value: &Value) -> DeError {
+        DeError {
+            msg: format!("expected {expected}, found {}", value.kind()),
+        }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can be represented as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn serialize_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+///
+/// The lifetime parameter exists so source code written against real serde
+/// (`for<'de> Deserialize<'de>` bounds) compiles unchanged; this stand-in
+/// never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from the serde data model.
+    ///
+    /// # Errors
+    /// Returns [`DeError`] when `value` does not have the expected shape.
+    fn deserialize_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}

@@ -1,0 +1,79 @@
+//! The serde data model: a JSON-shaped value tree.
+
+/// A dynamically-typed value — the single intermediate representation all
+/// (de)serialization in this workspace flows through.
+///
+/// Maps preserve insertion order (they are association lists, not hash
+/// maps), so serialized output is deterministic — a property `via-audit`
+/// demands of everything on the simulation path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON number without fraction or exponent).
+    I64(i64),
+    /// Unsigned integer too large for `i64`.
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, as an insertion-ordered association list.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind name, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Looks up a key in a map, yielding `Null` for missing keys (callers
+    /// deserializing `Option` fields treat absent and `null` identically).
+    pub fn get(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}

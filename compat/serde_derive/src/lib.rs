@@ -1,0 +1,273 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` — `syn`/`quote` are not
+//! available in the offline build environment. The parser handles the item
+//! shapes this workspace actually uses (plain structs, tuple structs, and
+//! enums with unit/tuple/struct variants, all without generics) and the
+//! `#[serde(transparent)]` attribute. Generated representations match real
+//! serde's external conventions: structs become maps, newtype structs become
+//! their inner value, enum variants are externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+mod parse;
+
+use parse::{Item, Shape};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse::parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().unwrap_or_else(|e| {
+        let msg = format!("serde_derive produced invalid code: {e}");
+        // A `compile_error!` literal always lexes; fall back to an empty
+        // stream (the compiler then reports the missing impl instead).
+        format!("compile_error!({msg:?});")
+            .parse()
+            .unwrap_or_else(|_| TokenStream::new())
+    })
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::serialize_value(&self.{})", fields[0])
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::serialize_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.shape {
+                        Shape::UnitStruct => format!(
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        ),
+                        Shape::TupleStruct(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Value::Map(vec![({vname:?}\
+                             .to_string(), ::serde::Serialize::serialize_value(f0))]),"
+                        ),
+                        Shape::TupleStruct(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(vec![({vname:?}\
+                                 .to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::NamedStruct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "({f:?}.to_string(), \
+                                         ::serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![\
+                                 ({vname:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Shape::Enum(_) => unreachable!("variants cannot be enums"),
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "Ok({name} {{ {}: ::serde::Deserialize::deserialize_value(value)? }})",
+                fields[0]
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize_value(value.get({f:?}))\
+                         .map_err(|e| ::serde::DeError::custom(format!(\
+                         \"field {f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "if value.as_map().is_none() {{\n\
+                     return Err(::serde::DeError::expected(\"object\", value));\n\
+                 }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize_value(value)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = value.as_seq()\
+                     .ok_or_else(|| ::serde::DeError::expected(\"array\", value))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::custom(format!(\
+                         \"expected {n} elements, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::UnitStruct => {
+                        unit_arms.push(format!("{vname:?} => return Ok({name}::{vname}),"));
+                    }
+                    Shape::TupleStruct(1) => tagged_arms.push(format!(
+                        "{vname:?} => return Ok({name}::{vname}(\
+                         ::serde::Deserialize::deserialize_value(payload)?)),"
+                    )),
+                    Shape::TupleStruct(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize_value(&items[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => {{\n\
+                                 let items = payload.as_seq().ok_or_else(|| \
+                                     ::serde::DeError::expected(\"array\", payload))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::DeError::custom(\
+                                         \"wrong tuple variant arity\"));\n\
+                                 }}\n\
+                                 return Ok({name}::{vname}({}));\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    Shape::NamedStruct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize_value(\
+                                     payload.get({f:?}))?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vname:?} => return Ok({name}::{vname} {{ {} }}),",
+                            inits.join(", ")
+                        ));
+                    }
+                    Shape::Enum(_) => unreachable!("variants cannot be enums"),
+                }
+            }
+            format!(
+                "if let Some(tag) = value.as_str() {{\n\
+                     match tag {{\n\
+                         {unit}\n\
+                         _ => return Err(::serde::DeError::custom(format!(\n\
+                             \"unknown variant {{tag:?}} of {name}\"))),\n\
+                     }}\n\
+                 }}\n\
+                 if let Some(entries) = value.as_map() {{\n\
+                     if entries.len() == 1 {{\n\
+                         let (tag, payload) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged}\n\
+                             _ => return Err(::serde::DeError::custom(format!(\n\
+                                 \"unknown variant {{tag:?}} of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::DeError::expected(\"enum {name}\", value))",
+                unit = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Returns true if an attribute token group (the `[...]` contents) is
+/// `serde(...)` containing the ident `transparent`.
+fn is_transparent_attr(group: &TokenStream) -> bool {
+    let mut tokens = group.clone().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}

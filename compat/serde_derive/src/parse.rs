@@ -1,0 +1,242 @@
+//! A minimal parser for derive input, built directly on
+//! `proc_macro::TokenTree`.
+//!
+//! `TokenStream` is already a tree — `{...}`, `(...)`, `[...]` arrive as
+//! single `Group` tokens — so "top-level comma" splitting only needs to
+//! track angle-bracket depth (generics are *not* groups).
+
+use crate::is_transparent_attr;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed derive target.
+pub struct Item {
+    /// Type name.
+    pub name: String,
+    /// Struct/enum shape.
+    pub shape: Shape,
+    /// Whether `#[serde(transparent)]` was present.
+    pub transparent: bool,
+}
+
+/// The shape of a struct, or of one enum variant.
+pub enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(T, U);` — field count.
+    TupleStruct(usize),
+    /// `struct S;` or a unit enum variant.
+    UnitStruct,
+    /// `enum E { ... }` — only valid at item level.
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// Variant payload shape (never `Enum`).
+    pub shape: Shape,
+}
+
+/// Parses a `struct`/`enum` item from derive input.
+pub fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    transparent |= is_transparent_attr(&g.stream());
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Skip `(crate)` / `(super)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive (offline stand-in) does not support generics on `{name}`"
+            ));
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde for `{other}` items")),
+    };
+
+    Ok(Item {
+        name,
+        shape,
+        transparent,
+    })
+}
+
+/// Parses `a: T, pub b: U, ...` into field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens)?;
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                // Skip `: Type` up to the next top-level comma.
+                skip_to_comma(&mut tokens);
+            }
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses enum variants.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut tokens)?;
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_top_level_fields(g.stream());
+                tokens.next();
+                Shape::TupleStruct(count)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                tokens.next();
+                Shape::NamedStruct(fields)
+            }
+            _ => Shape::UnitStruct,
+        };
+        variants.push(Variant { name, shape });
+        // Skip any explicit discriminant, then the separating comma.
+        skip_to_comma(&mut tokens);
+    }
+    Ok(variants)
+}
+
+/// Skips leading `#[...]` attributes and `pub`(+restriction) tokens.
+fn skip_attrs_and_vis(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Result<(), String> {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if !matches!(tokens.next(), Some(TokenTree::Group(_))) {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Consumes tokens up to and including the next comma outside angle
+/// brackets. `->` is handled so `Fn(..) -> T` types cannot unbalance the
+/// depth count.
+fn skip_to_comma(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    for token in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+}
+
+/// Counts comma-separated fields at the top level of a tuple-struct or
+/// tuple-variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_any = false;
+    let mut angle_depth = 0usize;
+    let mut prev_dash = false;
+    let mut last_was_comma = false;
+    for token in stream {
+        saw_any = true;
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    last_was_comma = true;
+                }
+                '<' => angle_depth += 1,
+                '>' if !prev_dash => angle_depth = angle_depth.saturating_sub(1),
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+    }
+    if !saw_any {
+        0
+    } else if last_was_comma {
+        count // trailing comma
+    } else {
+        count + 1
+    }
+}

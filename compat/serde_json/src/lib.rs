@@ -1,0 +1,209 @@
+//! Offline stand-in for `serde_json`: JSON text ⇄ [`serde::Value`].
+//!
+//! The writer escapes per RFC 8259 and prints floats with Rust's
+//! shortest-roundtrip `Display` (non-finite floats become `null`, matching
+//! real serde_json). The reader is a recursive-descent parser with a depth
+//! cap; integers parse to `I64`/`U64` and everything else to `F64`.
+
+mod read;
+mod write;
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// JSON (de)serialization error.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::new(format!("I/O error: {e}"))
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+/// Infallible for the types in this workspace; the `Result` mirrors the real
+/// serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Infallible for the types in this workspace.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes a value to a compact JSON byte vector.
+///
+/// # Errors
+/// Infallible for the types in this workspace.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Writes compact JSON to an `io::Write`.
+///
+/// # Errors
+/// Returns an error if the underlying writer fails.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Writes pretty-printed JSON to an `io::Write`.
+///
+/// # Errors
+/// Returns an error if the underlying writer fails.
+pub fn to_writer_pretty<W: std::io::Write, T: Serialize + ?Sized>(
+    mut writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    writer.write_all(to_string_pretty(value)?.as_bytes())?;
+    Ok(())
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: for<'de> Deserialize<'de>>(input: &str) -> Result<T, Error> {
+    let value = read::parse(input)?;
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Parses a value from JSON bytes (must be UTF-8).
+///
+/// # Errors
+/// Returns an error on invalid UTF-8, malformed JSON, or a shape mismatch.
+pub fn from_slice<T: for<'de> Deserialize<'de>>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        assert_eq!(to_string(&5u32).unwrap(), "5");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert_eq!(from_str::<u32>("5").unwrap(), 5);
+        assert_eq!(from_str::<f64>("5").unwrap(), 5.0);
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(from_str::<Option<u8>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn nonfinite_floats_are_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert!(from_str::<f64>("null").unwrap().is_nan());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![1u32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u32>>(&s).unwrap(), v);
+        let t = (1u8, 2.5f64, "x".to_string());
+        let s = to_string(&t).unwrap();
+        assert_eq!(from_str::<(u8, f64, String)>(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ \u{1F600} \u{7}".to_string();
+        let s = to_string(&original).unwrap();
+        assert_eq!(from_str::<String>(&s).unwrap(), original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        // Surrogate pair for 😀.
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+    }
+
+    #[test]
+    fn float_extremes_roundtrip() {
+        for x in [1e-300, 1.7976931348623157e308, 0.1 + 0.2, -1e30] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "via {s}");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(from_str::<bool>("tru").is_err());
+        assert!(from_str::<Vec<u32>>("[1,2").is_err());
+        assert!(from_str::<u32>("{{{").is_err());
+        assert!(from_str::<u32>("5 trailing").is_err());
+        assert!(from_str::<String>("\"unterminated").is_err());
+        assert!(from_str::<u32>("").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(from_str::<Value>(&deep).is_err());
+    }
+
+    #[test]
+    fn pretty_printing_is_parseable() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::I64(1), Value::I64(2)])),
+            ("b".into(), Value::Str("x".into())),
+        ]);
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let s = r#"{"z": 1, "a": 2}"#;
+        let v: Value = from_str(s).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"z":1,"a":2}"#);
+    }
+}

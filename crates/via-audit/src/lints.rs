@@ -1,0 +1,415 @@
+//! The three lint passes.
+//!
+//! * `nondeterminism` — forbids entropy and wall-clock sources
+//!   (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`) and
+//!   unordered `HashMap`/`HashSet` iteration inside the simulation crates.
+//!   Applies to test code too: a nondeterministic test cannot reproduce its
+//!   failures.
+//! * `panic` — forbids `.unwrap()` / `.expect(` in shipping library code of
+//!   the simulation crates (test regions exempt) and warns on slice
+//!   indexing.
+//! * `nan-cmp` — flags `partial_cmp(..).unwrap()`-style float comparisons
+//!   anywhere in the workspace, suggesting `f64::total_cmp`.
+//!
+//! Any lint can be suppressed at a site with a justification comment:
+//! `// via-audit: allow(lint-name)` on the same or the preceding line.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::sanitize::Sanitized;
+
+/// Determinism lint name.
+pub const LINT_NONDET: &str = "nondeterminism";
+/// Panic-safety lint name.
+pub const LINT_PANIC: &str = "panic";
+/// NaN-safe comparison lint name.
+pub const LINT_NAN: &str = "nan-cmp";
+
+/// Finding severity: denies fail the audit, warnings are informational.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the audit (non-zero exit).
+    Deny,
+    /// Reported but never fails the audit.
+    Warn,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path of the offending file, relative to the workspace root.
+    pub file: String,
+    /// 1-indexed line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: &'static str,
+    /// Deny or warn.
+    pub severity: Severity,
+    /// Human-readable description with a suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Deny => "error",
+            Severity::Warn => "warning",
+        };
+        write!(
+            f,
+            "{}:{}: {sev}[{}]: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// What kind of code a file holds, for lint applicability.
+#[derive(Debug, Clone, Copy)]
+pub struct FileKind {
+    /// The crate belongs to the deterministic simulation core.
+    pub sim_crate: bool,
+    /// Shipping library code (not a bin target, bench, or example).
+    pub lib_code: bool,
+}
+
+/// Trailing identifier of `text` (e.g. `"let mut seg_demand"` → `seg_demand`).
+fn trailing_ident(text: &str) -> Option<&str> {
+    let trimmed = text.trim_end();
+    let start = trimmed
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    let ident = &trimmed[start..];
+    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then_some(ident)
+}
+
+/// Collects identifiers declared with a `HashMap`/`HashSet` type in this
+/// file: `name: HashMap<..>` (bindings and struct fields) and
+/// `name = HashMap::new()` forms.
+fn hash_container_idents(lines: &[String]) -> HashSet<String> {
+    let mut idents = HashSet::new();
+    for line in lines {
+        for ty in ["HashMap", "HashSet"] {
+            let mut rest: &str = line;
+            let mut offset = 0usize;
+            while let Some(pos) = rest.find(ty) {
+                let before = &line[..offset + pos];
+                let trimmed = before.trim_end();
+                let decl = trimmed
+                    .strip_suffix(':')
+                    .or_else(|| trimmed.strip_suffix('='));
+                if let Some(ident) = decl.and_then(trailing_ident) {
+                    idents.insert(ident.to_string());
+                }
+                offset += pos + ty.len();
+                rest = &line[offset..];
+            }
+        }
+    }
+    idents
+}
+
+/// Methods whose iteration order follows the hash seed.
+const UNORDERED_ITER: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain()",
+];
+
+/// Entropy / wall-clock patterns forbidden in simulation code.
+const NONDET_SOURCES: &[(&str, &str)] = &[
+    (
+        "thread_rng",
+        "entropy-seeded RNG; use `StdRng::seed_from_u64` with a derived seed",
+    ),
+    (
+        "from_entropy",
+        "entropy-seeded RNG; use `StdRng::seed_from_u64` with a derived seed",
+    ),
+    (
+        "SystemTime::now",
+        "wall-clock read; use `SimTime` carried by the trace",
+    ),
+    (
+        "Instant::now",
+        "wall-clock read; simulation time must come from the trace",
+    ),
+];
+
+/// Receiver identifier of a method call ending right before `at`
+/// (`self.windows.iter()` with `at` pointing at `.iter()` → `windows`).
+fn receiver_before(line: &str, at: usize) -> Option<&str> {
+    trailing_ident(&line[..at])
+}
+
+/// Runs the determinism lint over one sanitized file.
+pub fn lint_determinism(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
+    let map_idents = hash_container_idents(&s.lines);
+    for (idx, line) in s.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if s.is_allowed(lineno, LINT_NONDET) {
+            continue;
+        }
+        for &(pat, advice) in NONDET_SOURCES {
+            if line.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    lint: LINT_NONDET,
+                    severity: Severity::Deny,
+                    message: format!("`{pat}` is nondeterministic: {advice}"),
+                });
+            }
+        }
+        // Unordered iteration: `map.iter()` etc. on a known hash container.
+        for m in UNORDERED_ITER {
+            let mut from = 0usize;
+            while let Some(pos) = line[from..].find(m) {
+                let at = from + pos;
+                if receiver_before(line, at).is_some_and(|r| map_idents.contains(r)) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        lint: LINT_NONDET,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "unordered hash-container iteration `{}{m}`; sort the items \
+                             or use a BTreeMap before order can leak into results",
+                            receiver_before(line, at).unwrap_or("?"),
+                        ),
+                    });
+                }
+                from = at + m.len();
+            }
+        }
+        // `for x in &map {` / `for x in map {` forms.
+        if let Some(for_pos) = line.find("for ") {
+            if let Some(in_pos) = line[for_pos..].find(" in ") {
+                let after = line[for_pos + in_pos + 4..]
+                    .trim_start()
+                    .trim_start_matches('&')
+                    .trim_start_matches("mut ");
+                let ident: String = after
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                let tail = &after[ident.len()..];
+                let direct_loop = tail.trim_start().starts_with('{');
+                if direct_loop && map_idents.contains(ident.as_str()) {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        lint: LINT_NONDET,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "iterating hash container `{ident}` in unordered order; \
+                             collect and sort first"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Runs the panic-safety lint over one sanitized file (lib code only; test
+/// regions in `mask` are exempt).
+pub fn lint_panic(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<Finding>) {
+    for (idx, line) in s.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if mask.get(idx).copied().unwrap_or(false) || s.is_allowed(lineno, LINT_PANIC) {
+            continue;
+        }
+        if line.contains(".unwrap()") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                lint: LINT_PANIC,
+                severity: Severity::Deny,
+                message: "`.unwrap()` in library code; match, use `unwrap_or*`, or \
+                          propagate with `?`"
+                    .to_string(),
+            });
+        }
+        if line.contains(".expect(") {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                lint: LINT_PANIC,
+                severity: Severity::Deny,
+                message: "`.expect(..)` in library code; encode the invariant in types \
+                          or handle the `None`/`Err` arm"
+                    .to_string(),
+            });
+        }
+        // Slice/array indexing can panic; warn (heuristic, never fails CI).
+        if !line.trim_start().starts_with('#') {
+            let chars: Vec<char> = line.chars().collect();
+            for (ci, &c) in chars.iter().enumerate() {
+                if c != '[' || ci == 0 {
+                    continue;
+                }
+                let prev = chars[ci - 1];
+                if prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: lineno,
+                        lint: LINT_PANIC,
+                        severity: Severity::Warn,
+                        message: "slice indexing can panic; prefer `.get(..)` where the \
+                                  index is not provably in bounds"
+                            .to_string(),
+                    });
+                    break; // one warning per line is enough
+                }
+            }
+        }
+    }
+}
+
+/// Runs the NaN-safety lint over one sanitized file.
+pub fn lint_nan(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
+    for (idx, line) in s.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if s.is_allowed(lineno, LINT_NAN) {
+            continue;
+        }
+        // Catch `a.partial_cmp(&b).unwrap()` including the chained-across-
+        // newline style: look at this line joined with the next.
+        let joined = match s.lines.get(idx + 1) {
+            Some(next) if line.contains("partial_cmp") => format!("{line}{next}"),
+            _ => line.clone(),
+        };
+        if line.contains("partial_cmp")
+            && (joined.contains(".unwrap()") || joined.contains(".expect("))
+        {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                lint: LINT_NAN,
+                severity: Severity::Deny,
+                message: "`partial_cmp(..).unwrap()` panics on NaN; use \
+                          `f64::total_cmp` for float ordering"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::test_regions;
+    use crate::sanitize::sanitize;
+
+    fn run_all(src: &str, kind: FileKind) -> Vec<Finding> {
+        let s = sanitize(src);
+        let mask = test_regions(&s.lines);
+        let mut f = Vec::new();
+        if kind.sim_crate {
+            lint_determinism("test.rs", &s, &mut f);
+            if kind.lib_code {
+                lint_panic("test.rs", &s, &mask, &mut f);
+            }
+        }
+        lint_nan("test.rs", &s, &mut f);
+        f
+    }
+
+    const SIM_LIB: FileKind = FileKind {
+        sim_crate: true,
+        lib_code: true,
+    };
+
+    fn denies(f: &[Finding]) -> usize {
+        f.iter().filter(|x| x.severity == Severity::Deny).count()
+    }
+
+    #[test]
+    fn entropy_sources_are_denied() {
+        let f = run_all("let mut rng = rand::thread_rng();\n", SIM_LIB);
+        assert_eq!(denies(&f), 1);
+        assert_eq!(f[0].lint, LINT_NONDET);
+        let f = run_all("let t = std::time::Instant::now();\n", SIM_LIB);
+        assert_eq!(denies(&f), 1);
+    }
+
+    #[test]
+    fn suppression_comment_silences_a_site() {
+        let src = "// deliberate: seeded elsewhere. via-audit: allow(nondeterminism)\nlet mut rng = rand::thread_rng();\n";
+        assert_eq!(denies(&run_all(src, SIM_LIB)), 0);
+    }
+
+    #[test]
+    fn hashmap_iteration_is_denied_but_get_is_fine() {
+        let src = "let mut cache: HashMap<u32, f64> = HashMap::new();\nfor (k, v) in &cache {\n}\ncache.get(&1);\nlet x = cache.iter().count();\n";
+        let f = run_all(src, SIM_LIB);
+        assert_eq!(denies(&f), 2, "{f:?}");
+        assert!(f.iter().all(|x| x.lint == LINT_NONDET));
+    }
+
+    #[test]
+    fn vec_iteration_is_not_flagged() {
+        let src = "let xs: Vec<u32> = Vec::new();\nfor x in &xs {}\nxs.iter().sum::<u32>();\n";
+        assert_eq!(denies(&run_all(src, SIM_LIB)), 0);
+    }
+
+    #[test]
+    fn unwrap_in_lib_code_is_denied_but_tests_are_exempt() {
+        let src = "fn lib(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
+        let f = run_all(src, SIM_LIB);
+        assert_eq!(denies(&f), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_fine() {
+        let src = "fn lib(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_default() }\n";
+        assert_eq!(denies(&run_all(src, SIM_LIB)), 0);
+    }
+
+    #[test]
+    fn indexing_warns_without_failing() {
+        let f = run_all("fn lib(xs: &[u32]) -> u32 { xs[0] }\n", SIM_LIB);
+        assert_eq!(denies(&f), 0);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn nan_unsafe_comparison_is_denied_everywhere() {
+        let src = "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        let f = run_all(
+            src,
+            FileKind {
+                sim_crate: false,
+                lib_code: false,
+            },
+        );
+        assert_eq!(denies(&f), 1);
+        assert_eq!(f[0].lint, LINT_NAN);
+        assert!(f[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn total_cmp_is_fine() {
+        let src = "xs.sort_by(|a, b| a.total_cmp(b));\nlet o = a.partial_cmp(&b);\n";
+        assert_eq!(
+            denies(&run_all(
+                src,
+                FileKind {
+                    sim_crate: false,
+                    lib_code: false
+                }
+            )),
+            0
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! CLI entry point: `cargo run -p via-audit [-- --root <dir>] [-v]`.
+//!
+//! Walks `<root>/crates`, runs the three lints, prints findings, and exits
+//! non-zero when any deny-level finding exists. Warnings are summarized
+//! (full detail with `-v`) and never affect the exit code.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use via_audit::lints::Severity;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut verbose = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("--root requires a directory argument");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(dir);
+            }
+            "-v" | "--verbose" => verbose = true,
+            other => {
+                eprintln!("unknown argument `{other}`; usage: via-audit [--root <dir>] [-v]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // When invoked via `cargo run` from a crate directory, walk up to the
+    // workspace root (the directory containing `crates/`).
+    if !root.join("crates").is_dir() {
+        if let Ok(mut cur) = std::env::current_dir() {
+            while !cur.join("crates").is_dir() {
+                if !cur.pop() {
+                    break;
+                }
+            }
+            if cur.join("crates").is_dir() {
+                root = cur;
+            }
+        }
+    }
+
+    let findings = match via_audit::audit_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "via-audit: failed to walk workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for f in &findings {
+        match f.severity {
+            Severity::Deny => {
+                errors += 1;
+                println!("{f}");
+            }
+            Severity::Warn => {
+                warnings += 1;
+                if verbose {
+                    println!("{f}");
+                }
+            }
+        }
+    }
+
+    println!(
+        "via-audit: {errors} error{}, {warnings} warning{}{}",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+        if warnings > 0 && !verbose {
+            " (rerun with -v for warning detail)"
+        } else {
+            ""
+        }
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,279 @@
+//! Source sanitization: blanks comments and string literals while
+//! preserving line structure, so downstream lints match only real code.
+//!
+//! A full parse is unnecessary (and `syn` is unavailable offline); the lints
+//! operate on substring patterns, so it suffices to remove the two places
+//! where patterns could falsely match — comments and string contents — and
+//! to keep every newline so findings carry correct line numbers.
+//!
+//! Suppression directives are collected in the same pass: a comment of the
+//! form `// via-audit: allow(lint-a, lint-b)` disables those lints on its
+//! own line and on the line directly below it.
+
+use std::collections::{HashMap, HashSet};
+
+/// Sanitized file: code with comments/strings blanked, plus suppressions.
+pub struct Sanitized {
+    /// One entry per source line, 0-indexed (line 1 is `lines[0]`).
+    pub lines: Vec<String>,
+    /// Line number (1-indexed) → lint names allowed on that line.
+    pub allows: HashMap<usize, HashSet<String>>,
+}
+
+impl Sanitized {
+    /// True if `lint` is suppressed at `line` (1-indexed): a directive on
+    /// the same line or the line directly above.
+    pub fn is_allowed(&self, line: usize, lint: &str) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|set| set.contains(lint) || set.contains("all"))
+        })
+    }
+}
+
+/// Extracts `via-audit: allow(a, b)` directives from one comment's text.
+fn parse_allows(comment: &str, line: usize, allows: &mut HashMap<usize, HashSet<String>>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("via-audit: allow(") {
+        let after = &rest[pos + "via-audit: allow(".len()..];
+        let Some(close) = after.find(')') else {
+            return;
+        };
+        for name in after[..close].split(',') {
+            let name = name.trim();
+            if !name.is_empty() {
+                allows.entry(line).or_default().insert(name.to_string());
+            }
+        }
+        rest = &after[close..];
+    }
+}
+
+/// Blanks comments and string/char literal contents, preserving newlines and
+/// column positions (each removed char becomes a space). Collects
+/// suppression directives from comments as it goes.
+pub fn sanitize(src: &str) -> Sanitized {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let mut allows: HashMap<usize, HashSet<String>> = HashMap::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a blanked char, keeping newlines so line numbers survive.
+    let blank = |c: char, out: &mut String, line: &mut usize| {
+        if c == '\n' {
+            out.push('\n');
+            *line += 1;
+        } else {
+            out.push(' ');
+        }
+    };
+
+    while i < n {
+        let c = chars[i];
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            parse_allows(&text, line, &mut allows);
+            continue;
+        }
+
+        // Block comment (nested per Rust rules).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < n {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank('/', &mut out, &mut line);
+                    blank('*', &mut out, &mut line);
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank('*', &mut out, &mut line);
+                    blank('/', &mut out, &mut line);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        parse_allows(&text, line, &mut allows);
+                        text.clear();
+                    } else {
+                        text.push(chars[i]);
+                    }
+                    blank(chars[i], &mut out, &mut line);
+                    i += 1;
+                }
+            }
+            parse_allows(&text, line, &mut allows);
+            continue;
+        }
+
+        // Raw (and raw byte) string literal: r"..." / r#"..."# / br#"..."#.
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if !prev_is_ident && (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'))) {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                // Emit the prefix verbatim, blank the contents.
+                for &p in &chars[i..=j] {
+                    out.push(p);
+                }
+                i = j + 1;
+                'raw: while i < n {
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for &p in &chars[i..=i + hashes] {
+                                out.push(p);
+                            }
+                            i += hashes + 1;
+                            break 'raw;
+                        }
+                    }
+                    blank(chars[i], &mut out, &mut line);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+
+        // Ordinary (and byte) string literal.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_is_ident) {
+            if c == 'b' {
+                out.push('b');
+                i += 1;
+            }
+            out.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    blank(chars[i], &mut out, &mut line);
+                    blank(chars[i + 1], &mut out, &mut line);
+                    i += 2;
+                } else if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                } else {
+                    blank(chars[i], &mut out, &mut line);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no closing
+        // quote right after one char) is a lifetime.
+        if c == '\'' {
+            let is_escape = chars.get(i + 1) == Some(&'\\');
+            let is_short = chars.get(i + 2) == Some(&'\'');
+            if is_escape || is_short {
+                out.push('\'');
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        blank(chars[i], &mut out, &mut line);
+                        blank(chars[i + 1], &mut out, &mut line);
+                        i += 2;
+                    } else if chars[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    } else {
+                        blank(chars[i], &mut out, &mut line);
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+
+        if c == '\n' {
+            line += 1;
+        }
+        out.push(c);
+        i += 1;
+    }
+
+    Sanitized {
+        lines: out.lines().map(str::to_string).collect(),
+        allows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_blanked_and_lines_preserved() {
+        let src = "let a = 1; // thread_rng here\n/* block\nthread_rng */ let b = 2;\n";
+        let s = sanitize(src);
+        assert_eq!(s.lines.len(), 3);
+        assert!(!s.lines.iter().any(|l| l.contains("thread_rng")));
+        assert!(s.lines[0].contains("let a = 1;"));
+        assert!(s.lines[2].contains("let b = 2;"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let src = "let s = \"thread_rng\"; call();\n";
+        let s = sanitize(src);
+        assert!(!s.lines[0].contains("thread_rng"));
+        assert!(s.lines[0].contains("call();"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = "let s = r#\"multi\nline thread_rng\"#; next();\n";
+        let s = sanitize(src);
+        assert_eq!(s.lines.len(), 2);
+        assert!(!s.lines[1].contains("thread_rng"));
+        assert!(s.lines[1].contains("next();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = "let s = \"a\\\"b thread_rng\"; tail();\n";
+        let s = sanitize(src);
+        assert!(!s.lines[0].contains("thread_rng"));
+        assert!(s.lines[0].contains("tail();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x'; let nl = '\\n';\n";
+        let s = sanitize(src);
+        assert!(s.lines[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.lines[1].contains('x'), "char literal contents blanked");
+    }
+
+    #[test]
+    fn allow_directives_are_collected() {
+        let src = "// via-audit: allow(nondeterminism, panic)\nmap.iter();\nx.unwrap(); // via-audit: allow(panic)\n";
+        let s = sanitize(src);
+        assert!(s.is_allowed(2, "nondeterminism"));
+        assert!(s.is_allowed(2, "panic"));
+        assert!(!s.is_allowed(2, "nan-cmp"));
+        assert!(s.is_allowed(3, "panic"));
+        assert!(!s.is_allowed(4, "nondeterminism"));
+    }
+}

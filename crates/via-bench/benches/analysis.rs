@@ -2,6 +2,11 @@
 //! over a synthetic trace — the cost of regenerating the paper's measurement
 //! section.
 
+// Bench setup code: criterion closures fight `semicolon_if_nothing_returned`,
+// and panicking on a malformed fixture is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use via_model::metrics::{Metric, Thresholds};

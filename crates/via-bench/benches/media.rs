@@ -2,6 +2,11 @@
 //! processes, and full packet-level call simulation (the §2.2 validation
 //! workload, 70 K calls in the paper).
 
+// Bench setup code: criterion closures fight `semicolon_if_nothing_returned`,
+// and panicking on a malformed fixture is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::prelude::*;
 use rand::rngs::StdRng;

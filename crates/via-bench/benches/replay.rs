@@ -3,6 +3,11 @@
 //! They track the end-to-end cost of the experiments and catch performance
 //! regressions in the selection stack.
 
+// Bench setup code: criterion closures fight `semicolon_if_nothing_returned`,
+// and panicking on a malformed fixture is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use via_core::replay::{ReplayConfig, ReplaySim, SpatialGranularity};
@@ -35,14 +40,7 @@ fn bench_strategies(c: &mut Criterion) {
         StrategyKind::Via,
     ] {
         g.bench_function(kind.name(), |b| {
-            b.iter(|| {
-                run(
-                    black_box(&world),
-                    &trace,
-                    kind,
-                    ReplayConfig::default(),
-                )
-            })
+            b.iter(|| run(black_box(&world), &trace, kind, ReplayConfig::default()))
         });
     }
     g.finish();

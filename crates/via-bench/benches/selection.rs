@@ -3,6 +3,11 @@
 //! estimator. These bound the controller's per-call overhead (§7 discusses
 //! controller scalability).
 
+// Bench setup code: panicking on a malformed fixture is the right behavior,
+// and criterion's closure style fights `semicolon_if_nothing_returned`.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::prelude::*;
 use rand::rngs::StdRng;

@@ -3,6 +3,11 @@
 //! once per control period over the whole history; stitching runs per
 //! (pair, option) query.
 
+// Bench setup code: criterion closures fight `semicolon_if_nothing_returned`,
+// and panicking on a malformed fixture is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -46,14 +51,7 @@ fn bench_fit(c: &mut Criterion) {
     for (keys, relays, obs) in [(50u32, 10u32, 2_000usize), (200, 30, 20_000)] {
         let h = synth_history(keys, relays, obs, 5);
         g.bench_function(format!("{keys}keys_{relays}relays_{obs}obs"), |b| {
-            b.iter(|| {
-                Tomography::fit(
-                    black_box(&h),
-                    window(),
-                    &bb,
-                    &TomographyConfig::default(),
-                )
-            })
+            b.iter(|| Tomography::fit(black_box(&h), window(), &bb, &TomographyConfig::default()))
         });
     }
     g.finish();

@@ -1,6 +1,11 @@
 //! Benchmarks of the synthetic-world substrate: generation, path sampling
 //! throughput (the inner loop of every replay), and candidate enumeration.
 
+// Bench setup code: criterion closures fight `semicolon_if_nothing_returned`,
+// and panicking on a malformed fixture is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::prelude::*;
 use rand::rngs::StdRng;

@@ -110,7 +110,7 @@ mod tests {
     use super::*;
 
     fn argv(s: &[&str]) -> Vec<String> {
-        s.iter().map(|x| x.to_string()).collect()
+        s.iter().map(ToString::to_string).collect()
     }
 
     #[test]
@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn missing_positional_is_reported() {
         let f = Flags::parse(&argv(&["--seed", "1"])).unwrap();
-        assert_eq!(f.positional("trace file"), Err(FlagError::Missing("trace file")));
+        assert_eq!(
+            f.positional("trace file"),
+            Err(FlagError::Missing("trace file"))
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ fn cmd_analyze(rest: &[String]) -> CliResult {
     let s = via_trace::analysis::dataset_summary(&trace);
     println!("calls: {}", s.calls);
     println!("users: {}", s.users);
-    println!("ASes: {}   countries: {}   days: {}", s.ases, s.countries, s.days);
+    println!(
+        "ASes: {}   countries: {}   days: {}",
+        s.ases, s.countries, s.days
+    );
     println!(
         "international: {:.1}%   inter-AS: {:.1}%   wireless: {:.1}%",
         100.0 * s.international_fraction,
@@ -113,8 +116,7 @@ fn cmd_analyze(rest: &[String]) -> CliResult {
     println!("| metric | p50 | p90 | p99 | beyond threshold |");
     println!("|---|---|---|---|---|");
     for metric in Metric::ALL {
-        let cdf = via_trace::analysis::metric_cdf(&trace, metric)
-            .ok_or("trace holds no calls")?;
+        let cdf = via_trace::analysis::metric_cdf(&trace, metric).ok_or("trace holds no calls")?;
         println!(
             "| {metric} | {:.1} | {:.1} | {:.1} | {:.1}% |",
             cdf.quantile(0.5),
@@ -173,7 +175,11 @@ fn cmd_replay(rest: &[String]) -> CliResult {
     let pnr = out.pnr(&Thresholds::default());
     let (direct, bounce, transit) = out.option_mix();
 
-    println!("strategy: {}   objective: {objective}   calls: {}", out.strategy, out.calls.len());
+    println!(
+        "strategy: {}   objective: {objective}   calls: {}",
+        out.strategy,
+        out.calls.len()
+    );
     println!(
         "PNR: rtt {:.1}%  loss {:.1}%  jitter {:.1}%  any {:.1}%",
         100.0 * pnr.rtt,

@@ -86,7 +86,7 @@ pub fn plan_probes(
     let mut plan = Vec::with_capacity(budget.min(holes.len()));
     let mut remaining: Vec<Probe> = holes;
     while plan.len() < budget && !remaining.is_empty() {
-        let (best_idx, best_score) = remaining
+        let Some((best_idx, best_score)) = remaining
             .iter()
             .enumerate()
             .map(|(i, p)| {
@@ -98,7 +98,9 @@ pub fn plan_probes(
                 (i, score)
             })
             .max_by_key(|&(_, s)| s)
-            .expect("remaining non-empty");
+        else {
+            break; // unreachable: the loop condition keeps `remaining` non-empty
+        };
         if best_score == 0 {
             break; // every remaining probe only re-measures covered segments
         }

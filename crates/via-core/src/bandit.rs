@@ -153,6 +153,30 @@ impl UcbBandit {
         self.total
     }
 
+    /// Debug-build invariants: per-arm counts sum to the bandit total
+    /// (virtual prior observations included), the normalizer is positive,
+    /// and no arm has accumulated a negative or non-finite cost sum. Free in
+    /// release builds.
+    pub fn validate(&self) {
+        debug_assert!(
+            self.arms.iter().map(|a| a.n).sum::<u64>() == self.total,
+            "bandit arm counts {:?} do not sum to total {}",
+            self.arms.iter().map(|a| a.n).collect::<Vec<_>>(),
+            self.total
+        );
+        debug_assert!(
+            self.w > 0.0,
+            "bandit normalizer w = {} must be positive",
+            self.w
+        );
+        debug_assert!(
+            self.arms
+                .iter()
+                .all(|a| a.cost_sum.is_finite() && a.cost_sum >= 0.0),
+            "bandit has a negative or non-finite cost sum"
+        );
+    }
+
     /// Mean observed cost of one arm, if it was played.
     pub fn arm_mean(&self, option: RelayOption) -> Option<f64> {
         let option = option.canonical();
@@ -247,17 +271,59 @@ mod tests {
     }
 
     #[test]
-    fn normalization_tames_outliers() {
-        // With normalization off and huge w-relative costs, the exploration
-        // bonus becomes negligible and the bandit can lock onto a lucky arm.
-        // With normalization on (costs ÷ w ≈ O(1)), the bonus stays relevant.
-        let run = |normalize: bool, seed: u64| {
-            let mut b = UcbBandit::new(opts(2), 1000.0);
+    fn normalization_makes_choices_scale_invariant() {
+        // The point of dividing by w (Algorithm 3 line 3): the exploration
+        // bonus is an absolute quantity, so without normalization its weight
+        // depends on the metric's unit. With normalization, scaling every
+        // cost and w by the same factor must leave the choice sequence
+        // byte-identical.
+        let run = |scale: f64, normalize: bool| {
+            let mut b = UcbBandit::new(opts(2), 1000.0 * scale);
             b.normalize = normalize;
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut choices = Vec::new();
+            for _ in 0..300 {
+                let o = b.choose().unwrap();
+                choices.push(o);
+                let base = if o == RelayOption::Bounce(RelayId(1)) {
+                    800.0
+                } else {
+                    900.0
+                };
+                b.update(o, (base + rng.random_range(-200.0..200.0)) * scale);
+            }
+            choices
+        };
+        // Scales chosen so one side puts raw costs near the bonus's O(1)
+        // magnitude (0.001 → costs ≈ 0.8) and the other far above it
+        // (1.0 → costs ≈ 800).
+        assert_eq!(
+            run(0.001, true),
+            run(1.0, true),
+            "normalized choices must not depend on the metric's scale"
+        );
+        let diverged = run(0.001, false) != run(1.0, false);
+        assert!(
+            diverged,
+            "without normalization the bonus-to-cost ratio (and hence the \
+             choice sequence) should shift with the metric's scale"
+        );
+    }
+
+    #[test]
+    fn normalization_tames_outliers() {
+        // Heavy-tailed costs: 2% of calls spike to 5000 against a base of
+        // 800/900. Normalizing by w (not the observed range) keeps the
+        // 100-unit common-case gap visible, so the bandit still converges to
+        // the better arm despite outliers dominating the sample variance.
+        const ROUNDS: u32 = 2_000;
+        const SEEDS: u64 = 10;
+        let run = |seed: u64| {
+            let mut b = UcbBandit::new(opts(2), 1000.0);
             let mut rng = StdRng::seed_from_u64(seed);
             // True means: arm0 = 900, arm1 = 800 (better), heavy noise.
             let mut picks1 = 0;
-            for _ in 0..400 {
+            for _ in 0..ROUNDS {
                 let o = b.choose().unwrap();
                 let base = if o == RelayOption::Bounce(RelayId(1)) {
                     picks1 += 1;
@@ -265,18 +331,50 @@ mod tests {
                 } else {
                     900.0
                 };
-                let spike = if rng.random::<f64>() < 0.02 { 5000.0 } else { 0.0 };
+                let spike = if rng.random::<f64>() < 0.02 {
+                    5000.0
+                } else {
+                    0.0
+                };
                 b.update(o, base + rng.random_range(-200.0..200.0) + spike);
             }
             picks1
         };
-        // Average over seeds to avoid flakiness.
-        let norm: u32 = (0..10).map(|s| run(true, s)).sum();
-        let raw: u32 = (0..10).map(|s| run(false, s)).sum();
+        let picks: u32 = (0..SEEDS).map(run).sum();
+        let total = SEEDS as u32 * ROUNDS;
         assert!(
-            norm >= raw,
-            "normalized ({norm}) should find the better arm at least as often as raw ({raw})"
+            picks > total * 3 / 5,
+            "better arm picked only {picks}/{total} times under outliers"
         );
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "do not sum to total")]
+    fn validate_catches_count_drift() {
+        let mut b = UcbBandit::new(opts(2), 10.0);
+        b.total = 5; // corrupt the count invariant directly
+        b.validate();
+    }
+
+    proptest::proptest! {
+        /// Under any interleaving of known-arm updates, unknown-option
+        /// updates, and prior warm-starts, per-arm counts keep summing to
+        /// the bandit total.
+        #[test]
+        fn counts_and_total_stay_consistent(
+            updates in proptest::collection::vec((0u32..5, 0f64..100.0), 0..80),
+            virtual_n in 0u64..4,
+        ) {
+            let priors = opts(3).into_iter().map(|o| (o, 50.0));
+            let mut b = UcbBandit::with_priors(priors, 100.0, virtual_n);
+            b.validate();
+            for (arm, cost) in updates {
+                // Arms 0–2 exist; ids 3–4 exercise the ignored-update path.
+                b.update(RelayOption::Bounce(RelayId(arm)), cost);
+                b.validate();
+            }
+        }
     }
 
     #[test]

@@ -91,6 +91,28 @@ impl BudgetGate {
     pub fn total(&self) -> u64 {
         self.total
     }
+
+    /// Debug-build invariants: the relayed count never exceeds the calls
+    /// seen (so `relayed_fraction` stays in `[0, 1]`) and the budget is a
+    /// valid fraction. Free in release builds.
+    pub fn validate(&self) {
+        debug_assert!(
+            self.relayed <= self.total,
+            "budget gate relayed {} exceeds total {}",
+            self.relayed,
+            self.total
+        );
+        let f = self.relayed_fraction();
+        debug_assert!(
+            (0.0..=1.0).contains(&f),
+            "relayed fraction {f} outside [0, 1]"
+        );
+        debug_assert!(
+            self.budget > 0.0 && self.budget <= 1.0,
+            "budget {} outside (0, 1]",
+            self.budget
+        );
+    }
 }
 
 #[cfg(test)]

@@ -108,14 +108,14 @@ impl CallHistory {
 
     /// Number of distinct cells in a window.
     pub fn window_len(&self, window: Window) -> usize {
-        self.windows.get(&window.index).map_or(0, |m| m.len())
+        self.windows.get(&window.index).map_or(0, HashMap::len)
     }
 
     /// Total calls recorded in a window.
     pub fn window_calls(&self, window: Window) -> u64 {
         self.windows
             .get(&window.index)
-            .map_or(0, |m| m.values().map(|s| s.count()).sum())
+            .map_or(0, |m| m.values().map(MetricStats::count).sum())
     }
 
     /// Discards windows older than `keep_from` (controller memory bound; the
@@ -128,8 +128,8 @@ impl CallHistory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use via_model::time::{SimTime, WindowLen};
     use via_model::ids::RelayId;
+    use via_model::time::{SimTime, WindowLen};
 
     fn w(i: u64) -> Window {
         WindowLen::DAY.window_of(SimTime::from_days(i))

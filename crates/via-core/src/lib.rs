@@ -47,8 +47,8 @@ pub mod active;
 pub mod bandit;
 pub mod budget;
 pub mod coords;
-pub mod placement;
 pub mod history;
+pub mod placement;
 pub mod predictor;
 pub mod replay;
 pub mod strategy;
@@ -56,11 +56,11 @@ pub mod tomography;
 pub mod topk;
 
 pub use active::{plan_probes, Probe};
-pub use placement::{plan_placement, Demand, Placement};
 pub use bandit::UcbBandit;
-pub use coords::{Coord, Vivaldi, VivaldiConfig};
 pub use budget::BudgetGate;
+pub use coords::{Coord, Vivaldi, VivaldiConfig};
 pub use history::{CallHistory, KeyPair, MetricStats};
+pub use placement::{plan_placement, Demand, Placement};
 pub use predictor::{GeoPrior, Prediction, PredictionSource, Predictor, PredictorConfig};
 pub use replay::{CallOutcome, Outcome, ReplayConfig, ReplaySim, SpatialGranularity};
 pub use strategy::StrategyKind;

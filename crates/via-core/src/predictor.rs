@@ -24,7 +24,7 @@ use via_model::time::Window;
 use via_netsim::GeoPoint;
 
 use crate::history::{CallHistory, KeyPair};
-use crate::tomography::{linearize, linearize_sem, delinearize, Tomography, TomographyConfig};
+use crate::tomography::{delinearize, linearize, linearize_sem, Tomography, TomographyConfig};
 
 /// Where a prediction came from (diagnostics and the Figure 11 experiment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -222,7 +222,8 @@ impl Predictor {
                 Prediction::from_linear(lin_mean, lin_sem, PredictionSource::Empirical(n)),
             );
         }
-        let tomography = Tomography::fit(history, training_window, backbone.as_ref(), &cfg.tomography);
+        let tomography =
+            Tomography::fit(history, training_window, backbone.as_ref(), &cfg.tomography);
         Predictor {
             cfg,
             window: training_window,
@@ -234,7 +235,11 @@ impl Predictor {
     }
 
     /// A predictor with no history at all (cold start): prior-only.
-    pub fn cold(prior: GeoPrior, backbone: Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>, cfg: PredictorConfig) -> Predictor {
+    pub fn cold(
+        prior: GeoPrior,
+        backbone: Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>,
+        cfg: PredictorConfig,
+    ) -> Predictor {
         Predictor {
             cfg,
             window: Window {
@@ -271,8 +276,7 @@ impl Predictor {
             }
         }
         if let Some((lin_mean, lin_sem)) =
-            self.tomography
-                .stitch(a, b, option, self.backbone.as_ref())
+            self.tomography.stitch(a, b, option, self.backbone.as_ref())
         {
             return Prediction::from_linear(lin_mean, lin_sem, PredictionSource::Tomography);
         }
@@ -354,8 +358,18 @@ mod tests {
         let r = RelayId(0);
         // Observe 0↔1 and 1↔2 bounces; 0↔2 is a hole.
         for _ in 0..10 {
-            h.record(window(), KeyPair::new(0, 1), RelayOption::Bounce(r), &PathMetrics::new(100.0, 0.5, 4.0));
-            h.record(window(), KeyPair::new(1, 2), RelayOption::Bounce(r), &PathMetrics::new(140.0, 0.7, 5.0));
+            h.record(
+                window(),
+                KeyPair::new(0, 1),
+                RelayOption::Bounce(r),
+                &PathMetrics::new(100.0, 0.5, 4.0),
+            );
+            h.record(
+                window(),
+                KeyPair::new(1, 2),
+                RelayOption::Bounce(r),
+                &PathMetrics::new(140.0, 0.7, 5.0),
+            );
         }
         let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
         let pred = p.predict(0, 2, RelayOption::Bounce(r));
@@ -411,7 +425,12 @@ mod tests {
     #[test]
     fn bounds_bracket_mean_for_all_sources() {
         let mut h = CallHistory::new();
-        h.record(window(), KeyPair::new(0, 1), RelayOption::Direct, &PathMetrics::new(90.0, 0.2, 2.0));
+        h.record(
+            window(),
+            KeyPair::new(0, 1),
+            RelayOption::Direct,
+            &PathMetrics::new(90.0, 0.2, 2.0),
+        );
         let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
         for (a, b, opt) in [
             (0, 1, RelayOption::Direct),
@@ -430,7 +449,12 @@ mod tests {
     fn sparse_empirical_beats_prior_but_not_tomography() {
         let mut h = CallHistory::new();
         // One single sample — below min_empirical_samples.
-        h.record(window(), KeyPair::new(0, 1), RelayOption::Direct, &PathMetrics::new(90.0, 0.2, 2.0));
+        h.record(
+            window(),
+            KeyPair::new(0, 1),
+            RelayOption::Direct,
+            &PathMetrics::new(90.0, 0.2, 2.0),
+        );
         let p = Predictor::fit(&h, window(), prior(), bb(), PredictorConfig::default());
         let pred = p.predict(0, 1, RelayOption::Direct);
         // Direct has no tomography; sparse empirical should win over prior.

@@ -173,7 +173,11 @@ impl Outcome {
     /// 8 % / 54 % / 38 % for VIA).
     pub fn option_mix(&self) -> (f64, f64, f64) {
         let n = self.calls.len().max(1) as f64;
-        let direct = self.calls.iter().filter(|c| c.option == RelayOption::Direct).count();
+        let direct = self
+            .calls
+            .iter()
+            .filter(|c| c.option == RelayOption::Direct)
+            .count();
         let bounce = self.calls.iter().filter(|c| c.option.is_bounce()).count();
         let transit = self.calls.iter().filter(|c| c.option.is_transit()).count();
         (direct as f64 / n, bounce as f64 / n, transit as f64 / n)
@@ -235,7 +239,11 @@ impl<'a> ReplaySim<'a> {
 
     /// Candidate options for an AS pair, honoring the relay-fleet
     /// restriction and the transit toggle.
-    fn candidates_for(&self, src: via_model::ids::AsId, dst: via_model::ids::AsId) -> Vec<RelayOption> {
+    fn candidates_for(
+        &self,
+        src: via_model::ids::AsId,
+        dst: via_model::ids::AsId,
+    ) -> Vec<RelayOption> {
         let mut opts = self.world.candidate_options(src, dst);
         if !self.cfg.allow_transit {
             opts.retain(|o| !o.is_transit());
@@ -349,9 +357,7 @@ impl<'a> ReplaySim<'a> {
                         if let (Some(pred), Some(prev)) = (&predictor, window.prev()) {
                             let mut demand_list: Vec<(u32, u32, Vec<RelayOption>)> = demands
                                 .iter()
-                                .map(|(kp, &(sa, sb))| {
-                                    (kp.lo, kp.hi, self.candidates_for(sa, sb))
-                                })
+                                .map(|(kp, &(sa, sb))| (kp.lo, kp.hi, self.candidates_for(sa, sb)))
                                 .collect();
                             demand_list.sort_by_key(|d| (d.0, d.1));
                             let plan = crate::active::plan_probes(
@@ -412,18 +418,23 @@ impl<'a> ReplaySim<'a> {
                 StrategyKind::Oracle => *oracle_cache
                     .entry((call.as_pair(), window.index))
                     .or_insert_with(|| self.oracle_choice(call, window)),
-                StrategyKind::PredictionOnly => {
-                    let pred = predictor.as_ref().expect("predictor present");
-                    let mut best = (f64::INFINITY, RelayOption::Direct);
-                    for opt in self.candidates(call) {
-                        let p = pred.predict(ka, kb, opt);
-                        let v = p.mean(objective);
-                        if v < best.0 {
-                            best = (v, opt);
+                // `uses_history()` guarantees a predictor for the arms
+                // below; a defensive `None` (cold controller) falls back to
+                // the direct path instead of panicking.
+                StrategyKind::PredictionOnly => match predictor.as_ref() {
+                    None => RelayOption::Direct,
+                    Some(pred) => {
+                        let mut best = (f64::INFINITY, RelayOption::Direct);
+                        for opt in self.candidates(call) {
+                            let p = pred.predict(ka, kb, opt);
+                            let v = p.mean(objective);
+                            if v < best.0 {
+                                best = (v, opt);
+                            }
                         }
+                        best.1
                     }
-                    best.1
-                }
+                },
                 StrategyKind::ExplorationOnly => {
                     let state = pair_states.entry(pair).or_insert_with(|| {
                         let cands = self.candidates(call);
@@ -446,11 +457,11 @@ impl<'a> ReplaySim<'a> {
                     // §7: the client reuses a cached controller decision
                     // until it expires; only cache misses consult the
                     // selection stack.
-                    match decision_cache.get(&pair) {
-                        Some(&(opt, expires)) if call.t < expires => opt,
-                        _ => {
+                    match (decision_cache.get(&pair), predictor.as_ref()) {
+                        (Some(&(opt, expires)), _) if call.t < expires => opt,
+                        (_, None) => RelayOption::Direct,
+                        (_, Some(pred)) => {
                             controller_contacts += 1;
-                            let pred = predictor.as_ref().expect("predictor present");
                             let state = pair_states.entry(pair).or_insert_with(|| {
                                 Self::build_pair_state(
                                     pred,
@@ -462,74 +473,95 @@ impl<'a> ReplaySim<'a> {
                                 )
                             });
                             let opt = state.bandit.choose().unwrap_or(RelayOption::Direct);
-                            decision_cache
-                                .insert(pair, (opt, call.t + ttl_hours * 3_600));
+                            decision_cache.insert(pair, (opt, call.t + ttl_hours * 3_600));
                             opt
                         }
                     }
                 }
-                StrategyKind::HybridRacing { k } => {
-                    // §7: race the top-k pruned options in parallel at call
-                    // setup and keep the best. The race multiplies setup
-                    // traffic by k; `race_probes` tracks that overhead.
-                    let pred = predictor.as_ref().expect("predictor present");
-                    let state = pair_states.entry(pair).or_insert_with(|| {
-                        Self::build_pair_state(pred, ka, kb, self.candidates(call), kind, objective)
-                    });
-                    let racers: Vec<RelayOption> =
-                        state.bandit.options().take(k.max(1)).collect();
-                    race_probes += racers.len() as u64;
-                    // Realize each racer once, then compare (realize is
-                    // deterministic per (call, option), so this is both the
-                    // cheap and the correct form).
-                    racers
-                        .into_iter()
-                        .map(|o| (self.realize(call, o)[objective], o))
-                        .min_by(|a, b| a.0.partial_cmp(&b.0).unwrap())
-                        .map(|(_, o)| o)
-                        .unwrap_or(RelayOption::Direct)
-                }
+                StrategyKind::HybridRacing { k } => match predictor.as_ref() {
+                    None => RelayOption::Direct,
+                    Some(pred) => {
+                        // §7: race the top-k pruned options in parallel at
+                        // call setup and keep the best. The race multiplies
+                        // setup traffic by k; `race_probes` tracks that
+                        // overhead.
+                        let state = pair_states.entry(pair).or_insert_with(|| {
+                            Self::build_pair_state(
+                                pred,
+                                ka,
+                                kb,
+                                self.candidates(call),
+                                kind,
+                                objective,
+                            )
+                        });
+                        let racers: Vec<RelayOption> =
+                            state.bandit.options().take(k.max(1)).collect();
+                        race_probes += racers.len() as u64;
+                        // Realize each racer once, then compare (realize is
+                        // deterministic per (call, option), so this is both
+                        // the cheap and the correct form).
+                        racers
+                            .into_iter()
+                            .map(|o| (self.realize(call, o)[objective], o))
+                            .min_by(|a, b| a.0.total_cmp(&b.0))
+                            .map(|(_, o)| o)
+                            .unwrap_or(RelayOption::Direct)
+                    }
+                },
                 StrategyKind::Via
                 | StrategyKind::ViaBudgeted { .. }
                 | StrategyKind::ViaBudgetUnaware { .. }
                 | StrategyKind::ViaFixedTopK { .. }
-                | StrategyKind::ViaRawReward => {
-                    let pred = predictor.as_ref().expect("predictor present");
-                    let state = pair_states.entry(pair).or_insert_with(|| {
-                        Self::build_pair_state(pred, ka, kb, self.candidates(call), kind, objective)
-                    });
+                | StrategyKind::ViaRawReward => match predictor.as_ref() {
+                    None => RelayOption::Direct,
+                    Some(pred) => {
+                        let state = pair_states.entry(pair).or_insert_with(|| {
+                            Self::build_pair_state(
+                                pred,
+                                ka,
+                                kb,
+                                self.candidates(call),
+                                kind,
+                                objective,
+                            )
+                        });
 
-                    // Budget gating happens before any relayed choice.
-                    let benefit = state.direct_mean - state.best_mean;
-                    let gated_direct = match kind {
-                        StrategyKind::ViaBudgeted { .. } => {
-                            let gate = budget_gate.as_mut().expect("gate present");
-                            !gate.admit(benefit)
-                        }
-                        StrategyKind::ViaBudgetUnaware { budget } => {
-                            fcfs_total += 1;
-                            let frac = fcfs_relayed as f64 / fcfs_total.max(1) as f64;
-                            if benefit > 0.0 && frac < budget {
-                                fcfs_relayed += 1;
-                                false
-                            } else {
-                                true
+                        // Budget gating happens before any relayed choice.
+                        let benefit = state.direct_mean - state.best_mean;
+                        let gated_direct = match kind {
+                            StrategyKind::ViaBudgeted { .. } => {
+                                budget_gate.as_mut().is_some_and(|gate| {
+                                    let admitted = gate.admit(benefit);
+                                    gate.validate();
+                                    !admitted
+                                })
                             }
-                        }
-                        _ => false,
-                    };
+                            StrategyKind::ViaBudgetUnaware { budget } => {
+                                fcfs_total += 1;
+                                let frac = fcfs_relayed as f64 / fcfs_total.max(1) as f64;
+                                if benefit > 0.0 && frac < budget {
+                                    fcfs_relayed += 1;
+                                    false
+                                } else {
+                                    true
+                                }
+                            }
+                            _ => false,
+                        };
 
-                    if gated_direct {
-                        RelayOption::Direct
-                    } else if rng.random::<f64>() < self.cfg.epsilon {
-                        // Stage 4b: general exploration over all options.
-                        let cands = self.candidates(call);
-                        cands[rng.random_range(0..cands.len())]
-                    } else {
-                        // Stage 4a: UCB over the pruned top-k.
-                        state.bandit.choose().unwrap_or(RelayOption::Direct)
+                        if gated_direct {
+                            RelayOption::Direct
+                        } else if rng.random::<f64>() < self.cfg.epsilon {
+                            // Stage 4b: general exploration over all options.
+                            let cands = self.candidates(call);
+                            cands[rng.random_range(0..cands.len())]
+                        } else {
+                            // Stage 4a: UCB over the pruned top-k.
+                            state.bandit.choose().unwrap_or(RelayOption::Direct)
+                        }
                     }
-                }
+                },
             };
 
             let metrics = self.realize(call, option);
@@ -539,6 +571,7 @@ impl<'a> ReplaySim<'a> {
                 demands.entry(pair).or_insert((call.src_as, call.dst_as));
                 if let Some(state) = pair_states.get_mut(&pair) {
                     state.bandit.update(option, metrics[objective]);
+                    state.bandit.validate();
                 }
             }
 
@@ -574,9 +607,7 @@ impl<'a> ReplaySim<'a> {
     ) -> PairState {
         let scored: Vec<ScoredOption> = candidates
             .iter()
-            .map(|&opt| {
-                ScoredOption::from_prediction(opt, &pred.predict(ka, kb, opt), objective)
-            })
+            .map(|&opt| ScoredOption::from_prediction(opt, &pred.predict(ka, kb, opt), objective))
             .collect();
 
         let direct_mean = scored
@@ -587,7 +618,7 @@ impl<'a> ReplaySim<'a> {
         let selected: Vec<ScoredOption> = match kind {
             StrategyKind::ViaFixedTopK { k } => {
                 let mut by_mean = scored.clone();
-                by_mean.sort_by(|a, b| a.mean.partial_cmp(&b.mean).unwrap());
+                by_mean.sort_by(|a, b| a.mean.total_cmp(&b.mean));
                 by_mean.truncate(k.max(1));
                 by_mean
             }
@@ -600,11 +631,11 @@ impl<'a> ReplaySim<'a> {
         // bandit exploits predictions immediately instead of sweeping every
         // arm once.
         let w = selected.iter().map(|s| s.upper).sum::<f64>() / selected.len().max(1) as f64;
-        let mut bandit =
-            UcbBandit::with_priors(selected.iter().map(|s| (s.option, s.mean)), w, 3);
+        let mut bandit = UcbBandit::with_priors(selected.iter().map(|s| (s.option, s.mean)), w, 3);
         if matches!(kind, StrategyKind::ViaRawReward) {
             bandit.normalize = false;
         }
+        bandit.validate();
         PairState {
             bandit,
             best_mean,
@@ -670,6 +701,21 @@ mod tests {
     }
 
     #[test]
+    fn same_seed_summaries_are_byte_identical() {
+        // Determinism regression: two replays from the same seed must
+        // serialize to byte-identical summaries — any hidden nondeterminism
+        // (unordered map iteration, wall-clock reads, entropy seeding) shows
+        // up here as a diff.
+        let (world, trace) = setup();
+        let run = || {
+            let out =
+                ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Via);
+            serde_json::to_string(&out).expect("outcome serializes")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
     fn common_random_numbers_pair_strategies() {
         let (world, trace) = setup();
         let d = ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Default);
@@ -713,7 +759,10 @@ mod tests {
             o.pnr(&thresholds).rtt,
             v.pnr(&thresholds).rtt,
         );
-        assert!(op <= vp + 0.02, "oracle {op:.3} must lower-bound via {vp:.3}");
+        assert!(
+            op <= vp + 0.02,
+            "oracle {op:.3} must lower-bound via {vp:.3}"
+        );
         assert!(
             vp < dp,
             "via PNR {vp:.3} should improve on default {dp:.3} (oracle {op:.3})"
@@ -724,7 +773,8 @@ mod tests {
     fn budget_gate_limits_relayed_fraction() {
         let (world, trace) = setup();
         let cfg = ReplayConfig::default();
-        let out = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::ViaBudgeted { budget: 0.2 });
+        let out =
+            ReplaySim::new(&world, &trace, cfg).run(StrategyKind::ViaBudgeted { budget: 0.2 });
         let f = out.relayed_fraction();
         // ε-exploration adds a small overshoot on top of the gate.
         assert!(f <= 0.3, "relayed fraction {f} far exceeds budget 0.2");
@@ -779,9 +829,10 @@ mod tests {
     #[test]
     fn outcome_filters_by_predicate() {
         let (world, trace) = setup();
-        let out = ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Default);
+        let out =
+            ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Default);
         let thresholds = Thresholds::default();
-        let intl = out.pnr_where(&trace, &thresholds, |r| r.is_international());
+        let intl = out.pnr_where(&trace, &thresholds, CallRecord::is_international);
         let dom = out.pnr_where(&trace, &thresholds, |r| !r.is_international());
         assert_eq!(intl.calls + dom.calls, trace.len());
     }

@@ -112,7 +112,7 @@ mod tests {
             StrategyKind::ViaCached { ttl_hours: 6 },
             StrategyKind::HybridRacing { k: 3 },
         ];
-        let mut names: Vec<String> = kinds.iter().map(|k| k.name()).collect();
+        let mut names: Vec<String> = kinds.iter().map(StrategyKind::name).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), kinds.len());

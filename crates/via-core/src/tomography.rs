@@ -137,7 +137,10 @@ impl Tomography {
         let mut keys: Vec<SegmentKey> = Vec::new();
         let mut obs: Vec<Obs> = Vec::new();
 
-        let intern = |k: SegmentKey, keys: &mut Vec<SegmentKey>, index: &mut HashMap<SegmentKey, usize>| -> usize {
+        let intern = |k: SegmentKey,
+                      keys: &mut Vec<SegmentKey>,
+                      index: &mut HashMap<SegmentKey, usize>|
+         -> usize {
             *index.entry(k).or_insert_with(|| {
                 keys.push(k);
                 keys.len() - 1
@@ -160,11 +163,30 @@ impl Tomography {
                 y[m_idx] = linearize(metric, mean);
             }
             match option.canonical() {
-                RelayOption::Direct => continue,
+                RelayOption::Direct => {}
                 RelayOption::Bounce(r) => {
-                    let i = intern(SegmentKey { key: pair.lo, relay: r }, &mut keys, &mut index);
-                    let j = intern(SegmentKey { key: pair.hi, relay: r }, &mut keys, &mut index);
-                    obs.push(Obs { i, j, y, w: n as f64 });
+                    let i = intern(
+                        SegmentKey {
+                            key: pair.lo,
+                            relay: r,
+                        },
+                        &mut keys,
+                        &mut index,
+                    );
+                    let j = intern(
+                        SegmentKey {
+                            key: pair.hi,
+                            relay: r,
+                        },
+                        &mut keys,
+                        &mut index,
+                    );
+                    obs.push(Obs {
+                        i,
+                        j,
+                        y,
+                        w: n as f64,
+                    });
                 }
                 RelayOption::Transit(r1, r2) => {
                     // Ingress/egress assignment to lo/hi is unknown from the
@@ -174,15 +196,52 @@ impl Tomography {
                     let bbm = backbone(r1, r2);
                     let mut y_adj = y;
                     for (m_idx, &metric) in Metric::ALL.iter().enumerate() {
-                        y_adj[m_idx] =
-                            (y_adj[m_idx] - linearize(metric, bbm[metric])).max(0.0);
+                        y_adj[m_idx] = (y_adj[m_idx] - linearize(metric, bbm[metric])).max(0.0);
                     }
-                    let i1 = intern(SegmentKey { key: pair.lo, relay: r1 }, &mut keys, &mut index);
-                    let j1 = intern(SegmentKey { key: pair.hi, relay: r2 }, &mut keys, &mut index);
-                    obs.push(Obs { i: i1, j: j1, y: y_adj, w: n as f64 / 2.0 });
-                    let i2 = intern(SegmentKey { key: pair.lo, relay: r2 }, &mut keys, &mut index);
-                    let j2 = intern(SegmentKey { key: pair.hi, relay: r1 }, &mut keys, &mut index);
-                    obs.push(Obs { i: i2, j: j2, y: y_adj, w: n as f64 / 2.0 });
+                    let i1 = intern(
+                        SegmentKey {
+                            key: pair.lo,
+                            relay: r1,
+                        },
+                        &mut keys,
+                        &mut index,
+                    );
+                    let j1 = intern(
+                        SegmentKey {
+                            key: pair.hi,
+                            relay: r2,
+                        },
+                        &mut keys,
+                        &mut index,
+                    );
+                    obs.push(Obs {
+                        i: i1,
+                        j: j1,
+                        y: y_adj,
+                        w: n as f64 / 2.0,
+                    });
+                    let i2 = intern(
+                        SegmentKey {
+                            key: pair.lo,
+                            relay: r2,
+                        },
+                        &mut keys,
+                        &mut index,
+                    );
+                    let j2 = intern(
+                        SegmentKey {
+                            key: pair.hi,
+                            relay: r1,
+                        },
+                        &mut keys,
+                        &mut index,
+                    );
+                    obs.push(Obs {
+                        i: i2,
+                        j: j2,
+                        y: y_adj,
+                        w: n as f64 / 2.0,
+                    });
                 }
             }
         }
@@ -469,7 +528,9 @@ mod tests {
         let bb = |_: RelayId, _: RelayId| PathMetrics::ZERO;
         let tomo = Tomography::fit(&h, window, &bb, &TomographyConfig::default());
         assert!(tomo.is_empty());
-        assert!(tomo.stitch(0, 1, RelayOption::Bounce(RelayId(0)), &bb).is_none());
+        assert!(tomo
+            .stitch(0, 1, RelayOption::Bounce(RelayId(0)), &bb)
+            .is_none());
     }
 
     #[test]

@@ -29,12 +29,33 @@ pub struct ScoredOption {
 impl ScoredOption {
     /// Scores an option from a prediction for the given objective metric.
     pub fn from_prediction(option: RelayOption, pred: &Prediction, metric: Metric) -> Self {
-        Self {
+        let scored = Self {
             option,
             mean: pred.mean(metric),
             lower: pred.lower(metric),
             upper: pred.upper(metric),
-        }
+        };
+        scored.validate();
+        scored
+    }
+
+    /// Debug-build invariant: the confidence bounds bracket the mean
+    /// (`lower ≤ mean ≤ upper`) and none of them is NaN. Free in release
+    /// builds.
+    pub fn validate(&self) {
+        debug_assert!(
+            !self.mean.is_nan() && !self.lower.is_nan() && !self.upper.is_nan(),
+            "ScoredOption for {:?} has NaN bounds",
+            self.option
+        );
+        debug_assert!(
+            self.lower <= self.mean && self.mean <= self.upper,
+            "ScoredOption bounds out of order for {:?}: lower {} mean {} upper {}",
+            self.option,
+            self.lower,
+            self.mean,
+            self.upper
+        );
     }
 }
 
@@ -51,18 +72,11 @@ pub fn top_k(scored: &[ScoredOption]) -> Vec<ScoredOption> {
     }
     // Sort by lower bound: candidates join the set in this order.
     let mut by_lower: Vec<&ScoredOption> = scored.iter().collect();
-    by_lower.sort_by(|a, b| {
-        a.lower
-            .partial_cmp(&b.lower)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    by_lower.sort_by(|a, b| a.lower.total_cmp(&b.lower));
 
     // Seed with the option with the smallest upper bound: it can never be
     // excluded (its own lower ≤ its upper ≤ anything's upper).
-    let seed_upper = scored
-        .iter()
-        .map(|s| s.upper)
-        .fold(f64::INFINITY, f64::min);
+    let seed_upper = scored.iter().map(|s| s.upper).fold(f64::INFINITY, f64::min);
 
     let mut max_upper = seed_upper;
     let mut selected: Vec<ScoredOption> = Vec::new();
@@ -82,11 +96,21 @@ pub fn top_k(scored: &[ScoredOption]) -> Vec<ScoredOption> {
         }
     }
 
-    selected.sort_by(|a, b| {
-        a.mean
-            .partial_cmp(&b.mean)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // Closure property (the defining invariant): every excluded option's
+    // lower bound exceeds every selected option's upper bound. by_lower is
+    // sorted, so checking the first excluded candidate checks them all.
+    debug_assert!(
+        !selected.is_empty(),
+        "non-empty input must select an option"
+    );
+    debug_assert!(
+        by_lower.get(i).is_none_or(|c| c.lower > max_upper),
+        "top-k closure violated: excluded lower {} ≤ selected max upper {}",
+        by_lower.get(i).map_or(f64::NAN, |c| c.lower),
+        max_upper
+    );
+
+    selected.sort_by(|a, b| a.mean.total_cmp(&b.mean));
     selected
 }
 
@@ -197,7 +221,7 @@ mod tests {
             // The option with the globally smallest upper bound is always in.
             let min_upper = scored
                 .iter()
-                .min_by(|a, b| a.upper.partial_cmp(&b.upper).unwrap())
+                .min_by(|a, b| a.upper.total_cmp(&b.upper))
                 .unwrap();
             prop_assert!(sel.iter().any(|s| s.option == min_upper.option));
         }

@@ -19,7 +19,11 @@ fn empty_trace_produces_empty_outcome() {
         days: 0,
         records: vec![],
     };
-    for kind in [StrategyKind::Default, StrategyKind::Via, StrategyKind::Oracle] {
+    for kind in [
+        StrategyKind::Default,
+        StrategyKind::Via,
+        StrategyKind::Oracle,
+    ] {
         let out = ReplaySim::new(&w, &trace, ReplayConfig::default()).run(kind);
         assert!(out.calls.is_empty());
         assert_eq!(out.pnr(&Thresholds::default()).calls, 0);

@@ -8,6 +8,10 @@
 //! per-window probe budget. PNR is over *all* calls (no density filter —
 //! sparse keys are exactly where holes live).
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_core::replay::{ReplayConfig, SpatialGranularity};
 use via_core::strategy::StrategyKind;
@@ -58,10 +62,7 @@ fn main() {
     }
 
     if let Some(base) = baseline_pnr {
-        let best = points
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(f64::INFINITY, f64::min);
+        let best = points.iter().map(|&(_, p)| p).fold(f64::INFINITY, f64::min);
         println!(
             "\nActive probing removes up to {:.1}% of the residual PNR that passive-only VIA leaves.",
             100.0 * (base - best) / base.max(1e-9)

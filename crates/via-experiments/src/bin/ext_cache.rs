@@ -6,6 +6,10 @@
 //! the cache TTL and reports the trade: controller round-trips saved vs the
 //! PNR cost of acting on stale decisions.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_core::strategy::StrategyKind;
 use via_experiments::{build_env, header, pnr_masked, row, write_json, Args};

@@ -6,6 +6,10 @@
 //! keep the list short. This experiment sweeps the race width k and reports
 //! the PNR gain over plain VIA and the probe overhead the race costs.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_core::strategy::StrategyKind;
 use via_experiments::{build_env, header, pnr_masked, row, write_json, Args};
@@ -33,8 +37,12 @@ fn main() {
     let objective = Metric::Rtt;
 
     let via_pnr = pnr_masked(&env.run(StrategyKind::Via, objective), &mask, &thresholds).any;
-    let oracle_pnr =
-        pnr_masked(&env.run(StrategyKind::Oracle, objective), &mask, &thresholds).any;
+    let oracle_pnr = pnr_masked(
+        &env.run(StrategyKind::Oracle, objective),
+        &mask,
+        &thresholds,
+    )
+    .any;
 
     println!("# §7 extension: hybrid racing over the pruned top-k\n");
     println!("plain VIA PNR = {via_pnr:.3}; oracle = {oracle_pnr:.3}\n");
@@ -45,11 +53,7 @@ fn main() {
         let out = env.run(StrategyKind::HybridRacing { k }, objective);
         let pnr = pnr_masked(&out, &mask, &thresholds).any;
         let per_call = out.race_probes as f64 / out.calls.len().max(1) as f64;
-        row(&[
-            k.to_string(),
-            format!("{pnr:.3}"),
-            format!("{per_call:.1}"),
-        ]);
+        row(&[k.to_string(), format!("{pnr:.3}"), format!("{per_call:.1}")]);
         points.push(Point {
             k,
             pnr_any: pnr,

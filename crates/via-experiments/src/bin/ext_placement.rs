@@ -7,6 +7,10 @@
 //! from the world model, and compares the greedy gain curve against naive
 //! catalog-order deployment.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::collections::HashMap;
 use via_core::placement::{plan_placement, Demand};
@@ -37,7 +41,7 @@ fn main() {
         }
     }
     let mut pairs: Vec<_> = weights.into_iter().collect();
-    pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
     pairs.truncate(400); // the heavy head carries the demand
 
     let demands: Vec<Demand> = pairs
@@ -86,19 +90,24 @@ fn main() {
     }
 
     println!("# Extension: greedy relay placement vs catalog-order deployment\n");
-    header(&["fleet size", "greedy gain", "naive gain", "greedy site added"]);
-    for i in 0..greedy.sites.len().min(12) {
+    header(&[
+        "fleet size",
+        "greedy gain",
+        "naive gain",
+        "greedy site added",
+    ]);
+    for (i, site) in greedy.sites.iter().take(12).enumerate() {
         row(&[
             (i + 1).to_string(),
             format!("{:.0}", greedy.gain_curve[i]),
             format!("{:.0}", naive_gain[i]),
-            env.world.relays[greedy.sites[i].index()].name.clone(),
+            env.world.relays[site.index()].name.clone(),
         ]);
     }
 
     let total = *greedy.gain_curve.last().expect("non-empty");
     let half_idx = greedy.sites.len() / 2;
-    let half_share = greedy.gain_curve[half_idx.saturating_sub(1).max(0)] / total.max(1e-9);
+    let half_share = greedy.gain_curve[half_idx.saturating_sub(1)] / total.max(1e-9);
     println!(
         "\nHalf the greedy fleet captures {:.0}% of the total gain (Figure 17c's skew, planned for).",
         100.0 * half_share

@@ -5,6 +5,10 @@
 //! metrics. This binary reproduces the curves (y normalized to the maximum
 //! PCR, as in the paper's plot) and the correlation coefficients.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_experiments::{build_env, header, row, write_json, Args, Scale};
 use via_model::metrics::Metric;
@@ -42,14 +46,21 @@ fn main() {
             .fold(f64::MIN, f64::max)
             .max(1e-9);
 
-        println!("## {metric} (correlation {:.3}, paper: {})\n",
+        println!(
+            "## {metric} (correlation {:.3}, paper: {})\n",
             curve.correlation.unwrap_or(f64::NAN),
             match metric {
                 Metric::Rtt => "0.97",
                 Metric::Loss => "0.95",
                 Metric::Jitter => "0.91",
-            });
-        header(&[&format!("{metric} ({})", metric.unit()), "calls", "PCR", "normalized PCR"]);
+            }
+        );
+        header(&[
+            &format!("{metric} ({})", metric.unit()),
+            "calls",
+            "PCR",
+            "normalized PCR",
+        ]);
         for b in &curve.bins {
             row(&[
                 format!("{:.1}", b.x_center),

@@ -5,6 +5,10 @@
 //! calibrated to the same tail mass. Prints quantiles of each metric and the
 //! fraction beyond each threshold.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_experiments::{build_env, header, pct, row, write_json, Args};
 use via_model::metrics::{Metric, Thresholds};
@@ -25,7 +29,15 @@ fn main() {
 
     println!("# Figure 2: distribution of network metrics on default paths\n");
     header(&[
-        "metric", "p10", "p25", "p50", "p75", "p90", "p95", "p99", "threshold",
+        "metric",
+        "p10",
+        "p25",
+        "p50",
+        "p75",
+        "p90",
+        "p95",
+        "p99",
+        "threshold",
         "beyond",
     ]);
 

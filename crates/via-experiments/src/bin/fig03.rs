@@ -5,6 +5,10 @@
 //! substantial spread to argue that improving one metric could worsen
 //! another — motivating the combined "at least one bad" objective.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_experiments::{build_env, header, row, write_json, Args, Scale};
 use via_model::metrics::Metric;
@@ -40,8 +44,7 @@ fn main() {
     println!("# Figure 3: pairwise metric correlations (p10/p50/p90 of y per x bin)\n");
     let mut panels = Vec::new();
     for (x, y) in pairs {
-        let bins =
-            pairwise_metric_percentiles(&env.trace, x, y, range_of(x), 10, min_samples);
+        let bins = pairwise_metric_percentiles(&env.trace, x, y, range_of(x), 10, min_samples);
         println!("## {y} vs {x}\n");
         header(&[
             &format!("{x} ({})", x.unit()),

@@ -5,6 +5,10 @@
 //! distribution — the worst countries reach ~70 % PNR on individual metrics
 //! (4b). The inter-AS vs intra-AS split (§2.3) shows the same 2–3× pattern.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_experiments::{build_env, header, pct, row, write_json, Args, Scale};
 use via_model::metrics::Thresholds;
@@ -27,7 +31,14 @@ fn main() {
     let scope = pnr_by_scope(&env.trace, &thresholds);
 
     println!("# Figure 4a: PNR by scope\n");
-    header(&["scope", "calls", "PNR RTT", "PNR loss", "PNR jitter", "PNR any"]);
+    header(&[
+        "scope",
+        "calls",
+        "PNR RTT",
+        "PNR loss",
+        "PNR jitter",
+        "PNR any",
+    ]);
     for (name, r) in [
         ("international", &scope.international),
         ("domestic", &scope.domestic),
@@ -54,7 +65,14 @@ fn main() {
     let ranked = pnr_by_country(&env.trace, &thresholds, min_calls);
 
     println!("# Figure 4b: international-call PNR by country (worst first)\n");
-    header(&["country", "calls", "PNR RTT", "PNR loss", "PNR jitter", "PNR any"]);
+    header(&[
+        "country",
+        "calls",
+        "PNR RTT",
+        "PNR loss",
+        "PNR jitter",
+        "PNR any",
+    ]);
     let mut by_country = Vec::new();
     for (cid, r) in ranked.iter().take(15) {
         let name = env.world.countries[cid.index()].name.clone();

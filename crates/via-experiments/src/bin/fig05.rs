@@ -5,6 +5,10 @@
 //! point fixes at specific pairs cannot move the needle. This binary prints
 //! the cumulative share of poor calls contributed by the worst n pairs.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_experiments::{build_env, header, pct, row, write_json, Args};
 use via_model::metrics::Thresholds;
@@ -21,7 +25,10 @@ fn main() {
     let args = Args::parse();
     let env = build_env(args);
     let conc = worst_pair_concentration(&env.trace, &Thresholds::default());
-    assert!(!conc.is_empty(), "trace has no poor calls — world miscalibrated");
+    assert!(
+        !conc.is_empty(),
+        "trace has no poor calls — world miscalibrated"
+    );
 
     let total_pairs = conc.len();
     let marks = [1usize, 3, 10, 30, 100, 300, 1000, 3000];

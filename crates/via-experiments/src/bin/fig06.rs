@@ -7,6 +7,10 @@
 //! the time with episodes no longer than a day — motivating *dynamic* relay
 //! selection.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_experiments::{build_env, header, pct, row, write_json, Args, Scale};
 use via_model::metrics::Thresholds;

@@ -7,11 +7,15 @@
 //!     "at least one bad" criterion, conservatively taking the worst of the
 //!     three per-metric optimizations (paper: > 30 %).
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
+use via_core::strategy::StrategyKind;
 use via_experiments::{build_env, header, row, write_json, Args};
 use via_model::metrics::{Metric, Thresholds};
 use via_model::stats::percentile;
-use via_core::strategy::StrategyKind;
 use via_quality::relative_improvement;
 
 #[derive(Serialize)]

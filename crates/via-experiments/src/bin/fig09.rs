@@ -6,6 +6,10 @@
 //! 30 % of pairs, and only 20 % keep the same optimum for > 20 days —
 //! the case for *dynamic* selection.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::collections::HashSet;
 use via_experiments::{build_env, header, pct, row, write_json, Args};
@@ -52,7 +56,7 @@ fn main() {
                 .min_by(|&&x, &&y| {
                     let mx = env.world.perf().option_mean(a, b, x, t)[objective];
                     let my = env.world.perf().option_mean(a, b, y, t)[objective];
-                    mx.partial_cmp(&my).unwrap()
+                    mx.total_cmp(&my)
                 })
                 .copied()
                 .expect("non-empty options");

@@ -7,6 +7,10 @@
 //! 14 % err by ≥ 50 % — accurate enough to prune, not accurate enough to
 //! pick a single winner (hence prediction-guided *exploration*).
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::Serialize;
@@ -76,16 +80,22 @@ fn main() {
     let mut table = vec![via_model::PathMetrics::ZERO; n * n];
     for i in 0..n {
         for j in 0..n {
-            table[i * n + j] = env.world.perf().backbone_metrics(
-                via_model::RelayId(i as u32),
-                via_model::RelayId(j as u32),
-            );
+            table[i * n + j] = env
+                .world
+                .perf()
+                .backbone_metrics(via_model::RelayId(i as u32), via_model::RelayId(j as u32));
         }
     }
     let backbone = Box::new(move |a: via_model::RelayId, b: via_model::RelayId| {
         table[a.index() * n + b.index()]
     });
-    let predictor = Predictor::fit(&history, window, prior, backbone, PredictorConfig::default());
+    let predictor = Predictor::fit(
+        &history,
+        window,
+        prior,
+        backbone,
+        PredictorConfig::default(),
+    );
 
     // Evaluate held-out options: only tomography-sourced predictions count
     // as "coverage expansion".
@@ -101,7 +111,10 @@ fn main() {
         let rel = (pred.mean(Metric::Rtt) - truth.rtt_ms).abs() / truth.rtt_ms.max(1.0);
         errors.push(rel);
     }
-    assert!(!errors.is_empty(), "tomography produced no stitched predictions");
+    assert!(
+        !errors.is_empty(),
+        "tomography produced no stitched predictions"
+    );
 
     let within_20 = errors.iter().filter(|&&e| e <= 0.2).count() as f64 / errors.len() as f64;
     let beyond_50 = errors.iter().filter(|&&e| e >= 0.5).count() as f64 / errors.len() as f64;
@@ -109,7 +122,11 @@ fn main() {
 
     println!("# Figure 11 / §5.3: tomography prediction accuracy on held-out paths\n");
     header(&["statistic", "synthetic", "paper"]);
-    row(&["held-out options".into(), holdout.len().to_string(), "-".into()]);
+    row(&[
+        "held-out options".into(),
+        holdout.len().to_string(),
+        "-".into(),
+    ]);
     row(&[
         "stitchable (coverage)".into(),
         pct(covered as f64 / holdout.len().max(1) as f64),

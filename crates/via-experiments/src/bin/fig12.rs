@@ -7,11 +7,13 @@
 //! (b) VIA's improvement on distribution percentiles — paper: 20–58 % at the
 //!     median, 20–57 % at the 90th.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_core::strategy::StrategyKind;
-use via_experiments::{
-    build_env, header, metric_values_masked, pnr_masked, row, write_json, Args,
-};
+use via_experiments::{build_env, header, metric_values_masked, pnr_masked, row, write_json, Args};
 use via_model::metrics::{Metric, Thresholds};
 use via_model::stats::percentile;
 use via_quality::relative_improvement;
@@ -89,7 +91,9 @@ fn main() {
         pnr_reduction.push((kind.name(), per_metric));
         any_reduction.push((kind.name(), any));
     }
-    println!("\nPaper: VIA 39-45% per metric / 23% any; oracle 53% / 30%; strawmen well below VIA.");
+    println!(
+        "\nPaper: VIA 39-45% per metric / 23% any; oracle 53% / 30%; strawmen well below VIA."
+    );
 
     println!("\n# Figure 12b: VIA improvement on percentiles\n");
     header(&["metric", "p50", "p90", "p99"]);

@@ -4,6 +4,10 @@
 //! international calls (relaying cannot fix a poor last mile, which
 //! dominates more of the domestic poor calls).
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_core::strategy::StrategyKind;
 use via_core::Outcome;
@@ -50,7 +54,11 @@ fn main() {
     header(&["strategy", "international", "domestic"]);
 
     let mut rows = Vec::new();
-    for kind in [StrategyKind::Default, StrategyKind::Via, StrategyKind::Oracle] {
+    for kind in [
+        StrategyKind::Default,
+        StrategyKind::Via,
+        StrategyKind::Oracle,
+    ] {
         // Conservative "any" PNR: worst across the three per-metric runs.
         let mut worst_intl = f64::MIN;
         let mut worst_dom = f64::MIN;

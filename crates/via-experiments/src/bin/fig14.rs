@@ -5,6 +5,10 @@
 //! per metric. Paper: the worst countries sit far above the global PNR, and
 //! VIA lands closer to the oracle than to the default for most of them.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::collections::HashMap;
 use via_core::strategy::StrategyKind;
@@ -73,7 +77,9 @@ fn main() {
         let o = by_country(&oracle_run, &env, &mask, metric, &thresholds);
 
         // Global default PNR on this metric (the red line of Figure 14).
-        let (g_calls, g_poor) = d.values().fold((0, 0), |(c, p), &(cc, pp)| (c + cc, p + pp));
+        let (g_calls, g_poor) = d
+            .values()
+            .fold((0, 0), |(c, p), &(cc, pp)| (c + cc, p + pp));
         let global = g_poor as f64 / g_calls.max(1) as f64;
 
         // Rank countries by default PNR, keep the worst with enough calls.
@@ -82,15 +88,19 @@ fn main() {
             .filter(|(_, &(calls, _))| calls >= 200)
             .map(|(&cid, &(calls, poor))| (cid, poor as f64 / calls as f64, calls))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
 
         println!("\n# Figure 14 ({metric}): worst countries, PNR under default/VIA/oracle");
         println!("global default PNR({metric}) = {}\n", pct(global));
         header(&["country", "calls", "default", "VIA", "oracle"]);
         let mut rows = Vec::new();
         for &(cid, d_pnr, calls) in ranked.iter().take(10) {
-            let v_pnr = v.get(&cid).map_or(0.0, |&(c, p)| p as f64 / c.max(1) as f64);
-            let o_pnr = o.get(&cid).map_or(0.0, |&(c, p)| p as f64 / c.max(1) as f64);
+            let v_pnr = v
+                .get(&cid)
+                .map_or(0.0, |&(c, p)| p as f64 / c.max(1) as f64);
+            let o_pnr = o
+                .get(&cid)
+                .map_or(0.0, |&(c, p)| p as f64 / c.max(1) as f64);
             let name = env.world.countries[cid.index()].name.clone();
             row(&[
                 name.clone(),

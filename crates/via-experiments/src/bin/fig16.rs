@@ -9,6 +9,10 @@
 //! One replay per (budget, variant) with the RTT objective; PNR is the
 //! "at least one bad" rate of that run.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_core::strategy::StrategyKind;
 use via_experiments::{build_env, header, pnr_masked, row, write_json, Args};
@@ -38,10 +42,20 @@ fn main() {
     let mask = env.eligible(args.scale);
     let objective = Metric::Rtt;
 
-    let default_pnr = pnr_masked(&env.run(StrategyKind::Default, objective), &mask, &thresholds).any;
+    let default_pnr = pnr_masked(
+        &env.run(StrategyKind::Default, objective),
+        &mask,
+        &thresholds,
+    )
+    .any;
     let via_full = env.run(StrategyKind::Via, objective);
     let unbudgeted_pnr = pnr_masked(&via_full, &mask, &thresholds).any;
-    let oracle_pnr = pnr_masked(&env.run(StrategyKind::Oracle, objective), &mask, &thresholds).any;
+    let oracle_pnr = pnr_masked(
+        &env.run(StrategyKind::Oracle, objective),
+        &mask,
+        &thresholds,
+    )
+    .any;
 
     println!("# Figure 16: PNR (at least one bad) vs relaying budget\n");
     println!(

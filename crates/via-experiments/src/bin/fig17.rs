@@ -9,6 +9,10 @@
 //! (c) Relay deployment: dropping the least-used half of the relay fleet
 //!     barely hurts — benefit per relay is highly skewed.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::collections::HashMap;
 use via_core::replay::{ReplayConfig, SpatialGranularity};
@@ -38,8 +42,12 @@ fn main() {
         seed: env.seed,
         ..ReplayConfig::default()
     };
-    let default_pnr =
-        pnr_masked(&env.run(StrategyKind::Default, objective), &mask, &thresholds).any;
+    let default_pnr = pnr_masked(
+        &env.run(StrategyKind::Default, objective),
+        &mask,
+        &thresholds,
+    )
+    .any;
     println!("default PNR (at least one bad) = {default_pnr:.3}\n");
 
     // (a) Spatial granularity.
@@ -49,8 +57,14 @@ fn main() {
     for (label, g) in [
         ("country", SpatialGranularity::Country),
         ("AS pair (paper default)", SpatialGranularity::As),
-        ("/20-like (4 buckets per AS)", SpatialGranularity::SubAs { buckets: 4 }),
-        ("/24-like (16 buckets per AS)", SpatialGranularity::SubAs { buckets: 16 }),
+        (
+            "/20-like (4 buckets per AS)",
+            SpatialGranularity::SubAs { buckets: 4 },
+        ),
+        (
+            "/24-like (16 buckets per AS)",
+            SpatialGranularity::SubAs { buckets: 16 },
+        ),
     ] {
         let cfg = ReplayConfig {
             granularity: g,

@@ -4,13 +4,38 @@
 //! each regenerates one table or figure of the paper and writes its JSON to
 //! `experiments/out/`.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::process::Command;
 
 /// Experiment ids in paper order.
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "sec2_2", "fig08", "fig09",
-    "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "sec5_2", "fig18",
-    "ext_active", "ext_vivaldi", "ext_cache", "ext_hybrid", "ext_placement",
+    "table1",
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "sec2_2",
+    "fig08",
+    "fig09",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "sec5_2",
+    "fig18",
+    "ext_active",
+    "ext_vivaldi",
+    "ext_cache",
+    "ext_hybrid",
+    "ext_placement",
 ];
 
 fn main() {

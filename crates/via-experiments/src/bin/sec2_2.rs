@@ -7,6 +7,10 @@
 //! calls. We regenerate packet traces for a sample of the synthetic calls
 //! with `via-media` and compute the same cross-statistic.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_experiments::{build_env, header, pct, row, write_json, Args, Scale};
 use via_media::call_sim::{simulate_call, CallSimConfig};
@@ -49,8 +53,8 @@ fn main() {
     assert!(!poor_mos.is_empty() && !nonpoor_mos.is_empty());
 
     let p75_poor = percentile(&poor_mos, 75.0).unwrap();
-    let above = nonpoor_mos.iter().filter(|&&m| m > p75_poor).count() as f64
-        / nonpoor_mos.len() as f64;
+    let above =
+        nonpoor_mos.iter().filter(|&&m| m > p75_poor).count() as f64 / nonpoor_mos.len() as f64;
 
     println!("# §2.2: packet-trace MOS vs average-metric thresholds\n");
     header(&["statistic", "synthetic", "paper"]);

@@ -5,6 +5,10 @@
 //! relays, ~8 % direct; and PNR is substantially lower when transit relays
 //! are available than with bouncing only.
 
+// Experiment driver: aborting with the underlying error is the right
+// response to a broken fixture or output path — no caller to recover.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use via_core::replay::ReplayConfig;
 use via_core::strategy::StrategyKind;
@@ -84,14 +88,30 @@ fn main() {
     };
     let pnr_with = pnr_intl(&with_transit);
     let pnr_without = pnr_intl(&bounce_only);
-    let default_pnr =
-        pnr_masked(&env.run(StrategyKind::Default, objective), &mask, &thresholds).any;
+    let default_pnr = pnr_masked(
+        &env.run(StrategyKind::Default, objective),
+        &mask,
+        &thresholds,
+    )
+    .any;
 
     println!("# §5.2: option mix and the value of transit relaying\n");
     header(&["statistic", "synthetic", "paper"]);
-    row(&["calls sent direct".into(), format!("{:.0}%", 100.0 * direct), "8%".into()]);
-    row(&["bouncing relays".into(), format!("{:.0}%", 100.0 * bounce), "54%".into()]);
-    row(&["transit relays".into(), format!("{:.0}%", 100.0 * transit), "38%".into()]);
+    row(&[
+        "calls sent direct".into(),
+        format!("{:.0}%", 100.0 * direct),
+        "8%".into(),
+    ]);
+    row(&[
+        "bouncing relays".into(),
+        format!("{:.0}%", 100.0 * bounce),
+        "54%".into(),
+    ]);
+    row(&[
+        "transit relays".into(),
+        format!("{:.0}%", 100.0 * transit),
+        "38%".into(),
+    ]);
     row(&[
         "… direct (international only)".into(),
         format!("{:.0}%", 100.0 * d_intl),

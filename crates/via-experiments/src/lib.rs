@@ -9,6 +9,12 @@
 //! Binaries accept an optional `--scale tiny|small|paper` argument (default
 //! `small` — minutes, not hours, on a laptop) and an optional `--seed N`.
 
+// Experiment-driver code: a failure to create the output directory or write
+// a result file should abort the run with the OS error — there is no caller
+// to recover. The unwrap/expect denies target the simulation libraries;
+// via-audit exempts this crate too (see crates/via-audit/src/lib.rs).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 use via_core::replay::{ReplayConfig, ReplaySim};
@@ -197,11 +203,7 @@ pub fn pnr_masked(
 }
 
 /// Metric values of an outcome restricted to the eligible mask.
-pub fn metric_values_masked(
-    outcome: &Outcome,
-    mask: &[bool],
-    metric: Metric,
-) -> Vec<f64> {
+pub fn metric_values_masked(outcome: &Outcome, mask: &[bool], metric: Metric) -> Vec<f64> {
     outcome
         .calls
         .iter()

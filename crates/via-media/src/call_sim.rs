@@ -217,7 +217,11 @@ mod tests {
     #[test]
     fn mean_delay_tracks_rtt() {
         let r = simulate_call(&clean_path(), 300.0, &CallSimConfig::default(), 4);
-        assert!((r.mean_delay_ms - 40.0).abs() < 5.0, "delay {}", r.mean_delay_ms);
+        assert!(
+            (r.mean_delay_ms - 40.0).abs() < 5.0,
+            "delay {}",
+            r.mean_delay_ms
+        );
     }
 
     #[test]
@@ -236,8 +240,18 @@ mod tests {
 
     #[test]
     fn high_jitter_costs_quality_via_buffer_or_late_loss() {
-        let calm = simulate_call(&PathMetrics::new(150.0, 0.5, 2.0), 300.0, &CallSimConfig::default(), 6);
-        let jittery = simulate_call(&PathMetrics::new(150.0, 0.5, 40.0), 300.0, &CallSimConfig::default(), 6);
+        let calm = simulate_call(
+            &PathMetrics::new(150.0, 0.5, 2.0),
+            300.0,
+            &CallSimConfig::default(),
+            6,
+        );
+        let jittery = simulate_call(
+            &PathMetrics::new(150.0, 0.5, 40.0),
+            300.0,
+            &CallSimConfig::default(),
+            6,
+        );
         assert!(jittery.mos < calm.mos, "jitter must reduce trace MOS");
         assert!(
             jittery.buffer_ms > calm.buffer_ms || jittery.lost_late > calm.lost_late,

@@ -56,10 +56,13 @@ impl DelayModel {
     /// One-way delay of the next packet, ms.
     pub fn next_delay(&mut self, rng: &mut StdRng) -> f64 {
         if self.sigma_ms > 0.0 {
-            let innovation = Normal::new(0.0, self.sigma_ms * (1.0 - self.rho * self.rho).sqrt())
-                .expect("valid normal")
-                .sample(rng);
-            self.state = self.rho * self.state + innovation;
+            // `new` only fails on non-finite parameters; a finite positive
+            // sigma_ms keeps this arm infallible.
+            if let Ok(innovation) =
+                Normal::new(0.0, self.sigma_ms * (1.0 - self.rho * self.rho).sqrt())
+            {
+                self.state = self.rho * self.state + innovation.sample(rng);
+            }
         }
         let mut d = self.base_ms + self.state;
         if self.spike_prob > 0.0 && rng.random::<f64>() < self.spike_prob {

@@ -84,8 +84,8 @@ impl JitterBuffer {
     /// far). Returns true if played, false if discarded as late. The margin
     /// adapts toward `depth_mult × jitter_estimate_ms`.
     pub fn offer(&mut self, lateness_ms: f64, jitter_estimate_ms: f64) -> bool {
-        let target = (self.depth_mult * jitter_estimate_ms)
-            .clamp(self.min_depth_ms, self.max_depth_ms);
+        let target =
+            (self.depth_mult * jitter_estimate_ms).clamp(self.min_depth_ms, self.max_depth_ms);
         // Slow adaptation: 5% per packet toward the target.
         self.current_depth_ms += 0.05 * (target - self.current_depth_ms);
         if lateness_ms <= self.current_depth_ms {

@@ -246,10 +246,7 @@ mod tests {
         assert_eq!(ReceiverReport::decode(&[0x80]), Err(RtcpError::TooShort));
         let mut wire = ReceiverReport::single(1, block()).encode().to_vec();
         wire[0] = 0x41; // version 1
-        assert_eq!(
-            ReceiverReport::decode(&wire),
-            Err(RtcpError::BadVersion(1))
-        );
+        assert_eq!(ReceiverReport::decode(&wire), Err(RtcpError::BadVersion(1)));
         let mut wire2 = ReceiverReport::single(1, block()).encode().to_vec();
         wire2[1] = 200; // SR, not RR
         assert_eq!(

@@ -67,9 +67,7 @@ impl RelayOption {
         match self.canonical() {
             RelayOption::Direct => 0,
             RelayOption::Bounce(r) => 0x1_0000_0000 | u64::from(r.0),
-            RelayOption::Transit(a, b) => {
-                0x2_0000_0000 | (u64::from(a.0) << 20) | u64::from(b.0)
-            }
+            RelayOption::Transit(a, b) => 0x2_0000_0000 | (u64::from(a.0) << 20) | u64::from(b.0),
         }
     }
 

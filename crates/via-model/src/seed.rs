@@ -69,9 +69,7 @@ mod tests {
 
     #[test]
     fn indexed_streams_are_distinct() {
-        let seeds: HashSet<u64> = (0..1000)
-            .map(|i| derive_indexed(7, "segment", i))
-            .collect();
+        let seeds: HashSet<u64> = (0..1000).map(|i| derive_indexed(7, "segment", i)).collect();
         assert_eq!(seeds.len(), 1000, "indexed seeds must not collide");
     }
 

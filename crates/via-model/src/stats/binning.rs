@@ -93,10 +93,15 @@ pub fn bin_percentiles(
         .into_iter()
         .enumerate()
         .filter(|(_, b)| b.len() >= min_samples.max(1))
-        .map(|(i, b)| PercentileBin {
-            x_center: x_min + (i as f64 + 0.5) * width,
-            count: b.len(),
-            y_percentiles: percentiles(&b, ps).expect("bucket verified non-empty"),
+        .filter_map(|(i, b)| {
+            // The length filter above guarantees non-empty buckets, so
+            // `percentiles` always yields `Some` here.
+            let y_percentiles = percentiles(&b, ps)?;
+            Some(PercentileBin {
+                x_center: x_min + (i as f64 + 0.5) * width,
+                count: b.len(),
+                y_percentiles,
+            })
         })
         .collect()
 }

@@ -23,7 +23,7 @@ impl Cdf {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         Some(Self { sorted })
     }
 
@@ -62,8 +62,10 @@ impl Cdf {
     /// draw. `n` must be ≥ 2.
     pub fn polyline(&self, n: usize) -> Vec<(f64, f64)> {
         assert!(n >= 2, "polyline needs at least two points");
-        let min = self.sorted[0];
-        let max = *self.sorted.last().unwrap();
+        // The constructor rejects empty sample sets, so both bounds exist.
+        let (Some(&min), Some(&max)) = (self.sorted.first(), self.sorted.last()) else {
+            return Vec::new();
+        };
         (0..n)
             .map(|i| {
                 let x = min + (max - min) * i as f64 / (n - 1) as f64;

@@ -116,10 +116,7 @@ impl LogHistogram {
             seen += c;
             if seen >= rank {
                 // Clamp to the exact extremes so tails never exceed reality.
-                return Some(self.value_of(b).clamp(
-                    self.min_seen,
-                    self.max_seen,
-                ));
+                return Some(self.value_of(b).clamp(self.min_seen, self.max_seen));
             }
         }
         Some(self.max_seen)

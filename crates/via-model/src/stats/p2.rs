@@ -63,8 +63,7 @@ impl P2Quantile {
         if self.init.len() < 5 {
             self.init.push(x);
             if self.init.len() == 5 {
-                self.init
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+                self.init.sort_by(f64::total_cmp);
                 for (h, v) in self.heights.iter_mut().zip(&self.init) {
                     *h = *v;
                 }
@@ -106,12 +105,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let sign = d.signum();
                 let candidate = self.parabolic(i, sign);
-                let new_height = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, sign)
-                };
+                let new_height =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
                 self.heights[i] = new_height;
                 self.positions[i] += sign;
             }
@@ -141,7 +140,7 @@ impl P2Quantile {
         }
         if self.init.len() < 5 {
             let mut buf = self.init.clone();
-            buf.sort_by(|a, b| a.partial_cmp(b).expect("finite by construction"));
+            buf.sort_by(f64::total_cmp);
             return Some(super::percentile::percentile_sorted(&buf, self.q * 100.0));
         }
         Some(self.heights[2])

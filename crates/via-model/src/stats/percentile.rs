@@ -14,7 +14,7 @@ pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    sorted.sort_by(f64::total_cmp);
     Some(percentile_sorted(&sorted, p))
 }
 
@@ -24,7 +24,7 @@ pub fn percentiles(samples: &[f64], ps: &[f64]) -> Option<Vec<f64>> {
         return None;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    sorted.sort_by(f64::total_cmp);
     Some(ps.iter().map(|&p| percentile_sorted(&sorted, p)).collect())
 }
 

@@ -42,82 +42,442 @@ pub struct SiteInfo {
 /// Country catalog, ordered roughly by call volume. World generation takes a
 /// prefix of this list, so small configs keep the most important geographies.
 pub const COUNTRIES: &[CountryInfo] = &[
-    CountryInfo { name: "United States", lat: 39.8, lon: -98.6, tier: 1, call_weight: 10.0 },
-    CountryInfo { name: "India", lat: 22.0, lon: 79.0, tier: 3, call_weight: 9.0 },
-    CountryInfo { name: "United Kingdom", lat: 52.4, lon: -1.5, tier: 1, call_weight: 5.0 },
-    CountryInfo { name: "Germany", lat: 51.1, lon: 10.4, tier: 1, call_weight: 5.0 },
-    CountryInfo { name: "Brazil", lat: -14.2, lon: -51.9, tier: 3, call_weight: 5.0 },
-    CountryInfo { name: "Philippines", lat: 12.9, lon: 121.8, tier: 4, call_weight: 4.0 },
-    CountryInfo { name: "Russia", lat: 55.7, lon: 37.6, tier: 3, call_weight: 4.0 },
-    CountryInfo { name: "France", lat: 46.6, lon: 2.4, tier: 1, call_weight: 4.0 },
-    CountryInfo { name: "Mexico", lat: 23.6, lon: -102.6, tier: 3, call_weight: 3.5 },
-    CountryInfo { name: "Indonesia", lat: -2.5, lon: 118.0, tier: 4, call_weight: 3.5 },
-    CountryInfo { name: "Pakistan", lat: 30.4, lon: 69.3, tier: 4, call_weight: 3.0 },
-    CountryInfo { name: "Nigeria", lat: 9.1, lon: 8.7, tier: 4, call_weight: 3.0 },
-    CountryInfo { name: "Canada", lat: 56.1, lon: -106.3, tier: 1, call_weight: 3.0 },
-    CountryInfo { name: "Spain", lat: 40.5, lon: -3.7, tier: 2, call_weight: 3.0 },
-    CountryInfo { name: "Italy", lat: 41.9, lon: 12.6, tier: 2, call_weight: 3.0 },
-    CountryInfo { name: "Vietnam", lat: 14.1, lon: 108.3, tier: 3, call_weight: 2.5 },
-    CountryInfo { name: "Poland", lat: 51.9, lon: 19.1, tier: 2, call_weight: 2.5 },
-    CountryInfo { name: "Ukraine", lat: 48.4, lon: 31.2, tier: 3, call_weight: 2.5 },
-    CountryInfo { name: "Egypt", lat: 26.8, lon: 30.8, tier: 4, call_weight: 2.5 },
-    CountryInfo { name: "Turkey", lat: 39.0, lon: 35.2, tier: 3, call_weight: 2.5 },
-    CountryInfo { name: "Australia", lat: -25.3, lon: 133.8, tier: 2, call_weight: 2.5 },
-    CountryInfo { name: "Japan", lat: 36.2, lon: 138.3, tier: 1, call_weight: 2.5 },
-    CountryInfo { name: "Bangladesh", lat: 23.7, lon: 90.4, tier: 4, call_weight: 2.0 },
-    CountryInfo { name: "Netherlands", lat: 52.1, lon: 5.3, tier: 1, call_weight: 2.0 },
-    CountryInfo { name: "South Korea", lat: 35.9, lon: 127.8, tier: 1, call_weight: 2.0 },
-    CountryInfo { name: "Argentina", lat: -38.4, lon: -63.6, tier: 3, call_weight: 2.0 },
-    CountryInfo { name: "South Africa", lat: -30.6, lon: 22.9, tier: 3, call_weight: 2.0 },
-    CountryInfo { name: "Colombia", lat: 4.6, lon: -74.1, tier: 3, call_weight: 2.0 },
-    CountryInfo { name: "Saudi Arabia", lat: 23.9, lon: 45.1, tier: 3, call_weight: 2.0 },
-    CountryInfo { name: "United Arab Emirates", lat: 23.4, lon: 53.8, tier: 2, call_weight: 2.0 },
-    CountryInfo { name: "Singapore", lat: 1.35, lon: 103.8, tier: 1, call_weight: 1.5 },
-    CountryInfo { name: "Sweden", lat: 60.1, lon: 18.6, tier: 1, call_weight: 1.5 },
-    CountryInfo { name: "Kenya", lat: -0.02, lon: 37.9, tier: 4, call_weight: 1.5 },
-    CountryInfo { name: "Thailand", lat: 15.9, lon: 101.0, tier: 3, call_weight: 1.5 },
-    CountryInfo { name: "Chile", lat: -35.7, lon: -71.5, tier: 2, call_weight: 1.5 },
-    CountryInfo { name: "Israel", lat: 31.0, lon: 34.9, tier: 2, call_weight: 1.5 },
-    CountryInfo { name: "Sri Lanka", lat: 7.9, lon: 80.8, tier: 3, call_weight: 1.0 },
-    CountryInfo { name: "Norway", lat: 60.5, lon: 8.5, tier: 1, call_weight: 1.0 },
-    CountryInfo { name: "Peru", lat: -9.2, lon: -75.0, tier: 3, call_weight: 1.0 },
-    CountryInfo { name: "Morocco", lat: 31.8, lon: -7.1, tier: 3, call_weight: 1.0 },
+    CountryInfo {
+        name: "United States",
+        lat: 39.8,
+        lon: -98.6,
+        tier: 1,
+        call_weight: 10.0,
+    },
+    CountryInfo {
+        name: "India",
+        lat: 22.0,
+        lon: 79.0,
+        tier: 3,
+        call_weight: 9.0,
+    },
+    CountryInfo {
+        name: "United Kingdom",
+        lat: 52.4,
+        lon: -1.5,
+        tier: 1,
+        call_weight: 5.0,
+    },
+    CountryInfo {
+        name: "Germany",
+        lat: 51.1,
+        lon: 10.4,
+        tier: 1,
+        call_weight: 5.0,
+    },
+    CountryInfo {
+        name: "Brazil",
+        lat: -14.2,
+        lon: -51.9,
+        tier: 3,
+        call_weight: 5.0,
+    },
+    CountryInfo {
+        name: "Philippines",
+        lat: 12.9,
+        lon: 121.8,
+        tier: 4,
+        call_weight: 4.0,
+    },
+    CountryInfo {
+        name: "Russia",
+        lat: 55.7,
+        lon: 37.6,
+        tier: 3,
+        call_weight: 4.0,
+    },
+    CountryInfo {
+        name: "France",
+        lat: 46.6,
+        lon: 2.4,
+        tier: 1,
+        call_weight: 4.0,
+    },
+    CountryInfo {
+        name: "Mexico",
+        lat: 23.6,
+        lon: -102.6,
+        tier: 3,
+        call_weight: 3.5,
+    },
+    CountryInfo {
+        name: "Indonesia",
+        lat: -2.5,
+        lon: 118.0,
+        tier: 4,
+        call_weight: 3.5,
+    },
+    CountryInfo {
+        name: "Pakistan",
+        lat: 30.4,
+        lon: 69.3,
+        tier: 4,
+        call_weight: 3.0,
+    },
+    CountryInfo {
+        name: "Nigeria",
+        lat: 9.1,
+        lon: 8.7,
+        tier: 4,
+        call_weight: 3.0,
+    },
+    CountryInfo {
+        name: "Canada",
+        lat: 56.1,
+        lon: -106.3,
+        tier: 1,
+        call_weight: 3.0,
+    },
+    CountryInfo {
+        name: "Spain",
+        lat: 40.5,
+        lon: -3.7,
+        tier: 2,
+        call_weight: 3.0,
+    },
+    CountryInfo {
+        name: "Italy",
+        lat: 41.9,
+        lon: 12.6,
+        tier: 2,
+        call_weight: 3.0,
+    },
+    CountryInfo {
+        name: "Vietnam",
+        lat: 14.1,
+        lon: 108.3,
+        tier: 3,
+        call_weight: 2.5,
+    },
+    CountryInfo {
+        name: "Poland",
+        lat: 51.9,
+        lon: 19.1,
+        tier: 2,
+        call_weight: 2.5,
+    },
+    CountryInfo {
+        name: "Ukraine",
+        lat: 48.4,
+        lon: 31.2,
+        tier: 3,
+        call_weight: 2.5,
+    },
+    CountryInfo {
+        name: "Egypt",
+        lat: 26.8,
+        lon: 30.8,
+        tier: 4,
+        call_weight: 2.5,
+    },
+    CountryInfo {
+        name: "Turkey",
+        lat: 39.0,
+        lon: 35.2,
+        tier: 3,
+        call_weight: 2.5,
+    },
+    CountryInfo {
+        name: "Australia",
+        lat: -25.3,
+        lon: 133.8,
+        tier: 2,
+        call_weight: 2.5,
+    },
+    CountryInfo {
+        name: "Japan",
+        lat: 36.2,
+        lon: 138.3,
+        tier: 1,
+        call_weight: 2.5,
+    },
+    CountryInfo {
+        name: "Bangladesh",
+        lat: 23.7,
+        lon: 90.4,
+        tier: 4,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "Netherlands",
+        lat: 52.1,
+        lon: 5.3,
+        tier: 1,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "South Korea",
+        lat: 35.9,
+        lon: 127.8,
+        tier: 1,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "Argentina",
+        lat: -38.4,
+        lon: -63.6,
+        tier: 3,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "South Africa",
+        lat: -30.6,
+        lon: 22.9,
+        tier: 3,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "Colombia",
+        lat: 4.6,
+        lon: -74.1,
+        tier: 3,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "Saudi Arabia",
+        lat: 23.9,
+        lon: 45.1,
+        tier: 3,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "United Arab Emirates",
+        lat: 23.4,
+        lon: 53.8,
+        tier: 2,
+        call_weight: 2.0,
+    },
+    CountryInfo {
+        name: "Singapore",
+        lat: 1.35,
+        lon: 103.8,
+        tier: 1,
+        call_weight: 1.5,
+    },
+    CountryInfo {
+        name: "Sweden",
+        lat: 60.1,
+        lon: 18.6,
+        tier: 1,
+        call_weight: 1.5,
+    },
+    CountryInfo {
+        name: "Kenya",
+        lat: -0.02,
+        lon: 37.9,
+        tier: 4,
+        call_weight: 1.5,
+    },
+    CountryInfo {
+        name: "Thailand",
+        lat: 15.9,
+        lon: 101.0,
+        tier: 3,
+        call_weight: 1.5,
+    },
+    CountryInfo {
+        name: "Chile",
+        lat: -35.7,
+        lon: -71.5,
+        tier: 2,
+        call_weight: 1.5,
+    },
+    CountryInfo {
+        name: "Israel",
+        lat: 31.0,
+        lon: 34.9,
+        tier: 2,
+        call_weight: 1.5,
+    },
+    CountryInfo {
+        name: "Sri Lanka",
+        lat: 7.9,
+        lon: 80.8,
+        tier: 3,
+        call_weight: 1.0,
+    },
+    CountryInfo {
+        name: "Norway",
+        lat: 60.5,
+        lon: 8.5,
+        tier: 1,
+        call_weight: 1.0,
+    },
+    CountryInfo {
+        name: "Peru",
+        lat: -9.2,
+        lon: -75.0,
+        tier: 3,
+        call_weight: 1.0,
+    },
+    CountryInfo {
+        name: "Morocco",
+        lat: 31.8,
+        lon: -7.1,
+        tier: 3,
+        call_weight: 1.0,
+    },
 ];
 
 /// Datacenter sites: a realistic global cloud footprint. World generation
 /// takes a prefix, so small configs keep wide coverage (the list interleaves
 /// regions).
 pub const SITES: &[SiteInfo] = &[
-    SiteInfo { name: "Virginia", lat: 38.9, lon: -77.5 },
-    SiteInfo { name: "Amsterdam", lat: 52.37, lon: 4.9 },
-    SiteInfo { name: "Singapore", lat: 1.35, lon: 103.8 },
-    SiteInfo { name: "Sao Paulo", lat: -23.55, lon: -46.6 },
-    SiteInfo { name: "Tokyo", lat: 35.68, lon: 139.7 },
-    SiteInfo { name: "Dublin", lat: 53.35, lon: -6.3 },
-    SiteInfo { name: "California", lat: 37.4, lon: -121.9 },
-    SiteInfo { name: "Mumbai", lat: 19.08, lon: 72.88 },
-    SiteInfo { name: "Sydney", lat: -33.87, lon: 151.21 },
-    SiteInfo { name: "Frankfurt", lat: 50.11, lon: 8.68 },
-    SiteInfo { name: "Hong Kong", lat: 22.32, lon: 114.17 },
-    SiteInfo { name: "Texas", lat: 32.78, lon: -96.8 },
-    SiteInfo { name: "London", lat: 51.51, lon: -0.13 },
-    SiteInfo { name: "Seoul", lat: 37.57, lon: 126.98 },
-    SiteInfo { name: "Johannesburg", lat: -26.2, lon: 28.05 },
-    SiteInfo { name: "Paris", lat: 48.86, lon: 2.35 },
-    SiteInfo { name: "Oregon", lat: 45.6, lon: -121.2 },
-    SiteInfo { name: "Dubai", lat: 25.2, lon: 55.27 },
-    SiteInfo { name: "Santiago", lat: -33.45, lon: -70.67 },
-    SiteInfo { name: "Stockholm", lat: 59.33, lon: 18.07 },
-    SiteInfo { name: "Chennai", lat: 13.08, lon: 80.27 },
-    SiteInfo { name: "Ohio", lat: 40.0, lon: -83.0 },
-    SiteInfo { name: "Warsaw", lat: 52.23, lon: 21.01 },
-    SiteInfo { name: "Osaka", lat: 34.69, lon: 135.5 },
-    SiteInfo { name: "Montreal", lat: 45.5, lon: -73.57 },
-    SiteInfo { name: "Milan", lat: 45.46, lon: 9.19 },
-    SiteInfo { name: "Jakarta", lat: -6.2, lon: 106.85 },
-    SiteInfo { name: "Queretaro", lat: 20.59, lon: -100.39 },
-    SiteInfo { name: "Madrid", lat: 40.42, lon: -3.7 },
-    SiteInfo { name: "Melbourne", lat: -37.81, lon: 144.96 },
+    SiteInfo {
+        name: "Virginia",
+        lat: 38.9,
+        lon: -77.5,
+    },
+    SiteInfo {
+        name: "Amsterdam",
+        lat: 52.37,
+        lon: 4.9,
+    },
+    SiteInfo {
+        name: "Singapore",
+        lat: 1.35,
+        lon: 103.8,
+    },
+    SiteInfo {
+        name: "Sao Paulo",
+        lat: -23.55,
+        lon: -46.6,
+    },
+    SiteInfo {
+        name: "Tokyo",
+        lat: 35.68,
+        lon: 139.7,
+    },
+    SiteInfo {
+        name: "Dublin",
+        lat: 53.35,
+        lon: -6.3,
+    },
+    SiteInfo {
+        name: "California",
+        lat: 37.4,
+        lon: -121.9,
+    },
+    SiteInfo {
+        name: "Mumbai",
+        lat: 19.08,
+        lon: 72.88,
+    },
+    SiteInfo {
+        name: "Sydney",
+        lat: -33.87,
+        lon: 151.21,
+    },
+    SiteInfo {
+        name: "Frankfurt",
+        lat: 50.11,
+        lon: 8.68,
+    },
+    SiteInfo {
+        name: "Hong Kong",
+        lat: 22.32,
+        lon: 114.17,
+    },
+    SiteInfo {
+        name: "Texas",
+        lat: 32.78,
+        lon: -96.8,
+    },
+    SiteInfo {
+        name: "London",
+        lat: 51.51,
+        lon: -0.13,
+    },
+    SiteInfo {
+        name: "Seoul",
+        lat: 37.57,
+        lon: 126.98,
+    },
+    SiteInfo {
+        name: "Johannesburg",
+        lat: -26.2,
+        lon: 28.05,
+    },
+    SiteInfo {
+        name: "Paris",
+        lat: 48.86,
+        lon: 2.35,
+    },
+    SiteInfo {
+        name: "Oregon",
+        lat: 45.6,
+        lon: -121.2,
+    },
+    SiteInfo {
+        name: "Dubai",
+        lat: 25.2,
+        lon: 55.27,
+    },
+    SiteInfo {
+        name: "Santiago",
+        lat: -33.45,
+        lon: -70.67,
+    },
+    SiteInfo {
+        name: "Stockholm",
+        lat: 59.33,
+        lon: 18.07,
+    },
+    SiteInfo {
+        name: "Chennai",
+        lat: 13.08,
+        lon: 80.27,
+    },
+    SiteInfo {
+        name: "Ohio",
+        lat: 40.0,
+        lon: -83.0,
+    },
+    SiteInfo {
+        name: "Warsaw",
+        lat: 52.23,
+        lon: 21.01,
+    },
+    SiteInfo {
+        name: "Osaka",
+        lat: 34.69,
+        lon: 135.5,
+    },
+    SiteInfo {
+        name: "Montreal",
+        lat: 45.5,
+        lon: -73.57,
+    },
+    SiteInfo {
+        name: "Milan",
+        lat: 45.46,
+        lon: 9.19,
+    },
+    SiteInfo {
+        name: "Jakarta",
+        lat: -6.2,
+        lon: 106.85,
+    },
+    SiteInfo {
+        name: "Queretaro",
+        lat: 20.59,
+        lon: -100.39,
+    },
+    SiteInfo {
+        name: "Madrid",
+        lat: 40.42,
+        lon: -3.7,
+    },
+    SiteInfo {
+        name: "Melbourne",
+        lat: -37.81,
+        lon: 144.96,
+    },
 ];
 
 #[cfg(test)]

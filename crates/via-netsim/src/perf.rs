@@ -95,13 +95,20 @@ impl PerfModel {
     }
 
     fn state(&self, segment: Segment) -> Arc<SegState> {
-        if let Some(s) = self.cache.lock().expect("perf cache poisoned").get(&segment) {
+        // The cache memoizes pure derived data, so a poisoned lock (a
+        // panicking thread mid-insert) leaves nothing inconsistent: recover.
+        if let Some(s) = self
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&segment)
+        {
             return Arc::clone(s);
         }
         let built = Arc::new(self.build_state(segment));
         self.cache
             .lock()
-            .expect("perf cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(segment)
             .or_insert(built)
             .clone()
@@ -119,8 +126,7 @@ impl PerfModel {
             Segment::Access(a) => {
                 let tier = f64::from(self.as_tier[a.index()]);
                 let rtt = lognormal_mean(&mut rng, k.access_rtt_base_ms * (0.6 + 0.45 * tier), 0.3);
-                let loss =
-                    lognormal_mean(&mut rng, k.access_loss_base_pct * tier.powf(1.8), 0.5);
+                let loss = lognormal_mean(&mut rng, k.access_loss_base_pct * tier.powf(1.8), 0.5);
                 let jitter =
                     lognormal_mean(&mut rng, k.access_jitter_base_ms * (0.5 + 0.5 * tier), 0.4);
                 let stability = draw_stability(
@@ -153,8 +159,8 @@ impl PerfModel {
                 let dist = pa.distance_km(&pb);
                 let intl_like = dist > 2_500.0;
 
-                let mut inflation_median = k.direct_inflation_base
-                    * (1.0 + k.direct_inflation_tier_step * (tier - 1.0));
+                let mut inflation_median =
+                    k.direct_inflation_base * (1.0 + k.direct_inflation_tier_step * (tier - 1.0));
                 if intl_like {
                     inflation_median *= k.direct_inflation_intl;
                 }
@@ -172,21 +178,16 @@ impl PerfModel {
                 // Short paths still pay peering/queueing latency: add a floor.
                 let rtt = pa.min_rtt_ms(&pb) * inflation + rng.random_range(4.0..12.0);
 
-                let loss_mean = k.direct_loss_base_pct
-                    * tier.powf(1.6)
-                    * if intl_like { 1.8 } else { 1.0 };
+                let loss_mean =
+                    k.direct_loss_base_pct * tier.powf(1.6) * if intl_like { 1.8 } else { 1.0 };
                 let loss = lognormal_mean(&mut rng, loss_mean, 0.6);
                 let jitter_mean = k.direct_jitter_base_ms
                     * (0.5 + 0.5 * tier)
                     * if intl_like { 1.5 } else { 1.0 };
                 let jitter = lognormal_mean(&mut rng, jitter_mean, 0.5);
 
-                let stability = draw_stability(
-                    &mut rng,
-                    tier as u8,
-                    k.chronic_fraction,
-                    k.flaky_fraction,
-                );
+                let stability =
+                    draw_stability(&mut rng, tier as u8, k.chronic_fraction, k.flaky_fraction);
                 SegState {
                     rtt_ms: rtt,
                     loss_pct: loss,
@@ -206,8 +207,7 @@ impl PerfModel {
                 let pa = self.as_pos[a.index()];
                 let pr = self.relay_pos[r.index()];
                 let tier = f64::from(self.as_tier[a.index()]);
-                let inflation_median =
-                    k.relay_inflation_base * (1.0 + 0.08 * (tier - 1.0));
+                let inflation_median = k.relay_inflation_base * (1.0 + 0.08 * (tier - 1.0));
                 let inflation =
                     lognormal_median(&mut rng, inflation_median, k.relay_inflation_sigma);
                 let rtt = pa.min_rtt_ms(&pr) * inflation + rng.random_range(2.0..8.0);
@@ -337,7 +337,13 @@ impl PerfModel {
     /// per-call transient spikes (which inflate realized means uniformly by
     /// `call_spike_prob × E[spike_mult − 1]` ≈ 5 % and therefore do not
     /// change option rankings).
-    pub fn option_mean(&self, src: AsId, dst: AsId, option: RelayOption, t: SimTime) -> PathMetrics {
+    pub fn option_mean(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        t: SimTime,
+    ) -> PathMetrics {
         let (segments, hops) = self.segments_of(src, dst, option);
         let mut acc = SegMetrics::default();
         for seg in segments {
@@ -364,23 +370,14 @@ impl PerfModel {
         let mean = self.option_mean(src, dst, option, t);
         let k = &self.knobs;
 
-        let rtt_noise = LogNormal::new(
-            -k.call_rtt_sigma * k.call_rtt_sigma / 2.0,
-            k.call_rtt_sigma,
-        )
-        .expect("valid lognormal")
-        .sample(rng);
-        let jitter_noise = LogNormal::new(
-            -k.call_jitter_sigma * k.call_jitter_sigma / 2.0,
-            k.call_jitter_sigma,
-        )
-        .expect("valid lognormal")
-        .sample(rng);
+        let rtt_noise = lognormal_mean(rng, 1.0, k.call_rtt_sigma);
+        let jitter_noise = lognormal_mean(rng, 1.0, k.call_jitter_sigma);
 
         let loss = if mean.loss_pct > 1e-9 {
+            // Degenerate knob values (shape ≤ 0) fall back to the mean
+            // itself rather than panicking.
             Gamma::new(k.call_loss_shape, mean.loss_pct / k.call_loss_shape)
-                .expect("valid gamma")
-                .sample(rng)
+                .map_or(mean.loss_pct, |d| d.sample(rng))
         } else {
             0.0
         };
@@ -419,14 +416,14 @@ fn lognormal_mean(rng: &mut StdRng, mean: f64, sigma: f64) -> f64 {
         return 0.0;
     }
     let mu = mean.ln() - sigma * sigma / 2.0;
-    LogNormal::new(mu, sigma).expect("valid lognormal").sample(rng)
+    // `new` only fails for non-finite mu or negative sigma; fall back to
+    // the target mean instead of panicking on degenerate parameters.
+    LogNormal::new(mu, sigma).map_or(mean, |d| d.sample(rng))
 }
 
 /// Lognormal with a given *median*, sampled once.
 fn lognormal_median(rng: &mut StdRng, median: f64, sigma: f64) -> f64 {
-    LogNormal::new(median.ln(), sigma)
-        .expect("valid lognormal")
-        .sample(rng)
+    LogNormal::new(median.ln(), sigma).map_or(median, |d| d.sample(rng))
 }
 
 #[cfg(test)]
@@ -457,9 +454,15 @@ mod tests {
         let w2 = world();
         let t = SimTime::from_days(2);
         // Warm w2's cache in a different order first.
-        let _ = w2.perf().option_mean(AsId(3), AsId(4), RelayOption::Direct, t);
-        let a = w1.perf().option_mean(AsId(0), AsId(5), RelayOption::Bounce(RelayId(1)), t);
-        let b = w2.perf().option_mean(AsId(0), AsId(5), RelayOption::Bounce(RelayId(1)), t);
+        let _ = w2
+            .perf()
+            .option_mean(AsId(3), AsId(4), RelayOption::Direct, t);
+        let a = w1
+            .perf()
+            .option_mean(AsId(0), AsId(5), RelayOption::Bounce(RelayId(1)), t);
+        let b = w2
+            .perf()
+            .option_mean(AsId(0), AsId(5), RelayOption::Bounce(RelayId(1)), t);
         assert_eq!(a, b);
     }
 
@@ -467,12 +470,16 @@ mod tests {
     fn samples_scatter_around_mean() {
         let w = world();
         let t = SimTime::from_days(1);
-        let mean = w.perf().option_mean(AsId(0), AsId(7), RelayOption::Direct, t);
+        let mean = w
+            .perf()
+            .option_mean(AsId(0), AsId(7), RelayOption::Direct, t);
         let mut rng = StdRng::seed_from_u64(1);
         let mut rtt = OnlineStats::new();
         let mut loss = OnlineStats::new();
         for _ in 0..4000 {
-            let s = w.perf().sample_option(AsId(0), AsId(7), RelayOption::Direct, t, &mut rng);
+            let s = w
+                .perf()
+                .sample_option(AsId(0), AsId(7), RelayOption::Direct, t, &mut rng);
             rtt.push(s.rtt_ms);
             loss.push(s.loss_pct);
         }
@@ -494,8 +501,7 @@ mod tests {
             // Spikes also add ~0.05% absolute loss on average.
             let loss_mean = loss.mean().unwrap();
             assert!(
-                loss_mean >= mean.loss_pct * 0.7
-                    && loss_mean <= mean.loss_pct * 1.3 + 0.1,
+                loss_mean >= mean.loss_pct * 0.7 && loss_mean <= mean.loss_pct * 1.3 + 0.1,
                 "loss sample mean {loss_mean} vs {}",
                 mean.loss_pct
             );
@@ -518,9 +524,11 @@ mod tests {
     #[test]
     fn transit_orientation_picks_short_on_ramps() {
         let w = world();
-        let (segs, hops) = w
-            .perf()
-            .segments_of(AsId(0), AsId(9), RelayOption::Transit(RelayId(0), RelayId(1)));
+        let (segs, hops) = w.perf().segments_of(
+            AsId(0),
+            AsId(9),
+            RelayOption::Transit(RelayId(0), RelayId(1)),
+        );
         assert_eq!(hops, 2);
         assert_eq!(segs.len(), 5);
         // First relay leg must attach to the source AS.
@@ -553,7 +561,7 @@ mod tests {
         let mut values: Vec<f64> = (0..24)
             .map(|h| w.perf().segment_mean(seg, SimTime::from_hours(h)).jitter_ms)
             .collect();
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(f64::total_cmp);
         assert!(
             values.last().unwrap() > &(values[0] * 1.05),
             "expected diurnal swing, got flat {values:?}"
@@ -566,7 +574,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = SimTime::from_days(5);
         for _ in 0..500 {
-            let s = w.perf().sample_option(AsId(1), AsId(8), RelayOption::Direct, t, &mut rng);
+            let s = w
+                .perf()
+                .sample_option(AsId(1), AsId(8), RelayOption::Direct, t, &mut rng);
             assert!((0.0..=100.0).contains(&s.loss_pct));
             assert!(s.rtt_ms >= 0.0 && s.jitter_ms >= 0.0);
             assert!(s.is_finite());

@@ -61,15 +61,9 @@ impl Segment {
     pub fn seed_code(&self) -> u64 {
         match *self {
             Segment::Access(a) => 0x01_0000_0000 | u64::from(a.0),
-            Segment::DirectWan(a, b) => {
-                0x02_0000_0000 | (u64::from(a.0) << 20) | u64::from(b.0)
-            }
-            Segment::RelayWan(a, r) => {
-                0x03_0000_0000 | (u64::from(a.0) << 20) | u64::from(r.0)
-            }
-            Segment::Backbone(a, b) => {
-                0x04_0000_0000 | (u64::from(a.0) << 20) | u64::from(b.0)
-            }
+            Segment::DirectWan(a, b) => 0x02_0000_0000 | (u64::from(a.0) << 20) | u64::from(b.0),
+            Segment::RelayWan(a, r) => 0x03_0000_0000 | (u64::from(a.0) << 20) | u64::from(r.0),
+            Segment::Backbone(a, b) => 0x04_0000_0000 | (u64::from(a.0) << 20) | u64::from(b.0),
         }
     }
 }

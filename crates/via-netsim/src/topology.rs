@@ -193,7 +193,7 @@ impl World {
                 (d, r.id)
             })
             .collect();
-        by_detour.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        by_detour.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut options = vec![RelayOption::Direct];
         for &(_, r) in by_detour.iter().take(self.config.bounce_candidates) {
@@ -207,13 +207,13 @@ impl World {
             .iter()
             .map(|r| (src_pos.distance_km(&r.pos), r.id))
             .collect();
-        near_src.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        near_src.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut near_dst: Vec<(f64, RelayId)> = self
             .relays
             .iter()
             .map(|r| (dst_pos.distance_km(&r.pos), r.id))
             .collect();
-        near_dst.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        near_dst.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let k = self.config.transit_candidates.max(1);
         let take = (k as f64).sqrt().ceil() as usize + 1;
@@ -230,10 +230,9 @@ impl World {
                 transits.push((total, RelayOption::Transit(r_in, r_out).canonical()));
             }
         }
-        transits.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        transits.sort_by(|a, b| a.0.total_cmp(&b.0));
         for (_, t) in transits {
-            if options.len() >= 1 + self.config.bounce_candidates + self.config.transit_candidates
-            {
+            if options.len() >= 1 + self.config.bounce_candidates + self.config.transit_candidates {
                 break;
             }
             if !options.contains(&t) {

@@ -112,10 +112,10 @@ mod tests {
 
     fn calls() -> Vec<PathMetrics> {
         vec![
-            PathMetrics::new(50.0, 0.1, 2.0),    // good
-            PathMetrics::new(400.0, 0.1, 2.0),   // poor rtt
-            PathMetrics::new(50.0, 3.0, 2.0),    // poor loss
-            PathMetrics::new(400.0, 3.0, 20.0),  // poor all
+            PathMetrics::new(50.0, 0.1, 2.0),   // good
+            PathMetrics::new(400.0, 0.1, 2.0),  // poor rtt
+            PathMetrics::new(50.0, 3.0, 2.0),   // poor loss
+            PathMetrics::new(400.0, 3.0, 20.0), // poor all
         ]
     }
 

@@ -91,7 +91,12 @@ pub fn run_client(name: &str, controller: SocketAddr) -> Result<(), TestbedError
         }
     }
 
-    write_frame(&mut tcp, &ClientMsg::Done { name: name.to_string() })?;
+    write_frame(
+        &mut tcp,
+        &ClientMsg::Done {
+            name: name.to_string(),
+        },
+    )?;
     stop.store(true, Ordering::Relaxed);
     let _ = responder.join();
     Ok(())

@@ -144,52 +144,54 @@ pub fn run_controller(
             })
             .collect();
 
-        threads.push(std::thread::Builder::new().name(format!("via-ctrl-{caller}")).spawn(
-            move || -> Result<TcpStream, TestbedError> {
-                for round in 0..rounds {
-                    for (pair_idx, pair) in &pairs {
-                        for &(relay, relay_addr) in &pair.relays {
-                            let session = sessions[&(*pair_idx, relay)];
-                            write_frame(
-                                &mut stream,
-                                &ControllerMsg::Call {
-                                    callee_addr: callee_addrs[&pair.callee].to_string(),
-                                    relay_addr: relay_addr.to_string(),
-                                    relay,
-                                    session,
-                                    round,
-                                    probes,
-                                    gap_ms,
-                                    callee: pair.callee.clone(),
-                                },
-                            )?;
-                            let reply: ClientMsg = read_frame(&mut stream)?;
-                            match reply {
-                                ClientMsg::Report {
-                                    caller,
-                                    callee,
-                                    relay,
-                                    round,
-                                    metrics,
-                                } => reports.lock().push(ReportRecord {
-                                    caller,
-                                    callee,
-                                    relay,
-                                    round,
-                                    metrics,
-                                }),
-                                other => {
-                                    return Err(TestbedError::Protocol(format!(
-                                        "expected Report, got {other:?}"
-                                    )))
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("via-ctrl-{caller}"))
+                .spawn(move || -> Result<TcpStream, TestbedError> {
+                    for round in 0..rounds {
+                        for (pair_idx, pair) in &pairs {
+                            for &(relay, relay_addr) in &pair.relays {
+                                let session = sessions[&(*pair_idx, relay)];
+                                write_frame(
+                                    &mut stream,
+                                    &ControllerMsg::Call {
+                                        callee_addr: callee_addrs[&pair.callee].to_string(),
+                                        relay_addr: relay_addr.to_string(),
+                                        relay,
+                                        session,
+                                        round,
+                                        probes,
+                                        gap_ms,
+                                        callee: pair.callee.clone(),
+                                    },
+                                )?;
+                                let reply: ClientMsg = read_frame(&mut stream)?;
+                                match reply {
+                                    ClientMsg::Report {
+                                        caller,
+                                        callee,
+                                        relay,
+                                        round,
+                                        metrics,
+                                    } => reports.lock().push(ReportRecord {
+                                        caller,
+                                        callee,
+                                        relay,
+                                        round,
+                                        metrics,
+                                    }),
+                                    other => {
+                                        return Err(TestbedError::Protocol(format!(
+                                            "expected Report, got {other:?}"
+                                        )))
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                Ok(stream)
-            },
-        )?);
+                    Ok(stream)
+                })?,
+        );
     }
 
     // Join orchestration threads, then release every client.

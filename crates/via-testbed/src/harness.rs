@@ -89,9 +89,10 @@ pub struct TestbedResult {
 /// the world's segment model. Delay is half the segment RTT; jitter and loss
 /// split evenly between directions.
 fn leg_params(world: &World, as_id: AsId, relay: RelayId) -> ImpairParams {
-    let seg = world
-        .perf()
-        .segment_mean(via_netsim::Segment::RelayWan(as_id, relay), SimTime::from_days(1));
+    let seg = world.perf().segment_mean(
+        via_netsim::Segment::RelayWan(as_id, relay),
+        SimTime::from_days(1),
+    );
     ImpairParams {
         delay_ms: seg.rtt_ms / 2.0,
         jitter_ms: seg.jitter_ms / std::f64::consts::SQRT_2,
@@ -216,37 +217,39 @@ pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
         })
         .collect();
 
-    let reports = run_controller(listener, controller_cfg, cfg.n_clients, |relay,
-                                                                           session,
-                                                                           caller_addr,
-                                                                           callee_addr| {
-        let idx = session_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let (a_to_b, b_to_a) = plan_legs
-            .get(idx)
-            .copied()
-            .unwrap_or((ImpairParams::CLEAN, ImpairParams::CLEAN));
-        let mix = via_model::seed::derive_indexed(sway_seed, "sway", session as u64);
-        registrar_relays[usize::from(relay)].register_session(
-            session,
-            Session {
-                a: caller_addr,
-                b: callee_addr,
-                a_to_b,
-                b_to_a,
-                sway_amp: 0.10 + (mix % 1000) as f64 / 1000.0 * 0.25,
-                sway_period_s: 6.0 + (mix >> 10 & 0x3FF) as f64 / 1024.0 * 18.0,
-                sway_phase: (mix >> 20 & 0x3FF) as f64 / 1024.0 * std::f64::consts::TAU,
-            },
-        );
-    })?;
+    let reports = run_controller(
+        listener,
+        controller_cfg,
+        cfg.n_clients,
+        |relay, session, caller_addr, callee_addr| {
+            let idx = session_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let (a_to_b, b_to_a) = plan_legs
+                .get(idx)
+                .copied()
+                .unwrap_or((ImpairParams::CLEAN, ImpairParams::CLEAN));
+            let mix = via_model::seed::derive_indexed(sway_seed, "sway", session as u64);
+            registrar_relays[usize::from(relay)].register_session(
+                session,
+                Session {
+                    a: caller_addr,
+                    b: callee_addr,
+                    a_to_b,
+                    b_to_a,
+                    sway_amp: 0.10 + (mix % 1000) as f64 / 1000.0 * 0.25,
+                    sway_period_s: 6.0 + (mix >> 10 & 0x3FF) as f64 / 1024.0 * 18.0,
+                    sway_phase: (mix >> 20 & 0x3FF) as f64 / 1024.0 * std::f64::consts::TAU,
+                },
+            );
+        },
+    )?;
 
     for t in client_threads {
         t.join()
             .map_err(|_| TestbedError::Component("client thread panicked".into()))??;
     }
 
-    let forwarded = relays.iter().map(|r| r.forwarded()).sum();
-    let dropped = relays.iter().map(|r| r.dropped()).sum();
+    let forwarded = relays.iter().map(RelayHandle::forwarded).sum();
+    let dropped = relays.iter().map(RelayHandle::dropped).sum();
 
     Ok(TestbedResult {
         reports,
@@ -285,6 +288,9 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked > expected_reports / 2, "too few usable measurements");
+        assert!(
+            checked > expected_reports / 2,
+            "too few usable measurements"
+        );
     }
 }

@@ -103,7 +103,9 @@ impl PartialOrd for Pending {
 }
 impl Ord for Pending {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.release.cmp(&other.release).then(self.seq.cmp(&other.seq))
+        self.release
+            .cmp(&other.release)
+            .then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -161,7 +163,11 @@ impl DelayLine {
             guard = match guard.peek() {
                 Some(Reverse(head)) => {
                     let wait = head.release.saturating_duration_since(Instant::now());
-                    inner.cv.wait_timeout(guard, wait).expect("delayline wait").0
+                    inner
+                        .cv
+                        .wait_timeout(guard, wait)
+                        .expect("delayline wait")
+                        .0
                 }
                 None => {
                     let (g, _) = inner
@@ -185,7 +191,11 @@ impl DelayLine {
                 .counter
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         };
-        self.inner.queue.lock().expect("delayline lock").push(Reverse(p));
+        self.inner
+            .queue
+            .lock()
+            .expect("delayline lock")
+            .push(Reverse(p));
         self.inner.cv.notify_one();
     }
 }
@@ -265,7 +275,9 @@ mod tests {
         }
         let rate = hits as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.02, "corruption rate {rate}");
-        assert!(ImpairParams::CLEAN.sample_corruption(64, &mut rng).is_none());
+        assert!(ImpairParams::CLEAN
+            .sample_corruption(64, &mut rng)
+            .is_none());
         assert!(p.sample_corruption(0, &mut rng).is_none());
     }
 

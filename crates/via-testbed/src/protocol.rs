@@ -150,7 +150,9 @@ mod tests {
                 round: 2,
                 metrics: PathMetrics::new(123.0, 0.5, 4.2),
             },
-            ClientMsg::Done { name: "sg-1".into() },
+            ClientMsg::Done {
+                name: "sg-1".into(),
+            },
         ];
         let mut buf = Vec::new();
         for m in &msgs {

@@ -43,7 +43,12 @@ pub struct Session {
 
 impl Session {
     /// A session with no temporal sway.
-    pub fn steady(a: SocketAddr, b: SocketAddr, a_to_b: ImpairParams, b_to_a: ImpairParams) -> Session {
+    pub fn steady(
+        a: SocketAddr,
+        b: SocketAddr,
+        a_to_b: ImpairParams,
+        b_to_a: ImpairParams,
+    ) -> Session {
         Session {
             a,
             b,
@@ -61,8 +66,7 @@ impl Session {
             return 1.0;
         }
         1.0 + self.sway_amp
-            * (std::f64::consts::TAU * elapsed_s / self.sway_period_s.max(0.001)
-                + self.sway_phase)
+            * (std::f64::consts::TAU * elapsed_s / self.sway_period_s.max(0.001) + self.sway_phase)
                 .sin()
     }
 }

@@ -95,17 +95,17 @@ pub fn evaluate_via_selection(reports: &[ReportRecord], objective: Metric) -> Fi
                     if let Some(RelayOption::Bounce(rid)) = bandit.choose() {
                         let pick = rid.0 as RelayIndex;
                         if let Some(&via_value) = values.get(&pick) {
-                            let best = values
-                                .values()
-                                .fold(f64::INFINITY, |acc, &v| acc.min(v));
+                            let best = values.values().fold(f64::INFINITY, |acc, &v| acc.min(v));
                             if best > 0.0 && best.is_finite() {
                                 suboptimality.push((via_value - best) / best);
                                 decisions += 1;
                                 if (via_value - best).abs() < 1e-12 {
                                     best_picks += 1;
                                 }
-                                pick_history
-                                    .push((RelayOption::Bounce(RelayId(u32::from(pick))), via_value));
+                                pick_history.push((
+                                    RelayOption::Bounce(RelayId(u32::from(pick))),
+                                    via_value,
+                                ));
                             }
                         }
                     }

@@ -15,8 +15,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 use via_model::ids::{AsPair, CountryId};
 use via_model::metrics::{Metric, Thresholds};
-use via_model::stats::{bin_means, pearson, Bin, Cdf};
 use via_model::stats::binning::{bin_percentiles, PercentileBin};
+use via_model::stats::{bin_means, pearson, Bin, Cdf};
 use via_model::time::WindowLen;
 use via_quality::PnrReport;
 
@@ -108,12 +108,8 @@ pub fn pcr_vs_metric(
         .records
         .iter()
         .filter_map(|r| {
-            r.rating.map(|stars| {
-                (
-                    r.direct_metrics[metric],
-                    if stars <= 2 { 1.0 } else { 0.0 },
-                )
-            })
+            r.rating
+                .map(|stars| (r.direct_metrics[metric], if stars <= 2 { 1.0 } else { 0.0 }))
         })
         .collect();
     let bins = bin_means(&points, 0.0, x_max, n_bins, min_samples);
@@ -145,7 +141,14 @@ pub fn pairwise_metric_percentiles(
         .iter()
         .map(|r| (r.direct_metrics[x], r.direct_metrics[y]))
         .collect();
-    bin_percentiles(&points, 0.0, x_max, n_bins, min_samples, &[10.0, 50.0, 90.0])
+    bin_percentiles(
+        &points,
+        0.0,
+        x_max,
+        n_bins,
+        min_samples,
+        &[10.0, 50.0, 90.0],
+    )
 }
 
 /// Figure 4a: PNR of international vs domestic calls.
@@ -205,7 +208,7 @@ pub fn pnr_by_country(
         .filter(|(_, calls)| calls.len() >= min_calls)
         .map(|(c, calls)| (c, PnrReport::from_calls(calls, thresholds)))
         .collect();
-    out.sort_by(|a, b| b.1.any.partial_cmp(&a.1.any).unwrap());
+    out.sort_by(|a, b| b.1.any.total_cmp(&a.1.any));
     out
 }
 
@@ -224,6 +227,8 @@ pub fn worst_pair_concentration(trace: &Trace, thresholds: &Thresholds) -> Vec<(
     if total_poor == 0 {
         return Vec::new();
     }
+    // Order-insensitive: the counts are fully re-sorted on the next line.
+    // via-audit: allow(nondeterminism)
     let mut counts: Vec<usize> = poor_by_pair.into_values().collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
     let mut cum = 0usize;
@@ -280,6 +285,8 @@ pub fn temporal_patterns(
 
     // Pair → sorted list of (day, high?)
     let mut per_pair: HashMap<AsPair, Vec<(u64, bool)>> = HashMap::new();
+    // Order-insensitive: each pair's day list is sorted before use below.
+    // via-audit: allow(nondeterminism)
     for ((pair, day), (poor, total)) in cells {
         if total < min_calls_per_day {
             continue;
@@ -293,7 +300,11 @@ pub fn temporal_patterns(
 
     let mut persistence = Vec::new();
     let mut prevalence = Vec::new();
-    for (_, mut days) in per_pair {
+    // Hash order would leak into the output vectors; iterate pairs sorted.
+    // via-audit: allow(nondeterminism)
+    let mut pairs: Vec<(AsPair, Vec<(u64, bool)>)> = per_pair.into_iter().collect();
+    pairs.sort_unstable_by_key(|p| p.0);
+    for (_, mut days) in pairs {
         if days.len() < 2 {
             continue;
         }
@@ -399,14 +410,22 @@ mod tests {
         }
         assert!((conc.last().unwrap().1 - 1.0).abs() < 1e-9);
         // Spread-out badness: the single worst pair must not dominate.
-        assert!(conc[0].1 < 0.25, "one pair holds {:.2} of poor calls", conc[0].1);
+        assert!(
+            conc[0].1 < 0.25,
+            "one pair holds {:.2} of poor calls",
+            conc[0].1
+        );
     }
 
     #[test]
     fn temporal_patterns_have_mass() {
         let (_, tr) = trace();
         let tp = temporal_patterns(&tr, &Thresholds::default(), 3);
-        assert!(tp.prevalence.len() >= 10, "only {} pairs", tp.prevalence.len());
+        assert!(
+            tp.prevalence.len() >= 10,
+            "only {} pairs",
+            tp.prevalence.len()
+        );
         assert!(tp.prevalence.iter().all(|&p| (0.0..=1.0).contains(&p)));
         assert!(tp.persistence.iter().all(|&p| p >= 0.0));
         // Skew: some pairs chronically bad, most rarely bad.

@@ -1,0 +1,58 @@
+//! Unified error type for trace persistence.
+//!
+//! [`crate::io`] and [`crate::csv`] each carry a format-specific error with
+//! line-level detail; callers that dispatch on file extension (see
+//! [`crate::load_trace`]) get one [`TraceError`] covering both, plus the
+//! cases that belong to neither format.
+
+use std::path::PathBuf;
+
+use crate::csv::CsvError;
+use crate::io::TraceIoError;
+
+/// Any error arising while loading or saving a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// JSON Lines persistence failed.
+    Jsonl(TraceIoError),
+    /// CSV persistence failed.
+    Csv(CsvError),
+    /// The path's extension matches no supported trace format.
+    UnknownFormat(PathBuf),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Jsonl(e) => write!(f, "{e}"),
+            TraceError::Csv(e) => write!(f, "{e}"),
+            TraceError::UnknownFormat(p) => write!(
+                f,
+                "unsupported trace format {:?} (expected .jsonl or .csv)",
+                p
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Jsonl(e) => Some(e),
+            TraceError::Csv(e) => Some(e),
+            TraceError::UnknownFormat(_) => None,
+        }
+    }
+}
+
+impl From<TraceIoError> for TraceError {
+    fn from(e: TraceIoError) -> Self {
+        TraceError::Jsonl(e)
+    }
+}
+
+impl From<CsvError> for TraceError {
+    fn from(e: CsvError) -> Self {
+        TraceError::Csv(e)
+    }
+}

@@ -72,16 +72,16 @@ pub fn read_jsonl(path: &Path) -> Result<Trace, TraceIoError> {
     let reader = BufReader::new(File::open(path)?);
     let mut lines = reader.lines();
     let header_line = lines.next().ok_or(TraceIoError::MissingHeader)??;
-    let header: Header = serde_json::from_str(&header_line)
-        .map_err(|e| TraceIoError::Parse(1, e.to_string()))?;
+    let header: Header =
+        serde_json::from_str(&header_line).map_err(|e| TraceIoError::Parse(1, e.to_string()))?;
     let mut records = Vec::with_capacity(header.records);
     for (i, line) in lines.enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        let r: CallRecord = serde_json::from_str(&line)
-            .map_err(|e| TraceIoError::Parse(i + 2, e.to_string()))?;
+        let r: CallRecord =
+            serde_json::from_str(&line).map_err(|e| TraceIoError::Parse(i + 2, e.to_string()))?;
         records.push(r);
     }
     Ok(Trace {
@@ -135,11 +135,7 @@ mod tests {
         let dir = std::env::temp_dir().join("via-trace-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("corrupt.jsonl");
-        std::fs::write(
-            &path,
-            b"{\"seed\":1,\"days\":1,\"records\":1}\nnot-json\n",
-        )
-        .unwrap();
+        std::fs::write(&path, b"{\"seed\":1,\"days\":1,\"records\":1}\nnot-json\n").unwrap();
         let err = read_jsonl(&path).unwrap_err();
         match err {
             TraceIoError::Parse(line, _) => assert_eq!(line, 2),

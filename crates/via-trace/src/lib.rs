@@ -30,9 +30,88 @@
 
 pub mod analysis;
 pub mod csv;
+pub mod error;
 pub mod io;
 pub mod record;
 pub mod workload;
 
+pub use error::TraceError;
 pub use record::{AccessExtra, CallRecord, Trace};
 pub use workload::{TraceConfig, TraceGenerator};
+
+use std::path::Path;
+
+/// Loads a trace, dispatching on the path's extension: `.jsonl` (the native
+/// format, see [`io`]) or `.csv` (interop, see [`csv`]).
+///
+/// # Errors
+/// [`TraceError::UnknownFormat`] for any other extension, or the underlying
+/// format's error on a read failure.
+pub fn load_trace(path: &Path) -> Result<Trace, TraceError> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("jsonl") => Ok(io::read_jsonl(path)?),
+        Some("csv") => Ok(csv::read_csv(path)?),
+        _ => Err(TraceError::UnknownFormat(path.to_path_buf())),
+    }
+}
+
+/// Saves a trace, dispatching on the path's extension like [`load_trace`].
+///
+/// # Errors
+/// [`TraceError::UnknownFormat`] for unrecognized extensions, or the
+/// underlying format's error on a write failure.
+pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), TraceError> {
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("jsonl") => Ok(io::write_jsonl(trace, path)?),
+        Some("csv") => Ok(csv::write_csv(trace, path)?),
+        _ => Err(TraceError::UnknownFormat(path.to_path_buf())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_netsim::{World, WorldConfig};
+
+    #[test]
+    fn load_save_dispatch_on_extension() {
+        let world = World::generate(&WorldConfig::tiny(), 41);
+        let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 41).generate();
+        let dir = std::env::temp_dir().join("via-trace-dispatch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["t.jsonl", "t.csv"] {
+            let path = dir.join(name);
+            save_trace(&trace, &path).unwrap();
+            let back = load_trace(&path).unwrap();
+            assert_eq!(back.records.len(), trace.records.len());
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn unknown_extension_is_rejected() {
+        let trace = Trace {
+            seed: 0,
+            days: 0,
+            records: Vec::new(),
+        };
+        let path = std::env::temp_dir().join("t.parquet");
+        assert!(matches!(
+            save_trace(&trace, &path),
+            Err(TraceError::UnknownFormat(_))
+        ));
+        assert!(matches!(
+            load_trace(&path),
+            Err(TraceError::UnknownFormat(_))
+        ));
+    }
+
+    #[test]
+    fn errors_convert_and_display() {
+        let err: TraceError = io::TraceIoError::MissingHeader.into();
+        assert!(err.to_string().contains("header"));
+        let err: TraceError = csv::CsvError::BadHeader("x".into()).into();
+        assert!(err.to_string().contains("header"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -126,12 +126,24 @@ impl WeightedAses {
     }
 }
 
+/// Unwraps a distribution constructor whose parameters are known-valid
+/// constants (finite μ, positive σ/shape). Keeps the panic explicit and
+/// documented instead of hidden behind `expect`.
+fn infallible<T, E: std::fmt::Debug>(result: Result<T, E>, what: &str) -> T {
+    match result {
+        Ok(d) => d,
+        Err(e) => unreachable!("{what} built from constant valid parameters: {e:?}"),
+    }
+}
+
 /// Generates call traces over a world.
 pub struct TraceGenerator<'w> {
     world: &'w World,
     config: TraceConfig,
     trace_seed: u64,
-    global: WeightedAses,
+    /// `None` when the world has no positively-weighted AS; [`Self::generate`]
+    /// then yields an empty trace instead of panicking.
+    global: Option<WeightedAses>,
     by_country: Vec<Option<WeightedAses>>,
     intl_by_country: Vec<Option<WeightedAses>>,
     /// Users per AS, proportional to weight.
@@ -141,17 +153,15 @@ pub struct TraceGenerator<'w> {
 impl<'w> TraceGenerator<'w> {
     /// Prepares a generator; cheap, all sampling tables are built here.
     pub fn new(world: &'w World, config: TraceConfig, trace_seed: u64) -> Self {
-        let as_weight = |a: &via_netsim::AsInfo| {
-            a.weight * world.countries[a.country.index()].weight
-        };
+        let as_weight =
+            |a: &via_netsim::AsInfo| a.weight * world.countries[a.country.index()].weight;
         let global = WeightedAses::new(
             world
                 .ases
                 .iter()
                 .enumerate()
                 .map(|(i, a)| (i, as_weight(a))),
-        )
-        .expect("world has ASes");
+        );
 
         let n_countries = world.countries.len();
         let mut by_country = Vec::with_capacity(n_countries);
@@ -196,20 +206,37 @@ impl<'w> TraceGenerator<'w> {
     /// Generates the full trace. Deterministic in `(world, config, seed)`.
     pub fn generate(&self) -> Trace {
         let days = self.config.days.min(self.world.config.horizon_days);
+        let Some(global) = self.global.as_ref() else {
+            return Trace {
+                seed: self.trace_seed,
+                days,
+                records: Vec::new(),
+            };
+        };
         let mut rng = StdRng::seed_from_u64(seed::derive(self.trace_seed, "workload"));
-        let duration_dist = LogNormal::new(
-            self.config.mean_duration_s.ln() - 0.5 * 0.8 * 0.8,
-            0.8,
-        )
-        .expect("valid lognormal");
-        let wifi_jitter = LogNormal::new(3.0f64.ln() - 0.5 * 0.5 * 0.5, 0.5).expect("valid");
-        let wifi_loss: Gamma<f64> = Gamma::new(0.5, 0.3).expect("valid gamma");
+        // A non-positive or non-finite configured mean would make ln() NaN;
+        // fall back to the default 180 s rather than panic.
+        let mean_s = if self.config.mean_duration_s.is_finite() && self.config.mean_duration_s > 0.0
+        {
+            self.config.mean_duration_s
+        } else {
+            180.0
+        };
+        let duration_dist = infallible(
+            LogNormal::new(mean_s.ln() - 0.5 * 0.8 * 0.8, 0.8),
+            "duration lognormal",
+        );
+        let wifi_jitter = infallible(
+            LogNormal::new(3.0f64.ln() - 0.5 * 0.5 * 0.5, 0.5),
+            "wifi jitter lognormal",
+        );
+        let wifi_loss: Gamma<f64> = infallible(Gamma::new(0.5, 0.3), "wifi loss gamma");
 
         let mut records = Vec::with_capacity((self.config.calls_per_day as u64 * days) as usize);
         for day in 0..days {
             for _ in 0..self.config.calls_per_day {
                 let call_id = CallId(records.len() as u32);
-                let (src_idx, t) = self.sample_caller_and_time(day, &mut rng);
+                let (src_idx, t) = self.sample_caller_and_time(global, day, &mut rng);
                 let dst_idx = self.sample_callee(src_idx, &mut rng);
 
                 let src = &self.world.ases[src_idx];
@@ -230,10 +257,13 @@ impl<'w> TraceGenerator<'w> {
                     }
                 };
 
-                let path = self
-                    .world
-                    .perf()
-                    .sample_option(src.id, dst.id, RelayOption::Direct, t, &mut rng);
+                let path = self.world.perf().sample_option(
+                    src.id,
+                    dst.id,
+                    RelayOption::Direct,
+                    t,
+                    &mut rng,
+                );
                 let direct_metrics = access_extra.apply(&path);
 
                 let caller = self.sample_user(src_idx, &mut rng);
@@ -272,14 +302,20 @@ impl<'w> TraceGenerator<'w> {
     /// Picks a caller AS and a start time inside `day`, biased toward the
     /// caller's local daytime/evening (rejection sampling on the activity
     /// curve).
-    fn sample_caller_and_time(&self, day: u64, rng: &mut StdRng) -> (usize, SimTime) {
+    fn sample_caller_and_time(
+        &self,
+        global: &WeightedAses,
+        day: u64,
+        rng: &mut StdRng,
+    ) -> (usize, SimTime) {
         loop {
-            let src_idx = self.global.sample(rng);
+            let src_idx = global.sample(rng);
             let secs = rng.random_range(0..SECS_PER_DAY);
             let t = SimTime(day * SECS_PER_DAY + secs);
             let local = self.world.ases[src_idx].pos.local_hour(t.hour_of_day());
             // Activity: low at night, rising through the day, peak ~20:00.
-            let activity = 0.15 + 0.85 * 0.5 * (1.0 + ((local - 17.0) / 24.0 * std::f64::consts::TAU).cos());
+            let activity =
+                0.15 + 0.85 * 0.5 * (1.0 + ((local - 17.0) / 24.0 * std::f64::consts::TAU).cos());
             if rng.random::<f64>() < activity {
                 return (src_idx, t);
             }
@@ -370,12 +406,23 @@ mod tests {
         let world = World::generate(&WorldConfig::small(), 3);
         let trace = TraceGenerator::new(&world, TraceConfig::small(), 3).generate();
         let n = trace.len() as f64;
-        let intl = trace.records.iter().filter(|r| r.is_international()).count() as f64 / n;
+        let intl = trace
+            .records
+            .iter()
+            .filter(|r| r.is_international())
+            .count() as f64
+            / n;
         let inter_as = trace.records.iter().filter(|r| r.is_inter_as()).count() as f64 / n;
         let wireless = trace.records.iter().filter(|r| r.wireless).count() as f64 / n;
         assert!((intl - 0.466).abs() < 0.03, "international fraction {intl}");
-        assert!((inter_as - 0.807).abs() < 0.04, "inter-AS fraction {inter_as}");
-        assert!((wireless - 0.83).abs() < 0.02, "wireless fraction {wireless}");
+        assert!(
+            (inter_as - 0.807).abs() < 0.04,
+            "inter-AS fraction {inter_as}"
+        );
+        assert!(
+            (wireless - 0.83).abs() < 0.02,
+            "wireless fraction {wireless}"
+        );
     }
 
     #[test]
@@ -425,7 +472,9 @@ mod tests {
         let mut evening = 0usize;
         let mut night = 0usize;
         for r in &trace.records {
-            let local = world.ases[r.src_as.index()].pos.local_hour(r.t.hour_of_day());
+            let local = world.ases[r.src_as.index()]
+                .pos
+                .local_hour(r.t.hour_of_day());
             if (16.0..24.0).contains(&local) {
                 evening += 1;
             } else if local < 8.0 {

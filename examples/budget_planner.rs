@@ -10,6 +10,10 @@
 //! cargo run --release --example budget_planner
 //! ```
 
+// Example code: terse unwraps keep the walkthrough readable, and an
+// abort with the underlying error is acceptable in a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use via::core::replay::{ReplayConfig, ReplaySim};
 use via::core::strategy::StrategyKind;
 use via::model::metrics::Thresholds;
@@ -42,8 +46,8 @@ fn main() {
     println!("|---|---|---|---|---|");
     let mut best_efficiency = (0.0f64, 0.0f64); // (budget, captured)
     for budget in [0.05, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8] {
-        let out = ReplaySim::new(&world, &trace, cfg.clone())
-            .run(StrategyKind::ViaBudgeted { budget });
+        let out =
+            ReplaySim::new(&world, &trace, cfg.clone()).run(StrategyKind::ViaBudgeted { budget });
         let pnr = out.pnr_any(&thresholds);
         let captured = (default_pnr - pnr) / max_benefit.max(1e-9);
         let efficiency = captured / budget;

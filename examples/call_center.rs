@@ -10,6 +10,12 @@
 //! cargo run --release --example call_center
 //! ```
 
+// Example code: terse unwraps keep the walkthrough readable, and an
+// abort with the underlying error is acceptable in a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
 use via::core::history::{CallHistory, KeyPair};
 use via::core::predictor::{GeoPrior, Predictor, PredictorConfig};
 use via::core::topk::{top_k, ScoredOption};
@@ -17,8 +23,6 @@ use via::model::metrics::Metric;
 use via::model::time::{SimTime, WindowLen, SECS_PER_DAY};
 use via::model::RelayId;
 use via::netsim::{World, WorldConfig};
-use rand::prelude::*;
-use rand::rngs::StdRng;
 
 fn main() {
     let seed = 11;
@@ -51,7 +55,14 @@ fn main() {
             .iter()
             .map(|r| world.relays[r.index()].name.clone())
             .collect();
-        println!("  {o} {}", if names.is_empty() { String::new() } else { format!("[{}]", names.join(" -> ")) });
+        println!(
+            "  {o} {}",
+            if names.is_empty() {
+                String::new()
+            } else {
+                format!("[{}]", names.join(" -> "))
+            }
+        );
     }
 
     // Day-by-day: the ground-truth best option churns.
@@ -79,7 +90,9 @@ fn main() {
             direct.rtt_ms, best_m.rtt_ms
         );
     }
-    println!("\nbest option switched {switches} times in 14 days — static pinning would miss this.");
+    println!(
+        "\nbest option switched {switches} times in 14 days — static pinning would miss this."
+    );
 
     // What VIA's controller would see: one day of measurements, then the
     // predictor + top-k pruning for the next day.
@@ -89,7 +102,9 @@ fn main() {
     for opt in &options {
         for _ in 0..12 {
             let t = SimTime(rng.random_range(0..SECS_PER_DAY));
-            let m = world.perf().sample_option(us.id, india.id, *opt, t, &mut rng);
+            let m = world
+                .perf()
+                .sample_option(us.id, india.id, *opt, t, &mut rng);
             history.record(window, KeyPair::new(us.id.0, india.id.0), *opt, &m);
         }
     }

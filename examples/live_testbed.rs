@@ -7,6 +7,10 @@
 //! cargo run --release --example live_testbed
 //! ```
 
+// Example code: terse unwraps keep the walkthrough readable, and an
+// abort with the underlying error is acceptable in a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use via::model::metrics::Metric;
 use via::model::stats::Cdf;
 use via::testbed::{evaluate_via_selection, run_testbed, TestbedConfig};

@@ -9,6 +9,10 @@
 //! cargo run --release --example network_weather
 //! ```
 
+// Example code: terse unwraps keep the walkthrough readable, and an
+// abort with the underlying error is acceptable in a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use via::model::metrics::{Metric, Thresholds};
 use via::model::time::SimTime;
 use via::model::RelayOption;
@@ -58,8 +62,7 @@ fn main() {
             let t = SimTime::from_hours(day * 24 + slot * 2);
             let m = world.perf().option_mean(src, dst, RelayOption::Direct, t);
             let poor = thresholds.any_poor(&m);
-            let degraded = m.rtt_ms
-                > 0.7 * thresholds.rtt_ms
+            let degraded = m.rtt_ms > 0.7 * thresholds.rtt_ms
                 || m.loss_pct > 0.7 * thresholds.loss_pct
                 || m.jitter_ms > 0.7 * thresholds.jitter_ms;
             strip.push(if poor {

@@ -5,6 +5,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Example code: terse unwraps keep the walkthrough readable, and an
+// abort with the underlying error is acceptable in a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use via::core::replay::{ReplayConfig, ReplaySim};
 use via::core::strategy::StrategyKind;
 use via::model::metrics::Thresholds;
@@ -29,7 +33,11 @@ fn main() {
     let thresholds = Thresholds::default();
     println!("| strategy | PNR RTT | PNR loss | PNR jitter | PNR any | relayed |");
     println!("|---|---|---|---|---|---|");
-    for kind in [StrategyKind::Default, StrategyKind::Via, StrategyKind::Oracle] {
+    for kind in [
+        StrategyKind::Default,
+        StrategyKind::Via,
+        StrategyKind::Oracle,
+    ] {
         let cfg = ReplayConfig {
             seed,
             ..ReplayConfig::default()

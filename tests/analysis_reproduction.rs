@@ -71,10 +71,10 @@ fn observation_3b_poor_performance_is_temporally_skewed() {
     let (_, tr) = trace();
     let tp = analysis::temporal_patterns(&tr, &Thresholds::default(), 4);
     assert!(tp.prevalence.len() >= 20, "too few qualifying pairs");
-    let chronic = tp.prevalence.iter().filter(|&&p| p > 0.9).count() as f64
-        / tp.prevalence.len() as f64;
-    let rare = tp.prevalence.iter().filter(|&&p| p < 0.3).count() as f64
-        / tp.prevalence.len() as f64;
+    let chronic =
+        tp.prevalence.iter().filter(|&&p| p > 0.9).count() as f64 / tp.prevalence.len() as f64;
+    let rare =
+        tp.prevalence.iter().filter(|&&p| p < 0.3).count() as f64 / tp.prevalence.len() as f64;
     // Figure 6's skew: a minority always bad, a majority rarely bad.
     assert!(chronic < 0.45, "chronic fraction {chronic}");
     assert!(rare > 0.35, "rare fraction {rare}");

@@ -34,7 +34,11 @@ fn full_pipeline_orders_strategies_correctly() {
     assert!(v.rtt <= d.rtt + 0.01, "via {} vs default {}", v.rtt, d.rtt);
 
     let imp = PnrImprovement::between(&d, &o);
-    assert!(imp.rtt > 20.0, "oracle should cut RTT PNR by >20%, got {}", imp.rtt);
+    assert!(
+        imp.rtt > 20.0,
+        "oracle should cut RTT PNR by >20%, got {}",
+        imp.rtt
+    );
 }
 
 #[test]
@@ -172,7 +176,13 @@ fn hybrid_racing_beats_via_at_a_probe_cost() {
         racing.pnr(&t).rtt <= via.pnr(&t).rtt + 0.01,
         "racing should not lose to plain VIA on the objective"
     );
-    assert!(racing.pnr(&t).rtt + 0.02 >= oracle.pnr(&t).rtt, "racing cannot beat the oracle by much");
-    assert!(racing.race_probes > trace.len() as u64, "racing must cost extra probes");
+    assert!(
+        racing.pnr(&t).rtt + 0.02 >= oracle.pnr(&t).rtt,
+        "racing cannot beat the oracle by much"
+    );
+    assert!(
+        racing.race_probes > trace.len() as u64,
+        "racing must cost extra probes"
+    );
     assert_eq!(via.race_probes, 0);
 }
