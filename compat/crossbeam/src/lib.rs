@@ -1,8 +1,101 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Only the `channel` module is provided, backed by `std::sync::mpsc`. The
-//! subset matches what the testbed uses: bounded channels, non-blocking
-//! `try_send`/`try_recv`, and `recv_timeout`.
+//! Two modules are provided: `channel`, backed by `std::sync::mpsc` (the
+//! subset the testbed uses: bounded channels, non-blocking
+//! `try_send`/`try_recv`, and `recv_timeout`), and `thread`, scoped threads
+//! with crossbeam's API shape backed by `std::thread::scope` (the subset the
+//! window-parallel replay engine uses: `scope` + `Scope::spawn` + join).
+
+pub mod thread {
+    //! Scoped threads with crossbeam's API shape.
+    //!
+    //! `crossbeam::thread::scope(|s| { s.spawn(|_| ...); })` maps onto
+    //! `std::thread::scope`; spawned closures receive a `&Scope` so nested
+    //! spawns work like the real crate. Unjoined panics propagate when the
+    //! scope exits (std semantics) rather than being collected into the
+    //! returned `Result`, which is `Ok` unless the caller's closure itself
+    //! escapes a panic payload.
+
+    /// Result type of [`scope`], mirroring `crossbeam::thread::scope`.
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle for spawning threads that may borrow from the caller's
+    /// stack frame.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining yields the closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish.
+        ///
+        /// # Errors
+        /// Returns the panic payload if the thread panicked.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives this scope so it can
+        /// spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowed-data threads can be spawned; all
+    /// spawned threads are joined before `scope` returns.
+    ///
+    /// # Errors
+    /// Mirrors crossbeam's signature; this stand-in always returns `Ok`
+    /// (panics in unjoined threads propagate directly, as with
+    /// `std::thread::scope`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let (a, b) = data.split_at(2);
+                let ha = s.spawn(|_| a.iter().sum::<u64>());
+                let hb = s.spawn(|_| b.iter().sum::<u64>());
+                ha.join().unwrap() + hb.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+    }
+}
 
 pub mod channel {
     //! Multi-producer channels with crossbeam's API shape.

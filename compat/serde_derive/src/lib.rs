@@ -46,12 +46,17 @@ fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
         Shape::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
-            format!("::serde::Serialize::serialize_value(&self.{})", fields[0])
+            format!(
+                "::serde::Serialize::serialize_value(&self.{})",
+                fields[0].name
+            )
         }
         Shape::NamedStruct(fields) => {
             let entries: Vec<String> = fields
                 .iter()
+                .filter(|f| !f.skip)
                 .map(|f| {
+                    let f = &f.name;
                     format!("({f:?}.to_string(), ::serde::Serialize::serialize_value(&self.{f}))")
                 })
                 .collect();
@@ -92,10 +97,24 @@ fn gen_serialize(item: &Item) -> String {
                             )
                         }
                         Shape::NamedStruct(fields) => {
-                            let binds = fields.join(", ");
-                            let entries: Vec<String> = fields
+                            // Skipped fields still need a pattern entry;
+                            // bind them to `_` so they are not serialized.
+                            let binds = fields
                                 .iter()
                                 .map(|f| {
+                                    if f.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "({f:?}.to_string(), \
                                          ::serde::Serialize::serialize_value({f}))"
@@ -129,18 +148,24 @@ fn gen_deserialize(item: &Item) -> String {
         Shape::NamedStruct(fields) if item.transparent && fields.len() == 1 => {
             format!(
                 "Ok({name} {{ {}: ::serde::Deserialize::deserialize_value(value)? }})",
-                fields[0]
+                fields[0].name
             )
         }
         Shape::NamedStruct(fields) => {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::deserialize_value(value.get({f:?}))\
-                         .map_err(|e| ::serde::DeError::custom(format!(\
-                         \"field {f}: {{e}}\")))?"
-                    )
+                    let skip = f.skip;
+                    let f = &f.name;
+                    if skip {
+                        format!("{f}: ::std::default::Default::default()")
+                    } else {
+                        format!(
+                            "{f}: ::serde::Deserialize::deserialize_value(value.get({f:?}))\
+                             .map_err(|e| ::serde::DeError::custom(format!(\
+                             \"field {f}: {{e}}\")))?"
+                        )
+                    }
                 })
                 .collect();
             format!(
@@ -206,10 +231,16 @@ fn gen_deserialize(item: &Item) -> String {
                         let inits: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::deserialize_value(\
-                                     payload.get({f:?}))?"
-                                )
+                                let skip = f.skip;
+                                let f = &f.name;
+                                if skip {
+                                    format!("{f}: ::std::default::Default::default()")
+                                } else {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::deserialize_value(\
+                                         payload.get({f:?}))?"
+                                    )
+                                }
                             })
                             .collect();
                         tagged_arms.push(format!(
@@ -258,6 +289,16 @@ fn gen_deserialize(item: &Item) -> String {
 /// Returns true if an attribute token group (the `[...]` contents) is
 /// `serde(...)` containing the ident `transparent`.
 fn is_transparent_attr(group: &TokenStream) -> bool {
+    serde_attr_contains(group, "transparent")
+}
+
+/// Returns true if an attribute token group (the `[...]` contents) is
+/// `serde(...)` containing the ident `skip`.
+fn is_skip_attr(group: &TokenStream) -> bool {
+    serde_attr_contains(group, "skip")
+}
+
+fn serde_attr_contains(group: &TokenStream, word: &str) -> bool {
     let mut tokens = group.clone().into_iter();
     match tokens.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
@@ -267,7 +308,7 @@ fn is_transparent_attr(group: &TokenStream) -> bool {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
             .stream()
             .into_iter()
-            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+            .any(|t| matches!(t, TokenTree::Ident(id) if id.to_string() == word)),
         _ => false,
     }
 }

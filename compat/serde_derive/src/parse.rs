@@ -5,7 +5,7 @@
 //! single `Group` tokens — so "top-level comma" splitting only needs to
 //! track angle-bracket depth (generics are *not* groups).
 
-use crate::is_transparent_attr;
+use crate::{is_skip_attr, is_transparent_attr};
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// A parsed derive target.
@@ -18,10 +18,19 @@ pub struct Item {
     pub transparent: bool,
 }
 
+/// One named field.
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Whether `#[serde(skip)]` was present: the field is omitted when
+    /// serializing and filled from `Default::default()` when deserializing.
+    pub skip: bool,
+}
+
 /// The shape of a struct, or of one enum variant.
 pub enum Shape {
-    /// `struct S { a: T, b: U }` — field names in declaration order.
-    NamedStruct(Vec<String>),
+    /// `struct S { a: T, b: U }` — fields in declaration order.
+    NamedStruct(Vec<Field>),
     /// `struct S(T, U);` — field count.
     TupleStruct(usize),
     /// `struct S;` or a unit enum variant.
@@ -110,16 +119,19 @@ pub fn parse_item(input: TokenStream) -> Result<Item, String> {
     })
 }
 
-/// Parses `a: T, pub b: U, ...` into field names.
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+/// Parses `a: T, pub b: U, ...` into fields, honoring `#[serde(skip)]`.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut tokens = stream.into_iter().peekable();
     loop {
-        skip_attrs_and_vis(&mut tokens)?;
+        let skip = skip_attrs_and_vis(&mut tokens)?;
         match tokens.next() {
             None => break,
             Some(TokenTree::Ident(id)) => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    skip,
+                });
                 // Skip `: Type` up to the next top-level comma.
                 skip_to_comma(&mut tokens);
             }
@@ -161,15 +173,18 @@ fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
 }
 
 /// Skips leading `#[...]` attributes and `pub`(+restriction) tokens.
+/// Returns whether a `#[serde(skip)]` attribute was among them.
 fn skip_attrs_and_vis(
     tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
-) -> Result<(), String> {
+) -> Result<bool, String> {
+    let mut skip = false;
     loop {
         match tokens.peek() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 tokens.next();
-                if !matches!(tokens.next(), Some(TokenTree::Group(_))) {
-                    return Err("malformed attribute".into());
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) => skip |= is_skip_attr(&g.stream()),
+                    _ => return Err("malformed attribute".into()),
                 }
             }
             Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -180,7 +195,7 @@ fn skip_attrs_and_vis(
                     }
                 }
             }
-            _ => return Ok(()),
+            _ => return Ok(skip),
         }
     }
 }

@@ -3,7 +3,8 @@
 //! The replication's headline property is *determinism*: every figure must
 //! regenerate byte-identically from a seed. This tool enforces the coding
 //! rules that protect it — plus panic-safety and NaN-safety — by walking
-//! `crates/*/src` and applying three lexical lints (see [`lints`]):
+//! `crates/*/src` and `crates/*/benches` and applying three lexical lints
+//! (see [`lints`]):
 //!
 //! | lint | scope | severity |
 //! |------|-------|----------|
@@ -108,12 +109,19 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             continue;
         };
         let sim_crate = SIM_CRATES.contains(&crate_name);
-        let src_dir = crate_dir.join("src");
-        if !src_dir.is_dir() {
+        let mut files = Vec::new();
+        // `src` plus bench targets: benches are exempt from the lib-only
+        // lints (unwrap, panic) via `is_non_lib`, but nondeterminism sources
+        // in sim-crate bench code still need the audit's eye.
+        for sub in ["src", "benches"] {
+            let dir = crate_dir.join(sub);
+            if dir.is_dir() {
+                rust_files(&dir, &mut files)?;
+            }
+        }
+        if files.is_empty() {
             continue;
         }
-        let mut files = Vec::new();
-        rust_files(&src_dir, &mut files)?;
         for file in files {
             let src = std::fs::read_to_string(&file)?;
             let display = file

@@ -1,0 +1,266 @@
+//! Replay-engine benchmark suite: replay throughput at small and paper
+//! scale, predictor-fit latency, and the sharded-vs-sequential worker sweep.
+//! Emits `BENCH_replay.json` at the workspace root to start the perf
+//! trajectory tracked by the ROADMAP.
+//!
+//! Uses a custom `main` (`harness = false` without the criterion macros):
+//! the compat criterion entry point does not parse CLI arguments, and this
+//! suite needs `--quick` (CI smoke: tiny scale, no paper-scale sweep) plus
+//! its own JSON emission alongside the criterion console lines.
+
+// Bench setup code: criterion closures fight `semicolon_if_nothing_returned`,
+// and panicking on a malformed fixture is the right behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+#![allow(clippy::semicolon_if_nothing_returned)]
+
+use criterion::Criterion;
+use serde::Serialize;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+use via_core::history::CallHistory;
+use via_core::predictor::{GeoPrior, Predictor, PredictorConfig};
+use via_core::replay::{ReplayConfig, ReplaySim};
+use via_core::strategy::StrategyKind;
+use via_core::KeyPair;
+use via_model::ids::RelayId;
+use via_model::metrics::PathMetrics;
+use via_model::options::RelayOption;
+use via_model::time::{SimTime, WindowLen};
+use via_netsim::{World, WorldConfig};
+use via_trace::{Trace, TraceConfig, TraceGenerator};
+
+/// One timed replay run and its engine counters.
+#[derive(Debug, Serialize)]
+struct RunRecord {
+    scale: String,
+    strategy: String,
+    workers_requested: usize,
+    workers_resolved: usize,
+    calls: usize,
+    wall_ms: f64,
+    calls_per_sec: f64,
+    predictor_fits: u64,
+    predictor_fit_ms: f64,
+    shard_utilization: f64,
+    controller_contacts: u64,
+}
+
+/// Worker-sweep outcome at one scale: per-worker-count wall times plus the
+/// determinism check (identical per-call results for every worker count).
+#[derive(Debug, Serialize)]
+struct Sweep {
+    scale: String,
+    workers: Vec<usize>,
+    wall_ms: Vec<f64>,
+    speedup_vs_sequential: Vec<f64>,
+    results_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FitRecord {
+    cells: usize,
+    sequential_ms: f64,
+    parallel_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    bench: String,
+    quick: bool,
+    host_cores: usize,
+    runs: Vec<RunRecord>,
+    sweeps: Vec<Sweep>,
+    predictor_fit: FitRecord,
+}
+
+fn env(world_cfg: &WorldConfig, trace_cfg: TraceConfig, seed: u64) -> (World, Trace) {
+    let world = World::generate(world_cfg, seed);
+    let trace = TraceGenerator::new(&world, trace_cfg, seed).generate();
+    (world, trace)
+}
+
+/// Runs one replay, timing it and extracting the engine counters.
+fn timed_run(
+    world: &World,
+    trace: &Trace,
+    kind: StrategyKind,
+    workers: usize,
+    scale: &str,
+) -> (RunRecord, via_core::Outcome) {
+    let cfg = ReplayConfig {
+        workers,
+        ..ReplayConfig::default()
+    };
+    let start = Instant::now();
+    let outcome = ReplaySim::new(world, trace, cfg).run(kind);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let record = RunRecord {
+        scale: scale.to_string(),
+        strategy: kind.name().to_string(),
+        workers_requested: workers,
+        workers_resolved: outcome.stats.workers,
+        calls: outcome.calls.len(),
+        wall_ms,
+        calls_per_sec: outcome.calls.len() as f64 / (wall_ms / 1e3),
+        predictor_fits: outcome.stats.predictor_fits,
+        predictor_fit_ms: outcome.stats.predictor_fit_ms,
+        shard_utilization: outcome.stats.shard_utilization(),
+        controller_contacts: outcome.controller_contacts,
+    };
+    println!(
+        "replay_engine/{scale}/{}/workers={workers:<2} {:>10.1} ms  ({:.0} calls/s)  [{}]",
+        kind.name(),
+        record.wall_ms,
+        record.calls_per_sec,
+        outcome.stats.summary()
+    );
+    (record, outcome)
+}
+
+/// Same per-call results regardless of worker count (the byte-level JSON
+/// check lives in via-core's tests; this structural check avoids holding
+/// multi-hundred-MB JSON strings at paper scale).
+fn same_results(a: &via_core::Outcome, b: &via_core::Outcome) -> bool {
+    a.calls == b.calls
+        && a.controller_contacts == b.controller_contacts
+        && a.race_probes == b.race_probes
+}
+
+/// Worker sweep at one scale: sequential, then sharded counts; records
+/// speedups and cross-checks determinism.
+fn sweep(
+    world: &World,
+    trace: &Trace,
+    scale: &str,
+    worker_counts: &[usize],
+    runs: &mut Vec<RunRecord>,
+) -> Sweep {
+    let mut wall_ms = Vec::new();
+    let mut baseline: Option<via_core::Outcome> = None;
+    let mut identical = true;
+    for &w in worker_counts {
+        let (record, outcome) = timed_run(world, trace, StrategyKind::Via, w, scale);
+        wall_ms.push(record.wall_ms);
+        runs.push(record);
+        match &baseline {
+            None => baseline = Some(outcome),
+            Some(b) => identical &= same_results(b, &outcome),
+        }
+    }
+    let sequential = wall_ms[0];
+    Sweep {
+        scale: scale.to_string(),
+        workers: worker_counts.to_vec(),
+        wall_ms: wall_ms.clone(),
+        speedup_vs_sequential: wall_ms.iter().map(|&t| sequential / t).collect(),
+        results_identical: identical,
+    }
+}
+
+/// Predictor-fit latency on a synthetic dense window, sequential vs all
+/// cores. Criterion times the steady state; the JSON records single-shot
+/// wall times from the same closure.
+fn bench_predictor_fit(c: &mut Criterion) -> FitRecord {
+    // A dense window: 2 000 pairs × 4 options, 6 samples each.
+    let mut history = CallHistory::new();
+    let window = WindowLen::DAY.window_of(SimTime::ZERO);
+    let mut metrics = PathMetrics {
+        rtt_ms: 120.0,
+        loss_pct: 0.4,
+        jitter_ms: 4.0,
+    };
+    for pair_idx in 0..2_000u32 {
+        let pair = KeyPair::new(pair_idx % 97, pair_idx / 97);
+        for option in [
+            RelayOption::Direct,
+            RelayOption::Bounce(RelayId(pair_idx % 7)),
+            RelayOption::Bounce(RelayId(pair_idx % 5 + 7)),
+            RelayOption::Transit(RelayId(pair_idx % 3), RelayId(pair_idx % 4 + 3)),
+        ] {
+            for sample in 0..6 {
+                metrics.rtt_ms = 80.0 + f64::from((pair_idx + sample) % 120);
+                history.record(window, pair, option, &metrics);
+            }
+        }
+    }
+    let cells = history.window_len(window);
+    let prior = || GeoPrior::new(Vec::new(), Vec::new());
+    let backbone = || {
+        Box::new(|_: RelayId, _: RelayId| PathMetrics {
+            rtt_ms: 40.0,
+            loss_pct: 0.05,
+            jitter_ms: 1.0,
+        })
+    };
+    let fit = |workers: usize| {
+        let cfg = PredictorConfig {
+            workers,
+            ..PredictorConfig::default()
+        };
+        Predictor::fit(&history, window, prior(), backbone(), cfg)
+    };
+
+    let mut g = c.benchmark_group("predictor_fit");
+    g.bench_function("sequential", |b| b.iter(|| black_box(fit(1))));
+    g.bench_function("all_cores", |b| b.iter(|| black_box(fit(0))));
+    g.finish();
+
+    let t = Instant::now();
+    black_box(fit(1));
+    let sequential_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    black_box(fit(0));
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+    FitRecord {
+        cells,
+        sequential_ms,
+        parallel_ms,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let mut criterion = Criterion::default();
+    let mut runs = Vec::new();
+    let mut sweeps = Vec::new();
+
+    // Throughput + worker sweep. Quick mode (CI smoke) stays at tiny scale;
+    // the full suite adds small and paper scale, the acceptance target.
+    let (world, trace) = env(&WorldConfig::tiny(), TraceConfig::tiny(), 7);
+    sweeps.push(sweep(&world, &trace, "tiny", &[1, 2, 8], &mut runs));
+    if !quick {
+        let (world, trace) = env(&WorldConfig::small(), TraceConfig::small(), 7);
+        sweeps.push(sweep(&world, &trace, "small", &[1, 2, 8, 0], &mut runs));
+        let (world, trace) = env(&WorldConfig::paper_scale(), TraceConfig::paper_scale(), 7);
+        sweeps.push(sweep(&world, &trace, "paper", &[1, 8], &mut runs));
+    }
+
+    let predictor_fit = bench_predictor_fit(&mut criterion);
+
+    for s in &sweeps {
+        assert!(
+            s.results_identical,
+            "worker sweep at {} scale produced diverging results",
+            s.scale
+        );
+    }
+
+    let report = Report {
+        bench: "replay_engine".to_string(),
+        quick,
+        host_cores,
+        runs,
+        sweeps,
+        predictor_fit,
+    };
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let path = root.join("BENCH_replay.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&path, json + "\n").expect("write bench report");
+    println!("wrote {}", path.display());
+}

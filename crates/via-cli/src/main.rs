@@ -24,7 +24,7 @@ via — predictive relay selection for Internet telephony (SIGCOMM 2016 reproduc
 USAGE:
     via gen     [--scale tiny|small|paper] [--seed N] [--out FILE]
     via analyze FILE
-    via replay  [--scale tiny|small|paper] [--seed N]
+    via replay  [--scale tiny|small|paper] [--seed N] [--workers N]
                 [--strategy default|oracle|prediction|exploration|via|budgeted|racing]
                 [--objective rtt|loss|jitter] [--budget F]
     via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
@@ -162,6 +162,9 @@ fn cmd_replay(rest: &[String]) -> CliResult {
     let seed = flags.u64_or("seed", 2016)?;
     let scale = flags.str_or("scale", "small");
     let budget = flags.f64_or("budget", 0.3)?;
+    // Worker count only affects wall-clock: replay results are byte-identical
+    // for any value (0 = one worker per core).
+    let workers = usize::try_from(flags.u64_or("workers", 0)?)?;
     let kind = parse_strategy(flags.str_or("strategy", "via"), budget)?;
     let objective = parse_objective(flags.str_or("objective", "rtt"))?;
 
@@ -169,6 +172,7 @@ fn cmd_replay(rest: &[String]) -> CliResult {
     let cfg = ReplayConfig {
         objective,
         seed,
+        workers,
         ..ReplayConfig::default()
     };
     let out = ReplaySim::new(&world, &trace, cfg).run(kind);
@@ -194,6 +198,7 @@ fn cmd_replay(rest: &[String]) -> CliResult {
         100.0 * transit,
         out.controller_contacts
     );
+    println!("engine: {}", out.stats.summary());
     Ok(())
 }
 

@@ -51,7 +51,14 @@ impl BudgetGate {
         self.total += 1;
         let decision = self.decide(benefit);
         if let Some(q) = &mut self.quantile {
-            q.push(benefit.max(0.0));
+            // Only positive benefits inform the (1−B)-quantile. Non-positive
+            // benefits never relay regardless of the threshold, so folding
+            // them in (even clamped to 0) would drag the estimated quantile
+            // toward 0 and admit relays that are *not* in the top B fraction
+            // of genuinely beneficial calls.
+            if benefit > 0.0 {
+                q.push(benefit);
+            }
         }
         if decision {
             self.relayed += 1;
@@ -66,9 +73,13 @@ impl BudgetGate {
         let Some(q) = &self.quantile else {
             return true; // budget = 1.0
         };
-        // Hard guard: never exceed the cap on the running fraction.
+        // Hard guard, engaged from the very first call: admitting must keep
+        // the running relayed fraction within the cap at every prefix of the
+        // stream. (`total` already counts the current call.) Without this, a
+        // stream's opening burst of positive benefits would all be admitted
+        // during estimator warm-up and blow past the budget.
         let projected = (self.relayed + 1) as f64 / (self.total.max(1)) as f64;
-        if projected > self.budget && self.total > 20 {
+        if projected > self.budget {
             return false;
         }
         match q.estimate() {
@@ -193,5 +204,74 @@ mod tests {
         g.admit(-1.0);
         assert_eq!(g.total(), 2);
         assert_eq!(g.budget(), 0.5);
+    }
+
+    #[test]
+    fn opening_burst_cannot_exceed_cap() {
+        // Regression: warm-up used to admit every positive benefit until the
+        // fraction guard engaged at total > 20, so a stream opening with 20
+        // strong benefits relayed 100% of its prefix under a 10% budget.
+        let mut g = BudgetGate::new(0.1);
+        for i in 0..20u64 {
+            g.admit(100.0 + i as f64);
+            let f = g.relayed_fraction();
+            assert!(
+                f <= 0.1 + 1.0 / g.total() as f64,
+                "prefix fraction {f} exceeds cap at call {}",
+                g.total()
+            );
+        }
+    }
+
+    #[test]
+    fn non_positive_benefits_do_not_lower_the_threshold() {
+        // Feed a stream that is 80% useless (benefit ≤ 0) and 20% strongly
+        // beneficial under a 50% budget. The quantile must be estimated over
+        // the *positive* benefits only, so roughly the top half of positive
+        // benefits — ~10% of all calls — relay, not every positive call.
+        let mut g = BudgetGate::new(0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut positives = 0u64;
+        for _ in 0..20_000 {
+            let benefit = if rng.random::<f64>() < 0.8 {
+                -1.0
+            } else {
+                positives += 1;
+                10.0 + rng.random::<f64>() * 10.0
+            };
+            g.admit(benefit);
+        }
+        let relayed = g.relayed_fraction() * g.total() as f64;
+        let of_positive = relayed / positives as f64;
+        assert!(
+            of_positive < 0.75,
+            "relayed {of_positive:.2} of positive-benefit calls; the \
+             threshold collapsed as if zeros were in the distribution"
+        );
+        assert!(of_positive > 0.3, "threshold overshot: {of_positive:.2}");
+    }
+
+    proptest::proptest! {
+        /// At *every* prefix of any benefit stream — including the first 20
+        /// calls — the relayed count stays within `budget·total + 1` (the +1
+        /// covers the single in-flight admission the projection allows).
+        #[test]
+        fn never_exceeds_budget_at_any_prefix(
+            benefits in proptest::collection::vec(-50f64..150.0, 1..400),
+            budget_pct in 1u32..100,
+        ) {
+            let budget = f64::from(budget_pct) / 100.0;
+            let mut g = BudgetGate::new(budget);
+            for b in benefits {
+                g.admit(b);
+                g.validate();
+                let total = g.total() as f64;
+                let relayed = g.relayed_fraction() * total;
+                proptest::prop_assert!(
+                    relayed <= budget * total + 1.0 + 1e-9,
+                    "relayed {relayed} of {total} exceeds budget {budget}"
+                );
+            }
+        }
     }
 }

@@ -63,6 +63,14 @@ impl MetricStats {
     pub fn count(&self) -> u64 {
         self.stats[0].count()
     }
+
+    /// Merges another cell's accumulators into this one (per-axis Welford
+    /// merge); used when combining histories from independent collectors.
+    pub fn merge(&mut self, other: &MetricStats) {
+        for (dst, src) in self.stats.iter_mut().zip(&other.stats) {
+            dst.merge(src);
+        }
+    }
 }
 
 /// The controller's measurement store.
@@ -122,6 +130,35 @@ impl CallHistory {
     /// predictor only ever trains on the previous window).
     pub fn prune_before(&mut self, keep_from: u64) {
         self.windows.retain(|&w, _| w >= keep_from);
+    }
+
+    /// Folds another history into this one, merging per-cell Welford
+    /// accumulators where both sides observed the same cell.
+    ///
+    /// The window-parallel replay engine shards calls by [`KeyPair`], so each
+    /// (pair, option, window) cell is written by exactly one shard and the
+    /// merge is a disjoint insert — the per-cell push sequences (and hence
+    /// the floating-point results) are bit-identical to a sequential run.
+    /// Overlapping cells are still handled correctly (Chan et al. merge) for
+    /// callers that combine histories from genuinely concurrent collectors.
+    pub fn merge(&mut self, other: CallHistory) {
+        // Hash-map iteration order does not leak into results: inserting the
+        // same set of cells in any order yields the same map content, and
+        // per-cell merges are independent. via-audit: allow(nondeterminism)
+        for (w, cells) in other.windows {
+            let dst = self.windows.entry(w).or_default();
+            // Disjoint in the sharded engine; see above. via-audit: allow(nondeterminism)
+            for (key, stats) in cells {
+                match dst.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(stats);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().merge(&stats);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -186,6 +223,80 @@ mod tests {
         assert_eq!(h.window_calls(w(1)), 5);
         assert_eq!(h.window_cells(w(1)).count(), 5);
         assert_eq!(h.window_len(w(0)), 0);
+    }
+
+    #[test]
+    fn merge_combines_disjoint_and_overlapping_cells() {
+        let mut a = CallHistory::new();
+        let mut b = CallHistory::new();
+        let p1 = KeyPair::new(1, 2);
+        let p2 = KeyPair::new(3, 4);
+        a.record(
+            w(0),
+            p1,
+            RelayOption::Direct,
+            &PathMetrics::new(100.0, 1.0, 5.0),
+        );
+        b.record(
+            w(0),
+            p2,
+            RelayOption::Direct,
+            &PathMetrics::new(50.0, 0.5, 2.0),
+        );
+        // Overlapping cell: both sides observed (p1, Direct, w0).
+        b.record(
+            w(0),
+            p1,
+            RelayOption::Direct,
+            &PathMetrics::new(200.0, 3.0, 7.0),
+        );
+        a.merge(b);
+        assert_eq!(a.window_len(w(0)), 2);
+        let c1 = a.cell(w(0), p1, RelayOption::Direct).unwrap();
+        assert_eq!(c1.count(), 2);
+        assert_eq!(c1.metric(Metric::Rtt).mean(), Some(150.0));
+        assert_eq!(a.cell(w(0), p2, RelayOption::Direct).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn sharded_merge_is_bit_identical_for_disjoint_pairs() {
+        // The engine's invariant: when pairs are disjoint across shards, each
+        // cell's push sequence is identical to the sequential run, so stats
+        // must be bit-for-bit equal (not just approximately).
+        let calls: Vec<(KeyPair, f64)> = (0..50)
+            .map(|i| (KeyPair::new(i % 5, 100), 10.0 + f64::from(i) * 1.7))
+            .collect();
+        let mut seq = CallHistory::new();
+        for (p, v) in &calls {
+            seq.record(
+                w(0),
+                *p,
+                RelayOption::Direct,
+                &PathMetrics::new(*v, 0.0, 0.0),
+            );
+        }
+        let mut merged = CallHistory::new();
+        for shard in 0..5u32 {
+            let mut local = CallHistory::new();
+            for (p, v) in calls.iter().filter(|(p, _)| p.lo % 5 == shard) {
+                local.record(
+                    w(0),
+                    *p,
+                    RelayOption::Direct,
+                    &PathMetrics::new(*v, 0.0, 0.0),
+                );
+            }
+            merged.merge(local);
+        }
+        for i in 0..5 {
+            let p = KeyPair::new(i, 100);
+            let (a, b) = (
+                seq.cell(w(0), p, RelayOption::Direct).unwrap(),
+                merged.cell(w(0), p, RelayOption::Direct).unwrap(),
+            );
+            assert_eq!(a.metric(Metric::Rtt).mean(), b.metric(Metric::Rtt).mean());
+            assert_eq!(a.metric(Metric::Rtt).sem(), b.metric(Metric::Rtt).sem());
+        }
     }
 
     #[test]

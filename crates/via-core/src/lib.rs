@@ -48,6 +48,7 @@ pub mod bandit;
 pub mod budget;
 pub mod coords;
 pub mod history;
+pub mod par;
 pub mod placement;
 pub mod predictor;
 pub mod replay;
@@ -62,6 +63,6 @@ pub use coords::{Coord, Vivaldi, VivaldiConfig};
 pub use history::{CallHistory, KeyPair, MetricStats};
 pub use placement::{plan_placement, Demand, Placement};
 pub use predictor::{GeoPrior, Prediction, PredictionSource, Predictor, PredictorConfig};
-pub use replay::{CallOutcome, Outcome, ReplayConfig, ReplaySim, SpatialGranularity};
+pub use replay::{CallOutcome, Outcome, ReplayConfig, ReplaySim, ReplayStats, SpatialGranularity};
 pub use strategy::StrategyKind;
 pub use topk::{top_k, ScoredOption};

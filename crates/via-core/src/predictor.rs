@@ -105,6 +105,10 @@ pub struct PredictorConfig {
     pub prior_loss_pct: f64,
     /// Prior jitter (ms) for unknown paths.
     pub prior_jitter_ms: f64,
+    /// Worker threads for the per-cell empirical fit (`0` = one per core,
+    /// `1` = sequential). The fit is embarrassingly parallel across cells
+    /// and its result is identical for any value.
+    pub workers: usize,
     /// Tomography solver settings.
     pub tomography: TomographyConfig,
 }
@@ -118,6 +122,7 @@ impl Default for PredictorConfig {
             prior_inflation: 1.9,
             prior_loss_pct: 0.6,
             prior_jitter_ms: 5.0,
+            workers: 1,
             tomography: TomographyConfig::default(),
         }
     }
@@ -194,11 +199,20 @@ impl Predictor {
         backbone: Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>,
         cfg: PredictorConfig,
     ) -> Predictor {
-        let mut empirical = std::collections::HashMap::new();
-        for (&(pair, option), stats) in history.window_cells(training_window) {
+        // Per-cell fits are independent; sort cells (hash-map order must not
+        // pick the chunking) and fan out across the worker pool. Small
+        // windows stay sequential — thread startup would dominate.
+        let mut cells: Vec<_> = history.window_cells(training_window).collect();
+        cells.sort_by_key(|(k, _)| **k);
+        let workers = if cells.len() < 256 {
+            1
+        } else {
+            crate::par::resolve_workers(cfg.workers)
+        };
+        let fitted = crate::par::par_map(workers, &cells, |_, &(&(pair, option), stats)| {
             let n = stats.count();
             if n == 0 {
-                continue;
+                return None;
             }
             let mut lin_mean = [0.0; 3];
             let mut lin_sem = [0.0; 3];
@@ -217,10 +231,14 @@ impl Predictor {
                 lin_sem[idx(metric)] = linearize_sem(metric, mean, sem)
                     .max(cfg.sparse_rel_sem / n as f64 * linearize(metric, mean).max(1e-6));
             }
-            empirical.insert(
+            Some((
                 (pair, option),
                 Prediction::from_linear(lin_mean, lin_sem, PredictionSource::Empirical(n)),
-            );
+            ))
+        });
+        let mut empirical = std::collections::HashMap::with_capacity(cells.len());
+        for (key, pred) in fitted.into_iter().flatten() {
+            empirical.insert(key, pred);
         }
         let tomography =
             Tomography::fit(history, training_window, backbone.as_ref(), &cfg.tomography);

@@ -1,10 +1,11 @@
-//! Chronological trace replay — the evaluation methodology of §5.1.
+//! Chronological trace replay — the evaluation methodology of §5.1, run on a
+//! deterministic window-parallel engine.
 //!
 //! Calls are replayed in trace order. Each strategy decides a relaying option
 //! per call; the realized performance is drawn from the ground-truth model
 //! for that (pair, option, instant) — the in-model equivalent of the paper's
 //! "randomly sampled call from the same AS pair through the same relay option
-//! in the same 24-hour window". Two details matter:
+//! in the same 24-hour window". Three details matter:
 //!
 //! * **Common random numbers** — the realization RNG is seeded by
 //!   `(replay seed, call id, option)` so every strategy evaluating the same
@@ -13,6 +14,13 @@
 //! * **Information hygiene** — learning strategies only ever see realized
 //!   samples of calls they actually carried (fed back into
 //!   [`CallHistory`]); only the oracle touches `option_mean`.
+//! * **Worker-count invariance** — within a control window, calls are
+//!   sharded by decision [`KeyPair`] across a worker pool; the predictor
+//!   refit at each window boundary is the barrier. All per-call randomness
+//!   is derived from the call's trace index (never from a shared stream), a
+//!   pair's entire state lives on exactly one shard, and per-shard results
+//!   are merged back in trace order — so the outcome is a pure function of
+//!   the config, byte-identical for any worker count.
 //!
 //! The replay also implements the sensitivity axes of Figure 17: spatial
 //! decision granularity, control-period length `T`, and relay-fleet
@@ -22,11 +30,11 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use via_model::ids::{AsPair, RelayId};
+use via_model::ids::{AsId, RelayId};
 use via_model::metrics::{Metric, PathMetrics, Thresholds};
 use via_model::options::RelayOption;
 use via_model::seed;
-use via_model::time::{Window, WindowLen};
+use via_model::time::{SimTime, Window, WindowLen};
 use via_netsim::World;
 use via_quality::PnrReport;
 use via_trace::{CallRecord, Trace};
@@ -55,7 +63,7 @@ pub enum SpatialGranularity {
 
 impl SpatialGranularity {
     /// Key of one call endpoint under this granularity.
-    pub fn key_of(&self, world: &World, as_id: via_model::ids::AsId, client: u32) -> u32 {
+    pub fn key_of(&self, world: &World, as_id: AsId, client: u32) -> u32 {
         match *self {
             SpatialGranularity::Country => world.ases[as_id.index()].country.0,
             SpatialGranularity::As => as_id.0,
@@ -106,6 +114,12 @@ pub struct ReplayConfig {
     pub active_probes_per_window: usize,
     /// Predictor settings.
     pub predictor: PredictorConfig,
+    /// Worker threads for the window-parallel engine: each window's calls
+    /// are sharded by decision [`KeyPair`] across this many threads, and the
+    /// per-window predictor refit is parallelized the same way. `0` means
+    /// one worker per available core. Results are byte-identical for any
+    /// value — the engine guarantees worker-count invariance.
+    pub workers: usize,
     /// Base seed for realization sampling and exploration randomness.
     pub seed: u64,
 }
@@ -121,6 +135,7 @@ impl Default for ReplayConfig {
             allow_transit: true,
             active_probes_per_window: 0,
             predictor: PredictorConfig::default(),
+            workers: 0,
             seed: 0xC0FFEE,
         }
     }
@@ -137,6 +152,58 @@ pub struct CallOutcome {
     pub metrics: PathMetrics,
 }
 
+/// Per-run engine counters: throughput, shard utilization, and predictor-fit
+/// latency. Carried on [`Outcome`] but **excluded from serialization** —
+/// wall-clock readings and the resolved worker count vary across machines
+/// and worker counts while the replay results must not, so summaries stay
+/// byte-identical.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReplayStats {
+    /// Resolved worker count the run used.
+    pub workers: usize,
+    /// Control windows processed.
+    pub windows: u64,
+    /// Predictor refits performed at window barriers.
+    pub predictor_fits: u64,
+    /// Total wall-clock spent in predictor refits, milliseconds.
+    pub predictor_fit_ms: f64,
+    /// Total wall-clock of the replay, milliseconds.
+    pub wall_ms: f64,
+    /// Calls replayed per second of wall-clock.
+    pub calls_per_sec: f64,
+    /// Calls processed per worker slot, summed over windows (shard load).
+    pub shard_calls: Vec<u64>,
+}
+
+impl ReplayStats {
+    /// Shard load balance in `(0, 1]`: mean per-shard calls divided by the
+    /// maximum (1.0 = perfectly even, small = one shard did all the work).
+    pub fn shard_utilization(&self) -> f64 {
+        let max = self.shard_calls.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        let mean =
+            self.shard_calls.iter().sum::<u64>() as f64 / self.shard_calls.len().max(1) as f64;
+        mean / max as f64
+    }
+
+    /// One-line human-readable summary of the run's counters.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} workers, {} windows, {:.0} calls/s, shard utilization {:.2}, \
+             {} predictor fits ({:.1} ms total), wall {:.1} ms",
+            self.workers,
+            self.windows,
+            self.calls_per_sec,
+            self.shard_utilization(),
+            self.predictor_fits,
+            self.predictor_fit_ms,
+            self.wall_ms
+        )
+    }
+}
+
 /// Outcome of a whole replay run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Outcome {
@@ -151,6 +218,10 @@ pub struct Outcome {
     pub controller_contacts: u64,
     /// Parallel setup probes issued by hybrid racing (zero otherwise).
     pub race_probes: u64,
+    /// Engine counters (wall-clock, shard load); not serialized so that
+    /// summaries are a pure function of the config.
+    #[serde(skip)]
+    pub stats: ReplayStats,
 }
 
 impl Outcome {
@@ -219,6 +290,38 @@ struct PairState {
     direct_mean: f64,
 }
 
+/// One decision key's work within a window: its calls (trace indices, in
+/// order) plus the state handed to whichever shard owns the pair.
+struct PairGroup {
+    pair: KeyPair,
+    /// Spatial keys in the orientation of the pair's first call (the state
+    /// exemplar, matching the lazily-built state of the sequential engine).
+    ka: u32,
+    kb: u32,
+    /// Trace indices of the pair's calls this window, ascending.
+    calls: Vec<u32>,
+    /// Pre-built state (budget strategies build eagerly for the gate pass).
+    state: Option<PairState>,
+    /// Incoming §7 decision-cache entry, if any.
+    cached: Option<(RelayOption, SimTime)>,
+}
+
+/// What one shard hands back at the window barrier.
+struct ShardResult {
+    /// (trace index, outcome) for every call the shard carried.
+    outcomes: Vec<(u32, CallOutcome)>,
+    /// Local history (disjoint cells: a pair lives on exactly one shard).
+    history: CallHistory,
+    /// Demand exemplars observed (pair → first call's AS endpoints).
+    demands: Vec<(KeyPair, (AsId, AsId))>,
+    /// §7 decision-cache entries written this window.
+    cache_updates: Vec<(KeyPair, (RelayOption, SimTime))>,
+    /// Controller round-trips (cache misses) on this shard.
+    contacts: u64,
+    /// Hybrid-racing setup probes issued on this shard.
+    race_probes: u64,
+}
+
 /// The replay simulator.
 pub struct ReplaySim<'a> {
     world: &'a World,
@@ -239,11 +342,7 @@ impl<'a> ReplaySim<'a> {
 
     /// Candidate options for an AS pair, honoring the relay-fleet
     /// restriction and the transit toggle.
-    fn candidates_for(
-        &self,
-        src: via_model::ids::AsId,
-        dst: via_model::ids::AsId,
-    ) -> Vec<RelayOption> {
+    fn candidates_for(&self, src: AsId, dst: AsId) -> Vec<RelayOption> {
         let mut opts = self.world.candidate_options(src, dst);
         if !self.cfg.allow_transit {
             opts.retain(|o| !o.is_transit());
@@ -277,7 +376,18 @@ impl<'a> ReplaySim<'a> {
         call.access_extra.apply(&path)
     }
 
-    /// Ground-truth best option for the oracle, per (AS pair, window).
+    /// Per-call decision RNG, derived from the call's trace index: the
+    /// stream a call sees is independent of every other call, so decisions
+    /// are identical no matter which shard (or how many shards) carried it.
+    fn call_rng(&self, call: &CallRecord) -> StdRng {
+        StdRng::seed_from_u64(seed::derive_indexed(
+            self.cfg.seed,
+            "call",
+            u64::from(call.id.0),
+        ))
+    }
+
+    /// Ground-truth best option for the oracle, per (pair, window).
     fn oracle_choice(&self, call: &CallRecord, window: Window) -> RelayOption {
         let t_eval = window.start() + window.len.secs() / 2;
         let mut best = (f64::INFINITY, RelayOption::Direct);
@@ -296,13 +406,17 @@ impl<'a> ReplaySim<'a> {
 
     /// Runs one strategy over the whole trace.
     pub fn run(&mut self, kind: StrategyKind) -> Outcome {
+        // Wall-clock feeds ReplayStats only, which is excluded from
+        // serialized summaries. via-audit: allow(nondeterminism)
+        let t_run = std::time::Instant::now();
         let objective = self.cfg.objective;
-        let mut rng = StdRng::seed_from_u64(seed::derive(self.cfg.seed, "replay-choices"));
+        let workers = crate::par::resolve_workers(self.cfg.workers);
+        let mut pred_cfg = self.cfg.predictor;
+        pred_cfg.workers = workers;
+        pred_cfg.tomography.workers = workers;
+
         let mut history = CallHistory::new();
         let mut predictor: Option<Predictor> = None;
-        let mut pair_states: HashMap<KeyPair, PairState> = HashMap::new();
-        let mut oracle_cache: HashMap<(AsPair, u64), RelayOption> = HashMap::new();
-        let mut current_window: Option<Window> = None;
         let mut budget_gate = match kind {
             StrategyKind::ViaBudgeted { budget } => Some(BudgetGate::new(budget)),
             _ => None,
@@ -310,17 +424,21 @@ impl<'a> ReplaySim<'a> {
         // FCFS counters for the budget-unaware variant.
         let mut fcfs_relayed = 0u64;
         let mut fcfs_total = 0u64;
-        // §7 client-side decision cache: pair → (option, expiry).
-        let mut decision_cache: HashMap<KeyPair, (RelayOption, via_model::time::SimTime)> =
-            HashMap::new();
+        // §7 client-side decision cache: pair → (option, expiry). Persists
+        // across windows; shards read a snapshot and return their writes.
+        let mut decision_cache: HashMap<KeyPair, (RelayOption, SimTime)> = HashMap::new();
         let mut controller_contacts = 0u64;
         // §7 hybrid racing overhead: parallel setup probes issued.
         let mut race_probes = 0u64;
         // Demand observed in the current window: key pair → exemplar AS
         // endpoints (used by the active-measurement planner at the next
         // window boundary).
-        let mut demands: HashMap<KeyPair, (via_model::ids::AsId, via_model::ids::AsId)> =
-            HashMap::new();
+        let mut demands: HashMap<KeyPair, (AsId, AsId)> = HashMap::new();
+        let mut stats = ReplayStats {
+            workers,
+            shard_calls: vec![0; workers],
+            ..ReplayStats::default()
+        };
 
         let mut outcomes = Vec::with_capacity(self.trace.len());
         // Built once per run: the controller's static knowledge (geography
@@ -331,256 +449,247 @@ impl<'a> ReplaySim<'a> {
         );
         let backbone_table = self.backbone_table();
 
-        for call in &self.trace.records {
-            let window = self.cfg.window.window_of(call.t);
-            if current_window != Some(window) {
-                current_window = Some(window);
-                pair_states.clear();
-                if kind.uses_history() {
-                    let fit_predictor = |history: &CallHistory| {
-                        window.prev().map(|prev| {
-                            Predictor::fit(
-                                history,
-                                prev,
-                                prior.clone(),
-                                Self::backbone_fn_from(backbone_table.clone()),
-                                self.cfg.predictor,
-                            )
-                        })
-                    };
-                    predictor = fit_predictor(&history);
-
-                    // §7 active measurements: probe tomography holes for the
-                    // pairs that carried traffic last window, fold the mock
-                    // calls into the training window, and refit.
-                    if self.cfg.active_probes_per_window > 0 {
-                        if let (Some(pred), Some(prev)) = (&predictor, window.prev()) {
-                            let mut demand_list: Vec<(u32, u32, Vec<RelayOption>)> = demands
-                                .iter()
-                                .map(|(kp, &(sa, sb))| (kp.lo, kp.hi, self.candidates_for(sa, sb)))
-                                .collect();
-                            demand_list.sort_by_key(|d| (d.0, d.1));
-                            let plan = crate::active::plan_probes(
-                                &demand_list,
-                                pred,
-                                self.cfg.active_probes_per_window,
-                            );
-                            if !plan.is_empty() {
-                                let mut probe_rng = StdRng::seed_from_u64(seed::derive_indexed(
-                                    self.cfg.seed,
-                                    "active-probes",
-                                    window.index,
-                                ));
-                                for probe in plan {
-                                    let kp = KeyPair::new(probe.a, probe.b);
-                                    let Some(&(sa, sb)) = demands.get(&kp) else {
-                                        continue;
-                                    };
-                                    let m = self.world.perf().sample_option(
-                                        sa,
-                                        sb,
-                                        probe.option,
-                                        window.start(),
-                                        &mut probe_rng,
-                                    );
-                                    history.record(prev, kp, probe.option, &m);
-                                }
-                                predictor = fit_predictor(&history);
-                            }
-                        }
-                    }
-                    demands.clear();
-
-                    if predictor.is_none() {
-                        predictor = Some(Predictor::cold(
-                            prior.clone(),
-                            Self::backbone_fn_from(backbone_table.clone()),
-                            self.cfg.predictor,
-                        ));
-                    }
-                    // The controller only ever trains on the last window.
-                    history.prune_before(window.index.saturating_sub(1));
-                }
+        let records = &self.trace.records;
+        let n = records.len();
+        let mut start = 0usize;
+        while start < n {
+            // ---- window boundary: the barrier ------------------------------
+            let window = self.cfg.window.window_of(records[start].t);
+            let mut end = start + 1;
+            while end < n && self.cfg.window.window_of(records[end].t) == window {
+                end += 1;
             }
-
-            let ka = self
-                .cfg
-                .granularity
-                .key_of(self.world, call.src_as, call.caller.0);
-            let kb = self
-                .cfg
-                .granularity
-                .key_of(self.world, call.dst_as, call.callee.0);
-            let pair = KeyPair::new(ka, kb);
-
-            let option = match kind {
-                StrategyKind::Default => RelayOption::Direct,
-                StrategyKind::Oracle => *oracle_cache
-                    .entry((call.as_pair(), window.index))
-                    .or_insert_with(|| self.oracle_choice(call, window)),
-                // `uses_history()` guarantees a predictor for the arms
-                // below; a defensive `None` (cold controller) falls back to
-                // the direct path instead of panicking.
-                StrategyKind::PredictionOnly => match predictor.as_ref() {
-                    None => RelayOption::Direct,
-                    Some(pred) => {
-                        let mut best = (f64::INFINITY, RelayOption::Direct);
-                        for opt in self.candidates(call) {
-                            let p = pred.predict(ka, kb, opt);
-                            let v = p.mean(objective);
-                            if v < best.0 {
-                                best = (v, opt);
-                            }
-                        }
-                        best.1
-                    }
-                },
-                StrategyKind::ExplorationOnly => {
-                    let state = pair_states.entry(pair).or_insert_with(|| {
-                        let cands = self.candidates(call);
-                        let mut bandit = UcbBandit::new(cands, 1.0);
-                        bandit.normalize = false;
-                        PairState {
-                            bandit,
-                            best_mean: 0.0,
-                            direct_mean: 0.0,
-                        }
-                    });
-                    if rng.random::<f64>() < 0.1 {
-                        let cands: Vec<RelayOption> = state.bandit.options().collect();
-                        cands[rng.random_range(0..cands.len())]
-                    } else {
-                        state.bandit.choose().unwrap_or(RelayOption::Direct)
-                    }
-                }
-                StrategyKind::ViaCached { ttl_hours } => {
-                    // §7: the client reuses a cached controller decision
-                    // until it expires; only cache misses consult the
-                    // selection stack.
-                    match (decision_cache.get(&pair), predictor.as_ref()) {
-                        (Some(&(opt, expires)), _) if call.t < expires => opt,
-                        (_, None) => RelayOption::Direct,
-                        (_, Some(pred)) => {
-                            controller_contacts += 1;
-                            let state = pair_states.entry(pair).or_insert_with(|| {
-                                Self::build_pair_state(
-                                    pred,
-                                    ka,
-                                    kb,
-                                    self.candidates(call),
-                                    kind,
-                                    objective,
-                                )
-                            });
-                            let opt = state.bandit.choose().unwrap_or(RelayOption::Direct);
-                            decision_cache.insert(pair, (opt, call.t + ttl_hours * 3_600));
-                            opt
-                        }
-                    }
-                }
-                StrategyKind::HybridRacing { k } => match predictor.as_ref() {
-                    None => RelayOption::Direct,
-                    Some(pred) => {
-                        // §7: race the top-k pruned options in parallel at
-                        // call setup and keep the best. The race multiplies
-                        // setup traffic by k; `race_probes` tracks that
-                        // overhead.
-                        let state = pair_states.entry(pair).or_insert_with(|| {
-                            Self::build_pair_state(
-                                pred,
-                                ka,
-                                kb,
-                                self.candidates(call),
-                                kind,
-                                objective,
-                            )
-                        });
-                        let racers: Vec<RelayOption> =
-                            state.bandit.options().take(k.max(1)).collect();
-                        race_probes += racers.len() as u64;
-                        // Realize each racer once, then compare (realize is
-                        // deterministic per (call, option), so this is both
-                        // the cheap and the correct form).
-                        racers
-                            .into_iter()
-                            .map(|o| (self.realize(call, o)[objective], o))
-                            .min_by(|a, b| a.0.total_cmp(&b.0))
-                            .map(|(_, o)| o)
-                            .unwrap_or(RelayOption::Direct)
-                    }
-                },
-                StrategyKind::Via
-                | StrategyKind::ViaBudgeted { .. }
-                | StrategyKind::ViaBudgetUnaware { .. }
-                | StrategyKind::ViaFixedTopK { .. }
-                | StrategyKind::ViaRawReward => match predictor.as_ref() {
-                    None => RelayOption::Direct,
-                    Some(pred) => {
-                        let state = pair_states.entry(pair).or_insert_with(|| {
-                            Self::build_pair_state(
-                                pred,
-                                ka,
-                                kb,
-                                self.candidates(call),
-                                kind,
-                                objective,
-                            )
-                        });
-
-                        // Budget gating happens before any relayed choice.
-                        let benefit = state.direct_mean - state.best_mean;
-                        let gated_direct = match kind {
-                            StrategyKind::ViaBudgeted { .. } => {
-                                budget_gate.as_mut().is_some_and(|gate| {
-                                    let admitted = gate.admit(benefit);
-                                    gate.validate();
-                                    !admitted
-                                })
-                            }
-                            StrategyKind::ViaBudgetUnaware { budget } => {
-                                fcfs_total += 1;
-                                let frac = fcfs_relayed as f64 / fcfs_total.max(1) as f64;
-                                if benefit > 0.0 && frac < budget {
-                                    fcfs_relayed += 1;
-                                    false
-                                } else {
-                                    true
-                                }
-                            }
-                            _ => false,
-                        };
-
-                        if gated_direct {
-                            RelayOption::Direct
-                        } else if rng.random::<f64>() < self.cfg.epsilon {
-                            // Stage 4b: general exploration over all options.
-                            let cands = self.candidates(call);
-                            cands[rng.random_range(0..cands.len())]
-                        } else {
-                            // Stage 4a: UCB over the pruned top-k.
-                            state.bandit.choose().unwrap_or(RelayOption::Direct)
-                        }
-                    }
-                },
-            };
-
-            let metrics = self.realize(call, option);
+            stats.windows += 1;
 
             if kind.uses_history() {
-                history.record(window, pair, option, &metrics);
-                demands.entry(pair).or_insert((call.src_as, call.dst_as));
-                if let Some(state) = pair_states.get_mut(&pair) {
-                    state.bandit.update(option, metrics[objective]);
-                    state.bandit.validate();
+                // Wall-clock feeds ReplayStats only. via-audit: allow(nondeterminism)
+                let t_fit = std::time::Instant::now();
+                let fit_predictor = |history: &CallHistory| {
+                    window.prev().map(|prev| {
+                        Predictor::fit(
+                            history,
+                            prev,
+                            prior.clone(),
+                            Self::backbone_fn_from(backbone_table.clone()),
+                            pred_cfg,
+                        )
+                    })
+                };
+                predictor = fit_predictor(&history);
+                stats.predictor_fits += 1;
+
+                // §7 active measurements: probe tomography holes for the
+                // pairs that carried traffic last window, fold the mock
+                // calls into the training window, and refit.
+                if self.cfg.active_probes_per_window > 0 {
+                    if let (Some(pred), Some(prev)) = (&predictor, window.prev()) {
+                        let mut demand_list: Vec<(u32, u32, Vec<RelayOption>)> = demands
+                            .iter()
+                            .map(|(kp, &(sa, sb))| (kp.lo, kp.hi, self.candidates_for(sa, sb)))
+                            .collect();
+                        demand_list.sort_by_key(|d| (d.0, d.1));
+                        let plan = crate::active::plan_probes(
+                            &demand_list,
+                            pred,
+                            self.cfg.active_probes_per_window,
+                        );
+                        if !plan.is_empty() {
+                            let mut probe_rng = StdRng::seed_from_u64(seed::derive_indexed(
+                                self.cfg.seed,
+                                "active-probes",
+                                window.index,
+                            ));
+                            for probe in plan {
+                                let kp = KeyPair::new(probe.a, probe.b);
+                                let Some(&(sa, sb)) = demands.get(&kp) else {
+                                    continue;
+                                };
+                                let m = self.world.perf().sample_option(
+                                    sa,
+                                    sb,
+                                    probe.option,
+                                    window.start(),
+                                    &mut probe_rng,
+                                );
+                                history.record(prev, kp, probe.option, &m);
+                            }
+                            predictor = fit_predictor(&history);
+                            stats.predictor_fits += 1;
+                        }
+                    }
                 }
+                demands.clear();
+
+                if predictor.is_none() {
+                    predictor = Some(Predictor::cold(
+                        prior.clone(),
+                        Self::backbone_fn_from(backbone_table.clone()),
+                        pred_cfg,
+                    ));
+                }
+                // The controller only ever trains on the last window.
+                history.prune_before(window.index.saturating_sub(1));
+                // via-audit: allow(nondeterminism) — stats-only wall-clock.
+                stats.predictor_fit_ms += t_fit.elapsed().as_secs_f64() * 1e3;
             }
 
-            outcomes.push(CallOutcome {
-                call_index: call.id.0,
-                option,
-                metrics,
+            // ---- group the window's calls by decision key ------------------
+            let mut slot_of_pair: HashMap<KeyPair, usize> = HashMap::new();
+            let mut groups: Vec<PairGroup> = Vec::new();
+            let mut slot_of_call: Vec<usize> = Vec::with_capacity(end - start);
+            for (i, call) in records.iter().enumerate().take(end).skip(start) {
+                let ka = self
+                    .cfg
+                    .granularity
+                    .key_of(self.world, call.src_as, call.caller.0);
+                let kb = self
+                    .cfg
+                    .granularity
+                    .key_of(self.world, call.dst_as, call.callee.0);
+                let pair = KeyPair::new(ka, kb);
+                let slot = *slot_of_pair.entry(pair).or_insert_with(|| {
+                    groups.push(PairGroup {
+                        pair,
+                        ka,
+                        kb,
+                        calls: Vec::new(),
+                        state: None,
+                        cached: decision_cache.get(&pair).copied(),
+                    });
+                    groups.len() - 1
+                });
+                groups[slot].calls.push(i as u32);
+                slot_of_call.push(slot);
+            }
+
+            // ---- budget gate pass (sequential, O(1) per call) --------------
+            // The gate is global sequential state, but a call's predicted
+            // benefit is fixed per (pair, window) — it never depends on how
+            // the bandit evolves within the window. So the states are built
+            // in parallel, the gate walks the window in trace order once,
+            // and the per-call verdicts ride into the shards as plain flags.
+            let gated: Option<Vec<bool>> = match kind {
+                StrategyKind::ViaBudgeted { .. } | StrategyKind::ViaBudgetUnaware { .. } => {
+                    predictor.as_ref().map(|pred| {
+                        let built: Vec<Option<PairState>> =
+                            crate::par::par_map(workers, &groups, |_, g| {
+                                g.calls.first().map(|&i| {
+                                    let call = &records[i as usize];
+                                    Self::build_pair_state(
+                                        pred,
+                                        g.ka,
+                                        g.kb,
+                                        self.candidates(call),
+                                        kind,
+                                        objective,
+                                    )
+                                })
+                            });
+                        let mut flags = Vec::with_capacity(end - start);
+                        for &slot in &slot_of_call {
+                            let benefit = built[slot]
+                                .as_ref()
+                                .map_or(0.0, |st| st.direct_mean - st.best_mean);
+                            let gated_direct = match kind {
+                                StrategyKind::ViaBudgeted { .. } => {
+                                    budget_gate.as_mut().is_some_and(|gate| {
+                                        let admitted = gate.admit(benefit);
+                                        gate.validate();
+                                        !admitted
+                                    })
+                                }
+                                _ => {
+                                    // ViaBudgetUnaware: FCFS under a hard cap.
+                                    let budget = match kind {
+                                        StrategyKind::ViaBudgetUnaware { budget } => budget,
+                                        _ => 0.0,
+                                    };
+                                    fcfs_total += 1;
+                                    let frac = fcfs_relayed as f64 / fcfs_total.max(1) as f64;
+                                    if benefit > 0.0 && frac < budget {
+                                        fcfs_relayed += 1;
+                                        false
+                                    } else {
+                                        true
+                                    }
+                                }
+                            };
+                            flags.push(gated_direct);
+                        }
+                        for (g, st) in groups.iter_mut().zip(built) {
+                            g.state = st;
+                        }
+                        flags
+                    })
+                }
+                _ => None,
+            };
+
+            // ---- shard assignment: LPT by per-pair call count --------------
+            let nshards = workers.min(groups.len()).max(1);
+            let mut order: Vec<usize> = (0..groups.len()).collect();
+            order.sort_by_key(|&s| (std::cmp::Reverse(groups[s].calls.len()), groups[s].pair));
+            let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+            let mut loads = vec![0usize; nshards];
+            for slot in order {
+                let dest = (0..nshards).min_by_key(|&i| (loads[i], i)).unwrap_or(0);
+                loads[dest] += groups[slot].calls.len();
+                assignment[dest].push(slot);
+            }
+            let mut group_cells: Vec<Option<PairGroup>> = groups.into_iter().map(Some).collect();
+            let tasks: Vec<Vec<PairGroup>> = assignment
+                .iter()
+                .map(|slots| {
+                    slots
+                        .iter()
+                        .filter_map(|&s| group_cells[s].take())
+                        .collect()
+                })
+                .collect();
+
+            // ---- parallel shard processing ---------------------------------
+            let gated_ref = gated.as_deref();
+            let pred_ref = predictor.as_ref();
+            let shard_results: Vec<ShardResult> = crate::par::par_run(workers, tasks, |task| {
+                self.process_shard(kind, window, pred_ref, gated_ref, start, task)
             });
+
+            // ---- deterministic merge back into trace order -----------------
+            let mut window_out: Vec<Option<CallOutcome>> = vec![None; end - start];
+            for (shard_idx, res) in shard_results.into_iter().enumerate() {
+                stats.shard_calls[shard_idx] += res.outcomes.len() as u64;
+                for (i, co) in res.outcomes {
+                    window_out[i as usize - start] = Some(co);
+                }
+                if kind.uses_history() {
+                    history.merge(res.history);
+                    for (p, ex) in res.demands {
+                        demands.entry(p).or_insert(ex);
+                    }
+                }
+                for (p, entry) in res.cache_updates {
+                    decision_cache.insert(p, entry);
+                }
+                controller_contacts += res.contacts;
+                race_probes += res.race_probes;
+            }
+            let before = outcomes.len();
+            outcomes.extend(window_out.into_iter().flatten());
+            assert_eq!(
+                outcomes.len(),
+                before + (end - start),
+                "every call in the window must yield exactly one outcome"
+            );
+            start = end;
         }
+
+        // via-audit: allow(nondeterminism) — stats-only wall-clock.
+        stats.wall_ms = t_run.elapsed().as_secs_f64() * 1e3;
+        stats.calls_per_sec = if stats.wall_ms > 0.0 {
+            outcomes.len() as f64 / (stats.wall_ms / 1e3)
+        } else {
+            0.0
+        };
 
         Outcome {
             strategy: kind.name(),
@@ -592,7 +701,225 @@ impl<'a> ReplaySim<'a> {
             },
             race_probes,
             calls: outcomes,
+            stats,
         }
+    }
+
+    /// Replays one shard's pair groups for one window. Everything a pair
+    /// touches — its bandit, decision-cache entry, oracle memo, history
+    /// cells — lives on this shard alone, so the per-pair computation is
+    /// identical to a sequential walk of the same calls.
+    fn process_shard(
+        &self,
+        kind: StrategyKind,
+        window: Window,
+        predictor: Option<&Predictor>,
+        gated: Option<&[bool]>,
+        win_start: usize,
+        work: Vec<PairGroup>,
+    ) -> ShardResult {
+        let objective = self.cfg.objective;
+        let track = kind.uses_history();
+        let records = &self.trace.records;
+        let mut out = ShardResult {
+            outcomes: Vec::new(),
+            history: CallHistory::new(),
+            demands: Vec::new(),
+            cache_updates: Vec::new(),
+            contacts: 0,
+            race_probes: 0,
+        };
+
+        for mut g in work {
+            let mut state = g.state.take();
+            let mut cached = g.cached;
+            let mut cache_dirty = false;
+            // One oracle decision per (pair, window) — keyed by the same
+            // granularity KeyPair as every learning strategy. (Keying by raw
+            // AS pair would hand the oracle finer spatial resolution than
+            // the Figure 17a granularity sweep grants the contenders.)
+            let mut oracle_memo: Option<RelayOption> = None;
+            if track {
+                if let Some(&first) = g.calls.first() {
+                    let c = &records[first as usize];
+                    out.demands.push((g.pair, (c.src_as, c.dst_as)));
+                }
+            }
+
+            for &i in &g.calls {
+                let call = &records[i as usize];
+                let option = match kind {
+                    StrategyKind::Default => RelayOption::Direct,
+                    StrategyKind::Oracle => {
+                        *oracle_memo.get_or_insert_with(|| self.oracle_choice(call, window))
+                    }
+                    // `uses_history()` guarantees a predictor for the arms
+                    // below; a defensive `None` (cold controller) falls back
+                    // to the direct path instead of panicking.
+                    StrategyKind::PredictionOnly => match predictor {
+                        None => RelayOption::Direct,
+                        Some(pred) => {
+                            let ka =
+                                self.cfg
+                                    .granularity
+                                    .key_of(self.world, call.src_as, call.caller.0);
+                            let kb =
+                                self.cfg
+                                    .granularity
+                                    .key_of(self.world, call.dst_as, call.callee.0);
+                            let mut best = (f64::INFINITY, RelayOption::Direct);
+                            for opt in self.candidates(call) {
+                                let p = pred.predict(ka, kb, opt);
+                                let v = p.mean(objective);
+                                if v < best.0 {
+                                    best = (v, opt);
+                                }
+                            }
+                            best.1
+                        }
+                    },
+                    StrategyKind::ExplorationOnly => {
+                        let st = state.get_or_insert_with(|| {
+                            let cands = self.candidates(call);
+                            let mut bandit = UcbBandit::new(cands, 1.0);
+                            bandit.normalize = false;
+                            PairState {
+                                bandit,
+                                best_mean: 0.0,
+                                direct_mean: 0.0,
+                            }
+                        });
+                        let mut rng = self.call_rng(call);
+                        if rng.random::<f64>() < 0.1 {
+                            let cands: Vec<RelayOption> = st.bandit.options().collect();
+                            cands[rng.random_range(0..cands.len())]
+                        } else {
+                            st.bandit.choose().unwrap_or(RelayOption::Direct)
+                        }
+                    }
+                    StrategyKind::ViaCached { ttl_hours } => {
+                        // §7: the client reuses a cached controller decision
+                        // until it expires; only cache misses consult the
+                        // selection stack.
+                        match (cached, predictor) {
+                            (Some((opt, expires)), _) if call.t < expires => opt,
+                            (_, None) => RelayOption::Direct,
+                            (_, Some(pred)) => {
+                                out.contacts += 1;
+                                let st = state.get_or_insert_with(|| {
+                                    Self::build_pair_state(
+                                        pred,
+                                        g.ka,
+                                        g.kb,
+                                        self.candidates(call),
+                                        kind,
+                                        objective,
+                                    )
+                                });
+                                let opt = st.bandit.choose().unwrap_or(RelayOption::Direct);
+                                cached = Some((opt, call.t + ttl_hours * 3_600));
+                                cache_dirty = true;
+                                opt
+                            }
+                        }
+                    }
+                    StrategyKind::HybridRacing { k } => match predictor {
+                        None => RelayOption::Direct,
+                        Some(pred) => {
+                            // §7: race the top-k pruned options in parallel at
+                            // call setup and keep the best. The race multiplies
+                            // setup traffic by k; `race_probes` tracks that
+                            // overhead.
+                            let st = state.get_or_insert_with(|| {
+                                Self::build_pair_state(
+                                    pred,
+                                    g.ka,
+                                    g.kb,
+                                    self.candidates(call),
+                                    kind,
+                                    objective,
+                                )
+                            });
+                            let racers: Vec<RelayOption> =
+                                st.bandit.options().take(k.max(1)).collect();
+                            out.race_probes += racers.len() as u64;
+                            // Realize each racer once, then compare (realize is
+                            // deterministic per (call, option), so this is both
+                            // the cheap and the correct form).
+                            racers
+                                .into_iter()
+                                .map(|o| (self.realize(call, o)[objective], o))
+                                .min_by(|a, b| a.0.total_cmp(&b.0))
+                                .map(|(_, o)| o)
+                                .unwrap_or(RelayOption::Direct)
+                        }
+                    },
+                    StrategyKind::Via
+                    | StrategyKind::ViaBudgeted { .. }
+                    | StrategyKind::ViaBudgetUnaware { .. }
+                    | StrategyKind::ViaFixedTopK { .. }
+                    | StrategyKind::ViaRawReward => match predictor {
+                        None => RelayOption::Direct,
+                        Some(pred) => {
+                            let st = state.get_or_insert_with(|| {
+                                Self::build_pair_state(
+                                    pred,
+                                    g.ka,
+                                    g.kb,
+                                    self.candidates(call),
+                                    kind,
+                                    objective,
+                                )
+                            });
+                            // Budget verdicts were computed in the sequential
+                            // gate pass; they arrive as per-call flags.
+                            let gated_direct =
+                                gated.is_some_and(|flags| flags[i as usize - win_start]);
+                            if gated_direct {
+                                RelayOption::Direct
+                            } else {
+                                let mut rng = self.call_rng(call);
+                                if rng.random::<f64>() < self.cfg.epsilon {
+                                    // Stage 4b: general exploration over all
+                                    // options.
+                                    let cands = self.candidates(call);
+                                    cands[rng.random_range(0..cands.len())]
+                                } else {
+                                    // Stage 4a: UCB over the pruned top-k.
+                                    st.bandit.choose().unwrap_or(RelayOption::Direct)
+                                }
+                            }
+                        }
+                    },
+                };
+
+                let metrics = self.realize(call, option);
+
+                if track {
+                    out.history.record(window, g.pair, option, &metrics);
+                    if let Some(st) = state.as_mut() {
+                        st.bandit.update(option, metrics[objective]);
+                        st.bandit.validate();
+                    }
+                }
+
+                out.outcomes.push((
+                    i,
+                    CallOutcome {
+                        call_index: call.id.0,
+                        option,
+                        metrics,
+                    },
+                ));
+            }
+
+            if cache_dirty {
+                if let Some(entry) = cached {
+                    out.cache_updates.push((g.pair, entry));
+                }
+            }
+        }
+        out
     }
 
     /// Stage 3 of Algorithm 1: score candidates, prune to top-k, and build
@@ -716,6 +1043,60 @@ mod tests {
     }
 
     #[test]
+    fn worker_count_does_not_change_results() {
+        // The engine's core guarantee: sharding a window across 2 or 8
+        // workers serializes to the same bytes as the sequential walk — for
+        // stateless, stateful, budgeted, and cached strategies alike.
+        let (world, trace) = setup();
+        let summary = |workers: usize, kind: StrategyKind| {
+            let cfg = ReplayConfig {
+                workers,
+                ..ReplayConfig::default()
+            };
+            let out = ReplaySim::new(&world, &trace, cfg).run(kind);
+            serde_json::to_string(&out).expect("outcome serializes")
+        };
+        for kind in [
+            StrategyKind::Via,
+            StrategyKind::ViaBudgeted { budget: 0.2 },
+            StrategyKind::ViaCached { ttl_hours: 6 },
+            StrategyKind::ExplorationOnly,
+            StrategyKind::Oracle,
+        ] {
+            let sequential = summary(1, kind);
+            for w in [2usize, 8] {
+                assert_eq!(
+                    summary(w, kind),
+                    sequential,
+                    "worker count {w} changed results for {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_engine_counters() {
+        let (world, trace) = setup();
+        let cfg = ReplayConfig {
+            workers: 4,
+            ..ReplayConfig::default()
+        };
+        let out = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Via);
+        let s = &out.stats;
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.shard_calls.len(), 4);
+        assert_eq!(
+            s.shard_calls.iter().sum::<u64>(),
+            trace.len() as u64,
+            "every call must be attributed to exactly one shard"
+        );
+        assert!(s.windows > 0);
+        assert!(s.predictor_fits >= s.windows);
+        assert!(s.shard_utilization() > 0.0 && s.shard_utilization() <= 1.0);
+        assert!(s.summary().contains("4 workers"));
+    }
+
+    #[test]
     fn common_random_numbers_pair_strategies() {
         let (world, trace) = setup();
         let d = ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Default);
@@ -810,6 +1191,35 @@ mod tests {
             };
             let out = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Via);
             assert_eq!(out.calls.len(), trace.len());
+        }
+    }
+
+    #[test]
+    fn oracle_respects_decision_granularity() {
+        // Regression for the Figure 17a comparison: the oracle must make one
+        // decision per granularity key pair per window (like every other
+        // strategy), not one per raw AS pair.
+        let (world, trace) = setup();
+        let cfg = ReplayConfig {
+            granularity: SpatialGranularity::Country,
+            ..ReplayConfig::default()
+        };
+        let out = ReplaySim::new(&world, &trace, cfg.clone()).run(StrategyKind::Oracle);
+        // Group outcomes by (country pair, window): each group must use one
+        // single option.
+        let mut seen: HashMap<(KeyPair, u64), RelayOption> = HashMap::new();
+        for c in &out.calls {
+            let r = &trace.records[c.call_index as usize];
+            let ka = cfg.granularity.key_of(&world, r.src_as, r.caller.0);
+            let kb = cfg.granularity.key_of(&world, r.dst_as, r.callee.0);
+            let w = cfg.window.window_of(r.t);
+            let prev = seen
+                .entry((KeyPair::new(ka, kb), w.index))
+                .or_insert(c.option);
+            assert_eq!(
+                *prev, c.option,
+                "oracle made multiple decisions for one key pair in one window"
+            );
         }
     }
 

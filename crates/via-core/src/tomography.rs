@@ -107,6 +107,11 @@ pub struct TomographyConfig {
     /// Relative SEM floor applied to solved segments (prevents overconfident
     /// stitching off few observations).
     pub min_rel_sem: f64,
+    /// Worker threads for the per-cell linearization pass (`0` = one per
+    /// core, `1` = sequential). The Gauss–Seidel sweeps themselves stay
+    /// sequential — their result depends on update order, which determinism
+    /// pins down.
+    pub workers: usize,
 }
 
 impl Default for TomographyConfig {
@@ -114,6 +119,7 @@ impl Default for TomographyConfig {
         Self {
             iterations: 25,
             min_rel_sem: 0.05,
+            workers: 1,
         }
     }
 }
@@ -152,15 +158,28 @@ impl Tomography {
         // counts; determinism requires a stable order).
         let mut cells: Vec<_> = history.window_cells(window).collect();
         cells.sort_by_key(|(k, _)| **k);
-        for ((pair, option), stats) in cells.into_iter().map(|(k, s)| (*k, s)) {
-            let n = stats.count();
-            if n == 0 {
-                continue;
-            }
+        // Per-cell linearization is pure math over independent cells: fan it
+        // out across the worker pool. Interning and observation assembly
+        // stay sequential so unknown indices are stable.
+        let lin_workers = if cells.len() < 256 {
+            1
+        } else {
+            crate::par::resolve_workers(cfg.workers)
+        };
+        let ys: Vec<[f64; 3]> = crate::par::par_map(lin_workers, &cells, |_, (_, stats)| {
             let mut y = [0.0f64; 3];
             for (m_idx, &metric) in Metric::ALL.iter().enumerate() {
                 let mean = stats.metric(metric).mean().unwrap_or(0.0);
                 y[m_idx] = linearize(metric, mean);
+            }
+            y
+        });
+        for (((pair, option), stats), y) in
+            cells.into_iter().map(|(k, s)| (*k, s)).zip(ys)
+        {
+            let n = stats.count();
+            if n == 0 {
+                continue;
             }
             match option.canonical() {
                 RelayOption::Direct => {}

@@ -7,7 +7,9 @@
 //! same rows the paper reports.
 //!
 //! Binaries accept an optional `--scale tiny|small|paper` argument (default
-//! `small` — minutes, not hours, on a laptop) and an optional `--seed N`.
+//! `small` — minutes, not hours, on a laptop), an optional `--seed N`, and
+//! an optional `--workers N` (replay worker threads; 0 = one per core;
+//! results are identical for any value).
 
 // Experiment-driver code: a failure to create the output directory or write
 // a result file should abort the run with the OS error — there is no caller
@@ -72,13 +74,17 @@ pub struct Args {
     pub scale: Scale,
     /// Experiment seed.
     pub seed: u64,
+    /// Replay worker threads (0 = one per core). Only affects wall-clock:
+    /// replay results are byte-identical for any value.
+    pub workers: usize,
 }
 
 impl Args {
-    /// Parses `--scale` and `--seed` from `std::env::args`.
+    /// Parses `--scale`, `--seed`, and `--workers` from `std::env::args`.
     pub fn parse() -> Args {
         let mut scale = Scale::Small;
         let mut seed = 2016; // SIGCOMM 2016
+        let mut workers = 0;
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < argv.len() {
@@ -97,10 +103,23 @@ impl Args {
                         .unwrap_or_else(|| panic!("--seed expects an integer"));
                     i += 2;
                 }
-                other => panic!("unknown argument {other}; use --scale tiny|small|paper, --seed N"),
+                "--workers" => {
+                    workers = argv
+                        .get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--workers expects an integer"));
+                    i += 2;
+                }
+                other => panic!(
+                    "unknown argument {other}; use --scale tiny|small|paper, --seed N, --workers N"
+                ),
             }
         }
-        Args { scale, seed }
+        Args {
+            scale,
+            seed,
+            workers,
+        }
     }
 }
 
@@ -112,6 +131,8 @@ pub struct Env {
     pub trace: Trace,
     /// The seed everything derives from.
     pub seed: u64,
+    /// Replay worker threads (0 = one per core).
+    pub workers: usize,
 }
 
 /// Builds the standard environment for an experiment.
@@ -122,6 +143,7 @@ pub fn build_env(args: Args) -> Env {
         world,
         trace,
         seed: args.seed,
+        workers: args.workers,
     }
 }
 
@@ -131,6 +153,7 @@ impl Env {
         let cfg = ReplayConfig {
             objective,
             seed: self.seed,
+            workers: self.workers,
             ..ReplayConfig::default()
         };
         ReplaySim::new(&self.world, &self.trace, cfg).run(kind)
@@ -269,6 +292,7 @@ mod tests {
         let env = build_env(Args {
             scale: Scale::Tiny,
             seed: 1,
+            workers: 2,
         });
         assert!(!env.trace.is_empty());
         assert!(env.trace.is_chronological());
