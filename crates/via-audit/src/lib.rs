@@ -11,6 +11,7 @@
 //! | `nondeterminism` | simulation crates, all code | deny |
 //! | `panic` | simulation crates, non-test lib code | deny (`unwrap`/`expect`), warn (indexing) |
 //! | `nan-cmp` | every crate | deny |
+//! | `lock-contention` | hot-path crates (`via-netsim`, `via-core`) | deny |
 //!
 //! Sources are sanitized (comments and strings blanked, line numbers kept)
 //! before matching, so the lints see only code. Sites with a justified
@@ -46,6 +47,11 @@ pub const SIM_CRATES: &[&str] = &[
 /// * `via-audit` — this tool.
 pub const EXEMPT_CRATES: &[&str] = &["via-testbed", "via-experiments", "via-bench", "via-audit"];
 
+/// Crates on the parallel-replay hot path, where a whole-map `Mutex` is a
+/// scaling regression (`lock-contention` lint): the world model every shard
+/// reads and the decision loop itself.
+pub const HOT_PATH_CRATES: &[&str] = &["via-netsim", "via-core"];
+
 /// Audits one file's source text.
 pub fn audit_source(display_path: &str, src: &str, kind: FileKind) -> Vec<Finding> {
     let sanitized = sanitize::sanitize(src);
@@ -56,6 +62,9 @@ pub fn audit_source(display_path: &str, src: &str, kind: FileKind) -> Vec<Findin
         if kind.lib_code {
             lints::lint_panic(display_path, &sanitized, &mask, &mut findings);
         }
+    }
+    if kind.hot_path {
+        lints::lint_contention(display_path, &sanitized, &mut findings);
     }
     lints::lint_nan(display_path, &sanitized, &mut findings);
     findings
@@ -109,6 +118,7 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             continue;
         };
         let sim_crate = SIM_CRATES.contains(&crate_name);
+        let hot_path = HOT_PATH_CRATES.contains(&crate_name);
         let mut files = Vec::new();
         // `src` plus bench targets: benches are exempt from the lib-only
         // lints (unwrap, panic) via `is_non_lib`, but nondeterminism sources
@@ -131,6 +141,7 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
                 .to_string();
             let kind = FileKind {
                 sim_crate,
+                hot_path,
                 lib_code: !is_non_lib(&file),
             };
             findings.extend(audit_source(&display, &src, kind));
@@ -150,14 +161,18 @@ mod tests {
         for c in SIM_CRATES {
             assert!(!EXEMPT_CRATES.contains(c));
         }
+        for c in HOT_PATH_CRATES {
+            assert!(SIM_CRATES.contains(c), "hot-path crates are sim crates");
+        }
     }
 
     #[test]
     fn audit_source_combines_all_lints() {
-        let src = "fn f(x: Option<f64>, ys: &mut [f64]) {\n    let mut rng = rand::thread_rng();\n    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    x.unwrap();\n}\n";
+        let src = "struct C { m: Mutex<HashMap<u32, u32>> }\nfn f(x: Option<f64>, ys: &mut [f64]) {\n    let mut rng = rand::thread_rng();\n    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    x.unwrap();\n}\n";
         let kind = FileKind {
             sim_crate: true,
             lib_code: true,
+            hot_path: true,
         };
         let f = audit_source("x.rs", src, kind);
         let denies: Vec<&str> = f
@@ -168,6 +183,7 @@ mod tests {
         assert!(denies.contains(&lints::LINT_NONDET));
         assert!(denies.contains(&lints::LINT_NAN));
         assert!(denies.contains(&lints::LINT_PANIC));
+        assert!(denies.contains(&lints::LINT_CONTENTION));
     }
 
     #[test]
@@ -176,6 +192,7 @@ mod tests {
         let kind = FileKind {
             sim_crate: false,
             lib_code: true,
+            hot_path: false,
         };
         assert!(audit_source("x.rs", src, kind).is_empty());
     }

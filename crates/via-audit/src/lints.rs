@@ -1,4 +1,4 @@
-//! The three lint passes.
+//! The lint passes.
 //!
 //! * `nondeterminism` — forbids entropy and wall-clock sources
 //!   (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`) and
@@ -10,6 +10,11 @@
 //!   indexing.
 //! * `nan-cmp` — flags `partial_cmp(..).unwrap()`-style float comparisons
 //!   anywhere in the workspace, suggesting `f64::total_cmp`.
+//! * `lock-contention` — forbids `Mutex<HashMap<..>>` / `Mutex<BTreeMap<..>>`
+//!   in the hot-path crates (`via-netsim`, `via-core`): a single map-wide
+//!   mutex serializes every reader and flattens parallel-replay scaling (the
+//!   exact regression PR 3 removed from `PerfModel`). Use sharded `RwLock`
+//!   tables, dense `OnceLock` slots, or per-worker state instead.
 //!
 //! Any lint can be suppressed at a site with a justification comment:
 //! `// via-audit: allow(lint-name)` on the same or the preceding line.
@@ -25,6 +30,8 @@ pub const LINT_NONDET: &str = "nondeterminism";
 pub const LINT_PANIC: &str = "panic";
 /// NaN-safe comparison lint name.
 pub const LINT_NAN: &str = "nan-cmp";
+/// Map-wide mutex lint name.
+pub const LINT_CONTENTION: &str = "lock-contention";
 
 /// Finding severity: denies fail the audit, warnings are informational.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +78,9 @@ pub struct FileKind {
     pub sim_crate: bool,
     /// Shipping library code (not a bin target, bench, or example).
     pub lib_code: bool,
+    /// The crate is on the replay hot path (`via-netsim`, `via-core`), where
+    /// shared-lock contention patterns are denied.
+    pub hot_path: bool,
 }
 
 /// Trailing identifier of `text` (e.g. `"let mut seg_demand"` → `seg_demand`).
@@ -274,6 +284,38 @@ pub fn lint_panic(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<F
     }
 }
 
+/// Map types that, wrapped in a whole-map `Mutex`, serialize every reader.
+const CONTENDED_MAPS: &[&str] = &["Mutex<HashMap", "Mutex<BTreeMap"];
+
+/// Runs the lock-contention lint over one sanitized file (hot-path crates
+/// only): a `Mutex` around a whole `HashMap`/`BTreeMap` funnels every
+/// parallel-replay reader through one lock.
+pub fn lint_contention(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
+    for (idx, line) in s.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if s.is_allowed(lineno, LINT_CONTENTION) {
+            continue;
+        }
+        // Strip whitespace so `Mutex< HashMap` and split generics match too.
+        let packed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        for pat in CONTENDED_MAPS {
+            if packed.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    lint: LINT_CONTENTION,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{pat}<..>>` serializes all readers on one lock and destroys \
+                         parallel-replay scaling; use a sharded `RwLock` table, dense \
+                         `OnceLock` slots, or per-worker state"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Runs the NaN-safety lint over one sanitized file.
 pub fn lint_nan(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
     for (idx, line) in s.lines.iter().enumerate() {
@@ -319,6 +361,9 @@ mod tests {
                 lint_panic("test.rs", &s, &mask, &mut f);
             }
         }
+        if kind.hot_path {
+            lint_contention("test.rs", &s, &mut f);
+        }
         lint_nan("test.rs", &s, &mut f);
         f
     }
@@ -326,6 +371,7 @@ mod tests {
     const SIM_LIB: FileKind = FileKind {
         sim_crate: true,
         lib_code: true,
+        hot_path: true,
     };
 
     fn denies(f: &[Finding]) -> usize {
@@ -391,6 +437,7 @@ mod tests {
             FileKind {
                 sim_crate: false,
                 lib_code: false,
+                hot_path: false,
             },
         );
         assert_eq!(denies(&f), 1);
@@ -406,10 +453,47 @@ mod tests {
                 src,
                 FileKind {
                     sim_crate: false,
-                    lib_code: false
+                    lib_code: false,
+                    hot_path: false,
                 }
             )),
             0
+        );
+    }
+
+    #[test]
+    fn mutexed_map_is_denied_on_the_hot_path() {
+        for src in [
+            "struct S { cache: Mutex<HashMap<Segment, SegState>> }\n",
+            "type T = Mutex<BTreeMap<u32, f64>>;\n",
+            "let c: Mutex< HashMap<u32, u32> > = Mutex::default();\n",
+        ] {
+            let f = run_all(src, SIM_LIB);
+            assert_eq!(denies(&f), 1, "{src:?} → {f:?}");
+            assert_eq!(f[0].lint, LINT_CONTENTION);
+        }
+    }
+
+    #[test]
+    fn mutexed_map_is_allowed_off_the_hot_path_or_with_suppression() {
+        let src = "struct S { cache: Mutex<HashMap<u32, u32>> }\n";
+        let cold = FileKind {
+            sim_crate: true,
+            lib_code: true,
+            hot_path: false,
+        };
+        assert_eq!(denies(&run_all(src, cold)), 0);
+        let suppressed = "// cold config table, touched once. via-audit: allow(lock-contention)\nstruct S { cache: Mutex<HashMap<u32, u32>> }\n";
+        assert_eq!(denies(&run_all(suppressed, SIM_LIB)), 0);
+    }
+
+    #[test]
+    fn sharded_rwlock_and_plain_maps_are_fine() {
+        let src = "struct S { sparse: Vec<RwLock<HashMap<u32, u32>>>, plain: HashMap<u32, u32>, m: Mutex<Vec<u32>> }\n";
+        let f = run_all(src, SIM_LIB);
+        assert!(
+            f.iter().all(|x| x.lint != LINT_CONTENTION),
+            "false positive: {f:?}"
         );
     }
 }

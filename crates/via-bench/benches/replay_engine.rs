@@ -14,6 +14,8 @@
 #![allow(clippy::semicolon_if_nothing_returned)]
 
 use criterion::Criterion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use serde::Serialize;
 use std::hint::black_box;
 use std::path::Path;
@@ -37,6 +39,8 @@ struct RunRecord {
     strategy: String,
     workers_requested: usize,
     workers_resolved: usize,
+    warm: bool,
+    warmed_segments: u64,
     calls: usize,
     wall_ms: f64,
     calls_per_sec: f64,
@@ -51,10 +55,23 @@ struct RunRecord {
 #[derive(Debug, Serialize)]
 struct Sweep {
     scale: String,
+    warm: bool,
     workers: Vec<usize>,
+    workers_resolved: Vec<usize>,
     wall_ms: Vec<f64>,
     speedup_vs_sequential: Vec<f64>,
+    /// Speedup divided by the resolved worker count: 1.0 = perfectly linear
+    /// scaling, the regression-gated figure of merit for the engine.
+    scaling_efficiency: Vec<f64>,
     results_identical: bool,
+}
+
+/// `sample_option` hot-path microbenchmark: the per-call world-model cost
+/// every strategy pays (segment lookups + noise draws, no allocation).
+#[derive(Debug, Serialize)]
+struct SampleRecord {
+    options_sampled: usize,
+    ns_per_sample: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -68,10 +85,33 @@ struct FitRecord {
 struct Report {
     bench: String,
     quick: bool,
+    /// Online CPUs on the host (from `/proc/cpuinfo`): the hardware the
+    /// scaling targets are judged against.
     host_cores: usize,
+    /// Parallelism actually usable by this process (affinity / cgroup
+    /// masks applied) — what `workers: 0` resolves against.
+    usable_parallelism: usize,
     runs: Vec<RunRecord>,
     sweeps: Vec<Sweep>,
     predictor_fit: FitRecord,
+    sample_option: SampleRecord,
+}
+
+/// Online CPU count of the host. `available_parallelism()` alone respects
+/// affinity and cgroup masks and so under-reports the machine (it returned 1
+/// in pinned CI containers — the `host_cores` reporting bug this fixes);
+/// counting `processor` entries in `/proc/cpuinfo` sees the real host, with
+/// `available_parallelism()` as the floor and non-Linux fallback.
+fn host_cores() -> usize {
+    let online = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .unwrap_or(0);
+    online.max(usable_parallelism())
+}
+
+/// Parallelism usable by this process (affinity-respecting).
+fn usable_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 fn env(world_cfg: &WorldConfig, trace_cfg: TraceConfig, seed: u64) -> (World, Trace) {
@@ -86,10 +126,12 @@ fn timed_run(
     trace: &Trace,
     kind: StrategyKind,
     workers: usize,
+    warm: bool,
     scale: &str,
 ) -> (RunRecord, via_core::Outcome) {
     let cfg = ReplayConfig {
         workers,
+        warm,
         ..ReplayConfig::default()
     };
     let start = Instant::now();
@@ -100,6 +142,8 @@ fn timed_run(
         strategy: kind.name().to_string(),
         workers_requested: workers,
         workers_resolved: outcome.stats.workers,
+        warm,
+        warmed_segments: outcome.stats.warmed_segments,
         calls: outcome.calls.len(),
         wall_ms,
         calls_per_sec: outcome.calls.len() as f64 / (wall_ms / 1e3),
@@ -109,8 +153,9 @@ fn timed_run(
         controller_contacts: outcome.controller_contacts,
     };
     println!(
-        "replay_engine/{scale}/{}/workers={workers:<2} {:>10.1} ms  ({:.0} calls/s)  [{}]",
+        "replay_engine/{scale}/{}{}/workers={workers:<2} {:>10.1} ms  ({:.0} calls/s)  [{}]",
         kind.name(),
+        if warm { "+warm" } else { "" },
         record.wall_ms,
         record.calls_per_sec,
         outcome.stats.summary()
@@ -133,15 +178,18 @@ fn sweep(
     world: &World,
     trace: &Trace,
     scale: &str,
+    warm: bool,
     worker_counts: &[usize],
     runs: &mut Vec<RunRecord>,
 ) -> Sweep {
     let mut wall_ms = Vec::new();
+    let mut resolved = Vec::new();
     let mut baseline: Option<via_core::Outcome> = None;
     let mut identical = true;
     for &w in worker_counts {
-        let (record, outcome) = timed_run(world, trace, StrategyKind::Via, w, scale);
+        let (record, outcome) = timed_run(world, trace, StrategyKind::Via, w, warm, scale);
         wall_ms.push(record.wall_ms);
+        resolved.push(record.workers_resolved);
         runs.push(record);
         match &baseline {
             None => baseline = Some(outcome),
@@ -149,13 +197,72 @@ fn sweep(
         }
     }
     let sequential = wall_ms[0];
+    let speedups: Vec<f64> = wall_ms.iter().map(|&t| sequential / t).collect();
     Sweep {
         scale: scale.to_string(),
+        warm,
         workers: worker_counts.to_vec(),
-        wall_ms: wall_ms.clone(),
-        speedup_vs_sequential: wall_ms.iter().map(|&t| sequential / t).collect(),
+        workers_resolved: resolved.clone(),
+        wall_ms,
+        scaling_efficiency: speedups
+            .iter()
+            .zip(&resolved)
+            .map(|(&s, &w)| s / w.max(1) as f64)
+            .collect(),
+        speedup_vs_sequential: speedups,
         results_identical: identical,
     }
+}
+
+/// Times the zero-allocation `sample_option` hot path: candidate options of
+/// a trace-like pair set, segments prewarmed, CRN-style per-sample RNG.
+fn bench_sample_option(c: &mut Criterion, world: &World) -> SampleRecord {
+    let t = via_model::time::SimTime::from_days(3);
+    // A representative option set: every candidate of a band of AS pairs.
+    let n_ases = world.ases.len();
+    let mut work: Vec<(via_model::ids::AsId, via_model::ids::AsId, RelayOption)> = Vec::new();
+    for i in 0..n_ases.min(12) {
+        let src = world.ases[i].id;
+        let dst = world.ases[(i + n_ases / 2) % n_ases].id;
+        for opt in world.candidate_options(src, dst) {
+            work.push((src, dst, opt));
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(42);
+    // Warm every touched segment first so the measurement isolates the
+    // steady-state read path, not first-touch latent generation.
+    for &(src, dst, opt) in &work {
+        black_box(world.perf().sample_option(src, dst, opt, t, &mut rng));
+    }
+
+    let mut g = c.benchmark_group("replay_engine");
+    g.bench_function("sample_option", |b| {
+        b.iter(|| {
+            for &(src, dst, opt) in &work {
+                black_box(world.perf().sample_option(src, dst, opt, t, &mut rng));
+            }
+        })
+    });
+    g.finish();
+
+    let reps = 200usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        for &(src, dst, opt) in &work {
+            black_box(world.perf().sample_option(src, dst, opt, t, &mut rng));
+        }
+    }
+    let total = start.elapsed().as_secs_f64();
+    let samples = reps * work.len();
+    let record = SampleRecord {
+        options_sampled: work.len(),
+        ns_per_sample: total * 1e9 / samples.max(1) as f64,
+    };
+    println!(
+        "replay_engine/sample_option: {:.0} ns/sample over {} options",
+        record.ns_per_sample, record.options_sampled
+    );
+    record
 }
 
 /// Predictor-fit latency on a synthetic dense window, sequential vs all
@@ -221,20 +328,38 @@ fn bench_predictor_fit(c: &mut Criterion) -> FitRecord {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let mut criterion = Criterion::default();
     let mut runs = Vec::new();
     let mut sweeps = Vec::new();
 
-    // Throughput + worker sweep. Quick mode (CI smoke) stays at tiny scale;
-    // the full suite adds small and paper scale, the acceptance target.
+    // Throughput + worker sweep, cold path and warmed cache. Quick mode (CI
+    // smoke) stays at tiny scale; the full suite adds small and paper scale,
+    // the acceptance target.
     let (world, trace) = env(&WorldConfig::tiny(), TraceConfig::tiny(), 7);
-    sweeps.push(sweep(&world, &trace, "tiny", &[1, 2, 8], &mut runs));
+    sweeps.push(sweep(&world, &trace, "tiny", false, &[1, 2, 8], &mut runs));
+    sweeps.push(sweep(&world, &trace, "tiny", true, &[1, 2, 8], &mut runs));
+    let sample_option = bench_sample_option(&mut criterion, &world);
     if !quick {
         let (world, trace) = env(&WorldConfig::small(), TraceConfig::small(), 7);
-        sweeps.push(sweep(&world, &trace, "small", &[1, 2, 8, 0], &mut runs));
+        sweeps.push(sweep(
+            &world,
+            &trace,
+            "small",
+            false,
+            &[1, 2, 8, 0],
+            &mut runs,
+        ));
+        sweeps.push(sweep(
+            &world,
+            &trace,
+            "small",
+            true,
+            &[1, 2, 8, 0],
+            &mut runs,
+        ));
         let (world, trace) = env(&WorldConfig::paper_scale(), TraceConfig::paper_scale(), 7);
-        sweeps.push(sweep(&world, &trace, "paper", &[1, 8], &mut runs));
+        sweeps.push(sweep(&world, &trace, "paper", false, &[1, 8], &mut runs));
+        sweeps.push(sweep(&world, &trace, "paper", true, &[1, 8], &mut runs));
     }
 
     let predictor_fit = bench_predictor_fit(&mut criterion);
@@ -247,13 +372,35 @@ fn main() {
         );
     }
 
+    // CI smoke regression gate: multi-worker replay must not be slower than
+    // sequential beyond noise. On a multi-core host the sharded engine is
+    // expected to win outright; when the process is pinned to one core
+    // (usable_parallelism == 1) genuine speedup is impossible, so the gate
+    // only bounds the coordination overhead. Tiny-scale walls are a few ms,
+    // so tolerances are generous against timer jitter.
+    let tolerance = if usable_parallelism() > 1 { 1.30 } else { 2.00 };
+    for s in sweeps.iter().filter(|s| s.scale == "tiny") {
+        let sequential = s.wall_ms[0];
+        let best_multi = s.wall_ms[1..].iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            best_multi <= sequential * tolerance,
+            "tiny-scale {} sweep: best multi-worker wall {best_multi:.1} ms \
+             vs sequential {sequential:.1} ms exceeds {tolerance}x tolerance \
+             (usable_parallelism={})",
+            if s.warm { "warm" } else { "cold" },
+            usable_parallelism(),
+        );
+    }
+
     let report = Report {
         bench: "replay_engine".to_string(),
         quick,
-        host_cores,
+        host_cores: host_cores(),
+        usable_parallelism: usable_parallelism(),
         runs,
         sweeps,
         predictor_fit,
+        sample_option,
     };
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

@@ -1,7 +1,8 @@
 //! Minimal flag parser for the CLI (no external dependencies).
 //!
-//! Supports `--key value` flags and positional arguments, with typed
-//! accessors and helpful error messages.
+//! Supports `--key value` flags, bare `--switch` flags (stored as `true`),
+//! and positional arguments, with typed accessors and helpful error
+//! messages.
 
 use std::collections::HashMap;
 
@@ -15,8 +16,6 @@ pub struct Flags {
 /// Flag-parsing errors.
 #[derive(Debug, PartialEq, Eq)]
 pub enum FlagError {
-    /// A `--flag` appeared with no following value.
-    MissingValue(String),
     /// A value failed to parse as its expected type.
     BadValue {
         /// The flag name.
@@ -33,7 +32,6 @@ pub enum FlagError {
 impl std::fmt::Display for FlagError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FlagError::MissingValue(flag) => write!(f, "--{flag} expects a value"),
             FlagError::BadValue {
                 flag,
                 expected,
@@ -48,17 +46,24 @@ impl std::error::Error for FlagError {}
 
 impl Flags {
     /// Parses an argument list (excluding the program and subcommand names).
+    /// A `--flag` followed by another flag (or the end of the list) is a
+    /// bare switch and stores the value `true`; typed accessors on a
+    /// value-expecting flag used as a switch report the mismatch.
     pub fn parse(args: &[String]) -> Result<Flags, FlagError> {
         let mut flags = Flags::default();
         let mut i = 0;
         while i < args.len() {
             if let Some(name) = args[i].strip_prefix("--") {
-                let value = args
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .ok_or_else(|| FlagError::MissingValue(name.to_string()))?;
-                flags.values.insert(name.to_string(), value.clone());
-                i += 2;
+                match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(value) => {
+                        flags.values.insert(name.to_string(), value.clone());
+                        i += 2;
+                    }
+                    None => {
+                        flags.values.insert(name.to_string(), "true".to_string());
+                        i += 1;
+                    }
+                }
             } else {
                 flags.positionals.push(args[i].clone());
                 i += 1;
@@ -96,6 +101,19 @@ impl Flags {
         }
     }
 
+    /// Boolean flag with a default: accepts a bare `--switch` (true) or an
+    /// explicit `--switch true|false`.
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool, FlagError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| FlagError::BadValue {
+                flag: key.to_string(),
+                expected: "true or false (or no value)",
+                got: v.clone(),
+            }),
+        }
+    }
+
     /// First positional argument, required.
     pub fn positional(&self, what: &'static str) -> Result<&str, FlagError> {
         self.positionals
@@ -123,11 +141,26 @@ mod tests {
     }
 
     #[test]
-    fn missing_value_is_an_error() {
-        let err = Flags::parse(&argv(&["--seed"])).unwrap_err();
-        assert_eq!(err, FlagError::MissingValue("seed".into()));
-        let err2 = Flags::parse(&argv(&["--seed", "--scale", "x"])).unwrap_err();
-        assert_eq!(err2, FlagError::MissingValue("seed".into()));
+    fn bare_switches_parse_as_true() {
+        let f = Flags::parse(&argv(&["--warm", "--seed", "7"])).unwrap();
+        assert!(f.bool_or("warm", false).unwrap());
+        assert!(!f.bool_or("absent", false).unwrap());
+        assert_eq!(f.u64_or("seed", 0).unwrap(), 7);
+        let g = Flags::parse(&argv(&["--warm", "false"])).unwrap();
+        assert!(!g.bool_or("warm", true).unwrap());
+        assert!(g.bool_or("warm", true).is_ok());
+    }
+
+    #[test]
+    fn value_flag_used_as_switch_reports_type_mismatch() {
+        // `--seed` with no value parses as the switch value `true`; the
+        // typed accessor then reports what the flag expected.
+        let f = Flags::parse(&argv(&["--seed"])).unwrap();
+        let err = f.u64_or("seed", 0).unwrap_err();
+        assert!(matches!(err, FlagError::BadValue { .. }));
+        let g = Flags::parse(&argv(&["--seed", "--scale", "x"])).unwrap();
+        assert!(g.u64_or("seed", 0).is_err());
+        assert_eq!(g.str_or("scale", "tiny"), "x");
     }
 
     #[test]

@@ -24,7 +24,7 @@ via — predictive relay selection for Internet telephony (SIGCOMM 2016 reproduc
 USAGE:
     via gen     [--scale tiny|small|paper] [--seed N] [--out FILE]
     via analyze FILE
-    via replay  [--scale tiny|small|paper] [--seed N] [--workers N]
+    via replay  [--scale tiny|small|paper] [--seed N] [--workers N] [--warm]
                 [--strategy default|oracle|prediction|exploration|via|budgeted|racing]
                 [--objective rtt|loss|jitter] [--budget F]
     via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
@@ -165,6 +165,9 @@ fn cmd_replay(rest: &[String]) -> CliResult {
     // Worker count only affects wall-clock: replay results are byte-identical
     // for any value (0 = one worker per core).
     let workers = usize::try_from(flags.u64_or("workers", 0)?)?;
+    // Prebuild all trace-reachable segment latents before the replay loop;
+    // purely a startup/throughput trade, never a results change.
+    let warm = flags.bool_or("warm", false)?;
     let kind = parse_strategy(flags.str_or("strategy", "via"), budget)?;
     let objective = parse_objective(flags.str_or("objective", "rtt"))?;
 
@@ -173,6 +176,7 @@ fn cmd_replay(rest: &[String]) -> CliResult {
         objective,
         seed,
         workers,
+        warm,
         ..ReplayConfig::default()
     };
     let out = ReplaySim::new(&world, &trace, cfg).run(kind);

@@ -120,6 +120,12 @@ pub struct ReplayConfig {
     /// one worker per available core. Results are byte-identical for any
     /// value — the engine guarantees worker-count invariance.
     pub workers: usize,
+    /// Eagerly materialize every world segment the trace can touch before
+    /// replay starts (parallelized across `workers`). Segment latents are a
+    /// pure function of the world seed, so warming never changes results —
+    /// it only moves first-touch build cost out of the replay loop, so the
+    /// measured window throughput is free of write-lock traffic.
+    pub warm: bool,
     /// Base seed for realization sampling and exploration randomness.
     pub seed: u64,
 }
@@ -136,6 +142,7 @@ impl Default for ReplayConfig {
             active_probes_per_window: 0,
             predictor: PredictorConfig::default(),
             workers: 0,
+            warm: false,
             seed: 0xC0FFEE,
         }
     }
@@ -171,6 +178,9 @@ pub struct ReplayStats {
     pub wall_ms: f64,
     /// Calls replayed per second of wall-clock.
     pub calls_per_sec: f64,
+    /// Segments materialized by the optional pre-replay warm pass (zero when
+    /// [`ReplayConfig::warm`] is off).
+    pub warmed_segments: u64,
     /// Calls processed per worker slot, summed over windows (shard load).
     pub shard_calls: Vec<u64>,
 }
@@ -190,9 +200,14 @@ impl ReplayStats {
 
     /// One-line human-readable summary of the run's counters.
     pub fn summary(&self) -> String {
+        let warm = if self.warmed_segments > 0 {
+            format!(", {} segments pre-warmed", self.warmed_segments)
+        } else {
+            String::new()
+        };
         format!(
             "{} workers, {} windows, {:.0} calls/s, shard utilization {:.2}, \
-             {} predictor fits ({:.1} ms total), wall {:.1} ms",
+             {} predictor fits ({:.1} ms total), wall {:.1} ms{warm}",
             self.workers,
             self.windows,
             self.calls_per_sec,
@@ -322,6 +337,19 @@ struct ShardResult {
     race_probes: u64,
 }
 
+/// Worker-local scratch buffers, one per shard: candidate enumeration and
+/// option staging reuse these across every call the shard carries, so the
+/// steady-state decision loop performs no heap allocation.
+#[derive(Default)]
+struct Scratch {
+    /// Candidate options of the call under consideration.
+    cand: Vec<RelayOption>,
+    /// Ranking buffers for the world's candidate enumeration.
+    topo: via_netsim::CandidateScratch,
+    /// Staging for option subsets (racing set, exploration draw).
+    staged: Vec<RelayOption>,
+}
+
 /// The replay simulator.
 pub struct ReplaySim<'a> {
     world: &'a World,
@@ -341,9 +369,27 @@ impl<'a> ReplaySim<'a> {
     }
 
     /// Candidate options for an AS pair, honoring the relay-fleet
-    /// restriction and the transit toggle.
+    /// restriction and the transit toggle. Allocating form for cold paths
+    /// (budget gate pass, oracle, active probes); the per-call hot path uses
+    /// [`ReplaySim::candidates_into`] with worker-local scratch instead.
     fn candidates_for(&self, src: AsId, dst: AsId) -> Vec<RelayOption> {
-        let mut opts = self.world.candidate_options(src, dst);
+        let mut scratch = Scratch::default();
+        self.candidates_for_into(src, dst, &mut scratch);
+        std::mem::take(&mut scratch.cand)
+    }
+
+    /// Candidate options for a call.
+    fn candidates(&self, call: &CallRecord) -> Vec<RelayOption> {
+        self.candidates_for(call.src_as, call.dst_as)
+    }
+
+    /// Fills `scratch.cand` with the candidate options for an AS pair
+    /// without allocating (beyond the buffers' first growth). Content and
+    /// order are identical to [`ReplaySim::candidates_for`].
+    fn candidates_for_into(&self, src: AsId, dst: AsId, scratch: &mut Scratch) {
+        self.world
+            .candidate_options_into(src, dst, &mut scratch.topo, &mut scratch.cand);
+        let opts = &mut scratch.cand;
         if !self.cfg.allow_transit {
             opts.retain(|o| !o.is_transit());
         }
@@ -353,12 +399,48 @@ impl<'a> ReplaySim<'a> {
                 opts.push(RelayOption::Direct);
             }
         }
-        opts
     }
 
-    /// Candidate options for a call.
-    fn candidates(&self, call: &CallRecord) -> Vec<RelayOption> {
-        self.candidates_for(call.src_as, call.dst_as)
+    /// Fills `scratch.cand` with a call's candidate options.
+    fn candidates_into(&self, call: &CallRecord, scratch: &mut Scratch) {
+        self.candidates_for_into(call.src_as, call.dst_as, scratch);
+    }
+
+    /// The pre-replay warm pass: enumerates every segment reachable from the
+    /// trace (unique AS pairs × their candidate options) and materializes the
+    /// segment latents in parallel, so the replay loop itself never takes a
+    /// first-touch write lock. Returns the number of segments built. Purely
+    /// an initialization-cost move — segment latents are a pure function of
+    /// the world seed, so results are identical with or without warming.
+    fn warm_world(&self, workers: usize) -> u64 {
+        let records = &self.trace.records;
+        let mut seen_pairs = std::collections::HashSet::new();
+        let mut pairs: Vec<(AsId, AsId)> = Vec::new();
+        for r in records {
+            if seen_pairs.insert((r.src_as, r.dst_as)) {
+                pairs.push((r.src_as, r.dst_as));
+            }
+        }
+        let mut seen_segs = std::collections::HashSet::new();
+        let mut segs: Vec<via_netsim::Segment> = Vec::new();
+        let mut scratch = Scratch::default();
+        for &(src, dst) in &pairs {
+            self.candidates_for_into(src, dst, &mut scratch);
+            for &opt in &scratch.cand {
+                let path = self.world.perf().segments_of(src, dst, opt);
+                for &seg in path.segments() {
+                    if seen_segs.insert(seg) {
+                        segs.push(seg);
+                    }
+                }
+            }
+        }
+        let n = segs.len();
+        let chunk = n.div_ceil(workers.max(1)).max(1);
+        let tasks: Vec<Vec<via_netsim::Segment>> = segs.chunks(chunk).map(<[_]>::to_vec).collect();
+        crate::par::par_run(workers, tasks, |chunk| self.world.perf().warm(chunk))
+            .into_iter()
+            .sum()
     }
 
     /// Realizes a call over an option with common random numbers.
@@ -439,6 +521,9 @@ impl<'a> ReplaySim<'a> {
             shard_calls: vec![0; workers],
             ..ReplayStats::default()
         };
+        if self.cfg.warm {
+            stats.warmed_segments = self.warm_world(workers);
+        }
 
         let mut outcomes = Vec::with_capacity(self.trace.len());
         // Built once per run: the controller's static knowledge (geography
@@ -579,7 +664,7 @@ impl<'a> ReplaySim<'a> {
                                         pred,
                                         g.ka,
                                         g.kb,
-                                        self.candidates(call),
+                                        &self.candidates(call),
                                         kind,
                                         objective,
                                     )
@@ -721,6 +806,9 @@ impl<'a> ReplaySim<'a> {
         let objective = self.cfg.objective;
         let track = kind.uses_history();
         let records = &self.trace.records;
+        // Worker-local scratch, reused across every call on this shard.
+        let mut scratch = Scratch::default();
+        let scratch = &mut scratch;
         let mut out = ShardResult {
             outcomes: Vec::new(),
             history: CallHistory::new(),
@@ -739,6 +827,12 @@ impl<'a> ReplaySim<'a> {
             // AS pair would hand the oracle finer spatial resolution than
             // the Figure 17a granularity sweep grants the contenders.)
             let mut oracle_memo: Option<RelayOption> = None;
+            // One prediction resolve per (pair, window): predictions are
+            // constant between refit barriers, so the prediction-only
+            // strategy decides once per decision key from the pair's
+            // exemplar call — the same per-(pair, window) decision model the
+            // oracle memo and the Via bandit arms already use.
+            let mut pred_memo: Option<RelayOption> = None;
             if track {
                 if let Some(&first) = g.calls.first() {
                     let c = &records[first as usize];
@@ -758,30 +852,25 @@ impl<'a> ReplaySim<'a> {
                     // to the direct path instead of panicking.
                     StrategyKind::PredictionOnly => match predictor {
                         None => RelayOption::Direct,
-                        Some(pred) => {
-                            let ka =
-                                self.cfg
-                                    .granularity
-                                    .key_of(self.world, call.src_as, call.caller.0);
-                            let kb =
-                                self.cfg
-                                    .granularity
-                                    .key_of(self.world, call.dst_as, call.callee.0);
+                        Some(pred) => *pred_memo.get_or_insert_with(|| {
+                            self.candidates_into(call, scratch);
                             let mut best = (f64::INFINITY, RelayOption::Direct);
-                            for opt in self.candidates(call) {
-                                let p = pred.predict(ka, kb, opt);
+                            for &opt in &scratch.cand {
+                                let p = pred.predict(g.ka, g.kb, opt);
                                 let v = p.mean(objective);
                                 if v < best.0 {
                                     best = (v, opt);
                                 }
                             }
                             best.1
-                        }
+                        }),
                     },
                     StrategyKind::ExplorationOnly => {
+                        if state.is_none() {
+                            self.candidates_into(call, scratch);
+                        }
                         let st = state.get_or_insert_with(|| {
-                            let cands = self.candidates(call);
-                            let mut bandit = UcbBandit::new(cands, 1.0);
+                            let mut bandit = UcbBandit::new(scratch.cand.clone(), 1.0);
                             bandit.normalize = false;
                             PairState {
                                 bandit,
@@ -791,8 +880,9 @@ impl<'a> ReplaySim<'a> {
                         });
                         let mut rng = self.call_rng(call);
                         if rng.random::<f64>() < 0.1 {
-                            let cands: Vec<RelayOption> = st.bandit.options().collect();
-                            cands[rng.random_range(0..cands.len())]
+                            scratch.staged.clear();
+                            scratch.staged.extend(st.bandit.options());
+                            scratch.staged[rng.random_range(0..scratch.staged.len())]
                         } else {
                             st.bandit.choose().unwrap_or(RelayOption::Direct)
                         }
@@ -806,12 +896,15 @@ impl<'a> ReplaySim<'a> {
                             (_, None) => RelayOption::Direct,
                             (_, Some(pred)) => {
                                 out.contacts += 1;
+                                if state.is_none() {
+                                    self.candidates_into(call, scratch);
+                                }
                                 let st = state.get_or_insert_with(|| {
                                     Self::build_pair_state(
                                         pred,
                                         g.ka,
                                         g.kb,
-                                        self.candidates(call),
+                                        &scratch.cand,
                                         kind,
                                         objective,
                                     )
@@ -830,25 +923,29 @@ impl<'a> ReplaySim<'a> {
                             // call setup and keep the best. The race multiplies
                             // setup traffic by k; `race_probes` tracks that
                             // overhead.
+                            if state.is_none() {
+                                self.candidates_into(call, scratch);
+                            }
                             let st = state.get_or_insert_with(|| {
                                 Self::build_pair_state(
                                     pred,
                                     g.ka,
                                     g.kb,
-                                    self.candidates(call),
+                                    &scratch.cand,
                                     kind,
                                     objective,
                                 )
                             });
-                            let racers: Vec<RelayOption> =
-                                st.bandit.options().take(k.max(1)).collect();
-                            out.race_probes += racers.len() as u64;
+                            scratch.staged.clear();
+                            scratch.staged.extend(st.bandit.options().take(k.max(1)));
+                            out.race_probes += scratch.staged.len() as u64;
                             // Realize each racer once, then compare (realize is
                             // deterministic per (call, option), so this is both
                             // the cheap and the correct form).
-                            racers
-                                .into_iter()
-                                .map(|o| (self.realize(call, o)[objective], o))
+                            scratch
+                                .staged
+                                .iter()
+                                .map(|&o| (self.realize(call, o)[objective], o))
                                 .min_by(|a, b| a.0.total_cmp(&b.0))
                                 .map(|(_, o)| o)
                                 .unwrap_or(RelayOption::Direct)
@@ -861,12 +958,15 @@ impl<'a> ReplaySim<'a> {
                     | StrategyKind::ViaRawReward => match predictor {
                         None => RelayOption::Direct,
                         Some(pred) => {
+                            if state.is_none() {
+                                self.candidates_into(call, scratch);
+                            }
                             let st = state.get_or_insert_with(|| {
                                 Self::build_pair_state(
                                     pred,
                                     g.ka,
                                     g.kb,
-                                    self.candidates(call),
+                                    &scratch.cand,
                                     kind,
                                     objective,
                                 )
@@ -882,8 +982,8 @@ impl<'a> ReplaySim<'a> {
                                 if rng.random::<f64>() < self.cfg.epsilon {
                                     // Stage 4b: general exploration over all
                                     // options.
-                                    let cands = self.candidates(call);
-                                    cands[rng.random_range(0..cands.len())]
+                                    self.candidates_into(call, scratch);
+                                    scratch.cand[rng.random_range(0..scratch.cand.len())]
                                 } else {
                                     // Stage 4a: UCB over the pruned top-k.
                                     st.bandit.choose().unwrap_or(RelayOption::Direct)
@@ -928,7 +1028,7 @@ impl<'a> ReplaySim<'a> {
         pred: &Predictor,
         ka: u32,
         kb: u32,
-        candidates: Vec<RelayOption>,
+        candidates: &[RelayOption],
         kind: StrategyKind,
         objective: Metric,
     ) -> PairState {
@@ -1046,11 +1146,14 @@ mod tests {
     fn worker_count_does_not_change_results() {
         // The engine's core guarantee: sharding a window across 2 or 8
         // workers serializes to the same bytes as the sequential walk — for
-        // stateless, stateful, budgeted, and cached strategies alike.
+        // stateless, stateful, budgeted, and cached strategies alike, and
+        // whether segment states are built lazily under contention (cold) or
+        // prematerialized by the warm pass.
         let (world, trace) = setup();
-        let summary = |workers: usize, kind: StrategyKind| {
+        let summary = |workers: usize, warm: bool, kind: StrategyKind| {
             let cfg = ReplayConfig {
                 workers,
+                warm,
                 ..ReplayConfig::default()
             };
             let out = ReplaySim::new(&world, &trace, cfg).run(kind);
@@ -1063,15 +1166,53 @@ mod tests {
             StrategyKind::ExplorationOnly,
             StrategyKind::Oracle,
         ] {
-            let sequential = summary(1, kind);
+            let sequential = summary(1, false, kind);
             for w in [2usize, 8] {
                 assert_eq!(
-                    summary(w, kind),
+                    summary(w, false, kind),
                     sequential,
-                    "worker count {w} changed results for {kind:?}"
+                    "worker count {w} changed cold-path results for {kind:?}"
+                );
+            }
+            for w in [1usize, 2, 8] {
+                assert_eq!(
+                    summary(w, true, kind),
+                    sequential,
+                    "warm pass at {w} workers changed results for {kind:?}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn warm_pass_builds_trace_segments_once() {
+        // The warm pass must cover every segment the decision loop touches:
+        // once the controller's static backbone knowledge and the warm pass
+        // are in place, replaying builds nothing new (no first-touch write
+        // locks inside the measured loop).
+        let (world, trace) = setup();
+        // Prebuild the backbone table the controller constructs per run (it
+        // spans all relay pairs, not just trace-reachable ones) so the
+        // remaining build count isolates the window loop.
+        let n = world.relays.len() as u32;
+        for i in 0..n {
+            for j in 0..n {
+                let _ = world.perf().backbone_metrics(RelayId(i), RelayId(j));
+            }
+        }
+        let before = world.perf().segment_builds();
+        let cfg = ReplayConfig {
+            warm: true,
+            workers: 4,
+            ..ReplayConfig::default()
+        };
+        let out = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Via);
+        assert!(out.stats.warmed_segments > 0);
+        assert_eq!(
+            world.perf().segment_builds(),
+            before + out.stats.warmed_segments,
+            "replay built segments the warm pass missed"
+        );
     }
 
     #[test]

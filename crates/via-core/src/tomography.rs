@@ -174,9 +174,7 @@ impl Tomography {
             }
             y
         });
-        for (((pair, option), stats), y) in
-            cells.into_iter().map(|(k, s)| (*k, s)).zip(ys)
-        {
+        for (((pair, option), stats), y) in cells.into_iter().map(|(k, s)| (*k, s)).zip(ys) {
             let n = stats.count();
             if n == 0 {
                 continue;

@@ -45,5 +45,5 @@ pub mod topology;
 pub use config::{PerfKnobs, WorldConfig};
 pub use geo::GeoPoint;
 pub use perf::PerfModel;
-pub use segments::{SegMetrics, Segment, Stability};
-pub use topology::{AsInfo, Country, Relay, World};
+pub use segments::{SegMetrics, Segment, SegmentPath, Stability};
+pub use topology::{AsInfo, CandidateScratch, Country, Relay, World};

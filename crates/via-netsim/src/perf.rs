@@ -20,7 +20,8 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use rand_distr::{Distribution, Gamma, LogNormal};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{OnceLock, PoisonError, RwLock};
 use via_model::ids::{AsId, RelayId};
 use via_model::metrics::PathMetrics;
 use via_model::options::RelayOption;
@@ -29,7 +30,7 @@ use via_model::time::SimTime;
 
 use crate::config::{PerfKnobs, WorldConfig};
 use crate::geo::GeoPoint;
-use crate::segments::{draw_stability, EpisodeSeries, SegMetrics, Segment, Stability};
+use crate::segments::{draw_stability, EpisodeSeries, SegMetrics, Segment, SegmentPath, Stability};
 use crate::topology::{AsInfo, Relay};
 
 /// Static latents plus episode series for one segment.
@@ -51,9 +52,26 @@ struct SegState {
     episodes: EpisodeSeries,
 }
 
-/// Ground-truth performance model. Cheap to query; internally caches the
-/// latents of each touched segment behind a mutex (the model is logically
-/// immutable — the cache is a pure memoization).
+/// Number of shards in the sparse segment table. Power of two so shard
+/// selection is a mask; 64 keeps first-touch write contention negligible
+/// for any realistic worker count.
+const SPARSE_SHARDS: usize = 64;
+
+/// Ground-truth performance model. Cheap to query; the model is logically
+/// immutable — segment latents are memoized on first touch, but the memo is
+/// a pure function of `(config, seed, segment)`.
+///
+/// The read side is built for parallel replay (see DESIGN.md, *Concurrency
+/// and memory layout*): the dense segment families — access (one slot per
+/// AS) and backbone (one slot per relay pair) — live in pre-sized
+/// [`OnceLock`] slot tables indexed directly by id, so a hit is a plain
+/// array load with no lock and no reference-count traffic. The sparse
+/// families (direct-WAN pairs and AS→relay attach legs, quadratic key
+/// spaces of which a trace touches a sliver) live in a [`SPARSE_SHARDS`]-way
+/// sharded `RwLock<HashMap>`; steady-state reads take a shared lock on the
+/// segment's shard only, and a first touch builds the state exactly once
+/// under the shard's write lock. [`PerfModel::warm`] can prebuild every
+/// segment a trace will touch so replay itself never takes a write lock.
 #[derive(Debug)]
 pub struct PerfModel {
     world_seed: u64,
@@ -62,7 +80,16 @@ pub struct PerfModel {
     as_pos: Vec<GeoPoint>,
     as_tier: Vec<u8>,
     relay_pos: Vec<GeoPoint>,
-    cache: Mutex<HashMap<Segment, Arc<SegState>>>,
+    /// Dense access slots, indexed by AS id.
+    access: Box<[OnceLock<SegState>]>,
+    /// Dense backbone slots, indexed by canonical relay pair
+    /// (`lo * n_relays + hi`).
+    backbone: Box<[OnceLock<SegState>]>,
+    /// Sharded sparse table for `DirectWan` / `RelayWan` segments.
+    sparse: Vec<RwLock<HashMap<Segment, SegState>>>,
+    /// Segment states built so far (each touched segment builds exactly
+    /// once; diagnostics and the duplicate-work regression tests).
+    builds: AtomicU64,
 }
 
 impl PerfModel {
@@ -73,6 +100,8 @@ impl PerfModel {
         ases: &[AsInfo],
         relays: &[Relay],
     ) -> Self {
+        let n_ases = ases.len();
+        let n_relays = relays.len();
         Self {
             world_seed,
             knobs: config.perf,
@@ -80,7 +109,10 @@ impl PerfModel {
             as_pos: ases.iter().map(|a| a.pos).collect(),
             as_tier: ases.iter().map(|a| a.tier).collect(),
             relay_pos: relays.iter().map(|r| r.pos).collect(),
-            cache: Mutex::new(HashMap::new()),
+            access: (0..n_ases).map(|_| OnceLock::new()).collect(),
+            backbone: (0..n_relays * n_relays).map(|_| OnceLock::new()).collect(),
+            sparse: (0..SPARSE_SHARDS).map(|_| RwLock::default()).collect(),
+            builds: AtomicU64::new(0),
         }
     }
 
@@ -94,27 +126,66 @@ impl PerfModel {
         self.relay_pos.len()
     }
 
-    fn state(&self, segment: Segment) -> Arc<SegState> {
-        // The cache memoizes pure derived data, so a poisoned lock (a
-        // panicking thread mid-insert) leaves nothing inconsistent: recover.
-        if let Some(s) = self
-            .cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(&segment)
-        {
-            return Arc::clone(s);
+    /// Number of segment states materialized so far. Each touched segment is
+    /// built exactly once — concurrent first touches never duplicate the
+    /// episode-series generation — so after any workload this equals the
+    /// number of distinct segments queried.
+    pub fn segment_builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Shard of a sparse segment: a splitmix of the stable seed code, so the
+    /// spread is uniform and identical across runs.
+    fn sparse_shard(&self, segment: Segment) -> &RwLock<HashMap<Segment, SegState>> {
+        let h = seed::splitmix64(segment.seed_code()) as usize;
+        &self.sparse[h & (SPARSE_SHARDS - 1)]
+    }
+
+    /// Runs `f` against the segment's latent state, materializing it on
+    /// first touch. Dense families resolve to a direct slot load; sparse
+    /// families take a shared read lock on one shard (exclusive only while
+    /// building a first-touch entry).
+    fn with_state<R>(&self, segment: Segment, f: impl FnOnce(&SegState) -> R) -> R {
+        let dense_slot = match segment {
+            Segment::Access(a) => self.access.get(a.index()),
+            Segment::Backbone(r1, r2) => self
+                .backbone
+                .get(r1.index() * self.relay_pos.len() + r2.index()),
+            Segment::DirectWan(..) | Segment::RelayWan(..) => None,
+        };
+        if let Some(slot) = dense_slot {
+            return f(slot.get_or_init(|| self.build_state(segment)));
         }
-        let built = Arc::new(self.build_state(segment));
-        self.cache
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        // Sparse path. Lock poisoning cannot leave the memo inconsistent
+        // (entries are pure derived data, inserted whole): recover.
+        let shard = self.sparse_shard(segment);
+        {
+            let guard = shard.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(s) = guard.get(&segment) {
+                return f(s);
+            }
+        }
+        let mut guard = shard.write().unwrap_or_else(PoisonError::into_inner);
+        f(guard
             .entry(segment)
-            .or_insert(built)
-            .clone()
+            .or_insert_with(|| self.build_state(segment)))
+    }
+
+    /// Eagerly materializes the latent state of each given segment.
+    /// Duplicates (and already-built segments) are skipped by the memo
+    /// tables themselves. Purely an initialization-cost move: results are
+    /// identical whether or not (and in whatever order) segments are warmed.
+    /// Returns the number of segments built by this call.
+    pub fn warm(&self, segments: impl IntoIterator<Item = Segment>) -> u64 {
+        let before = self.segment_builds();
+        for seg in segments {
+            self.with_state(seg, |_| ());
+        }
+        self.segment_builds() - before
     }
 
     fn build_state(&self, segment: Segment) -> SegState {
+        self.builds.fetch_add(1, Ordering::Relaxed);
         let k = &self.knobs;
         let mut rng = StdRng::seed_from_u64(seed::derive_indexed(
             self.world_seed,
@@ -271,39 +342,42 @@ impl PerfModel {
     /// Mean metrics contributed by one segment at time `t` (latent state:
     /// episodes + diurnal load, no per-call noise).
     pub fn segment_mean(&self, segment: Segment, t: SimTime) -> SegMetrics {
-        let s = self.state(segment);
         let k = &self.knobs;
-        let sev = s.episodes.on_day(t.day()) * s.episode_scale;
-        // Diurnal load peaks at 20:00 local time at the segment midpoint.
-        let local = GeoPoint::new(0.0, s.lon_deg.clamp(-180.0, 180.0)).local_hour(t.hour_of_day());
-        let evening = 0.5 * (1.0 + ((local - 20.0) / 24.0 * std::f64::consts::TAU).cos());
-        let d = k.diurnal_amplitude * s.diurnal_sens * evening;
+        self.with_state(segment, |s| {
+            let sev = s.episodes.on_day(t.day()) * s.episode_scale;
+            // Diurnal load peaks at 20:00 local time at the segment midpoint.
+            let local =
+                GeoPoint::new(0.0, s.lon_deg.clamp(-180.0, 180.0)).local_hour(t.hour_of_day());
+            let evening = 0.5 * (1.0 + ((local - 20.0) / 24.0 * std::f64::consts::TAU).cos());
+            let d = k.diurnal_amplitude * s.diurnal_sens * evening;
 
-        let episode_rtt = sev * k.episode_rtt_ms;
-        let loss_mult = 1.0 + sev * (k.episode_loss_mult - 1.0);
-        let jitter_mult = 1.0 + sev * (k.episode_jitter_mult - 1.0);
+            let episode_rtt = sev * k.episode_rtt_ms;
+            let loss_mult = 1.0 + sev * (k.episode_loss_mult - 1.0);
+            let jitter_mult = 1.0 + sev * (k.episode_jitter_mult - 1.0);
 
-        SegMetrics {
-            rtt_ms: s.rtt_ms + episode_rtt + 6.0 * d,
-            loss_pct: (s.loss_pct * loss_mult * (1.0 + 0.8 * d)).min(100.0),
-            jitter_ms: s.jitter_ms * jitter_mult * (1.0 + 0.8 * d),
-        }
+            SegMetrics {
+                rtt_ms: s.rtt_ms + episode_rtt + 6.0 * d,
+                loss_pct: (s.loss_pct * loss_mult * (1.0 + 0.8 * d)).min(100.0),
+                jitter_ms: s.jitter_ms * jitter_mult * (1.0 + 0.8 * d),
+            }
+        })
     }
 
     /// Segments traversed by an option between `src` and `dst`, plus the
-    /// number of relay hops (for fixed forwarding cost).
-    pub fn segments_of(&self, src: AsId, dst: AsId, option: RelayOption) -> (Vec<Segment>, usize) {
+    /// number of relay hops (for fixed forwarding cost). Returns an inline
+    /// fixed-capacity path — no heap allocation on the sample hot path.
+    pub fn segments_of(&self, src: AsId, dst: AsId, option: RelayOption) -> SegmentPath {
         match option.canonical() {
-            RelayOption::Direct => (
-                vec![
+            RelayOption::Direct => SegmentPath::new(
+                &[
                     Segment::Access(src),
                     Segment::direct(src, dst),
                     Segment::Access(dst),
                 ],
                 0,
             ),
-            RelayOption::Bounce(r) => (
-                vec![
+            RelayOption::Bounce(r) => SegmentPath::new(
+                &[
                     Segment::Access(src),
                     Segment::RelayWan(src, r),
                     Segment::RelayWan(dst, r),
@@ -319,8 +393,8 @@ impl PerfModel {
                 let d_rev = self.as_pos[src.index()].distance_km(&self.relay_pos[r2.index()])
                     + self.as_pos[dst.index()].distance_km(&self.relay_pos[r1.index()]);
                 let (rin, rout) = if d_fwd <= d_rev { (r1, r2) } else { (r2, r1) };
-                (
-                    vec![
+                SegmentPath::new(
+                    &[
                         Segment::Access(src),
                         Segment::RelayWan(src, rin),
                         Segment::backbone(rin, rout),
@@ -344,13 +418,13 @@ impl PerfModel {
         option: RelayOption,
         t: SimTime,
     ) -> PathMetrics {
-        let (segments, hops) = self.segments_of(src, dst, option);
+        let path = self.segments_of(src, dst, option);
         let mut acc = SegMetrics::default();
-        for seg in segments {
-            acc = acc.chain(&self.segment_mean(seg, t));
+        for seg in path.segments() {
+            acc = acc.chain(&self.segment_mean(*seg, t));
         }
         PathMetrics::new(
-            acc.rtt_ms + hops as f64 * self.knobs.relay_hop_cost_ms,
+            acc.rtt_ms + path.hops() as f64 * self.knobs.relay_hop_cost_ms,
             acc.loss_pct,
             acc.jitter_ms,
         )
@@ -524,18 +598,61 @@ mod tests {
     #[test]
     fn transit_orientation_picks_short_on_ramps() {
         let w = world();
-        let (segs, hops) = w.perf().segments_of(
+        let path = w.perf().segments_of(
             AsId(0),
             AsId(9),
             RelayOption::Transit(RelayId(0), RelayId(1)),
         );
-        assert_eq!(hops, 2);
-        assert_eq!(segs.len(), 5);
+        assert_eq!(path.hops(), 2);
+        assert_eq!(path.len(), 5);
         // First relay leg must attach to the source AS.
-        match segs[1] {
+        match path.segments()[1] {
             Segment::RelayWan(a, _) => assert_eq!(a, AsId(0)),
             ref s => panic!("unexpected segment {s:?}"),
         }
+    }
+
+    #[test]
+    fn concurrent_first_touch_builds_each_segment_once() {
+        let w = world();
+        // A sparse (DirectWan) segment that nothing has touched yet: many
+        // threads race to materialize it concurrently.
+        let seg = Segment::direct(AsId(2), AsId(11));
+        let t = SimTime::from_days(1);
+        assert_eq!(w.perf().segment_builds(), 0);
+        let means: Vec<SegMetrics> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| w.perf().segment_mean(seg, t)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            w.perf().segment_builds(),
+            1,
+            "racing first touches must build the segment exactly once"
+        );
+        for m in &means[1..] {
+            assert_eq!(*m, means[0]);
+        }
+        // Re-querying (and warming) an already-built segment builds nothing.
+        let _ = w.perf().segment_mean(seg, t);
+        assert_eq!(w.perf().warm([seg]), 0);
+        assert_eq!(w.perf().segment_builds(), 1);
+    }
+
+    #[test]
+    fn warm_pass_does_not_change_results() {
+        let cold = world();
+        let warm = world();
+        let t = SimTime::from_days(2);
+        let opt = RelayOption::Transit(RelayId(0), RelayId(2));
+        let path = warm.perf().segments_of(AsId(1), AsId(8), opt);
+        let built = warm.perf().warm(path.segments().iter().copied());
+        assert_eq!(built, path.len() as u64);
+        assert_eq!(
+            cold.perf().option_mean(AsId(1), AsId(8), opt, t),
+            warm.perf().option_mean(AsId(1), AsId(8), opt, t),
+        );
     }
 
     #[test]

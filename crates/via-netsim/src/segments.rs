@@ -68,6 +68,69 @@ impl Segment {
     }
 }
 
+/// The segments traversed by one relaying option, stored inline.
+///
+/// Every option decomposes into at most five segments (transit:
+/// `access + relay-wan + backbone + relay-wan + access`), so the path fits
+/// in a fixed-capacity array — the per-call sample path never touches the
+/// heap. Returned by `PerfModel::segments_of`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPath {
+    segs: [Segment; SegmentPath::MAX],
+    len: u8,
+    hops: u8,
+}
+
+impl SegmentPath {
+    /// Maximum number of segments any option decomposes into.
+    pub const MAX: usize = 5;
+
+    /// Builds a path from up to [`SegmentPath::MAX`] segments and a relay
+    /// hop count. Segments beyond the capacity are ignored (no option
+    /// produces them; callers are the perf model's own decompositions).
+    pub fn new(segments: &[Segment], hops: u8) -> Self {
+        // Pad unused slots with a neutral value; `len` masks them off.
+        let mut segs = [Segment::Access(AsId(0)); Self::MAX];
+        let len = segments.len().min(Self::MAX);
+        segs[..len].copy_from_slice(&segments[..len]);
+        Self {
+            segs,
+            len: len as u8,
+            hops,
+        }
+    }
+
+    /// The traversed segments, in path order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segs[..usize::from(self.len)]
+    }
+
+    /// Number of relay hops (0 direct, 1 bounce, 2 transit), for the fixed
+    /// forwarding cost.
+    pub fn hops(&self) -> usize {
+        usize::from(self.hops)
+    }
+
+    /// Number of segments in the path.
+    pub fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    /// True when the path holds no segments.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a SegmentPath {
+    type Item = &'a Segment;
+    type IntoIter = std::slice::Iter<'a, Segment>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.segments().iter()
+    }
+}
+
 /// Mean performance contribution of one segment at one instant
 /// (round-trip, both directions of the call traverse it).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -258,6 +321,25 @@ mod tests {
                 assert_ne!(all[i], all[j]);
             }
         }
+    }
+
+    #[test]
+    fn segment_path_is_inline_and_ordered() {
+        let segs = [
+            Segment::Access(AsId(1)),
+            Segment::direct(AsId(1), AsId(2)),
+            Segment::Access(AsId(2)),
+        ];
+        let path = SegmentPath::new(&segs, 0);
+        assert_eq!(path.len(), 3);
+        assert!(!path.is_empty());
+        assert_eq!(path.hops(), 0);
+        assert_eq!(path.segments(), &segs);
+        let collected: Vec<Segment> = path.into_iter().copied().collect();
+        assert_eq!(collected, segs);
+        // Oversized input clamps to capacity instead of panicking.
+        let many = [Segment::Access(AsId(0)); 9];
+        assert_eq!(SegmentPath::new(&many, 2).len(), SegmentPath::MAX);
     }
 
     #[test]

@@ -181,43 +181,65 @@ impl World {
     /// candidate set is small and geographically sensible. Options are
     /// returned in canonical form, deduplicated, `Direct` first.
     pub fn candidate_options(&self, src: AsId, dst: AsId) -> Vec<RelayOption> {
+        let mut scratch = CandidateScratch::default();
+        let mut options = Vec::new();
+        self.candidate_options_into(src, dst, &mut scratch, &mut options);
+        options
+    }
+
+    /// Allocation-free form of [`World::candidate_options`]: fills `out`
+    /// (cleared first) using `scratch`'s reusable ranking buffers. Replay
+    /// workers hold one [`CandidateScratch`] each, so steady-state candidate
+    /// enumeration performs no heap allocation. The produced options (content
+    /// and order) are identical to [`World::candidate_options`].
+    pub fn candidate_options_into(
+        &self,
+        src: AsId,
+        dst: AsId,
+        scratch: &mut CandidateScratch,
+        out: &mut Vec<RelayOption>,
+    ) {
         let src_pos = self.ases[src.index()].pos;
         let dst_pos = self.ases[dst.index()].pos;
 
         // Rank relays by bounce detour distance.
-        let mut by_detour: Vec<(f64, RelayId)> = self
-            .relays
-            .iter()
-            .map(|r| {
-                let d = src_pos.distance_km(&r.pos) + r.pos.distance_km(&dst_pos);
-                (d, r.id)
-            })
-            .collect();
+        let by_detour = &mut scratch.by_detour;
+        by_detour.clear();
+        by_detour.extend(self.relays.iter().map(|r| {
+            let d = src_pos.distance_km(&r.pos) + r.pos.distance_km(&dst_pos);
+            (d, r.id)
+        }));
         by_detour.sort_by(|a, b| a.0.total_cmp(&b.0));
 
-        let mut options = vec![RelayOption::Direct];
+        out.clear();
+        out.push(RelayOption::Direct);
         for &(_, r) in by_detour.iter().take(self.config.bounce_candidates) {
-            options.push(RelayOption::Bounce(r));
+            out.push(RelayOption::Bounce(r));
         }
 
         // Transit: ingress relays near the source, egress relays near the
         // destination, ranked by total stitched distance.
-        let mut near_src: Vec<(f64, RelayId)> = self
-            .relays
-            .iter()
-            .map(|r| (src_pos.distance_km(&r.pos), r.id))
-            .collect();
+        let near_src = &mut scratch.near_src;
+        near_src.clear();
+        near_src.extend(
+            self.relays
+                .iter()
+                .map(|r| (src_pos.distance_km(&r.pos), r.id)),
+        );
         near_src.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let mut near_dst: Vec<(f64, RelayId)> = self
-            .relays
-            .iter()
-            .map(|r| (dst_pos.distance_km(&r.pos), r.id))
-            .collect();
+        let near_dst = &mut scratch.near_dst;
+        near_dst.clear();
+        near_dst.extend(
+            self.relays
+                .iter()
+                .map(|r| (dst_pos.distance_km(&r.pos), r.id)),
+        );
         near_dst.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let k = self.config.transit_candidates.max(1);
         let take = (k as f64).sqrt().ceil() as usize + 1;
-        let mut transits: Vec<(f64, RelayOption)> = Vec::new();
+        let transits = &mut scratch.transits;
+        transits.clear();
         for &(d_in, r_in) in near_src.iter().take(take) {
             for &(d_out, r_out) in near_dst.iter().take(take) {
                 if r_in == r_out {
@@ -231,16 +253,26 @@ impl World {
             }
         }
         transits.sort_by(|a, b| a.0.total_cmp(&b.0));
-        for (_, t) in transits {
-            if options.len() >= 1 + self.config.bounce_candidates + self.config.transit_candidates {
+        for &(_, t) in transits.iter() {
+            if out.len() >= 1 + self.config.bounce_candidates + self.config.transit_candidates {
                 break;
             }
-            if !options.contains(&t) {
-                options.push(t);
+            if !out.contains(&t) {
+                out.push(t);
             }
         }
-        options
     }
+}
+
+/// Reusable ranking buffers for [`World::candidate_options_into`]. Holding
+/// one per worker keeps candidate enumeration allocation-free after the
+/// first few calls (buffers retain their high-water capacity).
+#[derive(Debug, Default)]
+pub struct CandidateScratch {
+    by_detour: Vec<(f64, RelayId)>,
+    near_src: Vec<(f64, RelayId)>,
+    near_dst: Vec<(f64, RelayId)>,
+    transits: Vec<(f64, RelayOption)>,
 }
 
 fn wrap_lon(lon: f64) -> f64 {
