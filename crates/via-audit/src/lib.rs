@@ -9,9 +9,10 @@
 //! | lint | scope | severity |
 //! |------|-------|----------|
 //! | `nondeterminism` | simulation crates, all code | deny |
-//! | `panic` | simulation crates, non-test lib code | deny (`unwrap`/`expect`), warn (indexing) |
+//! | `panic` | simulation + socket crates, non-test lib code | deny (`unwrap`/`expect`), warn (indexing) |
 //! | `nan-cmp` | every crate | deny |
 //! | `lock-contention` | hot-path crates (`via-netsim`, `via-core`) | deny |
+//! | `socket-wait` | socket crates (`via-testbed`), non-test lib code | deny |
 //!
 //! Sources are sanitized (comments and strings blanked, line numbers kept)
 //! before matching, so the lints see only code. Sites with a justified
@@ -41,11 +42,21 @@ pub const SIM_CRATES: &[&str] = &[
 ];
 
 /// Crates exempt from the simulation lints, with the reason:
-/// * `via-testbed` — drives real sockets and wall-clock timers by design.
 /// * `via-experiments` / `via-bench` — fail-fast experiment drivers; a
 ///   panic is the correct response to a broken environment.
 /// * `via-audit` — this tool.
-pub const EXEMPT_CRATES: &[&str] = &["via-testbed", "via-experiments", "via-bench", "via-audit"];
+///
+/// `via-testbed` is *not* exempt: it escapes the determinism lint (real
+/// sockets and wall-clock timers are its job) via [`SOCKET_CRATES`], but its
+/// library code is held to the panic lint and the `socket-wait` lint — a
+/// hung or panicking harness is exactly the failure mode this PR class
+/// exists to prevent.
+pub const EXEMPT_CRATES: &[&str] = &["via-experiments", "via-bench", "via-audit"];
+
+/// Crates that drive real sockets: exempt from the determinism lint, but
+/// subject to the panic lint and the unbounded-socket-wait lint in non-test
+/// library code.
+pub const SOCKET_CRATES: &[&str] = &["via-testbed"];
 
 /// Crates on the parallel-replay hot path, where a whole-map `Mutex` is a
 /// scaling regression (`lock-contention` lint): the world model every shard
@@ -59,9 +70,12 @@ pub fn audit_source(display_path: &str, src: &str, kind: FileKind) -> Vec<Findin
     let mut findings = Vec::new();
     if kind.sim_crate {
         lints::lint_determinism(display_path, &sanitized, &mut findings);
-        if kind.lib_code {
-            lints::lint_panic(display_path, &sanitized, &mask, &mut findings);
-        }
+    }
+    if (kind.sim_crate || kind.socket_crate) && kind.lib_code {
+        lints::lint_panic(display_path, &sanitized, &mask, &mut findings);
+    }
+    if kind.socket_crate && kind.lib_code {
+        lints::lint_socket(display_path, &sanitized, &mask, &mut findings);
     }
     if kind.hot_path {
         lints::lint_contention(display_path, &sanitized, &mut findings);
@@ -119,6 +133,7 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
         };
         let sim_crate = SIM_CRATES.contains(&crate_name);
         let hot_path = HOT_PATH_CRATES.contains(&crate_name);
+        let socket_crate = SOCKET_CRATES.contains(&crate_name);
         let mut files = Vec::new();
         // `src` plus bench targets: benches are exempt from the lib-only
         // lints (unwrap, panic) via `is_non_lib`, but nondeterminism sources
@@ -142,6 +157,7 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             let kind = FileKind {
                 sim_crate,
                 hot_path,
+                socket_crate,
                 lib_code: !is_non_lib(&file),
             };
             findings.extend(audit_source(&display, &src, kind));
@@ -160,9 +176,19 @@ mod tests {
     fn sim_and_exempt_lists_are_disjoint() {
         for c in SIM_CRATES {
             assert!(!EXEMPT_CRATES.contains(c));
+            assert!(
+                !SOCKET_CRATES.contains(c),
+                "socket crates are not sim crates"
+            );
         }
         for c in HOT_PATH_CRATES {
             assert!(SIM_CRATES.contains(c), "hot-path crates are sim crates");
+        }
+        for c in SOCKET_CRATES {
+            assert!(
+                !EXEMPT_CRATES.contains(c),
+                "socket crates are audited, not exempt"
+            );
         }
     }
 
@@ -173,6 +199,7 @@ mod tests {
             sim_crate: true,
             lib_code: true,
             hot_path: true,
+            socket_crate: false,
         };
         let f = audit_source("x.rs", src, kind);
         let denies: Vec<&str> = f
@@ -193,8 +220,32 @@ mod tests {
             sim_crate: false,
             lib_code: true,
             hot_path: false,
+            socket_crate: false,
         };
         assert!(audit_source("x.rs", src, kind).is_empty());
+    }
+
+    #[test]
+    fn socket_crates_get_panic_and_socket_lints_but_not_determinism() {
+        let src = "fn f(l: &TcpListener, x: Option<u32>) {\n    let t = Instant::now();\n    let _ = l.accept();\n    x.unwrap();\n}\n";
+        let kind = FileKind {
+            sim_crate: false,
+            lib_code: true,
+            hot_path: false,
+            socket_crate: true,
+        };
+        let f = audit_source("x.rs", src, kind);
+        let lints_hit: Vec<&str> = f
+            .iter()
+            .filter(|x| x.severity == Severity::Deny)
+            .map(|x| x.lint)
+            .collect();
+        assert!(lints_hit.contains(&lints::LINT_SOCKET), "{f:?}");
+        assert!(lints_hit.contains(&lints::LINT_PANIC), "{f:?}");
+        assert!(
+            !lints_hit.contains(&lints::LINT_NONDET),
+            "wall-clock reads are the testbed's job: {f:?}"
+        );
     }
 
     /// Seeded-violation harness: writes a fake workspace with one injected

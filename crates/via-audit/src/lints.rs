@@ -15,6 +15,13 @@
 //!   mutex serializes every reader and flattens parallel-replay scaling (the
 //!   exact regression PR 3 removed from `PerfModel`). Use sharded `RwLock`
 //!   tables, dense `OnceLock` slots, or per-worker state instead.
+//! * `socket-wait` — forbids unbounded socket waits in the socket crates'
+//!   library code: bare `TcpStream::connect(`, blocking `.accept()`,
+//!   `set_read_timeout(None)` / `set_write_timeout(None)`, and the
+//!   deadline-free `read_frame(` helper. Every socket wait must carry a
+//!   deadline (`connect_deadline`, `accept_deadline`,
+//!   `FrameConn::read_deadline`) or the harness can hang forever on one
+//!   dead peer.
 //!
 //! Any lint can be suppressed at a site with a justification comment:
 //! `// via-audit: allow(lint-name)` on the same or the preceding line.
@@ -32,6 +39,8 @@ pub const LINT_PANIC: &str = "panic";
 pub const LINT_NAN: &str = "nan-cmp";
 /// Map-wide mutex lint name.
 pub const LINT_CONTENTION: &str = "lock-contention";
+/// Unbounded-socket-wait lint name.
+pub const LINT_SOCKET: &str = "socket-wait";
 
 /// Finding severity: denies fail the audit, warnings are informational.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +90,10 @@ pub struct FileKind {
     /// The crate is on the replay hot path (`via-netsim`, `via-core`), where
     /// shared-lock contention patterns are denied.
     pub hot_path: bool,
+    /// The crate drives real sockets (`via-testbed`): unbounded socket waits
+    /// are denied and the panic lint applies even though the crate is not a
+    /// simulation crate.
+    pub socket_crate: bool,
 }
 
 /// Trailing identifier of `text` (e.g. `"let mut seg_demand"` → `seg_demand`).
@@ -316,6 +329,54 @@ pub fn lint_contention(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
     }
 }
 
+/// Socket waits that can block forever, with the bounded alternative.
+const UNBOUNDED_WAITS: &[(&str, &str)] = &[
+    (
+        "TcpStream::connect(",
+        "blocking connect with the OS default timeout; use `connect_deadline`",
+    ),
+    (
+        ".accept()",
+        "blocking accept can wait forever on a peer that never arrives; \
+         use `accept_deadline`",
+    ),
+    (
+        "set_read_timeout(None)",
+        "disabling the read timeout makes the next read unbounded",
+    ),
+    (
+        "set_write_timeout(None)",
+        "disabling the write timeout makes the next write unbounded",
+    ),
+    (
+        "read_frame(",
+        "deadline-free frame read; use `FrameConn::read_deadline`",
+    ),
+];
+
+/// Runs the unbounded-socket-wait lint over one sanitized file (socket
+/// crates' lib code only; test regions in `mask` are exempt — tests may
+/// block because the test runner itself is the deadline).
+pub fn lint_socket(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<Finding>) {
+    for (idx, line) in s.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if mask.get(idx).copied().unwrap_or(false) || s.is_allowed(lineno, LINT_SOCKET) {
+            continue;
+        }
+        for &(pat, advice) in UNBOUNDED_WAITS {
+            if line.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    lint: LINT_SOCKET,
+                    severity: Severity::Deny,
+                    message: format!("`{pat}` is an unbounded socket wait: {advice}"),
+                });
+            }
+        }
+    }
+}
+
 /// Runs the NaN-safety lint over one sanitized file.
 pub fn lint_nan(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
     for (idx, line) in s.lines.iter().enumerate() {
@@ -357,9 +418,12 @@ mod tests {
         let mut f = Vec::new();
         if kind.sim_crate {
             lint_determinism("test.rs", &s, &mut f);
-            if kind.lib_code {
-                lint_panic("test.rs", &s, &mask, &mut f);
-            }
+        }
+        if (kind.sim_crate || kind.socket_crate) && kind.lib_code {
+            lint_panic("test.rs", &s, &mask, &mut f);
+        }
+        if kind.socket_crate && kind.lib_code {
+            lint_socket("test.rs", &s, &mask, &mut f);
         }
         if kind.hot_path {
             lint_contention("test.rs", &s, &mut f);
@@ -372,6 +436,14 @@ mod tests {
         sim_crate: true,
         lib_code: true,
         hot_path: true,
+        socket_crate: false,
+    };
+
+    const SOCKET_LIB: FileKind = FileKind {
+        sim_crate: false,
+        lib_code: true,
+        hot_path: false,
+        socket_crate: true,
     };
 
     fn denies(f: &[Finding]) -> usize {
@@ -438,6 +510,7 @@ mod tests {
                 sim_crate: false,
                 lib_code: false,
                 hot_path: false,
+                socket_crate: false,
             },
         );
         assert_eq!(denies(&f), 1);
@@ -455,6 +528,7 @@ mod tests {
                     sim_crate: false,
                     lib_code: false,
                     hot_path: false,
+                    socket_crate: false,
                 }
             )),
             0
@@ -481,10 +555,54 @@ mod tests {
             sim_crate: true,
             lib_code: true,
             hot_path: false,
+            socket_crate: false,
         };
         assert_eq!(denies(&run_all(src, cold)), 0);
         let suppressed = "// cold config table, touched once. via-audit: allow(lock-contention)\nstruct S { cache: Mutex<HashMap<u32, u32>> }\n";
         assert_eq!(denies(&run_all(suppressed, SIM_LIB)), 0);
+    }
+
+    #[test]
+    fn unbounded_socket_waits_are_denied_in_socket_lib_code() {
+        for src in [
+            "let s = TcpStream::connect(addr)?;\n",
+            "let (stream, peer) = listener.accept()?;\n",
+            "stream.set_read_timeout(None)?;\n",
+            "stream.set_write_timeout(None)?;\n",
+            "let msg: ClientMsg = read_frame(&mut stream)?;\n",
+        ] {
+            let f = run_all(src, SOCKET_LIB);
+            assert_eq!(denies(&f), 1, "{src:?} → {f:?}");
+            assert_eq!(f[0].lint, LINT_SOCKET);
+        }
+    }
+
+    #[test]
+    fn bounded_socket_waits_are_fine() {
+        let src = "let s = TcpStream::connect_timeout(&addr, t)?;\n\
+                   let got = accept_deadline(&listener, deadline)?;\n\
+                   stream.set_read_timeout(Some(slice))?;\n\
+                   pub fn read_frame<T>(r: &mut impl Read) -> Result<T, FrameError> {\n\
+                   let msg = conn.read_deadline(deadline)?;\n";
+        assert_eq!(denies(&run_all(src, SOCKET_LIB)), 0);
+    }
+
+    #[test]
+    fn socket_waits_in_tests_or_with_suppression_are_exempt() {
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn t() { let (s, _) = l.accept().unwrap(); }\n}\n";
+        assert_eq!(denies(&run_all(in_test, SOCKET_LIB)), 0);
+        let suppressed = "// nonblocking poll, bounded by the caller's deadline. \
+                          via-audit: allow(socket-wait)\nmatch listener.accept() {\n";
+        assert_eq!(denies(&run_all(suppressed, SOCKET_LIB)), 0);
+    }
+
+    #[test]
+    fn socket_crates_also_get_the_panic_lint() {
+        let src = "fn lib(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let f = run_all(src, SOCKET_LIB);
+        assert_eq!(denies(&f), 1);
+        assert_eq!(f[0].lint, LINT_PANIC);
     }
 
     #[test]

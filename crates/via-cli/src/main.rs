@@ -28,6 +28,7 @@ USAGE:
                 [--strategy default|oracle|prediction|exploration|via|budgeted|racing]
                 [--objective rtt|loss|jitter] [--budget F]
     via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
+                [--probes N] [--gap-ms N] [--deadline-s N] [--chaos true]
 ";
 
 fn main() {
@@ -213,7 +214,7 @@ fn cmd_testbed(rest: &[String]) -> CliResult {
     fn bounded<T: TryFrom<u64>>(value: u64, flag: &str) -> Result<T, String> {
         T::try_from(value).map_err(|_| format!("--{flag} value {value} is out of range"))
     }
-    let cfg = via_testbed::TestbedConfig {
+    let mut cfg = via_testbed::TestbedConfig {
         n_clients: bounded(flags.u64_or("clients", 4)?, "clients")?,
         n_relays: bounded(flags.u64_or("relays", 4)?, "relays")?,
         n_pairs: bounded(flags.u64_or("pairs", 3)?, "pairs")?,
@@ -223,13 +224,34 @@ fn cmd_testbed(rest: &[String]) -> CliResult {
         seed: flags.u64_or("seed", 18)?,
         ..via_testbed::TestbedConfig::fast()
     };
+    cfg.timing.global = std::time::Duration::from_secs(flags.u64_or("deadline-s", 180)?);
+    if flags.bool_or("chaos", false)? {
+        cfg.fault = via_testbed::FaultPlan::chaos(cfg.seed, cfg.n_pairs, cfg.n_relays);
+    }
     let result = via_testbed::run_testbed(&cfg)?;
     println!(
-        "{} reports collected; {} probes forwarded, {} dropped by impairment",
+        "{} reports collected ({} degraded to the direct path); \
+         {} probes forwarded, {} dropped by impairment",
         result.reports.len(),
+        result.degraded_count(),
         result.forwarded,
         result.dropped
     );
+    if !result.failures.is_empty() {
+        println!("{} calls failed:", result.failures.len());
+        for f in &result.failures {
+            let relay = f.relay.map_or_else(|| "-".to_string(), |r| r.to_string());
+            println!(
+                "  {}->{} relay {relay}: {}",
+                f.caller,
+                f.callee,
+                f.cause.kind()
+            );
+        }
+    }
+    for e in &result.client_errors {
+        println!("client error: {e}");
+    }
     let eval = via_testbed::evaluate_via_selection(&result.reports, Metric::Rtt);
     println!(
         "VIA selection: {} decisions, best relay picked {:.0}% of the time",

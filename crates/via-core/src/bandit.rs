@@ -139,7 +139,20 @@ impl UcbBandit {
     /// Records the realized cost of a call assigned to `option`. Costs for
     /// options outside the arm set (e.g. ε general-exploration picks) are
     /// ignored here — they feed the history/predictor instead.
+    ///
+    /// # Contract
+    /// `cost` must be finite and non-negative: every caller feeds a measured
+    /// path metric (RTT ms, loss %, jitter ms), all of which are ≥ 0 by
+    /// construction. A negative or non-finite cost indicates a bug upstream
+    /// (e.g. an uninitialized metric), so debug builds assert instead of
+    /// silently clamping it — a clamp would quietly bias the arm's mean
+    /// toward optimism. Release builds still clamp as a last-resort
+    /// containment so one bad sample cannot poison `choose()` forever.
     pub fn update(&mut self, option: RelayOption, cost: f64) {
+        debug_assert!(
+            cost.is_finite() && cost >= 0.0,
+            "bandit cost must be a finite non-negative metric, got {cost}"
+        );
         let option = option.canonical();
         if let Some(arm) = self.arms.iter_mut().find(|a| a.option == option) {
             arm.n += 1;

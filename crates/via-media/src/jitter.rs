@@ -13,7 +13,7 @@ use crate::packet::AUDIO_CLOCK_HZ;
 #[derive(Debug, Clone, Default)]
 pub struct JitterEstimator {
     j_clock: f64,
-    prev: Option<(f64, f64)>, // (arrival_clock, rtp_timestamp_clock)
+    prev: Option<(f64, u32)>, // (arrival_clock, rtp_timestamp)
     samples: u64,
 }
 
@@ -25,15 +25,21 @@ impl JitterEstimator {
 
     /// Feeds one received packet: arrival time in milliseconds and RTP
     /// timestamp in media-clock units.
+    ///
+    /// The RTP timestamp is a modular u32 (it wraps every ~53.7 h at the
+    /// 22.05 kHz audio clock), so the inter-packet timestamp delta is taken
+    /// with wrapping arithmetic and reinterpreted as `i32` — a wrap between
+    /// consecutive packets then yields the small signed step the sender
+    /// actually took, not a ±2³² glitch that would saturate the estimate.
     pub fn on_packet(&mut self, arrival_ms: f64, rtp_timestamp: u32) {
         let arrival_clock = arrival_ms / 1_000.0 * f64::from(AUDIO_CLOCK_HZ);
-        let ts_clock = f64::from(rtp_timestamp);
         if let Some((prev_arrival, prev_ts)) = self.prev {
-            let d = (arrival_clock - prev_arrival) - (ts_clock - prev_ts);
+            let ts_step = f64::from(rtp_timestamp.wrapping_sub(prev_ts) as i32);
+            let d = (arrival_clock - prev_arrival) - ts_step;
             self.j_clock += (d.abs() - self.j_clock) / 16.0;
             self.samples += 1;
         }
-        self.prev = Some((arrival_clock, ts_clock));
+        self.prev = Some((arrival_clock, rtp_timestamp));
     }
 
     /// Current jitter estimate, in milliseconds.
@@ -152,6 +158,39 @@ mod tests {
         for i in 0..2_000u32 {
             let offset = if i % 2 == 0 { -5.0 } else { 5.0 };
             j.on_packet(f64::from(i) * 20.0 + offset, i * 160);
+        }
+        let est = j.jitter_ms();
+        assert!((est - 10.0).abs() < 0.5, "estimate {est}");
+    }
+
+    #[test]
+    fn timestamp_wraparound_is_not_jitter() {
+        // A perfectly smooth stream whose RTP timestamps cross u32::MAX:
+        // 20 ms apart, 160 ticks apart, starting just below the wrap point.
+        // The broken (f64-subtraction) estimator saw one −2³² transit jump
+        // here and pinned the estimate at ~hours of jitter.
+        let mut j = JitterEstimator::new();
+        let start = u32::MAX - 160 * 50;
+        for i in 0..100u32 {
+            j.on_packet(f64::from(i) * 20.0, start.wrapping_add(i * 160));
+        }
+        assert!(
+            j.jitter_ms() < 1e-9,
+            "wrap leaked into estimate: {}",
+            j.jitter_ms()
+        );
+        assert_eq!(j.samples(), 99);
+    }
+
+    #[test]
+    fn real_jitter_still_measured_across_the_wrap() {
+        // The ±5 ms alternating pattern must read ~10 ms whether or not the
+        // timestamps wrap mid-stream.
+        let mut j = JitterEstimator::new();
+        let start = u32::MAX - 160 * 1_000;
+        for i in 0..2_000u32 {
+            let offset = if i % 2 == 0 { -5.0 } else { 5.0 };
+            j.on_packet(f64::from(i) * 20.0 + offset, start.wrapping_add(i * 160));
         }
         let est = j.jitter_ms();
         assert!((est - 10.0).abs() < 0.5, "estimate {est}");

@@ -7,9 +7,16 @@
 //! instructed to place a call — sends a short RTP probe stream through the
 //! designated relay, measures RTT / loss / jitter from the echoes, and
 //! reports the triple to the controller.
+//!
+//! Robustness: every control read carries a deadline, the controller
+//! connection is established with a bounded connect timeout, and a call
+//! whose relay leg yields *no* echoes (dead or blackholed relay) falls back
+//! to probing the callee's direct UDP address — the measurement is then
+//! reported with `degraded: true`, mirroring how a production client would
+//! salvage a call when its assigned relay disappears.
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -17,8 +24,37 @@ use via_media::JitterEstimator;
 use via_model::metrics::PathMetrics;
 
 use crate::error::TestbedError;
+use crate::fault::{FrameFate, FrameFaults};
 use crate::probe::{ProbeKind, ProbePacket};
-use crate::protocol::{read_frame, write_frame, ClientMsg, ControllerMsg};
+use crate::protocol::{connect_deadline, ClientMsg, ControllerMsg, FrameConn, FrameError};
+
+/// Echo-collection ceiling per call, ms: even intercontinental emulated
+/// paths (~600 ms echo RTT) finish inside this window. Public so the
+/// controller can budget its per-call deadline from the same number.
+pub const COLLECT_CEILING_MS: u64 = 1_200;
+
+/// Client-side robustness knobs.
+#[derive(Debug)]
+pub struct ClientConfig {
+    /// Bounded timeout for the initial TCP connect to the controller.
+    pub connect_timeout: Duration,
+    /// Longest the client waits for the next controller frame before
+    /// declaring the controller dead. Callees idle for entire runs, so the
+    /// harness sets this to the run's global deadline.
+    pub idle_timeout: Duration,
+    /// Seeded faults applied to this client's outgoing `Report` frames.
+    pub faults: Option<FrameFaults>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(120),
+            faults: None,
+        }
+    }
+}
 
 /// An echo received by the media socket, forwarded to the measurement loop.
 #[derive(Debug, Clone)]
@@ -30,26 +66,71 @@ struct EchoEvent {
     rtp_timestamp: u32,
 }
 
-/// Runs one testbed client to completion (until the controller sends
-/// `Finished`). Blocks the calling thread.
+/// Which leg a probe stream traverses; encoded into the stream's SSRC so
+/// relay-path stragglers can never be mistaken for direct-path echoes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PathLeg {
+    Relay,
+    Direct,
+}
+
+/// One measured probe stream plus how many echoes actually arrived (the
+/// degradation detector: zero echoes means the path is dead, not just bad).
+struct CallSample {
+    metrics: PathMetrics,
+    echoes: usize,
+}
+
+/// Runs one testbed client with default robustness settings.
+///
+/// # Errors
+/// Any control-plane or data-plane failure the client cannot absorb.
 pub fn run_client(name: &str, controller: SocketAddr) -> Result<(), TestbedError> {
+    run_client_with(name, controller, ClientConfig::default())
+}
+
+/// Runs one testbed client to completion (until the controller sends
+/// `Finished` or a deadline fires). Blocks the calling thread.
+///
+/// # Errors
+/// Any control-plane or data-plane failure the client cannot absorb,
+/// including [`TestbedError::Timeout`] when the controller goes silent past
+/// `cfg.idle_timeout`.
+pub fn run_client_with(
+    name: &str,
+    controller: SocketAddr,
+    mut cfg: ClientConfig,
+) -> Result<(), TestbedError> {
     let udp = UdpSocket::bind("127.0.0.1:0")?;
     udp.set_read_timeout(Some(Duration::from_millis(50)))?;
-    let udp_port = udp.local_addr()?.port();
 
     let (echo_tx, echo_rx) = bounded::<EchoEvent>(4_096);
     let stop = Arc::new(AtomicBool::new(false));
     let responder = spawn_responder(udp.try_clone()?, echo_tx, Arc::clone(&stop))?;
 
-    let mut tcp = TcpStream::connect(controller)?;
-    write_frame(
-        &mut tcp,
-        &ClientMsg::Register {
-            name: name.to_string(),
-            udp_port,
-        },
-    )?;
-    let welcome: ControllerMsg = read_frame(&mut tcp)?;
+    // Run the control loop, then stop the responder on *every* exit path so
+    // an error return can never leak the media thread.
+    let result = control_loop(name, controller, &mut cfg, &udp, &echo_rx);
+    stop.store(true, Ordering::Relaxed);
+    let _ = responder.join();
+    result
+}
+
+/// The client's control-plane loop: register, serve calls, disconnect.
+fn control_loop(
+    name: &str,
+    controller: SocketAddr,
+    cfg: &mut ClientConfig,
+    udp: &UdpSocket,
+    echo_rx: &Receiver<EchoEvent>,
+) -> Result<(), TestbedError> {
+    let stream = connect_deadline(controller, cfg.connect_timeout)?;
+    let mut conn = FrameConn::new(stream)?;
+    conn.write(&ClientMsg::Register {
+        name: name.to_string(),
+        udp_port: udp.local_addr()?.port(),
+    })?;
+    let welcome: ControllerMsg = conn.read_deadline(Instant::now() + cfg.idle_timeout)?;
     if welcome != ControllerMsg::Welcome {
         return Err(TestbedError::Protocol(format!(
             "expected Welcome, got {welcome:?}"
@@ -57,13 +138,23 @@ pub fn run_client(name: &str, controller: SocketAddr) -> Result<(), TestbedError
     }
 
     loop {
-        let msg: ControllerMsg = read_frame(&mut tcp)?;
+        let msg = match conn.read_deadline::<ControllerMsg>(Instant::now() + cfg.idle_timeout) {
+            Ok(m) => m,
+            Err(FrameError::Timeout) => {
+                return Err(TestbedError::Timeout(format!(
+                    "client {name}: no controller frame within {:?}",
+                    cfg.idle_timeout
+                )))
+            }
+            Err(e) => return Err(e.into()),
+        };
         match msg {
             ControllerMsg::Welcome => {
                 return Err(TestbedError::Protocol("unexpected second Welcome".into()))
             }
             ControllerMsg::Finished => break,
             ControllerMsg::Call {
+                callee_addr,
                 relay_addr,
                 relay,
                 session,
@@ -71,34 +162,77 @@ pub fn run_client(name: &str, controller: SocketAddr) -> Result<(), TestbedError
                 probes,
                 gap_ms,
                 callee,
-                ..
             } => {
                 let relay_sock: SocketAddr = relay_addr.parse().map_err(|e| {
                     TestbedError::Protocol(format!("bad relay addr {relay_addr}: {e}"))
                 })?;
-                let metrics = measure_call(&udp, &echo_rx, relay_sock, session, probes, gap_ms)?;
-                write_frame(
-                    &mut tcp,
-                    &ClientMsg::Report {
-                        caller: name.to_string(),
-                        callee,
-                        relay,
-                        round,
-                        metrics,
-                    },
+                let sample = measure_call(
+                    udp,
+                    echo_rx,
+                    relay_sock,
+                    session,
+                    round,
+                    probes,
+                    gap_ms,
+                    PathLeg::Relay,
                 )?;
+                // Graceful degradation: a relay leg that produced *zero*
+                // echoes is dead (killed or blackholed), not merely lossy.
+                // Re-measure over the direct path and flag the report.
+                let (metrics, degraded) = if sample.echoes == 0 {
+                    let direct_sock: SocketAddr = callee_addr.parse().map_err(|e| {
+                        TestbedError::Protocol(format!("bad callee addr {callee_addr}: {e}"))
+                    })?;
+                    let direct = measure_call(
+                        udp,
+                        echo_rx,
+                        direct_sock,
+                        session,
+                        round,
+                        probes,
+                        gap_ms,
+                        PathLeg::Direct,
+                    )?;
+                    (direct.metrics, true)
+                } else {
+                    (sample.metrics, false)
+                };
+                let report = ClientMsg::Report {
+                    caller: name.to_string(),
+                    callee,
+                    relay,
+                    round,
+                    metrics,
+                    degraded,
+                };
+                match cfg.faults.as_mut().map_or(
+                    FrameFate::Deliver { duplicate: false },
+                    FrameFaults::next_fate,
+                ) {
+                    // A dropped Report is recovered by the controller's
+                    // retry: it re-sends the Call after its deadline.
+                    FrameFate::Drop => {}
+                    FrameFate::Deliver { duplicate } => {
+                        if let Some(f) = &cfg.faults {
+                            let d = f.delay();
+                            if !d.is_zero() {
+                                std::thread::sleep(d);
+                            }
+                        }
+                        conn.write(&report)?;
+                        if duplicate {
+                            conn.write(&report)?;
+                        }
+                    }
+                }
             }
         }
     }
 
-    write_frame(
-        &mut tcp,
-        &ClientMsg::Done {
-            name: name.to_string(),
-        },
-    )?;
-    stop.store(true, Ordering::Relaxed);
-    let _ = responder.join();
+    // Best-effort: the controller may already have torn the stream down.
+    let _ = conn.write(&ClientMsg::Done {
+        name: name.to_string(),
+    });
     Ok(())
 }
 
@@ -150,36 +284,73 @@ fn spawn_responder(
     Ok(handle)
 }
 
+/// The probe stream's SSRC: session, round, and leg are all encoded so an
+/// echo straggling in from a *previous* round (or from the abandoned relay
+/// attempt of the same call) can never be counted into the current stream.
+fn probe_ssrc(session: u16, round: u32, leg: PathLeg) -> u32 {
+    let leg_bit = match leg {
+        PathLeg::Relay => 0,
+        PathLeg::Direct => 1,
+    };
+    u32::from(session) << 16 | (round & 0x7F) << 9 | leg_bit << 8 | 0x5A
+}
+
 /// Sends one probe stream and reduces the echoes to a metric triple.
+///
+/// Send errors on individual probes are tolerated: unsent probes count as
+/// lost, and arrival timestamps are measured from the earliest probe that
+/// actually went out (falling back to the call start). Only a call where
+/// *no* probe could be sent is an error.
+#[allow(clippy::too_many_arguments)]
 fn measure_call(
     udp: &UdpSocket,
     echo_rx: &Receiver<EchoEvent>,
-    relay: SocketAddr,
+    target: SocketAddr,
     session: u16,
+    round: u32,
     probes: u16,
     gap_ms: u64,
-) -> Result<PathMetrics, TestbedError> {
+    leg: PathLeg,
+) -> Result<CallSample, TestbedError> {
     // Drain stragglers from previous calls.
     while echo_rx.try_recv().is_ok() {}
 
     // A zero-probe call would divide by zero below; treat it as one probe
     // (the controller never asks for zero, but the CLI can).
     let probes = probes.max(1);
-    let ssrc: u32 = u32::from(session) << 16 | 0x5A5A;
+    let ssrc = probe_ssrc(session, round, leg);
+    let call_start = Instant::now();
     let mut send_times = vec![None::<Instant>; usize::from(probes)];
+    let mut last_send_err: Option<std::io::Error> = None;
 
     for seq in 0..probes {
         let pkt = ProbePacket::probe(session, seq, ssrc);
-        send_times[usize::from(seq)] = Some(Instant::now());
-        udp.send_to(&pkt.encode(), relay)?;
+        match udp.send_to(&pkt.encode(), target) {
+            Ok(_) => send_times[usize::from(seq)] = Some(Instant::now()),
+            Err(e) => last_send_err = Some(e),
+        }
         std::thread::sleep(Duration::from_millis(gap_ms));
+    }
+    // Timestamp base: the earliest probe that actually left the socket.
+    let t0 = send_times
+        .iter()
+        .copied()
+        .flatten()
+        .min()
+        .unwrap_or(call_start);
+    if send_times.iter().all(Option::is_none) {
+        let detail =
+            last_send_err.map_or_else(|| "unknown send failure".to_string(), |e| e.to_string());
+        return Err(TestbedError::Probe(format!(
+            "no probe of {probes} could be sent to {target}: {detail}"
+        )));
     }
 
     // Collection window: a generous ceiling so even intercontinental
     // emulated paths (~600 ms echo RTT) are counted, with an idle early-exit
     // so clean fast paths don't pay for it: once at least one echo arrived,
     // 250 ms of silence ends the call.
-    let deadline = Instant::now() + Duration::from_millis(1_200);
+    let deadline = Instant::now() + Duration::from_millis(COLLECT_CEILING_MS);
     let idle_exit = Duration::from_millis(250);
     let mut rtts: Vec<f64> = Vec::with_capacity(usize::from(probes));
     let mut estimator = JitterEstimator::new();
@@ -213,7 +384,6 @@ fn measure_call(
         if let Some(sent) = send_times[idx] {
             rtts.push(ev.at.duration_since(sent).as_secs_f64() * 1_000.0);
         }
-        let t0 = send_times[0].expect("first send recorded");
         let arrival_ms = ev.at.duration_since(t0).as_secs_f64() * 1_000.0;
         estimator.on_packet(arrival_ms, ev.rtp_timestamp);
         if received.iter().all(|&r| r) {
@@ -229,7 +399,10 @@ fn measure_call(
     } else {
         rtts.iter().sum::<f64>() / rtts.len() as f64
     };
-    Ok(PathMetrics::new(rtt_ms, loss_pct, estimator.jitter_ms()))
+    Ok(CallSample {
+        metrics: PathMetrics::new(rtt_ms, loss_pct, estimator.jitter_ms()),
+        echoes: got,
+    })
 }
 
 #[cfg(test)]
@@ -282,7 +455,9 @@ mod tests {
             ),
         );
 
-        let metrics = measure_call(&caller, &crx, relay.addr(), 1, 30, 2).unwrap();
+        let sample =
+            measure_call(&caller, &crx, relay.addr(), 1, 0, 30, 2, PathLeg::Relay).unwrap();
+        let metrics = sample.metrics;
         // Expected RTT ≈ 30 ms of impairment (+ loopback overhead).
         assert!(
             metrics.rtt_ms > 25.0 && metrics.rtt_ms < 80.0,
@@ -290,6 +465,7 @@ mod tests {
             metrics.rtt_ms
         );
         assert!(metrics.loss_pct < 10.0, "loss {}", metrics.loss_pct);
+        assert!(sample.echoes > 25, "echoes {}", sample.echoes);
 
         stop.store(true, Ordering::Relaxed);
         cstop.store(true, Ordering::Relaxed);
@@ -303,8 +479,20 @@ mod tests {
         let caller = UdpSocket::bind("127.0.0.1:0").unwrap();
         let (_tx, rx) = bounded(4);
         let dead: SocketAddr = "127.0.0.1:9".parse().unwrap(); // discard port
-        let metrics = measure_call(&caller, &rx, dead, 2, 5, 1).unwrap();
-        assert_eq!(metrics.loss_pct, 100.0);
-        assert!(metrics.rtt_ms >= 500.0);
+        let sample = measure_call(&caller, &rx, dead, 2, 0, 5, 1, PathLeg::Relay).unwrap();
+        assert_eq!(sample.metrics.loss_pct, 100.0);
+        assert!(sample.metrics.rtt_ms >= 500.0);
+        assert_eq!(sample.echoes, 0, "a dead path must report zero echoes");
+    }
+
+    #[test]
+    fn ssrc_separates_rounds_and_legs() {
+        let relay_r0 = probe_ssrc(7, 0, PathLeg::Relay);
+        let relay_r1 = probe_ssrc(7, 1, PathLeg::Relay);
+        let direct_r0 = probe_ssrc(7, 0, PathLeg::Direct);
+        assert_ne!(relay_r0, relay_r1);
+        assert_ne!(relay_r0, direct_r0);
+        // Different sessions never collide regardless of round/leg.
+        assert_ne!(probe_ssrc(8, 0, PathLeg::Relay), relay_r0);
     }
 }

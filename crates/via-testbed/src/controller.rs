@@ -6,16 +6,32 @@
 //! different relaying options, 4–5 times each". Pairs with distinct callers
 //! are driven in parallel (one orchestration thread per caller connection);
 //! a caller's own calls run strictly back-to-back.
+//!
+//! Robustness: every phase is deadline-bounded. Registration waits a bounded
+//! time and proceeds with whoever showed up (pairs naming an absent client
+//! fail with a per-pair cause instead of aborting the run). Each call is a
+//! request–response exchange with a per-attempt deadline and bounded,
+//! seeded-jitter retries; a call that exhausts its retries becomes a
+//! [`PairFailure`], not a dead run. A hard global deadline caps the whole
+//! orchestration. The controller therefore returns *partial* results — every
+//! report it did collect plus a typed cause for every call it could not.
 
 use parking_lot::Mutex;
+use rand::prelude::*;
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
 use via_model::metrics::PathMetrics;
+use via_model::seed;
 
+use crate::client::COLLECT_CEILING_MS;
 use crate::error::TestbedError;
-use crate::protocol::{read_frame, write_frame, ClientMsg, ControllerMsg, RelayIndex};
+use crate::fault::{FrameFate, FrameFaults, RetryPolicy};
+use crate::protocol::{
+    accept_deadline, ClientMsg, ControllerMsg, FrameConn, FrameError, RelayIndex,
+};
 
 /// One caller–callee pair and its relaying options.
 #[derive(Debug, Clone)]
@@ -26,6 +42,36 @@ pub struct PairSpec {
     pub callee: String,
     /// Relay options: (index for reporting, relay UDP address).
     pub relays: Vec<(RelayIndex, SocketAddr)>,
+}
+
+/// Deadlines, retry policy, and backoff seeding for the control plane.
+#[derive(Debug, Clone)]
+pub struct ControlTiming {
+    /// Longest the controller waits for client registrations before
+    /// proceeding with whoever arrived.
+    pub registration: Duration,
+    /// Slack added on top of the analytic per-call-attempt budget
+    /// (probe send phase + collection ceiling, doubled for the direct
+    /// fallback) to absorb scheduler noise.
+    pub call_margin: Duration,
+    /// Bounded retries with seeded jittered backoff for lost call frames.
+    pub retry: RetryPolicy,
+    /// Hard wall-clock ceiling on the whole orchestration.
+    pub global: Duration,
+    /// Seed for backoff jitter (per-caller streams are derived from it).
+    pub seed: u64,
+}
+
+impl Default for ControlTiming {
+    fn default() -> Self {
+        ControlTiming {
+            registration: Duration::from_secs(10),
+            call_margin: Duration::from_secs(3),
+            retry: RetryPolicy::default(),
+            global: Duration::from_secs(180),
+            seed: 0,
+        }
+    }
 }
 
 /// Orchestration parameters.
@@ -39,6 +85,8 @@ pub struct ControllerConfig {
     pub gap_ms: u64,
     /// The pair plan.
     pub pairs: Vec<PairSpec>,
+    /// Deadline / retry / backoff policy.
+    pub timing: ControlTiming,
 }
 
 /// One collected measurement.
@@ -54,29 +102,151 @@ pub struct ReportRecord {
     pub round: u32,
     /// Measured metrics.
     pub metrics: PathMetrics,
+    /// True when the relay leg was dead and the metrics were measured over
+    /// the direct fallback path instead (see `client`).
+    pub degraded: bool,
 }
 
-/// Runs the controller: waits for `expected_clients` registrations on
-/// `listener`, installs sessions via `registrar` — a callback invoked as
-/// `(relay, session_id, caller_addr, callee_addr)` before any calls are
-/// placed — orchestrates all calls, releases the clients, and returns the
-/// collected reports.
+/// Why a planned call (or a whole pair) produced no report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// A participant never registered within the registration deadline.
+    Unregistered {
+        /// The missing client's name.
+        name: String,
+    },
+    /// Every retry of the call exhausted its deadline without a report.
+    CallTimeout,
+    /// The caller's control stream failed; detail carries the I/O context.
+    Stream {
+        /// Human-readable failure detail (not stable across platforms).
+        detail: String,
+    },
+    /// The run's global deadline fired before this call could be placed.
+    GlobalDeadline,
+}
+
+impl FailureCause {
+    /// A stable, platform-independent label for this cause — what
+    /// deterministic summaries should use (the `Stream` detail string may
+    /// embed OS error text).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FailureCause::Unregistered { .. } => "unregistered",
+            FailureCause::CallTimeout => "call-timeout",
+            FailureCause::Stream { .. } => "stream",
+            FailureCause::GlobalDeadline => "global-deadline",
+        }
+    }
+}
+
+/// One planned call (or pair) that produced no report, with its cause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairFailure {
+    /// Caller name.
+    pub caller: String,
+    /// Callee name.
+    pub callee: String,
+    /// Relay of the failed call; `None` when the whole pair failed.
+    pub relay: Option<RelayIndex>,
+    /// Round of the failed call; `None` when the whole pair failed.
+    pub round: Option<u32>,
+    /// Why it failed.
+    pub cause: FailureCause,
+}
+
+/// Everything the controller returns: partial results plus typed failures.
+#[derive(Debug)]
+pub struct ControllerOutcome {
+    /// Every report collected, sorted by (caller, callee, relay, round).
+    pub reports: Vec<ReportRecord>,
+    /// Every call that produced no report, sorted like the reports.
+    pub failures: Vec<PairFailure>,
+}
+
+/// Per-caller factory for the fault stream applied to outgoing `Call`
+/// frames (`None` means no faults for that caller).
+pub type CallerFaultsFn<'a> = dyn Fn(&str) -> Option<FrameFaults> + Sync + 'a;
+
+/// Hook invoked just before each call is placed, with
+/// `(caller, pair_idx, relay, round)` — the kill-switch trigger point.
+pub type BeforeCallFn<'a> = dyn Fn(&str, usize, RelayIndex, u32) + Sync + 'a;
+
+/// Fault-injection hooks threaded into the controller by the harness.
+#[derive(Default)]
+pub struct ControlHooks<'a> {
+    /// Per-caller fault-stream factory (`None` hook means no faults).
+    pub caller_faults: Option<&'a CallerFaultsFn<'a>>,
+    /// Pre-call kill-switch trigger point.
+    pub before_call: Option<&'a BeforeCallFn<'a>>,
+}
+
+/// Worst-case wall-clock for one call attempt: the probe send phase plus the
+/// echo-collection ceiling, doubled because a degraded call measures twice
+/// (the dead relay attempt, then the direct fallback), plus margin.
+fn call_attempt_budget(probes: u16, gap_ms: u64, margin: Duration) -> Duration {
+    let send_ms = u64::from(probes.max(1)) * gap_ms;
+    Duration::from_millis(2 * (send_ms + COLLECT_CEILING_MS)) + margin
+}
+
+/// Shared, read-only context for the per-caller orchestration threads.
+struct CallerCtx<'a> {
+    rounds: u32,
+    probes: u16,
+    gap_ms: u64,
+    budget: Duration,
+    retry: RetryPolicy,
+    seed: u64,
+    global_deadline: Instant,
+    sessions: &'a HashMap<(usize, RelayIndex), u16>,
+    udp_addr_of: &'a HashMap<String, SocketAddr>,
+    before_call: Option<&'a BeforeCallFn<'a>>,
+    reports: &'a Mutex<Vec<ReportRecord>>,
+    failures: &'a Mutex<Vec<PairFailure>>,
+}
+
+/// Runs the controller: waits (bounded) for up to `expected_clients`
+/// registrations on `listener`, installs sessions via `registrar` — a
+/// callback invoked as `(pair_idx, relay, session_id, caller_addr,
+/// callee_addr)` before any calls are placed — orchestrates all calls with
+/// deadlines and retries, releases the clients, and returns the partial
+/// results.
+///
+/// # Errors
+/// Only *setup* failures (listener I/O, a protocol violation during
+/// registration, or a plan naming a client that does not exist even though
+/// every expected client registered) abort the run. Per-call and per-pair
+/// failures are returned in [`ControllerOutcome::failures`] instead.
 pub fn run_controller(
     listener: TcpListener,
     cfg: ControllerConfig,
     expected_clients: usize,
-    registrar: impl Fn(RelayIndex, u16, SocketAddr, SocketAddr),
-) -> Result<Vec<ReportRecord>, TestbedError> {
-    // Phase 1: registration.
-    let mut clients: HashMap<String, (TcpStream, SocketAddr)> = HashMap::new();
-    while clients.len() < expected_clients {
-        let (mut stream, peer) = listener.accept()?;
-        let msg: ClientMsg = read_frame(&mut stream)?;
+    registrar: impl Fn(usize, RelayIndex, u16, SocketAddr, SocketAddr),
+    hooks: &ControlHooks<'_>,
+) -> Result<ControllerOutcome, TestbedError> {
+    let start = Instant::now();
+    let global_deadline = start + cfg.timing.global;
+    let reg_deadline = (start + cfg.timing.registration).min(global_deadline);
+
+    // Phase 1: registration, bounded by the registration deadline.
+    let mut conns: HashMap<String, FrameConn> = HashMap::new();
+    let mut udp_addr_of: HashMap<String, SocketAddr> = HashMap::new();
+    while conns.len() < expected_clients {
+        let Some((stream, peer)) = accept_deadline(&listener, reg_deadline)? else {
+            break; // deadline passed: proceed with whoever arrived
+        };
+        let mut conn = FrameConn::new(stream)?;
+        let msg: ClientMsg = match conn.read_deadline(reg_deadline) {
+            Ok(m) => m,
+            Err(FrameError::Timeout) => break, // connected but silent
+            Err(e) => return Err(e.into()),
+        };
         match msg {
             ClientMsg::Register { name, udp_port } => {
                 let udp_addr = SocketAddr::new(peer.ip(), udp_port);
-                write_frame(&mut stream, &ControllerMsg::Welcome)?;
-                clients.insert(name, (stream, udp_addr));
+                conn.write(&ControllerMsg::Welcome)?;
+                udp_addr_of.insert(name.clone(), udp_addr);
+                conns.insert(name, conn);
             }
             other => {
                 return Err(TestbedError::Protocol(format!(
@@ -85,141 +255,319 @@ pub fn run_controller(
             }
         }
     }
+    let all_registered = conns.len() >= expected_clients;
+
+    // Partition the plan into runnable pairs and pre-failed ones. A plan
+    // that names a client *nobody has ever heard of* while every expected
+    // client registered is a configuration bug and fails loudly (the old
+    // silent `127.0.0.1:0` fallback measured nothing); a merely absent
+    // client degrades into per-pair `Unregistered` failures.
+    let mut failures: Vec<PairFailure> = Vec::new();
+    let mut runnable: Vec<(usize, PairSpec)> = Vec::new();
+    for (idx, pair) in cfg.pairs.iter().enumerate() {
+        let missing = [&pair.caller, &pair.callee]
+            .into_iter()
+            .find(|name| !udp_addr_of.contains_key(*name));
+        match missing {
+            Some(name) if all_registered => {
+                return Err(TestbedError::Protocol(format!(
+                    "pair plan names unknown client {name}"
+                )));
+            }
+            Some(name) => failures.push(PairFailure {
+                caller: pair.caller.clone(),
+                callee: pair.callee.clone(),
+                relay: None,
+                round: None,
+                cause: FailureCause::Unregistered { name: name.clone() },
+            }),
+            None => runnable.push((idx, pair.clone())),
+        }
+    }
 
     // Phase 2: session installation. One session id per (pair, relay).
     let mut session_of: HashMap<(usize, RelayIndex), u16> = HashMap::new();
     let mut next_session: u16 = 1;
-    for (pair_idx, pair) in cfg.pairs.iter().enumerate() {
-        let caller_addr = clients
+    for (pair_idx, pair) in &runnable {
+        let caller_addr = *udp_addr_of
             .get(&pair.caller)
-            .ok_or_else(|| TestbedError::Protocol(format!("unknown caller {}", pair.caller)))?
-            .1;
-        let callee_addr = clients
+            .ok_or_else(|| TestbedError::Protocol(format!("unknown caller {}", pair.caller)))?;
+        let callee_addr = *udp_addr_of
             .get(&pair.callee)
-            .ok_or_else(|| TestbedError::Protocol(format!("unknown callee {}", pair.callee)))?
-            .1;
+            .ok_or_else(|| TestbedError::Protocol(format!("unknown callee {}", pair.callee)))?;
         for &(relay, _) in &pair.relays {
             let id = next_session;
             next_session = next_session.wrapping_add(1);
-            registrar(relay, id, caller_addr, callee_addr);
-            session_of.insert((pair_idx, relay), id);
+            registrar(*pair_idx, relay, id, caller_addr, callee_addr);
+            session_of.insert((*pair_idx, relay), id);
         }
     }
 
-    // Phase 3: orchestration, one thread per caller.
-    let reports: Arc<Mutex<Vec<ReportRecord>>> = Arc::new(Mutex::new(Vec::new()));
-    let mut by_caller: HashMap<String, Vec<usize>> = HashMap::new();
-    for (i, p) in cfg.pairs.iter().enumerate() {
-        by_caller.entry(p.caller.clone()).or_default().push(i);
+    // Phase 3: orchestration, one scoped thread per caller. Callers are
+    // sorted so thread start order (and thus failure attribution on join)
+    // is deterministic.
+    let reports: Mutex<Vec<ReportRecord>> = Mutex::new(Vec::new());
+    let failures_sink: Mutex<Vec<PairFailure>> = Mutex::new(Vec::new());
+    let mut by_caller: Vec<(String, Vec<(usize, PairSpec)>)> = Vec::new();
+    for (idx, pair) in runnable {
+        match by_caller.iter_mut().find(|(c, _)| *c == pair.caller) {
+            Some((_, list)) => list.push((idx, pair)),
+            None => by_caller.push((pair.caller.clone(), vec![(idx, pair)])),
+        }
+    }
+    by_caller.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let ctx = CallerCtx {
+        rounds: cfg.rounds,
+        probes: cfg.probes,
+        gap_ms: cfg.gap_ms,
+        budget: call_attempt_budget(cfg.probes, cfg.gap_ms, cfg.timing.call_margin),
+        retry: cfg.timing.retry,
+        seed: cfg.timing.seed,
+        global_deadline,
+        sessions: &session_of,
+        udp_addr_of: &udp_addr_of,
+        before_call: hooks.before_call,
+        reports: &reports,
+        failures: &failures_sink,
+    };
+
+    let mut finished_conns: Vec<FrameConn> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for (caller, pairs) in by_caller {
+            let Some(conn) = conns.remove(&caller) else {
+                continue; // unreachable: runnable pairs have registered callers
+            };
+            let faults = hooks.caller_faults.and_then(|f| f(&caller));
+            let ctx = &ctx;
+            handles.push((
+                caller.clone(),
+                s.spawn(move || {
+                    let mut conn = conn;
+                    drive_caller(ctx, &caller, &pairs, &mut conn, faults);
+                    conn
+                }),
+            ));
+        }
+        for (caller, handle) in handles {
+            match handle.join() {
+                Ok(conn) => finished_conns.push(conn),
+                Err(_) => failures_sink.lock().push(PairFailure {
+                    caller,
+                    callee: String::new(),
+                    relay: None,
+                    round: None,
+                    cause: FailureCause::Stream {
+                        detail: "orchestration thread panicked".into(),
+                    },
+                }),
+            }
+        }
+    });
+
+    // Release every client (callers and idle callees), best-effort: a
+    // client that already vanished must not wedge teardown.
+    let teardown_deadline = Instant::now() + Duration::from_millis(500);
+    for conn in finished_conns.iter_mut().chain(conns.values_mut()) {
+        let _ = conn.write(&ControllerMsg::Finished);
+        let _ = conn.read_deadline::<ClientMsg>(teardown_deadline);
     }
 
-    let mut threads = Vec::new();
-    for (caller, pair_indices) in by_caller {
-        let (mut stream, _) = clients
-            .remove(&caller)
-            .ok_or_else(|| TestbedError::Protocol(format!("unknown caller {caller}")))?;
-        let pairs: Vec<(usize, PairSpec)> = pair_indices
-            .into_iter()
-            .map(|i| (i, cfg.pairs[i].clone()))
-            .collect();
-        let sessions = session_of.clone();
-        let reports = Arc::clone(&reports);
-        let rounds = cfg.rounds;
-        let probes = cfg.probes;
-        let gap_ms = cfg.gap_ms;
-        let callee_addrs: HashMap<String, SocketAddr> = pairs
-            .iter()
-            .map(|(_, p)| {
-                (
-                    p.callee.clone(),
-                    clients
-                        .get(&p.callee)
-                        .map(|c| c.1)
-                        // The callee may itself be a caller (already removed);
-                        // its UDP address was captured during registration and
-                        // embedded in the relay sessions, so it is only used
-                        // for the informational field of the Call message.
-                        .unwrap_or_else(|| "127.0.0.1:0".parse().expect("valid")),
-                )
-            })
-            .collect();
+    let mut reports = reports.into_inner();
+    reports.sort_by(|a, b| {
+        (&a.caller, &a.callee, a.relay, a.round).cmp(&(&b.caller, &b.callee, b.relay, b.round))
+    });
+    failures.extend(failures_sink.into_inner());
+    failures.sort_by(|a, b| {
+        (&a.caller, &a.callee, a.relay, a.round, a.cause.kind()).cmp(&(
+            &b.caller,
+            &b.callee,
+            b.relay,
+            b.round,
+            b.cause.kind(),
+        ))
+    });
+    Ok(ControllerOutcome { reports, failures })
+}
 
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("via-ctrl-{caller}"))
-                .spawn(move || -> Result<TcpStream, TestbedError> {
-                    for round in 0..rounds {
-                        for (pair_idx, pair) in &pairs {
-                            for &(relay, relay_addr) in &pair.relays {
-                                let session = sessions[&(*pair_idx, relay)];
-                                write_frame(
-                                    &mut stream,
-                                    &ControllerMsg::Call {
-                                        callee_addr: callee_addrs[&pair.callee].to_string(),
-                                        relay_addr: relay_addr.to_string(),
-                                        relay,
-                                        session,
-                                        round,
-                                        probes,
-                                        gap_ms,
-                                        callee: pair.callee.clone(),
-                                    },
-                                )?;
-                                let reply: ClientMsg = read_frame(&mut stream)?;
-                                match reply {
-                                    ClientMsg::Report {
-                                        caller,
-                                        callee,
-                                        relay,
-                                        round,
-                                        metrics,
-                                    } => reports.lock().push(ReportRecord {
-                                        caller,
-                                        callee,
-                                        relay,
-                                        round,
-                                        metrics,
-                                    }),
-                                    other => {
-                                        return Err(TestbedError::Protocol(format!(
-                                            "expected Report, got {other:?}"
-                                        )))
-                                    }
-                                }
-                            }
+/// Drives all of one caller's calls back-to-back, recording reports and
+/// failures; never returns an error — a broken stream fails the caller's
+/// remaining pairs and returns.
+fn drive_caller(
+    ctx: &CallerCtx<'_>,
+    caller: &str,
+    pairs: &[(usize, PairSpec)],
+    conn: &mut FrameConn,
+    mut faults: Option<FrameFaults>,
+) {
+    let mut rng = StdRng::seed_from_u64(seed::derive(ctx.seed, caller));
+    for round in 0..ctx.rounds {
+        for (pair_idx, pair) in pairs {
+            for &(relay, relay_addr) in &pair.relays {
+                if Instant::now() >= ctx.global_deadline {
+                    ctx.failures.lock().push(PairFailure {
+                        caller: caller.to_string(),
+                        callee: pair.callee.clone(),
+                        relay: Some(relay),
+                        round: Some(round),
+                        cause: FailureCause::GlobalDeadline,
+                    });
+                    continue; // keep recording (cheap: no I/O past this point)
+                }
+                if let Some(hook) = ctx.before_call {
+                    hook(caller, *pair_idx, relay, round);
+                }
+                let (Some(&session), Some(callee_addr)) = (
+                    ctx.sessions.get(&(*pair_idx, relay)),
+                    ctx.udp_addr_of.get(&pair.callee),
+                ) else {
+                    ctx.failures.lock().push(PairFailure {
+                        caller: caller.to_string(),
+                        callee: pair.callee.clone(),
+                        relay: Some(relay),
+                        round: Some(round),
+                        cause: FailureCause::Stream {
+                            detail: "missing session or callee address".into(),
+                        },
+                    });
+                    continue;
+                };
+                let call = ControllerMsg::Call {
+                    callee_addr: callee_addr.to_string(),
+                    relay_addr: relay_addr.to_string(),
+                    relay,
+                    session,
+                    round,
+                    probes: ctx.probes,
+                    gap_ms: ctx.gap_ms,
+                    callee: pair.callee.clone(),
+                };
+                match place_call(ctx, conn, &call, &mut faults, &mut rng) {
+                    Ok(Some((metrics, degraded))) => ctx.reports.lock().push(ReportRecord {
+                        caller: caller.to_string(),
+                        callee: pair.callee.clone(),
+                        relay,
+                        round,
+                        metrics,
+                        degraded,
+                    }),
+                    Ok(None) => ctx.failures.lock().push(PairFailure {
+                        caller: caller.to_string(),
+                        callee: pair.callee.clone(),
+                        relay: Some(relay),
+                        round: Some(round),
+                        cause: FailureCause::CallTimeout,
+                    }),
+                    Err(e) => {
+                        // The stream is unusable: fail this call, mark every
+                        // pair of this caller as cut off, and stop.
+                        let mut sink = ctx.failures.lock();
+                        sink.push(PairFailure {
+                            caller: caller.to_string(),
+                            callee: pair.callee.clone(),
+                            relay: Some(relay),
+                            round: Some(round),
+                            cause: FailureCause::Stream {
+                                detail: e.to_string(),
+                            },
+                        });
+                        for (_, p) in pairs {
+                            sink.push(PairFailure {
+                                caller: caller.to_string(),
+                                callee: p.callee.clone(),
+                                relay: None,
+                                round: None,
+                                cause: FailureCause::Stream {
+                                    detail: "caller control stream lost".into(),
+                                },
+                            });
                         }
+                        return;
                     }
-                    Ok(stream)
-                })?,
-        );
+                }
+            }
+        }
     }
+}
 
-    // Join orchestration threads, then release every client.
-    let mut caller_streams = Vec::new();
-    for t in threads {
-        let stream = t
-            .join()
-            .map_err(|_| TestbedError::Component("orchestration thread panicked".into()))??;
-        caller_streams.push(stream);
+/// One request–response call exchange with bounded retries.
+///
+/// Returns `Ok(Some((metrics, degraded)))` on success, `Ok(None)` when every
+/// attempt timed out (the caller records a `CallTimeout`), and `Err` only
+/// when the stream itself is broken.
+fn place_call(
+    ctx: &CallerCtx<'_>,
+    conn: &mut FrameConn,
+    call: &ControllerMsg,
+    faults: &mut Option<FrameFaults>,
+    rng: &mut StdRng,
+) -> Result<Option<(PathMetrics, bool)>, TestbedError> {
+    let ControllerMsg::Call { relay, round, .. } = call else {
+        return Err(TestbedError::Protocol("place_call needs a Call".into()));
+    };
+    let (want_relay, want_round) = (*relay, *round);
+    for attempt in 0..ctx.retry.attempts.max(1) {
+        if attempt > 0 {
+            std::thread::sleep(ctx.retry.backoff(attempt - 1, rng));
+        }
+        match faults.as_mut().map_or(
+            FrameFate::Deliver { duplicate: false },
+            FrameFaults::next_fate,
+        ) {
+            // The Call frame is "lost": skip the write and let the read
+            // deadline drive the retry, exactly as a real drop would.
+            FrameFate::Drop => {}
+            FrameFate::Deliver { duplicate } => {
+                if let Some(f) = faults {
+                    let d = f.delay();
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                }
+                conn.write(call)?;
+                if duplicate {
+                    conn.write(call)?;
+                }
+            }
+        }
+        let deadline = (Instant::now() + ctx.budget).min(ctx.global_deadline);
+        loop {
+            match conn.read_deadline::<ClientMsg>(deadline) {
+                Ok(ClientMsg::Report {
+                    relay,
+                    round,
+                    metrics,
+                    degraded,
+                    ..
+                }) => {
+                    if relay == want_relay && round == want_round {
+                        return Ok(Some((metrics, degraded)));
+                    }
+                    // A stale or duplicated report from an earlier retried
+                    // call: skip it and keep waiting for ours.
+                }
+                Ok(other) => {
+                    return Err(TestbedError::Protocol(format!(
+                        "expected Report, got {other:?}"
+                    )))
+                }
+                Err(FrameError::Timeout) => break, // next attempt
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if Instant::now() >= ctx.global_deadline {
+            break; // no budget left for another attempt
+        }
     }
-    for mut stream in caller_streams {
-        write_frame(&mut stream, &ControllerMsg::Finished)?;
-        // Read the Done (best-effort; the client may have closed already).
-        let _ = read_frame::<ClientMsg>(&mut stream);
-    }
-    for (_, (mut stream, _)) in clients {
-        write_frame(&mut stream, &ControllerMsg::Finished)?;
-        let _ = read_frame::<ClientMsg>(&mut stream);
-    }
-
-    Ok(Arc::try_unwrap(reports)
-        .map_err(|_| TestbedError::Component("report sink still shared".into()))?
-        .into_inner())
+    Ok(None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::{read_frame, write_frame};
+    use std::net::TcpStream;
 
     #[test]
     fn pair_spec_and_config_are_cloneable() {
@@ -233,8 +581,32 @@ mod tests {
             probes: 10,
             gap_ms: 5,
             pairs: vec![p.clone()],
+            timing: ControlTiming::default(),
         };
         assert_eq!(cfg.pairs[0].caller, p.caller);
+    }
+
+    #[test]
+    fn failure_causes_have_stable_kinds() {
+        assert_eq!(
+            FailureCause::Unregistered { name: "x".into() }.kind(),
+            "unregistered"
+        );
+        assert_eq!(FailureCause::CallTimeout.kind(), "call-timeout");
+        assert_eq!(
+            FailureCause::Stream {
+                detail: "io".into()
+            }
+            .kind(),
+            "stream"
+        );
+        assert_eq!(FailureCause::GlobalDeadline.kind(), "global-deadline");
+    }
+
+    #[test]
+    fn call_budget_covers_the_degraded_double_measurement() {
+        let b = call_attempt_budget(10, 2, Duration::from_millis(500));
+        assert!(b >= Duration::from_millis(2 * (20 + COLLECT_CEILING_MS) + 500));
     }
 
     #[test]
@@ -265,9 +637,71 @@ mod tests {
                 callee: "real".into(),
                 relays: vec![(0, "127.0.0.1:5000".parse().unwrap())],
             }],
+            timing: ControlTiming::default(),
         };
-        let err = run_controller(listener, cfg, 1, |_, _, _, _| {}).unwrap_err();
+        let err = run_controller(
+            listener,
+            cfg,
+            1,
+            |_, _, _, _, _| {},
+            &ControlHooks::default(),
+        )
+        .unwrap_err();
         assert!(matches!(err, TestbedError::Protocol(_)));
+        joiner.join().unwrap();
+    }
+
+    /// A client that never registers degrades into per-pair failures rather
+    /// than aborting the run (partial-results contract).
+    #[test]
+    fn missing_client_yields_partial_failures_not_abort() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let joiner = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_frame(
+                &mut s,
+                &ClientMsg::Register {
+                    name: "real".into(),
+                    udp_port: 1,
+                },
+            )
+            .unwrap();
+            let _: ControllerMsg = read_frame(&mut s).unwrap();
+            // Wait for Finished so the controller's teardown write succeeds.
+            let _: Result<ControllerMsg, _> = read_frame(&mut s);
+        });
+        let cfg = ControllerConfig {
+            rounds: 1,
+            probes: 1,
+            gap_ms: 1,
+            pairs: vec![PairSpec {
+                caller: "real".into(),
+                callee: "absent".into(),
+                relays: vec![(0, "127.0.0.1:5000".parse().unwrap())],
+            }],
+            timing: ControlTiming {
+                registration: Duration::from_millis(300),
+                ..ControlTiming::default()
+            },
+        };
+        // Expect two clients; only one arrives before the deadline.
+        let outcome = run_controller(
+            listener,
+            cfg,
+            2,
+            |_, _, _, _, _| {},
+            &ControlHooks::default(),
+        )
+        .unwrap();
+        assert!(outcome.reports.is_empty());
+        assert_eq!(outcome.failures.len(), 1);
+        assert_eq!(
+            outcome.failures[0].cause,
+            FailureCause::Unregistered {
+                name: "absent".into()
+            }
+        );
         joiner.join().unwrap();
     }
 }

@@ -14,6 +14,13 @@ pub enum TestbedError {
     Protocol(String),
     /// A component thread panicked or disconnected early.
     Component(String),
+    /// A deadline elapsed; the string names what was being waited for.
+    Timeout(String),
+    /// The probe data plane failed outright (e.g. no probe send succeeded).
+    Probe(String),
+    /// The testbed configuration is unusable (replaces the old asserts so a
+    /// bad CLI invocation errors instead of aborting).
+    Config(String),
 }
 
 impl std::fmt::Display for TestbedError {
@@ -23,6 +30,9 @@ impl std::fmt::Display for TestbedError {
             TestbedError::Frame(e) => write!(f, "testbed framing error: {e}"),
             TestbedError::Protocol(m) => write!(f, "testbed protocol violation: {m}"),
             TestbedError::Component(m) => write!(f, "testbed component failure: {m}"),
+            TestbedError::Timeout(m) => write!(f, "testbed deadline elapsed: {m}"),
+            TestbedError::Probe(m) => write!(f, "testbed probe failure: {m}"),
+            TestbedError::Config(m) => write!(f, "testbed configuration error: {m}"),
         }
     }
 }
@@ -37,7 +47,10 @@ impl From<io::Error> for TestbedError {
 
 impl From<FrameError> for TestbedError {
     fn from(e: FrameError) -> Self {
-        TestbedError::Frame(e)
+        match e {
+            FrameError::Timeout => TestbedError::Timeout("control frame".into()),
+            other => TestbedError::Frame(other),
+        }
     }
 }
 

@@ -5,6 +5,15 @@
 //! world, whose segment model supplies the emulated impairments), a fleet of
 //! relay forwarders, and the controller orchestrating back-to-back probe
 //! calls over every relaying option.
+//!
+//! The harness also owns fault injection: a [`FaultPlan`] in the config can
+//! partition a client (never started), blackhole a probe leg (sessions
+//! installed with 100% loss), kill a relay at a schedule point (via the
+//! controller's `before_call` hook), and drop/duplicate/delay call-plane
+//! control frames on both ends. Runs complete with partial results — see
+//! [`TestbedResult::failures`] — and [`TestbedResult::summary`] renders a
+//! deterministic, metrics-free digest that two same-seed runs reproduce
+//! byte-identically even under injected chaos.
 
 use std::collections::HashMap;
 use std::net::TcpListener;
@@ -13,9 +22,13 @@ use via_model::metrics::PathMetrics;
 use via_model::time::SimTime;
 use via_netsim::{World, WorldConfig};
 
-use crate::client::run_client;
-use crate::controller::{run_controller, ControllerConfig, PairSpec, ReportRecord};
+use crate::client::{run_client_with, ClientConfig};
+use crate::controller::{
+    run_controller, ControlHooks, ControlTiming, ControllerConfig, PairFailure, PairSpec,
+    ReportRecord,
+};
 use crate::error::TestbedError;
+use crate::fault::FaultPlan;
 use crate::impair::ImpairParams;
 use crate::relay::{RelayHandle, Session};
 
@@ -38,6 +51,10 @@ pub struct TestbedConfig {
     pub world: WorldConfig,
     /// Seed for everything.
     pub seed: u64,
+    /// Failures to inject (default: none).
+    pub fault: FaultPlan,
+    /// Control-plane deadlines and retry policy.
+    pub timing: ControlTiming,
 }
 
 impl TestbedConfig {
@@ -52,6 +69,8 @@ impl TestbedConfig {
             gap_ms: 2,
             world: WorldConfig::tiny(),
             seed: 18,
+            fault: FaultPlan::none(),
+            timing: ControlTiming::default(),
         }
     }
 
@@ -67,6 +86,11 @@ impl TestbedConfig {
             gap_ms: 4,
             world: WorldConfig::tiny(),
             seed: 55,
+            fault: FaultPlan::none(),
+            timing: ControlTiming {
+                global: std::time::Duration::from_secs(600),
+                ..ControlTiming::default()
+            },
         }
     }
 }
@@ -74,8 +98,15 @@ impl TestbedConfig {
 /// Everything a testbed run produces.
 #[derive(Debug)]
 pub struct TestbedResult {
-    /// All measurements collected by the controller.
+    /// All measurements collected by the controller (possibly partial under
+    /// injected faults), sorted by (caller, callee, relay, round).
     pub reports: Vec<ReportRecord>,
+    /// Every planned call or pair that produced no report, with its cause.
+    pub failures: Vec<PairFailure>,
+    /// Errors returned by client threads (e.g. an idle timeout after the
+    /// controller cut a stream). Text may embed OS error strings, so this is
+    /// excluded from [`TestbedResult::summary`].
+    pub client_errors: Vec<String>,
     /// The impairment-derived expected metrics per (caller, callee, relay):
     /// ground truth for validating measurements.
     pub expected: HashMap<(String, String, u16), PathMetrics>,
@@ -83,6 +114,43 @@ pub struct TestbedResult {
     pub forwarded: u64,
     /// Total packets dropped by impairment.
     pub dropped: u64,
+}
+
+impl TestbedResult {
+    /// Number of reports measured over the direct fallback path.
+    pub fn degraded_count(&self) -> usize {
+        self.reports.iter().filter(|r| r.degraded).count()
+    }
+
+    /// A deterministic digest of the run: one sorted line per call outcome
+    /// and per failure. Deliberately excludes metrics, timings, and error
+    /// detail strings so that two same-seed runs — even chaotic ones —
+    /// produce identical summaries.
+    pub fn summary(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .reports
+            .iter()
+            .map(|r| {
+                let status = if r.degraded { "degraded" } else { "ok" };
+                format!(
+                    "call {}->{} relay {} round {}: {status}",
+                    r.caller, r.callee, r.relay, r.round
+                )
+            })
+            .collect();
+        lines.extend(self.failures.iter().map(|f| {
+            let relay = f.relay.map_or_else(|| "-".to_string(), |r| r.to_string());
+            let round = f.round.map_or_else(|| "-".to_string(), |r| r.to_string());
+            format!(
+                "fail {}->{} relay {relay} round {round}: {}",
+                f.caller,
+                f.callee,
+                f.cause.kind()
+            )
+        }));
+        lines.sort();
+        lines
+    }
 }
 
 /// Emulated one-way leg between a client (by AS) and a relay, derived from
@@ -103,17 +171,50 @@ fn leg_params(world: &World, as_id: AsId, relay: RelayId) -> ImpairParams {
     }
 }
 
-/// Runs a complete testbed experiment and returns the measurements.
-pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
-    assert!(cfg.n_clients >= 2, "need at least two clients");
-    assert!(cfg.n_relays >= 1, "need at least one relay");
+/// Validates a config, returning a typed error instead of panicking so a
+/// bad CLI invocation fails gracefully.
+fn validate(cfg: &TestbedConfig, world: &World) -> Result<(), TestbedError> {
+    if cfg.n_clients < 2 {
+        return Err(TestbedError::Config("need at least two clients".into()));
+    }
+    if cfg.n_relays == 0 {
+        return Err(TestbedError::Config("need at least one relay".into()));
+    }
+    if world.ases.len() < cfg.n_clients {
+        return Err(TestbedError::Config(format!(
+            "world has {} ASes but {} clients were requested",
+            world.ases.len(),
+            cfg.n_clients
+        )));
+    }
+    if world.relays.len() < cfg.n_relays {
+        return Err(TestbedError::Config(format!(
+            "world has {} relays but {} were requested",
+            world.relays.len(),
+            cfg.n_relays
+        )));
+    }
+    if let Some(i) = cfg.fault.partition_client {
+        if i >= cfg.n_clients {
+            return Err(TestbedError::Config(format!(
+                "partition_client {i} out of range (n_clients {})",
+                cfg.n_clients
+            )));
+        }
+    }
+    Ok(())
+}
 
+/// Runs a complete testbed experiment and returns the (possibly partial)
+/// measurements.
+///
+/// # Errors
+/// Setup failures only (bad config, listener I/O, registration protocol
+/// violations). Injected faults and mid-run failures surface as
+/// [`TestbedResult::failures`] / [`TestbedResult::client_errors`] instead.
+pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
     let world = World::generate(&cfg.world, cfg.seed);
-    assert!(
-        world.ases.len() >= cfg.n_clients,
-        "world too small for the requested client count"
-    );
-    assert!(world.relays.len() >= cfg.n_relays);
+    validate(cfg, &world)?;
 
     // Spread clients across ASes (and hence countries).
     let client_as: Vec<AsId> = (0..cfg.n_clients)
@@ -170,89 +271,141 @@ pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
     }
 
     // The session registrar wires controller-assigned sessions into relays
-    // with the impairments of the two legs.
+    // with the impairments of the two legs; the controller hands it the pair
+    // index explicitly, so skipped (failed) pairs cannot shift the mapping.
+    // Pair participants are resolved by name from this parallel list.
+    let pair_names: Vec<(String, String)> = pairs
+        .iter()
+        .map(|p| (p.caller.clone(), p.callee.clone()))
+        .collect();
     let registrar_world = &world;
     let registrar_relays = &relays;
     let registrar_as_of = &as_of;
-
-    // Map from UDP addr to client index is only known post-registration, so
-    // the registrar resolves impairments by *position in the plan* instead:
-    // controller registers sessions pair-by-pair in plan order.
-    let plan_legs: Vec<(ImpairParams, ImpairParams)> = pairs
-        .iter()
-        .flat_map(|p| {
-            let ca = registrar_as_of[p.caller.as_str()];
-            let cb = registrar_as_of[p.callee.as_str()];
-            p.relays.iter().map(move |&(r, _)| {
-                let leg_a = leg_params(registrar_world, ca, RelayId(u32::from(r)));
-                let leg_b = leg_params(registrar_world, cb, RelayId(u32::from(r)));
-                (leg_a.chain(&leg_b), leg_b.chain(&leg_a))
-            })
-        })
-        .collect();
-    let session_counter = std::sync::atomic::AtomicUsize::new(0);
+    let blackhole = cfg.fault.blackhole;
     // Per-session temporal sway (deterministic in the seed + session order):
     // effective delay oscillates ±25% with a period comparable to a sweep,
     // so consecutive rounds can disagree about the best relay.
     let sway_seed = cfg.seed;
+    let registrar = move |pair_idx: usize,
+                          relay: crate::protocol::RelayIndex,
+                          session: u16,
+                          caller_addr: std::net::SocketAddr,
+                          callee_addr: std::net::SocketAddr| {
+        let (a_to_b, b_to_a) = if blackhole == Some((pair_idx, relay)) {
+            (ImpairParams::BLACKHOLE, ImpairParams::BLACKHOLE)
+        } else {
+            match pair_names.get(pair_idx) {
+                Some((caller, callee)) => {
+                    let ca = registrar_as_of[caller.as_str()];
+                    let cb = registrar_as_of[callee.as_str()];
+                    let leg_a = leg_params(registrar_world, ca, RelayId(u32::from(relay)));
+                    let leg_b = leg_params(registrar_world, cb, RelayId(u32::from(relay)));
+                    (leg_a.chain(&leg_b), leg_b.chain(&leg_a))
+                }
+                None => (ImpairParams::CLEAN, ImpairParams::CLEAN),
+            }
+        };
+        let mix = via_model::seed::derive_indexed(sway_seed, "sway", u64::from(session));
+        registrar_relays[usize::from(relay)].register_session(
+            session,
+            Session {
+                a: caller_addr,
+                b: callee_addr,
+                a_to_b,
+                b_to_a,
+                sway_amp: 0.10 + (mix % 1000) as f64 / 1000.0 * 0.25,
+                sway_period_s: 6.0 + (mix >> 10 & 0x3FF) as f64 / 1024.0 * 18.0,
+                sway_phase: (mix >> 20 & 0x3FF) as f64 / 1024.0 * std::f64::consts::TAU,
+            },
+        );
+    };
+
+    // Fault hooks: the relay kill-switch fires deterministically just before
+    // the targeted (pair, relay, round) call is placed; control-frame fault
+    // streams are derived per connection from the plan seed.
+    let kill = cfg.fault.kill_relay;
+    let hook_relays = &relays;
+    let before_call =
+        move |_caller: &str, pair_idx: usize, relay: crate::protocol::RelayIndex, round: u32| {
+            if let Some(k) = kill {
+                if k.pair_idx == pair_idx && k.relay == relay && k.round == round {
+                    if let Some(r) = hook_relays.get(usize::from(relay)) {
+                        r.kill();
+                    }
+                }
+            }
+        };
+    let client_index: HashMap<String, u64> = client_names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), i as u64))
+        .collect();
+    let fault_plan = cfg.fault.clone();
+    let caller_faults = move |caller: &str| {
+        client_index
+            .get(caller)
+            .and_then(|&i| fault_plan.frame_faults("ctrl-call", i))
+    };
+    let hooks = ControlHooks {
+        caller_faults: Some(&caller_faults),
+        before_call: Some(&before_call),
+    };
 
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let controller_addr = listener.local_addr()?;
+    let mut timing = cfg.timing.clone();
+    timing.seed = via_model::seed::derive(cfg.fault.seed, "backoff");
     let controller_cfg = ControllerConfig {
         rounds: cfg.rounds,
         probes: cfg.probes,
         gap_ms: cfg.gap_ms,
         pairs,
+        timing: timing.clone(),
     };
 
-    // Clients run on their own threads.
-    let client_threads: Vec<_> = client_names
-        .iter()
-        .map(|name| {
-            let name = name.clone();
-            std::thread::Builder::new()
-                .name(format!("via-{name}"))
-                .spawn(move || run_client(&name, controller_addr))
-                .expect("spawn client")
-        })
-        .collect();
+    // Clients run on their own threads; a partitioned client is simply
+    // never started, so it never registers.
+    let mut client_threads = Vec::new();
+    for (i, name) in client_names.iter().enumerate() {
+        if cfg.fault.partition_client == Some(i) {
+            continue;
+        }
+        let name = name.clone();
+        let client_cfg = ClientConfig {
+            // Callees idle for the entire run; only a controller death
+            // should time them out.
+            idle_timeout: timing.global + std::time::Duration::from_secs(5),
+            faults: cfg.fault.frame_faults("client-report", i as u64),
+            ..ClientConfig::default()
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("via-{name}"))
+            .spawn({
+                let name = name.clone();
+                move || run_client_with(&name, controller_addr, client_cfg)
+            })
+            .map_err(TestbedError::Io)?;
+        client_threads.push((name, handle));
+    }
 
-    let reports = run_controller(
-        listener,
-        controller_cfg,
-        cfg.n_clients,
-        |relay, session, caller_addr, callee_addr| {
-            let idx = session_counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let (a_to_b, b_to_a) = plan_legs
-                .get(idx)
-                .copied()
-                .unwrap_or((ImpairParams::CLEAN, ImpairParams::CLEAN));
-            let mix = via_model::seed::derive_indexed(sway_seed, "sway", session as u64);
-            registrar_relays[usize::from(relay)].register_session(
-                session,
-                Session {
-                    a: caller_addr,
-                    b: callee_addr,
-                    a_to_b,
-                    b_to_a,
-                    sway_amp: 0.10 + (mix % 1000) as f64 / 1000.0 * 0.25,
-                    sway_period_s: 6.0 + (mix >> 10 & 0x3FF) as f64 / 1024.0 * 18.0,
-                    sway_phase: (mix >> 20 & 0x3FF) as f64 / 1024.0 * std::f64::consts::TAU,
-                },
-            );
-        },
-    )?;
+    let outcome = run_controller(listener, controller_cfg, cfg.n_clients, registrar, &hooks)?;
 
-    for t in client_threads {
-        t.join()
-            .map_err(|_| TestbedError::Component("client thread panicked".into()))??;
+    let mut client_errors = Vec::new();
+    for (name, t) in client_threads {
+        match t.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => client_errors.push(format!("{name}: {e}")),
+            Err(_) => client_errors.push(format!("{name}: client thread panicked")),
+        }
     }
 
     let forwarded = relays.iter().map(RelayHandle::forwarded).sum();
     let dropped = relays.iter().map(RelayHandle::dropped).sum();
 
     Ok(TestbedResult {
-        reports,
+        reports: outcome.reports,
+        failures: outcome.failures,
+        client_errors,
         expected,
         forwarded,
         dropped,
@@ -269,6 +422,13 @@ mod tests {
         let result = run_testbed(&cfg).expect("testbed run");
         let expected_reports = cfg.n_pairs * cfg.n_relays * cfg.rounds as usize;
         assert_eq!(result.reports.len(), expected_reports);
+        assert!(result.failures.is_empty(), "{:?}", result.failures);
+        assert!(
+            result.client_errors.is_empty(),
+            "{:?}",
+            result.client_errors
+        );
+        assert_eq!(result.degraded_count(), 0);
         assert!(result.forwarded > 0, "relays forwarded nothing");
 
         // Measurements should land in the ballpark of the emulated paths.
@@ -292,5 +452,51 @@ mod tests {
             checked > expected_reports / 2,
             "too few usable measurements"
         );
+    }
+
+    #[test]
+    fn bad_configs_error_instead_of_panicking() {
+        let mut cfg = TestbedConfig::fast();
+        cfg.n_clients = 1;
+        assert!(matches!(run_testbed(&cfg), Err(TestbedError::Config(_))));
+        let mut cfg = TestbedConfig::fast();
+        cfg.n_relays = 0;
+        assert!(matches!(run_testbed(&cfg), Err(TestbedError::Config(_))));
+        let mut cfg = TestbedConfig::fast();
+        cfg.fault.partition_client = Some(99);
+        assert!(matches!(run_testbed(&cfg), Err(TestbedError::Config(_))));
+    }
+
+    #[test]
+    fn summary_is_sorted_and_metrics_free() {
+        let result = TestbedResult {
+            reports: vec![ReportRecord {
+                caller: "client-0".into(),
+                callee: "client-1".into(),
+                relay: 1,
+                round: 0,
+                metrics: PathMetrics::new(10.0, 0.0, 1.0),
+                degraded: true,
+            }],
+            failures: vec![PairFailure {
+                caller: "client-0".into(),
+                callee: "client-2".into(),
+                relay: None,
+                round: None,
+                cause: crate::controller::FailureCause::Unregistered {
+                    name: "client-2".into(),
+                },
+            }],
+            client_errors: vec![],
+            expected: HashMap::new(),
+            forwarded: 0,
+            dropped: 0,
+        };
+        let summary = result.summary();
+        assert_eq!(summary.len(), 2);
+        assert!(summary[0].starts_with("call client-0->client-1 relay 1 round 0: degraded"));
+        assert!(summary[1].starts_with("fail client-0->client-2 relay - round -: unregistered"));
+        // Metrics must not leak into the summary (determinism contract).
+        assert!(summary.iter().all(|l| !l.contains("10")));
     }
 }

@@ -40,6 +40,15 @@ impl ImpairParams {
         corrupt_pct: 0.0,
     };
 
+    /// A dead leg: every packet is dropped. Used by the fault injector to
+    /// blackhole a probe path while the relay itself stays up.
+    pub const BLACKHOLE: ImpairParams = ImpairParams {
+        delay_ms: 0.0,
+        jitter_ms: 0.0,
+        loss_pct: 100.0,
+        corrupt_pct: 0.0,
+    };
+
     /// Decides whether to corrupt this packet, and if so which byte to
     /// flip and with what XOR mask (never zero, so the byte always changes).
     pub fn sample_corruption(&self, len: usize, rng: &mut StdRng) -> Option<(usize, u8)> {
@@ -143,7 +152,14 @@ impl DelayLine {
     }
 
     fn worker_loop(inner: &DelayLineInner, socket: &UdpSocket) {
-        let mut guard = inner.queue.lock().expect("delayline lock");
+        // A panicking queue user would poison this std mutex; the heap of
+        // pending packets is still structurally valid (pushes are a single
+        // `BinaryHeap::push`), so recover the guard rather than crash the
+        // data plane mid-measurement.
+        let mut guard = inner
+            .queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if inner.stop.load(Ordering::Relaxed) {
                 return;
@@ -152,7 +168,7 @@ impl DelayLine {
             // Send everything due.
             while let Some(Reverse(head)) = guard.peek() {
                 if head.release <= now {
-                    let Reverse(p) = guard.pop().expect("peeked");
+                    let Some(Reverse(p)) = guard.pop() else { break };
                     // Best-effort: a vanished receiver must not kill the line.
                     let _ = socket.send_to(&p.payload, p.dest);
                 } else {
@@ -160,23 +176,15 @@ impl DelayLine {
                 }
             }
             // Sleep until the next release or a new packet arrives.
-            guard = match guard.peek() {
-                Some(Reverse(head)) => {
-                    let wait = head.release.saturating_duration_since(Instant::now());
-                    inner
-                        .cv
-                        .wait_timeout(guard, wait)
-                        .expect("delayline wait")
-                        .0
-                }
-                None => {
-                    let (g, _) = inner
-                        .cv
-                        .wait_timeout(guard, Duration::from_millis(50))
-                        .expect("delayline wait");
-                    g
-                }
+            let wait = match guard.peek() {
+                Some(Reverse(head)) => head.release.saturating_duration_since(Instant::now()),
+                None => Duration::from_millis(50),
             };
+            guard = inner
+                .cv
+                .wait_timeout(guard, wait)
+                .map(|(g, _)| g)
+                .unwrap_or_else(|p| p.into_inner().0);
         }
     }
 
@@ -194,7 +202,7 @@ impl DelayLine {
         self.inner
             .queue
             .lock()
-            .expect("delayline lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(Reverse(p));
         self.inner.cv.notify_one();
     }

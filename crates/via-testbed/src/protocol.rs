@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
 use via_model::metrics::PathMetrics;
 
 /// Maximum accepted control frame, bytes (a Report is < 1 KiB; anything
@@ -40,6 +42,9 @@ pub enum ClientMsg {
         round: u32,
         /// Measured metrics (RTT/loss/jitter over the probe stream).
         metrics: PathMetrics,
+        /// True when the relay leg produced no echoes and the metrics were
+        /// measured over the direct fallback path instead.
+        degraded: bool,
     },
     /// The client is done with its assignments.
     Done {
@@ -85,6 +90,9 @@ pub enum FrameError {
     Oversized(u32),
     /// JSON decode failure.
     Decode(String),
+    /// A read deadline elapsed before a complete frame arrived. Partial
+    /// bytes stay buffered in the [`FrameConn`]; the stream is not desynced.
+    Timeout,
 }
 
 impl std::fmt::Display for FrameError {
@@ -93,6 +101,7 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "frame I/O error: {e}"),
             FrameError::Oversized(n) => write!(f, "frame of {n} bytes exceeds limit"),
             FrameError::Decode(e) => write!(f, "frame decode error: {e}"),
+            FrameError::Timeout => write!(f, "frame read deadline elapsed"),
         }
     }
 }
@@ -131,6 +140,153 @@ pub fn read_frame<T: for<'de> Deserialize<'de>>(r: &mut impl Read) -> Result<T, 
     serde_json::from_slice(&body).map_err(|e| FrameError::Decode(e.to_string()))
 }
 
+/// How long a write may block before the connection is declared dead.
+/// Control frames are < 1 KiB against loopback-sized socket buffers, so any
+/// write that stalls this long means the peer is gone.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Poll interval for [`accept_deadline`], and the cap on one blocking read
+/// inside [`FrameConn::read_deadline`] so the stop conditions stay live.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// Connects to `addr` with a bounded timeout instead of the OS default
+/// (which can be minutes).
+///
+/// # Errors
+/// Propagates the connect failure, including `TimedOut`.
+pub fn connect_deadline(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    TcpStream::connect_timeout(&addr, timeout)
+}
+
+/// Accepts one connection before `deadline`, or returns `Ok(None)` when the
+/// deadline passes first. The listener is polled in non-blocking mode: a
+/// plain `accept` has no timeout and can wedge the harness forever on a
+/// client that never arrives.
+///
+/// # Errors
+/// Propagates listener I/O failures.
+pub fn accept_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+) -> io::Result<Option<(TcpStream, SocketAddr)>> {
+    listener.set_nonblocking(true)?;
+    loop {
+        // Non-blocking listener: returns WouldBlock instantly when idle.
+        // via-audit: allow(socket-wait)
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nonblocking(false)?;
+                return Ok(Some((stream, peer)));
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                if Instant::now() >= deadline {
+                    return Ok(None);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A control connection with deadline-bounded, desync-safe frame reads.
+///
+/// Plain `read_exact` with a socket timeout loses any partially read frame
+/// when the timeout fires, desynchronizing the length-prefixed stream.
+/// `FrameConn` instead accumulates bytes in an internal buffer and decodes a
+/// frame only once it is complete, so a deadline can fire mid-frame and the
+/// next call resumes exactly where the stream left off.
+#[derive(Debug)]
+pub struct FrameConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameConn {
+    /// Wraps a connected stream, installing a bounded write timeout.
+    ///
+    /// # Errors
+    /// Propagates socket-option failures.
+    pub fn new(stream: TcpStream) -> io::Result<FrameConn> {
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        Ok(FrameConn {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Writes one frame (bounded by the connection's write timeout).
+    ///
+    /// # Errors
+    /// Propagates frame encoding and socket failures.
+    pub fn write<T: Serialize>(&mut self, msg: &T) -> Result<(), FrameError> {
+        write_frame(&mut self.stream, msg)
+    }
+
+    /// Reads one frame, waiting at most until `deadline`.
+    ///
+    /// # Errors
+    /// [`FrameError::Timeout`] when the deadline elapses first (any partial
+    /// frame stays buffered for the next call); otherwise I/O / decode
+    /// failures.
+    pub fn read_deadline<T: for<'de> Deserialize<'de>>(
+        &mut self,
+        deadline: Instant,
+    ) -> Result<T, FrameError> {
+        loop {
+            if let Some(msg) = self.try_decode()? {
+                return Ok(msg);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(FrameError::Timeout);
+            }
+            let wait = deadline
+                .saturating_duration_since(now)
+                .min(POLL_SLICE)
+                .max(Duration::from_millis(1));
+            self.stream.set_read_timeout(Some(wait))?;
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "peer closed the control connection",
+                    )))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut
+                        || e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+
+    /// Decodes one frame from the buffer if a complete one is present.
+    fn try_decode<T: for<'de> Deserialize<'de>>(&mut self) -> Result<Option<T>, FrameError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]);
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let msg = serde_json::from_slice(&self.buf[4..total])
+            .map_err(|e| FrameError::Decode(e.to_string()))?;
+        self.buf.drain(..total);
+        Ok(Some(msg))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +305,7 @@ mod tests {
                 relay: 3,
                 round: 2,
                 metrics: PathMetrics::new(123.0, 0.5, 4.2),
+                degraded: false,
             },
             ClientMsg::Done {
                 name: "sg-1".into(),
@@ -207,5 +364,77 @@ mod tests {
         buf.extend_from_slice(b"{{{");
         let err = read_frame::<ControllerMsg>(&mut Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, FrameError::Decode(_)));
+    }
+
+    #[test]
+    fn accept_deadline_expires_without_a_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let t0 = Instant::now();
+        let got = accept_deadline(&listener, t0 + Duration::from_millis(30)).unwrap();
+        assert!(got.is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn connect_deadline_fails_fast_on_dead_port() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let t0 = Instant::now();
+        let err = connect_deadline(addr, Duration::from_millis(500));
+        assert!(err.is_err());
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    /// The core desync-safety property: a deadline firing mid-frame must not
+    /// lose the partial bytes; the completed frame decodes on a later call.
+    #[test]
+    fn frame_conn_survives_mid_frame_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut wire = Vec::new();
+            write_frame(&mut wire, &ControllerMsg::Welcome).unwrap();
+            // First half now, second half after the reader's deadline fires.
+            let half = wire.len() / 2;
+            s.write_all(&wire[..half]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+            s.write_all(&wire[half..]).unwrap();
+            s.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(200));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = FrameConn::new(stream).unwrap();
+        let err = conn
+            .read_deadline::<ControllerMsg>(Instant::now() + Duration::from_millis(50))
+            .unwrap_err();
+        assert!(matches!(err, FrameError::Timeout));
+        let msg: ControllerMsg = conn
+            .read_deadline(Instant::now() + Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(msg, ControllerMsg::Welcome);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn frame_conn_decodes_back_to_back_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_frame(&mut s, &ControllerMsg::Welcome).unwrap();
+            write_frame(&mut s, &ControllerMsg::Finished).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut conn = FrameConn::new(stream).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(2);
+        let a: ControllerMsg = conn.read_deadline(deadline).unwrap();
+        let b: ControllerMsg = conn.read_deadline(deadline).unwrap();
+        assert_eq!(a, ControllerMsg::Welcome);
+        assert_eq!(b, ControllerMsg::Finished);
+        writer.join().unwrap();
     }
 }

@@ -7,7 +7,7 @@
 //! paper's production relays, which "were only designed to forward traffic"
 //! — all intelligence lives in the controller and clients.
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
@@ -78,7 +78,9 @@ pub struct RelayHandle {
     stop: Arc<AtomicBool>,
     forwarded: Arc<AtomicU64>,
     dropped: Arc<AtomicU64>,
-    thread: Option<std::thread::JoinHandle<()>>,
+    /// Behind a mutex so [`RelayHandle::kill`] works from `&self` (the fault
+    /// injector holds shared references only).
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl RelayHandle {
@@ -162,7 +164,7 @@ impl RelayHandle {
             stop,
             forwarded,
             dropped,
-            thread: Some(thread),
+            thread: Mutex::new(Some(thread)),
         })
     }
 
@@ -190,14 +192,27 @@ impl RelayHandle {
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
+
+    /// Kills the relay: stops and joins the forwarder thread, closing its
+    /// socket. In-flight and future probes through this relay vanish — the
+    /// fault injector uses this to emulate a relay dying mid-session.
+    /// Idempotent; blocks at most one socket-timeout slice (~50 ms).
+    pub fn kill(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.lock().take() {
+            let _ = t.join();
+        }
+    }
+
+    /// True until [`RelayHandle::kill`] has reaped the forwarder thread.
+    pub fn is_alive(&self) -> bool {
+        self.thread.lock().is_some()
+    }
 }
 
 impl Drop for RelayHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.kill();
     }
 }
 
@@ -330,6 +345,37 @@ mod tests {
             }
         }
         assert_eq!(mangled, 30, "every packet should differ at 100% corruption");
+    }
+
+    #[test]
+    fn kill_stops_forwarding_and_is_idempotent() {
+        let relay = RelayHandle::spawn(6).unwrap();
+        let a = bind();
+        let b = bind();
+        relay.register_session(
+            4,
+            Session::steady(
+                a.local_addr().unwrap(),
+                b.local_addr().unwrap(),
+                ImpairParams::CLEAN,
+                ImpairParams::CLEAN,
+            ),
+        );
+        a.send_to(&ProbePacket::probe(4, 0, 1).encode(), relay.addr())
+            .unwrap();
+        let mut buf = [0u8; 2048];
+        b.recv_from(&mut buf).unwrap();
+        assert!(relay.is_alive());
+
+        relay.kill();
+        relay.kill(); // second kill is a no-op
+        assert!(!relay.is_alive());
+        let forwarded_at_death = relay.forwarded();
+        // Packets sent after death go nowhere.
+        a.send_to(&ProbePacket::probe(4, 1, 1).encode(), relay.addr())
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(relay.forwarded(), forwarded_at_death);
     }
 
     #[test]

@@ -41,6 +41,12 @@ pub fn evaluate_via_selection(reports: &[ReportRecord], objective: Metric) -> Fi
     let mut table: HashMap<(String, String), HashMap<u32, HashMap<RelayIndex, f64>>> =
         HashMap::new();
     for r in reports {
+        if r.degraded {
+            // A degraded report measured the *direct fallback* path, not the
+            // relay it names; folding it in would credit a dead relay with
+            // the direct path's performance.
+            continue;
+        }
         table
             .entry((r.caller.clone(), r.callee.clone()))
             .or_default()
@@ -167,6 +173,7 @@ mod tests {
                     relay,
                     round,
                     metrics: PathMetrics::new(base + wobble, 0.1, 1.0),
+                    degraded: false,
                 });
             }
         }
@@ -211,5 +218,16 @@ mod tests {
         let res = evaluate_via_selection(&[], Metric::Rtt);
         assert_eq!(res.decisions, 0);
         assert_eq!(res.best_pick_fraction, 0.0);
+    }
+
+    #[test]
+    fn degraded_reports_are_excluded() {
+        let mut reports = synthetic_reports(6, 0.0);
+        // Mark every report degraded: the evaluation must see nothing.
+        for r in &mut reports {
+            r.degraded = true;
+        }
+        let res = evaluate_via_selection(&reports, Metric::Rtt);
+        assert_eq!(res.decisions, 0);
     }
 }
