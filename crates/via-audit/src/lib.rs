@@ -13,6 +13,7 @@
 //! | `nan-cmp` | every crate | deny |
 //! | `lock-contention` | hot-path crates (`via-netsim`, `via-core`) | deny |
 //! | `socket-wait` | socket crates (`via-testbed`), non-test lib code | deny |
+//! | `raw-timing` | hot-path crates (`via-netsim`, `via-core`) | deny |
 //!
 //! Sources are sanitized (comments and strings blanked, line numbers kept)
 //! before matching, so the lints see only code. Sites with a justified
@@ -39,6 +40,10 @@ pub const SIM_CRATES: &[&str] = &[
     "via-media",
     "via-quality",
     "via-model",
+    // The observability layer's deterministic core is merged into replay
+    // results, so it is held to the same rules; its one sanctioned
+    // wall-clock site (the Stopwatch facade) carries an allow directive.
+    "via-obs",
 ];
 
 /// Crates exempt from the simulation lints, with the reason:
@@ -79,6 +84,7 @@ pub fn audit_source(display_path: &str, src: &str, kind: FileKind) -> Vec<Findin
     }
     if kind.hot_path {
         lints::lint_contention(display_path, &sanitized, &mut findings);
+        lints::lint_timing(display_path, &sanitized, &mut findings);
     }
     lints::lint_nan(display_path, &sanitized, &mut findings);
     findings
@@ -194,7 +200,7 @@ mod tests {
 
     #[test]
     fn audit_source_combines_all_lints() {
-        let src = "struct C { m: Mutex<HashMap<u32, u32>> }\nfn f(x: Option<f64>, ys: &mut [f64]) {\n    let mut rng = rand::thread_rng();\n    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    x.unwrap();\n}\n";
+        let src = "struct C { m: Mutex<HashMap<u32, u32>> }\nfn f(x: Option<f64>, ys: &mut [f64]) {\n    let mut rng = rand::thread_rng();\n    let t = Instant::now();\n    ys.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    x.unwrap();\n}\n";
         let kind = FileKind {
             sim_crate: true,
             lib_code: true,
@@ -211,6 +217,7 @@ mod tests {
         assert!(denies.contains(&lints::LINT_NAN));
         assert!(denies.contains(&lints::LINT_PANIC));
         assert!(denies.contains(&lints::LINT_CONTENTION));
+        assert!(denies.contains(&lints::LINT_TIMING));
     }
 
     #[test]

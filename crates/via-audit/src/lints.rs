@@ -22,6 +22,13 @@
 //!   deadline (`connect_deadline`, `accept_deadline`,
 //!   `FrameConn::read_deadline`) or the harness can hang forever on one
 //!   dead peer.
+//! * `raw-timing` — forbids raw wall-clock reads (`Instant::now`,
+//!   `SystemTime::now`) in the hot-path crates even where a
+//!   `allow(nondeterminism)` justification exists. Timing in the replay
+//!   hot path must go through the `via_obs::Stopwatch` facade so every
+//!   wall-clock read lands in the opt-in timing layer that serialized
+//!   metrics snapshots exclude — a bare clock read next to recorded state
+//!   is how nondeterminism leaks into "deterministic" outputs.
 //!
 //! Any lint can be suppressed at a site with a justification comment:
 //! `// via-audit: allow(lint-name)` on the same or the preceding line.
@@ -41,6 +48,8 @@ pub const LINT_NAN: &str = "nan-cmp";
 pub const LINT_CONTENTION: &str = "lock-contention";
 /// Unbounded-socket-wait lint name.
 pub const LINT_SOCKET: &str = "socket-wait";
+/// Raw wall-clock read lint name (hot-path crates).
+pub const LINT_TIMING: &str = "raw-timing";
 
 /// Finding severity: denies fail the audit, warnings are informational.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -377,6 +386,43 @@ pub fn lint_socket(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<
     }
 }
 
+/// Raw wall-clock constructors. `.elapsed()` on a stored start point is
+/// deliberately not matched: reading out a `Stopwatch` is the facade's job,
+/// and the facade itself carries the one sanctioned constructor site.
+const RAW_CLOCKS: &[&str] = &["Instant::now", "SystemTime::now"];
+
+/// Runs the raw-timing lint over one sanitized file (hot-path crates only).
+///
+/// Overlaps with the `nondeterminism` lint on purpose: that lint can be
+/// suppressed site-by-site with `allow(nondeterminism)`, which is exactly
+/// how ad-hoc timing reads used to accumulate in the replay loop. This lint
+/// has its own name, so a justified nondeterminism exception still cannot
+/// put a bare clock read on the hot path — timing goes through
+/// `via_obs::Stopwatch` or not at all.
+pub fn lint_timing(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
+    for (idx, line) in s.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if s.is_allowed(lineno, LINT_TIMING) {
+            continue;
+        }
+        for pat in RAW_CLOCKS {
+            if line.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: lineno,
+                    lint: LINT_TIMING,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "raw `{pat}` on the hot path; route timing through \
+                         `via_obs::Stopwatch` so it stays in the opt-in timing \
+                         layer excluded from deterministic snapshots"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Runs the NaN-safety lint over one sanitized file.
 pub fn lint_nan(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
     for (idx, line) in s.lines.iter().enumerate() {
@@ -427,6 +473,7 @@ mod tests {
         }
         if kind.hot_path {
             lint_contention("test.rs", &s, &mut f);
+            lint_timing("test.rs", &s, &mut f);
         }
         lint_nan("test.rs", &s, &mut f);
         f
@@ -455,8 +502,48 @@ mod tests {
         let f = run_all("let mut rng = rand::thread_rng();\n", SIM_LIB);
         assert_eq!(denies(&f), 1);
         assert_eq!(f[0].lint, LINT_NONDET);
+        // A clock read on the hot path trips both the determinism lint and
+        // the raw-timing lint: two findings, one site.
         let f = run_all("let t = std::time::Instant::now();\n", SIM_LIB);
-        assert_eq!(denies(&f), 1);
+        assert_eq!(denies(&f), 2);
+        assert!(f.iter().any(|x| x.lint == LINT_NONDET));
+        assert!(f.iter().any(|x| x.lint == LINT_TIMING));
+    }
+
+    #[test]
+    fn nondeterminism_suppression_does_not_silence_raw_timing() {
+        // The loophole this lint closes: a justified allow(nondeterminism)
+        // used to be enough to put an ad-hoc clock read on the hot path.
+        let src =
+            "// wall timing only. via-audit: allow(nondeterminism)\nlet t = Instant::now();\n";
+        let f = run_all(src, SIM_LIB);
+        assert_eq!(denies(&f), 1, "{f:?}");
+        assert_eq!(f[0].lint, LINT_TIMING);
+        assert!(f[0].message.contains("Stopwatch"));
+    }
+
+    #[test]
+    fn raw_timing_applies_only_on_the_hot_path_and_is_suppressible() {
+        let src = "let t = SystemTime::now();\n";
+        let cold = FileKind {
+            sim_crate: false,
+            lib_code: true,
+            hot_path: false,
+            socket_crate: false,
+        };
+        assert_eq!(denies(&run_all(src, cold)), 0);
+        let suppressed = "// facade-internal read. via-audit: allow(raw-timing, nondeterminism)\nlet t = SystemTime::now();\n";
+        assert_eq!(denies(&run_all(suppressed, SIM_LIB)), 0);
+    }
+
+    #[test]
+    fn stopwatch_reads_do_not_trip_raw_timing() {
+        let src = "let sw = Stopwatch::started();\nstats.wall_ms = sw.elapsed_ms();\nlet d = start.elapsed();\n";
+        let f = run_all(src, SIM_LIB);
+        assert!(
+            f.iter().all(|x| x.lint != LINT_TIMING),
+            "false positive: {f:?}"
+        );
     }
 
     #[test]

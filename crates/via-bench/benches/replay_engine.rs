@@ -81,6 +81,21 @@ struct FitRecord {
     parallel_ms: f64,
 }
 
+/// Cost of the via-obs instrumentation layer: the same replay with the
+/// metric sink off vs on. The on-path records every counter, histogram
+/// observation, and per-window span the engine emits.
+#[derive(Debug, Serialize)]
+struct ObsRecord {
+    scale: String,
+    wall_ms_off: f64,
+    wall_ms_on: f64,
+    /// Relative slowdown of the instrumented run (0.05 = 5 % overhead).
+    overhead_frac: f64,
+    counters: usize,
+    histograms: usize,
+    spans: usize,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     bench: String,
@@ -95,6 +110,7 @@ struct Report {
     sweeps: Vec<Sweep>,
     predictor_fit: FitRecord,
     sample_option: SampleRecord,
+    metrics_overhead: ObsRecord,
 }
 
 /// Online CPU count of the host. `available_parallelism()` alone respects
@@ -326,6 +342,59 @@ fn bench_predictor_fit(c: &mut Criterion) -> FitRecord {
     }
 }
 
+/// Measures the via-obs sink's cost on the replay hot path: identical VIA
+/// replays with `metrics` off and on, best-of-`reps` walls to damp jitter.
+/// Asserts the instrumented run still produced a full snapshot (the bench
+/// doubles as a smoke test that the counters survive the worker merge).
+fn bench_metrics_overhead(world: &World, trace: &Trace, scale: &str) -> ObsRecord {
+    let run = |metrics: bool| {
+        let cfg = ReplayConfig {
+            metrics,
+            ..ReplayConfig::default()
+        };
+        let start = Instant::now();
+        let outcome = ReplaySim::new(world, trace, cfg).run(StrategyKind::Via);
+        (start.elapsed().as_secs_f64() * 1e3, outcome)
+    };
+    let reps = 3;
+    let mut wall_off = f64::INFINITY;
+    let mut wall_on = f64::INFINITY;
+    let mut snap: Option<via_obs::MetricsSnapshot> = None;
+    for _ in 0..reps {
+        let (w, outcome) = run(false);
+        assert!(outcome.obs.is_none(), "metrics=false must not record");
+        wall_off = wall_off.min(w);
+        let (w, outcome) = run(true);
+        wall_on = wall_on.min(w);
+        snap = Some(outcome.obs.expect("metrics=true records a snapshot"));
+    }
+    let snap = snap.expect("at least one instrumented run");
+    assert!(
+        snap.counter("replay_calls_total") > 0,
+        "instrumented replay recorded no calls"
+    );
+    let record = ObsRecord {
+        scale: scale.to_string(),
+        wall_ms_off: wall_off,
+        wall_ms_on: wall_on,
+        overhead_frac: wall_on / wall_off - 1.0,
+        counters: snap.counters.len(),
+        histograms: snap.histograms.len(),
+        spans: snap.spans.len(),
+    };
+    println!(
+        "replay_engine/{scale}/metrics_overhead: {:.1} ms off vs {:.1} ms on \
+         ({:+.1}% — {} counters, {} histograms, {} spans)",
+        record.wall_ms_off,
+        record.wall_ms_on,
+        100.0 * record.overhead_frac,
+        record.counters,
+        record.histograms,
+        record.spans,
+    );
+    record
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut criterion = Criterion::default();
@@ -339,6 +408,7 @@ fn main() {
     sweeps.push(sweep(&world, &trace, "tiny", false, &[1, 2, 8], &mut runs));
     sweeps.push(sweep(&world, &trace, "tiny", true, &[1, 2, 8], &mut runs));
     let sample_option = bench_sample_option(&mut criterion, &world);
+    let metrics_overhead = bench_metrics_overhead(&world, &trace, "tiny");
     if !quick {
         let (world, trace) = env(&WorldConfig::small(), TraceConfig::small(), 7);
         sweeps.push(sweep(
@@ -401,6 +471,7 @@ fn main() {
         sweeps,
         predictor_fit,
         sample_option,
+        metrics_overhead,
     };
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

@@ -77,6 +77,11 @@ impl Flags {
         self.values.get(key).map(String::as_str).unwrap_or(default)
     }
 
+    /// Optional string flag: `None` when absent.
+    pub fn str_opt(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
     /// Integer flag with a default.
     pub fn u64_or(&self, key: &str, default: u64) -> Result<u64, FlagError> {
         match self.values.get(key) {

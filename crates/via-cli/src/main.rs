@@ -27,8 +27,14 @@ USAGE:
     via replay  [--scale tiny|small|paper] [--seed N] [--workers N] [--warm]
                 [--strategy default|oracle|prediction|exploration|via|budgeted|racing]
                 [--objective rtt|loss|jitter] [--budget F]
+                [--metrics FILE.json] [--metrics-prom FILE.prom]
     via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
                 [--probes N] [--gap-ms N] [--deadline-s N] [--chaos true]
+                [--metrics FILE.json] [--metrics-prom FILE.prom]
+
+The replay `--metrics` snapshot holds only the deterministic metric core:
+it is byte-identical for any --workers value and across reruns of the same
+seed. Testbed metrics describe real socket behavior and are not.
 ";
 
 fn main() {
@@ -58,6 +64,27 @@ fn main() {
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Writes a metrics snapshot wherever the `--metrics` (JSON) and
+/// `--metrics-prom` (Prometheus text exposition) flags point. The JSON form
+/// is the serialized deterministic core — wall-clock timings never reach it.
+fn write_metrics(
+    snap: &via_obs::MetricsSnapshot,
+    json: Option<&str>,
+    prom: Option<&str>,
+) -> CliResult {
+    if let Some(path) = json {
+        let mut body = serde_json::to_string_pretty(snap)?;
+        body.push('\n');
+        std::fs::write(path, body)?;
+        println!("metrics: {} -> {path}", snap.brief());
+    }
+    if let Some(path) = prom {
+        std::fs::write(path, via_obs::to_prometheus(snap))?;
+        println!("metrics (prometheus) -> {path}");
+    }
+    Ok(())
+}
 
 fn scale_configs(scale: &str) -> Result<(WorldConfig, TraceConfig), String> {
     match scale {
@@ -171,6 +198,8 @@ fn cmd_replay(rest: &[String]) -> CliResult {
     let warm = flags.bool_or("warm", false)?;
     let kind = parse_strategy(flags.str_or("strategy", "via"), budget)?;
     let objective = parse_objective(flags.str_or("objective", "rtt"))?;
+    let metrics_json = flags.str_opt("metrics");
+    let metrics_prom = flags.str_opt("metrics-prom");
 
     let (world, trace) = build(scale, seed)?;
     let cfg = ReplayConfig {
@@ -178,6 +207,7 @@ fn cmd_replay(rest: &[String]) -> CliResult {
         seed,
         workers,
         warm,
+        metrics: metrics_json.is_some() || metrics_prom.is_some(),
         ..ReplayConfig::default()
     };
     let out = ReplaySim::new(&world, &trace, cfg).run(kind);
@@ -204,6 +234,9 @@ fn cmd_replay(rest: &[String]) -> CliResult {
         out.controller_contacts
     );
     println!("engine: {}", out.stats.summary());
+    if let Some(snap) = &out.obs {
+        write_metrics(snap, metrics_json, metrics_prom)?;
+    }
     Ok(())
 }
 
@@ -258,6 +291,11 @@ fn cmd_testbed(rest: &[String]) -> CliResult {
         eval.decisions,
         100.0 * eval.best_pick_fraction
     );
+    write_metrics(
+        &result.obs,
+        flags.str_opt("metrics"),
+        flags.str_opt("metrics-prom"),
+    )?;
     Ok(())
 }
 

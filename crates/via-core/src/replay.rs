@@ -36,6 +36,7 @@ use via_model::options::RelayOption;
 use via_model::seed;
 use via_model::time::{SimTime, Window, WindowLen};
 use via_netsim::World;
+use via_obs::{MetricSink, MetricsSnapshot, Stopwatch};
 use via_quality::PnrReport;
 use via_trace::{CallRecord, Trace};
 
@@ -126,6 +127,13 @@ pub struct ReplayConfig {
     /// it only moves first-touch build cost out of the replay loop, so the
     /// measured window throughput is free of write-lock traffic.
     pub warm: bool,
+    /// Record observability metrics (via-obs counters, histograms, and
+    /// per-window span events) into [`Outcome::obs`]. Each worker records
+    /// into its own [`MetricSink`], merged at the window barrier in
+    /// shard-index order, so the snapshot's deterministic core is
+    /// byte-identical for any worker count. Off by default: the hot path
+    /// then records nothing.
+    pub metrics: bool,
     /// Base seed for realization sampling and exploration randomness.
     pub seed: u64,
 }
@@ -143,6 +151,7 @@ impl Default for ReplayConfig {
             predictor: PredictorConfig::default(),
             workers: 0,
             warm: false,
+            metrics: false,
             seed: 0xC0FFEE,
         }
     }
@@ -178,8 +187,12 @@ pub struct ReplayStats {
     pub wall_ms: f64,
     /// Calls replayed per second of wall-clock.
     pub calls_per_sec: f64,
-    /// Segments materialized by the optional pre-replay warm pass (zero when
-    /// [`ReplayConfig::warm`] is off).
+    /// Unique segments the optional pre-replay warm pass enumerated and
+    /// ensured were materialized (zero when [`ReplayConfig::warm`] is off).
+    /// This is a pure function of the trace and config — deliberately *not*
+    /// the number of segments freshly built, which depends on what earlier
+    /// runs against the same world already cached and would make the
+    /// counter differ between back-to-back runs on one simulator.
     pub warmed_segments: u64,
     /// Calls processed per worker slot, summed over windows (shard load).
     pub shard_calls: Vec<u64>,
@@ -237,6 +250,13 @@ pub struct Outcome {
     /// summaries are a pure function of the config.
     #[serde(skip)]
     pub stats: ReplayStats,
+    /// Observability snapshot, present when [`ReplayConfig::metrics`] was
+    /// set. Excluded from the serialized outcome so result summaries stay
+    /// byte-stable; serialize the snapshot itself to persist it (its
+    /// deterministic core is worker-count invariant, see
+    /// [`MetricsSnapshot`]).
+    #[serde(skip)]
+    pub obs: Option<MetricsSnapshot>,
 }
 
 impl Outcome {
@@ -303,6 +323,10 @@ struct PairState {
     best_mean: f64,
     /// Predicted mean of the direct path.
     direct_mean: f64,
+    /// Confidence-interval widths (`upper - lower`) of the selected arms,
+    /// recorded once per (pair, window) into the obs layer. Empty when the
+    /// state was built without a predictor.
+    ci_widths: Vec<f64>,
 }
 
 /// One decision key's work within a window: its calls (trace indices, in
@@ -335,6 +359,9 @@ struct ShardResult {
     contacts: u64,
     /// Hybrid-racing setup probes issued on this shard.
     race_probes: u64,
+    /// Per-worker metric sink (present when metrics are enabled), merged at
+    /// the barrier in shard-index order — mirroring the history-cell merge.
+    obs: Option<MetricSink>,
 }
 
 /// Worker-local scratch buffers, one per shard: candidate enumeration and
@@ -348,6 +375,14 @@ struct Scratch {
     topo: via_netsim::CandidateScratch,
     /// Staging for option subsets (racing set, exploration draw).
     staged: Vec<RelayOption>,
+}
+
+/// Increments a counter on an optional sink — a no-op when metrics are off,
+/// so decision arms can count events without branching noise.
+fn obs_inc(obs: &mut Option<MetricSink>, name: &str, delta: u64) {
+    if let Some(sink) = obs.as_mut() {
+        sink.inc(name, delta);
+    }
 }
 
 /// The replay simulator.
@@ -409,10 +444,14 @@ impl<'a> ReplaySim<'a> {
     /// The pre-replay warm pass: enumerates every segment reachable from the
     /// trace (unique AS pairs × their candidate options) and materializes the
     /// segment latents in parallel, so the replay loop itself never takes a
-    /// first-touch write lock. Returns the number of segments built. Purely
-    /// an initialization-cost move — segment latents are a pure function of
-    /// the world seed, so results are identical with or without warming.
-    fn warm_world(&self, workers: usize) -> u64 {
+    /// first-touch write lock. Returns `(enumerated, built)`: the unique
+    /// segments enumerated (a pure function of trace and config) and how
+    /// many of them were freshly built (depends on what earlier runs
+    /// already cached — wall-clock-ish, never reported deterministically).
+    /// Purely an initialization-cost move — segment latents are a pure
+    /// function of the world seed, so results are identical with or without
+    /// warming.
+    fn warm_world(&self, workers: usize) -> (u64, u64) {
         let records = &self.trace.records;
         let mut seen_pairs = std::collections::HashSet::new();
         let mut pairs: Vec<(AsId, AsId)> = Vec::new();
@@ -438,9 +477,10 @@ impl<'a> ReplaySim<'a> {
         let n = segs.len();
         let chunk = n.div_ceil(workers.max(1)).max(1);
         let tasks: Vec<Vec<via_netsim::Segment>> = segs.chunks(chunk).map(<[_]>::to_vec).collect();
-        crate::par::par_run(workers, tasks, |chunk| self.world.perf().warm(chunk))
+        let built = crate::par::par_run(workers, tasks, |chunk| self.world.perf().warm(chunk))
             .into_iter()
-            .sum()
+            .sum();
+        (n as u64, built)
     }
 
     /// Realizes a call over an option with common random numbers.
@@ -488,9 +528,13 @@ impl<'a> ReplaySim<'a> {
 
     /// Runs one strategy over the whole trace.
     pub fn run(&mut self, kind: StrategyKind) -> Outcome {
-        // Wall-clock feeds ReplayStats only, which is excluded from
-        // serialized summaries. via-audit: allow(nondeterminism)
-        let t_run = std::time::Instant::now();
+        // Wall-clock (via the via-obs facade) feeds ReplayStats and the obs
+        // timing layer only — both excluded from serialized summaries.
+        let t_run = Stopwatch::started();
+        // Sequential-side metric sink; workers get their own (merged at the
+        // barrier). None when metrics are off, so the hot path records
+        // nothing.
+        let mut obs: Option<MetricSink> = self.cfg.metrics.then(MetricSink::with_timing);
         let objective = self.cfg.objective;
         let workers = crate::par::resolve_workers(self.cfg.workers);
         let mut pred_cfg = self.cfg.predictor;
@@ -522,7 +566,13 @@ impl<'a> ReplaySim<'a> {
             ..ReplayStats::default()
         };
         if self.cfg.warm {
-            stats.warmed_segments = self.warm_world(workers);
+            let t_warm = Stopwatch::started();
+            let (enumerated, _built) = self.warm_world(workers);
+            stats.warmed_segments = enumerated;
+            if let Some(sink) = obs.as_mut() {
+                sink.inc("replay_warm_segments_total", enumerated);
+                sink.time("replay.warm", t_warm);
+            }
         }
 
         let mut outcomes = Vec::with_capacity(self.trace.len());
@@ -545,10 +595,11 @@ impl<'a> ReplaySim<'a> {
                 end += 1;
             }
             stats.windows += 1;
+            let t_window = Stopwatch::started();
 
             if kind.uses_history() {
-                // Wall-clock feeds ReplayStats only. via-audit: allow(nondeterminism)
-                let t_fit = std::time::Instant::now();
+                let t_fit = Stopwatch::started();
+                let fits_before = stats.predictor_fits;
                 let fit_predictor = |history: &CallHistory| {
                     window.prev().map(|prev| {
                         Predictor::fit(
@@ -614,8 +665,24 @@ impl<'a> ReplaySim<'a> {
                 }
                 // The controller only ever trains on the last window.
                 history.prune_before(window.index.saturating_sub(1));
-                // via-audit: allow(nondeterminism) — stats-only wall-clock.
-                stats.predictor_fit_ms += t_fit.elapsed().as_secs_f64() * 1e3;
+                stats.predictor_fit_ms += t_fit.elapsed_ms();
+                if let Some(sink) = obs.as_mut() {
+                    let fits = stats.predictor_fits - fits_before;
+                    sink.inc("replay_predictor_fits_total", fits);
+                    let (cells, segs) = predictor.as_ref().map_or((0, 0), |p| {
+                        (p.empirical_cells() as u64, p.tomography_segments() as u64)
+                    });
+                    sink.span(
+                        "replay.refit",
+                        window.index,
+                        &[
+                            ("fits", fits),
+                            ("history_cells", cells),
+                            ("tomography_segments", segs),
+                        ],
+                    );
+                    sink.time("replay.refit", t_fit);
+                }
             }
 
             // ---- group the window's calls by decision key ------------------
@@ -709,6 +776,20 @@ impl<'a> ReplaySim<'a> {
                 }
                 _ => None,
             };
+            // Gate verdicts are produced by the sequential pass above, so
+            // the admit/deny counts are worker-count invariant by
+            // construction (flags[i] == true means "forced direct").
+            let (gate_admitted, gate_denied) = gated.as_ref().map_or((0, 0), |flags| {
+                let denied = flags.iter().filter(|f| **f).count() as u64;
+                (flags.len() as u64 - denied, denied)
+            });
+            if let Some(sink) = obs.as_mut() {
+                if gated.is_some() {
+                    sink.inc("replay_gate_admitted_total", gate_admitted);
+                    sink.inc("replay_gate_denied_total", gate_denied);
+                }
+            }
+            let n_groups = groups.len() as u64;
 
             // ---- shard assignment: LPT by per-pair call count --------------
             let nshards = workers.min(groups.len()).max(1);
@@ -743,6 +824,11 @@ impl<'a> ReplaySim<'a> {
             let mut window_out: Vec<Option<CallOutcome>> = vec![None; end - start];
             for (shard_idx, res) in shard_results.into_iter().enumerate() {
                 stats.shard_calls[shard_idx] += res.outcomes.len() as u64;
+                // Merge the shard's sink first (fixed shard-index order; the
+                // deterministic core is order-independent anyway).
+                if let (Some(sink), Some(shard_sink)) = (obs.as_mut(), res.obs.as_ref()) {
+                    sink.merge(shard_sink);
+                }
                 for (i, co) in res.outcomes {
                     window_out[i as usize - start] = Some(co);
                 }
@@ -765,11 +851,25 @@ impl<'a> ReplaySim<'a> {
                 before + (end - start),
                 "every call in the window must yield exactly one outcome"
             );
+            if let Some(sink) = obs.as_mut() {
+                sink.inc("replay_windows_total", 1);
+                sink.inc("replay_pair_groups_total", n_groups);
+                sink.span(
+                    "replay.window",
+                    window.index,
+                    &[
+                        ("calls", (end - start) as u64),
+                        ("pairs", n_groups),
+                        ("gate_admitted", gate_admitted),
+                        ("gate_denied", gate_denied),
+                    ],
+                );
+                sink.time("replay.window", t_window);
+            }
             start = end;
         }
 
-        // via-audit: allow(nondeterminism) — stats-only wall-clock.
-        stats.wall_ms = t_run.elapsed().as_secs_f64() * 1e3;
+        stats.wall_ms = t_run.elapsed_ms();
         stats.calls_per_sec = if stats.wall_ms > 0.0 {
             outcomes.len() as f64 / (stats.wall_ms / 1e3)
         } else {
@@ -787,6 +887,10 @@ impl<'a> ReplaySim<'a> {
             race_probes,
             calls: outcomes,
             stats,
+            obs: obs.map(|mut sink| {
+                sink.time("replay.run", t_run);
+                sink.snapshot()
+            }),
         }
     }
 
@@ -816,6 +920,7 @@ impl<'a> ReplaySim<'a> {
             cache_updates: Vec::new(),
             contacts: 0,
             race_probes: 0,
+            obs: self.cfg.metrics.then(MetricSink::new),
         };
 
         for mut g in work {
@@ -845,7 +950,11 @@ impl<'a> ReplaySim<'a> {
                 let option = match kind {
                     StrategyKind::Default => RelayOption::Direct,
                     StrategyKind::Oracle => {
-                        *oracle_memo.get_or_insert_with(|| self.oracle_choice(call, window))
+                        if oracle_memo.is_none() {
+                            oracle_memo = Some(self.oracle_choice(call, window));
+                            obs_inc(&mut out.obs, "replay_oracle_evals_total", 1);
+                        }
+                        oracle_memo.unwrap_or(RelayOption::Direct)
                     }
                     // `uses_history()` guarantees a predictor for the arms
                     // below; a defensive `None` (cold controller) falls back
@@ -876,14 +985,17 @@ impl<'a> ReplaySim<'a> {
                                 bandit,
                                 best_mean: 0.0,
                                 direct_mean: 0.0,
+                                ci_widths: Vec::new(),
                             }
                         });
                         let mut rng = self.call_rng(call);
                         if rng.random::<f64>() < 0.1 {
+                            obs_inc(&mut out.obs, "replay_explore_epsilon_total", 1);
                             scratch.staged.clear();
                             scratch.staged.extend(st.bandit.options());
                             scratch.staged[rng.random_range(0..scratch.staged.len())]
                         } else {
+                            obs_inc(&mut out.obs, "replay_bandit_pulls_total", 1);
                             st.bandit.choose().unwrap_or(RelayOption::Direct)
                         }
                     }
@@ -892,10 +1004,14 @@ impl<'a> ReplaySim<'a> {
                         // until it expires; only cache misses consult the
                         // selection stack.
                         match (cached, predictor) {
-                            (Some((opt, expires)), _) if call.t < expires => opt,
+                            (Some((opt, expires)), _) if call.t < expires => {
+                                obs_inc(&mut out.obs, "replay_cache_hits_total", 1);
+                                opt
+                            }
                             (_, None) => RelayOption::Direct,
                             (_, Some(pred)) => {
                                 out.contacts += 1;
+                                obs_inc(&mut out.obs, "replay_cache_misses_total", 1);
                                 if state.is_none() {
                                     self.candidates_into(call, scratch);
                                 }
@@ -939,6 +1055,11 @@ impl<'a> ReplaySim<'a> {
                             scratch.staged.clear();
                             scratch.staged.extend(st.bandit.options().take(k.max(1)));
                             out.race_probes += scratch.staged.len() as u64;
+                            obs_inc(
+                                &mut out.obs,
+                                "replay_race_probes_total",
+                                scratch.staged.len() as u64,
+                            );
                             // Realize each racer once, then compare (realize is
                             // deterministic per (call, option), so this is both
                             // the cheap and the correct form).
@@ -982,10 +1103,12 @@ impl<'a> ReplaySim<'a> {
                                 if rng.random::<f64>() < self.cfg.epsilon {
                                     // Stage 4b: general exploration over all
                                     // options.
+                                    obs_inc(&mut out.obs, "replay_explore_epsilon_total", 1);
                                     self.candidates_into(call, scratch);
                                     scratch.cand[rng.random_range(0..scratch.cand.len())]
                                 } else {
                                     // Stage 4a: UCB over the pruned top-k.
+                                    obs_inc(&mut out.obs, "replay_bandit_pulls_total", 1);
                                     st.bandit.choose().unwrap_or(RelayOption::Direct)
                                 }
                             }
@@ -994,6 +1117,50 @@ impl<'a> ReplaySim<'a> {
                 };
 
                 let metrics = self.realize(call, option);
+
+                if let Some(sink) = out.obs.as_mut() {
+                    sink.inc("replay_calls_total", 1);
+                    sink.inc(
+                        if option == RelayOption::Direct {
+                            "replay_option_direct_total"
+                        } else if option.is_bounce() {
+                            "replay_option_bounce_total"
+                        } else {
+                            "replay_option_transit_total"
+                        },
+                        1,
+                    );
+                    sink.observe(
+                        "replay_call_rtt_ms",
+                        via_obs::LATENCY_MS,
+                        metrics[Metric::Rtt],
+                    );
+                    // MOS delta against the direct path under the same
+                    // common-random-number stream (a direct pick is its own
+                    // baseline, so the delta is exactly zero).
+                    let direct = if option == RelayOption::Direct {
+                        metrics
+                    } else {
+                        self.realize(call, RelayOption::Direct)
+                    };
+                    sink.observe(
+                        "replay_mos_delta",
+                        via_obs::MOS_DELTA,
+                        via_quality::mos(&metrics) - via_quality::mos(&direct),
+                    );
+                    // Regret proxy vs the predictor's best arm; only
+                    // meaningful for states scored by a real predictor
+                    // (best_mean > 0 — the exploration-only dummy is 0).
+                    if let Some(st) = state.as_ref() {
+                        if st.best_mean > 0.0 && st.best_mean.is_finite() {
+                            sink.observe(
+                                "replay_bandit_regret",
+                                via_obs::REGRET,
+                                (metrics[objective] - st.best_mean).max(0.0),
+                            );
+                        }
+                    }
+                }
 
                 if track {
                     out.history.record(window, g.pair, option, &metrics);
@@ -1011,6 +1178,16 @@ impl<'a> ReplaySim<'a> {
                         metrics,
                     },
                 ));
+            }
+
+            // One CI-width sample per selected arm per (pair, window) with a
+            // predictor-built state — recorded at group end, after the state
+            // was built (eagerly by the gate pass or lazily above), so the
+            // stream is identical however the groups were sharded.
+            if let (Some(sink), Some(st)) = (out.obs.as_mut(), state.as_ref()) {
+                for &w in &st.ci_widths {
+                    sink.observe("replay_predictor_ci_width", via_obs::CI_WIDTH, w);
+                }
             }
 
             if cache_dirty {
@@ -1067,6 +1244,7 @@ impl<'a> ReplaySim<'a> {
             bandit,
             best_mean,
             direct_mean,
+            ci_widths: selected.iter().map(|s| s.upper - s.lower).collect(),
         }
     }
 
@@ -1206,12 +1384,177 @@ mod tests {
             workers: 4,
             ..ReplayConfig::default()
         };
-        let out = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Via);
+        let out = ReplaySim::new(&world, &trace, cfg.clone()).run(StrategyKind::Via);
         assert!(out.stats.warmed_segments > 0);
+        // `warmed_segments` counts segments *enumerated* (deterministic);
+        // the number freshly built can only be smaller (some were already
+        // cached, e.g. the prebuilt backbone legs) and never larger — a
+        // build beyond the enumerated set means the warm pass missed a
+        // segment the replay loop then built under a write lock.
+        let built = world.perf().segment_builds() - before;
+        assert!(
+            built <= out.stats.warmed_segments,
+            "replay built {built} segments but the warm pass enumerated only {}",
+            out.stats.warmed_segments
+        );
+        // A second run on the now-fully-warmed world builds nothing new but
+        // must still report the same deterministic warm count.
+        let mid = world.perf().segment_builds();
+        let again = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Via);
         assert_eq!(
             world.perf().segment_builds(),
-            before + out.stats.warmed_segments,
-            "replay built segments the warm pass missed"
+            mid,
+            "second run rebuilt segments"
+        );
+        assert_eq!(again.stats.warmed_segments, out.stats.warmed_segments);
+    }
+
+    #[test]
+    fn metrics_snapshots_are_worker_count_invariant() {
+        // Extension of the determinism regression to the obs layer: the
+        // serialized deterministic core of the metrics snapshot must be
+        // byte-identical across worker counts, cold and warm, for every
+        // strategy family — the per-worker sinks and the barrier merge must
+        // not leak the partition.
+        let (world, trace) = setup();
+        let snapshot_json = |workers: usize, warm: bool, kind: StrategyKind| {
+            let cfg = ReplayConfig {
+                workers,
+                warm,
+                metrics: true,
+                ..ReplayConfig::default()
+            };
+            let out = ReplaySim::new(&world, &trace, cfg).run(kind);
+            let snap = out.obs.expect("metrics enabled");
+            assert!(snap.counter("replay_calls_total") == trace.len() as u64);
+            serde_json::to_string(&snap).expect("snapshot serializes")
+        };
+        for kind in [
+            StrategyKind::Via,
+            StrategyKind::ViaBudgeted { budget: 0.2 },
+            StrategyKind::ViaCached { ttl_hours: 6 },
+            StrategyKind::HybridRacing { k: 2 },
+            StrategyKind::Oracle,
+        ] {
+            for warm in [false, true] {
+                let sequential = snapshot_json(1, warm, kind);
+                for w in [2usize, 8] {
+                    assert_eq!(
+                        snapshot_json(w, warm, kind),
+                        sequential,
+                        "worker count {w} changed the metrics snapshot for {kind:?} (warm={warm})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn back_to_back_runs_on_one_sim_report_identical_counters() {
+        // Satellite regression: the engine counters must be a pure function
+        // of (config, strategy), not of what a previous run left cached in
+        // the shared world. `warmed_segments` used to report the builds
+        // delta, which collapsed to zero on the second run.
+        let (world, trace) = setup();
+        let cfg = ReplayConfig {
+            warm: true,
+            workers: 2,
+            metrics: true,
+            ..ReplayConfig::default()
+        };
+        let mut sim = ReplaySim::new(&world, &trace, cfg);
+        let first = sim.run(StrategyKind::Via);
+        let second = sim.run(StrategyKind::Via);
+
+        assert!(first.stats.warmed_segments > 0);
+        assert_eq!(first.stats.warmed_segments, second.stats.warmed_segments);
+        assert_eq!(first.stats.windows, second.stats.windows);
+        assert_eq!(first.stats.predictor_fits, second.stats.predictor_fits);
+        assert_eq!(first.stats.shard_calls, second.stats.shard_calls);
+        // The full deterministic core agrees byte-for-byte too.
+        let json = |o: &Outcome| {
+            serde_json::to_string(o.obs.as_ref().expect("metrics enabled"))
+                .expect("snapshot serializes")
+        };
+        assert_eq!(json(&first), json(&second));
+    }
+
+    #[test]
+    fn metrics_are_opt_in_and_catalogued() {
+        let (world, trace) = setup();
+        let off = ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Via);
+        assert!(off.obs.is_none(), "metrics must be off by default");
+
+        let cfg = ReplayConfig {
+            metrics: true,
+            ..ReplayConfig::default()
+        };
+        let out = ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Via);
+        let snap = out.obs.expect("metrics enabled");
+        let n = trace.len() as u64;
+        assert_eq!(snap.counter("replay_calls_total"), n);
+        assert_eq!(
+            snap.counter("replay_option_direct_total")
+                + snap.counter("replay_option_bounce_total")
+                + snap.counter("replay_option_transit_total"),
+            n,
+            "every call contributes to exactly one option-mix counter"
+        );
+        assert_eq!(
+            snap.counter("replay_explore_epsilon_total")
+                + snap.counter("replay_bandit_pulls_total"),
+            n,
+            "every Via call is either an ε-exploration or a bandit pull"
+        );
+        assert!(snap.counter("replay_windows_total") > 0);
+        assert!(snap.counter("replay_predictor_fits_total") > 0);
+
+        let rtt = snap.histogram("replay_call_rtt_ms").expect("rtt histogram");
+        assert_eq!(rtt.count, n);
+        let mos = snap.histogram("replay_mos_delta").expect("mos histogram");
+        assert_eq!(mos.count, n);
+        assert!(snap.histogram("replay_predictor_ci_width").is_some());
+        assert!(snap.histogram("replay_bandit_regret").is_some());
+
+        // One window span per window, with deterministic fields.
+        let windows = snap.counter("replay_windows_total");
+        assert_eq!(snap.spans_named("replay.window").count() as u64, windows);
+        let total_span_calls: u64 = snap
+            .spans_named("replay.window")
+            .flat_map(|s| s.fields.iter())
+            .filter(|f| f.key == "calls")
+            .map(|f| f.value)
+            .sum();
+        assert_eq!(total_span_calls, n);
+        assert_eq!(snap.spans_named("replay.refit").count() as u64, windows);
+
+        // The in-memory timing layer is populated, but never serialized.
+        assert!(!snap.timings.is_empty());
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        assert!(
+            !json.contains("timing"),
+            "timings leaked into the wire form"
+        );
+    }
+
+    #[test]
+    fn budget_gate_counters_cover_every_call() {
+        let (world, trace) = setup();
+        let cfg = ReplayConfig {
+            metrics: true,
+            ..ReplayConfig::default()
+        };
+        let out =
+            ReplaySim::new(&world, &trace, cfg).run(StrategyKind::ViaBudgeted { budget: 0.2 });
+        let snap = out.obs.expect("metrics enabled");
+        let gated =
+            snap.counter("replay_gate_admitted_total") + snap.counter("replay_gate_denied_total");
+        // The gate sees every call in windows where a predictor exists; the
+        // cold first window bypasses it.
+        assert!(gated > 0 && gated <= trace.len() as u64);
+        assert!(
+            snap.counter("replay_gate_denied_total") > 0,
+            "0.2 budget must deny"
         );
     }
 

@@ -12,7 +12,7 @@
 use serde::Serialize;
 use via_core::replay::ReplayConfig;
 use via_core::strategy::StrategyKind;
-use via_experiments::{build_env, header, pnr_masked, row, write_json, Args};
+use via_experiments::{build_env, header, pnr_masked, row, write_json, write_metrics, Args};
 use via_model::metrics::{Metric, Thresholds};
 use via_quality::relative_improvement;
 
@@ -33,7 +33,7 @@ fn main() {
     let mask = env.eligible(args.scale);
     let objective = Metric::Rtt;
 
-    let with_transit = env.run(StrategyKind::Via, objective);
+    let with_transit = env.run_observed(StrategyKind::Via, objective);
     // Option mix over the evaluated (dense) calls — the population the
     // paper's §5.1 filter leaves, which is also what its §5.2 mix numbers
     // describe.
@@ -142,6 +142,32 @@ fn main() {
         "\nTransit availability lowers VIA's PNR by {benefit:.0}% \
          (default strategy: {default_pnr:.3}; paper: 50% lower PNR with transit available)."
     );
+
+    // Engine-side observability for the headline VIA run: how much the
+    // bandit explored vs exploited, and how often the predictor refit.
+    if let Some(snap) = &with_transit.obs {
+        let pulls = snap.counter("replay_bandit_pulls_total");
+        let eps = snap.counter("replay_explore_epsilon_total");
+        let decided = (pulls + eps).max(1);
+        println!(
+            "\nEngine: {} predictor refits over {} windows; bandit explored \
+             {:.1}% of decisions ({} of {}).",
+            snap.counter("replay_predictor_fits_total"),
+            snap.counter("replay_windows_total"),
+            100.0 * eps as f64 / decided as f64,
+            eps,
+            decided
+        );
+        if let Some(mos) = snap.histogram("replay_mos_delta") {
+            println!(
+                "MOS delta vs direct: {} calls recorded, min {:.2}, max {:.2}.",
+                mos.count, mos.min, mos.max
+            );
+        }
+    }
+    if let Some(mpath) = write_metrics("sec5_2", &with_transit) {
+        println!("Wrote {}", mpath.display());
+    }
 
     let path = write_json(
         "sec5_2",

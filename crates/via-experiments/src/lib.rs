@@ -163,6 +163,32 @@ impl Env {
     pub fn run_with(&self, kind: StrategyKind, cfg: ReplayConfig) -> Outcome {
         ReplaySim::new(&self.world, &self.trace, cfg).run(kind)
     }
+
+    /// Like [`Env::run`], but with the via-obs metric sink enabled: the
+    /// outcome carries a deterministic [`via_obs::MetricsSnapshot`] (see
+    /// [`write_metrics`]) at a modest replay-throughput cost (tracked by
+    /// the `metrics_overhead` bench case).
+    pub fn run_observed(&self, kind: StrategyKind, objective: Metric) -> Outcome {
+        let cfg = ReplayConfig {
+            objective,
+            seed: self.seed,
+            workers: self.workers,
+            metrics: true,
+            ..ReplayConfig::default()
+        };
+        ReplaySim::new(&self.world, &self.trace, cfg).run(kind)
+    }
+}
+
+/// Writes an outcome's metrics snapshot (if one was recorded — see
+/// [`Env::run_observed`]) as `experiments/out/<name>.metrics.json` and
+/// returns the path. The file holds only the deterministic core, so it is
+/// byte-identical across reruns and worker counts and safe to diff in CI.
+pub fn write_metrics(name: &str, outcome: &Outcome) -> Option<PathBuf> {
+    outcome
+        .obs
+        .as_ref()
+        .map(|snap| write_json(&format!("{name}.metrics"), snap))
 }
 
 /// The §5.1 evaluation filter: "for statistical confidence, in each 24-hour

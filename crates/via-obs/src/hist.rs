@@ -1,0 +1,321 @@
+//! Fixed-bucket histograms with a merge algebra safe for deterministic
+//! parallel recording.
+//!
+//! The deterministic core of the observability layer may only contain
+//! aggregates whose merge is associative *and* commutative in exact
+//! arithmetic, so that merging per-worker sinks yields byte-identical
+//! results for every worker count and shard assignment. Bucket counts
+//! (`u64` adds) and exact running extremes (`f64::min`/`max` select one of
+//! the recorded values, they never round) qualify; floating-point *sums* do
+//! not — `(a + b) + c != a + (b + c)` in general — so this histogram
+//! deliberately stores no sum and derives no mean.
+
+use serde::{Deserialize, Serialize};
+
+/// A named, fixed set of finite bucket upper bounds (strictly increasing).
+/// The histogram adds one implicit overflow bucket above the last bound, so
+/// `bounds.len() + 1` buckets partition the whole real line: bucket `i`
+/// holds values in `(bounds[i-1], bounds[i]]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Buckets {
+    /// Stable identifier, recorded in snapshots next to the bounds.
+    pub name: &'static str,
+    /// Finite upper bounds, strictly increasing.
+    pub bounds: &'static [f64],
+}
+
+/// One-way network latency / RTT, milliseconds.
+pub const LATENCY_MS: Buckets = Buckets {
+    name: "latency_ms",
+    bounds: &[
+        1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0, 400.0, 500.0, 750.0,
+        1000.0, 1500.0, 2000.0, 3000.0, 5000.0,
+    ],
+};
+
+/// MOS difference between a relayed and the direct path (positive = relaying
+/// helped). Symmetric around zero; MOS lives on [1, 4.5] so ±2 covers it.
+pub const MOS_DELTA: Buckets = Buckets {
+    name: "mos_delta",
+    bounds: &[
+        -2.0, -1.0, -0.5, -0.2, -0.1, -0.05, -0.01, 0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0,
+    ],
+};
+
+/// Width of a predictor confidence interval (`upper - lower`), in the units
+/// of the predicted metric.
+pub const CI_WIDTH: Buckets = Buckets {
+    name: "ci_width",
+    bounds: &[
+        0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    ],
+};
+
+/// Bandit regret proxy: realized cost of the chosen arm minus the predicted
+/// cost of the best arm (clamped at zero by the recorder).
+pub const REGRET: Buckets = Buckets {
+    name: "regret",
+    bounds: &[
+        0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0,
+    ],
+};
+
+/// Dimensionless fractions and percentages on [0, 100].
+pub const FRACTION: Buckets = Buckets {
+    name: "fraction",
+    bounds: &[
+        0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 50.0, 75.0, 90.0, 100.0,
+    ],
+};
+
+impl Buckets {
+    /// The bucket index `v` falls into: the first bucket whose upper bound is
+    /// `>= v`, or the overflow bucket. Total over all finite `f64` and
+    /// monotone: `v1 <= v2` implies `bucket_of(v1) <= bucket_of(v2)`.
+    pub fn bucket_of(&self, v: f64) -> usize {
+        self.bounds.partition_point(|b| *b < v)
+    }
+}
+
+/// A fixed-bucket histogram: `u64` bucket counts plus exact extremes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Buckets,
+    counts: Vec<u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bucket preset.
+    pub fn new(buckets: Buckets) -> Histogram {
+        Histogram {
+            buckets,
+            counts: vec![0; buckets.bounds.len() + 1],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one value. Non-finite values are ignored: they carry no
+    /// information a bucket could hold, and letting NaN reach `min`/`max`
+    /// would poison the deterministic extremes.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[self.buckets.bucket_of(v)] += 1;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Pure `u64` adds plus `min`/`max`, so the
+    /// operation is associative and commutative — any merge tree over the
+    /// same recordings produces the same histogram. Merging histograms built
+    /// over different bucket presets is a programming error; the mismatched
+    /// operand's bucket counts are then folded into the overflow bucket so
+    /// the total count stays conserved (and a debug build asserts).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        debug_assert_eq!(
+            self.buckets.name, other.buckets.name,
+            "merging histograms with different bucket presets"
+        );
+        if self.buckets.bounds == other.buckets.bounds {
+            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+                *a += *b;
+            }
+        } else if let Some(last) = self.counts.last_mut() {
+            *last += other.count;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded value, if any.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest recorded value, if any.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The bucket preset this histogram records into.
+    pub fn buckets(&self) -> Buckets {
+        self.buckets
+    }
+
+    /// Raw bucket counts (`bounds.len() + 1` entries, overflow last).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// A closed interval guaranteed to contain the `q`-quantile of the
+    /// recorded sample (the rank-`ceil(q·n)` order statistic), or `None` on
+    /// an empty histogram. The interval is the containing bucket's span
+    /// clamped to the exact extremes, so it degrades gracefully to a point
+    /// at the tails.
+    pub fn quantile_bracket(&self, q: f64) -> Option<(f64, f64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        let mut idx = self.counts.len() - 1;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                idx = i;
+                break;
+            }
+        }
+        let lo = if idx == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.buckets.bounds[idx - 1]
+        };
+        let hi = if idx < self.buckets.bounds.len() {
+            self.buckets.bounds[idx]
+        } else {
+            f64::INFINITY
+        };
+        Some((lo.max(self.min), hi.min(self.max)))
+    }
+}
+
+/// Serializable form of a [`Histogram`] inside a snapshot: bounds are
+/// inlined so consumers need no preset table. `min`/`max` are `0` when
+/// `count == 0` (the non-finite sentinels do not survive JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name (snapshot key).
+    pub name: String,
+    /// Bucket preset identifier.
+    pub buckets: String,
+    /// Finite bucket upper bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one more entry than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Exact smallest recorded value (0 when empty).
+    pub min: f64,
+    /// Exact largest recorded value (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn of(name: &str, h: &Histogram) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            buckets: h.buckets.name.to_string(),
+            bounds: h.buckets.bounds.to_vec(),
+            counts: h.counts.clone(),
+            count: h.count,
+            min: h.min().unwrap_or(0.0),
+            max: h.max().unwrap_or(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_of_edges() {
+        let b = Buckets {
+            name: "t",
+            bounds: &[1.0, 2.0, 5.0],
+        };
+        assert_eq!(b.bucket_of(-1e300), 0);
+        assert_eq!(b.bucket_of(0.0), 0);
+        assert_eq!(b.bucket_of(1.0), 0, "bounds are inclusive upper edges");
+        assert_eq!(b.bucket_of(1.0 + 1e-9), 1);
+        assert_eq!(b.bucket_of(5.0), 2);
+        assert_eq!(b.bucket_of(5.1), 3, "overflow bucket");
+    }
+
+    #[test]
+    fn record_and_extremes() {
+        let mut h = Histogram::new(LATENCY_MS);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        for v in [3.0, 80.0, 80.0, 10_000.0] {
+            h.record(v);
+        }
+        h.record(f64::NAN); // ignored
+        h.record(f64::INFINITY); // ignored
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(3.0));
+        assert_eq!(h.max(), Some(10_000.0));
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+        assert_eq!(h.counts()[LATENCY_MS.bounds.len()], 1, "overflow hit");
+    }
+
+    #[test]
+    fn preset_bounds_are_strictly_increasing() {
+        for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION] {
+            assert!(!b.bounds.is_empty(), "{}", b.name);
+            for w in b.bounds.windows(2) {
+                assert!(w[0] < w[1], "{}: {:?}", b.name, w);
+            }
+            assert!(b.bounds.iter().all(|x| x.is_finite()), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn quantile_bracket_brackets() {
+        let mut h = Histogram::new(LATENCY_MS);
+        let xs = [3.0, 7.0, 12.0, 40.0, 90.0, 90.0, 160.0];
+        for &x in &xs {
+            h.record(x);
+        }
+        // Median (rank 4 of 7) is 40.0; its bucket is (20, 50].
+        let (lo, hi) = h.quantile_bracket(0.5).expect("non-empty");
+        assert!(lo <= 40.0 && 40.0 <= hi, "bracket [{lo}, {hi}]");
+        // Extremes are exact.
+        assert_eq!(h.quantile_bracket(0.0), Some((3.0, 5.0)));
+        let (_, hi) = h.quantile_bracket(1.0).expect("non-empty");
+        assert_eq!(hi, 160.0);
+    }
+
+    #[test]
+    fn merge_conserves_counts_and_extremes() {
+        let mut a = Histogram::new(CI_WIDTH);
+        let mut b = Histogram::new(CI_WIDTH);
+        for v in [0.2, 3.0, 700.0] {
+            a.record(v);
+        }
+        for v in [0.05, 60.0] {
+            b.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 5);
+        assert_eq!(merged.min(), Some(0.05));
+        assert_eq!(merged.max(), Some(700.0));
+        // Commutes.
+        let mut other = b.clone();
+        other.merge(&a);
+        assert_eq!(merged, other);
+        // Merging an empty histogram is a no-op.
+        let before = merged.clone();
+        merged.merge(&Histogram::new(CI_WIDTH));
+        assert_eq!(merged, before);
+    }
+}

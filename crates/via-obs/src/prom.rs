@@ -1,0 +1,105 @@
+//! Prometheus text exposition (version 0.0.4) for metric snapshots.
+//!
+//! Rendering is purely a function of the snapshot's deterministic core, so
+//! two byte-identical snapshots render to byte-identical expositions.
+//! Histogram buckets follow the Prometheus convention: `_bucket{le="..."}`
+//! series are cumulative and end with `le="+Inf"`, alongside `_count`.
+//! There is no `_sum` series — the deterministic core stores no
+//! floating-point sums (they are not associative under merge) — so exact
+//! `_min`/`_max` gauges are exported instead.
+
+use std::fmt::Write as _;
+
+use crate::snapshot::MetricsSnapshot;
+
+/// Maps a metric name to a valid Prometheus identifier:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, with every other byte replaced by `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Formats a bucket bound for an `le` label (`+Inf` for the overflow edge).
+fn le_label(bound: Option<f64>) -> String {
+    match bound {
+        Some(b) => format!("{b}"),
+        None => "+Inf".to_string(),
+    }
+}
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for c in &snap.counters {
+        let name = prom_name(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.value);
+    }
+    for h in &snap.histograms {
+        let name = prom_name(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, count) in h.counts.iter().enumerate() {
+            cum += count;
+            let le = le_label(h.bounds.get(i).copied());
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{name}_count {}", h.count);
+        if h.count > 0 {
+            let _ = writeln!(out, "# TYPE {name}_min gauge");
+            let _ = writeln!(out, "{name}_min {}", h.min);
+            let _ = writeln!(out, "# TYPE {name}_max gauge");
+            let _ = writeln!(out, "{name}_max {}", h.max);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LATENCY_MS;
+    use crate::MetricSink;
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("replay.window-ms"), "replay_window_ms");
+        assert_eq!(prom_name("9lives"), "_lives");
+        assert_eq!(prom_name(""), "_");
+    }
+
+    #[test]
+    fn exposition_has_cumulative_buckets_and_inf_edge() {
+        let mut sink = MetricSink::new();
+        sink.inc("calls_total", 3);
+        sink.observe("rtt_ms", LATENCY_MS, 4.0);
+        sink.observe("rtt_ms", LATENCY_MS, 90.0);
+        let text = to_prometheus(&sink.snapshot());
+        assert!(text.contains("# TYPE calls_total counter\ncalls_total 3\n"));
+        assert!(text.contains("# TYPE rtt_ms histogram"));
+        assert!(text.contains("rtt_ms_bucket{le=\"5\"} 1"));
+        assert!(text.contains("rtt_ms_bucket{le=\"100\"} 2"));
+        assert!(text.contains("rtt_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("rtt_ms_count 2"));
+        assert!(text.contains("rtt_ms_min 4"));
+        assert!(text.contains("rtt_ms_max 90"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("rtt_ms_bucket")) {
+            let v: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the via-obs histogram algebra.
+//!
+//! The deterministic-core contract rests on four algebraic facts, each
+//! checked here over randomized samples and partitions:
+//!
+//! 1. merge is associative and commutative,
+//! 2. a merged histogram's count equals the sum of its parts,
+//! 3. bucket assignment is total over finite values and monotone,
+//! 4. quantile estimates from merged histograms bracket the true sample
+//!    quantile.
+
+use proptest::prelude::*;
+use via_obs::{Buckets, Histogram, CI_WIDTH, LATENCY_MS, MOS_DELTA};
+
+fn hist_of(buckets: Buckets, xs: &[f64]) -> Histogram {
+    let mut h = Histogram::new(buckets);
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+/// The rank-`ceil(q·n)` order statistic — the definition
+/// `Histogram::quantile_bracket` promises to bracket.
+fn true_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Spreads a unit draw across ~24 orders of magnitude in both signs, so the
+/// totality property sees values far outside every preset's bounds.
+fn stretch(unit: f64, exp: i32) -> f64 {
+    (unit - 0.5) * 2.0 * 10f64.powi(exp - 12)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in prop::collection::vec(-50.0f64..6000.0, 0..80),
+        b in prop::collection::vec(-50.0f64..6000.0, 0..80),
+        c in prop::collection::vec(-50.0f64..6000.0, 0..80),
+    ) {
+        let (ha, hb, hc) = (
+            hist_of(LATENCY_MS, &a),
+            hist_of(LATENCY_MS, &b),
+            hist_of(LATENCY_MS, &c),
+        );
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // The empty histogram is the identity.
+        let mut with_empty = ha.clone();
+        with_empty.merge(&Histogram::new(LATENCY_MS));
+        prop_assert_eq!(&with_empty, &ha);
+    }
+
+    #[test]
+    fn merged_count_is_sum_of_parts(
+        xs in prop::collection::vec(-5.0f64..5.0, 1..200),
+        cuts in prop::collection::vec(0usize..200, 0..4),
+    ) {
+        // Split xs into contiguous parts at random cut points and merge the
+        // per-part histograms back together.
+        let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % (xs.len() + 1)).collect();
+        cuts.push(0);
+        cuts.push(xs.len());
+        cuts.sort_unstable();
+
+        let mut merged = Histogram::new(MOS_DELTA);
+        let mut part_sum = 0u64;
+        for w in cuts.windows(2) {
+            let part = hist_of(MOS_DELTA, &xs[w[0]..w[1]]);
+            part_sum += part.count();
+            merged.merge(&part);
+        }
+        prop_assert_eq!(part_sum, xs.len() as u64);
+        prop_assert_eq!(merged.count(), xs.len() as u64);
+        // Per-bucket totals are conserved too: merging the parts equals
+        // recording the whole sample into one histogram.
+        let whole = hist_of(MOS_DELTA, &xs);
+        prop_assert_eq!(&merged, &whole);
+    }
+
+    #[test]
+    fn bucket_assignment_is_total_and_monotone(
+        u1 in 0.0f64..1.0, e1 in 0i32..25,
+        u2 in 0.0f64..1.0, e2 in 0i32..25,
+    ) {
+        let mut v1 = stretch(u1, e1);
+        let mut v2 = stretch(u2, e2);
+        if v1 > v2 {
+            std::mem::swap(&mut v1, &mut v2);
+        }
+        for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH] {
+            let (i1, i2) = (b.bucket_of(v1), b.bucket_of(v2));
+            // Total: every finite value lands in a real bucket index.
+            prop_assert!(i1 <= b.bounds.len());
+            prop_assert!(i2 <= b.bounds.len());
+            // Monotone: ordering of values implies ordering of buckets.
+            prop_assert!(i1 <= i2, "{}: bucket_of({}) = {} > bucket_of({}) = {}",
+                b.name, v1, i1, v2, i2);
+            // Recording any finite value must land in the bucket counts.
+            let h = hist_of(b, &[v1, v2]);
+            prop_assert_eq!(h.count(), 2);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), 2);
+        }
+    }
+
+    #[test]
+    fn quantile_bracket_contains_true_quantile_after_merge(
+        xs in prop::collection::vec(0.0f64..8000.0, 1..150),
+        split in 0usize..150,
+        q in 0.0f64..1.0,
+    ) {
+        let split = split.min(xs.len());
+        let (a, b) = xs.split_at(split);
+        let mut merged = hist_of(LATENCY_MS, a);
+        merged.merge(&hist_of(LATENCY_MS, b));
+
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        let truth = true_quantile(&sorted, q);
+
+        let Some((lo, hi)) = merged.quantile_bracket(q) else {
+            panic!("non-empty histogram returned no bracket");
+        };
+        prop_assert!(lo <= hi, "inverted bracket [{}, {}]", lo, hi);
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "q={}: true quantile {} outside bracket [{}, {}]", q, truth, lo, hi
+        );
+    }
+}

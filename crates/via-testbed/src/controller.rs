@@ -25,6 +25,7 @@ use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 use via_model::metrics::PathMetrics;
 use via_model::seed;
+use via_obs::{MetricSink, LATENCY_MS};
 
 use crate::client::COLLECT_CEILING_MS;
 use crate::error::TestbedError;
@@ -162,6 +163,16 @@ pub struct ControllerOutcome {
     pub reports: Vec<ReportRecord>,
     /// Every call that produced no report, sorted like the reports.
     pub failures: Vec<PairFailure>,
+    /// Control-plane observability: per-caller sinks merged after the
+    /// orchestration threads join (retries, per-attempt deadline hits,
+    /// injected frame fates) plus outcome counters derived from the final
+    /// report/failure lists. Unlike the replay engine's snapshots, these
+    /// counters describe real socket behavior — retry and deadline counts
+    /// may vary with wall-clock noise, which is why the determinism
+    /// contract lives in [`TestbedResult::summary`], not here.
+    ///
+    /// [`TestbedResult::summary`]: crate::harness::TestbedResult::summary
+    pub obs: MetricSink,
 }
 
 /// Per-caller factory for the fault stream applied to outgoing `Call`
@@ -227,6 +238,8 @@ pub fn run_controller(
     let start = Instant::now();
     let global_deadline = start + cfg.timing.global;
     let reg_deadline = (start + cfg.timing.registration).min(global_deadline);
+    let mut obs = MetricSink::with_timing();
+    let t_registration = obs.start();
 
     // Phase 1: registration, bounded by the registration deadline.
     let mut conns: HashMap<String, FrameConn> = HashMap::new();
@@ -256,6 +269,8 @@ pub fn run_controller(
         }
     }
     let all_registered = conns.len() >= expected_clients;
+    obs.time("testbed.registration", t_registration);
+    obs.inc("testbed_clients_registered_total", conns.len() as u64);
 
     // Partition the plan into runnable pairs and pre-failed ones. A plan
     // that names a client *nobody has ever heard of* while every expected
@@ -332,6 +347,7 @@ pub fn run_controller(
         failures: &failures_sink,
     };
 
+    let t_calls = obs.start();
     let mut finished_conns: Vec<FrameConn> = Vec::new();
     std::thread::scope(|s| {
         let mut handles = Vec::new();
@@ -345,14 +361,21 @@ pub fn run_controller(
                 caller.clone(),
                 s.spawn(move || {
                     let mut conn = conn;
-                    drive_caller(ctx, &caller, &pairs, &mut conn, faults);
-                    conn
+                    let sink = drive_caller(ctx, &caller, &pairs, &mut conn, faults);
+                    (conn, sink)
                 }),
             ));
         }
+        // Join in caller-name order (handles were spawned sorted), so the
+        // per-caller sinks merge in a fixed order — and the merge algebra is
+        // order-independent anyway, mirroring the replay engine's
+        // per-worker sinks folding at the window barrier.
         for (caller, handle) in handles {
             match handle.join() {
-                Ok(conn) => finished_conns.push(conn),
+                Ok((conn, sink)) => {
+                    obs.merge(&sink);
+                    finished_conns.push(conn);
+                }
                 Err(_) => failures_sink.lock().push(PairFailure {
                     caller,
                     callee: String::new(),
@@ -365,6 +388,7 @@ pub fn run_controller(
             }
         }
     });
+    obs.time("testbed.calls", t_calls);
 
     // Release every client (callers and idle callees), best-effort: a
     // client that already vanished must not wedge teardown.
@@ -388,24 +412,50 @@ pub fn run_controller(
             b.cause.kind(),
         ))
     });
-    Ok(ControllerOutcome { reports, failures })
+
+    // Outcome counters derive from the final sorted lists, so every report
+    // and every typed failure — including pre-run `Unregistered` pairs and
+    // the post-join panic fallback — is counted exactly once.
+    obs.inc("testbed_reports_total", reports.len() as u64);
+    obs.inc(
+        "testbed_reports_degraded_total",
+        reports.iter().filter(|r| r.degraded).count() as u64,
+    );
+    for r in &reports {
+        obs.observe("testbed_report_rtt_ms", LATENCY_MS, r.metrics.rtt_ms);
+    }
+    for f in &failures {
+        let name = format!(
+            "testbed_failures_{}_total",
+            f.cause.kind().replace('-', "_")
+        );
+        obs.inc(&name, 1);
+    }
+    Ok(ControllerOutcome {
+        reports,
+        failures,
+        obs,
+    })
 }
 
 /// Drives all of one caller's calls back-to-back, recording reports and
 /// failures; never returns an error — a broken stream fails the caller's
-/// remaining pairs and returns.
+/// remaining pairs and returns. The returned sink carries this caller's
+/// control-plane counters, merged by the controller after join.
 fn drive_caller(
     ctx: &CallerCtx<'_>,
     caller: &str,
     pairs: &[(usize, PairSpec)],
     conn: &mut FrameConn,
     mut faults: Option<FrameFaults>,
-) {
+) -> MetricSink {
+    let mut obs = MetricSink::new();
     let mut rng = StdRng::seed_from_u64(seed::derive(ctx.seed, caller));
     for round in 0..ctx.rounds {
         for (pair_idx, pair) in pairs {
             for &(relay, relay_addr) in &pair.relays {
                 if Instant::now() >= ctx.global_deadline {
+                    obs.inc("testbed_global_deadline_skips_total", 1);
                     ctx.failures.lock().push(PairFailure {
                         caller: caller.to_string(),
                         callee: pair.callee.clone(),
@@ -443,7 +493,8 @@ fn drive_caller(
                     gap_ms: ctx.gap_ms,
                     callee: pair.callee.clone(),
                 };
-                match place_call(ctx, conn, &call, &mut faults, &mut rng) {
+                obs.inc("testbed_calls_placed_total", 1);
+                match place_call(ctx, conn, &call, &mut faults, &mut rng, &mut obs) {
                     Ok(Some((metrics, degraded))) => ctx.reports.lock().push(ReportRecord {
                         caller: caller.to_string(),
                         callee: pair.callee.clone(),
@@ -483,12 +534,13 @@ fn drive_caller(
                                 },
                             });
                         }
-                        return;
+                        return obs;
                     }
                 }
             }
         }
     }
+    obs
 }
 
 /// One request–response call exchange with bounded retries.
@@ -502,6 +554,7 @@ fn place_call(
     call: &ControllerMsg,
     faults: &mut Option<FrameFaults>,
     rng: &mut StdRng,
+    obs: &mut MetricSink,
 ) -> Result<Option<(PathMetrics, bool)>, TestbedError> {
     let ControllerMsg::Call { relay, round, .. } = call else {
         return Err(TestbedError::Protocol("place_call needs a Call".into()));
@@ -509,6 +562,7 @@ fn place_call(
     let (want_relay, want_round) = (*relay, *round);
     for attempt in 0..ctx.retry.attempts.max(1) {
         if attempt > 0 {
+            obs.inc("testbed_call_retries_total", 1);
             std::thread::sleep(ctx.retry.backoff(attempt - 1, rng));
         }
         match faults.as_mut().map_or(
@@ -517,16 +571,18 @@ fn place_call(
         ) {
             // The Call frame is "lost": skip the write and let the read
             // deadline drive the retry, exactly as a real drop would.
-            FrameFate::Drop => {}
+            FrameFate::Drop => obs.inc("testbed_ctrl_frames_dropped_total", 1),
             FrameFate::Deliver { duplicate } => {
                 if let Some(f) = faults {
                     let d = f.delay();
                     if !d.is_zero() {
+                        obs.inc("testbed_ctrl_frames_delayed_total", 1);
                         std::thread::sleep(d);
                     }
                 }
                 conn.write(call)?;
                 if duplicate {
+                    obs.inc("testbed_ctrl_frames_duplicated_total", 1);
                     conn.write(call)?;
                 }
             }
@@ -552,7 +608,10 @@ fn place_call(
                         "expected Report, got {other:?}"
                     )))
                 }
-                Err(FrameError::Timeout) => break, // next attempt
+                Err(FrameError::Timeout) => {
+                    obs.inc("testbed_attempt_deadlines_total", 1);
+                    break; // next attempt
+                }
                 Err(e) => return Err(e.into()),
             }
         }

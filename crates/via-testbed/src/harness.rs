@@ -114,6 +114,12 @@ pub struct TestbedResult {
     pub forwarded: u64,
     /// Total packets dropped by impairment.
     pub dropped: u64,
+    /// Observability snapshot: control-plane counters (retries, deadline
+    /// hits, injected frame fates, typed failure kinds), report outcomes,
+    /// and relay data-plane totals. Testbed metrics describe real socket
+    /// behavior and are *not* covered by the byte-identical determinism
+    /// contract — that contract is [`TestbedResult::summary`]'s.
+    pub obs: via_obs::MetricsSnapshot,
 }
 
 impl TestbedResult {
@@ -388,6 +394,7 @@ pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
         client_threads.push((name, handle));
     }
 
+    let t_run = via_obs::Stopwatch::started();
     let outcome = run_controller(listener, controller_cfg, cfg.n_clients, registrar, &hooks)?;
 
     let mut client_errors = Vec::new();
@@ -402,6 +409,12 @@ pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
     let forwarded = relays.iter().map(RelayHandle::forwarded).sum();
     let dropped = relays.iter().map(RelayHandle::dropped).sum();
 
+    let mut sink = outcome.obs;
+    sink.inc("testbed_relay_forwarded_total", forwarded);
+    sink.inc("testbed_relay_dropped_total", dropped);
+    sink.inc("testbed_client_errors_total", client_errors.len() as u64);
+    sink.time("testbed.run", t_run);
+
     Ok(TestbedResult {
         reports: outcome.reports,
         failures: outcome.failures,
@@ -409,6 +422,7 @@ pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
         expected,
         forwarded,
         dropped,
+        obs: sink.snapshot(),
     })
 }
 
@@ -491,6 +505,7 @@ mod tests {
             expected: HashMap::new(),
             forwarded: 0,
             dropped: 0,
+            obs: via_obs::MetricsSnapshot::default(),
         };
         let summary = result.summary();
         assert_eq!(summary.len(), 2);

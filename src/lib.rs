@@ -15,6 +15,7 @@
 //! | [`quality`] | `via-quality` | E-model MOS, user ratings, PCR, PNR |
 //! | [`trace`]   | `via-trace`   | call workload generation, trace records, §2 dataset analysis |
 //! | [`core`]    | `via-core`    | tomography predictor, top-k pruning, modified UCB1, budget gate, strategies, replay |
+//! | [`obs`]     | `via-obs`     | deterministic metrics/tracing: counters, fixed-bucket histograms, span events |
 //! | [`testbed`] | `via-testbed` | real TCP/UDP deployment prototype (§5.5) |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@ pub use via_core as core;
 pub use via_media as media;
 pub use via_model as model;
 pub use via_netsim as netsim;
+pub use via_obs as obs;
 pub use via_quality as quality;
 pub use via_testbed as testbed;
 pub use via_trace as trace;
