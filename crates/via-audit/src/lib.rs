@@ -3,8 +3,8 @@
 //! The replication's headline property is *determinism*: every figure must
 //! regenerate byte-identically from a seed. This tool enforces the coding
 //! rules that protect it — plus panic-safety and NaN-safety — by walking
-//! `crates/*/src` and `crates/*/benches` and applying three lexical lints
-//! (see [`lints`]):
+//! `crates/*/src` and `crates/*/benches` and running a registry of lint
+//! passes over each file:
 //!
 //! | lint | scope | severity |
 //! |------|-------|----------|
@@ -14,18 +14,37 @@
 //! | `lock-contention` | hot-path crates (`via-netsim`, `via-core`) | deny |
 //! | `socket-wait` | socket crates (`via-testbed`), non-test lib code | deny |
 //! | `raw-timing` | hot-path crates (`via-netsim`, `via-core`) | deny |
+//! | `map-iteration-order` | simulation crates, all code | deny |
+//! | `rng-discipline` | simulation crates, non-test code | deny |
+//! | `float-accumulation` | simulation crates, non-test code | deny |
+//! | `cast-truncation` | hot-path crates, non-test lib code | deny |
+//! | `stale-suppression` | everywhere a directive appears | deny |
 //!
-//! Sources are sanitized (comments and strings blanked, line numbers kept)
-//! before matching, so the lints see only code. Sites with a justified
-//! exception carry `// via-audit: allow(lint-name)` on or above the line.
+//! Each file is lexed once ([`token`]) into a spanned token stream, comment
+//! list, and code-only rendered lines; a per-file symbol table ([`symbols`])
+//! classifies hash-container / RNG / `f64` bindings; then every applicable
+//! pass in the [`passes::REGISTRY`] runs. The first six lints are
+//! line-based ([`lints`]); the last four are token-aware ([`semantic`]).
+//!
+//! Suppression is applied centrally *after* the passes ([`suppress`]):
+//! `// via-audit: allow(lint-name)` with a justification silences findings
+//! on its own or the next line, and every directive is audited — an allow
+//! that suppresses nothing, names an unknown lint, or carries no
+//! justification is itself a deny-level `stale-suppression` finding, so the
+//! exception surface can only shrink.
 //!
 //! The `compat/` stand-in crates are not audited: they mirror external
 //! crates' APIs (including wall-clock use in the criterion stand-in) and are
 //! exercised by their own unit tests instead.
 
 pub mod lints;
+pub mod passes;
 pub mod regions;
-pub mod sanitize;
+pub mod report;
+pub mod semantic;
+pub mod suppress;
+pub mod symbols;
+pub mod token;
 
 use std::path::{Path, PathBuf};
 
@@ -64,29 +83,37 @@ pub const EXEMPT_CRATES: &[&str] = &["via-experiments", "via-bench", "via-audit"
 pub const SOCKET_CRATES: &[&str] = &["via-testbed"];
 
 /// Crates on the parallel-replay hot path, where a whole-map `Mutex` is a
-/// scaling regression (`lock-contention` lint): the world model every shard
-/// reads and the decision loop itself.
+/// scaling regression (`lock-contention` lint) and narrowing `as` casts are
+/// denied (`cast-truncation` lint): the world model every shard reads and
+/// the decision loop itself.
 pub const HOT_PATH_CRATES: &[&str] = &["via-netsim", "via-core"];
 
-/// Audits one file's source text.
+/// Audits one file's source text: lex, analyze, run every applicable
+/// registered pass, then apply (and audit) suppressions.
 pub fn audit_source(display_path: &str, src: &str, kind: FileKind) -> Vec<Finding> {
-    let sanitized = sanitize::sanitize(src);
-    let mask = regions::test_regions(&sanitized.lines);
-    let mut findings = Vec::new();
-    if kind.sim_crate {
-        lints::lint_determinism(display_path, &sanitized, &mut findings);
-    }
-    if (kind.sim_crate || kind.socket_crate) && kind.lib_code {
-        lints::lint_panic(display_path, &sanitized, &mask, &mut findings);
-    }
-    if kind.socket_crate && kind.lib_code {
-        lints::lint_socket(display_path, &sanitized, &mask, &mut findings);
-    }
-    if kind.hot_path {
-        lints::lint_contention(display_path, &sanitized, &mut findings);
-        lints::lint_timing(display_path, &sanitized, &mut findings);
-    }
-    lints::lint_nan(display_path, &sanitized, &mut findings);
+    let lexed = token::lex(src);
+    let symbols = symbols::collect(&lexed.tokens);
+    let test_mask = regions::test_regions(&lexed.lines);
+    let directives = suppress::collect(&lexed.comments);
+    let ctx = passes::FileCtx {
+        file: display_path,
+        kind,
+        tokens: &lexed.tokens,
+        lines: &lexed.lines,
+        symbols: &symbols,
+        test_mask: &test_mask,
+        directives: &directives,
+    };
+    let out = passes::run_passes(&ctx);
+    let known = passes::known_lints();
+    let mut findings = suppress::apply(
+        display_path,
+        out.findings,
+        &directives,
+        &known,
+        &out.marker_uses,
+    );
+    findings.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
     findings
 }
 
@@ -169,7 +196,7 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             findings.extend(audit_source(&display, &src, kind));
         }
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
     Ok(findings)
 }
 
@@ -218,6 +245,44 @@ mod tests {
         assert!(denies.contains(&lints::LINT_PANIC));
         assert!(denies.contains(&lints::LINT_CONTENTION));
         assert!(denies.contains(&lints::LINT_TIMING));
+    }
+
+    #[test]
+    fn audit_source_runs_the_semantic_passes() {
+        let src = "fn f() {\n\
+                   let m: HashMap<u32, u64> = HashMap::new();\n\
+                   let total: u64 = m.values().sum();\n\
+                   let tier = total as u8;\n\
+                   }\n";
+        let kind = FileKind {
+            sim_crate: true,
+            lib_code: true,
+            hot_path: true,
+            socket_crate: false,
+        };
+        let f = audit_source("x.rs", src, kind);
+        let denies: Vec<&str> = f
+            .iter()
+            .filter(|x| x.severity == Severity::Deny)
+            .map(|x| x.lint)
+            .collect();
+        assert!(denies.contains(&semantic::LINT_MAP_ORDER), "{f:?}");
+        assert!(denies.contains(&semantic::LINT_CAST), "{f:?}");
+    }
+
+    #[test]
+    fn stale_allow_is_a_deny_finding() {
+        let src = "// the violation below was fixed long ago. via-audit: allow(panic)\nfn ok() -> u32 { 1 }\n";
+        let kind = FileKind {
+            sim_crate: true,
+            lib_code: true,
+            hot_path: false,
+            socket_crate: false,
+        };
+        let f = audit_source("x.rs", src, kind);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].lint, suppress::LINT_STALE);
+        assert_eq!(f[0].severity, Severity::Deny);
     }
 
     #[test]

@@ -1,10 +1,10 @@
-//! The lint passes.
+//! Core types and the line-based lint passes.
 //!
 //! * `nondeterminism` — forbids entropy and wall-clock sources
-//!   (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`) and
-//!   unordered `HashMap`/`HashSet` iteration inside the simulation crates.
-//!   Applies to test code too: a nondeterministic test cannot reproduce its
-//!   failures.
+//!   (`thread_rng`, `from_entropy`, `SystemTime::now`, `Instant::now`) in
+//!   the simulation crates. Applies to test code too: a nondeterministic
+//!   test cannot reproduce its failures. (Hash-container *iteration* is the
+//!   token-aware `map-iteration-order` lint's job — see [`crate::semantic`].)
 //! * `panic` — forbids `.unwrap()` / `.expect(` in shipping library code of
 //!   the simulation crates (test regions exempt) and warns on slice
 //!   indexing.
@@ -30,13 +30,13 @@
 //!   metrics snapshots exclude — a bare clock read next to recorded state
 //!   is how nondeterminism leaks into "deterministic" outputs.
 //!
-//! Any lint can be suppressed at a site with a justification comment:
-//! `// via-audit: allow(lint-name)` on the same or the preceding line.
+//! Passes emit findings unconditionally; suppression (`via-audit:
+//! allow(lint-name)` with a justification) is applied centrally by the
+//! engine so stale allows are detectable — see [`crate::suppress`].
 
-use std::collections::HashSet;
 use std::fmt;
 
-use crate::sanitize::Sanitized;
+use crate::passes::{FileCtx, PassOutput};
 
 /// Determinism lint name.
 pub const LINT_NONDET: &str = "nondeterminism";
@@ -105,55 +105,22 @@ pub struct FileKind {
     pub socket_crate: bool,
 }
 
-/// Trailing identifier of `text` (e.g. `"let mut seg_demand"` → `seg_demand`).
-fn trailing_ident(text: &str) -> Option<&str> {
-    let trimmed = text.trim_end();
-    let start = trimmed
-        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .map_or(0, |p| p + 1);
-    let ident = &trimmed[start..];
-    (!ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()))
-        .then_some(ident)
+fn push(
+    ctx: &FileCtx<'_>,
+    out: &mut PassOutput,
+    line: usize,
+    lint: &'static str,
+    sev: Severity,
+    message: String,
+) {
+    out.findings.push(Finding {
+        file: ctx.file.to_string(),
+        line,
+        lint,
+        severity: sev,
+        message,
+    });
 }
-
-/// Collects identifiers declared with a `HashMap`/`HashSet` type in this
-/// file: `name: HashMap<..>` (bindings and struct fields) and
-/// `name = HashMap::new()` forms.
-fn hash_container_idents(lines: &[String]) -> HashSet<String> {
-    let mut idents = HashSet::new();
-    for line in lines {
-        for ty in ["HashMap", "HashSet"] {
-            let mut rest: &str = line;
-            let mut offset = 0usize;
-            while let Some(pos) = rest.find(ty) {
-                let before = &line[..offset + pos];
-                let trimmed = before.trim_end();
-                let decl = trimmed
-                    .strip_suffix(':')
-                    .or_else(|| trimmed.strip_suffix('='));
-                if let Some(ident) = decl.and_then(trailing_ident) {
-                    idents.insert(ident.to_string());
-                }
-                offset += pos + ty.len();
-                rest = &line[offset..];
-            }
-        }
-    }
-    idents
-}
-
-/// Methods whose iteration order follows the hash seed.
-const UNORDERED_ITER: &[&str] = &[
-    ".iter()",
-    ".iter_mut()",
-    ".keys()",
-    ".values()",
-    ".values_mut()",
-    ".into_iter()",
-    ".into_keys()",
-    ".into_values()",
-    ".drain()",
-];
 
 /// Entropy / wall-clock patterns forbidden in simulation code.
 const NONDET_SOURCES: &[(&str, &str)] = &[
@@ -175,111 +142,53 @@ const NONDET_SOURCES: &[(&str, &str)] = &[
     ),
 ];
 
-/// Receiver identifier of a method call ending right before `at`
-/// (`self.windows.iter()` with `at` pointing at `.iter()` → `windows`).
-fn receiver_before(line: &str, at: usize) -> Option<&str> {
-    trailing_ident(&line[..at])
-}
-
-/// Runs the determinism lint over one sanitized file.
-pub fn lint_determinism(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
-    let map_idents = hash_container_idents(&s.lines);
-    for (idx, line) in s.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if s.is_allowed(lineno, LINT_NONDET) {
-            continue;
-        }
+/// The determinism pass: entropy and wall-clock sources.
+pub fn pass_determinism(ctx: &FileCtx<'_>, out: &mut PassOutput) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
         for &(pat, advice) in NONDET_SOURCES {
             if line.contains(pat) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: lineno,
-                    lint: LINT_NONDET,
-                    severity: Severity::Deny,
-                    message: format!("`{pat}` is nondeterministic: {advice}"),
-                });
-            }
-        }
-        // Unordered iteration: `map.iter()` etc. on a known hash container.
-        for m in UNORDERED_ITER {
-            let mut from = 0usize;
-            while let Some(pos) = line[from..].find(m) {
-                let at = from + pos;
-                if receiver_before(line, at).is_some_and(|r| map_idents.contains(r)) {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: lineno,
-                        lint: LINT_NONDET,
-                        severity: Severity::Deny,
-                        message: format!(
-                            "unordered hash-container iteration `{}{m}`; sort the items \
-                             or use a BTreeMap before order can leak into results",
-                            receiver_before(line, at).unwrap_or("?"),
-                        ),
-                    });
-                }
-                from = at + m.len();
-            }
-        }
-        // `for x in &map {` / `for x in map {` forms.
-        if let Some(for_pos) = line.find("for ") {
-            if let Some(in_pos) = line[for_pos..].find(" in ") {
-                let after = line[for_pos + in_pos + 4..]
-                    .trim_start()
-                    .trim_start_matches('&')
-                    .trim_start_matches("mut ");
-                let ident: String = after
-                    .chars()
-                    .take_while(|c| c.is_alphanumeric() || *c == '_')
-                    .collect();
-                let tail = &after[ident.len()..];
-                let direct_loop = tail.trim_start().starts_with('{');
-                if direct_loop && map_idents.contains(ident.as_str()) {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: lineno,
-                        lint: LINT_NONDET,
-                        severity: Severity::Deny,
-                        message: format!(
-                            "iterating hash container `{ident}` in unordered order; \
-                             collect and sort first"
-                        ),
-                    });
-                }
+                push(
+                    ctx,
+                    out,
+                    idx + 1,
+                    LINT_NONDET,
+                    Severity::Deny,
+                    format!("`{pat}` is nondeterministic: {advice}"),
+                );
             }
         }
     }
 }
 
-/// Runs the panic-safety lint over one sanitized file (lib code only; test
-/// regions in `mask` are exempt).
-pub fn lint_panic(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<Finding>) {
-    for (idx, line) in s.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if mask.get(idx).copied().unwrap_or(false) || s.is_allowed(lineno, LINT_PANIC) {
+/// The panic-safety pass (lib code only; test regions exempt).
+pub fn pass_panic(ctx: &FileCtx<'_>, out: &mut PassOutput) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.test_mask.get(idx).copied().unwrap_or(false) {
             continue;
         }
         if line.contains(".unwrap()") {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                lint: LINT_PANIC,
-                severity: Severity::Deny,
-                message: "`.unwrap()` in library code; match, use `unwrap_or*`, or \
-                          propagate with `?`"
+            push(
+                ctx,
+                out,
+                idx + 1,
+                LINT_PANIC,
+                Severity::Deny,
+                "`.unwrap()` in library code; match, use `unwrap_or*`, or propagate \
+                 with `?`"
                     .to_string(),
-            });
+            );
         }
         if line.contains(".expect(") {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                lint: LINT_PANIC,
-                severity: Severity::Deny,
-                message: "`.expect(..)` in library code; encode the invariant in types \
-                          or handle the `None`/`Err` arm"
+            push(
+                ctx,
+                out,
+                idx + 1,
+                LINT_PANIC,
+                Severity::Deny,
+                "`.expect(..)` in library code; encode the invariant in types or \
+                 handle the `None`/`Err` arm"
                     .to_string(),
-            });
+            );
         }
         // Slice/array indexing can panic; warn (heuristic, never fails CI).
         if !line.trim_start().starts_with('#') {
@@ -290,15 +199,16 @@ pub fn lint_panic(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<F
                 }
                 let prev = chars[ci - 1];
                 if prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: lineno,
-                        lint: LINT_PANIC,
-                        severity: Severity::Warn,
-                        message: "slice indexing can panic; prefer `.get(..)` where the \
-                                  index is not provably in bounds"
+                    push(
+                        ctx,
+                        out,
+                        idx + 1,
+                        LINT_PANIC,
+                        Severity::Warn,
+                        "slice indexing can panic; prefer `.get(..)` where the index \
+                         is not provably in bounds"
                             .to_string(),
-                    });
+                    );
                     break; // one warning per line is enough
                 }
             }
@@ -309,30 +219,27 @@ pub fn lint_panic(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<F
 /// Map types that, wrapped in a whole-map `Mutex`, serialize every reader.
 const CONTENDED_MAPS: &[&str] = &["Mutex<HashMap", "Mutex<BTreeMap"];
 
-/// Runs the lock-contention lint over one sanitized file (hot-path crates
-/// only): a `Mutex` around a whole `HashMap`/`BTreeMap` funnels every
-/// parallel-replay reader through one lock.
-pub fn lint_contention(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
-    for (idx, line) in s.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if s.is_allowed(lineno, LINT_CONTENTION) {
-            continue;
-        }
+/// The lock-contention pass (hot-path crates only): a `Mutex` around a whole
+/// `HashMap`/`BTreeMap` funnels every parallel-replay reader through one
+/// lock.
+pub fn pass_contention(ctx: &FileCtx<'_>, out: &mut PassOutput) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
         // Strip whitespace so `Mutex< HashMap` and split generics match too.
         let packed: String = line.chars().filter(|c| !c.is_whitespace()).collect();
         for pat in CONTENDED_MAPS {
             if packed.contains(pat) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: lineno,
-                    lint: LINT_CONTENTION,
-                    severity: Severity::Deny,
-                    message: format!(
+                push(
+                    ctx,
+                    out,
+                    idx + 1,
+                    LINT_CONTENTION,
+                    Severity::Deny,
+                    format!(
                         "`{pat}<..>>` serializes all readers on one lock and destroys \
                          parallel-replay scaling; use a sharded `RwLock` table, dense \
                          `OnceLock` slots, or per-worker state"
                     ),
-                });
+                );
             }
         }
     }
@@ -363,24 +270,24 @@ const UNBOUNDED_WAITS: &[(&str, &str)] = &[
     ),
 ];
 
-/// Runs the unbounded-socket-wait lint over one sanitized file (socket
-/// crates' lib code only; test regions in `mask` are exempt — tests may
-/// block because the test runner itself is the deadline).
-pub fn lint_socket(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<Finding>) {
-    for (idx, line) in s.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if mask.get(idx).copied().unwrap_or(false) || s.is_allowed(lineno, LINT_SOCKET) {
+/// The unbounded-socket-wait pass (socket crates' lib code only; test
+/// regions exempt — tests may block because the test runner itself is the
+/// deadline).
+pub fn pass_socket(ctx: &FileCtx<'_>, out: &mut PassOutput) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
+        if ctx.test_mask.get(idx).copied().unwrap_or(false) {
             continue;
         }
         for &(pat, advice) in UNBOUNDED_WAITS {
             if line.contains(pat) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: lineno,
-                    lint: LINT_SOCKET,
-                    severity: Severity::Deny,
-                    message: format!("`{pat}` is an unbounded socket wait: {advice}"),
-                });
+                push(
+                    ctx,
+                    out,
+                    idx + 1,
+                    LINT_SOCKET,
+                    Severity::Deny,
+                    format!("`{pat}` is an unbounded socket wait: {advice}"),
+                );
             }
         }
     }
@@ -391,7 +298,7 @@ pub fn lint_socket(file: &str, s: &Sanitized, mask: &[bool], findings: &mut Vec<
 /// and the facade itself carries the one sanctioned constructor site.
 const RAW_CLOCKS: &[&str] = &["Instant::now", "SystemTime::now"];
 
-/// Runs the raw-timing lint over one sanitized file (hot-path crates only).
+/// The raw-timing pass (hot-path crates only).
 ///
 /// Overlaps with the `nondeterminism` lint on purpose: that lint can be
 /// suppressed site-by-site with `allow(nondeterminism)`, which is exactly
@@ -399,55 +306,50 @@ const RAW_CLOCKS: &[&str] = &["Instant::now", "SystemTime::now"];
 /// has its own name, so a justified nondeterminism exception still cannot
 /// put a bare clock read on the hot path — timing goes through
 /// `via_obs::Stopwatch` or not at all.
-pub fn lint_timing(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
-    for (idx, line) in s.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if s.is_allowed(lineno, LINT_TIMING) {
-            continue;
-        }
+pub fn pass_timing(ctx: &FileCtx<'_>, out: &mut PassOutput) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
         for pat in RAW_CLOCKS {
             if line.contains(pat) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: lineno,
-                    lint: LINT_TIMING,
-                    severity: Severity::Deny,
-                    message: format!(
+                push(
+                    ctx,
+                    out,
+                    idx + 1,
+                    LINT_TIMING,
+                    Severity::Deny,
+                    format!(
                         "raw `{pat}` on the hot path; route timing through \
                          `via_obs::Stopwatch` so it stays in the opt-in timing \
                          layer excluded from deterministic snapshots"
                     ),
-                });
+                );
             }
         }
     }
 }
 
-/// Runs the NaN-safety lint over one sanitized file.
-pub fn lint_nan(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
-    for (idx, line) in s.lines.iter().enumerate() {
-        let lineno = idx + 1;
-        if s.is_allowed(lineno, LINT_NAN) {
-            continue;
-        }
+/// The NaN-safety pass.
+pub fn pass_nan(ctx: &FileCtx<'_>, out: &mut PassOutput) {
+    for (idx, line) in ctx.lines.iter().enumerate() {
         // Catch `a.partial_cmp(&b).unwrap()` including the chained-across-
         // newline style: look at this line joined with the next.
-        let joined = match s.lines.get(idx + 1) {
-            Some(next) if line.contains("partial_cmp") => format!("{line}{next}"),
-            _ => line.clone(),
+        if !line.contains("partial_cmp") {
+            continue;
+        }
+        let joined = match ctx.lines.get(idx + 1) {
+            Some(next) => format!("{line}{next}"),
+            None => line.clone(),
         };
-        if line.contains("partial_cmp")
-            && (joined.contains(".unwrap()") || joined.contains(".expect("))
-        {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: lineno,
-                lint: LINT_NAN,
-                severity: Severity::Deny,
-                message: "`partial_cmp(..).unwrap()` panics on NaN; use \
-                          `f64::total_cmp` for float ordering"
+        if joined.contains(".unwrap()") || joined.contains(".expect(") {
+            push(
+                ctx,
+                out,
+                idx + 1,
+                LINT_NAN,
+                Severity::Deny,
+                "`partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp` \
+                 for float ordering"
                     .to_string(),
-            });
+            );
         }
     }
 }
@@ -455,28 +357,9 @@ pub fn lint_nan(file: &str, s: &Sanitized, findings: &mut Vec<Finding>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::regions::test_regions;
-    use crate::sanitize::sanitize;
 
     fn run_all(src: &str, kind: FileKind) -> Vec<Finding> {
-        let s = sanitize(src);
-        let mask = test_regions(&s.lines);
-        let mut f = Vec::new();
-        if kind.sim_crate {
-            lint_determinism("test.rs", &s, &mut f);
-        }
-        if (kind.sim_crate || kind.socket_crate) && kind.lib_code {
-            lint_panic("test.rs", &s, &mask, &mut f);
-        }
-        if kind.socket_crate && kind.lib_code {
-            lint_socket("test.rs", &s, &mask, &mut f);
-        }
-        if kind.hot_path {
-            lint_contention("test.rs", &s, &mut f);
-            lint_timing("test.rs", &s, &mut f);
-        }
-        lint_nan("test.rs", &s, &mut f);
-        f
+        crate::audit_source("test.rs", src, kind)
     }
 
     const SIM_LIB: FileKind = FileKind {
@@ -499,12 +382,12 @@ mod tests {
 
     #[test]
     fn entropy_sources_are_denied() {
-        let f = run_all("let mut rng = rand::thread_rng();\n", SIM_LIB);
+        let f = run_all("fn f() { let mut rng = rand::thread_rng(); }\n", SIM_LIB);
         assert_eq!(denies(&f), 1);
         assert_eq!(f[0].lint, LINT_NONDET);
         // A clock read on the hot path trips both the determinism lint and
         // the raw-timing lint: two findings, one site.
-        let f = run_all("let t = std::time::Instant::now();\n", SIM_LIB);
+        let f = run_all("fn f() { let t = std::time::Instant::now(); }\n", SIM_LIB);
         assert_eq!(denies(&f), 2);
         assert!(f.iter().any(|x| x.lint == LINT_NONDET));
         assert!(f.iter().any(|x| x.lint == LINT_TIMING));
@@ -524,7 +407,7 @@ mod tests {
 
     #[test]
     fn raw_timing_applies_only_on_the_hot_path_and_is_suppressible() {
-        let src = "let t = SystemTime::now();\n";
+        let src = "fn f() { let t = SystemTime::now(); }\n";
         let cold = FileKind {
             sim_crate: false,
             lib_code: true,
@@ -553,20 +436,6 @@ mod tests {
     }
 
     #[test]
-    fn hashmap_iteration_is_denied_but_get_is_fine() {
-        let src = "let mut cache: HashMap<u32, f64> = HashMap::new();\nfor (k, v) in &cache {\n}\ncache.get(&1);\nlet x = cache.iter().count();\n";
-        let f = run_all(src, SIM_LIB);
-        assert_eq!(denies(&f), 2, "{f:?}");
-        assert!(f.iter().all(|x| x.lint == LINT_NONDET));
-    }
-
-    #[test]
-    fn vec_iteration_is_not_flagged() {
-        let src = "let xs: Vec<u32> = Vec::new();\nfor x in &xs {}\nxs.iter().sum::<u32>();\n";
-        assert_eq!(denies(&run_all(src, SIM_LIB)), 0);
-    }
-
-    #[test]
     fn unwrap_in_lib_code_is_denied_but_tests_are_exempt() {
         let src = "fn lib(x: Option<u32>) -> u32 { x.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn t() { Some(1).unwrap(); }\n}\n";
         let f = run_all(src, SIM_LIB);
@@ -590,7 +459,7 @@ mod tests {
 
     #[test]
     fn nan_unsafe_comparison_is_denied_everywhere() {
-        let src = "xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        let src = "fn f(xs: &mut [f64]) { xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
         let f = run_all(
             src,
             FileKind {

@@ -1,17 +1,26 @@
-//! CLI entry point: `cargo run -p via-audit [-- --root <dir>] [-v]`.
+//! CLI entry point: `cargo run -p via-audit [-- --root <dir>] [-v] [--format json|text]`.
 //!
-//! Walks `<root>/crates`, runs the three lints, prints findings, and exits
-//! non-zero when any deny-level finding exists. Warnings are summarized
-//! (full detail with `-v`) and never affect the exit code.
+//! Walks `<root>/crates`, runs every registered lint pass, prints findings,
+//! and exits non-zero when any deny-level finding exists. In text mode
+//! warnings are summarized (full detail with `-v`) and never affect the
+//! exit code; in JSON mode the full findings list (warnings included) is
+//! emitted as one document for CI artifact upload.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use via_audit::lints::Severity;
+use via_audit::report;
+
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut verbose = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -22,9 +31,24 @@ fn main() -> ExitCode {
                 };
                 root = PathBuf::from(dir);
             }
+            "--format" => {
+                format = match args.next().as_deref() {
+                    Some("json") => Format::Json,
+                    Some("text") => Format::Text,
+                    other => {
+                        eprintln!(
+                            "--format requires `json` or `text`, got {}",
+                            other.unwrap_or("nothing")
+                        );
+                        return ExitCode::from(2);
+                    }
+                };
+            }
             "-v" | "--verbose" => verbose = true,
             other => {
-                eprintln!("unknown argument `{other}`; usage: via-audit [--root <dir>] [-v]");
+                eprintln!(
+                    "unknown argument `{other}`; usage: via-audit [--root <dir>] [-v] [--format json|text]"
+                );
                 return ExitCode::from(2);
             }
         }
@@ -56,33 +80,39 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    for f in &findings {
-        match f.severity {
-            Severity::Deny => {
-                errors += 1;
-                println!("{f}");
-            }
-            Severity::Warn => {
-                warnings += 1;
-                if verbose {
-                    println!("{f}");
+    let errors = findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+
+    match format {
+        Format::Json => print!("{}", report::to_json(&findings)),
+        Format::Text => {
+            let mut warnings = 0usize;
+            for f in &findings {
+                match f.severity {
+                    Severity::Deny => println!("{f}"),
+                    Severity::Warn => {
+                        warnings += 1;
+                        if verbose {
+                            println!("{f}");
+                        }
+                    }
                 }
             }
+            println!(
+                "via-audit: {errors} error{}, {warnings} warning{}{}",
+                if errors == 1 { "" } else { "s" },
+                if warnings == 1 { "" } else { "s" },
+                if warnings > 0 && !verbose {
+                    " (rerun with -v for warning detail)"
+                } else {
+                    ""
+                }
+            );
         }
     }
 
-    println!(
-        "via-audit: {errors} error{}, {warnings} warning{}{}",
-        if errors == 1 { "" } else { "s" },
-        if warnings == 1 { "" } else { "s" },
-        if warnings > 0 && !verbose {
-            " (rerun with -v for warning detail)"
-        } else {
-            ""
-        }
-    );
     if errors > 0 {
         ExitCode::FAILURE
     } else {

@@ -1,0 +1,218 @@
+//! Per-file symbol tables for the token-aware lints.
+//!
+//! The semantic passes need to know, for an identifier, whether it names a
+//! hash-ordered container, an RNG, or an `f64` value. A full type system is
+//! out of reach (and out of scope); what *is* reachable from tokens alone
+//! covers the patterns this workspace actually writes:
+//!
+//! * `name: HashMap<..>` / `name: HashSet<..>` — type-ascribed bindings,
+//!   function parameters, and struct fields, plus struct-literal
+//!   initializers (`windows: HashMap::new()`), all share the `ident ':'
+//!   …type…` shape.
+//! * `let [mut] name = HashMap::new()` — inferred bindings initialized from
+//!   a container constructor.
+//! * The same two shapes with RNG types (`StdRng`, `SmallRng`, anything
+//!   ending in `Rng`) feed the RNG-discipline lint.
+//! * `name: f64` (exactly) marks float bindings/fields for the
+//!   float-accumulation lint. Compound types (`Vec<f64>`) are deliberately
+//!   not marked: indexing/iteration obscures enough that flagging them
+//!   would be guesswork.
+//!
+//! Tables are file-scoped. A field declared in another file is invisible —
+//! a documented precision limit, not a bug: per-file tables keep the audit
+//! dependency-free and O(workspace), and the fixture corpus pins exactly
+//! what is and is not caught.
+
+use std::collections::BTreeSet;
+
+use crate::token::{Token, TokenKind};
+
+/// Identifier classification for one file.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Bindings/fields whose type (or initializer) mentions `HashMap` or
+    /// `HashSet`.
+    pub hash_containers: BTreeSet<String>,
+    /// Hash containers whose *value* type contains another hash container
+    /// (`HashMap<u64, HashMap<..>>`): `.get(..)` on these yields a hash
+    /// container, which closure-parameter binding in the map-order pass
+    /// uses.
+    pub nested_hash: BTreeSet<String>,
+    /// Bindings/fields with an RNG-ish type (`StdRng`, `SmallRng`, or any
+    /// identifier ending in `Rng`).
+    pub rngs: BTreeSet<String>,
+    /// Bindings/fields typed exactly `f64` (modulo `&`/`mut`).
+    pub floats: BTreeSet<String>,
+}
+
+/// True for type identifiers whose iteration order follows the hash seed.
+pub fn is_hash_container_ty(name: &str) -> bool {
+    name == "HashMap" || name == "HashSet"
+}
+
+/// True for type identifiers naming an RNG.
+fn is_rng_ty(name: &str) -> bool {
+    name.ends_with("Rng") && name != "SeedableRng"
+}
+
+/// Tokens that end a type region when seen at angle-depth 0.
+fn ends_type_region(t: &Token) -> bool {
+    t.kind == TokenKind::Punct && matches!(t.text.as_str(), "," | ";" | ")" | "{" | "}" | "=")
+}
+
+/// Builds the symbol table for one file's token stream.
+pub fn collect(tokens: &[Token]) -> SymbolTable {
+    let mut table = SymbolTable::default();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+
+        // `ident : <type/expr region>` — fields, params, ascribed lets, and
+        // struct-literal inits. Skip `::` (path separator, joined token).
+        if tokens[i + 1].is_punct(":") {
+            let mut angle = 0i32;
+            let mut j = i + 2;
+            let mut hash_hits = 0usize;
+            let mut saw_rng = false;
+            let mut plain = Vec::new();
+            while j < tokens.len() && j - i < 64 {
+                let u = &tokens[j];
+                if u.is_punct("<") {
+                    angle += 1;
+                } else if u.is_punct(">") {
+                    angle -= 1;
+                    if angle < 0 {
+                        break;
+                    }
+                } else if angle == 0 && ends_type_region(u) {
+                    break;
+                } else if u.kind == TokenKind::Ident {
+                    if is_hash_container_ty(&u.text) {
+                        hash_hits += 1;
+                    }
+                    if is_rng_ty(&u.text) {
+                        saw_rng = true;
+                    }
+                    if angle == 0 {
+                        plain.push(u.text.as_str());
+                    }
+                }
+                j += 1;
+            }
+            if hash_hits > 0 {
+                table.hash_containers.insert(t.text.clone());
+                if hash_hits > 1 {
+                    table.nested_hash.insert(t.text.clone());
+                }
+            }
+            if saw_rng {
+                table.rngs.insert(t.text.clone());
+            }
+            // Exactly-`f64` type: the region's only non-`&`/`mut` plain
+            // ident is `f64` (so `Vec<f64>` and `Option<f64>` don't match).
+            let plains: Vec<&&str> = plain.iter().filter(|s| **s != "mut").collect();
+            if plains == [&"f64"] {
+                table.floats.insert(t.text.clone());
+            }
+        }
+
+        // `let [mut] ident = <expr>;` — inferred container/RNG bindings.
+        if tokens[i + 1].is_punct("=")
+            && i >= 1
+            && (tokens[i - 1].is_ident("let")
+                || (tokens[i - 1].is_ident("mut") && i >= 2 && tokens[i - 2].is_ident("let")))
+        {
+            let mut j = i + 2;
+            while j < tokens.len() && j - i < 64 && !tokens[j].is_punct(";") {
+                let u = &tokens[j];
+                if u.kind == TokenKind::Ident {
+                    if is_hash_container_ty(&u.text) {
+                        table.hash_containers.insert(t.text.clone());
+                    }
+                    if is_rng_ty(&u.text) {
+                        table.rngs.insert(t.text.clone());
+                    }
+                }
+                j += 1;
+            }
+        }
+
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::lex;
+
+    fn table(src: &str) -> SymbolTable {
+        collect(&lex(src).tokens)
+    }
+
+    #[test]
+    fn ascribed_bindings_and_fields() {
+        let t = table(
+            "struct S { cells: HashMap<u32, f64>, names: Vec<String> }\n\
+             fn f(seen: &mut HashSet<u32>, xs: &[f64]) {}\n",
+        );
+        assert!(t.hash_containers.contains("cells"));
+        assert!(t.hash_containers.contains("seen"));
+        assert!(!t.hash_containers.contains("names"));
+        assert!(!t.hash_containers.contains("xs"));
+    }
+
+    #[test]
+    fn inferred_let_bindings() {
+        let t = table("let mut cache = HashMap::new();\nlet v = Vec::new();\n");
+        assert!(t.hash_containers.contains("cache"));
+        assert!(!t.hash_containers.contains("v"));
+    }
+
+    #[test]
+    fn struct_literal_initializers() {
+        let t = table("Self { windows: HashMap::with_capacity(4), n: 0 }\n");
+        assert!(t.hash_containers.contains("windows"));
+        assert!(!t.hash_containers.contains("n"));
+    }
+
+    #[test]
+    fn nested_hash_value_types() {
+        let t = table("windows: HashMap<u64, HashMap<(K, O), S>>,\nflat: HashMap<u32, f64>,\n");
+        assert!(t.nested_hash.contains("windows"));
+        assert!(!t.nested_hash.contains("flat"));
+    }
+
+    #[test]
+    fn rng_bindings() {
+        let t = table(
+            "fn f(rng: &mut StdRng) { let mut local = StdRng::seed_from_u64(s); }\n\
+             fn g(r: &mut impl Rng) {}\n",
+        );
+        assert!(t.rngs.contains("rng"));
+        assert!(t.rngs.contains("local"));
+        assert!(t.rngs.contains("r"));
+    }
+
+    #[test]
+    fn float_idents_are_exact_f64_only() {
+        let t = table("struct S { mean: f64, m2: f64, n: u64, xs: Vec<f64>, o: Option<f64> }\n");
+        assert!(t.floats.contains("mean"));
+        assert!(t.floats.contains("m2"));
+        assert!(!t.floats.contains("n"));
+        assert!(!t.floats.contains("xs"));
+        assert!(!t.floats.contains("o"));
+    }
+
+    #[test]
+    fn seedable_rng_trait_is_not_an_rng_value() {
+        let t = table("fn f<R: SeedableRng>(x: R) {}\n");
+        assert!(!t.rngs.contains("f"));
+        assert!(!t.rngs.contains("x"));
+    }
+}

@@ -1,0 +1,675 @@
+//! A dependency-free Rust lexer producing a [`Token`] stream with spans.
+//!
+//! The lint passes used to run over sanitized *lines* and match substrings —
+//! good enough for `thread_rng`, useless for "this `HashMap` binding is
+//! folded into an `f64` sum three tokens later". This lexer is the single
+//! source of truth the whole pass framework builds on:
+//!
+//! * **Tokens** — identifiers, lifetimes, integer/float/string/char
+//!   literals, and (joined multi-char) punctuation, each carrying its
+//!   1-indexed line, column, and brace-nesting depth.
+//! * **Comments** — collected separately (never in the token stream) so the
+//!   suppression module can parse `via-audit:` directives *and* verify each
+//!   carries a human justification.
+//! * **Rendered lines** — the source with comments blanked and string/char
+//!   literal contents replaced by spaces, columns preserved. Line-based
+//!   passes (substring lints, test-region brace matching) run over these,
+//!   so one lexer feeds both token-aware and line-based passes.
+//!
+//! It is deliberately not a full parser: no `syn` offline, and the passes
+//! need token adjacency and nesting, not an AST. Known approximations are
+//! documented where they matter (e.g. `>>` is never joined, so generics
+//! like `Vec<Vec<u32>>` lex cleanly).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `for`, `as`, names).
+    Ident,
+    /// Lifetime (`'a`), without the quote in `text`.
+    Lifetime,
+    /// Integer literal (including hex/octal/binary, `_` separators, suffix).
+    Int,
+    /// Float literal (has `.`, exponent, or an `f32`/`f64` suffix).
+    Float,
+    /// String literal (plain, raw, byte); `text` is `""` — contents are
+    /// never lint-relevant and blanking them kills false positives.
+    Str,
+    /// Char literal; `text` is `''`.
+    Char,
+    /// Punctuation, with common multi-char operators joined (`::`, `->`,
+    /// `=>`, `+=`, `..=`, …). `<<`/`>>` are never joined so nested generic
+    /// closers lex as two `>`s.
+    Punct,
+}
+
+/// One lexed token with its span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokenKind,
+    /// The token's text (see [`TokenKind`] for literal conventions).
+    pub text: String,
+    /// 1-indexed source line of the token's first character.
+    pub line: usize,
+    /// 1-indexed column of the token's first character.
+    pub col: usize,
+    /// Brace (`{}`) nesting depth at the token. An opening `{` and its
+    /// matching `}` carry the same (outer) depth.
+    pub depth: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// One comment, with whether it trails code on its line (`let x = 1; // c`)
+/// or stands alone. Block comments contribute one entry per line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-indexed line the comment text is on.
+    pub line: usize,
+    /// The comment's text without the `//` / `/*` markers.
+    pub text: String,
+    /// True when code precedes the comment on the same line.
+    pub trailing: bool,
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`). Directive parsing
+    /// skips these: a `via-audit:` directive in documentation is an example,
+    /// not an exception.
+    pub doc: bool,
+}
+
+/// Full lexer output for one file.
+#[derive(Debug)]
+pub struct Lexed {
+    /// The token stream, in source order.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// Code-only rendering: comments blanked, literal contents blanked,
+    /// columns preserved. One entry per source line.
+    pub lines: Vec<String>,
+}
+
+/// Two-character operators joined into one `Punct` token. `<<`/`>>` are
+/// deliberately absent (generics), and `>=`/`<=` are safe post-rustfmt
+/// (a generic closer is never glued to `=`).
+const JOINED2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "|=",
+    "&=", "..",
+];
+
+/// Streaming writer for the rendered code-only lines.
+struct Render {
+    lines: Vec<String>,
+    cur: String,
+}
+
+impl Render {
+    fn push(&mut self, c: char) {
+        if c == '\n' {
+            self.lines.push(std::mem::take(&mut self.cur));
+        } else {
+            self.cur.push(c);
+        }
+    }
+
+    fn blank(&mut self, c: char) {
+        self.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    fn finish(mut self) -> Vec<String> {
+        if !self.cur.is_empty() {
+            self.lines.push(self.cur);
+        }
+        self.lines
+    }
+}
+
+/// Lexes one file. Never fails: unterminated constructs lex as far as the
+/// input allows, which is the right behavior for a linter that must keep
+/// going on half-edited code.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut tokens = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+    let mut render = Render {
+        lines: Vec::new(),
+        cur: String::new(),
+    };
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut depth = 0u32;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // A newline resets the "code seen on this line" flag; written through a
+    // helper because most token kinds cannot contain `\n`, and the compiler
+    // would otherwise flag the (correct) reset as dead per call site.
+    fn reset_flag(flag: &mut bool) {
+        *flag = false;
+    }
+
+    // Advances the cursor over one source char, keeping line/col in sync.
+    macro_rules! step {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+                reset_flag(&mut line_has_code);
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+
+        // Line comment.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            let at_line = line;
+            let trailing = line_has_code;
+            let doc =
+                matches!(chars.get(i + 2), Some(&'/' | &'!')) && chars.get(i + 3) != Some(&'/'); // `////…` separators are plain
+            while i < n && chars[i] != '\n' {
+                render.blank(chars[i]);
+                step!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            comments.push(Comment {
+                line: at_line,
+                text: text.trim_start_matches('/').trim().to_string(),
+                trailing,
+                doc,
+            });
+            continue;
+        }
+
+        // Block comment (nested per Rust rules); one Comment entry per line.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut cdepth = 0usize;
+            let mut text = String::new();
+            let trailing = line_has_code;
+            let mut at_line = line;
+            let doc =
+                matches!(chars.get(i + 2), Some(&'*' | &'!')) && chars.get(i + 3) != Some(&'/'); // `/**/` is empty, not doc
+            while i < n {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    cdepth += 1;
+                    render.blank('/');
+                    step!();
+                    render.blank('*');
+                    step!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    cdepth -= 1;
+                    render.blank('*');
+                    step!();
+                    render.blank('/');
+                    step!();
+                    if cdepth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        comments.push(Comment {
+                            line: at_line,
+                            text: text.trim_matches(['*', ' ']).to_string(),
+                            trailing: trailing && at_line == line,
+                            doc,
+                        });
+                        text.clear();
+                        at_line = line + 1;
+                    } else {
+                        text.push(chars[i]);
+                    }
+                    render.blank(chars[i]);
+                    step!();
+                }
+            }
+            comments.push(Comment {
+                line: at_line,
+                text: text.trim_matches(['*', ' ']).to_string(),
+                trailing,
+                doc,
+            });
+            continue;
+        }
+
+        // Raw (and raw byte) string literal: r"…" / r#"…"# / br#"…"#.
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if !prev_is_ident && (c == 'r' || (c == 'b' && chars.get(i + 1) == Some(&'r'))) {
+            let mut j = i + if c == 'b' { 2 } else { 1 };
+            let mut hashes = 0usize;
+            while chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if chars.get(j) == Some(&'"') {
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: "\"\"".to_string(),
+                    line,
+                    col,
+                    depth,
+                });
+                line_has_code = true;
+                while i <= j {
+                    render.push(chars[i]);
+                    step!();
+                }
+                'raw: while i < n {
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            for _ in 0..=hashes {
+                                render.push(chars[i]);
+                                step!();
+                            }
+                            break 'raw;
+                        }
+                    }
+                    render.blank(chars[i]);
+                    step!();
+                }
+                continue;
+            }
+        }
+
+        // Ordinary (and byte) string literal.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_is_ident) {
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text: "\"\"".to_string(),
+                line,
+                col,
+                depth,
+            });
+            line_has_code = true;
+            if c == 'b' {
+                render.push('b');
+                step!();
+            }
+            render.push('"');
+            step!();
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    render.blank(chars[i]);
+                    step!();
+                    render.blank(chars[i]);
+                    step!();
+                } else if chars[i] == '"' {
+                    render.push('"');
+                    step!();
+                    break;
+                } else {
+                    render.blank(chars[i]);
+                    step!();
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime: 'x' / '\n' are literals; 'a is a
+        // lifetime when no closing quote follows the one char.
+        if c == '\'' {
+            let is_escape = chars.get(i + 1) == Some(&'\\');
+            let is_short = chars.get(i + 2) == Some(&'\'');
+            if is_escape || is_short {
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: "''".to_string(),
+                    line,
+                    col,
+                    depth,
+                });
+                line_has_code = true;
+                render.push('\'');
+                step!();
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        render.blank(chars[i]);
+                        step!();
+                        render.blank(chars[i]);
+                        step!();
+                    } else if chars[i] == '\'' {
+                        render.push('\'');
+                        step!();
+                        break;
+                    } else {
+                        render.blank(chars[i]);
+                        step!();
+                    }
+                }
+                continue;
+            }
+            // Lifetime: quote + ident.
+            let (l0, c0) = (line, col);
+            render.push('\'');
+            step!();
+            let mut name = String::new();
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                name.push(chars[i]);
+                render.push(chars[i]);
+                step!();
+            }
+            tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text: name,
+                line: l0,
+                col: c0,
+                depth,
+            });
+            line_has_code = true;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let (l0, c0) = (line, col);
+            let mut name = String::new();
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                name.push(chars[i]);
+                render.push(chars[i]);
+                step!();
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: name,
+                line: l0,
+                col: c0,
+                depth,
+            });
+            line_has_code = true;
+            continue;
+        }
+
+        // Number literal.
+        if c.is_ascii_digit() {
+            let (l0, c0) = (line, col);
+            let mut text = String::new();
+            let mut is_float = false;
+            let radix_prefix = c == '0'
+                && matches!(
+                    chars.get(i + 1),
+                    Some(&'x' | &'o' | &'b' | &'X' | &'O' | &'B')
+                );
+            let digit_ok = |ch: char, hex: bool| {
+                ch.is_ascii_digit() || ch == '_' || (hex && ch.is_ascii_hexdigit())
+            };
+            if radix_prefix {
+                text.push(chars[i]);
+                render.push(chars[i]);
+                step!();
+                let hex = matches!(chars[i], 'x' | 'X');
+                text.push(chars[i]);
+                render.push(chars[i]);
+                step!();
+                while i < n && digit_ok(chars[i], hex) {
+                    text.push(chars[i]);
+                    render.push(chars[i]);
+                    step!();
+                }
+            } else {
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    render.push(chars[i]);
+                    step!();
+                }
+                // `1.5` is a float; `1..n` is a range; `1.method()` is rare
+                // and lexed as a float-then-ident approximation we accept.
+                if i < n && chars[i] == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+                    is_float = true;
+                    text.push('.');
+                    render.push('.');
+                    step!();
+                    while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        render.push(chars[i]);
+                        step!();
+                    }
+                }
+                // Exponent.
+                if i < n
+                    && (chars[i] == 'e' || chars[i] == 'E')
+                    && chars
+                        .get(i + 1)
+                        .is_some_and(|&d| d.is_ascii_digit() || d == '+' || d == '-')
+                {
+                    is_float = true;
+                    text.push(chars[i]);
+                    render.push(chars[i]);
+                    step!();
+                    while i < n
+                        && (chars[i].is_ascii_digit()
+                            || chars[i] == '_'
+                            || chars[i] == '+'
+                            || chars[i] == '-')
+                    {
+                        text.push(chars[i]);
+                        render.push(chars[i]);
+                        step!();
+                    }
+                }
+            }
+            // Type suffix (`u64`, `f32`, …) folds into the literal token.
+            if i < n && chars[i].is_alphabetic() {
+                let mut suffix = String::new();
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    suffix.push(chars[j]);
+                    j += 1;
+                }
+                if matches!(
+                    suffix.as_str(),
+                    "u8" | "u16"
+                        | "u32"
+                        | "u64"
+                        | "u128"
+                        | "usize"
+                        | "i8"
+                        | "i16"
+                        | "i32"
+                        | "i64"
+                        | "i128"
+                        | "isize"
+                        | "f32"
+                        | "f64"
+                ) {
+                    if suffix.starts_with('f') {
+                        is_float = true;
+                    }
+                    for _ in 0..suffix.len() {
+                        text.push(chars[i]);
+                        render.push(chars[i]);
+                        step!();
+                    }
+                }
+            }
+            tokens.push(Token {
+                kind: if is_float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+                text,
+                line: l0,
+                col: c0,
+                depth,
+            });
+            line_has_code = true;
+            continue;
+        }
+
+        // Whitespace.
+        if c.is_whitespace() {
+            render.push(c);
+            step!();
+            continue;
+        }
+
+        // Punctuation: try 3-char, then 2-char joins, then single.
+        let three: String = chars[i..n.min(i + 3)].iter().collect();
+        let two: String = chars[i..n.min(i + 2)].iter().collect();
+        let text = if three == "..=" {
+            three
+        } else if JOINED2.contains(&two.as_str()) {
+            two
+        } else {
+            c.to_string()
+        };
+        if text == "}" {
+            depth = depth.saturating_sub(1);
+        }
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: text.clone(),
+            line,
+            col,
+            depth,
+        });
+        if text == "{" {
+            depth += 1;
+        }
+        line_has_code = true;
+        for _ in 0..text.len() {
+            render.push(chars[i]);
+            step!();
+        }
+    }
+
+    Lexed {
+        tokens,
+        comments,
+        lines: render.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_joins() {
+        assert_eq!(
+            texts("let x += y::z();"),
+            vec!["let", "x", "+=", "y", "::", "z", "(", ")", ";"]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let l = lex("for i in 0..10 { let f = 1.5e3; let h = 0xFF_u32; }");
+        let floats: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, vec!["1.5e3"]);
+        assert!(l.tokens.iter().any(|t| t.is_punct("..")));
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Int && t.text == "0xFF_u32"));
+    }
+
+    #[test]
+    fn float_suffix_marks_float() {
+        let l = lex("let x = 3f64;");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Float && t.text == "3f64"));
+    }
+
+    #[test]
+    fn strings_and_comments_leave_no_tokens() {
+        let l = lex("call(); // thread_rng\nlet s = \"thread_rng\";\n");
+        assert!(!l.tokens.iter().any(|t| t.text.contains("thread_rng")));
+        assert!(!l.lines.iter().any(|x| x.contains("thread_rng")));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].trailing);
+        assert_eq!(l.comments[0].text, "thread_rng");
+    }
+
+    #[test]
+    fn rendered_lines_preserve_columns() {
+        let l = lex("let a = 1; /* gone */ let b = 2;\n");
+        assert_eq!(l.lines.len(), 1);
+        assert!(l.lines[0].contains("let a = 1;"));
+        assert!(l.lines[0].contains("let b = 2;"));
+        assert!(!l.lines[0].contains("gone"));
+        // Columns survive blanking: `let b` starts where it did in source.
+        assert_eq!(
+            l.lines[0].find("let b"),
+            "let a = 1; /* gone */ let b = 2;".find("let b")
+        );
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let l = lex("fn f() { if x { y(); } }");
+        let y = l.tokens.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!(y.depth, 2);
+        let f = l.tokens.iter().find(|t| t.is_ident("f")).unwrap();
+        assert_eq!(f.depth, 0);
+        // Matching braces share the outer depth.
+        let opens: Vec<_> = l.tokens.iter().filter(|t| t.is_punct("{")).collect();
+        let closes: Vec<_> = l.tokens.iter().filter(|t| t.is_punct("}")).collect();
+        assert_eq!(opens[0].depth, closes[1].depth);
+        assert_eq!(opens[1].depth, closes[0].depth);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "a"));
+        assert!(l.tokens.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn nested_generics_lex_as_single_closers() {
+        let l = lex("let v: Vec<Vec<u32>> = Vec::new();");
+        let closers = l.tokens.iter().filter(|t| t.is_punct(">")).count();
+        assert_eq!(closers, 2, "`>>` must not be joined");
+    }
+
+    #[test]
+    fn raw_strings_blank_contents() {
+        let l = lex("let s = r#\"multi\nline thread_rng\"#; next();\n");
+        assert_eq!(l.lines.len(), 2);
+        assert!(!l.lines[1].contains("thread_rng"));
+        assert!(l.lines[1].contains("next();"));
+    }
+
+    #[test]
+    fn block_comments_collect_per_line() {
+        let l = lex("/* first\nsecond via-audit: allow(x) */ code();\n");
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0].line, 1);
+        assert_eq!(l.comments[1].line, 2);
+        assert!(l.comments[1].text.contains("via-audit"));
+    }
+}

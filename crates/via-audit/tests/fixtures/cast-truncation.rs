@@ -1,0 +1,20 @@
+// audit-fixture: kind=hot,lib
+//! `cast-truncation` corpus: narrowing `as` casts on the hot path.
+
+pub fn positive(n: usize) -> u32 {
+    n as u32
+}
+
+pub fn suppressed(flag: bool) -> u8 {
+    // A bool is exactly 0 or 1, so this narrowing can never truncate.
+    // via-audit: allow(cast-truncation)
+    flag as u8
+}
+
+pub fn clean_fallback(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+pub fn clean_widening(x: u32) -> u64 {
+    u64::from(x)
+}

@@ -1,0 +1,20 @@
+// audit-fixture: kind=sim,lib
+//! `nondeterminism` corpus: entropy / wall-clock sources in sim code.
+
+pub fn positive(n: u64) -> u64 {
+    let mut rng = rand::thread_rng();
+    n.wrapping_add(rng.random())
+}
+
+pub fn suppressed() -> u8 {
+    // Log-color jitter only: this stream never feeds recorded results,
+    // and the palette resets every run.
+    // via-audit: allow(nondeterminism)
+    let mut palette = rand::thread_rng();
+    palette.random()
+}
+
+pub fn clean(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed::derive(seed, "fixture"));
+    rng.random()
+}

@@ -1,0 +1,25 @@
+// audit-fixture: kind=sim,lib
+//! `panic` corpus: `.unwrap()` / `.expect(` denies plus the indexing warn.
+
+pub fn positive(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn positive_expect(x: Option<u32>) -> u32 {
+    x.expect("present by construction")
+}
+
+pub fn warns_on_indexing(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // The map is seeded with this key in `new()` and keys are never
+    // removed; absence is a construction bug worth crashing on.
+    // via-audit: allow(panic)
+    x.unwrap()
+}
+
+pub fn clean(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,18 @@
+// audit-fixture: kind=hot,lib
+//! `raw-timing` corpus: bare wall-clock reads on the replay hot path.
+
+pub fn positive() -> Instant {
+    Instant::now()
+}
+
+pub fn suppressed() -> Instant {
+    // One-time startup stamp taken before the replay loop begins; it
+    // never lands in recorded per-call state.
+    // via-audit: allow(raw-timing)
+    Instant::now()
+}
+
+pub fn clean() -> f64 {
+    let sw = Stopwatch::started();
+    sw.elapsed_ms()
+}

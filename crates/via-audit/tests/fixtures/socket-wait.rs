@@ -1,0 +1,23 @@
+// audit-fixture: kind=socket,lib
+//! `socket-wait` corpus: unbounded socket waits in testbed library code.
+
+pub fn positive(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    let (stream, _) = listener.accept()?;
+    Ok(stream)
+}
+
+pub fn positive_connect(addr: &str) -> std::io::Result<TcpStream> {
+    TcpStream::connect(addr)
+}
+
+pub fn suppressed(listener: &TcpListener) -> std::io::Result<TcpStream> {
+    // The supervisor kills this helper process after 5 s; the OS-level
+    // wait is bounded by the process lifetime, not by this call.
+    // via-audit: allow(socket-wait)
+    let (stream, _) = listener.accept()?;
+    Ok(stream)
+}
+
+pub fn clean(listener: &TcpListener, deadline: Instant) -> std::io::Result<TcpStream> {
+    accept_deadline(listener, deadline)
+}

@@ -1,0 +1,29 @@
+// audit-fixture: kind=sim,lib
+//! `stale-suppression` corpus: the audit of the directives themselves.
+
+// Stale: the unwrap this once covered was rewritten as a match long ago.
+// via-audit: allow(panic)
+pub fn positive_stale(x: Option<u32>) -> u32 {
+    match x {
+        Some(v) => v,
+        None => 0,
+    }
+}
+
+// Unknown lint name (typo'd): nothing can ever match it.
+// via-audit: allow(panics)
+pub fn positive_unknown(x: Option<u32>) -> u32 {
+    x.map_or(0, |v| v)
+}
+
+pub fn positive_bare(x: Option<u32>) -> u32 {
+    // via-audit: allow(panic)
+    x.unwrap()
+}
+
+pub fn clean_justified(x: Option<u32>) -> u32 {
+    // Keys are inserted for every pair at construction and never removed,
+    // so lookup failure is a construction bug worth crashing on.
+    // via-audit: allow(panic)
+    x.unwrap()
+}

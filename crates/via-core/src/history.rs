@@ -73,11 +73,27 @@ impl MetricStats {
     }
 }
 
+/// One time window's worth of measurements.
+///
+/// The call total is kept as a running counter instead of being recomputed
+/// by folding over the cell map: the fold's result was order-independent
+/// (u64 sum), but iterating a hash map into *any* reduction is the exact
+/// shape the `map-iteration-order` lint denies, and a stored counter is
+/// O(1) where the fold was O(cells).
+#[derive(Debug, Default)]
+struct WindowSlot {
+    /// (pair, option) → stats.
+    cells: HashMap<(KeyPair, RelayOption), MetricStats>,
+    /// Total calls recorded into this window, maintained on every record
+    /// and merge.
+    calls: u64,
+}
+
 /// The controller's measurement store.
 #[derive(Debug, Default)]
 pub struct CallHistory {
-    /// window index → (pair, option) → stats.
-    windows: HashMap<u64, HashMap<(KeyPair, RelayOption), MetricStats>>,
+    /// window index → that window's cells and call total.
+    windows: HashMap<u64, WindowSlot>,
 }
 
 impl CallHistory {
@@ -88,9 +104,9 @@ impl CallHistory {
 
     /// Records one completed call's measurements.
     pub fn record(&mut self, window: Window, pair: KeyPair, option: RelayOption, m: &PathMetrics) {
-        self.windows
-            .entry(window.index)
-            .or_default()
+        let slot = self.windows.entry(window.index).or_default();
+        slot.calls += 1;
+        slot.cells
             .entry((pair, option.canonical()))
             .or_default()
             .push(m);
@@ -100,6 +116,7 @@ impl CallHistory {
     pub fn cell(&self, window: Window, pair: KeyPair, option: RelayOption) -> Option<&MetricStats> {
         self.windows
             .get(&window.index)?
+            .cells
             .get(&(pair, option.canonical()))
     }
 
@@ -111,19 +128,18 @@ impl CallHistory {
         self.windows
             .get(&window.index)
             .into_iter()
-            .flat_map(|m| m.iter())
+            .flat_map(|slot| slot.cells.iter())
     }
 
     /// Number of distinct cells in a window.
     pub fn window_len(&self, window: Window) -> usize {
-        self.windows.get(&window.index).map_or(0, HashMap::len)
+        self.windows.get(&window.index).map_or(0, |s| s.cells.len())
     }
 
-    /// Total calls recorded in a window.
+    /// Total calls recorded in a window. O(1): the slot maintains the
+    /// counter, so no iteration over the cell map is needed.
     pub fn window_calls(&self, window: Window) -> u64 {
-        self.windows
-            .get(&window.index)
-            .map_or(0, |m| m.values().map(MetricStats::count).sum())
+        self.windows.get(&window.index).map_or(0, |s| s.calls)
     }
 
     /// Discards windows older than `keep_from` (controller memory bound; the
@@ -142,14 +158,15 @@ impl CallHistory {
     /// Overlapping cells are still handled correctly (Chan et al. merge) for
     /// callers that combine histories from genuinely concurrent collectors.
     pub fn merge(&mut self, other: CallHistory) {
-        // Hash-map iteration order does not leak into results: inserting the
-        // same set of cells in any order yields the same map content, and
-        // per-cell merges are independent. via-audit: allow(nondeterminism)
-        for (w, cells) in other.windows {
+        // Iteration order cannot leak into results here: inserting the same
+        // set of cells in any order yields the same map content, per-cell
+        // merges are independent, and the call counter is a u64 sum
+        // (commutative, no rounding). via-audit: allow(map-iteration-order)
+        for (w, slot) in other.windows {
             let dst = self.windows.entry(w).or_default();
-            // Disjoint in the sharded engine; see above. via-audit: allow(nondeterminism)
-            for (key, stats) in cells {
-                match dst.entry(key) {
+            dst.calls += slot.calls;
+            for (key, stats) in slot.cells {
+                match dst.cells.entry(key) {
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert(stats);
                     }
@@ -296,6 +313,59 @@ mod tests {
             );
             assert_eq!(a.metric(Metric::Rtt).mean(), b.metric(Metric::Rtt).mean());
             assert_eq!(a.metric(Metric::Rtt).sem(), b.metric(Metric::Rtt).sem());
+        }
+    }
+
+    #[test]
+    fn window_calls_is_order_invariant_and_pinned() {
+        // Regression for the audit's map-iteration-order finding: the call
+        // total used to be recomputed by folding `.values().map(count).sum()`
+        // over the cell map — structurally order-sensitive even though a u64
+        // sum happens to commute. The stored counter must agree with the old
+        // fold's value and be identical for any insertion or merge order.
+        let calls: Vec<(KeyPair, RelayOption)> = (0..40)
+            .map(|i| {
+                (
+                    KeyPair::new(i % 7, 100 + i % 3),
+                    if i % 2 == 0 {
+                        RelayOption::Direct
+                    } else {
+                        RelayOption::Bounce(RelayId(i))
+                    },
+                )
+            })
+            .collect();
+
+        let mut forward = CallHistory::new();
+        for (p, o) in &calls {
+            forward.record(w(2), *p, *o, &PathMetrics::new(10.0, 0.1, 1.0));
+        }
+        let mut reverse = CallHistory::new();
+        for (p, o) in calls.iter().rev() {
+            reverse.record(w(2), *p, *o, &PathMetrics::new(10.0, 0.1, 1.0));
+        }
+        assert_eq!(forward.window_calls(w(2)), 40);
+        assert_eq!(reverse.window_calls(w(2)), 40);
+
+        // Merge order must not matter either, and the counter must equal the
+        // old fold recomputed from the cells.
+        for shard_order in [[0u32, 1, 2], [2, 0, 1]] {
+            let mut merged = CallHistory::new();
+            for shard in shard_order {
+                let mut local = CallHistory::new();
+                for (p, o) in calls.iter().filter(|(p, _)| p.lo % 3 == shard) {
+                    local.record(w(2), *p, *o, &PathMetrics::new(10.0, 0.1, 1.0));
+                }
+                merged.merge(local);
+            }
+            assert_eq!(merged.window_calls(w(2)), 40);
+            let refold: u64 = {
+                let mut counts: Vec<u64> =
+                    merged.window_cells(w(2)).map(|(_, s)| s.count()).collect();
+                counts.sort_unstable();
+                counts.iter().sum()
+            };
+            assert_eq!(merged.window_calls(w(2)), refold);
         }
     }
 

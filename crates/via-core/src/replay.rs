@@ -338,7 +338,7 @@ struct PairGroup {
     ka: u32,
     kb: u32,
     /// Trace indices of the pair's calls this window, ascending.
-    calls: Vec<u32>,
+    calls: Vec<usize>,
     /// Pre-built state (budget strategies build eagerly for the gate pass).
     state: Option<PairState>,
     /// Incoming §7 decision-cache entry, if any.
@@ -348,7 +348,7 @@ struct PairGroup {
 /// What one shard hands back at the window barrier.
 struct ShardResult {
     /// (trace index, outcome) for every call the shard carried.
-    outcomes: Vec<(u32, CallOutcome)>,
+    outcomes: Vec<(usize, CallOutcome)>,
     /// Local history (disjoint cells: a pair lives on exactly one shard).
     history: CallHistory,
     /// Demand exemplars observed (pair → first call's AS endpoints).
@@ -710,7 +710,7 @@ impl<'a> ReplaySim<'a> {
                     });
                     groups.len() - 1
                 });
-                groups[slot].calls.push(i as u32);
+                groups[slot].calls.push(i);
                 slot_of_call.push(slot);
             }
 
@@ -726,7 +726,7 @@ impl<'a> ReplaySim<'a> {
                         let built: Vec<Option<PairState>> =
                             crate::par::par_map(workers, &groups, |_, g| {
                                 g.calls.first().map(|&i| {
-                                    let call = &records[i as usize];
+                                    let call = &records[i];
                                     Self::build_pair_state(
                                         pred,
                                         g.ka,
@@ -830,7 +830,7 @@ impl<'a> ReplaySim<'a> {
                     sink.merge(shard_sink);
                 }
                 for (i, co) in res.outcomes {
-                    window_out[i as usize - start] = Some(co);
+                    window_out[i - start] = Some(co);
                 }
                 if kind.uses_history() {
                     history.merge(res.history);
@@ -940,13 +940,13 @@ impl<'a> ReplaySim<'a> {
             let mut pred_memo: Option<RelayOption> = None;
             if track {
                 if let Some(&first) = g.calls.first() {
-                    let c = &records[first as usize];
+                    let c = &records[first];
                     out.demands.push((g.pair, (c.src_as, c.dst_as)));
                 }
             }
 
             for &i in &g.calls {
-                let call = &records[i as usize];
+                let call = &records[i];
                 let option = match kind {
                     StrategyKind::Default => RelayOption::Direct,
                     StrategyKind::Oracle => {
@@ -1094,8 +1094,7 @@ impl<'a> ReplaySim<'a> {
                             });
                             // Budget verdicts were computed in the sequential
                             // gate pass; they arrive as per-call flags.
-                            let gated_direct =
-                                gated.is_some_and(|flags| flags[i as usize - win_start]);
+                            let gated_direct = gated.is_some_and(|flags| flags[i - win_start]);
                             if gated_direct {
                                 RelayOption::Direct
                             } else {
@@ -1253,12 +1252,9 @@ impl<'a> ReplaySim<'a> {
     fn backbone_table(&self) -> std::sync::Arc<Vec<PathMetrics>> {
         let n = self.world.relays.len();
         let mut table = vec![PathMetrics::ZERO; n * n];
-        for i in 0..n {
-            for j in 0..n {
-                table[i * n + j] = self
-                    .world
-                    .perf()
-                    .backbone_metrics(RelayId(i as u32), RelayId(j as u32));
+        for (i, ri) in (0..n).zip(0u32..) {
+            for (j, rj) in (0..n).zip(0u32..) {
+                table[i * n + j] = self.world.perf().backbone_metrics(RelayId(ri), RelayId(rj));
             }
         }
         std::sync::Arc::new(table)
@@ -1286,6 +1282,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn default_strategy_stays_direct() {
         let (world, trace) = setup();
         let mut sim = ReplaySim::new(&world, &trace, ReplayConfig::default());
@@ -1298,6 +1298,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn runs_are_deterministic() {
         let (world, trace) = setup();
         let out1 = ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Via);
@@ -1306,6 +1310,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn same_seed_summaries_are_byte_identical() {
         // Determinism regression: two replays from the same seed must
         // serialize to byte-identical summaries — any hidden nondeterminism
@@ -1321,6 +1329,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn worker_count_does_not_change_results() {
         // The engine's core guarantee: sharding a window across 2 or 8
         // workers serializes to the same bytes as the sequential walk — for
@@ -1363,6 +1375,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn warm_pass_builds_trace_segments_once() {
         // The warm pass must cover every segment the decision loop touches:
         // once the controller's static backbone knowledge and the warm pass
@@ -1410,6 +1426,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn metrics_snapshots_are_worker_count_invariant() {
         // Extension of the determinism regression to the obs layer: the
         // serialized deterministic core of the metrics snapshot must be
@@ -1450,6 +1470,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn back_to_back_runs_on_one_sim_report_identical_counters() {
         // Satellite regression: the engine counters must be a pure function
         // of (config, strategy), not of what a previous run left cached in
@@ -1480,6 +1504,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn metrics_are_opt_in_and_catalogued() {
         let (world, trace) = setup();
         let off = ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Via);
@@ -1538,6 +1566,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn budget_gate_counters_cover_every_call() {
         let (world, trace) = setup();
         let cfg = ReplayConfig {
@@ -1559,6 +1591,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn stats_track_engine_counters() {
         let (world, trace) = setup();
         let cfg = ReplayConfig {
@@ -1581,6 +1617,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn common_random_numbers_pair_strategies() {
         let (world, trace) = setup();
         let d = ReplaySim::new(&world, &trace, ReplayConfig::default()).run(StrategyKind::Default);
@@ -1598,6 +1638,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn oracle_beats_default_on_objective() {
         let (world, trace) = setup();
         let cfg = ReplayConfig::default();
@@ -1612,6 +1656,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn via_lands_between_default_and_oracle() {
         let (world, trace) = setup();
         let cfg = ReplayConfig::default();
@@ -1635,6 +1683,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn budget_gate_limits_relayed_fraction() {
         let (world, trace) = setup();
         let cfg = ReplayConfig::default();
@@ -1646,6 +1698,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn relay_restriction_is_honored() {
         let (world, trace) = setup();
         let allowed = vec![RelayId(0), RelayId(1)];
@@ -1662,6 +1718,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn granularity_changes_decision_keys() {
         let (world, trace) = setup();
         for g in [
@@ -1679,6 +1739,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn oracle_respects_decision_granularity() {
         // Regression for the Figure 17a comparison: the oracle must make one
         // decision per granularity key pair per window (like every other
@@ -1708,6 +1772,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn active_probes_do_not_break_replay_and_stay_deterministic() {
         let (world, trace) = setup();
         let cfg = ReplayConfig {
@@ -1721,6 +1789,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
     fn outcome_filters_by_predicate() {
         let (world, trace) = setup();
         let out =

@@ -41,7 +41,10 @@ fn main() {
         }
     }
     let mut pairs: Vec<_> = weights.into_iter().collect();
-    pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
+    // Tie-break equal weights by pair key: the map iteration order would
+    // otherwise pick which tied pairs survive `truncate` and in what order
+    // their gains are summed, making the output vary run to run.
+    pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     pairs.truncate(400); // the heavy head carries the demand
 
     let demands: Vec<Demand> = pairs

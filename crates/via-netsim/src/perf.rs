@@ -224,7 +224,8 @@ impl PerfModel {
             Segment::DirectWan(a, b) => {
                 let pa = self.as_pos[a.index()];
                 let pb = self.as_pos[b.index()];
-                let tier = f64::from(self.as_tier[a.index()].max(self.as_tier[b.index()]));
+                let tier_class = self.as_tier[a.index()].max(self.as_tier[b.index()]);
+                let tier = f64::from(tier_class);
                 // International here means "far apart"; country identity lives
                 // in topology, but distance is the physical driver.
                 let dist = pa.distance_km(&pb);
@@ -258,7 +259,7 @@ impl PerfModel {
                 let jitter = lognormal_mean(&mut rng, jitter_mean, 0.5);
 
                 let stability =
-                    draw_stability(&mut rng, tier as u8, k.chronic_fraction, k.flaky_fraction);
+                    draw_stability(&mut rng, tier_class, k.chronic_fraction, k.flaky_fraction);
                 SegState {
                     rtt_ms: rtt,
                     loss_pct: loss,
@@ -277,7 +278,8 @@ impl PerfModel {
             Segment::RelayWan(a, r) => {
                 let pa = self.as_pos[a.index()];
                 let pr = self.relay_pos[r.index()];
-                let tier = f64::from(self.as_tier[a.index()]);
+                let tier_class = self.as_tier[a.index()];
+                let tier = f64::from(tier_class);
                 let inflation_median = k.relay_inflation_base * (1.0 + 0.08 * (tier - 1.0));
                 let inflation =
                     lognormal_median(&mut rng, inflation_median, k.relay_inflation_sigma);
@@ -299,7 +301,7 @@ impl PerfModel {
                 );
                 let stability = draw_stability(
                     &mut rng,
-                    tier as u8,
+                    tier_class,
                     k.chronic_fraction * 0.7,
                     k.flaky_fraction * 0.8,
                 );

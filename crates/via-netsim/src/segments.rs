@@ -95,6 +95,9 @@ impl SegmentPath {
         segs[..len].copy_from_slice(&segments[..len]);
         Self {
             segs,
+            // `len` is `min`-clamped to `Self::MAX` (= 5) on the line above,
+            // so this narrowing can never truncate.
+            // via-audit: allow(cast-truncation)
             len: len as u8,
             hops,
         }

@@ -94,9 +94,9 @@ impl World {
 
         let countries: Vec<Country> = catalog::COUNTRIES[..config.n_countries]
             .iter()
-            .enumerate()
-            .map(|(i, c)| Country {
-                id: CountryId(i as u32),
+            .zip(0u32..)
+            .map(|(c, i)| Country {
+                id: CountryId(i),
                 name: c.name.to_string(),
                 pos: GeoPoint::new(c.lat, c.lon),
                 tier: c.tier,
@@ -105,12 +105,14 @@ impl World {
             .collect();
 
         let mut ases = Vec::new();
+        let mut next_as_id: u32 = 0;
         for country in &countries {
             // Bigger countries host more ASes: scale by sqrt(weight).
             let scale = (country.weight / 3.0).sqrt().clamp(0.5, 2.5);
             let n = ((config.ases_per_country as f64 * scale).round() as usize).max(1);
             for k in 0..n {
-                let id = AsId(ases.len() as u32);
+                let id = AsId(next_as_id);
+                next_as_id += 1;
                 // Jitter the PoP position around the country centroid.
                 let lat = (country.pos.lat_deg + rng.random_range(-3.0..3.0)).clamp(-89.0, 89.0);
                 let lon = wrap_lon(country.pos.lon_deg + rng.random_range(-4.0..4.0));
@@ -120,7 +122,7 @@ impl World {
                     1 | 2 => 1,
                     _ => 0,
                 };
-                let tier = (i16::from(country.tier) + i16::from(tier_delta)).clamp(1, 4) as u8;
+                let tier = country.tier.saturating_add_signed(tier_delta).clamp(1, 4);
                 // Zipf-ish within-country market share.
                 let weight = 1.0 / (k as f64 + 1.0);
                 ases.push(AsInfo {
@@ -135,9 +137,9 @@ impl World {
 
         let relays: Vec<Relay> = catalog::SITES[..config.n_relays]
             .iter()
-            .enumerate()
-            .map(|(i, s)| Relay {
-                id: RelayId(i as u32),
+            .zip(0u32..)
+            .map(|(s, i)| Relay {
+                id: RelayId(i),
                 name: s.name.to_string(),
                 pos: GeoPoint::new(s.lat, s.lon),
             })

@@ -1,0 +1,165 @@
+//! Exhaustive-interleaving harness for the segment-state memo tables.
+//!
+//! `PerfModel` memoizes per-segment latent state on first touch: dense
+//! families (access, backbone) in `OnceLock` slot tables, sparse families
+//! (direct-WAN, AS→relay) in a sharded double-checked `RwLock<HashMap>`.
+//! The contract under concurrent first touch is **build exactly once,
+//! observe identical state** — a duplicated build would burn a second RNG
+//! stream and a torn read would leak schedule order into results.
+//!
+//! Two layers of evidence:
+//!
+//! 1. [`two_thread_first_touch_schedules_are_exhaustive`] enumerates every
+//!    interleaving of two logical threads each performing (build, read)
+//!    against the same segment. Both the `OnceLock::get_or_init` and the
+//!    shard-locked insert are single atomic protocol steps — any real
+//!    schedule is equivalent to one sequential order of those steps — so
+//!    running the six orders sequentially explores the whole coarse-grained
+//!    schedule space for each segment family.
+//! 2. [`racing_first_touch_builds_once_per_segment`] races real threads
+//!    through the same first touch behind a barrier. This is the test the
+//!    nightly ThreadSanitizer workflow runs under `-Zsanitizer=thread`.
+
+// Test-harness helpers outside #[test] fns: panicking on a broken schedule
+// generator is the correct behavior here, as in any test.
+#![allow(clippy::expect_used)]
+
+use std::sync::{Arc, Barrier};
+
+use via_model::ids::{AsId, RelayId};
+use via_model::time::SimTime;
+use via_netsim::{SegMetrics, Segment, World, WorldConfig};
+
+/// One segment per memo family: dense access slot, dense backbone slot,
+/// sparse direct-WAN shard entry, sparse relay-WAN shard entry.
+fn family_segments() -> Vec<(&'static str, Segment)> {
+    vec![
+        ("access/OnceLock", Segment::Access(AsId(1))),
+        (
+            "backbone/OnceLock",
+            Segment::backbone(RelayId(0), RelayId(2)),
+        ),
+        ("direct-wan/sharded", Segment::direct(AsId(0), AsId(3))),
+        ("relay-wan/sharded", Segment::RelayWan(AsId(2), RelayId(1))),
+    ]
+}
+
+/// A logical thread's program: build (first touch via `warm`) then read.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Step {
+    Build(usize),
+    Read(usize),
+}
+
+/// All interleavings of two two-step threads that preserve each thread's
+/// program order: C(4, 2) = 6 schedules.
+fn two_thread_schedules() -> Vec<Vec<Step>> {
+    let mut schedules = Vec::new();
+    // Choose the positions of thread 0's (Build, Read) among four slots.
+    for a in 0..4 {
+        for b in (a + 1)..4 {
+            let mut sched = vec![None; 4];
+            sched[a] = Some(Step::Build(0));
+            sched[b] = Some(Step::Read(0));
+            let mut other = [Step::Build(1), Step::Read(1)].into_iter();
+            let sched: Vec<Step> = sched
+                .into_iter()
+                .map(|s| s.unwrap_or_else(|| other.next().expect("two free slots")))
+                .collect();
+            schedules.push(sched);
+        }
+    }
+    assert_eq!(schedules.len(), 6);
+    schedules
+}
+
+#[test]
+fn two_thread_first_touch_schedules_are_exhaustive() {
+    let t0 = SimTime(0);
+    for (family, seg) in family_segments() {
+        // Reference state from an undisputed sequential first touch.
+        let reference = {
+            let world = World::generate(&WorldConfig::tiny(), 7);
+            world.perf().segment_mean(seg, t0)
+        };
+
+        for sched in two_thread_schedules() {
+            // Fresh world per schedule: same seed, so every schedule starts
+            // from an identical cold cache.
+            let world = World::generate(&WorldConfig::tiny(), 7);
+            let perf = world.perf();
+            let mut reads: [Option<SegMetrics>; 2] = [None, None];
+            for step in &sched {
+                match *step {
+                    Step::Build(_) => {
+                        perf.warm([seg]);
+                    }
+                    Step::Read(t) => reads[t] = Some(perf.segment_mean(seg, t0)),
+                }
+            }
+            assert_eq!(
+                perf.segment_builds(),
+                1,
+                "{family}: schedule {sched:?} built the segment more than once"
+            );
+            for (t, read) in reads.iter().enumerate() {
+                assert_eq!(
+                    read.expect("both threads read"),
+                    reference,
+                    "{family}: thread {t} under schedule {sched:?} observed a \
+                     state differing from the sequential reference"
+                );
+            }
+        }
+    }
+}
+
+/// Real-thread race over the same first touches. Eight workers all hit the
+/// same four segments (one per memo family) back-to-back from a barrier;
+/// the memo must build each exactly once and every worker must observe the
+/// same state the sequential reference does.
+#[test]
+fn racing_first_touch_builds_once_per_segment() {
+    let segments: Vec<Segment> = family_segments().into_iter().map(|(_, s)| s).collect();
+    let t0 = SimTime(0);
+    let reference: Vec<SegMetrics> = {
+        let world = World::generate(&WorldConfig::tiny(), 7);
+        segments
+            .iter()
+            .map(|&s| world.perf().segment_mean(s, t0))
+            .collect()
+    };
+
+    let world = Arc::new(World::generate(&WorldConfig::tiny(), 7));
+    let workers = 8;
+    let barrier = Arc::new(Barrier::new(workers));
+    let handles: Vec<_> = (0..workers)
+        .map(|w| {
+            let world = Arc::clone(&world);
+            let barrier = Arc::clone(&barrier);
+            let segments = segments.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                // Half the workers warm first (build step), half read cold:
+                // both first-touch paths race on every table.
+                if w % 2 == 0 {
+                    world.perf().warm(segments.iter().copied());
+                }
+                segments
+                    .iter()
+                    .map(|&s| world.perf().segment_mean(s, t0))
+                    .collect::<Vec<SegMetrics>>()
+            })
+        })
+        .collect();
+
+    for h in handles {
+        let reads = h.join().expect("worker panicked");
+        assert_eq!(reads, reference, "racing reader observed divergent state");
+    }
+    assert_eq!(
+        world.perf().segment_builds(),
+        segments.len() as u64,
+        "concurrent first touches duplicated a segment build"
+    );
+}

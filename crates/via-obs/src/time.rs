@@ -29,7 +29,7 @@ impl Stopwatch {
 
     /// Milliseconds since the stopwatch started (0 when disabled).
     pub fn elapsed_ms(&self) -> f64 {
-        self.0.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1_000.0) // via-audit: allow(nondeterminism)
+        self.0.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1_000.0)
     }
 }
 

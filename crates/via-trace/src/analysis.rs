@@ -228,7 +228,6 @@ pub fn worst_pair_concentration(trace: &Trace, thresholds: &Thresholds) -> Vec<(
         return Vec::new();
     }
     // Order-insensitive: the counts are fully re-sorted on the next line.
-    // via-audit: allow(nondeterminism)
     let mut counts: Vec<usize> = poor_by_pair.into_values().collect();
     counts.sort_unstable_by(|a, b| b.cmp(a));
     let mut cum = 0usize;
@@ -285,8 +284,9 @@ pub fn temporal_patterns(
 
     // Pair → sorted list of (day, high?)
     let mut per_pair: HashMap<AsPair, Vec<(u64, bool)>> = HashMap::new();
-    // Order-insensitive: each pair's day list is sorted before use below.
-    // via-audit: allow(nondeterminism)
+    // Order-insensitive: each pair's day list is re-sorted by day before
+    // use below, so the push order into `per_pair` cannot reach results.
+    // via-audit: allow(map-iteration-order)
     for ((pair, day), (poor, total)) in cells {
         if total < min_calls_per_day {
             continue;
@@ -301,7 +301,6 @@ pub fn temporal_patterns(
     let mut persistence = Vec::new();
     let mut prevalence = Vec::new();
     // Hash order would leak into the output vectors; iterate pairs sorted.
-    // via-audit: allow(nondeterminism)
     let mut pairs: Vec<(AsPair, Vec<(u64, bool)>)> = per_pair.into_iter().collect();
     pairs.sort_unstable_by_key(|p| p.0);
     for (_, mut days) in pairs {
