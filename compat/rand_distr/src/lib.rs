@@ -119,8 +119,13 @@ impl Gamma<f64> {
     }
 }
 
-impl Distribution<f64> for Gamma<f64> {
-    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+impl Gamma<f64> {
+    /// Draws the scale-independent parts of a gamma deviate: `(dv, boost)`
+    /// such that a full sample is exactly `dv * scale * boost` (evaluated in
+    /// that order). Lets callers apply one set of draws under several scales
+    /// — the common-random-numbers pattern — while [`Gamma::sample`] stays
+    /// draw-for-draw and bit-for-bit what it always was.
+    pub fn sample_parts<R: RngCore + ?Sized>(&self, rng: &mut R) -> (f64, f64) {
         // Marsaglia–Tsang squeeze method; the shape < 1 case is boosted
         // through Gamma(shape + 1) · U^(1/shape).
         let (shape, boost) = if self.shape < 1.0 {
@@ -139,9 +144,16 @@ impl Distribution<f64> for Gamma<f64> {
             }
             let u = uniform01(rng).max(f64::MIN_POSITIVE);
             if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
-                return d * v * self.scale * boost;
+                return (d * v, boost);
             }
         }
+    }
+}
+
+impl Distribution<f64> for Gamma<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let (dv, boost) = self.sample_parts(rng);
+        dv * self.scale * boost
     }
 }
 

@@ -45,6 +45,12 @@ struct RunRecord {
     wall_ms: f64,
     calls_per_sec: f64,
     predictor_fits: u64,
+    /// Per-phase wall-time split of `wall_ms` (budget-gate pass, parallel
+    /// shard processing, deterministic merge, predictor refits) — where a
+    /// run actually spends its time, not just the total.
+    gate_ms: f64,
+    shard_ms: f64,
+    merge_ms: f64,
     predictor_fit_ms: f64,
     shard_utilization: f64,
     controller_contacts: u64,
@@ -59,6 +65,12 @@ struct Sweep {
     workers: Vec<usize>,
     workers_resolved: Vec<usize>,
     wall_ms: Vec<f64>,
+    /// Whether speedup/efficiency figures mean anything on this host: false
+    /// when the process can only use one core (`usable_parallelism == 1`),
+    /// where a "speedup" line would only measure coordination overhead. The
+    /// scaling vectors are left empty in that case rather than reporting
+    /// numbers that lie.
+    scaling_valid: bool,
     speedup_vs_sequential: Vec<f64>,
     /// Speedup divided by the resolved worker count: 1.0 = perfectly linear
     /// scaling, the regression-gated figure of merit for the engine.
@@ -71,7 +83,12 @@ struct Sweep {
 #[derive(Debug, Serialize)]
 struct SampleRecord {
     options_sampled: usize,
+    /// Batched scratch path (`sample_option_scratch`) — what the replay
+    /// engine actually runs per call: segment means memoized across the
+    /// options scored at one instant.
     ns_per_sample: f64,
+    /// Scratch-free reference path, for the amortization ratio.
+    ns_per_sample_plain: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -84,12 +101,19 @@ struct FitRecord {
 /// Cost of the via-obs instrumentation layer: the same replay with the
 /// metric sink off vs on. The on-path records every counter, histogram
 /// observation, and per-window span the engine emits.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Clone, Serialize)]
 struct ObsRecord {
     scale: String,
+    /// Mean of the fastest half of the uninstrumented walls.
     wall_ms_off: f64,
+    /// Mean of the fastest half of the instrumented walls.
     wall_ms_on: f64,
-    /// Relative slowdown of the instrumented run (0.05 = 5 % overhead).
+    /// Relative slowdown of the instrumented run (0.05 = 5 % overhead):
+    /// `wall_ms_on / wall_ms_off − 1`. Host noise is strictly additive
+    /// (interruptions only slow a run down), so the fastest half of each
+    /// side's walls over many alternating repetitions is the clean
+    /// cluster; its mean is the cost estimate — see
+    /// [`bench_metrics_overhead`].
     overhead_frac: f64,
     counters: usize,
     histograms: usize,
@@ -110,7 +134,16 @@ struct Report {
     sweeps: Vec<Sweep>,
     predictor_fit: FitRecord,
     sample_option: SampleRecord,
+    /// Primary instrumentation-overhead figure: measured on the paper-scale
+    /// *world* in both modes — the full suite replays the real paper trace,
+    /// `--quick` a shortened one (same per-call cost profile: same candidate
+    /// density, same segment mix; just fewer calls). The <5% regression gate
+    /// runs against this record, because at paper scale a call's budget is
+    /// real scoring/realization work rather than fixed bookkeeping.
     metrics_overhead: ObsRecord,
+    /// Tiny-scale overhead, always measured: comparable across quick and
+    /// full runs of the suite.
+    metrics_overhead_tiny: ObsRecord,
 }
 
 /// Online CPU count of the host. `available_parallelism()` alone respects
@@ -164,6 +197,9 @@ fn timed_run(
         wall_ms,
         calls_per_sec: outcome.calls.len() as f64 / (wall_ms / 1e3),
         predictor_fits: outcome.stats.predictor_fits,
+        gate_ms: outcome.stats.gate_ms,
+        shard_ms: outcome.stats.shard_ms,
+        merge_ms: outcome.stats.merge_ms,
         predictor_fit_ms: outcome.stats.predictor_fit_ms,
         shard_utilization: outcome.stats.shard_utilization(),
         controller_contacts: outcome.controller_contacts,
@@ -196,6 +232,7 @@ fn sweep(
     scale: &str,
     warm: bool,
     worker_counts: &[usize],
+    scaling_valid: bool,
     runs: &mut Vec<RunRecord>,
 ) -> Sweep {
     let mut wall_ms = Vec::new();
@@ -212,20 +249,34 @@ fn sweep(
             Some(b) => identical &= same_results(b, &outcome),
         }
     }
-    let sequential = wall_ms[0];
-    let speedups: Vec<f64> = wall_ms.iter().map(|&t| sequential / t).collect();
+    // On a one-core host a speedup line would only report coordination
+    // overhead as if it were scaling — leave the derived vectors empty and
+    // keep the raw wall times.
+    let (speedups, efficiency) = if scaling_valid {
+        let sequential = wall_ms[0];
+        let speedups: Vec<f64> = wall_ms.iter().map(|&t| sequential / t).collect();
+        let efficiency = speedups
+            .iter()
+            .zip(&resolved)
+            .map(|(&s, &w)| s / w.max(1) as f64)
+            .collect();
+        (speedups, efficiency)
+    } else {
+        println!(
+            "replay_engine/{scale}: scaling figures suppressed \
+             (usable_parallelism == 1; wall times recorded, speedups omitted)"
+        );
+        (Vec::new(), Vec::new())
+    };
     Sweep {
         scale: scale.to_string(),
         warm,
         workers: worker_counts.to_vec(),
-        workers_resolved: resolved.clone(),
+        workers_resolved: resolved,
         wall_ms,
-        scaling_efficiency: speedups
-            .iter()
-            .zip(&resolved)
-            .map(|(&s, &w)| s / w.max(1) as f64)
-            .collect(),
+        scaling_valid,
         speedup_vs_sequential: speedups,
+        scaling_efficiency: efficiency,
         results_identical: identical,
     }
 }
@@ -251,11 +302,21 @@ fn bench_sample_option(c: &mut Criterion, world: &World) -> SampleRecord {
         black_box(world.perf().sample_option(src, dst, opt, t, &mut rng));
     }
 
+    // The engine's actual hot path: one scratch carried across a batch of
+    // candidates, segment means memoized per instant.
+    let mut scratch = via_netsim::SampleScratch::new();
     let mut g = c.benchmark_group("replay_engine");
     g.bench_function("sample_option", |b| {
         b.iter(|| {
             for &(src, dst, opt) in &work {
-                black_box(world.perf().sample_option(src, dst, opt, t, &mut rng));
+                black_box(world.perf().sample_option_scratch(
+                    src,
+                    dst,
+                    opt,
+                    t,
+                    &mut rng,
+                    &mut scratch,
+                ));
             }
         })
     });
@@ -265,18 +326,30 @@ fn bench_sample_option(c: &mut Criterion, world: &World) -> SampleRecord {
     let start = Instant::now();
     for _ in 0..reps {
         for &(src, dst, opt) in &work {
-            black_box(world.perf().sample_option(src, dst, opt, t, &mut rng));
+            black_box(
+                world
+                    .perf()
+                    .sample_option_scratch(src, dst, opt, t, &mut rng, &mut scratch),
+            );
         }
     }
     let total = start.elapsed().as_secs_f64();
-    let samples = reps * work.len();
+    let start = Instant::now();
+    for _ in 0..reps {
+        for &(src, dst, opt) in &work {
+            black_box(world.perf().sample_option(src, dst, opt, t, &mut rng));
+        }
+    }
+    let total_plain = start.elapsed().as_secs_f64();
+    let samples = (reps * work.len()).max(1) as f64;
     let record = SampleRecord {
         options_sampled: work.len(),
-        ns_per_sample: total * 1e9 / samples.max(1) as f64,
+        ns_per_sample: total * 1e9 / samples,
+        ns_per_sample_plain: total_plain * 1e9 / samples,
     };
     println!(
-        "replay_engine/sample_option: {:.0} ns/sample over {} options",
-        record.ns_per_sample, record.options_sampled
+        "replay_engine/sample_option: {:.0} ns/sample batched ({:.0} ns/sample plain) over {} options",
+        record.ns_per_sample, record.ns_per_sample_plain, record.options_sampled
     );
     record
 }
@@ -343,10 +416,25 @@ fn bench_predictor_fit(c: &mut Criterion) -> FitRecord {
 }
 
 /// Measures the via-obs sink's cost on the replay hot path: identical VIA
-/// replays with `metrics` off and on, best-of-`reps` walls to damp jitter.
-/// Asserts the instrumented run still produced a full snapshot (the bench
-/// doubles as a smoke test that the counters survive the worker merge).
-fn bench_metrics_overhead(world: &World, trace: &Trace, scale: &str) -> ObsRecord {
+/// replays with `metrics` off and on.
+///
+/// The estimator is built for drifty hosts, where measurement noise is
+/// *strictly additive*: interruptions (scheduler preemption, noisy
+/// neighbors, frequency dips) only ever make a run slower, never faster —
+/// characterization on this suite saw per-pair on/off ratios spanning
+/// −16%..+39% on the same build. Under additive noise the clean signal
+/// lives in the fast tail, so each of `reps` repetitions runs the off/on
+/// pair in alternating order (drift cannot systematically favor one side)
+/// and the reported overhead compares the *mean of the fastest half* of
+/// each side's walls. That trims the contaminated slow tail entirely while
+/// averaging enough clean runs that the figure does not ride on a single
+/// lucky wall the way a pure min-vs-min does (min-ratio rounds swung
+/// ±2–3 % between invocations; fastest-half rounds stay within ~1 %). The
+/// per-pair ratio spread is still printed so a noisy invocation is visible
+/// in the log. Asserts the instrumented run still produced a full snapshot
+/// (the bench doubles as a smoke test that the counters survive the worker
+/// merge).
+fn bench_metrics_overhead(world: &World, trace: &Trace, scale: &str, reps: usize) -> ObsRecord {
     let run = |metrics: bool| {
         let cfg = ReplayConfig {
             metrics,
@@ -356,18 +444,47 @@ fn bench_metrics_overhead(world: &World, trace: &Trace, scale: &str) -> ObsRecor
         let outcome = ReplaySim::new(world, trace, cfg).run(StrategyKind::Via);
         (start.elapsed().as_secs_f64() * 1e3, outcome)
     };
-    let reps = 3;
-    let mut wall_off = f64::INFINITY;
-    let mut wall_on = f64::INFINITY;
+    // Throwaway run: pays the first-touch segment builds (and faults the
+    // slot tables in) so both measured sides see the same steady state —
+    // otherwise whichever side runs first eats the cold-world cost.
+    let _ = run(false);
+    let mut walls_off = Vec::with_capacity(reps);
+    let mut walls_on = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
     let mut snap: Option<via_obs::MetricsSnapshot> = None;
-    for _ in 0..reps {
-        let (w, outcome) = run(false);
-        assert!(outcome.obs.is_none(), "metrics=false must not record");
-        wall_off = wall_off.min(w);
-        let (w, outcome) = run(true);
-        wall_on = wall_on.min(w);
-        snap = Some(outcome.obs.expect("metrics=true records a snapshot"));
+    for rep in 0..reps {
+        let measure_off = || {
+            let (w, outcome) = run(false);
+            assert!(outcome.obs.is_none(), "metrics=false must not record");
+            w
+        };
+        let measure_on = |snap: &mut Option<via_obs::MetricsSnapshot>| {
+            let (w, outcome) = run(true);
+            *snap = Some(outcome.obs.expect("metrics=true records a snapshot"));
+            w
+        };
+        let (off, on) = if rep % 2 == 0 {
+            let off = measure_off();
+            let on = measure_on(&mut snap);
+            (off, on)
+        } else {
+            let on = measure_on(&mut snap);
+            let off = measure_off();
+            (off, on)
+        };
+        walls_off.push(off);
+        walls_on.push(on);
+        ratios.push(on / off);
     }
+    ratios.sort_by(f64::total_cmp);
+    let fastest_half_mean = |walls: &mut Vec<f64>| {
+        walls.sort_by(f64::total_cmp);
+        let k = (walls.len() / 2).max(1);
+        walls[..k].iter().sum::<f64>() / k as f64
+    };
+    let wall_off = fastest_half_mean(&mut walls_off);
+    let wall_on = fastest_half_mean(&mut walls_on);
+    let overhead_frac = wall_on / wall_off - 1.0;
     let snap = snap.expect("at least one instrumented run");
     assert!(
         snap.counter("replay_calls_total") > 0,
@@ -377,17 +494,21 @@ fn bench_metrics_overhead(world: &World, trace: &Trace, scale: &str) -> ObsRecor
         scale: scale.to_string(),
         wall_ms_off: wall_off,
         wall_ms_on: wall_on,
-        overhead_frac: wall_on / wall_off - 1.0,
+        overhead_frac,
         counters: snap.counters.len(),
         histograms: snap.histograms.len(),
         spans: snap.spans.len(),
     };
     println!(
         "replay_engine/{scale}/metrics_overhead: {:.1} ms off vs {:.1} ms on \
-         ({:+.1}% — {} counters, {} histograms, {} spans)",
+         ({:+.1}% fastest-half mean; {} pair ratios spanning {:+.1}%..{:+.1}% — \
+         {} counters, {} histograms, {} spans)",
         record.wall_ms_off,
         record.wall_ms_on,
         100.0 * record.overhead_frac,
+        ratios.len(),
+        100.0 * (ratios.first().copied().unwrap_or(1.0) - 1.0),
+        100.0 * (ratios.last().copied().unwrap_or(1.0) - 1.0),
         record.counters,
         record.histograms,
         record.spans,
@@ -403,34 +524,74 @@ fn main() {
 
     // Throughput + worker sweep, cold path and warmed cache. Quick mode (CI
     // smoke) stays at tiny scale; the full suite adds small and paper scale,
-    // the acceptance target.
+    // the acceptance target. On a one-core host the multi-worker sweeps at
+    // the larger scales are skipped outright — they cannot measure scaling,
+    // only coordination overhead, and at paper scale that waste is minutes.
+    // Tiny keeps its multi-worker runs regardless: they double as the
+    // cross-worker determinism check.
+    let multi_ok = usable_parallelism() > 1;
     let (world, trace) = env(&WorldConfig::tiny(), TraceConfig::tiny(), 7);
-    sweeps.push(sweep(&world, &trace, "tiny", false, &[1, 2, 8], &mut runs));
-    sweeps.push(sweep(&world, &trace, "tiny", true, &[1, 2, 8], &mut runs));
+    sweeps.push(sweep(
+        &world,
+        &trace,
+        "tiny",
+        false,
+        &[1, 2, 8],
+        multi_ok,
+        &mut runs,
+    ));
+    sweeps.push(sweep(
+        &world,
+        &trace,
+        "tiny",
+        true,
+        &[1, 2, 8],
+        multi_ok,
+        &mut runs,
+    ));
     let sample_option = bench_sample_option(&mut criterion, &world);
-    let metrics_overhead = bench_metrics_overhead(&world, &trace, "tiny");
+    // Tiny-scale overhead is reported for continuity but is dominated by
+    // fixed per-call work (a tiny call is ~1.5 µs of mostly bookkeeping, so
+    // the one extra CRN baseline realization behind the MOS-delta histogram
+    // reads as a large fraction). The <5% budget is gated on the primary
+    // record below, measured at the largest scale the run includes — where
+    // per-call cost is real work and the ratio means something.
+    let metrics_overhead_tiny = bench_metrics_overhead(&world, &trace, "tiny", 5);
     if !quick {
         let (world, trace) = env(&WorldConfig::small(), TraceConfig::small(), 7);
+        let counts: &[usize] = if multi_ok { &[1, 2, 8, 0] } else { &[1] };
         sweeps.push(sweep(
-            &world,
-            &trace,
-            "small",
-            false,
-            &[1, 2, 8, 0],
-            &mut runs,
+            &world, &trace, "small", false, counts, multi_ok, &mut runs,
         ));
         sweeps.push(sweep(
-            &world,
-            &trace,
-            "small",
-            true,
-            &[1, 2, 8, 0],
-            &mut runs,
+            &world, &trace, "small", true, counts, multi_ok, &mut runs,
         ));
         let (world, trace) = env(&WorldConfig::paper_scale(), TraceConfig::paper_scale(), 7);
-        sweeps.push(sweep(&world, &trace, "paper", false, &[1, 8], &mut runs));
-        sweeps.push(sweep(&world, &trace, "paper", true, &[1, 8], &mut runs));
+        let counts: &[usize] = if multi_ok { &[1, 8] } else { &[1] };
+        sweeps.push(sweep(
+            &world, &trace, "paper", false, counts, multi_ok, &mut runs,
+        ));
+        sweeps.push(sweep(
+            &world, &trace, "paper", true, counts, multi_ok, &mut runs,
+        ));
     }
+    // Primary overhead record, both modes: the paper-scale world (the
+    // acceptance scale's per-call cost profile — same candidate density and
+    // segment mix) driven by a shortened trace so each repetition is a few
+    // hundred milliseconds. Gating at tiny/small would ask the MOS-delta
+    // baseline — segment-mean math that costs the same per call at every
+    // scale — to hide inside a per-call budget that is mostly fixed
+    // bookkeeping there; and gating on full-length paper runs would replace
+    // statistics with a handful of ten-second samples at the mercy of host
+    // drift. Overhead is a per-call ratio, so trace length only sets how
+    // many repetitions fit: short runs × many alternating ratios beats long
+    // runs × few.
+    let short = TraceConfig {
+        days: 2,
+        ..TraceConfig::paper_scale()
+    };
+    let (world, trace) = env(&WorldConfig::paper_scale(), short, 7);
+    let metrics_overhead = bench_metrics_overhead(&world, &trace, "paper-world/short-trace", 20);
 
     let predictor_fit = bench_predictor_fit(&mut criterion);
 
@@ -462,6 +623,22 @@ fn main() {
         );
     }
 
+    // Instrumentation-overhead regression gate: the metric sink must stay
+    // near-free on the replay hot path. Gated on the primary record — the
+    // largest scale this run measured (small under --quick, paper in the
+    // full suite) — where per-call cost is dominated by real work rather
+    // than fixed overhead. The bench binary exits non-zero on breach, which
+    // is exactly what the CI smoke step runs.
+    assert!(
+        metrics_overhead.overhead_frac < 0.05,
+        "metrics overhead at {} scale is {:.1}% (>= 5% budget): \
+         {:.1} ms off vs {:.1} ms on",
+        metrics_overhead.scale,
+        100.0 * metrics_overhead.overhead_frac,
+        metrics_overhead.wall_ms_off,
+        metrics_overhead.wall_ms_on,
+    );
+
     let report = Report {
         bench: "replay_engine".to_string(),
         quick,
@@ -472,6 +649,7 @@ fn main() {
         predictor_fit,
         sample_option,
         metrics_overhead,
+        metrics_overhead_tiny,
     };
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

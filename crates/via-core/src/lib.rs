@@ -65,4 +65,4 @@ pub use placement::{plan_placement, Demand, Placement};
 pub use predictor::{GeoPrior, Prediction, PredictionSource, Predictor, PredictorConfig};
 pub use replay::{CallOutcome, Outcome, ReplayConfig, ReplaySim, ReplayStats, SpatialGranularity};
 pub use strategy::StrategyKind;
-pub use topk::{top_k, ScoredOption};
+pub use topk::{top_k, top_k_into, ScoredOption};

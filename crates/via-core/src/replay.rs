@@ -45,7 +45,7 @@ use crate::budget::BudgetGate;
 use crate::history::{CallHistory, KeyPair};
 use crate::predictor::{GeoPrior, Predictor, PredictorConfig};
 use crate::strategy::StrategyKind;
-use crate::topk::{top_k, ScoredOption};
+use crate::topk::{top_k_into, ScoredOption};
 
 /// Spatial granularity at which selection decisions are keyed (Figure 17a).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -183,6 +183,14 @@ pub struct ReplayStats {
     pub predictor_fits: u64,
     /// Total wall-clock spent in predictor refits, milliseconds.
     pub predictor_fit_ms: f64,
+    /// Wall-clock spent in the sequential budget-gate pass (building pair
+    /// states and walking the window in trace order), milliseconds.
+    pub gate_ms: f64,
+    /// Wall-clock spent inside the parallel shard fork–join, milliseconds.
+    pub shard_ms: f64,
+    /// Wall-clock spent merging shard results back at the window barrier
+    /// (outcomes, history cells, metric sinks), milliseconds.
+    pub merge_ms: f64,
     /// Total wall-clock of the replay, milliseconds.
     pub wall_ms: f64,
     /// Calls replayed per second of wall-clock.
@@ -220,14 +228,19 @@ impl ReplayStats {
         };
         format!(
             "{} workers, {} windows, {:.0} calls/s, shard utilization {:.2}, \
-             {} predictor fits ({:.1} ms total), wall {:.1} ms{warm}",
+             {} predictor fits ({:.1} ms total), wall {:.1} ms \
+             (gate {:.1} + shard {:.1} + merge {:.1} + refit {:.1}){warm}",
             self.workers,
             self.windows,
             self.calls_per_sec,
             self.shard_utilization(),
             self.predictor_fits,
             self.predictor_fit_ms,
-            self.wall_ms
+            self.wall_ms,
+            self.gate_ms,
+            self.shard_ms,
+            self.merge_ms,
+            self.predictor_fit_ms
         )
     }
 }
@@ -359,14 +372,12 @@ struct ShardResult {
     contacts: u64,
     /// Hybrid-racing setup probes issued on this shard.
     race_probes: u64,
-    /// Per-worker metric sink (present when metrics are enabled), merged at
-    /// the barrier in shard-index order — mirroring the history-cell merge.
-    obs: Option<MetricSink>,
 }
 
-/// Worker-local scratch buffers, one per shard: candidate enumeration and
-/// option staging reuse these across every call the shard carries, so the
-/// steady-state decision loop performs no heap allocation.
+/// Worker-local scratch buffers, one per shard: candidate enumeration,
+/// option staging, and top-k scoring reuse these across every call the
+/// shard carries, so the steady-state decision loop performs no heap
+/// allocation.
 #[derive(Default)]
 struct Scratch {
     /// Candidate options of the call under consideration.
@@ -375,13 +386,77 @@ struct Scratch {
     topo: via_netsim::CandidateScratch,
     /// Staging for option subsets (racing set, exploration draw).
     staged: Vec<RelayOption>,
+    /// Scored candidates of the pair state under construction.
+    scored: Vec<ScoredOption>,
+    /// Sort permutation for `top_k_into`.
+    order: Vec<usize>,
+    /// Top-k selection output.
+    selected: Vec<ScoredOption>,
 }
 
-/// Increments a counter on an optional sink — a no-op when metrics are off,
-/// so decision arms can count events without branching noise.
-fn obs_inc(obs: &mut Option<MetricSink>, name: &str, delta: u64) {
-    if let Some(sink) = obs.as_mut() {
-        sink.inc(name, delta);
+/// Slot indices of the per-call hot-path metrics, registered once per run.
+/// Recording through these is a plain indexed `u64` bump (counters) or a
+/// LUT-bucketed record (histograms) — no name lookups, no branch on the
+/// metrics flag: shards always record into their [`HotSink`] and the window
+/// barrier folds it into the run sink only when metrics are enabled.
+struct HotIds {
+    schema: via_obs::HotSchema,
+    calls: usize,
+    opt_direct: usize,
+    opt_bounce: usize,
+    opt_transit: usize,
+    oracle_evals: usize,
+    explore_epsilon: usize,
+    bandit_pulls: usize,
+    cache_hits: usize,
+    cache_misses: usize,
+    race_probes: usize,
+    rtt: usize,
+    mos_delta: usize,
+    regret: usize,
+    ci_width: usize,
+}
+
+impl HotIds {
+    fn new() -> HotIds {
+        let mut schema = via_obs::HotSchema::new();
+        HotIds {
+            calls: schema.counter("replay_calls_total"),
+            opt_direct: schema.counter("replay_option_direct_total"),
+            opt_bounce: schema.counter("replay_option_bounce_total"),
+            opt_transit: schema.counter("replay_option_transit_total"),
+            oracle_evals: schema.counter("replay_oracle_evals_total"),
+            explore_epsilon: schema.counter("replay_explore_epsilon_total"),
+            bandit_pulls: schema.counter("replay_bandit_pulls_total"),
+            cache_hits: schema.counter("replay_cache_hits_total"),
+            cache_misses: schema.counter("replay_cache_misses_total"),
+            race_probes: schema.counter("replay_race_probes_total"),
+            rtt: schema.histogram("replay_call_rtt_ms", via_obs::LATENCY_MS),
+            mos_delta: schema.histogram("replay_mos_delta", via_obs::MOS_DELTA),
+            regret: schema.histogram("replay_bandit_regret", via_obs::REGRET),
+            ci_width: schema.histogram("replay_predictor_ci_width", via_obs::CI_WIDTH),
+            schema,
+        }
+    }
+}
+
+/// Per-worker state that survives across window barriers: the hot metric
+/// sink (folded and cleared at each barrier) and the scoring/sampling
+/// scratch buffers. Slot `i` always serves shard `i`, so the fold order at
+/// the barrier is the fixed shard-index order.
+struct WorkerSlot {
+    hot: via_obs::HotSink,
+    scratch: Scratch,
+    sample: via_netsim::SampleScratch,
+}
+
+impl WorkerSlot {
+    fn new(ids: &HotIds) -> WorkerSlot {
+        WorkerSlot {
+            hot: ids.schema.make_sink(),
+            scratch: Scratch::default(),
+            sample: via_netsim::SampleScratch::new(),
+        }
     }
 }
 
@@ -390,12 +465,27 @@ pub struct ReplaySim<'a> {
     world: &'a World,
     trace: &'a Trace,
     cfg: ReplayConfig,
+    /// Hoisted `seed::derive(cfg.seed, "realize")`: the label fold costs one
+    /// mix round per byte and the realization stream is derived per call ×
+    /// option, so the base is computed once here and mixed with
+    /// [`seed::derive_indexed_from`] on the hot path (bit-identical seeds).
+    realize_base: u64,
+    /// Hoisted `seed::derive(cfg.seed, "call")`, same reasoning.
+    call_base: u64,
 }
 
 impl<'a> ReplaySim<'a> {
     /// Creates a simulator over a world and its trace.
     pub fn new(world: &'a World, trace: &'a Trace, cfg: ReplayConfig) -> Self {
-        Self { world, trace, cfg }
+        let realize_base = seed::derive(cfg.seed, "realize");
+        let call_base = seed::derive(cfg.seed, "call");
+        Self {
+            world,
+            trace,
+            cfg,
+            realize_base,
+            call_base,
+        }
     }
 
     /// The replay configuration.
@@ -483,41 +573,102 @@ impl<'a> ReplaySim<'a> {
         (n as u64, built)
     }
 
-    /// Realizes a call over an option with common random numbers.
-    fn realize(&self, call: &CallRecord, option: RelayOption) -> PathMetrics {
-        let stream = seed::derive_indexed(
-            self.cfg.seed,
-            "realize",
-            (u64::from(call.id.0) << 34) ^ option.stable_code(),
+    /// Realizes a call over an option with common random numbers: the seed
+    /// derivation depends only on `(call, option)`, so the draws are
+    /// bit-identical however often and wherever the realization happens.
+    /// The scratch memoizes segment means shared between the options a call
+    /// evaluates at one instant (chosen vs. direct baseline, racing sets).
+    fn realize_with(
+        &self,
+        call: &CallRecord,
+        option: RelayOption,
+        sample: &mut via_netsim::SampleScratch,
+    ) -> PathMetrics {
+        let mut rng = StdRng::seed_from_u64(self.realize_stream(call, option));
+        let path = self.world.perf().sample_option_scratch(
+            call.src_as,
+            call.dst_as,
+            option,
+            call.t,
+            &mut rng,
+            sample,
         );
-        let mut rng = StdRng::seed_from_u64(stream);
-        let path =
-            self.world
-                .perf()
-                .sample_option(call.src_as, call.dst_as, option, call.t, &mut rng);
         call.access_extra.apply(&path)
+    }
+
+    /// Realization stream seed for `(call, option)` — `derive_indexed(seed,
+    /// "realize", …)` with the label fold hoisted into `realize_base`.
+    fn realize_stream(&self, call: &CallRecord, option: RelayOption) -> u64 {
+        seed::derive_indexed_from(
+            self.realize_base,
+            (u64::from(call.id.0) << 34) ^ option.stable_code(),
+        )
+    }
+
+    /// Realizes a call over `option` together with a common-random-numbers
+    /// direct-path baseline, from the *same* realization stream and the same
+    /// noise draws (see [`via_netsim::PerfModel::sample_option_paired_scratch`]).
+    /// The first result is bit-identical to [`ReplaySim::realize_with`] for
+    /// `option`; the second is the direct path under the call's own luck —
+    /// the MOS-delta baseline, at the cost of stack math over `parts` only.
+    /// `parts` must cover `(call.src_as, call.dst_as, call.t.day())` for the
+    /// direct path — the shard loop caches it per pair group so the baseline
+    /// never touches a memo map on the per-call path.
+    fn realize_paired(
+        &self,
+        call: &CallRecord,
+        option: RelayOption,
+        parts: &via_netsim::PathDayParts,
+        sample: &mut via_netsim::SampleScratch,
+    ) -> (PathMetrics, PathMetrics) {
+        let mut rng = StdRng::seed_from_u64(self.realize_stream(call, option));
+        let (chosen, direct) = self.world.perf().sample_option_paired_from_parts(
+            call.src_as,
+            call.dst_as,
+            option,
+            parts,
+            call.t,
+            &mut rng,
+            sample,
+        );
+        (
+            call.access_extra.apply(&chosen),
+            call.access_extra.apply(&direct),
+        )
     }
 
     /// Per-call decision RNG, derived from the call's trace index: the
     /// stream a call sees is independent of every other call, so decisions
     /// are identical no matter which shard (or how many shards) carried it.
     fn call_rng(&self, call: &CallRecord) -> StdRng {
-        StdRng::seed_from_u64(seed::derive_indexed(
-            self.cfg.seed,
-            "call",
+        StdRng::seed_from_u64(seed::derive_indexed_from(
+            self.call_base,
             u64::from(call.id.0),
         ))
     }
 
-    /// Ground-truth best option for the oracle, per (pair, window).
-    fn oracle_choice(&self, call: &CallRecord, window: Window) -> RelayOption {
+    /// Ground-truth best option for the oracle, per (pair, window). The
+    /// candidate scan shares segment means through `sample` — one (pair,
+    /// window) evaluation touches each distinct segment once instead of per
+    /// option.
+    fn oracle_choice(
+        &self,
+        call: &CallRecord,
+        window: Window,
+        scratch: &mut Scratch,
+        sample: &mut via_netsim::SampleScratch,
+    ) -> RelayOption {
         let t_eval = window.start() + window.len.secs() / 2;
         let mut best = (f64::INFINITY, RelayOption::Direct);
-        for opt in self.candidates(call) {
-            let m = self
-                .world
-                .perf()
-                .option_mean(call.src_as, call.dst_as, opt, t_eval);
+        self.candidates_into(call, scratch);
+        for &opt in &scratch.cand {
+            let m = self.world.perf().option_mean_scratch(
+                call.src_as,
+                call.dst_as,
+                opt,
+                t_eval,
+                sample,
+            );
             let v = m[self.cfg.objective];
             if v < best.0 {
                 best = (v, opt);
@@ -565,6 +716,12 @@ impl<'a> ReplaySim<'a> {
             shard_calls: vec![0; workers],
             ..ReplayStats::default()
         };
+        // Fixed per-worker slots: hot metric sinks plus scoring/sampling
+        // scratch, allocated once and reused by every window's fork–join
+        // (slot i always serves shard i).
+        let hot_ids = HotIds::new();
+        let mut worker_slots: Vec<WorkerSlot> =
+            (0..workers).map(|_| WorkerSlot::new(&hot_ids)).collect();
         if self.cfg.warm {
             let t_warm = Stopwatch::started();
             let (enumerated, _built) = self.warm_world(workers);
@@ -720,6 +877,7 @@ impl<'a> ReplaySim<'a> {
             // the bandit evolves within the window. So the states are built
             // in parallel, the gate walks the window in trace order once,
             // and the per-call verdicts ride into the shards as plain flags.
+            let t_gate = Stopwatch::started();
             let gated: Option<Vec<bool>> = match kind {
                 StrategyKind::ViaBudgeted { .. } | StrategyKind::ViaBudgetUnaware { .. } => {
                     predictor.as_ref().map(|pred| {
@@ -776,6 +934,7 @@ impl<'a> ReplaySim<'a> {
                 }
                 _ => None,
             };
+            stats.gate_ms += t_gate.elapsed_ms();
             // Gate verdicts are produced by the sequential pass above, so
             // the admit/deny counts are worker-count invariant by
             // construction (flags[i] == true means "forced direct").
@@ -788,6 +947,7 @@ impl<'a> ReplaySim<'a> {
                     sink.inc("replay_gate_admitted_total", gate_admitted);
                     sink.inc("replay_gate_denied_total", gate_denied);
                 }
+                sink.time("replay.gate", t_gate);
             }
             let n_groups = groups.len() as u64;
 
@@ -816,19 +976,27 @@ impl<'a> ReplaySim<'a> {
             // ---- parallel shard processing ---------------------------------
             let gated_ref = gated.as_deref();
             let pred_ref = predictor.as_ref();
-            let shard_results: Vec<ShardResult> = crate::par::par_run(workers, tasks, |task| {
-                self.process_shard(kind, window, pred_ref, gated_ref, start, task)
-            });
+            let t_shard = Stopwatch::started();
+            let shard_results: Vec<ShardResult> =
+                crate::par::par_run_with(workers, tasks, &mut worker_slots, |task, slot| {
+                    self.process_shard(
+                        kind, window, pred_ref, gated_ref, start, task, &hot_ids, slot,
+                    )
+                });
+            stats.shard_ms += t_shard.elapsed_ms();
 
             // ---- deterministic merge back into trace order -----------------
+            let t_merge = Stopwatch::started();
             let mut window_out: Vec<Option<CallOutcome>> = vec![None; end - start];
             for (shard_idx, res) in shard_results.into_iter().enumerate() {
                 stats.shard_calls[shard_idx] += res.outcomes.len() as u64;
-                // Merge the shard's sink first (fixed shard-index order; the
-                // deterministic core is order-independent anyway).
-                if let (Some(sink), Some(shard_sink)) = (obs.as_mut(), res.obs.as_ref()) {
-                    sink.merge(shard_sink);
+                // Fold the shard's hot sink first (fixed shard-index order;
+                // the deterministic core is order-independent anyway), then
+                // reset the slot for the next window.
+                if let Some(sink) = obs.as_mut() {
+                    sink.fold_hot(&hot_ids.schema, &worker_slots[shard_idx].hot);
                 }
+                worker_slots[shard_idx].hot.clear();
                 for (i, co) in res.outcomes {
                     window_out[i - start] = Some(co);
                 }
@@ -844,6 +1012,7 @@ impl<'a> ReplaySim<'a> {
                 controller_contacts += res.contacts;
                 race_probes += res.race_probes;
             }
+            stats.merge_ms += t_merge.elapsed_ms();
             let before = outcomes.len();
             outcomes.extend(window_out.into_iter().flatten());
             assert_eq!(
@@ -854,6 +1023,8 @@ impl<'a> ReplaySim<'a> {
             if let Some(sink) = obs.as_mut() {
                 sink.inc("replay_windows_total", 1);
                 sink.inc("replay_pair_groups_total", n_groups);
+                sink.time("replay.shard", t_shard);
+                sink.time("replay.merge", t_merge);
                 sink.span(
                     "replay.window",
                     window.index,
@@ -898,6 +1069,7 @@ impl<'a> ReplaySim<'a> {
     /// touches — its bandit, decision-cache entry, oracle memo, history
     /// cells — lives on this shard alone, so the per-pair computation is
     /// identical to a sequential walk of the same calls.
+    #[allow(clippy::too_many_arguments)] // internal fork–join entry point
     fn process_shard(
         &self,
         kind: StrategyKind,
@@ -906,13 +1078,26 @@ impl<'a> ReplaySim<'a> {
         gated: Option<&[bool]>,
         win_start: usize,
         work: Vec<PairGroup>,
+        ids: &HotIds,
+        slot: &mut WorkerSlot,
     ) -> ShardResult {
         let objective = self.cfg.objective;
         let track = kind.uses_history();
+        // The MOS-delta histogram needs an extra direct-path realization per
+        // relayed call; that cost is only paid when metrics are collected.
+        // Everything else records unconditionally into the slot-indexed hot
+        // sink (a plain array bump) and is folded — or discarded — at the
+        // window barrier.
+        let want_mos = self.cfg.metrics;
         let records = &self.trace.records;
-        // Worker-local scratch, reused across every call on this shard.
-        let mut scratch = Scratch::default();
-        let scratch = &mut scratch;
+        // Worker-local scratch and hot sink, reused across every call on
+        // this shard and across windows (split borrows so the decision arms
+        // can hold `scratch` and `hot` mutably at the same time).
+        let WorkerSlot {
+            hot,
+            scratch,
+            sample,
+        } = slot;
         let mut out = ShardResult {
             outcomes: Vec::new(),
             history: CallHistory::new(),
@@ -920,7 +1105,6 @@ impl<'a> ReplaySim<'a> {
             cache_updates: Vec::new(),
             contacts: 0,
             race_probes: 0,
-            obs: self.cfg.metrics.then(MetricSink::new),
         };
 
         for mut g in work {
@@ -932,6 +1116,12 @@ impl<'a> ReplaySim<'a> {
             // AS pair would hand the oracle finer spatial resolution than
             // the Figure 17a granularity sweep grants the contenders.)
             let mut oracle_memo: Option<RelayOption> = None;
+            // Direct-path day parts for the MOS-delta baseline, captured on
+            // the first relayed call and reused across the group (same pair,
+            // and windows stay within a day in every stock config). Coarse
+            // pair granularities can mix AS endpoints inside one group, so
+            // reuse is guarded by `covers` — a mismatch just recaptures.
+            let mut direct_parts: Option<via_netsim::PathDayParts> = None;
             // One prediction resolve per (pair, window): predictions are
             // constant between refit barriers, so the prediction-only
             // strategy decides once per decision key from the pair's
@@ -951,8 +1141,8 @@ impl<'a> ReplaySim<'a> {
                     StrategyKind::Default => RelayOption::Direct,
                     StrategyKind::Oracle => {
                         if oracle_memo.is_none() {
-                            oracle_memo = Some(self.oracle_choice(call, window));
-                            obs_inc(&mut out.obs, "replay_oracle_evals_total", 1);
+                            oracle_memo = Some(self.oracle_choice(call, window, scratch, sample));
+                            hot.inc(ids.oracle_evals, 1);
                         }
                         oracle_memo.unwrap_or(RelayOption::Direct)
                     }
@@ -990,12 +1180,12 @@ impl<'a> ReplaySim<'a> {
                         });
                         let mut rng = self.call_rng(call);
                         if rng.random::<f64>() < 0.1 {
-                            obs_inc(&mut out.obs, "replay_explore_epsilon_total", 1);
+                            hot.inc(ids.explore_epsilon, 1);
                             scratch.staged.clear();
                             scratch.staged.extend(st.bandit.options());
                             scratch.staged[rng.random_range(0..scratch.staged.len())]
                         } else {
-                            obs_inc(&mut out.obs, "replay_bandit_pulls_total", 1);
+                            hot.inc(ids.bandit_pulls, 1);
                             st.bandit.choose().unwrap_or(RelayOption::Direct)
                         }
                     }
@@ -1005,24 +1195,19 @@ impl<'a> ReplaySim<'a> {
                         // selection stack.
                         match (cached, predictor) {
                             (Some((opt, expires)), _) if call.t < expires => {
-                                obs_inc(&mut out.obs, "replay_cache_hits_total", 1);
+                                hot.inc(ids.cache_hits, 1);
                                 opt
                             }
                             (_, None) => RelayOption::Direct,
                             (_, Some(pred)) => {
                                 out.contacts += 1;
-                                obs_inc(&mut out.obs, "replay_cache_misses_total", 1);
+                                hot.inc(ids.cache_misses, 1);
                                 if state.is_none() {
                                     self.candidates_into(call, scratch);
                                 }
                                 let st = state.get_or_insert_with(|| {
-                                    Self::build_pair_state(
-                                        pred,
-                                        g.ka,
-                                        g.kb,
-                                        &scratch.cand,
-                                        kind,
-                                        objective,
+                                    Self::build_pair_state_in(
+                                        pred, g.ka, g.kb, scratch, kind, objective,
                                     )
                                 });
                                 let opt = st.bandit.choose().unwrap_or(RelayOption::Direct);
@@ -1055,18 +1240,14 @@ impl<'a> ReplaySim<'a> {
                             scratch.staged.clear();
                             scratch.staged.extend(st.bandit.options().take(k.max(1)));
                             out.race_probes += scratch.staged.len() as u64;
-                            obs_inc(
-                                &mut out.obs,
-                                "replay_race_probes_total",
-                                scratch.staged.len() as u64,
-                            );
+                            hot.inc(ids.race_probes, scratch.staged.len() as u64);
                             // Realize each racer once, then compare (realize is
                             // deterministic per (call, option), so this is both
                             // the cheap and the correct form).
                             scratch
                                 .staged
                                 .iter()
-                                .map(|&o| (self.realize(call, o)[objective], o))
+                                .map(|&o| (self.realize_with(call, o, sample)[objective], o))
                                 .min_by(|a, b| a.0.total_cmp(&b.0))
                                 .map(|(_, o)| o)
                                 .unwrap_or(RelayOption::Direct)
@@ -1102,12 +1283,12 @@ impl<'a> ReplaySim<'a> {
                                 if rng.random::<f64>() < self.cfg.epsilon {
                                     // Stage 4b: general exploration over all
                                     // options.
-                                    obs_inc(&mut out.obs, "replay_explore_epsilon_total", 1);
+                                    hot.inc(ids.explore_epsilon, 1);
                                     self.candidates_into(call, scratch);
                                     scratch.cand[rng.random_range(0..scratch.cand.len())]
                                 } else {
                                     // Stage 4a: UCB over the pruned top-k.
-                                    obs_inc(&mut out.obs, "replay_bandit_pulls_total", 1);
+                                    hot.inc(ids.bandit_pulls, 1);
                                     st.bandit.choose().unwrap_or(RelayOption::Direct)
                                 }
                             }
@@ -1115,49 +1296,54 @@ impl<'a> ReplaySim<'a> {
                     },
                 };
 
-                let metrics = self.realize(call, option);
-
-                if let Some(sink) = out.obs.as_mut() {
-                    sink.inc("replay_calls_total", 1);
-                    sink.inc(
-                        if option == RelayOption::Direct {
-                            "replay_option_direct_total"
-                        } else if option.is_bounce() {
-                            "replay_option_bounce_total"
-                        } else {
-                            "replay_option_transit_total"
-                        },
-                        1,
-                    );
-                    sink.observe(
-                        "replay_call_rtt_ms",
-                        via_obs::LATENCY_MS,
-                        metrics[Metric::Rtt],
-                    );
-                    // MOS delta against the direct path under the same
-                    // common-random-number stream (a direct pick is its own
-                    // baseline, so the delta is exactly zero).
-                    let direct = if option == RelayOption::Direct {
-                        metrics
-                    } else {
-                        self.realize(call, RelayOption::Direct)
+                // The paired realize returns the chosen metrics bit-identical
+                // to `realize_with` plus a CRN direct baseline from the same
+                // draws, so enabling metrics cannot change call outcomes.
+                let (metrics, direct) = if want_mos && option != RelayOption::Direct {
+                    let day = call.t.day();
+                    let parts = match &mut direct_parts {
+                        Some(p) if p.covers(call.src_as, call.dst_as, day) => p,
+                        slot => slot.insert(self.world.perf().path_day_parts_scratch(
+                            call.src_as,
+                            call.dst_as,
+                            RelayOption::Direct,
+                            day,
+                            sample,
+                        )),
                     };
-                    sink.observe(
-                        "replay_mos_delta",
-                        via_obs::MOS_DELTA,
+                    self.realize_paired(call, option, parts, sample)
+                } else {
+                    let m = self.realize_with(call, option, sample);
+                    (m, m)
+                };
+
+                hot.inc(ids.calls, 1);
+                hot.inc(
+                    if option == RelayOption::Direct {
+                        ids.opt_direct
+                    } else if option.is_bounce() {
+                        ids.opt_bounce
+                    } else {
+                        ids.opt_transit
+                    },
+                    1,
+                );
+                hot.observe(ids.rtt, metrics[Metric::Rtt]);
+                if want_mos {
+                    // MOS delta against the direct path under the call's own
+                    // noise draws (a direct pick is its own baseline, so the
+                    // delta is exactly zero).
+                    hot.observe(
+                        ids.mos_delta,
                         via_quality::mos(&metrics) - via_quality::mos(&direct),
                     );
-                    // Regret proxy vs the predictor's best arm; only
-                    // meaningful for states scored by a real predictor
-                    // (best_mean > 0 — the exploration-only dummy is 0).
-                    if let Some(st) = state.as_ref() {
-                        if st.best_mean > 0.0 && st.best_mean.is_finite() {
-                            sink.observe(
-                                "replay_bandit_regret",
-                                via_obs::REGRET,
-                                (metrics[objective] - st.best_mean).max(0.0),
-                            );
-                        }
+                }
+                // Regret proxy vs the predictor's best arm; only meaningful
+                // for states scored by a real predictor (best_mean > 0 — the
+                // exploration-only dummy is 0).
+                if let Some(st) = state.as_ref() {
+                    if st.best_mean > 0.0 && st.best_mean.is_finite() {
+                        hot.observe(ids.regret, (metrics[objective] - st.best_mean).max(0.0));
                     }
                 }
 
@@ -1183,9 +1369,9 @@ impl<'a> ReplaySim<'a> {
             // predictor-built state — recorded at group end, after the state
             // was built (eagerly by the gate pass or lazily above), so the
             // stream is identical however the groups were sharded.
-            if let (Some(sink), Some(st)) = (out.obs.as_mut(), state.as_ref()) {
+            if let Some(st) = state.as_ref() {
                 for &w in &st.ci_widths {
-                    sink.observe("replay_predictor_ci_width", via_obs::CI_WIDTH, w);
+                    hot.observe(ids.ci_width, w);
                 }
             }
 
@@ -1208,25 +1394,51 @@ impl<'a> ReplaySim<'a> {
         kind: StrategyKind,
         objective: Metric,
     ) -> PairState {
-        let scored: Vec<ScoredOption> = candidates
-            .iter()
-            .map(|&opt| ScoredOption::from_prediction(opt, &pred.predict(ka, kb, opt), objective))
-            .collect();
+        let mut scratch = Scratch::default();
+        scratch.cand.extend_from_slice(candidates);
+        Self::build_pair_state_in(pred, ka, kb, &mut scratch, kind, objective)
+    }
+
+    /// Scratch-buffered form of [`Self::build_pair_state`] for the shard
+    /// hot path: the candidate scores and the top-k selection live in
+    /// reusable buffers (reading the candidates from `scratch.cand`), so a
+    /// lazily built pair state allocates nothing beyond the state itself.
+    fn build_pair_state_in(
+        pred: &Predictor,
+        ka: u32,
+        kb: u32,
+        scratch: &mut Scratch,
+        kind: StrategyKind,
+        objective: Metric,
+    ) -> PairState {
+        let Scratch {
+            cand,
+            scored,
+            order,
+            selected,
+            ..
+        } = scratch;
+        scored.clear();
+        scored.extend(
+            cand.iter().map(|&opt| {
+                ScoredOption::from_prediction(opt, &pred.predict(ka, kb, opt), objective)
+            }),
+        );
 
         let direct_mean = scored
             .iter()
             .find(|s| s.option == RelayOption::Direct)
             .map_or(f64::INFINITY, |s| s.mean);
 
-        let selected: Vec<ScoredOption> = match kind {
+        match kind {
             StrategyKind::ViaFixedTopK { k } => {
-                let mut by_mean = scored.clone();
-                by_mean.sort_by(|a, b| a.mean.total_cmp(&b.mean));
-                by_mean.truncate(k.max(1));
-                by_mean
+                selected.clear();
+                selected.extend_from_slice(scored);
+                selected.sort_by(|a, b| a.mean.total_cmp(&b.mean));
+                selected.truncate(k.max(1));
             }
-            _ => top_k(&scored),
-        };
+            _ => top_k_into(scored, order, selected),
+        }
 
         let best_mean = selected.first().map_or(direct_mean, |s| s.mean);
         // Algorithm 3 line 3: w = mean of the top-k upper bounds. Arms are

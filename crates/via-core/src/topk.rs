@@ -67,51 +67,59 @@ impl ScoredOption {
 /// Returns the selected options ordered by predicted mean (best first).
 /// An empty input yields an empty set.
 pub fn top_k(scored: &[ScoredOption]) -> Vec<ScoredOption> {
+    let mut out = Vec::new();
+    top_k_into(scored, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Allocation-free form of [`top_k`] for the per-call hot path: the sort
+/// permutation lives in `order` and the selection is written into `out`
+/// (both cleared first, capacity reused across calls). Output is identical
+/// to [`top_k`] — the index sort is stable, so even tied bounds select in
+/// the same order.
+pub fn top_k_into(scored: &[ScoredOption], order: &mut Vec<usize>, out: &mut Vec<ScoredOption>) {
+    out.clear();
     if scored.is_empty() {
-        return Vec::new();
+        return;
     }
     // Sort by lower bound: candidates join the set in this order.
-    let mut by_lower: Vec<&ScoredOption> = scored.iter().collect();
-    by_lower.sort_by(|a, b| a.lower.total_cmp(&b.lower));
-
+    order.clear();
+    order.extend(0..scored.len());
+    order.sort_by(|&a, &b| scored[a].lower.total_cmp(&scored[b].lower));
     // Seed with the option with the smallest upper bound: it can never be
     // excluded (its own lower ≤ its upper ≤ anything's upper).
     let seed_upper = scored.iter().map(|s| s.upper).fold(f64::INFINITY, f64::min);
 
     let mut max_upper = seed_upper;
-    let mut selected: Vec<ScoredOption> = Vec::new();
-    let mut i = 0;
     // Every option with lower ≤ current max_upper joins; joining may raise
-    // max_upper, admitting more. by_lower ordering makes one pass a fixpoint.
-    while i < by_lower.len() {
-        let cand = by_lower[i];
+    // max_upper, admitting more. The lower-bound ordering makes one pass a
+    // fixpoint.
+    for &idx in order.iter() {
+        let cand = &scored[idx];
         if cand.lower <= max_upper {
             if cand.upper > max_upper {
                 max_upper = cand.upper;
             }
-            selected.push(*cand);
-            i += 1;
+            out.push(*cand);
         } else {
             break;
         }
     }
 
     // Closure property (the defining invariant): every excluded option's
-    // lower bound exceeds every selected option's upper bound. by_lower is
-    // sorted, so checking the first excluded candidate checks them all.
+    // lower bound exceeds every selected option's upper bound. The order is
+    // sorted by lower, so checking the first excluded candidate checks all.
+    debug_assert!(!out.is_empty(), "non-empty input must select an option");
     debug_assert!(
-        !selected.is_empty(),
-        "non-empty input must select an option"
-    );
-    debug_assert!(
-        by_lower.get(i).is_none_or(|c| c.lower > max_upper),
+        order
+            .get(out.len())
+            .is_none_or(|&c| scored[c].lower > max_upper),
         "top-k closure violated: excluded lower {} ≤ selected max upper {}",
-        by_lower.get(i).map_or(f64::NAN, |c| c.lower),
+        order.get(out.len()).map_or(f64::NAN, |&c| scored[c].lower),
         max_upper
     );
 
-    selected.sort_by(|a, b| a.mean.total_cmp(&b.mean));
-    selected
+    out.sort_by(|a, b| a.mean.total_cmp(&b.mean));
 }
 
 #[cfg(test)]
@@ -183,6 +191,29 @@ mod tests {
         // whole chain that overlaps transitively.
         let scored = [so(0, 5.0, 100.0), so(1, 50.0, 60.0), so(2, 90.0, 95.0)];
         assert_eq!(top_k(&scored).len(), 3);
+    }
+
+    #[test]
+    fn top_k_into_matches_top_k_on_ties() {
+        // Tied lower bounds and tied means: the stable index sort must keep
+        // the original relative order, same as the reference.
+        let scored = [
+            so(0, 10.0, 20.0),
+            so(1, 10.0, 20.0),
+            so(2, 10.0, 30.0),
+            so(3, 25.0, 40.0),
+        ];
+        let (mut order, mut out) = (Vec::new(), Vec::new());
+        top_k_into(&scored, &mut order, &mut out);
+        let reference = top_k(&scored);
+        assert_eq!(out.len(), reference.len());
+        for (a, b) in out.iter().zip(&reference) {
+            assert_eq!(a.option, b.option);
+        }
+        // Dirty scratch from a previous call must not leak into the next.
+        top_k_into(&scored[..1], &mut order, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].option, opt(0));
     }
 
     proptest! {

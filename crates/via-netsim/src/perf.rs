@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand_distr::{Distribution, Gamma, LogNormal};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{OnceLock, PoisonError, RwLock};
+use std::sync::OnceLock;
 use via_model::ids::{AsId, RelayId};
 use via_model::metrics::PathMetrics;
 use via_model::options::RelayOption;
@@ -52,26 +52,22 @@ struct SegState {
     episodes: EpisodeSeries,
 }
 
-/// Number of shards in the sparse segment table. Power of two so shard
-/// selection is a mask; 64 keeps first-touch write contention negligible
-/// for any realistic worker count.
-const SPARSE_SHARDS: usize = 64;
-
 /// Ground-truth performance model. Cheap to query; the model is logically
 /// immutable — segment latents are memoized on first touch, but the memo is
 /// a pure function of `(config, seed, segment)`.
 ///
 /// The read side is built for parallel replay (see DESIGN.md, *Concurrency
-/// and memory layout*): the dense segment families — access (one slot per
-/// AS) and backbone (one slot per relay pair) — live in pre-sized
-/// [`OnceLock`] slot tables indexed directly by id, so a hit is a plain
-/// array load with no lock and no reference-count traffic. The sparse
-/// families (direct-WAN pairs and AS→relay attach legs, quadratic key
-/// spaces of which a trace touches a sliver) live in a [`SPARSE_SHARDS`]-way
-/// sharded `RwLock<HashMap>`; steady-state reads take a shared lock on the
-/// segment's shard only, and a first touch builds the state exactly once
-/// under the shard's write lock. [`PerfModel::warm`] can prebuild every
-/// segment a trace will touch so replay itself never takes a write lock.
+/// and memory layout*): every segment family lives in a pre-sized
+/// [`OnceLock`] slot table indexed directly by id — access (one slot per
+/// AS), backbone (relay pair), direct WAN (AS pair) and AS→relay attach
+/// legs — so a hit is a plain array load with no lock and no hashing, and a
+/// first touch builds the state exactly once under the slot's own
+/// initializer. The quadratic tables hold *empty* slots for untouched keys
+/// (a slot is pointer-plus-payload-sized, ~4 MB total for the paper-scale
+/// 200-AS world), which is the price for making the per-call realize path
+/// — three slot loads per direct path — branch-and-lock-free.
+/// [`PerfModel::warm`] can prebuild every segment a trace will touch so
+/// replay itself never runs a first-touch initializer.
 #[derive(Debug)]
 pub struct PerfModel {
     world_seed: u64,
@@ -85,11 +81,30 @@ pub struct PerfModel {
     /// Dense backbone slots, indexed by canonical relay pair
     /// (`lo * n_relays + hi`).
     backbone: Box<[OnceLock<SegState>]>,
-    /// Sharded sparse table for `DirectWan` / `RelayWan` segments.
-    sparse: Vec<RwLock<HashMap<Segment, SegState>>>,
+    /// Dense direct-WAN slots, indexed by canonical AS pair
+    /// (`lo * n_ases + hi`).
+    direct: Box<[OnceLock<SegState>]>,
+    /// Dense AS→relay attach-leg slots (`a * n_relays + r`).
+    relay_wan: Box<[OnceLock<SegState>]>,
+    /// Dense AS↔relay great-circle distances (`as * n_relays + relay`),
+    /// precomputed so transit-orientation picks on the scoring hot path are
+    /// table loads instead of four haversines per query.
+    as_relay_km: Box<[f64]>,
+    /// Per-call RTT noise (`lognormal_mean` at mean 1.0), prebuilt from the
+    /// knobs; `None` when the sigma knob is degenerate (noise factor 1.0).
+    rtt_noise: Option<LogNormal<f64>>,
+    /// Per-call jitter noise, same construction.
+    jitter_noise: Option<LogNormal<f64>>,
     /// Segment states built so far (each touched segment builds exactly
     /// once; diagnostics and the duplicate-work regression tests).
     builds: AtomicU64,
+}
+
+/// Unit-mean lognormal noise distribution, parameterized exactly as
+/// `lognormal_mean(rng, 1.0, sigma)` computes it so prebuilt draws are
+/// bit-identical to the inline construction.
+fn unit_lognormal(sigma: f64) -> Option<LogNormal<f64>> {
+    LogNormal::new(1.0f64.ln() - sigma * sigma / 2.0, sigma).ok()
 }
 
 impl PerfModel {
@@ -102,6 +117,12 @@ impl PerfModel {
     ) -> Self {
         let n_ases = ases.len();
         let n_relays = relays.len();
+        let as_relay_km = ases
+            .iter()
+            .flat_map(|a| relays.iter().map(|r| a.pos.distance_km(&r.pos)))
+            .collect();
+        let rtt_noise = unit_lognormal(config.perf.call_rtt_sigma);
+        let jitter_noise = unit_lognormal(config.perf.call_jitter_sigma);
         Self {
             world_seed,
             knobs: config.perf,
@@ -111,7 +132,11 @@ impl PerfModel {
             relay_pos: relays.iter().map(|r| r.pos).collect(),
             access: (0..n_ases).map(|_| OnceLock::new()).collect(),
             backbone: (0..n_relays * n_relays).map(|_| OnceLock::new()).collect(),
-            sparse: (0..SPARSE_SHARDS).map(|_| RwLock::default()).collect(),
+            direct: (0..n_ases * n_ases).map(|_| OnceLock::new()).collect(),
+            relay_wan: (0..n_ases * n_relays).map(|_| OnceLock::new()).collect(),
+            as_relay_km,
+            rtt_noise,
+            jitter_noise,
             builds: AtomicU64::new(0),
         }
     }
@@ -134,41 +159,19 @@ impl PerfModel {
         self.builds.load(Ordering::Relaxed)
     }
 
-    /// Shard of a sparse segment: a splitmix of the stable seed code, so the
-    /// spread is uniform and identical across runs.
-    fn sparse_shard(&self, segment: Segment) -> &RwLock<HashMap<Segment, SegState>> {
-        let h = seed::splitmix64(segment.seed_code()) as usize;
-        &self.sparse[h & (SPARSE_SHARDS - 1)]
-    }
-
     /// Runs `f` against the segment's latent state, materializing it on
-    /// first touch. Dense families resolve to a direct slot load; sparse
-    /// families take a shared read lock on one shard (exclusive only while
-    /// building a first-touch entry).
+    /// first touch. Every family resolves to a direct slot load; a cold
+    /// slot builds its state exactly once under the `OnceLock` initializer
+    /// (concurrent first touches block rather than duplicate work).
     fn with_state<R>(&self, segment: Segment, f: impl FnOnce(&SegState) -> R) -> R {
-        let dense_slot = match segment {
-            Segment::Access(a) => self.access.get(a.index()),
-            Segment::Backbone(r1, r2) => self
-                .backbone
-                .get(r1.index() * self.relay_pos.len() + r2.index()),
-            Segment::DirectWan(..) | Segment::RelayWan(..) => None,
+        let n_relays = self.relay_pos.len();
+        let slot = match segment {
+            Segment::Access(a) => &self.access[a.index()],
+            Segment::Backbone(r1, r2) => &self.backbone[r1.index() * n_relays + r2.index()],
+            Segment::DirectWan(a, b) => &self.direct[a.index() * self.as_pos.len() + b.index()],
+            Segment::RelayWan(a, r) => &self.relay_wan[a.index() * n_relays + r.index()],
         };
-        if let Some(slot) = dense_slot {
-            return f(slot.get_or_init(|| self.build_state(segment)));
-        }
-        // Sparse path. Lock poisoning cannot leave the memo inconsistent
-        // (entries are pure derived data, inserted whole): recover.
-        let shard = self.sparse_shard(segment);
-        {
-            let guard = shard.read().unwrap_or_else(PoisonError::into_inner);
-            if let Some(s) = guard.get(&segment) {
-                return f(s);
-            }
-        }
-        let mut guard = shard.write().unwrap_or_else(PoisonError::into_inner);
-        f(guard
-            .entry(segment)
-            .or_insert_with(|| self.build_state(segment)))
+        f(slot.get_or_init(|| self.build_state(segment)))
     }
 
     /// Eagerly materializes the latent state of each given segment.
@@ -344,25 +347,154 @@ impl PerfModel {
     /// Mean metrics contributed by one segment at time `t` (latent state:
     /// episodes + diurnal load, no per-call noise).
     pub fn segment_mean(&self, segment: Segment, t: SimTime) -> SegMetrics {
-        let k = &self.knobs;
-        self.with_state(segment, |s| {
-            let sev = s.episodes.on_day(t.day()) * s.episode_scale;
-            // Diurnal load peaks at 20:00 local time at the segment midpoint.
-            let local =
-                GeoPoint::new(0.0, s.lon_deg.clamp(-180.0, 180.0)).local_hour(t.hour_of_day());
-            let evening = 0.5 * (1.0 + ((local - 20.0) / 24.0 * std::f64::consts::TAU).cos());
-            let d = k.diurnal_amplitude * s.diurnal_sens * evening;
+        self.mean_from_day(&self.seg_day_state(segment, t.day()), t)
+    }
 
-            let episode_rtt = sev * k.episode_rtt_ms;
-            let loss_mult = 1.0 + sev * (k.episode_loss_mult - 1.0);
-            let jitter_mult = 1.0 + sev * (k.episode_jitter_mult - 1.0);
-
-            SegMetrics {
-                rtt_ms: s.rtt_ms + episode_rtt + 6.0 * d,
-                loss_pct: (s.loss_pct * loss_mult * (1.0 + 0.8 * d)).min(100.0),
-                jitter_ms: s.jitter_ms * jitter_mult * (1.0 + 0.8 * d),
-            }
+    /// Captures the day-scoped slice of a segment's latent state: everything
+    /// [`PerfModel::segment_mean`] reads except the intra-day diurnal
+    /// factor. One slot-table touch; the result is a small `Copy` value the
+    /// scratch can keep, so repeated means of a hot segment within a day
+    /// never revisit the slot table or the episode series.
+    fn seg_day_state(&self, segment: Segment, day: u64) -> SegDayState {
+        self.with_state(segment, |s| SegDayState {
+            day,
+            sev: s.episodes.on_day(day) * s.episode_scale,
+            rtt_ms: s.rtt_ms,
+            loss_pct: s.loss_pct,
+            jitter_ms: s.jitter_ms,
+            diurnal_sens: s.diurnal_sens,
+            lon_deg: s.lon_deg,
         })
+    }
+
+    /// Captures one path's day-scoped latent parts: the day state of every
+    /// segment plus the hop count. A caller that realizes many calls of the
+    /// same `(src, dst)` pair within one simulated day (the replay engine's
+    /// pair groups) can hold this on the stack and get each call's path
+    /// mean from [`PerfModel::mean_from_parts`] without touching any memo
+    /// map or slot table.
+    pub fn path_day_parts(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        day: u64,
+    ) -> PathDayParts {
+        let path = self.segments_of(src, dst, option);
+        let mut segs = [SegDayState::default(); SegmentPath::MAX];
+        for (slot, seg) in segs.iter_mut().zip(path.segments()) {
+            *slot = self.seg_day_state(*seg, day);
+        }
+        PathDayParts {
+            src,
+            dst,
+            day,
+            path,
+            segs,
+        }
+    }
+
+    /// [`PerfModel::path_day_parts`] that serves segments already in the
+    /// scratch's day memo (the access legs of an active pair are almost
+    /// always resident, kept current by the chosen-path realizes) and only
+    /// falls back to the slot tables for the rest — typically just the
+    /// pair-specific WAN segment. Misses are *not* inserted into the memo:
+    /// quadratically-keyed segments captured once per pair group would
+    /// bloat it past cache residency and slow every chosen-path probe.
+    /// Values are bit-identical to `path_day_parts` either way — memo
+    /// entries are themselves `seg_day_state` captures for the same day.
+    pub fn path_day_parts_scratch(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        day: u64,
+        scratch: &SampleScratch,
+    ) -> PathDayParts {
+        let path = self.segments_of(src, dst, option);
+        let mut segs = [SegDayState::default(); SegmentPath::MAX];
+        for (slot, seg) in segs.iter_mut().zip(path.segments()) {
+            *slot = match scratch.day_states.get(seg) {
+                Some(ds) if ds.day == day => *ds,
+                _ => self.seg_day_state(*seg, day),
+            };
+        }
+        PathDayParts {
+            src,
+            dst,
+            day,
+            path,
+            segs,
+        }
+    }
+
+    /// The path mean at instant `t` from captured day parts — bit-identical
+    /// to [`PerfModel::option_mean_scratch`] for the same path and day: the
+    /// same per-segment formula ([`PerfModel::mean_from_day`]), the same
+    /// left-folded chain, the same hop-cost expression.
+    pub fn mean_from_parts(&self, parts: &PathDayParts, t: SimTime) -> PathMetrics {
+        let mut acc = SegMetrics::default();
+        for s in &parts.segs[..parts.path.segments().len()] {
+            acc = acc.chain(&self.mean_from_day(s, t));
+        }
+        PathMetrics::new(
+            acc.rtt_ms + parts.path.hops() as f64 * self.knobs.relay_hop_cost_ms,
+            acc.loss_pct,
+            acc.jitter_ms,
+        )
+    }
+
+    /// [`PerfModel::mean_from_parts`] that serves segments already in the
+    /// scratch's *instant* memo. When the chosen path of the same call was
+    /// scored first at the same `t`, the pair's two access legs are memo
+    /// hits, so a direct-path baseline mean costs one `mean_from_day` (the
+    /// pair's WAN leg) plus the chain. Memo entries at instant `t` are
+    /// `mean_from_day` results over same-day captures of the same segment,
+    /// so hits are bit-identical to the recompute they replace.
+    pub fn mean_from_parts_scratch(
+        &self,
+        parts: &PathDayParts,
+        t: SimTime,
+        scratch: &SampleScratch,
+    ) -> PathMetrics {
+        if scratch.t != Some(t) {
+            return self.mean_from_parts(parts, t);
+        }
+        let mut acc = SegMetrics::default();
+        for (seg, s) in parts.path.segments().iter().zip(&parts.segs) {
+            let m = match scratch.seg_means.get(seg) {
+                Some(m) => *m,
+                None => self.mean_from_day(s, t),
+            };
+            acc = acc.chain(&m);
+        }
+        PathMetrics::new(
+            acc.rtt_ms + parts.path.hops() as f64 * self.knobs.relay_hop_cost_ms,
+            acc.loss_pct,
+            acc.jitter_ms,
+        )
+    }
+
+    /// The time-of-day half of [`PerfModel::segment_mean`]: pure stack math
+    /// over a captured [`SegDayState`]. The single home of the mean formula
+    /// — every caller goes through here, so cached day states are
+    /// bit-identical to fresh `segment_mean` calls by construction.
+    fn mean_from_day(&self, s: &SegDayState, t: SimTime) -> SegMetrics {
+        let k = &self.knobs;
+        // Diurnal load peaks at 20:00 local time at the segment midpoint.
+        let local = GeoPoint::new(0.0, s.lon_deg.clamp(-180.0, 180.0)).local_hour(t.hour_of_day());
+        let evening = 0.5 * (1.0 + ((local - 20.0) / 24.0 * std::f64::consts::TAU).cos());
+        let d = k.diurnal_amplitude * s.diurnal_sens * evening;
+
+        let episode_rtt = s.sev * k.episode_rtt_ms;
+        let loss_mult = 1.0 + s.sev * (k.episode_loss_mult - 1.0);
+        let jitter_mult = 1.0 + s.sev * (k.episode_jitter_mult - 1.0);
+
+        SegMetrics {
+            rtt_ms: s.rtt_ms + episode_rtt + 6.0 * d,
+            loss_pct: (s.loss_pct * loss_mult * (1.0 + 0.8 * d)).min(100.0),
+            jitter_ms: s.jitter_ms * jitter_mult * (1.0 + 0.8 * d),
+        }
     }
 
     /// Segments traversed by an option between `src` and `dst`, plus the
@@ -389,11 +521,12 @@ impl PerfModel {
             ),
             RelayOption::Transit(r1, r2) => {
                 // Pick the orientation with the shorter on-ramps: the managed
-                // network routes sensibly.
-                let d_fwd = self.as_pos[src.index()].distance_km(&self.relay_pos[r1.index()])
-                    + self.as_pos[dst.index()].distance_km(&self.relay_pos[r2.index()]);
-                let d_rev = self.as_pos[src.index()].distance_km(&self.relay_pos[r2.index()])
-                    + self.as_pos[dst.index()].distance_km(&self.relay_pos[r1.index()]);
+                // network routes sensibly. Distances come from the precomputed
+                // AS↔relay table (same haversine values, no trig per query).
+                let n = self.relay_pos.len();
+                let d = |a: AsId, r: RelayId| self.as_relay_km[a.index() * n + r.index()];
+                let d_fwd = d(src, r1) + d(dst, r2);
+                let d_rev = d(src, r2) + d(dst, r1);
                 let (rin, rout) = if d_fwd <= d_rev { (r1, r2) } else { (r2, r1) };
                 SegmentPath::new(
                     &[
@@ -444,10 +577,209 @@ impl PerfModel {
         rng: &mut StdRng,
     ) -> PathMetrics {
         let mean = self.option_mean(src, dst, option, t);
+        self.noise_around(mean, rng)
+    }
+
+    /// Like [`PerfModel::sample_option`] but reusing per-time segment means
+    /// from `scratch` — same draws, same result, amortized cost when a call
+    /// scores several options at one instant (they share access legs and
+    /// often relay legs). Draw-for-draw and bit-for-bit identical to the
+    /// scratch-free path, so mixing the two APIs cannot change a replay.
+    pub fn sample_option_scratch(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        t: SimTime,
+        rng: &mut StdRng,
+        scratch: &mut SampleScratch,
+    ) -> PathMetrics {
+        let mean = self.option_mean_scratch(src, dst, option, t, scratch);
+        self.noise_around(mean, rng)
+    }
+
+    /// Like [`PerfModel::option_mean`] but memoizing segment means in
+    /// `scratch` for the current instant. Values are bit-identical: the
+    /// memo caches `segment_mean` results (pure per `(segment, t)`) and the
+    /// chain still folds them in path order.
+    pub fn option_mean_scratch(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        t: SimTime,
+        scratch: &mut SampleScratch,
+    ) -> PathMetrics {
+        if scratch.t != Some(t) {
+            scratch.seg_means.clear();
+            scratch.t = Some(t);
+        }
+        let path = self.segments_of(src, dst, option);
+        let mut acc = SegMetrics::default();
+        for seg in path.segments() {
+            let m = match scratch.seg_means.get(seg) {
+                Some(m) => *m,
+                None => {
+                    // Two-level memo: a same-day hit serves the mean from the
+                    // scratch-resident day state (stack math only) instead of
+                    // re-reading the slot table and episode series.
+                    let m = match scratch.day_states.get(seg) {
+                        Some(ds) if ds.day == t.day() => self.mean_from_day(ds, t),
+                        _ => {
+                            let ds = self.seg_day_state(*seg, t.day());
+                            let m = self.mean_from_day(&ds, t);
+                            scratch.day_states.insert(*seg, ds);
+                            m
+                        }
+                    };
+                    scratch.seg_means.insert(*seg, m);
+                    m
+                }
+            };
+            acc = acc.chain(&m);
+        }
+        PathMetrics::new(
+            acc.rtt_ms + path.hops() as f64 * self.knobs.relay_hop_cost_ms,
+            acc.loss_pct,
+            acc.jitter_ms,
+        )
+    }
+
+    /// Draws one realized call over `option` together with a
+    /// common-random-numbers baseline realization of `baseline` at the same
+    /// instant, from one set of noise draws.
+    ///
+    /// The first returned value is draw-for-draw and bit-for-bit identical
+    /// to [`PerfModel::sample_option_scratch`] for `option` — mixing this
+    /// API into a replay cannot change any call outcome or the RNG stream.
+    /// The second applies the *same* multiplicative RTT/jitter factors, the
+    /// same scale-free gamma loss parts and the same spike event to the
+    /// baseline's mean, so the pair differs only through the two path means.
+    /// That is the textbook CRN pairing — the baseline shares the call's own
+    /// luck instead of drawing an independent realization — and it makes a
+    /// per-call quality-delta baseline cost segment-mean math only, with no
+    /// extra transcendental noise draws.
+    #[allow(clippy::too_many_arguments)] // mirrors the from_parts entry point
+    pub fn sample_option_paired_scratch(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        baseline: RelayOption,
+        t: SimTime,
+        rng: &mut StdRng,
+        scratch: &mut SampleScratch,
+    ) -> (PathMetrics, PathMetrics) {
+        let base = self.option_mean_scratch(src, dst, baseline, t, scratch);
+        let chosen = self.option_mean_scratch(src, dst, option, t, scratch);
+        self.noise_around_paired(chosen, base, rng)
+    }
+
+    /// [`PerfModel::sample_option_paired_scratch`] with the baseline's day
+    /// parts supplied by the caller — for hot loops that amortize the
+    /// baseline path's latent state across many calls of one pair (see
+    /// [`PerfModel::path_day_parts`]). The chosen path is scored *first* so
+    /// the baseline's mean can serve the pair's shared access legs from the
+    /// instant memo ([`PerfModel::mean_from_parts_scratch`]). Mean order
+    /// doesn't touch the RNG, and `parts` covering the pair's direct path
+    /// reproduces `option_mean_scratch` exactly, so this is bit-identical
+    /// to the plain paired call.
+    #[allow(clippy::too_many_arguments)] // the paired hot-path entry point
+    pub fn sample_option_paired_from_parts(
+        &self,
+        src: AsId,
+        dst: AsId,
+        option: RelayOption,
+        parts: &PathDayParts,
+        t: SimTime,
+        rng: &mut StdRng,
+        scratch: &mut SampleScratch,
+    ) -> (PathMetrics, PathMetrics) {
+        let chosen = self.option_mean_scratch(src, dst, option, t, scratch);
+        let base = self.mean_from_parts_scratch(parts, t, scratch);
+        self.noise_around_paired(chosen, base, rng)
+    }
+
+    /// CRN-paired form of [`PerfModel::noise_around`]: one set of draws,
+    /// applied to both means. The `chosen` result must stay bit-identical to
+    /// `noise_around(chosen, rng)` — every expression applied to `chosen`
+    /// below mirrors that path exactly, including the gamma fallback
+    /// branches and the left-associated `dv * scale * boost` order.
+    fn noise_around_paired(
+        &self,
+        chosen: PathMetrics,
+        baseline: PathMetrics,
+        rng: &mut StdRng,
+    ) -> (PathMetrics, PathMetrics) {
         let k = &self.knobs;
 
-        let rtt_noise = lognormal_mean(rng, 1.0, k.call_rtt_sigma);
-        let jitter_noise = lognormal_mean(rng, 1.0, k.call_jitter_sigma);
+        let rtt_noise = self.rtt_noise.map_or(1.0, |d| d.sample(rng));
+        let jitter_noise = self.jitter_noise.map_or(1.0, |d| d.sample(rng));
+
+        let (loss, base_loss) = if chosen.loss_pct > 1e-9 {
+            match Gamma::new(k.call_loss_shape, chosen.loss_pct / k.call_loss_shape) {
+                Ok(d) => {
+                    // `Gamma::sample` is exactly `dv * scale * boost`; reusing
+                    // the scale-free parts under the baseline's scale is the
+                    // CRN share.
+                    let (dv, boost) = d.sample_parts(rng);
+                    let loss = dv * (chosen.loss_pct / k.call_loss_shape) * boost;
+                    let base_loss = if baseline.loss_pct > 1e-9 {
+                        dv * (baseline.loss_pct / k.call_loss_shape) * boost
+                    } else {
+                        0.0
+                    };
+                    (loss, base_loss)
+                }
+                // Degenerate shape knob: both sides fall back to their means,
+                // mirroring `noise_around`'s draw-free fallback.
+                Err(_) => (chosen.loss_pct, baseline.loss_pct),
+            }
+        } else {
+            // A loss-free chosen path draws no gamma, so there are no parts
+            // to share: the baseline keeps its spike-free mean loss.
+            (
+                0.0,
+                if baseline.loss_pct > 1e-9 {
+                    baseline.loss_pct
+                } else {
+                    0.0
+                },
+            )
+        };
+
+        let (spike_mult, spike_loss) = if rng.random::<f64>() < k.call_spike_prob {
+            (
+                rng.random_range(1.5..k.call_spike_mult.max(1.6)),
+                rng.random_range(0.5..3.0),
+            )
+        } else {
+            (1.0, 0.0)
+        };
+
+        (
+            PathMetrics::new(
+                chosen.rtt_ms * rtt_noise * spike_mult,
+                loss + spike_loss,
+                chosen.jitter_ms * jitter_noise * spike_mult,
+            ),
+            PathMetrics::new(
+                baseline.rtt_ms * rtt_noise * spike_mult,
+                base_loss + spike_loss,
+                baseline.jitter_ms * jitter_noise * spike_mult,
+            ),
+        )
+    }
+
+    /// Applies the per-call noise model around an option mean: RTT/jitter
+    /// noise from the prebuilt unit-mean lognormals, Gamma loss, transient
+    /// spikes. One code path shared by both sampling APIs so the draw
+    /// sequence is identical.
+    fn noise_around(&self, mean: PathMetrics, rng: &mut StdRng) -> PathMetrics {
+        let k = &self.knobs;
+
+        let rtt_noise = self.rtt_noise.map_or(1.0, |d| d.sample(rng));
+        let jitter_noise = self.jitter_noise.map_or(1.0, |d| d.sample(rng));
 
         let loss = if mean.loss_pct > 1e-9 {
             // Degenerate knob values (shape ≤ 0) fall back to the mean
@@ -483,6 +815,111 @@ impl PerfModel {
     pub fn backbone_metrics(&self, r1: RelayId, r2: RelayId) -> PathMetrics {
         let m = self.segment_mean(Segment::backbone(r1, r2), SimTime::ZERO);
         PathMetrics::new(m.rtt_ms, m.loss_pct, m.jitter_ms)
+    }
+}
+
+/// Reusable memo for scoring several options at one instant (one call's
+/// candidate set, a racing stage, an oracle scan). Caches `segment_mean`
+/// results keyed by segment for the current [`SimTime`]; moving to a new
+/// instant invalidates the cache automatically. Candidate paths share their
+/// access legs (and often relay legs), so a k-option scan touches each
+/// distinct segment's episode/diurnal math once instead of per option.
+///
+/// Purely a cost move: cached values are bit-identical to fresh
+/// `segment_mean` calls, and no RNG state lives here.
+#[derive(Debug, Clone, Default)]
+pub struct SampleScratch {
+    seg_means: HashMap<Segment, SegMetrics, std::hash::BuildHasherDefault<SegMemoHasher>>,
+    /// Day-scoped latent state per segment. Unlike `seg_means` this survives
+    /// moving to a new instant (most calls advance within the same simulated
+    /// day), so a trace that revisits a segment pays the slot-table and
+    /// episode-series reads once per day instead of once per call. Entries
+    /// carry their day and are replaced in place when it rolls over; memory
+    /// is bounded by the number of distinct segments the worker touches.
+    day_states: HashMap<Segment, SegDayState, std::hash::BuildHasherDefault<SegMemoHasher>>,
+    t: Option<SimTime>,
+}
+
+/// One path's captured day-scoped latent parts — see
+/// [`PerfModel::path_day_parts`]. Holds the `(src, dst, day)` key it was
+/// captured for so callers caching one of these can check
+/// [`PathDayParts::covers`] before reuse.
+#[derive(Debug, Clone, Copy)]
+pub struct PathDayParts {
+    src: AsId,
+    dst: AsId,
+    day: u64,
+    /// The captured path itself — keeps the segment keys alongside their
+    /// day states so memo-probing consumers can look means up by segment.
+    path: SegmentPath,
+    segs: [SegDayState; SegmentPath::MAX],
+}
+
+impl PathDayParts {
+    /// Whether these parts were captured for exactly this endpoint pair and
+    /// simulated day — the precondition for
+    /// [`PerfModel::mean_from_parts`] to reproduce `option_mean_scratch`.
+    #[inline]
+    pub fn covers(&self, src: AsId, dst: AsId, day: u64) -> bool {
+        self.src == src && self.dst == dst && self.day == day
+    }
+}
+
+/// Day-scoped slice of one segment's latent state: everything
+/// [`PerfModel::segment_mean`] reads except the intra-day diurnal factor.
+/// See [`PerfModel::seg_day_state`].
+#[derive(Debug, Clone, Copy, Default)]
+struct SegDayState {
+    day: u64,
+    sev: f64,
+    rtt_ms: f64,
+    loss_pct: f64,
+    jitter_ms: f64,
+    diurnal_sens: f64,
+    lon_deg: f64,
+}
+
+/// Multiply–rotate hasher for the scratch memo. SipHash (the `HashMap`
+/// default) costs tens of nanoseconds per probe, which is measurable at
+/// three lookups per sampled option; segment keys are a couple of small
+/// integers, so a splitmix-finished mix is plenty. Only memo *performance*
+/// depends on this hasher — hits return cached values that are bit-identical
+/// either way, and nothing iterates the map.
+#[derive(Debug, Clone, Default)]
+struct SegMemoHasher(u64);
+
+impl std::hash::Hasher for SegMemoHasher {
+    fn finish(&self) -> u64 {
+        seed::splitmix64(self.0)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(29) ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+impl SampleScratch {
+    /// An empty scratch. One per worker/thread; reuse across calls.
+    pub fn new() -> SampleScratch {
+        SampleScratch::default()
     }
 }
 
@@ -580,6 +1017,197 @@ mod tests {
                 loss_mean >= mean.loss_pct * 0.7 && loss_mean <= mean.loss_pct * 1.3 + 0.1,
                 "loss sample mean {loss_mean} vs {}",
                 mean.loss_pct
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_sampling_is_bit_identical_to_plain_sampling() {
+        let w = world();
+        let mut scratch = SampleScratch::new();
+        let options = [
+            RelayOption::Direct,
+            RelayOption::Bounce(RelayId(1)),
+            RelayOption::Transit(RelayId(0), RelayId(2)),
+            RelayOption::Transit(RelayId(3), RelayId(1)),
+        ];
+        // Interleave times so the scratch invalidation path is exercised,
+        // and compare full RNG streams, not just single draws.
+        let mut plain_rng = StdRng::seed_from_u64(99);
+        let mut scratch_rng = StdRng::seed_from_u64(99);
+        for day in [1u64, 4, 1, 9] {
+            let t = SimTime::from_days(day);
+            for &opt in &options {
+                assert_eq!(
+                    w.perf().option_mean(AsId(0), AsId(7), opt, t),
+                    w.perf()
+                        .option_mean_scratch(AsId(0), AsId(7), opt, t, &mut scratch),
+                    "means diverge for {opt:?} day {day}"
+                );
+                let a = w
+                    .perf()
+                    .sample_option(AsId(0), AsId(7), opt, t, &mut plain_rng);
+                let b = w.perf().sample_option_scratch(
+                    AsId(0),
+                    AsId(7),
+                    opt,
+                    t,
+                    &mut scratch_rng,
+                    &mut scratch,
+                );
+                assert_eq!(
+                    a.rtt_ms.to_bits(),
+                    b.rtt_ms.to_bits(),
+                    "rtt diverges for {opt:?} day {day}"
+                );
+                assert_eq!(a.loss_pct.to_bits(), b.loss_pct.to_bits());
+                assert_eq!(a.jitter_ms.to_bits(), b.jitter_ms.to_bits());
+            }
+        }
+        // And the two RNGs must have consumed identical draw counts.
+        assert_eq!(
+            plain_rng.random::<u64>(),
+            scratch_rng.random::<u64>(),
+            "draw streams desynced"
+        );
+    }
+
+    #[test]
+    fn paired_sampling_keeps_chosen_bit_identical_and_streams_synced() {
+        let w = world();
+        let mut scratch_a = SampleScratch::new();
+        let mut scratch_b = SampleScratch::new();
+        let mut rng_a = StdRng::seed_from_u64(123);
+        let mut rng_b = StdRng::seed_from_u64(123);
+        let options = [
+            RelayOption::Direct,
+            RelayOption::Bounce(RelayId(2)),
+            RelayOption::Transit(RelayId(0), RelayId(3)),
+        ];
+        for day in [0u64, 3, 3, 8] {
+            let t = SimTime::from_days(day);
+            for &opt in &options {
+                let plain = w.perf().sample_option_scratch(
+                    AsId(1),
+                    AsId(6),
+                    opt,
+                    t,
+                    &mut rng_a,
+                    &mut scratch_a,
+                );
+                let (chosen, base) = w.perf().sample_option_paired_scratch(
+                    AsId(1),
+                    AsId(6),
+                    opt,
+                    RelayOption::Direct,
+                    t,
+                    &mut rng_b,
+                    &mut scratch_b,
+                );
+                assert_eq!(
+                    plain.rtt_ms.to_bits(),
+                    chosen.rtt_ms.to_bits(),
+                    "chosen rtt diverges for {opt:?} day {day}"
+                );
+                assert_eq!(plain.loss_pct.to_bits(), chosen.loss_pct.to_bits());
+                assert_eq!(plain.jitter_ms.to_bits(), chosen.jitter_ms.to_bits());
+                assert!(base.is_finite());
+                if opt == RelayOption::Direct {
+                    // Pairing an option with itself must be exact, not close.
+                    assert_eq!(chosen, base);
+                }
+            }
+        }
+        // The paired API must consume exactly the draws the plain API does.
+        assert_eq!(
+            rng_a.random::<u64>(),
+            rng_b.random::<u64>(),
+            "draw streams desynced"
+        );
+    }
+
+    #[test]
+    fn path_day_parts_reproduce_option_means_exactly() {
+        // The pair-group baseline cache rests on this identity: a mean
+        // computed from captured day parts must be bit-for-bit what
+        // `option_mean_scratch` returns at any instant of that day.
+        let w = world();
+        let mut scratch = SampleScratch::new();
+        let options = [
+            RelayOption::Direct,
+            RelayOption::Bounce(RelayId(1)),
+            RelayOption::Transit(RelayId(2), RelayId(0)),
+        ];
+        for day in [0u64, 2, 7] {
+            for &opt in &options {
+                let parts = w.perf().path_day_parts(AsId(3), AsId(9), opt, day);
+                assert!(parts.covers(AsId(3), AsId(9), day));
+                assert!(!parts.covers(AsId(3), AsId(9), day + 1));
+                assert!(!parts.covers(AsId(9), AsId(3), day));
+                for hour in [0u64, 5, 13, 23] {
+                    let t = SimTime(day * 86_400 + hour * 3_600 + 17);
+                    let from_parts = w.perf().mean_from_parts(&parts, t);
+                    // The memo-served capture must agree whatever mix of
+                    // day-memo hits and slot fallbacks it resolved from.
+                    let via_scratch =
+                        w.perf()
+                            .path_day_parts_scratch(AsId(3), AsId(9), opt, day, &scratch);
+                    assert_eq!(
+                        w.perf().mean_from_parts(&via_scratch, t),
+                        from_parts,
+                        "scratch-served parts diverge for {opt:?} day {day} hour {hour}"
+                    );
+                    let fresh =
+                        w.perf()
+                            .option_mean_scratch(AsId(3), AsId(9), opt, t, &mut scratch);
+                    assert_eq!(
+                        from_parts.rtt_ms.to_bits(),
+                        fresh.rtt_ms.to_bits(),
+                        "rtt diverges for {opt:?} day {day} hour {hour}"
+                    );
+                    assert_eq!(from_parts.loss_pct.to_bits(), fresh.loss_pct.to_bits());
+                    assert_eq!(from_parts.jitter_ms.to_bits(), fresh.jitter_ms.to_bits());
+                    // After the fresh scan the instant memo holds this path's
+                    // segment means; the memo-probing mean must serve them
+                    // (and miss-fallback segments alike) bit-identically.
+                    assert_eq!(
+                        w.perf().mean_from_parts_scratch(&parts, t, &scratch),
+                        from_parts,
+                        "memo-served mean diverges for {opt:?} day {day} hour {hour}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paired_baseline_shares_the_calls_noise() {
+        // CRN pairing: both realizations carry the same multiplicative luck,
+        // so the rtt ratio to the respective means is identical per call.
+        let w = world();
+        let t = SimTime::from_days(2);
+        let opt = RelayOption::Bounce(RelayId(1));
+        let mean_c = w.perf().option_mean(AsId(0), AsId(7), opt, t);
+        let mean_b = w
+            .perf()
+            .option_mean(AsId(0), AsId(7), RelayOption::Direct, t);
+        let mut scratch = SampleScratch::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let (c, b) = w.perf().sample_option_paired_scratch(
+                AsId(0),
+                AsId(7),
+                opt,
+                RelayOption::Direct,
+                t,
+                &mut rng,
+                &mut scratch,
+            );
+            let rc = c.rtt_ms / mean_c.rtt_ms;
+            let rb = b.rtt_ms / mean_b.rtt_ms;
+            assert!(
+                (rc - rb).abs() < 1e-12 * rc.abs().max(1.0),
+                "rtt noise not shared: {rc} vs {rb}"
             );
         }
     }

@@ -1,21 +1,21 @@
 //! Exhaustive-interleaving harness for the segment-state memo tables.
 //!
-//! `PerfModel` memoizes per-segment latent state on first touch: dense
-//! families (access, backbone) in `OnceLock` slot tables, sparse families
-//! (direct-WAN, AS→relay) in a sharded double-checked `RwLock<HashMap>`.
-//! The contract under concurrent first touch is **build exactly once,
-//! observe identical state** — a duplicated build would burn a second RNG
-//! stream and a torn read would leak schedule order into results.
+//! `PerfModel` memoizes per-segment latent state on first touch: all four
+//! families (access, backbone, direct-WAN, AS→relay) live in pre-sized
+//! `OnceLock` slot tables, indexed by their dense id/pair codes. The
+//! contract under concurrent first touch is **build exactly once, observe
+//! identical state** — a duplicated build would burn a second RNG stream
+//! and a torn read would leak schedule order into results.
 //!
 //! Two layers of evidence:
 //!
 //! 1. [`two_thread_first_touch_schedules_are_exhaustive`] enumerates every
 //!    interleaving of two logical threads each performing (build, read)
-//!    against the same segment. Both the `OnceLock::get_or_init` and the
-//!    shard-locked insert are single atomic protocol steps — any real
-//!    schedule is equivalent to one sequential order of those steps — so
-//!    running the six orders sequentially explores the whole coarse-grained
-//!    schedule space for each segment family.
+//!    against the same segment. `OnceLock::get_or_init` is a single atomic
+//!    protocol step — any real schedule is equivalent to one sequential
+//!    order of those steps — so running the six orders sequentially
+//!    explores the whole coarse-grained schedule space for each segment
+//!    family.
 //! 2. [`racing_first_touch_builds_once_per_segment`] races real threads
 //!    through the same first touch behind a barrier. This is the test the
 //!    nightly ThreadSanitizer workflow runs under `-Zsanitizer=thread`.
@@ -30,8 +30,7 @@ use via_model::ids::{AsId, RelayId};
 use via_model::time::SimTime;
 use via_netsim::{SegMetrics, Segment, World, WorldConfig};
 
-/// One segment per memo family: dense access slot, dense backbone slot,
-/// sparse direct-WAN shard entry, sparse relay-WAN shard entry.
+/// One segment per memo family: each lives in its own dense slot table.
 fn family_segments() -> Vec<(&'static str, Segment)> {
     vec![
         ("access/OnceLock", Segment::Access(AsId(1))),
@@ -39,8 +38,8 @@ fn family_segments() -> Vec<(&'static str, Segment)> {
             "backbone/OnceLock",
             Segment::backbone(RelayId(0), RelayId(2)),
         ),
-        ("direct-wan/sharded", Segment::direct(AsId(0), AsId(3))),
-        ("relay-wan/sharded", Segment::RelayWan(AsId(2), RelayId(1))),
+        ("direct-wan/OnceLock", Segment::direct(AsId(0), AsId(3))),
+        ("relay-wan/OnceLock", Segment::RelayWan(AsId(2), RelayId(1))),
     ]
 }
 

@@ -9,8 +9,15 @@
 //! the recorded values, they never round) qualify; floating-point *sums* do
 //! not — `(a + b) + c != a + (b + c)` in general — so this histogram
 //! deliberately stores no sum and derives no mean.
+//!
+//! The record path is built for the replay engine's per-call loop: bucket
+//! counts live in a fixed inline array (no heap indirection), and the five
+//! preset bound sets resolve through a precomputed [`BucketLut`] so the
+//! common-case bucket lookup is O(1) instead of a `partition_point` scan
+//! per recorded value.
 
 use serde::{Deserialize, Serialize};
+use std::sync::LazyLock;
 
 /// A named, fixed set of finite bucket upper bounds (strictly increasing).
 /// The histogram adds one implicit overflow bucket above the last bound, so
@@ -20,9 +27,16 @@ use serde::{Deserialize, Serialize};
 pub struct Buckets {
     /// Stable identifier, recorded in snapshots next to the bounds.
     pub name: &'static str,
-    /// Finite upper bounds, strictly increasing.
+    /// Finite upper bounds, strictly increasing. At most [`MAX_BOUNDS`]
+    /// entries; longer bound sets lose resolution past the cap (the tail
+    /// folds into the overflow bucket).
     pub bounds: &'static [f64],
 }
+
+/// Largest supported number of finite bounds: bucket counts live inline in
+/// `[u64; MAX_BOUNDS + 1]`, sized for the widest preset (LATENCY_MS, 19
+/// bounds) with headroom for custom test presets.
+pub const MAX_BOUNDS: usize = 23;
 
 /// One-way network latency / RTT, milliseconds.
 pub const LATENCY_MS: Buckets = Buckets {
@@ -68,45 +82,218 @@ pub const FRACTION: Buckets = Buckets {
     ],
 };
 
+/// Number of cells in a [`BucketLut`]: one per value of the top 12 bits of
+/// the monotone bit key (sign + the full 11-bit exponent), so each cell
+/// covers exactly one sign/binade and at most a handful of bounds.
+const LUT_CELLS: usize = 1 << 12;
+
+/// Precomputed bucket lookup table for one bound set.
+///
+/// `f64` total order maps monotonically onto `u64` order via the classic
+/// key transform (negative values bit-flipped, non-negative values get the
+/// sign bit set). Indexing the top 12 key bits yields the sign + exponent
+/// cell of the value; per cell the table stores the bucket range
+/// `[lo, hi]` that the cell's values can fall into. Most cells contain no
+/// bound, so `lo == hi` answers immediately; cells that straddle bounds
+/// narrow to a short scan over `bounds[lo..hi]` using real float compares,
+/// which keeps the result bit-for-bit identical to the full
+/// `partition_point` scan (including the `-0.0 == 0.0` edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketLut {
+    lo: [u8; LUT_CELLS],
+    hi: [u8; LUT_CELLS],
+}
+
+/// Monotone bit key: `a <= b` (f64 total order) iff `key(a) <= key(b)`.
+#[inline]
+fn order_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`order_key`].
+fn order_key_inv(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k ^ (1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+impl BucketLut {
+    /// Builds the table for one bound set by scanning each cell's endpoint
+    /// values with the reference `partition_point` implementation.
+    fn build(bounds: &[f64]) -> BucketLut {
+        debug_assert!(
+            bounds.iter().all(|b| b.to_bits() != (-0.0f64).to_bits()),
+            "a -0.0 bound would split a LUT cell boundary"
+        );
+        let scan = |v: f64| bounds.partition_point(|b| *b < v);
+        let mut lo = [0u8; LUT_CELLS];
+        let mut hi = [0u8; LUT_CELLS];
+        for (cell, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+            let c = cell as u64;
+            // The first and last cells contain the non-finite bit patterns
+            // (±inf, NaN payloads); leave them on the full-scan path so the
+            // NaN result matches `partition_point` exactly.
+            if cell == 0 || cell == LUT_CELLS - 1 {
+                *l = 0;
+                *h = bounds.len().min(MAX_BOUNDS) as u8;
+                continue;
+            }
+            // Within a cell all values share a sign, so key order equals
+            // float order and the cell's bucket range is spanned by its
+            // smallest and largest values.
+            let first = order_key_inv(c << 52);
+            let last = order_key_inv((c << 52) | 0x000F_FFFF_FFFF_FFFF);
+            *l = scan(first).min(MAX_BOUNDS) as u8;
+            *h = scan(last).min(MAX_BOUNDS) as u8;
+        }
+        BucketLut { lo, hi }
+    }
+
+    /// O(1)-amortized bucket lookup; exact for every `f64` including ±inf
+    /// and NaN (which fall through to the narrowed scan).
+    #[inline]
+    pub fn bucket_of(&self, bounds: &[f64], v: f64) -> usize {
+        let cell = (order_key(v) >> 52) as usize;
+        let lo = usize::from(self.lo[cell]);
+        let hi = usize::from(self.hi[cell]);
+        if lo == hi {
+            return lo;
+        }
+        // Narrowed scan with real float compares: `bounds[..lo]` are all
+        // `< v` and `bounds[hi..]` are all `>= v` by construction, so only
+        // the straddled range needs checking.
+        let mut idx = lo;
+        while idx < hi && bounds[idx] < v {
+            idx += 1;
+        }
+        idx
+    }
+}
+
+static LATENCY_MS_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(LATENCY_MS.bounds));
+static MOS_DELTA_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(MOS_DELTA.bounds));
+static CI_WIDTH_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(CI_WIDTH.bounds));
+static REGRET_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(REGRET.bounds));
+static FRACTION_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(FRACTION.bounds));
+
+/// Resolves the precomputed LUT for a preset bound set, `None` for custom
+/// bounds (which keep the scan path). Matched by preset name with the
+/// bounds double-checked, so a shadowed name cannot misbucket.
+fn lut_for(buckets: &Buckets) -> Option<&'static BucketLut> {
+    let (preset, lut): (&Buckets, &'static LazyLock<BucketLut>) = match buckets.name {
+        "latency_ms" => (&LATENCY_MS, &LATENCY_MS_LUT),
+        "mos_delta" => (&MOS_DELTA, &MOS_DELTA_LUT),
+        "ci_width" => (&CI_WIDTH, &CI_WIDTH_LUT),
+        "regret" => (&REGRET, &REGRET_LUT),
+        "fraction" => (&FRACTION, &FRACTION_LUT),
+        _ => return None,
+    };
+    (buckets.bounds == preset.bounds).then(|| &**lut)
+}
+
 impl Buckets {
     /// The bucket index `v` falls into: the first bucket whose upper bound is
     /// `>= v`, or the overflow bucket. Total over all finite `f64` and
     /// monotone: `v1 <= v2` implies `bucket_of(v1) <= bucket_of(v2)`.
+    /// Preset bound sets resolve through their precomputed [`BucketLut`];
+    /// custom bounds fall back to [`Buckets::bucket_of_scan`].
     pub fn bucket_of(&self, v: f64) -> usize {
+        match lut_for(self) {
+            Some(lut) => lut.bucket_of(self.bounds, v),
+            None => self.bucket_of_scan(v),
+        }
+    }
+
+    /// Reference implementation: a binary-search scan over the bounds. The
+    /// LUT path must agree with this for every `f64` (property-tested in
+    /// `tests/hist_props.rs`).
+    pub fn bucket_of_scan(&self, v: f64) -> usize {
         self.bounds.partition_point(|b| *b < v)
+    }
+
+    /// The precomputed LUT for this bound set, if it is one of the presets.
+    pub fn lut(&self) -> Option<&'static BucketLut> {
+        lut_for(self)
+    }
+
+    /// Number of buckets (`bounds + 1` overflow), clamped to the inline
+    /// capacity.
+    fn n_buckets(&self) -> usize {
+        self.bounds.len().min(MAX_BOUNDS) + 1
     }
 }
 
-/// A fixed-bucket histogram: `u64` bucket counts plus exact extremes.
-#[derive(Debug, Clone, PartialEq)]
+/// A fixed-bucket histogram: inline `u64` bucket counts plus exact extremes
+/// and a conservation counter for rejected non-finite values.
+#[derive(Debug, Clone)]
 pub struct Histogram {
     buckets: Buckets,
-    counts: Vec<u64>,
+    /// Resolved once at construction so the record path never re-matches
+    /// the preset name.
+    lut: Option<&'static BucketLut>,
+    counts: [u64; MAX_BOUNDS + 1],
+    n_buckets: usize,
     count: u64,
+    dropped_nonfinite: u64,
     min: f64,
     max: f64,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        // `lut` is derived from `buckets`; comparing it would be redundant.
+        self.buckets == other.buckets
+            && self.counts[..self.n_buckets] == other.counts[..other.n_buckets]
+            && self.count == other.count
+            && self.dropped_nonfinite == other.dropped_nonfinite
+            && self.min.to_bits() == other.min.to_bits()
+            && self.max.to_bits() == other.max.to_bits()
+    }
 }
 
 impl Histogram {
     /// An empty histogram over the given bucket preset.
     pub fn new(buckets: Buckets) -> Histogram {
+        debug_assert!(
+            buckets.bounds.len() <= MAX_BOUNDS,
+            "bucket preset {} exceeds the inline capacity ({} bounds > {MAX_BOUNDS})",
+            buckets.name,
+            buckets.bounds.len()
+        );
         Histogram {
             buckets,
-            counts: vec![0; buckets.bounds.len() + 1],
+            lut: lut_for(&buckets),
+            counts: [0; MAX_BOUNDS + 1],
+            n_buckets: buckets.n_buckets(),
             count: 0,
+            dropped_nonfinite: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
         }
     }
 
-    /// Records one value. Non-finite values are ignored: they carry no
-    /// information a bucket could hold, and letting NaN reach `min`/`max`
-    /// would poison the deterministic extremes.
+    /// Records one value. Non-finite values carry no information a bucket
+    /// could hold and would poison the deterministic extremes, so they are
+    /// rejected — but *counted* in [`Histogram::dropped_nonfinite`] so
+    /// recorded-vs-offered totals stay auditable.
+    #[inline]
     pub fn record(&mut self, v: f64) {
         if !v.is_finite() {
+            self.dropped_nonfinite += 1;
             return;
         }
-        self.counts[self.buckets.bucket_of(v)] += 1;
+        let idx = match self.lut {
+            Some(lut) => lut.bucket_of(self.buckets.bounds, v),
+            None => self.buckets.bucket_of_scan(v),
+        };
+        self.counts[idx.min(self.n_buckets - 1)] += 1;
         self.count += 1;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -119,7 +306,7 @@ impl Histogram {
     /// operand's bucket counts are then folded into the overflow bucket so
     /// the total count stays conserved (and a debug build asserts).
     pub fn merge(&mut self, other: &Histogram) {
-        if other.count == 0 {
+        if other.count == 0 && other.dropped_nonfinite == 0 {
             return;
         }
         debug_assert_eq!(
@@ -127,20 +314,31 @@ impl Histogram {
             "merging histograms with different bucket presets"
         );
         if self.buckets.bounds == other.buckets.bounds {
-            for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for (a, b) in self.counts[..self.n_buckets]
+                .iter_mut()
+                .zip(&other.counts[..other.n_buckets])
+            {
                 *a += *b;
             }
-        } else if let Some(last) = self.counts.last_mut() {
-            *last += other.count;
+        } else {
+            self.counts[self.n_buckets - 1] += other.count;
         }
         self.count += other.count;
+        self.dropped_nonfinite += other.dropped_nonfinite;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
 
-    /// Total number of recorded values.
+    /// Total number of recorded (finite) values.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of offered values rejected for being non-finite (NaN, ±inf).
+    /// `count + dropped_nonfinite` equals the number of `record` calls, and
+    /// the sum is conserved across merges.
+    pub fn dropped_nonfinite(&self) -> u64 {
+        self.dropped_nonfinite
     }
 
     /// Exact smallest recorded value, if any.
@@ -160,7 +358,7 @@ impl Histogram {
 
     /// Raw bucket counts (`bounds.len() + 1` entries, overflow last).
     pub fn counts(&self) -> &[u64] {
-        &self.counts
+        &self.counts[..self.n_buckets]
     }
 
     /// A closed interval guaranteed to contain the `q`-quantile of the
@@ -175,8 +373,8 @@ impl Histogram {
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
-        let mut idx = self.counts.len() - 1;
-        for (i, &c) in self.counts.iter().enumerate() {
+        let mut idx = self.n_buckets - 1;
+        for (i, &c) in self.counts().iter().enumerate() {
             seen += c;
             if seen >= rank {
                 idx = i;
@@ -212,6 +410,11 @@ pub struct HistogramSnapshot {
     pub counts: Vec<u64>,
     /// Total recorded values.
     pub count: u64,
+    /// Offered values rejected as non-finite (`count + dropped_nonfinite`
+    /// = offered). Defaults to 0 when absent, so snapshots written before
+    /// the counter existed still deserialize.
+    #[serde(default)]
+    pub dropped_nonfinite: u64,
     /// Exact smallest recorded value (0 when empty).
     pub min: f64,
     /// Exact largest recorded value (0 when empty).
@@ -223,9 +426,10 @@ impl HistogramSnapshot {
         HistogramSnapshot {
             name: name.to_string(),
             buckets: h.buckets.name.to_string(),
-            bounds: h.buckets.bounds.to_vec(),
-            counts: h.counts.clone(),
+            bounds: h.buckets.bounds[..h.n_buckets - 1].to_vec(),
+            counts: h.counts().to_vec(),
             count: h.count,
+            dropped_nonfinite: h.dropped_nonfinite,
             min: h.min().unwrap_or(0.0),
             max: h.max().unwrap_or(0.0),
         }
@@ -251,6 +455,55 @@ mod tests {
     }
 
     #[test]
+    fn presets_resolve_a_lut_and_custom_bounds_do_not() {
+        for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION] {
+            assert!(b.lut().is_some(), "{} should have a LUT", b.name);
+        }
+        let custom = Buckets {
+            name: "t",
+            bounds: &[1.0, 2.0],
+        };
+        assert!(custom.lut().is_none());
+        // A shadowed preset name with different bounds must not borrow the
+        // preset's LUT.
+        let shadow = Buckets {
+            name: "latency_ms",
+            bounds: &[1.0, 2.0],
+        };
+        assert!(shadow.lut().is_none());
+        assert_eq!(shadow.bucket_of(1.5), 1);
+    }
+
+    #[test]
+    fn lut_agrees_with_scan_on_edges_and_nonfinite() {
+        for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION] {
+            for &bound in b.bounds {
+                for v in [
+                    bound,
+                    f64::from_bits(bound.to_bits().wrapping_sub(1)),
+                    f64::from_bits(bound.to_bits().wrapping_add(1)),
+                    -bound,
+                ] {
+                    assert_eq!(b.bucket_of(v), b.bucket_of_scan(v), "{} at {v:e}", b.name);
+                }
+            }
+            for v in [
+                0.0,
+                -0.0,
+                f64::MIN_POSITIVE,
+                -f64::MIN_POSITIVE,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::NAN,
+                f64::MAX,
+                f64::MIN,
+            ] {
+                assert_eq!(b.bucket_of(v), b.bucket_of_scan(v), "{} at {v:e}", b.name);
+            }
+        }
+    }
+
+    #[test]
     fn record_and_extremes() {
         let mut h = Histogram::new(LATENCY_MS);
         assert_eq!(h.count(), 0);
@@ -258,9 +511,10 @@ mod tests {
         for v in [3.0, 80.0, 80.0, 10_000.0] {
             h.record(v);
         }
-        h.record(f64::NAN); // ignored
-        h.record(f64::INFINITY); // ignored
+        h.record(f64::NAN); // rejected, but counted
+        h.record(f64::INFINITY); // rejected, but counted
         assert_eq!(h.count(), 4);
+        assert_eq!(h.dropped_nonfinite(), 2);
         assert_eq!(h.min(), Some(3.0));
         assert_eq!(h.max(), Some(10_000.0));
         assert_eq!(h.counts().iter().sum::<u64>(), 4);
@@ -271,6 +525,7 @@ mod tests {
     fn preset_bounds_are_strictly_increasing() {
         for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION] {
             assert!(!b.bounds.is_empty(), "{}", b.name);
+            assert!(b.bounds.len() <= MAX_BOUNDS, "{}", b.name);
             for w in b.bounds.windows(2) {
                 assert!(w[0] < w[1], "{}: {:?}", b.name, w);
             }
@@ -317,5 +572,21 @@ mod tests {
         let before = merged.clone();
         merged.merge(&Histogram::new(CI_WIDTH));
         assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn merge_carries_dropped_nonfinite_even_from_otherwise_empty() {
+        let mut a = Histogram::new(REGRET);
+        a.record(1.0);
+        let mut b = Histogram::new(REGRET);
+        b.record(f64::NAN);
+        assert_eq!(b.count(), 0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 1);
+        assert_eq!(merged.dropped_nonfinite(), 1, "drop count must merge");
+        let snap = HistogramSnapshot::of("r", &merged);
+        assert_eq!(snap.dropped_nonfinite, 1);
+        assert_eq!(snap.count, 1);
     }
 }

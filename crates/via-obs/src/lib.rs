@@ -26,7 +26,8 @@ mod snapshot;
 mod time;
 
 pub use hist::{
-    Buckets, Histogram, HistogramSnapshot, CI_WIDTH, FRACTION, LATENCY_MS, MOS_DELTA, REGRET,
+    BucketLut, Buckets, Histogram, HistogramSnapshot, CI_WIDTH, FRACTION, LATENCY_MS, MAX_BOUNDS,
+    MOS_DELTA, REGRET,
 };
 pub use prom::to_prometheus;
 pub use snapshot::{Counter, MetricsSnapshot, SpanEvent, SpanField, Timing, TimingEntry};
@@ -150,6 +151,34 @@ impl MetricSink {
         }
     }
 
+    /// Folds a standalone histogram into the histogram `name`, creating it
+    /// by clone on first use. Equivalent to replaying every `observe` call
+    /// the histogram absorbed.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        if let Some(mine) = self.hists.get_mut(name) {
+            mine.merge(h);
+        } else {
+            self.hists.insert(name.to_string(), h.clone());
+        }
+    }
+
+    /// Folds a [`HotSink`]'s slots into this sink under the schema's names.
+    /// Untouched slots (zero counters, empty histograms) are skipped, so the
+    /// result is identical to a sink whose counters/histograms were created
+    /// lazily on first record — byte-identical snapshots either way.
+    pub fn fold_hot(&mut self, schema: &HotSchema, hot: &HotSink) {
+        for (name, &v) in schema.counters.iter().zip(&hot.counters) {
+            if v > 0 {
+                self.inc(name, v);
+            }
+        }
+        for ((name, _), h) in schema.hists.iter().zip(&hot.hists) {
+            if h.count() > 0 || h.dropped_nonfinite() > 0 {
+                self.merge_histogram(name, h);
+            }
+        }
+    }
+
     /// The current value of a counter (0 if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -195,6 +224,90 @@ impl MetricSink {
                     timing: *t,
                 })
                 .collect(),
+        }
+    }
+}
+
+/// A fixed registry of hot-path metrics, built once before the hot loop.
+/// Each registered counter/histogram gets a dense slot index; workers record
+/// through [`HotSink`]s cut from the schema and the barrier folds them back
+/// into a [`MetricSink`] by name via [`MetricSink::fold_hot`].
+#[derive(Debug, Clone, Default)]
+pub struct HotSchema {
+    counters: Vec<&'static str>,
+    hists: Vec<(&'static str, Buckets)>,
+}
+
+impl HotSchema {
+    /// An empty schema.
+    pub fn new() -> HotSchema {
+        HotSchema::default()
+    }
+
+    /// Registers a counter and returns its slot index.
+    pub fn counter(&mut self, name: &'static str) -> usize {
+        debug_assert!(!self.counters.contains(&name), "duplicate slot {name}");
+        self.counters.push(name);
+        self.counters.len() - 1
+    }
+
+    /// Registers a histogram over `buckets` and returns its slot index.
+    pub fn histogram(&mut self, name: &'static str, buckets: Buckets) -> usize {
+        debug_assert!(
+            self.hists.iter().all(|(n, _)| *n != name),
+            "duplicate slot {name}"
+        );
+        self.hists.push((name, buckets));
+        self.hists.len() - 1
+    }
+
+    /// Allocates an empty sink with one slot per registered metric. All
+    /// allocation happens here; recording into the sink is allocation-free.
+    pub fn make_sink(&self) -> HotSink {
+        HotSink {
+            counters: vec![0; self.counters.len()],
+            hists: self.hists.iter().map(|(_, b)| Histogram::new(*b)).collect(),
+        }
+    }
+}
+
+/// A slot-indexed recorder for the per-call hot loop: counters are plain
+/// `u64` bumps, histogram records go straight to the preset's bucket LUT.
+/// No names, no map lookups, no branches on an enabled flag — whether
+/// metrics are collected at all is decided where the sink is (or isn't)
+/// created. Slots come from a [`HotSchema`]; recording with a slot index
+/// from a different schema is a logic error (bounds-checked, not detected).
+#[derive(Debug, Clone)]
+pub struct HotSink {
+    counters: Vec<u64>,
+    hists: Vec<Histogram>,
+}
+
+impl HotSink {
+    /// Adds `delta` to the counter in `slot`.
+    #[inline]
+    pub fn inc(&mut self, slot: usize, delta: u64) {
+        self.counters[slot] += delta;
+    }
+
+    /// Records `v` into the histogram in `slot`.
+    #[inline]
+    pub fn observe(&mut self, slot: usize, v: f64) {
+        self.hists[slot].record(v);
+    }
+
+    /// The live histogram in `slot` (for end-of-batch reads, e.g. recording
+    /// a derived quantity before the fold).
+    pub fn histogram(&self, slot: usize) -> &Histogram {
+        &self.hists[slot]
+    }
+
+    /// Resets every slot to empty so the sink can be reused for the next
+    /// batch without reallocating.
+    pub fn clear(&mut self) {
+        self.counters.fill(0);
+        for h in &mut self.hists {
+            *h = Histogram::new(h.buckets());
         }
     }
 }
@@ -280,6 +393,55 @@ mod tests {
                 .unwrap_or_default();
         assert!(back.timings.is_empty());
         assert_eq!(back.counter("c"), 1);
+    }
+
+    #[test]
+    fn hot_sink_fold_matches_direct_recording() {
+        let mut schema = HotSchema::new();
+        let calls = schema.counter("calls");
+        let idle = schema.counter("idle"); // never bumped
+        let lat = schema.histogram("lat", LATENCY_MS);
+        let unused = schema.histogram("unused", CI_WIDTH); // never observed
+
+        let mut direct = MetricSink::new();
+        let mut hot = schema.make_sink();
+        for v in [3.0, 40.0, 90.0] {
+            hot.inc(calls, 1);
+            hot.observe(lat, v);
+            direct.inc("calls", 1);
+            direct.observe("lat", LATENCY_MS, v);
+        }
+        let mut folded = MetricSink::new();
+        folded.fold_hot(&schema, &hot);
+        assert_eq!(folded.snapshot(), direct.snapshot());
+        // Untouched slots must not materialize metrics.
+        assert_eq!(folded.counter("idle"), 0);
+        assert!(folded.histogram("unused").is_none());
+        let _ = (idle, unused);
+
+        // Clearing makes the sink reusable: a second batch folds cleanly.
+        hot.clear();
+        hot.inc(calls, 2);
+        hot.observe(lat, 700.0);
+        folded.fold_hot(&schema, &hot);
+        direct.inc("calls", 2);
+        direct.observe("lat", LATENCY_MS, 700.0);
+        assert_eq!(folded.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn hot_sink_folds_dropped_only_histograms() {
+        // A histogram that saw only non-finite values has count == 0 but
+        // must still fold so the drop accounting survives the barrier.
+        let mut schema = HotSchema::new();
+        let lat = schema.histogram("lat", LATENCY_MS);
+        let mut hot = schema.make_sink();
+        hot.observe(lat, f64::NAN);
+        let mut sink = MetricSink::new();
+        sink.fold_hot(&schema, &hot);
+        let h = sink.histogram("lat").expect("dropped-only hist folds");
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.dropped_nonfinite(), 1);
     }
 
     #[test]

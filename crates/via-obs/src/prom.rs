@@ -52,6 +52,10 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
             let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
         }
         let _ = writeln!(out, "{name}_count {}", h.count);
+        if h.dropped_nonfinite > 0 {
+            let _ = writeln!(out, "# TYPE {name}_dropped_nonfinite counter");
+            let _ = writeln!(out, "{name}_dropped_nonfinite {}", h.dropped_nonfinite);
+        }
         if h.count > 0 {
             let _ = writeln!(out, "# TYPE {name}_min gauge");
             let _ = writeln!(out, "{name}_min {}", h.min);

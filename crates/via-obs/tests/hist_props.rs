@@ -10,7 +10,9 @@
 //!    quantile.
 
 use proptest::prelude::*;
-use via_obs::{Buckets, Histogram, CI_WIDTH, LATENCY_MS, MOS_DELTA};
+use via_obs::{Buckets, Histogram, CI_WIDTH, FRACTION, LATENCY_MS, MOS_DELTA, REGRET};
+
+const PRESETS: [Buckets; 5] = [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION];
 
 fn hist_of(buckets: Buckets, xs: &[f64]) -> Histogram {
     let mut h = Histogram::new(buckets);
@@ -120,6 +122,71 @@ proptest! {
             prop_assert_eq!(h.count(), 2);
             prop_assert_eq!(h.counts().iter().sum::<u64>(), 2);
         }
+    }
+
+    #[test]
+    fn lut_bucket_of_agrees_with_partition_point_everywhere(bits in any::<u64>()) {
+        // Arbitrary bit patterns cover the full f64 space: every sign,
+        // exponent (subnormals through ±inf), and NaN payload.
+        let v = f64::from_bits(bits);
+        for b in PRESETS {
+            prop_assert_eq!(
+                b.bucket_of(v),
+                b.bucket_of_scan(v),
+                "{} at {:e} (bits {:#x})", b.name, v, bits
+            );
+        }
+    }
+
+    #[test]
+    fn lut_bucket_of_agrees_at_bound_neighborhoods(
+        which in 0usize..64,
+        ulps in -2i64..3,
+    ) {
+        // The hard cases sit exactly on and one ulp around each bound,
+        // where the LUT's narrowed scan must reproduce the `< v` strictness
+        // bit-for-bit, plus the signed zeros and infinities.
+        for b in PRESETS {
+            let bound = b.bounds[which % b.bounds.len()];
+            let v = f64::from_bits((bound.to_bits() as i64 + ulps) as u64);
+            for x in [v, -v, 0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY] {
+                prop_assert_eq!(
+                    b.bucket_of(x),
+                    b.bucket_of_scan(x),
+                    "{} at {:e}", b.name, x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_conserves_offered_values_including_nonfinite(
+        // The marker swaps ~1 in 5 draws for a non-finite value.
+        xs in prop::collection::vec((-100.0f64..6000.0, 0u32..5), 0..120),
+        split in 0usize..120,
+        kind in 0usize..3,
+    ) {
+        // Every offered value must land in exactly one of `count` or
+        // `dropped_nonfinite`, and the split survives merging.
+        let nonfinite = [f64::NAN, f64::INFINITY, f64::NEG_INFINITY][kind];
+        let vals: Vec<f64> = xs
+            .iter()
+            .map(|&(v, marker)| if marker == 0 { nonfinite } else { v })
+            .collect();
+        let offered_finite = xs.iter().filter(|&&(_, m)| m != 0).count() as u64;
+        let offered_dropped = xs.len() as u64 - offered_finite;
+
+        let whole = hist_of(LATENCY_MS, &vals);
+        prop_assert_eq!(whole.count(), offered_finite);
+        prop_assert_eq!(whole.dropped_nonfinite(), offered_dropped);
+        prop_assert_eq!(whole.count() + whole.dropped_nonfinite(), xs.len() as u64);
+
+        let split = split.min(vals.len());
+        let (a, b) = vals.split_at(split);
+        let mut merged = hist_of(LATENCY_MS, a);
+        merged.merge(&hist_of(LATENCY_MS, b));
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.dropped_nonfinite(), offered_dropped);
     }
 
     #[test]
