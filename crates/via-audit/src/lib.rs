@@ -88,6 +88,18 @@ pub const SOCKET_CRATES: &[&str] = &["via-testbed"];
 /// the decision loop itself.
 pub const HOT_PATH_CRATES: &[&str] = &["via-netsim", "via-core"];
 
+/// Individual files held to the hot-path lints inside crates that are
+/// otherwise not hot-path as a whole. via-trace is mostly offline
+/// generation/analysis code, but the record sources and window framer
+/// (`stream.rs`) and the binary trace codec (`binfmt.rs`) run inside the
+/// streamed replay's prefetch loop — per-record cost there multiplies by
+/// hundreds of millions of calls, the same economics as via-core's shard
+/// loop. Paths are relative to the crate root.
+pub const HOT_PATH_FILES: &[(&str, &str)] = &[
+    ("via-trace", "src/stream.rs"),
+    ("via-trace", "src/binfmt.rs"),
+];
+
 /// Audits one file's source text: lex, analyze, run every applicable
 /// registered pass, then apply (and audit) suppressions.
 pub fn audit_source(display_path: &str, src: &str, kind: FileKind) -> Vec<Finding> {
@@ -187,9 +199,13 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
                 .unwrap_or(&file)
                 .display()
                 .to_string();
+            let rel = file.strip_prefix(&crate_dir).unwrap_or(&file);
+            let hot_file = HOT_PATH_FILES
+                .iter()
+                .any(|&(c, p)| c == crate_name && rel == Path::new(p));
             let kind = FileKind {
                 sim_crate,
-                hot_path,
+                hot_path: hot_path || hot_file,
                 socket_crate,
                 lib_code: !is_non_lib(&file),
             };
@@ -216,6 +232,14 @@ mod tests {
         }
         for c in HOT_PATH_CRATES {
             assert!(SIM_CRATES.contains(c), "hot-path crates are sim crates");
+        }
+        for (c, p) in HOT_PATH_FILES {
+            assert!(SIM_CRATES.contains(c), "hot-path files live in sim crates");
+            assert!(
+                !HOT_PATH_CRATES.contains(c),
+                "a file-level hot-path entry in an already-hot crate is redundant"
+            );
+            assert!(p.ends_with(".rs"), "hot-path file entries are .rs paths");
         }
         for c in SOCKET_CRATES {
             assert!(

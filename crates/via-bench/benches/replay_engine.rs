@@ -30,6 +30,7 @@ use via_model::metrics::PathMetrics;
 use via_model::options::RelayOption;
 use via_model::time::{SimTime, WindowLen};
 use via_netsim::{World, WorldConfig};
+use via_trace::stream::FileSource;
 use via_trace::{Trace, TraceConfig, TraceGenerator};
 
 /// One timed replay run and its engine counters.
@@ -91,6 +92,34 @@ struct SampleRecord {
     ns_per_sample_plain: f64,
 }
 
+/// One streamed replay run: the bounded-memory engine fed by a record
+/// source, with the process peak-RSS reading taken right after the run.
+#[derive(Debug, Serialize)]
+struct StreamRecord {
+    scale: String,
+    /// Record source: `generate` (on-the-fly) or `binary` (a `.vbt` file).
+    source: String,
+    /// Resolved worker count the run used.
+    workers: usize,
+    calls: u64,
+    windows: u64,
+    wall_ms: f64,
+    calls_per_sec: f64,
+    /// Bytes decoded from the backing file (header, framing, payload);
+    /// zero for generate-on-the-fly.
+    bytes_decoded: u64,
+    bytes_decoded_per_sec: f64,
+    /// `VmHWM` right after the run, in bytes. The kernel counter is
+    /// process-monotone, which is why the streaming section runs *first*
+    /// in `main()`: these readings bound the streaming engine's footprint,
+    /// not whatever a preceding materialized run faulted in.
+    peak_rss_bytes: u64,
+    /// Order-sensitive FNV-1a digest over every call outcome (hex) —
+    /// identical across worker counts and across the streamed and
+    /// materialized engines for the same inputs.
+    digest: String,
+}
+
 #[derive(Debug, Serialize)]
 struct FitRecord {
     cells: usize,
@@ -132,6 +161,10 @@ struct Report {
     usable_parallelism: usize,
     runs: Vec<RunRecord>,
     sweeps: Vec<Sweep>,
+    /// Streamed bounded-memory replays (peak-RSS and decode-throughput
+    /// acceptance measurements); always the first section executed — see
+    /// [`bench_streaming`].
+    streams: Vec<StreamRecord>,
     predictor_fit: FitRecord,
     sample_option: SampleRecord,
     /// Primary instrumentation-overhead figure: measured on the paper-scale
@@ -516,11 +549,199 @@ fn bench_metrics_overhead(world: &World, trace: &Trace, scale: &str, reps: usize
     record
 }
 
+/// Peak resident set size of this process so far (`VmHWM` from
+/// `/proc/self/status`), in bytes; 0 when unreadable (non-Linux hosts).
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmHWM:")?
+                    .trim()
+                    .strip_suffix("kB")?
+                    .trim()
+                    .parse::<u64>()
+                    .ok()
+            })
+        })
+        .map_or(0, |kb| kb * 1024)
+}
+
+/// Builds the JSON record for one finished streamed run and prints its
+/// console line. The peak-RSS reading is taken here, immediately after the
+/// run it bounds.
+fn stream_record(
+    scale: &str,
+    source: &str,
+    outcome: &via_core::Outcome,
+    wall_ms: f64,
+) -> StreamRecord {
+    let secs = wall_ms / 1e3;
+    let record = StreamRecord {
+        scale: scale.to_string(),
+        source: source.to_string(),
+        workers: outcome.stats.workers,
+        calls: outcome.aggregate.calls,
+        windows: outcome.stats.windows,
+        wall_ms,
+        calls_per_sec: outcome.aggregate.calls as f64 / secs,
+        bytes_decoded: outcome.stats.bytes_decoded,
+        bytes_decoded_per_sec: outcome.stats.bytes_decoded as f64 / secs,
+        peak_rss_bytes: peak_rss_bytes(),
+        digest: format!("{:#018x}", outcome.aggregate.digest),
+    };
+    println!(
+        "replay_engine/stream/{scale}/{source}/workers={:<2} {:>10.1} ms  \
+         ({:.0} calls/s, {:.1} MiB/s decoded, peak RSS {:.0} MiB, digest {})",
+        record.workers,
+        record.wall_ms,
+        record.calls_per_sec,
+        record.bytes_decoded_per_sec / (1024.0 * 1024.0),
+        record.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        record.digest,
+    );
+    record
+}
+
+/// Streaming replay config: per-call outcomes off (materializing a
+/// `Vec<CallOutcome>` at paper scale would defeat the bounded-memory mode
+/// this section exists to measure).
+fn stream_cfg(workers: usize) -> ReplayConfig {
+    ReplayConfig {
+        workers,
+        collect_calls: false,
+        ..ReplayConfig::default()
+    }
+}
+
+/// One streamed VIA replay over a generate-on-the-fly source: records are
+/// produced by the workload generator as the engine consumes them — no
+/// trace is ever materialized.
+fn streamed_gen_run(
+    world: &World,
+    trace_cfg: TraceConfig,
+    seed: u64,
+    workers: usize,
+    scale: &str,
+) -> StreamRecord {
+    let generator = TraceGenerator::new(world, trace_cfg, seed);
+    let sim = ReplaySim::streaming(world, stream_cfg(workers));
+    let start = Instant::now();
+    let outcome = sim
+        .run_stream(generator.stream(), StrategyKind::Via)
+        .expect("a generate-on-the-fly source cannot fail to decode");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    stream_record(scale, "generate", &outcome, wall_ms)
+}
+
+/// One streamed VIA replay over an on-disk trace file (the `bytes_decoded`
+/// throughput path).
+fn streamed_file_run(world: &World, path: &Path, workers: usize, scale: &str) -> StreamRecord {
+    let source = FileSource::open(path).expect("open trace file");
+    let sim = ReplaySim::streaming(world, stream_cfg(workers));
+    let start = Instant::now();
+    let outcome = sim
+        .run_stream(source, StrategyKind::Via)
+        .expect("stream trace file");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    stream_record(scale, "binary", &outcome, wall_ms)
+}
+
+/// Streaming data-plane section. Runs **first** in `main()` (before any
+/// materialized replay) because `VmHWM` is process-monotone: only a fresh
+/// process gives peak-RSS readings that actually bound the streaming
+/// engine.
+///
+/// Tiny scale (always): generate-on-the-fly at two worker counts plus a
+/// `.vbt` file source, cross-checked digest-identical to a materialized
+/// run. Full suite adds the acceptance measurement: a paper-scale streamed
+/// replay (~2.24 M calls) and a 10×-horizon run (560 days, 22.4 M calls —
+/// the paper's own 430 M-call scale per unit of synthetic density) that
+/// must stay under 1 GiB peak RSS with near-flat growth across the 10×
+/// trace length.
+fn bench_streaming(quick: bool) -> Vec<StreamRecord> {
+    let mut streams = Vec::new();
+
+    // Tiny: every source kind, digest-checked against the materialized
+    // engine (the byte-level serialization matrix lives in via-core's
+    // tests; this is the smoke-level invariant on real bench hardware).
+    let (world, trace) = env(&WorldConfig::tiny(), TraceConfig::tiny(), 7);
+    let dir = std::env::temp_dir().join("via-bench-stream");
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    let vbt = dir.join("tiny.vbt");
+    via_trace::binfmt::write_binary(&trace, &vbt).expect("write tiny .vbt");
+    streams.push(streamed_gen_run(&world, TraceConfig::tiny(), 7, 1, "tiny"));
+    streams.push(streamed_gen_run(&world, TraceConfig::tiny(), 7, 2, "tiny"));
+    streams.push(streamed_file_run(&world, &vbt, 1, "tiny"));
+    let materialized = ReplaySim::new(&world, &trace, stream_cfg(1)).run(StrategyKind::Via);
+    let want = format!("{:#018x}", materialized.aggregate.digest);
+    for s in &streams {
+        assert_eq!(
+            s.digest, want,
+            "streamed {}/{} digest diverged from the materialized engine",
+            s.source, s.workers
+        );
+    }
+    let _ = std::fs::remove_file(&vbt);
+
+    if quick {
+        return streams;
+    }
+
+    // Acceptance measurement: paper-scale density streamed at 1× and 10×
+    // the trace length. Same calls/day, 10× the days (a 560-day world
+    // horizon), so any RSS growth between the two readings is genuine
+    // trace-length-dependent state, not bigger windows.
+    let world = World::generate(&WorldConfig::paper_scale(), 7);
+    let paper = streamed_gen_run(&world, TraceConfig::paper_scale(), 7, 0, "paper");
+    let rss_paper = paper.peak_rss_bytes;
+    streams.push(paper);
+    drop(world);
+
+    let world_cfg_10x = WorldConfig {
+        horizon_days: 560,
+        ..WorldConfig::paper_scale()
+    };
+    let trace_cfg_10x = TraceConfig {
+        days: 560,
+        ..TraceConfig::paper_scale()
+    };
+    let world = World::generate(&world_cfg_10x, 7);
+    let paper10 = streamed_gen_run(&world, trace_cfg_10x, 7, 0, "paper10x");
+    assert_eq!(
+        paper10.calls, 22_400_000,
+        "10x-horizon run must replay the full 22.4 M calls"
+    );
+    assert!(
+        paper10.peak_rss_bytes < 1 << 30,
+        "streamed 22.4 M-call replay peaked at {:.0} MiB (>= 1 GiB budget)",
+        paper10.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+    // Flatness: VmHWM is monotone, so the delta between the two readings is
+    // exactly what the 10× run added on top of the 1× peak. The allowance
+    // covers the 10×-horizon world itself (per-segment daily severity
+    // curves are 10× longer) plus noise — not a window's worth of growth
+    // per unit trace length.
+    let growth = paper10.peak_rss_bytes.saturating_sub(rss_paper);
+    assert!(
+        growth < 256 << 20,
+        "peak RSS grew {:.0} MiB across a 10x longer trace — streaming is \
+         supposed to be flat in trace length",
+        growth as f64 / (1024.0 * 1024.0)
+    );
+    streams.push(paper10);
+    streams
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut criterion = Criterion::default();
     let mut runs = Vec::new();
     let mut sweeps = Vec::new();
+
+    // Streaming section first: its VmHWM readings are only meaningful
+    // before anything else has inflated the process high-water mark.
+    let streams = bench_streaming(quick);
 
     // Throughput + worker sweep, cold path and warmed cache. Quick mode (CI
     // smoke) stays at tiny scale; the full suite adds small and paper scale,
@@ -646,6 +867,7 @@ fn main() {
         usable_parallelism: usable_parallelism(),
         runs,
         sweeps,
+        streams,
         predictor_fit,
         sample_option,
         metrics_overhead,

@@ -121,8 +121,13 @@ impl Flags {
 
     /// First positional argument, required.
     pub fn positional(&self, what: &'static str) -> Result<&str, FlagError> {
+        self.positional_at(0, what)
+    }
+
+    /// Nth positional argument (0-based), required.
+    pub fn positional_at(&self, idx: usize, what: &'static str) -> Result<&str, FlagError> {
         self.positionals
-            .first()
+            .get(idx)
             .map(String::as_str)
             .ok_or(FlagError::Missing(what))
     }

@@ -11,11 +11,15 @@
 
 mod args;
 
+use std::path::Path;
+
 use args::Flags;
 use via_core::replay::{ReplayConfig, ReplaySim};
 use via_core::strategy::StrategyKind;
 use via_model::metrics::{Metric, Thresholds};
+use via_model::time::WindowLen;
 use via_netsim::{World, WorldConfig};
+use via_trace::stream::{FileSource, RecordSource};
 use via_trace::{Trace, TraceConfig, TraceGenerator};
 
 const USAGE: &str = "\
@@ -23,14 +27,25 @@ via — predictive relay selection for Internet telephony (SIGCOMM 2016 reproduc
 
 USAGE:
     via gen     [--scale tiny|small|paper] [--seed N] [--out FILE]
+    via trace gen     [--scale tiny|small|paper] [--seed N] [--out FILE.jsonl|.vbt]
+                      [--frame-hours N]
+    via trace convert IN.jsonl|.vbt OUT.jsonl|.vbt [--frame-hours N]
+    via trace info    FILE.jsonl|.vbt
     via analyze FILE
     via replay  [--scale tiny|small|paper] [--seed N] [--workers N] [--warm]
+                [--stream] [--trace FILE.jsonl|.vbt]
                 [--strategy default|oracle|prediction|exploration|via|budgeted|racing]
                 [--objective rtt|loss|jitter] [--budget F]
                 [--metrics FILE.json] [--metrics-prom FILE.prom]
     via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
                 [--probes N] [--gap-ms N] [--deadline-s N] [--chaos true]
                 [--metrics FILE.json] [--metrics-prom FILE.prom]
+
+`via trace gen` streams records straight to disk (any scale in bounded
+memory); `via gen` materializes first and only writes JSONL. `via replay
+--stream` replays without materializing the trace: from a file when
+--trace is given, else generated on the fly — results are byte-identical
+to the materialized replay at every --workers value.
 
 The replay `--metrics` snapshot holds only the deterministic metric core:
 it is byte-identical for any --workers value and across reruns of the same
@@ -45,6 +60,7 @@ fn main() {
     };
     let result = match cmd.as_str() {
         "gen" => cmd_gen(rest),
+        "trace" => cmd_trace(rest),
         "analyze" => cmd_analyze(rest),
         "replay" => cmd_replay(rest),
         "testbed" => cmd_testbed(rest),
@@ -117,6 +133,135 @@ fn cmd_gen(rest: &[String]) -> CliResult {
         world.ases.len(),
         world.relays.len(),
     );
+    Ok(())
+}
+
+/// On-disk framing window for `.vbt` outputs (`--frame-hours`, default 24).
+fn frame_len(flags: &Flags) -> Result<WindowLen, Box<dyn std::error::Error>> {
+    let hours = flags.u64_or("frame-hours", 24)?;
+    WindowLen::secs_checked(hours.saturating_mul(3_600))
+        .ok_or_else(|| format!("--frame-hours must be positive, got {hours}").into())
+}
+
+/// Streams every record of `src` into a trace file picked by extension,
+/// never holding more than one record (plus the binary frame buffer)
+/// resident. Returns the record count written.
+fn stream_to_file(
+    mut src: impl RecordSource,
+    out: &Path,
+    frame: WindowLen,
+) -> Result<u64, Box<dyn std::error::Error>> {
+    let n = src
+        .size_hint()
+        .ok_or("source does not know its record count up front")?;
+    match out.extension().and_then(|e| e.to_str()) {
+        Some("jsonl") => {
+            let mut w = via_trace::io::JsonlWriter::create(
+                out,
+                src.seed(),
+                src.days(),
+                usize::try_from(n)?,
+            )?;
+            while let Some(r) = src.next_record()? {
+                w.push(&r)?;
+            }
+            w.finish()?;
+        }
+        Some("vbt") => {
+            let mut w = via_trace::binfmt::BinWriter::create(out, src.seed(), src.days(), frame)?;
+            while let Some(r) = src.next_record()? {
+                w.push(&r)?;
+            }
+            w.finish()?;
+        }
+        _ => {
+            return Err(format!(
+                "unsupported output format '{}' (expected .jsonl or .vbt)",
+                out.display()
+            )
+            .into())
+        }
+    }
+    Ok(n)
+}
+
+fn cmd_trace(rest: &[String]) -> CliResult {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("trace needs a subcommand: gen | convert | info".into());
+    };
+    match sub.as_str() {
+        "gen" => cmd_trace_gen(rest),
+        "convert" => cmd_trace_convert(rest),
+        "info" => cmd_trace_info(rest),
+        other => Err(format!("unknown trace subcommand '{other}' (gen|convert|info)").into()),
+    }
+}
+
+/// `via trace gen`: stream a synthetic trace straight to disk. Unlike
+/// `via gen`, the trace is never materialized — paper scale works in a
+/// few dozen MiB of memory.
+fn cmd_trace_gen(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    let seed = flags.u64_or("seed", 2016)?;
+    let scale = flags.str_or("scale", "small");
+    let out = flags.str_or("out", "trace.vbt").to_string();
+    let frame = frame_len(&flags)?;
+    let (wc, tc) = scale_configs(scale)?;
+    let world = World::generate(&wc, seed);
+    let generator = TraceGenerator::new(&world, tc, seed);
+    let n = stream_to_file(generator.stream(), Path::new(&out), frame)?;
+    println!(
+        "streamed {n} calls over {} days ({} ASes, {} relays, seed {seed}) -> {out}",
+        generator.effective_days(),
+        world.ases.len(),
+        world.relays.len(),
+    );
+    Ok(())
+}
+
+/// `via trace convert`: stream-convert between `.jsonl` and `.vbt` without
+/// materializing the trace.
+fn cmd_trace_convert(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    let input = flags.positional_at(0, "input trace file")?.to_string();
+    let output = flags.positional_at(1, "output trace file")?.to_string();
+    let frame = frame_len(&flags)?;
+    let src = FileSource::open(Path::new(&input))?;
+    let n = stream_to_file(src, Path::new(&output), frame)?;
+    let in_bytes = std::fs::metadata(&input)?.len();
+    let out_bytes = std::fs::metadata(&output)?.len();
+    println!("converted {n} records: {input} ({in_bytes} B) -> {output} ({out_bytes} B)");
+    Ok(())
+}
+
+/// `via trace info`: print a trace file's header without reading its body.
+fn cmd_trace_info(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    let path = flags.positional("trace file")?.to_string();
+    let p = Path::new(&path);
+    let file_bytes = std::fs::metadata(p)?.len();
+    let src = FileSource::open(p)?;
+    match &src {
+        FileSource::Jsonl(_) => println!("format: jsonl (text, one record per line)"),
+        FileSource::Binary(b) => {
+            let h = b.header();
+            println!(
+                "format: vbt v{} (binary, {}-byte records, framed at {} s)",
+                h.version,
+                via_trace::binfmt::RECORD_BYTES,
+                h.frame_len.secs(),
+            );
+        }
+    }
+    let records = src.size_hint().unwrap_or(0);
+    println!(
+        "seed: {}   days: {}   records: {records}   file: {file_bytes} bytes",
+        src.seed(),
+        src.days(),
+    );
+    if records > 0 {
+        println!("bytes/record: {:.1}", file_bytes as f64 / records as f64);
+    }
     Ok(())
 }
 
@@ -200,24 +345,40 @@ fn cmd_replay(rest: &[String]) -> CliResult {
     let objective = parse_objective(flags.str_or("objective", "rtt"))?;
     let metrics_json = flags.str_opt("metrics");
     let metrics_prom = flags.str_opt("metrics-prom");
+    // Streamed replay: from a trace file (--trace) or generated on the fly
+    // (--stream without --trace). Either way the trace is never
+    // materialized, per-call outcomes are not collected, and the reported
+    // numbers come from the worker-count-invariant aggregate — byte-identical
+    // to what the materialized engine computes.
+    let trace_file = flags.str_opt("trace").map(str::to_string);
+    let streamed = flags.bool_or("stream", false)? || trace_file.is_some();
 
-    let (world, trace) = build(scale, seed)?;
+    let (wc, tc) = scale_configs(scale)?;
+    let world = World::generate(&wc, seed);
     let cfg = ReplayConfig {
         objective,
         seed,
         workers,
         warm,
         metrics: metrics_json.is_some() || metrics_prom.is_some(),
+        collect_calls: !streamed,
         ..ReplayConfig::default()
     };
-    let out = ReplaySim::new(&world, &trace, cfg).run(kind);
-    let pnr = out.pnr(&Thresholds::default());
-    let (direct, bounce, transit) = out.option_mix();
+    let out = if let Some(file) = &trace_file {
+        ReplaySim::streaming(&world, cfg).run_stream(FileSource::open(Path::new(file))?, kind)?
+    } else if streamed {
+        let generator = TraceGenerator::new(&world, tc, seed);
+        ReplaySim::streaming(&world, cfg).run_stream(generator.stream(), kind)?
+    } else {
+        let trace = TraceGenerator::new(&world, tc, seed).generate();
+        ReplaySim::new(&world, &trace, cfg).run(kind)
+    };
+    let pnr = out.aggregate.pnr();
+    let (direct, bounce, transit) = out.aggregate.option_mix();
 
     println!(
         "strategy: {}   objective: {objective}   calls: {}",
-        out.strategy,
-        out.calls.len()
+        out.strategy, out.aggregate.calls
     );
     println!(
         "PNR: rtt {:.1}%  loss {:.1}%  jitter {:.1}%  any {:.1}%",
@@ -234,6 +395,17 @@ fn cmd_replay(rest: &[String]) -> CliResult {
         out.controller_contacts
     );
     println!("engine: {}", out.stats.summary());
+    if streamed {
+        let mibs = if out.stats.wall_ms > 0.0 {
+            out.stats.bytes_decoded as f64 / (out.stats.wall_ms / 1e3) / (1024.0 * 1024.0)
+        } else {
+            0.0
+        };
+        println!(
+            "stream: {} bytes decoded ({mibs:.1} MiB/s), digest {:#018x}",
+            out.stats.bytes_decoded, out.aggregate.digest
+        );
+    }
     if let Some(snap) = &out.obs {
         write_metrics(snap, metrics_json, metrics_prom)?;
     }

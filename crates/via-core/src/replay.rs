@@ -38,6 +38,7 @@ use via_model::time::{SimTime, Window, WindowLen};
 use via_netsim::World;
 use via_obs::{MetricSink, MetricsSnapshot, Stopwatch};
 use via_quality::PnrReport;
+use via_trace::stream::{RecordSource, StreamError, WindowBatch, WindowStream};
 use via_trace::{CallRecord, Trace};
 
 use crate::bandit::UcbBandit;
@@ -134,6 +135,12 @@ pub struct ReplayConfig {
     /// byte-identical for any worker count. Off by default: the hot path
     /// then records nothing.
     pub metrics: bool,
+    /// Materialize per-call outcomes into [`Outcome::calls`]. On by default.
+    /// Paper-scale streamed runs turn this off: hundreds of millions of
+    /// [`CallOutcome`]s would defeat bounded-memory replay, and every
+    /// population summary is carried by [`Outcome::aggregate`] instead
+    /// (computed identically either way).
+    pub collect_calls: bool,
     /// Base seed for realization sampling and exploration randomness.
     pub seed: u64,
 }
@@ -152,6 +159,7 @@ impl Default for ReplayConfig {
             workers: 0,
             warm: false,
             metrics: false,
+            collect_calls: true,
             seed: 0xC0FFEE,
         }
     }
@@ -166,6 +174,156 @@ pub struct CallOutcome {
     pub option: RelayOption,
     /// Realized end-to-end metrics (access extras included).
     pub metrics: PathMetrics,
+}
+
+/// Running digest + population counters over the replayed calls, updated in
+/// the sequential window merge (trace order) — so it is worker-count
+/// invariant by construction and byte-identical between the streamed and
+/// materialized engines. It is the whole summary when
+/// [`ReplayConfig::collect_calls`] is off (the bounded-memory paper-scale
+/// mode, where materializing a `Vec<CallOutcome>` would defeat streaming).
+///
+/// PNR counters use [`Thresholds::default`]; runs needing custom thresholds
+/// keep `collect_calls` on and use [`Outcome::pnr`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayAggregate {
+    /// Calls replayed.
+    pub calls: u64,
+    /// Calls sent on the direct path.
+    pub direct: u64,
+    /// Calls sent through one relay.
+    pub bounce: u64,
+    /// Calls sent through two relays.
+    pub transit: u64,
+    /// Calls with poor RTT (default thresholds).
+    pub poor_rtt: u64,
+    /// Calls with poor loss.
+    pub poor_loss: u64,
+    /// Calls with poor jitter.
+    pub poor_jitter: u64,
+    /// Calls with at least one poor metric.
+    pub poor_any: u64,
+    /// Trace-order sum of realized RTT, ms.
+    pub sum_rtt_ms: f64,
+    /// Trace-order sum of realized loss, percent.
+    pub sum_loss_pct: f64,
+    /// Trace-order sum of realized jitter, ms.
+    pub sum_jitter_ms: f64,
+    /// FNV-1a digest over every call's `(call_index, option, metric bits)`
+    /// in trace order — one number that differs if any call's outcome,
+    /// option, or position differs.
+    pub digest: u64,
+}
+
+/// FNV-1a 64-bit offset basis (digest accumulator start).
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds bytes into an FNV-1a 64-bit accumulator.
+fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Default for ReplayAggregate {
+    fn default() -> Self {
+        ReplayAggregate {
+            calls: 0,
+            direct: 0,
+            bounce: 0,
+            transit: 0,
+            poor_rtt: 0,
+            poor_loss: 0,
+            poor_jitter: 0,
+            poor_any: 0,
+            sum_rtt_ms: 0.0,
+            sum_loss_pct: 0.0,
+            sum_jitter_ms: 0.0,
+            digest: FNV_BASIS,
+        }
+    }
+}
+
+impl ReplayAggregate {
+    /// Folds one call outcome in. Must be called in trace order — the
+    /// digest is order-sensitive on purpose.
+    fn update(&mut self, co: &CallOutcome, thresholds: &Thresholds) {
+        self.calls += 1;
+        if co.option == RelayOption::Direct {
+            self.direct += 1;
+        } else if co.option.is_bounce() {
+            self.bounce += 1;
+        } else {
+            self.transit += 1;
+        }
+        let m = &co.metrics;
+        let mut any = false;
+        if thresholds.is_poor(m, Metric::Rtt) {
+            self.poor_rtt += 1;
+            any = true;
+        }
+        if thresholds.is_poor(m, Metric::Loss) {
+            self.poor_loss += 1;
+            any = true;
+        }
+        if thresholds.is_poor(m, Metric::Jitter) {
+            self.poor_jitter += 1;
+            any = true;
+        }
+        if any {
+            self.poor_any += 1;
+        }
+        self.sum_rtt_ms += m.rtt_ms;
+        self.sum_loss_pct += m.loss_pct;
+        self.sum_jitter_ms += m.jitter_ms;
+        let mut h = self.digest;
+        h = fnv1a_fold(h, &co.call_index.to_le_bytes());
+        h = fnv1a_fold(h, &co.option.stable_code().to_le_bytes());
+        h = fnv1a_fold(h, &m.rtt_ms.to_bits().to_le_bytes());
+        h = fnv1a_fold(h, &m.loss_pct.to_bits().to_le_bytes());
+        h = fnv1a_fold(h, &m.jitter_ms.to_bits().to_le_bytes());
+        self.digest = h;
+    }
+
+    /// The default-threshold PNR this aggregate counted.
+    pub fn pnr(&self) -> PnrReport {
+        let n = self.calls.max(1) as f64;
+        PnrReport {
+            calls: usize::try_from(self.calls).unwrap_or(usize::MAX),
+            rtt: self.poor_rtt as f64 / n,
+            loss: self.poor_loss as f64 / n,
+            jitter: self.poor_jitter as f64 / n,
+            any: self.poor_any as f64 / n,
+        }
+    }
+
+    /// Mean of one metric across all calls.
+    pub fn mean(&self, m: Metric) -> f64 {
+        let n = self.calls.max(1) as f64;
+        match m {
+            Metric::Rtt => self.sum_rtt_ms / n,
+            Metric::Loss => self.sum_loss_pct / n,
+            Metric::Jitter => self.sum_jitter_ms / n,
+        }
+    }
+
+    /// Fractions of calls sent direct / bounced / transited.
+    pub fn option_mix(&self) -> (f64, f64, f64) {
+        let n = self.calls.max(1) as f64;
+        (
+            self.direct as f64 / n,
+            self.bounce as f64 / n,
+            self.transit as f64 / n,
+        )
+    }
+
+    /// Fraction of calls relayed (non-direct).
+    pub fn relayed_fraction(&self) -> f64 {
+        let n = self.calls.max(1) as f64;
+        (self.bounce + self.transit) as f64 / n
+    }
 }
 
 /// Per-run engine counters: throughput, shard utilization, and predictor-fit
@@ -204,6 +362,10 @@ pub struct ReplayStats {
     pub warmed_segments: u64,
     /// Calls processed per worker slot, summed over windows (shard load).
     pub shard_calls: Vec<u64>,
+    /// Bytes decoded from the backing trace source during a streamed run
+    /// (header, framing, and payload); zero for materialized runs and
+    /// non-file sources. With `wall_ms` this yields bytes-decoded/sec.
+    pub bytes_decoded: u64,
 }
 
 impl ReplayStats {
@@ -252,8 +414,14 @@ pub struct Outcome {
     pub strategy: String,
     /// Objective metric the run optimized.
     pub objective: Metric,
-    /// Per-call outcomes, in trace order.
+    /// Per-call outcomes, in trace order. Empty when
+    /// [`ReplayConfig::collect_calls`] is off — use [`Outcome::aggregate`].
     pub calls: Vec<CallOutcome>,
+    /// Sequential-merge aggregate over every replayed call (PNR counters,
+    /// option mix, metric sums, order-sensitive digest). Always populated,
+    /// and byte-identical across worker counts and across the streamed and
+    /// materialized engines.
+    pub aggregate: ReplayAggregate,
     /// Controller round-trips (equals the call count unless a client-side
     /// decision cache absorbed some — the §7 scalability lever).
     pub controller_contacts: u64,
@@ -342,15 +510,16 @@ struct PairState {
     ci_widths: Vec<f64>,
 }
 
-/// One decision key's work within a window: its calls (trace indices, in
-/// order) plus the state handed to whichever shard owns the pair.
+/// One decision key's work within a window: its calls (batch-relative
+/// indices, in order) plus the state handed to whichever shard owns the
+/// pair.
 struct PairGroup {
     pair: KeyPair,
     /// Spatial keys in the orientation of the pair's first call (the state
     /// exemplar, matching the lazily-built state of the sequential engine).
     ka: u32,
     kb: u32,
-    /// Trace indices of the pair's calls this window, ascending.
+    /// Batch-relative indices of the pair's calls this window, ascending.
     calls: Vec<usize>,
     /// Pre-built state (budget strategies build eagerly for the gate pass).
     state: Option<PairState>,
@@ -360,7 +529,7 @@ struct PairGroup {
 
 /// What one shard hands back at the window barrier.
 struct ShardResult {
-    /// (trace index, outcome) for every call the shard carried.
+    /// (batch-relative index, outcome) for every call the shard carried.
     outcomes: Vec<(usize, CallOutcome)>,
     /// Local history (disjoint cells: a pair lives on exactly one shard).
     history: CallHistory,
@@ -460,10 +629,59 @@ impl WorkerSlot {
     }
 }
 
+/// All mutable engine state that survives across window barriers: built by
+/// `engine_start`, advanced by `engine_window` once per control window, and
+/// folded into an [`Outcome`] by `engine_finish`. The materialized
+/// [`ReplaySim::run`] and the streamed [`ReplaySim::run_stream`] drivers
+/// share this state machine verbatim — that shared core is what makes their
+/// results byte-identical.
+struct EngineState {
+    t_run: Stopwatch,
+    /// Sequential-side metric sink; workers get their own (merged at the
+    /// barrier). None when metrics are off, so the hot path records nothing.
+    obs: Option<MetricSink>,
+    workers: usize,
+    pred_cfg: PredictorConfig,
+    history: CallHistory,
+    predictor: Option<Predictor>,
+    budget_gate: Option<BudgetGate>,
+    /// FCFS counters for the budget-unaware variant.
+    fcfs_relayed: u64,
+    fcfs_total: u64,
+    /// §7 client-side decision cache: pair → (option, expiry). Persists
+    /// across windows; shards read a snapshot and return their writes.
+    decision_cache: HashMap<KeyPair, (RelayOption, SimTime)>,
+    controller_contacts: u64,
+    /// §7 hybrid racing overhead: parallel setup probes issued.
+    race_probes: u64,
+    /// Demand observed in the current window: key pair → exemplar AS
+    /// endpoints (used by the active-measurement planner at the next window
+    /// boundary).
+    demands: HashMap<KeyPair, (AsId, AsId)>,
+    stats: ReplayStats,
+    /// Fixed per-worker slots: hot metric sinks plus scoring/sampling
+    /// scratch, allocated once and reused by every window's fork–join (slot
+    /// i always serves shard i).
+    hot_ids: HotIds,
+    worker_slots: Vec<WorkerSlot>,
+    /// Per-call outcomes, populated only when `collect_calls` is on.
+    outcomes: Vec<CallOutcome>,
+    /// Running trace-order aggregate — always populated.
+    aggregate: ReplayAggregate,
+    thresholds: Thresholds,
+    /// Built once per run: the controller's static knowledge (geography and
+    /// inter-relay metrics) does not change across windows.
+    prior: GeoPrior,
+    backbone_table: std::sync::Arc<Vec<PathMetrics>>,
+}
+
 /// The replay simulator.
 pub struct ReplaySim<'a> {
     world: &'a World,
-    trace: &'a Trace,
+    /// The materialized trace, present for [`ReplaySim::new`] construction;
+    /// `None` for [`ReplaySim::streaming`], where records arrive through a
+    /// [`RecordSource`] instead.
+    trace: Option<&'a Trace>,
     cfg: ReplayConfig,
     /// Hoisted `seed::derive(cfg.seed, "realize")`: the label fold costs one
     /// mix round per byte and the realization stream is derived per call ×
@@ -475,13 +693,33 @@ pub struct ReplaySim<'a> {
 }
 
 impl<'a> ReplaySim<'a> {
-    /// Creates a simulator over a world and its trace.
+    /// Creates a simulator over a world and its materialized trace.
     pub fn new(world: &'a World, trace: &'a Trace, cfg: ReplayConfig) -> Self {
+        // The verdict is cached on the trace (one O(n) scan per trace, not
+        // per run); the streamed path validates incrementally instead.
+        debug_assert!(
+            trace.is_chronological(),
+            "replay requires a chronological trace"
+        );
         let realize_base = seed::derive(cfg.seed, "realize");
         let call_base = seed::derive(cfg.seed, "call");
         Self {
             world,
-            trace,
+            trace: Some(trace),
+            cfg,
+            realize_base,
+            call_base,
+        }
+    }
+
+    /// Creates a simulator for source-backed replay ([`ReplaySim::run_stream`]):
+    /// no materialized trace exists, records arrive window by window.
+    pub fn streaming(world: &'a World, cfg: ReplayConfig) -> Self {
+        let realize_base = seed::derive(cfg.seed, "realize");
+        let call_base = seed::derive(cfg.seed, "call");
+        Self {
+            world,
+            trace: None,
             cfg,
             realize_base,
             call_base,
@@ -541,8 +779,8 @@ impl<'a> ReplaySim<'a> {
     /// Purely an initialization-cost move — segment latents are a pure
     /// function of the world seed, so results are identical with or without
     /// warming.
-    fn warm_world(&self, workers: usize) -> (u64, u64) {
-        let records = &self.trace.records;
+    fn warm_world(&self, trace: &Trace, workers: usize) -> (u64, u64) {
+        let records = &trace.records;
         let mut seen_pairs = std::collections::HashSet::new();
         let mut pairs: Vec<(AsId, AsId)> = Vec::new();
         for r in records {
@@ -677,71 +915,82 @@ impl<'a> ReplaySim<'a> {
         best.1
     }
 
-    /// Runs one strategy over the whole trace.
-    pub fn run(&mut self, kind: StrategyKind) -> Outcome {
+    /// Builds the engine state shared by both replay drivers — everything
+    /// the per-run setup does before the first window.
+    fn engine_start(&self, kind: StrategyKind) -> EngineState {
         // Wall-clock (via the via-obs facade) feeds ReplayStats and the obs
         // timing layer only — both excluded from serialized summaries.
         let t_run = Stopwatch::started();
-        // Sequential-side metric sink; workers get their own (merged at the
-        // barrier). None when metrics are off, so the hot path records
-        // nothing.
-        let mut obs: Option<MetricSink> = self.cfg.metrics.then(MetricSink::with_timing);
-        let objective = self.cfg.objective;
+        let obs: Option<MetricSink> = self.cfg.metrics.then(MetricSink::with_timing);
         let workers = crate::par::resolve_workers(self.cfg.workers);
         let mut pred_cfg = self.cfg.predictor;
         pred_cfg.workers = workers;
         pred_cfg.tomography.workers = workers;
-
-        let mut history = CallHistory::new();
-        let mut predictor: Option<Predictor> = None;
-        let mut budget_gate = match kind {
+        let budget_gate = match kind {
             StrategyKind::ViaBudgeted { budget } => Some(BudgetGate::new(budget)),
             _ => None,
         };
-        // FCFS counters for the budget-unaware variant.
-        let mut fcfs_relayed = 0u64;
-        let mut fcfs_total = 0u64;
-        // §7 client-side decision cache: pair → (option, expiry). Persists
-        // across windows; shards read a snapshot and return their writes.
-        let mut decision_cache: HashMap<KeyPair, (RelayOption, SimTime)> = HashMap::new();
-        let mut controller_contacts = 0u64;
-        // §7 hybrid racing overhead: parallel setup probes issued.
-        let mut race_probes = 0u64;
-        // Demand observed in the current window: key pair → exemplar AS
-        // endpoints (used by the active-measurement planner at the next
-        // window boundary).
-        let mut demands: HashMap<KeyPair, (AsId, AsId)> = HashMap::new();
-        let mut stats = ReplayStats {
+        let stats = ReplayStats {
             workers,
             shard_calls: vec![0; workers],
             ..ReplayStats::default()
         };
-        // Fixed per-worker slots: hot metric sinks plus scoring/sampling
-        // scratch, allocated once and reused by every window's fork–join
-        // (slot i always serves shard i).
         let hot_ids = HotIds::new();
-        let mut worker_slots: Vec<WorkerSlot> =
+        let worker_slots: Vec<WorkerSlot> =
             (0..workers).map(|_| WorkerSlot::new(&hot_ids)).collect();
-        if self.cfg.warm {
-            let t_warm = Stopwatch::started();
-            let (enumerated, _built) = self.warm_world(workers);
-            stats.warmed_segments = enumerated;
-            if let Some(sink) = obs.as_mut() {
-                sink.inc("replay_warm_segments_total", enumerated);
-                sink.time("replay.warm", t_warm);
-            }
-        }
-
-        let mut outcomes = Vec::with_capacity(self.trace.len());
-        // Built once per run: the controller's static knowledge (geography
-        // and inter-relay metrics) does not change across windows.
         let prior = GeoPrior::new(
             self.cfg.granularity.key_positions(self.world),
             self.world.relays.iter().map(|r| r.pos).collect(),
         );
         let backbone_table = self.backbone_table();
+        EngineState {
+            t_run,
+            obs,
+            workers,
+            pred_cfg,
+            history: CallHistory::new(),
+            predictor: None,
+            budget_gate,
+            fcfs_relayed: 0,
+            fcfs_total: 0,
+            decision_cache: HashMap::new(),
+            controller_contacts: 0,
+            race_probes: 0,
+            demands: HashMap::new(),
+            stats,
+            hot_ids,
+            worker_slots,
+            outcomes: Vec::new(),
+            aggregate: ReplayAggregate::default(),
+            thresholds: Thresholds::default(),
+            prior,
+            backbone_table,
+        }
+    }
 
-        let records = &self.trace.records;
+    /// Runs one strategy over the whole materialized trace.
+    ///
+    /// # Panics
+    /// If the simulator was built with [`ReplaySim::streaming`] — streamed
+    /// sims replay through [`ReplaySim::run_stream`].
+    pub fn run(&mut self, kind: StrategyKind) -> Outcome {
+        let Some(trace) = self.trace else {
+            panic!("ReplaySim::run needs a materialized trace; use run_stream on a streaming sim")
+        };
+        let mut st = self.engine_start(kind);
+        if self.cfg.warm {
+            let t_warm = Stopwatch::started();
+            let (enumerated, _built) = self.warm_world(trace, st.workers);
+            st.stats.warmed_segments = enumerated;
+            if let Some(sink) = st.obs.as_mut() {
+                sink.inc("replay_warm_segments_total", enumerated);
+                sink.time("replay.warm", t_warm);
+            }
+        }
+        if self.cfg.collect_calls {
+            st.outcomes.reserve(trace.len());
+        }
+        let records = &trace.records;
         let n = records.len();
         let mut start = 0usize;
         while start < n {
@@ -751,312 +1000,453 @@ impl<'a> ReplaySim<'a> {
             while end < n && self.cfg.window.window_of(records[end].t) == window {
                 end += 1;
             }
-            stats.windows += 1;
-            let t_window = Stopwatch::started();
+            self.engine_window(&mut st, kind, window, &records[start..end]);
+            start = end;
+        }
+        self.engine_finish(st, kind)
+    }
 
-            if kind.uses_history() {
-                let t_fit = Stopwatch::started();
-                let fits_before = stats.predictor_fits;
-                let fit_predictor = |history: &CallHistory| {
-                    window.prev().map(|prev| {
-                        Predictor::fit(
-                            history,
-                            prev,
-                            prior.clone(),
-                            Self::backbone_fn_from(backbone_table.clone()),
-                            pred_cfg,
-                        )
-                    })
-                };
-                predictor = fit_predictor(&history);
-                stats.predictor_fits += 1;
-
-                // §7 active measurements: probe tomography holes for the
-                // pairs that carried traffic last window, fold the mock
-                // calls into the training window, and refit.
-                if self.cfg.active_probes_per_window > 0 {
-                    if let (Some(pred), Some(prev)) = (&predictor, window.prev()) {
-                        let mut demand_list: Vec<(u32, u32, Vec<RelayOption>)> = demands
-                            .iter()
-                            .map(|(kp, &(sa, sb))| (kp.lo, kp.hi, self.candidates_for(sa, sb)))
-                            .collect();
-                        demand_list.sort_by_key(|d| (d.0, d.1));
-                        let plan = crate::active::plan_probes(
-                            &demand_list,
-                            pred,
-                            self.cfg.active_probes_per_window,
-                        );
-                        if !plan.is_empty() {
-                            let mut probe_rng = StdRng::seed_from_u64(seed::derive_indexed(
-                                self.cfg.seed,
-                                "active-probes",
-                                window.index,
-                            ));
-                            for probe in plan {
-                                let kp = KeyPair::new(probe.a, probe.b);
-                                let Some(&(sa, sb)) = demands.get(&kp) else {
-                                    continue;
-                                };
-                                let m = self.world.perf().sample_option(
-                                    sa,
-                                    sb,
-                                    probe.option,
-                                    window.start(),
-                                    &mut probe_rng,
-                                );
-                                history.record(prev, kp, probe.option, &m);
+    /// Streamed replay: records arrive from a [`RecordSource`], re-windowed
+    /// by a [`WindowStream`] on a producer thread that prefetches the next
+    /// window while the engine replays the current one (spent batch buffers
+    /// are recycled back to the producer). One window is resident in the
+    /// engine while a bounded handful more sit in the prefetch queue, so
+    /// peak memory is independent of trace length. Results are
+    /// byte-identical to [`ReplaySim::run`] over the materialized
+    /// equivalent, at every worker count.
+    ///
+    /// # Errors
+    /// Any decode or chronology error surfaced by the source; the engine
+    /// stops at the first bad window.
+    pub fn run_stream<S>(&self, source: S, kind: StrategyKind) -> Result<Outcome, StreamError>
+    where
+        S: RecordSource + Send,
+    {
+        let mut st = self.engine_start(kind);
+        if self.cfg.collect_calls {
+            if let Some(n) = source.size_hint() {
+                st.outcomes.reserve(usize::try_from(n).unwrap_or(0));
+            }
+        }
+        let mut stream = WindowStream::new(source, self.cfg.window);
+        let bytes = std::thread::scope(|scope| -> Result<u64, StreamError> {
+            // Bounded prefetch: at most two windows queued ahead of the one
+            // being replayed. The recycle channel hands spent batch buffers
+            // back to the producer for reuse.
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Result<WindowBatch, StreamError>>(2);
+            let (recycle_tx, recycle_rx) = std::sync::mpsc::channel::<WindowBatch>();
+            let producer = scope.spawn(move || {
+                loop {
+                    match stream.next_batch() {
+                        Ok(Some(batch)) => {
+                            if tx.send(Ok(batch)).is_err() {
+                                break; // consumer bailed on an earlier error
                             }
-                            predictor = fit_predictor(&history);
-                            stats.predictor_fits += 1;
+                            while let Ok(spent) = recycle_rx.try_recv() {
+                                stream.recycle(spent);
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            break;
                         }
                     }
                 }
-                demands.clear();
+                stream
+            });
+            let mut first_err = None;
+            for item in rx {
+                match item {
+                    Ok(batch) => {
+                        self.engine_window(&mut st, kind, batch.window, &batch.records);
+                        let _ = recycle_tx.send(batch);
+                    }
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            drop(recycle_tx);
+            let stream = match producer.join() {
+                Ok(s) => s,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok(stream.source().bytes_read()),
+            }
+        })?;
+        st.stats.bytes_decoded = bytes;
+        Ok(self.engine_finish(st, kind))
+    }
 
-                if predictor.is_none() {
-                    predictor = Some(Predictor::cold(
+    /// Advances the engine by one control window. `batch` holds the window's
+    /// calls in chronological order; every index inside is batch-relative, so
+    /// the caller may hand over a slice of a materialized trace or a streamed
+    /// batch interchangeably.
+    fn engine_window(
+        &self,
+        st: &mut EngineState,
+        kind: StrategyKind,
+        window: Window,
+        batch: &[CallRecord],
+    ) {
+        let EngineState {
+            obs,
+            workers,
+            pred_cfg,
+            history,
+            predictor,
+            budget_gate,
+            fcfs_relayed,
+            fcfs_total,
+            decision_cache,
+            controller_contacts,
+            race_probes,
+            demands,
+            stats,
+            hot_ids,
+            worker_slots,
+            outcomes,
+            aggregate,
+            thresholds,
+            prior,
+            backbone_table,
+            ..
+        } = st;
+        let workers = *workers;
+        let pred_cfg = *pred_cfg;
+        let hot_ids: &HotIds = hot_ids;
+        let objective = self.cfg.objective;
+        stats.windows += 1;
+        let t_window = Stopwatch::started();
+
+        if kind.uses_history() {
+            let t_fit = Stopwatch::started();
+            let fits_before = stats.predictor_fits;
+            let fit_predictor = |history: &CallHistory| {
+                window.prev().map(|prev| {
+                    Predictor::fit(
+                        history,
+                        prev,
                         prior.clone(),
                         Self::backbone_fn_from(backbone_table.clone()),
                         pred_cfg,
-                    ));
-                }
-                // The controller only ever trains on the last window.
-                history.prune_before(window.index.saturating_sub(1));
-                stats.predictor_fit_ms += t_fit.elapsed_ms();
-                if let Some(sink) = obs.as_mut() {
-                    let fits = stats.predictor_fits - fits_before;
-                    sink.inc("replay_predictor_fits_total", fits);
-                    let (cells, segs) = predictor.as_ref().map_or((0, 0), |p| {
-                        (p.empirical_cells() as u64, p.tomography_segments() as u64)
-                    });
-                    sink.span(
-                        "replay.refit",
-                        window.index,
-                        &[
-                            ("fits", fits),
-                            ("history_cells", cells),
-                            ("tomography_segments", segs),
-                        ],
-                    );
-                    sink.time("replay.refit", t_fit);
-                }
-            }
-
-            // ---- group the window's calls by decision key ------------------
-            let mut slot_of_pair: HashMap<KeyPair, usize> = HashMap::new();
-            let mut groups: Vec<PairGroup> = Vec::new();
-            let mut slot_of_call: Vec<usize> = Vec::with_capacity(end - start);
-            for (i, call) in records.iter().enumerate().take(end).skip(start) {
-                let ka = self
-                    .cfg
-                    .granularity
-                    .key_of(self.world, call.src_as, call.caller.0);
-                let kb = self
-                    .cfg
-                    .granularity
-                    .key_of(self.world, call.dst_as, call.callee.0);
-                let pair = KeyPair::new(ka, kb);
-                let slot = *slot_of_pair.entry(pair).or_insert_with(|| {
-                    groups.push(PairGroup {
-                        pair,
-                        ka,
-                        kb,
-                        calls: Vec::new(),
-                        state: None,
-                        cached: decision_cache.get(&pair).copied(),
-                    });
-                    groups.len() - 1
-                });
-                groups[slot].calls.push(i);
-                slot_of_call.push(slot);
-            }
-
-            // ---- budget gate pass (sequential, O(1) per call) --------------
-            // The gate is global sequential state, but a call's predicted
-            // benefit is fixed per (pair, window) — it never depends on how
-            // the bandit evolves within the window. So the states are built
-            // in parallel, the gate walks the window in trace order once,
-            // and the per-call verdicts ride into the shards as plain flags.
-            let t_gate = Stopwatch::started();
-            let gated: Option<Vec<bool>> = match kind {
-                StrategyKind::ViaBudgeted { .. } | StrategyKind::ViaBudgetUnaware { .. } => {
-                    predictor.as_ref().map(|pred| {
-                        let built: Vec<Option<PairState>> =
-                            crate::par::par_map(workers, &groups, |_, g| {
-                                g.calls.first().map(|&i| {
-                                    let call = &records[i];
-                                    Self::build_pair_state(
-                                        pred,
-                                        g.ka,
-                                        g.kb,
-                                        &self.candidates(call),
-                                        kind,
-                                        objective,
-                                    )
-                                })
-                            });
-                        let mut flags = Vec::with_capacity(end - start);
-                        for &slot in &slot_of_call {
-                            let benefit = built[slot]
-                                .as_ref()
-                                .map_or(0.0, |st| st.direct_mean - st.best_mean);
-                            let gated_direct = match kind {
-                                StrategyKind::ViaBudgeted { .. } => {
-                                    budget_gate.as_mut().is_some_and(|gate| {
-                                        let admitted = gate.admit(benefit);
-                                        gate.validate();
-                                        !admitted
-                                    })
-                                }
-                                _ => {
-                                    // ViaBudgetUnaware: FCFS under a hard cap.
-                                    let budget = match kind {
-                                        StrategyKind::ViaBudgetUnaware { budget } => budget,
-                                        _ => 0.0,
-                                    };
-                                    fcfs_total += 1;
-                                    let frac = fcfs_relayed as f64 / fcfs_total.max(1) as f64;
-                                    if benefit > 0.0 && frac < budget {
-                                        fcfs_relayed += 1;
-                                        false
-                                    } else {
-                                        true
-                                    }
-                                }
-                            };
-                            flags.push(gated_direct);
-                        }
-                        for (g, st) in groups.iter_mut().zip(built) {
-                            g.state = st;
-                        }
-                        flags
-                    })
-                }
-                _ => None,
-            };
-            stats.gate_ms += t_gate.elapsed_ms();
-            // Gate verdicts are produced by the sequential pass above, so
-            // the admit/deny counts are worker-count invariant by
-            // construction (flags[i] == true means "forced direct").
-            let (gate_admitted, gate_denied) = gated.as_ref().map_or((0, 0), |flags| {
-                let denied = flags.iter().filter(|f| **f).count() as u64;
-                (flags.len() as u64 - denied, denied)
-            });
-            if let Some(sink) = obs.as_mut() {
-                if gated.is_some() {
-                    sink.inc("replay_gate_admitted_total", gate_admitted);
-                    sink.inc("replay_gate_denied_total", gate_denied);
-                }
-                sink.time("replay.gate", t_gate);
-            }
-            let n_groups = groups.len() as u64;
-
-            // ---- shard assignment: LPT by per-pair call count --------------
-            let nshards = workers.min(groups.len()).max(1);
-            let mut order: Vec<usize> = (0..groups.len()).collect();
-            order.sort_by_key(|&s| (std::cmp::Reverse(groups[s].calls.len()), groups[s].pair));
-            let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); nshards];
-            let mut loads = vec![0usize; nshards];
-            for slot in order {
-                let dest = (0..nshards).min_by_key(|&i| (loads[i], i)).unwrap_or(0);
-                loads[dest] += groups[slot].calls.len();
-                assignment[dest].push(slot);
-            }
-            let mut group_cells: Vec<Option<PairGroup>> = groups.into_iter().map(Some).collect();
-            let tasks: Vec<Vec<PairGroup>> = assignment
-                .iter()
-                .map(|slots| {
-                    slots
-                        .iter()
-                        .filter_map(|&s| group_cells[s].take())
-                        .collect()
-                })
-                .collect();
-
-            // ---- parallel shard processing ---------------------------------
-            let gated_ref = gated.as_deref();
-            let pred_ref = predictor.as_ref();
-            let t_shard = Stopwatch::started();
-            let shard_results: Vec<ShardResult> =
-                crate::par::par_run_with(workers, tasks, &mut worker_slots, |task, slot| {
-                    self.process_shard(
-                        kind, window, pred_ref, gated_ref, start, task, &hot_ids, slot,
                     )
-                });
-            stats.shard_ms += t_shard.elapsed_ms();
+                })
+            };
+            *predictor = fit_predictor(history);
+            stats.predictor_fits += 1;
 
-            // ---- deterministic merge back into trace order -----------------
-            let t_merge = Stopwatch::started();
-            let mut window_out: Vec<Option<CallOutcome>> = vec![None; end - start];
-            for (shard_idx, res) in shard_results.into_iter().enumerate() {
-                stats.shard_calls[shard_idx] += res.outcomes.len() as u64;
-                // Fold the shard's hot sink first (fixed shard-index order;
-                // the deterministic core is order-independent anyway), then
-                // reset the slot for the next window.
-                if let Some(sink) = obs.as_mut() {
-                    sink.fold_hot(&hot_ids.schema, &worker_slots[shard_idx].hot);
-                }
-                worker_slots[shard_idx].hot.clear();
-                for (i, co) in res.outcomes {
-                    window_out[i - start] = Some(co);
-                }
-                if kind.uses_history() {
-                    history.merge(res.history);
-                    for (p, ex) in res.demands {
-                        demands.entry(p).or_insert(ex);
+            // §7 active measurements: probe tomography holes for the
+            // pairs that carried traffic last window, fold the mock
+            // calls into the training window, and refit.
+            if self.cfg.active_probes_per_window > 0 {
+                if let (Some(pred), Some(prev)) = (predictor.as_ref(), window.prev()) {
+                    let mut demand_list: Vec<(u32, u32, Vec<RelayOption>)> = demands
+                        .iter()
+                        .map(|(kp, &(sa, sb))| (kp.lo, kp.hi, self.candidates_for(sa, sb)))
+                        .collect();
+                    demand_list.sort_by_key(|d| (d.0, d.1));
+                    let plan = crate::active::plan_probes(
+                        &demand_list,
+                        pred,
+                        self.cfg.active_probes_per_window,
+                    );
+                    if !plan.is_empty() {
+                        let mut probe_rng = StdRng::seed_from_u64(seed::derive_indexed(
+                            self.cfg.seed,
+                            "active-probes",
+                            window.index,
+                        ));
+                        for probe in plan {
+                            let kp = KeyPair::new(probe.a, probe.b);
+                            let Some(&(sa, sb)) = demands.get(&kp) else {
+                                continue;
+                            };
+                            let m = self.world.perf().sample_option(
+                                sa,
+                                sb,
+                                probe.option,
+                                window.start(),
+                                &mut probe_rng,
+                            );
+                            history.record(prev, kp, probe.option, &m);
+                        }
+                        *predictor = fit_predictor(history);
+                        stats.predictor_fits += 1;
                     }
                 }
-                for (p, entry) in res.cache_updates {
-                    decision_cache.insert(p, entry);
-                }
-                controller_contacts += res.contacts;
-                race_probes += res.race_probes;
             }
-            stats.merge_ms += t_merge.elapsed_ms();
-            let before = outcomes.len();
-            outcomes.extend(window_out.into_iter().flatten());
-            assert_eq!(
-                outcomes.len(),
-                before + (end - start),
-                "every call in the window must yield exactly one outcome"
-            );
+            demands.clear();
+
+            if predictor.is_none() {
+                *predictor = Some(Predictor::cold(
+                    prior.clone(),
+                    Self::backbone_fn_from(backbone_table.clone()),
+                    pred_cfg,
+                ));
+            }
+            // The controller only ever trains on the last window.
+            history.prune_before(window.index.saturating_sub(1));
+            stats.predictor_fit_ms += t_fit.elapsed_ms();
             if let Some(sink) = obs.as_mut() {
-                sink.inc("replay_windows_total", 1);
-                sink.inc("replay_pair_groups_total", n_groups);
-                sink.time("replay.shard", t_shard);
-                sink.time("replay.merge", t_merge);
+                let fits = stats.predictor_fits - fits_before;
+                sink.inc("replay_predictor_fits_total", fits);
+                let (cells, segs) = predictor.as_ref().map_or((0, 0), |p| {
+                    (p.empirical_cells() as u64, p.tomography_segments() as u64)
+                });
                 sink.span(
-                    "replay.window",
+                    "replay.refit",
                     window.index,
                     &[
-                        ("calls", (end - start) as u64),
-                        ("pairs", n_groups),
-                        ("gate_admitted", gate_admitted),
-                        ("gate_denied", gate_denied),
+                        ("fits", fits),
+                        ("history_cells", cells),
+                        ("tomography_segments", segs),
                     ],
                 );
-                sink.time("replay.window", t_window);
+                sink.time("replay.refit", t_fit);
             }
-            start = end;
         }
 
+        // ---- group the window's calls by decision key ------------------
+        let mut slot_of_pair: HashMap<KeyPair, usize> = HashMap::new();
+        let mut groups: Vec<PairGroup> = Vec::new();
+        let mut slot_of_call: Vec<usize> = Vec::with_capacity(batch.len());
+        for (i, call) in batch.iter().enumerate() {
+            let ka = self
+                .cfg
+                .granularity
+                .key_of(self.world, call.src_as, call.caller.0);
+            let kb = self
+                .cfg
+                .granularity
+                .key_of(self.world, call.dst_as, call.callee.0);
+            let pair = KeyPair::new(ka, kb);
+            let slot = *slot_of_pair.entry(pair).or_insert_with(|| {
+                groups.push(PairGroup {
+                    pair,
+                    ka,
+                    kb,
+                    calls: Vec::new(),
+                    state: None,
+                    cached: decision_cache.get(&pair).copied(),
+                });
+                groups.len() - 1
+            });
+            groups[slot].calls.push(i);
+            slot_of_call.push(slot);
+        }
+
+        // ---- budget gate pass (sequential, O(1) per call) --------------
+        // The gate is global sequential state, but a call's predicted
+        // benefit is fixed per (pair, window) — it never depends on how
+        // the bandit evolves within the window. So the states are built
+        // in parallel, the gate walks the window in trace order once,
+        // and the per-call verdicts ride into the shards as plain flags.
+        let t_gate = Stopwatch::started();
+        let gated: Option<Vec<bool>> = match kind {
+            StrategyKind::ViaBudgeted { .. } | StrategyKind::ViaBudgetUnaware { .. } => {
+                predictor.as_ref().map(|pred| {
+                    let built: Vec<Option<PairState>> =
+                        crate::par::par_map(workers, &groups, |_, g| {
+                            g.calls.first().map(|&i| {
+                                let call = &batch[i];
+                                Self::build_pair_state(
+                                    pred,
+                                    g.ka,
+                                    g.kb,
+                                    &self.candidates(call),
+                                    kind,
+                                    objective,
+                                )
+                            })
+                        });
+                    let mut flags = Vec::with_capacity(batch.len());
+                    for &slot in &slot_of_call {
+                        let benefit = built[slot]
+                            .as_ref()
+                            .map_or(0.0, |st| st.direct_mean - st.best_mean);
+                        let gated_direct = match kind {
+                            StrategyKind::ViaBudgeted { .. } => {
+                                budget_gate.as_mut().is_some_and(|gate| {
+                                    let admitted = gate.admit(benefit);
+                                    gate.validate();
+                                    !admitted
+                                })
+                            }
+                            _ => {
+                                // ViaBudgetUnaware: FCFS under a hard cap.
+                                let budget = match kind {
+                                    StrategyKind::ViaBudgetUnaware { budget } => budget,
+                                    _ => 0.0,
+                                };
+                                *fcfs_total += 1;
+                                let frac = *fcfs_relayed as f64 / (*fcfs_total).max(1) as f64;
+                                if benefit > 0.0 && frac < budget {
+                                    *fcfs_relayed += 1;
+                                    false
+                                } else {
+                                    true
+                                }
+                            }
+                        };
+                        flags.push(gated_direct);
+                    }
+                    for (g, st) in groups.iter_mut().zip(built) {
+                        g.state = st;
+                    }
+                    flags
+                })
+            }
+            _ => None,
+        };
+        stats.gate_ms += t_gate.elapsed_ms();
+        // Gate verdicts are produced by the sequential pass above, so
+        // the admit/deny counts are worker-count invariant by
+        // construction (flags[i] == true means "forced direct").
+        let (gate_admitted, gate_denied) = gated.as_ref().map_or((0, 0), |flags| {
+            let denied = flags.iter().filter(|f| **f).count() as u64;
+            (flags.len() as u64 - denied, denied)
+        });
+        if let Some(sink) = obs.as_mut() {
+            if gated.is_some() {
+                sink.inc("replay_gate_admitted_total", gate_admitted);
+                sink.inc("replay_gate_denied_total", gate_denied);
+            }
+            sink.time("replay.gate", t_gate);
+        }
+        let n_groups = groups.len() as u64;
+
+        // ---- shard assignment: LPT by per-pair call count --------------
+        let nshards = workers.min(groups.len()).max(1);
+        let mut order: Vec<usize> = (0..groups.len()).collect();
+        order.sort_by_key(|&s| (std::cmp::Reverse(groups[s].calls.len()), groups[s].pair));
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+        let mut loads = vec![0usize; nshards];
+        for slot in order {
+            let dest = (0..nshards).min_by_key(|&i| (loads[i], i)).unwrap_or(0);
+            loads[dest] += groups[slot].calls.len();
+            assignment[dest].push(slot);
+        }
+        let mut group_cells: Vec<Option<PairGroup>> = groups.into_iter().map(Some).collect();
+        let tasks: Vec<Vec<PairGroup>> = assignment
+            .iter()
+            .map(|slots| {
+                slots
+                    .iter()
+                    .filter_map(|&s| group_cells[s].take())
+                    .collect()
+            })
+            .collect();
+
+        // ---- parallel shard processing ---------------------------------
+        let gated_ref = gated.as_deref();
+        let pred_ref = predictor.as_ref();
+        let t_shard = Stopwatch::started();
+        let shard_results: Vec<ShardResult> =
+            crate::par::par_run_with(workers, tasks, worker_slots, |task, slot| {
+                self.process_shard(
+                    kind, window, pred_ref, gated_ref, batch, task, hot_ids, slot,
+                )
+            });
+        stats.shard_ms += t_shard.elapsed_ms();
+
+        // ---- deterministic merge back into trace order -----------------
+        let t_merge = Stopwatch::started();
+        let mut window_out: Vec<Option<CallOutcome>> = vec![None; batch.len()];
+        for (shard_idx, res) in shard_results.into_iter().enumerate() {
+            stats.shard_calls[shard_idx] += res.outcomes.len() as u64;
+            // Fold the shard's hot sink first (fixed shard-index order;
+            // the deterministic core is order-independent anyway), then
+            // reset the slot for the next window.
+            if let Some(sink) = obs.as_mut() {
+                sink.fold_hot(&hot_ids.schema, &worker_slots[shard_idx].hot);
+            }
+            worker_slots[shard_idx].hot.clear();
+            for (i, co) in res.outcomes {
+                window_out[i] = Some(co);
+            }
+            if kind.uses_history() {
+                history.merge(res.history);
+                for (p, ex) in res.demands {
+                    demands.entry(p).or_insert(ex);
+                }
+            }
+            for (p, entry) in res.cache_updates {
+                decision_cache.insert(p, entry);
+            }
+            *controller_contacts += res.contacts;
+            *race_probes += res.race_probes;
+        }
+        stats.merge_ms += t_merge.elapsed_ms();
+        // Fold the window's outcomes into the running aggregate in trace
+        // order (the digest is order-sensitive); materialize them only
+        // when the config asks for per-call outcomes.
+        let mut filled = 0usize;
+        for co in window_out.into_iter().flatten() {
+            aggregate.update(&co, thresholds);
+            if self.cfg.collect_calls {
+                outcomes.push(co);
+            }
+            filled += 1;
+        }
+        assert_eq!(
+            filled,
+            batch.len(),
+            "every call in the window must yield exactly one outcome"
+        );
+        if let Some(sink) = obs.as_mut() {
+            sink.inc("replay_windows_total", 1);
+            sink.inc("replay_pair_groups_total", n_groups);
+            sink.time("replay.shard", t_shard);
+            sink.time("replay.merge", t_merge);
+            sink.span(
+                "replay.window",
+                window.index,
+                &[
+                    ("calls", batch.len() as u64),
+                    ("pairs", n_groups),
+                    ("gate_admitted", gate_admitted),
+                    ("gate_denied", gate_denied),
+                ],
+            );
+            sink.time("replay.window", t_window);
+        }
+    }
+
+    /// Folds the engine state into the run's [`Outcome`].
+    fn engine_finish(&self, st: EngineState, kind: StrategyKind) -> Outcome {
+        let EngineState {
+            t_run,
+            obs,
+            mut stats,
+            outcomes,
+            aggregate,
+            controller_contacts,
+            race_probes,
+            ..
+        } = st;
         stats.wall_ms = t_run.elapsed_ms();
         stats.calls_per_sec = if stats.wall_ms > 0.0 {
-            outcomes.len() as f64 / (stats.wall_ms / 1e3)
+            aggregate.calls as f64 / (stats.wall_ms / 1e3)
         } else {
             0.0
         };
 
         Outcome {
             strategy: kind.name(),
-            objective,
+            objective: self.cfg.objective,
             controller_contacts: if matches!(kind, StrategyKind::ViaCached { .. }) {
                 controller_contacts
             } else {
-                outcomes.len() as u64
+                aggregate.calls
             },
             race_probes,
             calls: outcomes,
+            aggregate,
             stats,
             obs: obs.map(|mut sink| {
                 sink.time("replay.run", t_run);
@@ -1076,7 +1466,7 @@ impl<'a> ReplaySim<'a> {
         window: Window,
         predictor: Option<&Predictor>,
         gated: Option<&[bool]>,
-        win_start: usize,
+        batch: &[CallRecord],
         work: Vec<PairGroup>,
         ids: &HotIds,
         slot: &mut WorkerSlot,
@@ -1089,7 +1479,9 @@ impl<'a> ReplaySim<'a> {
         // sink (a plain array bump) and is folded — or discarded — at the
         // window barrier.
         let want_mos = self.cfg.metrics;
-        let records = &self.trace.records;
+        // Batch-relative view of the window's calls (PairGroup indices are
+        // batch-relative too, whichever driver produced them).
+        let records = batch;
         // Worker-local scratch and hot sink, reused across every call on
         // this shard and across windows (split borrows so the decision arms
         // can hold `scratch` and `hot` mutably at the same time).
@@ -1275,7 +1667,7 @@ impl<'a> ReplaySim<'a> {
                             });
                             // Budget verdicts were computed in the sequential
                             // gate pass; they arrive as per-call flags.
-                            let gated_direct = gated.is_some_and(|flags| flags[i - win_start]);
+                            let gated_direct = gated.is_some_and(|flags| flags[i]);
                             if gated_direct {
                                 RelayOption::Direct
                             } else {

@@ -14,11 +14,7 @@ fn world() -> World {
 #[test]
 fn empty_trace_produces_empty_outcome() {
     let w = world();
-    let trace = Trace {
-        seed: 0,
-        days: 0,
-        records: vec![],
-    };
+    let trace = Trace::new(0, 0, vec![]);
     for kind in [
         StrategyKind::Default,
         StrategyKind::Via,

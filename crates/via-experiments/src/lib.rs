@@ -164,6 +164,24 @@ impl Env {
         ReplaySim::new(&self.world, &self.trace, cfg).run(kind)
     }
 
+    /// Runs one strategy through the streaming engine, feeding this
+    /// environment's trace record-by-record (a
+    /// [`via_trace::stream::TraceRecords`] source). Per-call outcomes are
+    /// not materialized — every summary lives in [`Outcome::aggregate`],
+    /// byte-identical to what [`Env::run`] computes for the same inputs.
+    pub fn run_streamed(&self, kind: StrategyKind, objective: Metric) -> Outcome {
+        let cfg = ReplayConfig {
+            objective,
+            seed: self.seed,
+            workers: self.workers,
+            collect_calls: false,
+            ..ReplayConfig::default()
+        };
+        ReplaySim::streaming(&self.world, cfg)
+            .run_stream(via_trace::stream::TraceRecords::new(&self.trace), kind)
+            .expect("an in-memory record source cannot fail to decode")
+    }
+
     /// Like [`Env::run`], but with the via-obs metric sink enabled: the
     /// outcome carries a deterministic [`via_obs::MetricsSnapshot`] (see
     /// [`write_metrics`]) at a modest replay-throughput cost (tracked by
@@ -322,6 +340,20 @@ mod tests {
         });
         assert!(!env.trace.is_empty());
         assert!(env.trace.is_chronological());
+    }
+
+    #[test]
+    fn streamed_run_matches_materialized_aggregate() {
+        let env = build_env(Args {
+            scale: Scale::Tiny,
+            seed: 3,
+            workers: 2,
+        });
+        let a = env.run(StrategyKind::Via, Metric::Rtt);
+        let b = env.run_streamed(StrategyKind::Via, Metric::Rtt);
+        assert!(b.calls.is_empty(), "streamed runs skip per-call outcomes");
+        assert_eq!(a.aggregate, b.aggregate);
+        assert_eq!(a.controller_contacts, b.controller_contacts);
     }
 
     #[test]

@@ -115,6 +115,13 @@ impl WindowLen {
         self.secs
     }
 
+    /// A window of exactly `secs` seconds, or `None` if `secs` is zero.
+    /// Used when the length comes from untrusted input (e.g. a binary trace
+    /// header) and must not panic.
+    pub fn secs_checked(secs: u64) -> Option<Self> {
+        (secs > 0).then_some(WindowLen { secs })
+    }
+
     /// The window containing `t`.
     #[inline]
     pub fn window_of(self, t: SimTime) -> Window {

@@ -435,11 +435,7 @@ mod tests {
 
     #[test]
     fn empty_trace_is_handled() {
-        let tr = Trace {
-            seed: 0,
-            days: 0,
-            records: vec![],
-        };
+        let tr = Trace::new(0, 0, vec![]);
         let s = dataset_summary(&tr);
         assert_eq!(s.calls, 0);
         assert!(worst_pair_concentration(&tr, &Thresholds::default()).is_empty());

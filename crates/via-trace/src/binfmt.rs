@@ -1,0 +1,616 @@
+//! Compact binary on-disk trace format (`.vbt` — "via binary trace").
+//!
+//! The JSONL format (see [`crate::io`]) is convenient for inspection but
+//! costs ~4× the bytes and a full JSON parse per record. At paper scale and
+//! beyond, decode bandwidth and memory become the replay ceiling, so this
+//! module defines a fixed-width little-endian record encoding framed into
+//! length-prefixed window chunks:
+//!
+//! ```text
+//! header (56 bytes)
+//!   0   8  magic  b"VIATRACE"
+//!   8   4  schema version (currently 1), u32 LE
+//!   12  4  reserved (0)
+//!   16  8  trace seed
+//!   24  8  trace horizon, days
+//!   32  8  record count
+//!   40  8  frame window length, seconds
+//!   48  8  header digest (FNV-1a over bytes 0..48)
+//! frame (repeated until `record count` records have been read)
+//!   0   8  window index (frame window length × index = start time)
+//!   8   4  record count in this frame, u32 LE
+//!   12  4  payload length in bytes (= count × 94), u32 LE
+//!   16  …  fixed-width records
+//! ```
+//!
+//! Each record is 94 bytes (`RECORD_BYTES`): ids and endpoints as `u32`,
+//! the timestamp as `u64`, two flag/rating bytes, and seven `f64` metric
+//! fields, all little-endian. Decoding is a straight pass over the frame
+//! payload into a caller-reused `Vec<CallRecord>` — no allocation per record,
+//! no intermediate strings.
+//!
+//! Frames are keyed by the *file's* framing window (default 24 h). Readers
+//! re-window the record stream to whatever control period the replay wants
+//! (see [`crate::stream`]), so the on-disk framing only bounds reader memory:
+//! a reader holds at most one frame's payload plus its decoded records.
+//!
+//! The header is written with a zero record count, then patched in place by
+//! [`BinWriter::finish`] — so a crashed writer leaves a file whose digest
+//! does not verify, and truncated or bit-flipped files fail loudly
+//! ([`BinError`]) instead of yielding a silently short trace.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use via_model::ids::{AsId, CallId, ClientId, CountryId};
+use via_model::metrics::PathMetrics;
+use via_model::time::{SimTime, WindowLen};
+
+use crate::record::{AccessExtra, CallRecord, Trace};
+
+/// File magic, first 8 bytes of every binary trace.
+pub const MAGIC: [u8; 8] = *b"VIATRACE";
+/// Schema version this build reads and writes.
+pub const SCHEMA_VERSION: u32 = 1;
+/// Encoded size of one [`CallRecord`].
+pub const RECORD_BYTES: usize = 94;
+/// Encoded size of the file header.
+pub const HEADER_BYTES: usize = 56;
+/// Encoded size of a frame prefix (window index + count + payload length).
+pub const FRAME_PREFIX_BYTES: usize = 16;
+/// Sentinel in the rating byte meaning "no rating" (ratings are 1–5).
+const NO_RATING: u8 = 0xFF;
+
+/// Errors arising from binary trace encode/decode.
+#[derive(Debug)]
+pub enum BinError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The first 8 bytes are not the `VIATRACE` magic.
+    BadMagic,
+    /// Schema version this build does not understand.
+    BadVersion(u32),
+    /// Header digest mismatch: truncated write or corrupted header.
+    BadDigest {
+        /// Digest stored in the file.
+        stored: u64,
+        /// Digest recomputed over the header bytes.
+        computed: u64,
+    },
+    /// The file ended inside a header, frame prefix, or frame payload.
+    Truncated {
+        /// What was being read when the file ran out.
+        context: &'static str,
+    },
+    /// A frame prefix whose payload length disagrees with its record count.
+    FrameMismatch {
+        /// Records the prefix claims.
+        count: u32,
+        /// Payload bytes the prefix claims.
+        payload_len: u32,
+    },
+    /// Total records decoded differ from the header's record count.
+    CountMismatch {
+        /// Count the header promised.
+        expected: u64,
+        /// Records actually present.
+        actual: u64,
+    },
+    /// A record field held a value the schema cannot represent (e.g. a
+    /// rating outside 1–5 on encode).
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for BinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BinError::Io(e) => write!(f, "binary trace I/O error: {e}"),
+            BinError::BadMagic => write!(f, "not a binary trace (bad magic)"),
+            BinError::BadVersion(v) => write!(
+                f,
+                "binary trace schema version {v} unsupported (this build reads {SCHEMA_VERSION})"
+            ),
+            BinError::BadDigest { stored, computed } => write!(
+                f,
+                "binary trace header digest mismatch (stored {stored:#018x}, computed {computed:#018x}) — truncated write or corruption"
+            ),
+            BinError::Truncated { context } => {
+                write!(f, "binary trace truncated while reading {context}")
+            }
+            BinError::FrameMismatch { count, payload_len } => write!(
+                f,
+                "binary trace frame prefix inconsistent: {count} records but {payload_len} payload bytes"
+            ),
+            BinError::CountMismatch { expected, actual } => write!(
+                f,
+                "binary trace holds {actual} records but its header promised {expected}"
+            ),
+            BinError::BadField(what) => {
+                write!(f, "binary trace field out of encodable range: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BinError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for BinError {
+    fn from(e: io::Error) -> Self {
+        BinError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — the header integrity digest. Chosen for
+/// zero dependencies and total determinism, not cryptographic strength.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Decoded binary trace header: provenance and layout of the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinHeader {
+    /// Schema version of the file.
+    pub version: u32,
+    /// Seed the trace was generated with.
+    pub seed: u64,
+    /// Trace horizon in days.
+    pub days: u64,
+    /// Total records in the file.
+    pub records: u64,
+    /// On-disk framing window length.
+    pub frame_len: WindowLen,
+    /// Stored header digest (already verified on read).
+    pub digest: u64,
+}
+
+impl BinHeader {
+    fn encode(&self) -> [u8; HEADER_BYTES] {
+        let mut buf = [0u8; HEADER_BYTES];
+        buf[0..8].copy_from_slice(&MAGIC);
+        buf[8..12].copy_from_slice(&self.version.to_le_bytes());
+        // bytes 12..16 reserved, zero.
+        buf[16..24].copy_from_slice(&self.seed.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.days.to_le_bytes());
+        buf[32..40].copy_from_slice(&self.records.to_le_bytes());
+        buf[40..48].copy_from_slice(&self.frame_len.secs().to_le_bytes());
+        let digest = fnv1a(&buf[0..48]);
+        buf[48..56].copy_from_slice(&digest.to_le_bytes());
+        buf
+    }
+
+    fn decode(buf: &[u8; HEADER_BYTES]) -> Result<BinHeader, BinError> {
+        if buf[0..8] != MAGIC {
+            return Err(BinError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+        let u64_at = |o: usize| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&buf[o..o + 8]);
+            u64::from_le_bytes(b)
+        };
+        let version = u32_at(8);
+        if version != SCHEMA_VERSION {
+            return Err(BinError::BadVersion(version));
+        }
+        let stored = u64_at(48);
+        let computed = fnv1a(&buf[0..48]);
+        if stored != computed {
+            return Err(BinError::BadDigest { stored, computed });
+        }
+        let frame_secs = u64_at(40);
+        if frame_secs == 0 {
+            return Err(BinError::BadField("frame window length of zero"));
+        }
+        Ok(BinHeader {
+            version,
+            seed: u64_at(16),
+            days: u64_at(24),
+            records: u64_at(32),
+            frame_len: WindowLen::secs_checked(frame_secs)
+                .ok_or(BinError::BadField("frame window length of zero"))?,
+            digest: stored,
+        })
+    }
+}
+
+/// Encodes one record into `out` (appends exactly [`RECORD_BYTES`] bytes).
+fn encode_record(r: &CallRecord, out: &mut Vec<u8>) -> Result<(), BinError> {
+    let rating = match r.rating {
+        None => NO_RATING,
+        Some(v) if (1..=5).contains(&v) => v,
+        Some(_) => return Err(BinError::BadField("rating outside 1–5")),
+    };
+    out.extend_from_slice(&r.id.0.to_le_bytes());
+    out.extend_from_slice(&r.t.secs().to_le_bytes());
+    out.extend_from_slice(&r.src_as.0.to_le_bytes());
+    out.extend_from_slice(&r.dst_as.0.to_le_bytes());
+    out.extend_from_slice(&r.src_country.0.to_le_bytes());
+    out.extend_from_slice(&r.dst_country.0.to_le_bytes());
+    out.extend_from_slice(&r.caller.0.to_le_bytes());
+    out.extend_from_slice(&r.callee.0.to_le_bytes());
+    out.push(u8::from(r.wireless));
+    out.push(rating);
+    out.extend_from_slice(&r.duration_s.to_le_bytes());
+    out.extend_from_slice(&r.access_extra.rtt_ms.to_le_bytes());
+    out.extend_from_slice(&r.access_extra.loss_pct.to_le_bytes());
+    out.extend_from_slice(&r.access_extra.jitter_ms.to_le_bytes());
+    out.extend_from_slice(&r.direct_metrics.rtt_ms.to_le_bytes());
+    out.extend_from_slice(&r.direct_metrics.loss_pct.to_le_bytes());
+    out.extend_from_slice(&r.direct_metrics.jitter_ms.to_le_bytes());
+    Ok(())
+}
+
+/// Decodes one record from a [`RECORD_BYTES`]-sized window of `buf`.
+fn decode_record(buf: &[u8]) -> CallRecord {
+    debug_assert_eq!(buf.len(), RECORD_BYTES);
+    let u32_at = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+    let u64_at = |o: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&buf[o..o + 8]);
+        u64::from_le_bytes(b)
+    };
+    let f64_at = |o: usize| f64::from_bits(u64_at(o));
+    CallRecord {
+        id: CallId(u32_at(0)),
+        t: SimTime(u64_at(4)),
+        src_as: AsId(u32_at(12)),
+        dst_as: AsId(u32_at(16)),
+        src_country: CountryId(u32_at(20)),
+        dst_country: CountryId(u32_at(24)),
+        caller: ClientId(u32_at(28)),
+        callee: ClientId(u32_at(32)),
+        wireless: buf[36] != 0,
+        rating: (buf[37] != NO_RATING).then_some(buf[37]),
+        duration_s: f64_at(38),
+        access_extra: AccessExtra {
+            rtt_ms: f64_at(46),
+            loss_pct: f64_at(54),
+            jitter_ms: f64_at(62),
+        },
+        direct_metrics: PathMetrics::new(f64_at(70), f64_at(78), f64_at(86)),
+    }
+}
+
+/// Streaming binary trace writer: records arrive in chronological order, are
+/// framed by the configured window length, and only the current frame is
+/// buffered. [`BinWriter::finish`] patches the header's record count in
+/// place, so the header digest only verifies for completely written files.
+pub struct BinWriter {
+    file: BufWriter<File>,
+    header: BinHeader,
+    frame: Vec<u8>,
+    frame_records: u32,
+    frame_window: Option<u64>,
+    written: u64,
+}
+
+impl BinWriter {
+    /// Creates a writer, emitting a provisional header (zero records).
+    pub fn create(
+        path: &Path,
+        seed: u64,
+        days: u64,
+        frame_len: WindowLen,
+    ) -> Result<Self, BinError> {
+        let mut file = BufWriter::new(File::create(path)?);
+        let header = BinHeader {
+            version: SCHEMA_VERSION,
+            seed,
+            days,
+            records: 0,
+            frame_len,
+            digest: 0,
+        };
+        file.write_all(&header.encode())?;
+        Ok(BinWriter {
+            file,
+            header,
+            frame: Vec::new(),
+            frame_records: 0,
+            frame_window: None,
+            written: 0,
+        })
+    }
+
+    /// Appends one record. Records must arrive in nondecreasing time order —
+    /// frame boundaries are derived from the record stream.
+    pub fn push(&mut self, r: &CallRecord) -> Result<(), BinError> {
+        let window = self.header.frame_len.window_of(r.t).index;
+        if self.frame_window.is_some_and(|w| w != window) {
+            self.flush_frame()?;
+        }
+        self.frame_window = Some(window);
+        encode_record(r, &mut self.frame)?;
+        self.frame_records += 1;
+        self.written += 1;
+        Ok(())
+    }
+
+    fn flush_frame(&mut self) -> Result<(), BinError> {
+        let Some(window) = self.frame_window.take() else {
+            return Ok(());
+        };
+        let payload_len = u32::try_from(self.frame.len())
+            .map_err(|_| BinError::BadField("frame payload beyond u32 bytes"))?;
+        self.file.write_all(&window.to_le_bytes())?;
+        self.file.write_all(&self.frame_records.to_le_bytes())?;
+        self.file.write_all(&payload_len.to_le_bytes())?;
+        self.file.write_all(&self.frame)?;
+        self.frame.clear();
+        self.frame_records = 0;
+        Ok(())
+    }
+
+    /// Flushes the last frame and patches the header with the final record
+    /// count and digest. Consumes the writer; the file is only valid after
+    /// this returns `Ok`.
+    pub fn finish(mut self) -> Result<u64, BinError> {
+        self.flush_frame()?;
+        self.header.records = self.written;
+        let mut file = self
+            .file
+            .into_inner()
+            .map_err(|e| BinError::Io(e.into_error()))?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&self.header.encode())?;
+        file.sync_data()?;
+        Ok(self.written)
+    }
+}
+
+/// Streaming binary trace reader. Holds one frame's payload plus its decoded
+/// records at a time; both buffers are reused across frames.
+pub struct BinReader {
+    file: BufReader<File>,
+    header: BinHeader,
+    payload: Vec<u8>,
+    read_records: u64,
+    bytes_read: u64,
+}
+
+impl BinReader {
+    /// Opens a binary trace, verifying magic, version, and header digest.
+    pub fn open(path: &Path) -> Result<Self, BinError> {
+        let mut file = BufReader::new(File::open(path)?);
+        let mut buf = [0u8; HEADER_BYTES];
+        read_exact_or(&mut file, &mut buf, "header")?;
+        let header = BinHeader::decode(&buf)?;
+        Ok(BinReader {
+            file,
+            header,
+            payload: Vec::new(),
+            read_records: 0,
+            bytes_read: HEADER_BYTES as u64,
+        })
+    }
+
+    /// The file's header.
+    pub fn header(&self) -> &BinHeader {
+        &self.header
+    }
+
+    /// Total bytes consumed from the file so far (header, prefixes, and
+    /// payloads) — the numerator of the bench's bytes-decoded/sec figure.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Reads the next frame, appending its decoded records to `out`.
+    /// Returns the frame's on-disk window index, or `None` at a clean end of
+    /// file (after exactly `header.records` records).
+    pub fn next_frame(&mut self, out: &mut Vec<CallRecord>) -> Result<Option<u64>, BinError> {
+        let mut prefix = [0u8; FRAME_PREFIX_BYTES];
+        match self.file.read(&mut prefix[..1])? {
+            0 => {
+                if self.read_records != self.header.records {
+                    return Err(BinError::CountMismatch {
+                        expected: self.header.records,
+                        actual: self.read_records,
+                    });
+                }
+                return Ok(None);
+            }
+            _ => read_exact_or(&mut self.file, &mut prefix[1..], "frame prefix")?,
+        }
+        let window = u64::from_le_bytes([
+            prefix[0], prefix[1], prefix[2], prefix[3], prefix[4], prefix[5], prefix[6], prefix[7],
+        ]);
+        let count = u32::from_le_bytes([prefix[8], prefix[9], prefix[10], prefix[11]]);
+        let payload_len = u32::from_le_bytes([prefix[12], prefix[13], prefix[14], prefix[15]]);
+        if payload_len as usize != count as usize * RECORD_BYTES {
+            return Err(BinError::FrameMismatch { count, payload_len });
+        }
+        self.payload.resize(payload_len as usize, 0);
+        read_exact_or(&mut self.file, &mut self.payload, "frame payload")?;
+        self.bytes_read += (FRAME_PREFIX_BYTES + payload_len as usize) as u64;
+        self.read_records += u64::from(count);
+        if self.read_records > self.header.records {
+            return Err(BinError::CountMismatch {
+                expected: self.header.records,
+                actual: self.read_records,
+            });
+        }
+        out.reserve(count as usize);
+        for chunk in self.payload.chunks_exact(RECORD_BYTES) {
+            out.push(decode_record(chunk));
+        }
+        Ok(Some(window))
+    }
+}
+
+/// `read_exact` mapped to [`BinError::Truncated`] on a premature EOF.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], context: &'static str) -> Result<(), BinError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            BinError::Truncated { context }
+        } else {
+            BinError::Io(e)
+        }
+    })
+}
+
+/// Writes a whole materialized trace with the default daily framing.
+pub fn write_binary(trace: &Trace, path: &Path) -> Result<(), BinError> {
+    write_binary_framed(trace, path, WindowLen::DAY)
+}
+
+/// Writes a whole materialized trace framed by `frame_len`.
+pub fn write_binary_framed(
+    trace: &Trace,
+    path: &Path,
+    frame_len: WindowLen,
+) -> Result<(), BinError> {
+    let mut w = BinWriter::create(path, trace.seed, trace.days, frame_len)?;
+    for r in &trace.records {
+        w.push(r)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a whole binary trace into memory. The streaming pipeline
+/// ([`crate::stream`]) is the bounded-memory path; this is the convenience
+/// form for tools and tests.
+pub fn read_binary(path: &Path) -> Result<Trace, BinError> {
+    let mut r = BinReader::open(path)?;
+    let mut records = Vec::with_capacity(usize::try_from(r.header.records).unwrap_or(0));
+    while r.next_frame(&mut records)?.is_some() {}
+    Ok(Trace::new(r.header.seed, r.header.days, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{TraceConfig, TraceGenerator};
+    use via_netsim::{World, WorldConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("via-trace-binfmt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_trace() -> Trace {
+        let world = World::generate(&WorldConfig::tiny(), 33);
+        TraceGenerator::new(&world, TraceConfig::tiny(), 33).generate()
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let trace = sample_trace();
+        let path = tmp("roundtrip.vbt");
+        write_binary(&trace, &path).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back.seed, trace.seed);
+        assert_eq!(back.days, trace.days);
+        assert_eq!(back.records, trace.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn roundtrip_survives_odd_framing() {
+        let trace = sample_trace();
+        let path = tmp("framing.vbt");
+        write_binary_framed(&trace, &path, WindowLen::hours(5)).unwrap();
+        let back = read_binary(&path).unwrap();
+        assert_eq!(back.records, trace.records);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_codec_handles_field_extremes() {
+        let mut r = sample_trace().records[0].clone();
+        r.rating = None;
+        r.duration_s = f64::MAX;
+        r.access_extra.jitter_ms = f64::MIN_POSITIVE;
+        let mut buf = Vec::new();
+        encode_record(&r, &mut buf).unwrap();
+        assert_eq!(buf.len(), RECORD_BYTES);
+        assert_eq!(decode_record(&buf), r);
+    }
+
+    #[test]
+    fn out_of_range_rating_is_rejected() {
+        let mut r = sample_trace().records[0].clone();
+        r.rating = Some(6);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            encode_record(&r, &mut buf),
+            Err(BinError::BadField(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_fails_loudly() {
+        let trace = sample_trace();
+        let path = tmp("truncated.vbt");
+        write_binary(&trace, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the file mid-payload: the reader must report truncation or a
+        // count mismatch, never a silently short trace.
+        std::fs::write(&path, &bytes[..bytes.len() - 31]).unwrap();
+        let err = read_binary(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BinError::Truncated { .. } | BinError::CountMismatch { .. }
+            ),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_corruption_fails_digest() {
+        let trace = sample_trace();
+        let path = tmp("digest.vbt");
+        write_binary(&trace, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[17] ^= 0x40; // flip a seed bit
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_binary(&path).unwrap_err(),
+            BinError::BadDigest { .. }
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let path = tmp("magic.vbt");
+        std::fs::write(
+            &path,
+            b"NOTATRCE________________________________________________",
+        )
+        .unwrap();
+        assert!(matches!(
+            read_binary(&path).unwrap_err(),
+            BinError::BadMagic
+        ));
+        let trace = sample_trace();
+        write_binary(&trace, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 99; // version
+        let digest = fnv1a(&bytes[0..48]);
+        bytes[48..56].copy_from_slice(&digest.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_binary(&path).unwrap_err(),
+            BinError::BadVersion(99)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

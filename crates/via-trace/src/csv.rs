@@ -151,11 +151,7 @@ pub fn read_csv(path: &Path) -> Result<Trace, CsvError> {
             rating,
         });
     }
-    Ok(Trace {
-        seed: 0,
-        days: max_day,
-        records,
-    })
+    Ok(Trace::new(0, max_day, records))
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use std::path::PathBuf;
 
+use crate::binfmt::BinError;
 use crate::csv::CsvError;
 use crate::io::TraceIoError;
 
@@ -17,6 +18,8 @@ pub enum TraceError {
     Jsonl(TraceIoError),
     /// CSV persistence failed.
     Csv(CsvError),
+    /// Binary (`.vbt`) persistence failed.
+    Binary(BinError),
     /// The path's extension matches no supported trace format.
     UnknownFormat(PathBuf),
 }
@@ -26,9 +29,10 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::Jsonl(e) => write!(f, "{e}"),
             TraceError::Csv(e) => write!(f, "{e}"),
+            TraceError::Binary(e) => write!(f, "{e}"),
             TraceError::UnknownFormat(p) => write!(
                 f,
-                "unsupported trace format {:?} (expected .jsonl or .csv)",
+                "unsupported trace format {:?} (expected .jsonl, .vbt, or .csv)",
                 p
             ),
         }
@@ -40,6 +44,7 @@ impl std::error::Error for TraceError {
         match self {
             TraceError::Jsonl(e) => Some(e),
             TraceError::Csv(e) => Some(e),
+            TraceError::Binary(e) => Some(e),
             TraceError::UnknownFormat(_) => None,
         }
     }
@@ -54,5 +59,11 @@ impl From<TraceIoError> for TraceError {
 impl From<CsvError> for TraceError {
     fn from(e: CsvError) -> Self {
         TraceError::Csv(e)
+    }
+}
+
+impl From<BinError> for TraceError {
+    fn from(e: BinError) -> Self {
+        TraceError::Binary(e)
     }
 }

@@ -4,6 +4,12 @@
 //! convenience (sharing a trace between experiment runs, inspecting records
 //! with standard tooling) rather than a necessity. The format is one JSON
 //! object per line — streamable, appendable, and diffable.
+//!
+//! Reading is line-streamed: [`JsonlReader`] yields one record at a time
+//! with exact error positions (1-based line number and the byte offset of
+//! the offending line), and never holds more than one line in memory. The
+//! materializing [`read_jsonl`] is a thin collect over it; the streaming
+//! replay pipeline (see [`crate::stream`]) consumes the reader directly.
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -16,8 +22,17 @@ use crate::record::{CallRecord, Trace};
 pub enum TraceIoError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A line failed to parse as a record (line number, parser message).
-    Parse(usize, String),
+    /// A line failed to parse as a record.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Byte offset of the start of the offending line.
+        byte_offset: u64,
+        /// Parser message.
+        msg: String,
+    },
+    /// A record failed to serialize on write.
+    Encode(String),
     /// The file had no header line.
     MissingHeader,
 }
@@ -26,7 +41,15 @@ impl std::fmt::Display for TraceIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceIoError::Io(e) => write!(f, "trace I/O error: {e}"),
-            TraceIoError::Parse(line, msg) => write!(f, "trace parse error at line {line}: {msg}"),
+            TraceIoError::Parse {
+                line,
+                byte_offset,
+                msg,
+            } => write!(
+                f,
+                "trace parse error at line {line} (byte offset {byte_offset}): {msg}"
+            ),
+            TraceIoError::Encode(msg) => write!(f, "trace encode error: {msg}"),
             TraceIoError::MissingHeader => write!(f, "trace file is missing its header line"),
         }
     }
@@ -40,55 +63,160 @@ impl From<io::Error> for TraceIoError {
     }
 }
 
-/// Header line: trace provenance.
-#[derive(serde::Serialize, serde::Deserialize)]
-struct Header {
-    seed: u64,
-    days: u64,
-    records: usize,
+/// Header line: trace provenance, written as the first line of the file.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct JsonlHeader {
+    /// Seed the trace was generated with.
+    pub seed: u64,
+    /// Trace horizon in days.
+    pub days: u64,
+    /// Number of records that follow.
+    pub records: usize,
+}
+
+/// Streaming JSON Lines writer: the header goes out first (the record count
+/// must therefore be known up front — trace generation is exact-count, and
+/// conversions read it from the source header), then one record per `push`.
+/// Only the line being written is ever buffered.
+pub struct JsonlWriter {
+    w: BufWriter<File>,
+    expected: usize,
+    written: usize,
+}
+
+impl JsonlWriter {
+    /// Creates the file and writes the header line.
+    pub fn create(path: &Path, seed: u64, days: u64, records: usize) -> Result<Self, TraceIoError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        let header = JsonlHeader {
+            seed,
+            days,
+            records,
+        };
+        serde_json::to_writer(&mut w, &header).map_err(|e| TraceIoError::Encode(e.to_string()))?;
+        w.write_all(b"\n")?;
+        Ok(JsonlWriter {
+            w,
+            expected: records,
+            written: 0,
+        })
+    }
+
+    /// Appends one record line.
+    pub fn push(&mut self, r: &CallRecord) -> Result<(), TraceIoError> {
+        serde_json::to_writer(&mut self.w, r).map_err(|e| TraceIoError::Encode(e.to_string()))?;
+        self.w.write_all(b"\n")?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flushes and verifies the record count matches the header, so a file
+    /// produced by a streaming writer is never silently short.
+    pub fn finish(mut self) -> Result<usize, TraceIoError> {
+        self.w.flush()?;
+        if self.written != self.expected {
+            return Err(TraceIoError::Encode(format!(
+                "header promised {} records but {} were written",
+                self.expected, self.written
+            )));
+        }
+        Ok(self.written)
+    }
 }
 
 /// Writes a trace as JSON Lines: a header object followed by one record per
 /// line.
 pub fn write_jsonl(trace: &Trace, path: &Path) -> Result<(), TraceIoError> {
-    let mut w = BufWriter::new(File::create(path)?);
-    let header = Header {
-        seed: trace.seed,
-        days: trace.days,
-        records: trace.records.len(),
-    };
-    serde_json::to_writer(&mut w, &header).map_err(|e| TraceIoError::Parse(1, e.to_string()))?;
-    w.write_all(b"\n")?;
+    let mut w = JsonlWriter::create(path, trace.seed, trace.days, trace.records.len())?;
     for r in &trace.records {
-        serde_json::to_writer(&mut w, r).map_err(|e| TraceIoError::Parse(0, e.to_string()))?;
-        w.write_all(b"\n")?;
+        w.push(r)?;
     }
-    w.flush()?;
+    w.finish()?;
     Ok(())
 }
 
-/// Reads a trace written by [`write_jsonl`].
-pub fn read_jsonl(path: &Path) -> Result<Trace, TraceIoError> {
-    let reader = BufReader::new(File::open(path)?);
-    let mut lines = reader.lines();
-    let header_line = lines.next().ok_or(TraceIoError::MissingHeader)??;
-    let header: Header =
-        serde_json::from_str(&header_line).map_err(|e| TraceIoError::Parse(1, e.to_string()))?;
-    let mut records = Vec::with_capacity(header.records);
-    for (i, line) in lines.enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// Line-streamed JSON Lines reader: one record per [`JsonlReader::next_record`]
+/// call, one line resident at a time. Parse failures report the 1-based line
+/// number and the byte offset of the line start.
+pub struct JsonlReader {
+    reader: BufReader<File>,
+    header: JsonlHeader,
+    /// 1-based number of the last line consumed (the header is line 1).
+    line: usize,
+    /// Byte offset where the next line starts.
+    offset: u64,
+    buf: String,
+}
+
+impl JsonlReader {
+    /// Opens a JSONL trace and parses its header line.
+    pub fn open(path: &Path) -> Result<Self, TraceIoError> {
+        let mut reader = BufReader::new(File::open(path)?);
+        let mut buf = String::new();
+        let n = reader.read_line(&mut buf)?;
+        if n == 0 {
+            return Err(TraceIoError::MissingHeader);
         }
-        let r: CallRecord =
-            serde_json::from_str(&line).map_err(|e| TraceIoError::Parse(i + 2, e.to_string()))?;
-        records.push(r);
+        let header: JsonlHeader =
+            serde_json::from_str(buf.trim_end()).map_err(|e| TraceIoError::Parse {
+                line: 1,
+                byte_offset: 0,
+                msg: e.to_string(),
+            })?;
+        Ok(JsonlReader {
+            reader,
+            header,
+            line: 1,
+            offset: n as u64,
+            buf,
+        })
     }
-    Ok(Trace {
-        seed: header.seed,
-        days: header.days,
-        records,
-    })
+
+    /// The file's header.
+    pub fn header(&self) -> JsonlHeader {
+        self.header
+    }
+
+    /// Bytes consumed from the file so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads the next record, skipping blank lines; `None` at end of file.
+    pub fn next_record(&mut self) -> Result<Option<CallRecord>, TraceIoError> {
+        loop {
+            self.buf.clear();
+            let n = self.reader.read_line(&mut self.buf)?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            let line_start = self.offset;
+            self.offset += n as u64;
+            if self.buf.trim().is_empty() {
+                continue;
+            }
+            return serde_json::from_str(self.buf.trim_end())
+                .map(Some)
+                .map_err(|e| TraceIoError::Parse {
+                    line: self.line,
+                    byte_offset: line_start,
+                    msg: e.to_string(),
+                });
+        }
+    }
+}
+
+/// Reads a trace written by [`write_jsonl`], materializing every record.
+/// The streaming pipeline ([`crate::stream`]) replays without this step.
+pub fn read_jsonl(path: &Path) -> Result<Trace, TraceIoError> {
+    let mut r = JsonlReader::open(path)?;
+    let header = r.header();
+    let mut records = Vec::with_capacity(header.records);
+    while let Some(rec) = r.next_record()? {
+        records.push(rec);
+    }
+    Ok(Trace::new(header.seed, header.days, records))
 }
 
 #[cfg(test)]
@@ -131,16 +259,40 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_record_reports_line() {
+    fn corrupt_record_reports_line_and_byte_offset() {
         let dir = std::env::temp_dir().join("via-trace-io-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("corrupt.jsonl");
-        std::fs::write(&path, b"{\"seed\":1,\"days\":1,\"records\":1}\nnot-json\n").unwrap();
+        let header = b"{\"seed\":1,\"days\":1,\"records\":2}\n";
+        let mut body = header.to_vec();
+        body.extend_from_slice(b"\n"); // blank line: skipped, but counted
+        body.extend_from_slice(b"not-json\n");
+        std::fs::write(&path, &body).unwrap();
         let err = read_jsonl(&path).unwrap_err();
         match err {
-            TraceIoError::Parse(line, _) => assert_eq!(line, 2),
+            TraceIoError::Parse {
+                line,
+                byte_offset,
+                msg,
+            } => {
+                assert_eq!(line, 3, "header is line 1, blank is 2, corrupt is 3");
+                assert_eq!(byte_offset, header.len() as u64 + 1);
+                assert!(!msg.is_empty());
+            }
             other => panic!("unexpected error {other}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_writer_rejects_count_mismatch() {
+        let dir = std::env::temp_dir().join("via-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.jsonl");
+        let w = JsonlWriter::create(&path, 1, 1, 3).unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(matches!(err, TraceIoError::Encode(_)));
+        assert!(err.to_string().contains("promised 3"));
         std::fs::remove_file(&path).ok();
     }
 }

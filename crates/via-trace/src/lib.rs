@@ -12,8 +12,12 @@
 //!   international/domestic and per-country PNR of Figure 4, worst-AS-pair
 //!   concentration of Figure 5, and the persistence/prevalence analysis of
 //!   Figure 6.
-//! * [`io`] — JSON Lines persistence for traces; [`csv`] — CSV interop for
-//!   the usual data-analysis stack.
+//! * [`io`] — JSON Lines persistence for traces; [`binfmt`] — compact binary
+//!   `.vbt` persistence; [`csv`] — CSV interop for the usual data-analysis
+//!   stack.
+//! * [`stream`] — the streaming window pipeline: any source (materialized
+//!   trace, JSONL, binary, or lazy generation) re-windowed into bounded
+//!   chronological batches for paper-scale replay in bounded memory.
 //!
 //! ```
 //! use via_netsim::{World, WorldConfig};
@@ -29,20 +33,24 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod binfmt;
 pub mod csv;
 pub mod error;
 pub mod io;
 pub mod record;
+pub mod stream;
 pub mod workload;
 
 pub use error::TraceError;
 pub use record::{AccessExtra, CallRecord, Trace};
+pub use stream::{RecordSource, StreamError, WindowBatch, WindowStream};
 pub use workload::{TraceConfig, TraceGenerator};
 
 use std::path::Path;
 
 /// Loads a trace, dispatching on the path's extension: `.jsonl` (the native
-/// format, see [`io`]) or `.csv` (interop, see [`csv`]).
+/// text format, see [`io`]), `.vbt` (binary, see [`binfmt`]), or `.csv`
+/// (interop, see [`csv`]).
 ///
 /// # Errors
 /// [`TraceError::UnknownFormat`] for any other extension, or the underlying
@@ -50,6 +58,7 @@ use std::path::Path;
 pub fn load_trace(path: &Path) -> Result<Trace, TraceError> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("jsonl") => Ok(io::read_jsonl(path)?),
+        Some("vbt") => Ok(binfmt::read_binary(path)?),
         Some("csv") => Ok(csv::read_csv(path)?),
         _ => Err(TraceError::UnknownFormat(path.to_path_buf())),
     }
@@ -63,6 +72,7 @@ pub fn load_trace(path: &Path) -> Result<Trace, TraceError> {
 pub fn save_trace(trace: &Trace, path: &Path) -> Result<(), TraceError> {
     match path.extension().and_then(|e| e.to_str()) {
         Some("jsonl") => Ok(io::write_jsonl(trace, path)?),
+        Some("vbt") => Ok(binfmt::write_binary(trace, path)?),
         Some("csv") => Ok(csv::write_csv(trace, path)?),
         _ => Err(TraceError::UnknownFormat(path.to_path_buf())),
     }
@@ -79,7 +89,7 @@ mod tests {
         let trace = TraceGenerator::new(&world, TraceConfig::tiny(), 41).generate();
         let dir = std::env::temp_dir().join("via-trace-dispatch-test");
         std::fs::create_dir_all(&dir).unwrap();
-        for name in ["t.jsonl", "t.csv"] {
+        for name in ["t.jsonl", "t.vbt", "t.csv"] {
             let path = dir.join(name);
             save_trace(&trace, &path).unwrap();
             let back = load_trace(&path).unwrap();
@@ -90,11 +100,7 @@ mod tests {
 
     #[test]
     fn unknown_extension_is_rejected() {
-        let trace = Trace {
-            seed: 0,
-            days: 0,
-            records: Vec::new(),
-        };
+        let trace = Trace::new(0, 0, Vec::new());
         let path = std::env::temp_dir().join("t.parquet");
         assert!(matches!(
             save_trace(&trace, &path),

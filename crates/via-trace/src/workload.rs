@@ -203,17 +203,24 @@ impl<'w> TraceGenerator<'w> {
         }
     }
 
-    /// Generates the full trace. Deterministic in `(world, config, seed)`.
-    pub fn generate(&self) -> Trace {
-        let days = self.config.days.min(self.world.config.horizon_days);
-        let Some(global) = self.global.as_ref() else {
-            return Trace {
-                seed: self.trace_seed,
-                days,
-                records: Vec::new(),
-            };
-        };
-        let mut rng = StdRng::seed_from_u64(seed::derive(self.trace_seed, "workload"));
+    /// Trace horizon actually generated: the configured days capped by the
+    /// world's episode horizon.
+    pub fn effective_days(&self) -> u64 {
+        self.config.days.min(self.world.config.horizon_days)
+    }
+
+    /// Exact number of records [`Self::generate`] (and [`Self::stream`])
+    /// produces — the generator emits precisely `calls_per_day` records per
+    /// effective day, so the count is known before generating anything.
+    pub fn record_count(&self) -> u64 {
+        if self.global.is_none() {
+            return 0;
+        }
+        self.config.calls_per_day as u64 * self.effective_days()
+    }
+
+    /// Builds the sampling distributions shared by every generated day.
+    fn dists(&self) -> GenDists {
         // A non-positive or non-finite configured mean would make ln() NaN;
         // fall back to the default 180 s rather than panic.
         let mean_s = if self.config.mean_duration_s.is_finite() && self.config.mean_duration_s > 0.0
@@ -222,80 +229,113 @@ impl<'w> TraceGenerator<'w> {
         } else {
             180.0
         };
-        let duration_dist = infallible(
-            LogNormal::new(mean_s.ln() - 0.5 * 0.8 * 0.8, 0.8),
-            "duration lognormal",
-        );
-        let wifi_jitter = infallible(
-            LogNormal::new(3.0f64.ln() - 0.5 * 0.5 * 0.5, 0.5),
-            "wifi jitter lognormal",
-        );
-        let wifi_loss: Gamma<f64> = infallible(Gamma::new(0.5, 0.3), "wifi loss gamma");
-
-        let mut records = Vec::with_capacity((self.config.calls_per_day as u64 * days) as usize);
-        for day in 0..days {
-            for _ in 0..self.config.calls_per_day {
-                let call_id = CallId(records.len() as u32);
-                let (src_idx, t) = self.sample_caller_and_time(global, day, &mut rng);
-                let dst_idx = self.sample_callee(src_idx, &mut rng);
-
-                let src = &self.world.ases[src_idx];
-                let dst = &self.world.ases[dst_idx];
-
-                let wireless = rng.random::<f64>() < self.config.wireless_fraction;
-                let access_extra = if wireless {
-                    AccessExtra {
-                        rtt_ms: rng.random_range(2.0..15.0),
-                        loss_pct: wifi_loss.sample(&mut rng).min(5.0),
-                        jitter_ms: wifi_jitter.sample(&mut rng).min(40.0),
-                    }
-                } else {
-                    AccessExtra {
-                        rtt_ms: rng.random_range(0.0..2.0),
-                        loss_pct: 0.0,
-                        jitter_ms: rng.random_range(0.0..0.5),
-                    }
-                };
-
-                let path = self.world.perf().sample_option(
-                    src.id,
-                    dst.id,
-                    RelayOption::Direct,
-                    t,
-                    &mut rng,
-                );
-                let direct_metrics = access_extra.apply(&path);
-
-                let caller = self.sample_user(src_idx, &mut rng);
-                let callee = self.sample_user(dst_idx, &mut rng);
-                let rating = self.config.rating.maybe_rate(&direct_metrics, &mut rng);
-
-                records.push(CallRecord {
-                    id: call_id,
-                    t,
-                    src_as: src.id,
-                    dst_as: dst.id,
-                    src_country: src.country,
-                    dst_country: dst.country,
-                    caller,
-                    callee,
-                    wireless,
-                    duration_s: duration_dist.sample(&mut rng).clamp(5.0, 7_200.0),
-                    access_extra,
-                    direct_metrics,
-                    rating,
-                });
-            }
+        GenDists {
+            duration: infallible(
+                LogNormal::new(mean_s.ln() - 0.5 * 0.8 * 0.8, 0.8),
+                "duration lognormal",
+            ),
+            wifi_jitter: infallible(
+                LogNormal::new(3.0f64.ln() - 0.5 * 0.5 * 0.5, 0.5),
+                "wifi jitter lognormal",
+            ),
+            wifi_loss: infallible(Gamma::new(0.5, 0.3), "wifi loss gamma"),
         }
-        records.sort_by_key(|r| (r.t, r.id));
-        // Re-number ids chronologically so id order == time order.
-        for (i, r) in records.iter_mut().enumerate() {
-            r.id = CallId(i as u32);
+    }
+
+    /// Generates one day's records into `out`, sorted by `(t, id)`.
+    ///
+    /// `raw_base` is the pre-sort id of the day's first record (the global
+    /// generation counter). Days occupy disjoint time ranges, so a global
+    /// sort of the whole trace equals the concatenation of these per-day
+    /// sorts — which is what lets [`Self::stream`] emit windows lazily while
+    /// staying byte-identical to [`Self::generate`].
+    fn generate_day(
+        &self,
+        global: &WeightedAses,
+        day: u64,
+        raw_base: u32,
+        rng: &mut StdRng,
+        dists: &GenDists,
+        out: &mut Vec<CallRecord>,
+    ) {
+        for k in 0..self.config.calls_per_day {
+            let call_id = CallId(raw_base + k as u32);
+            let (src_idx, t) = self.sample_caller_and_time(global, day, rng);
+            let dst_idx = self.sample_callee(src_idx, rng);
+
+            let src = &self.world.ases[src_idx];
+            let dst = &self.world.ases[dst_idx];
+
+            let wireless = rng.random::<f64>() < self.config.wireless_fraction;
+            let access_extra = if wireless {
+                AccessExtra {
+                    rtt_ms: rng.random_range(2.0..15.0),
+                    loss_pct: dists.wifi_loss.sample(rng).min(5.0),
+                    jitter_ms: dists.wifi_jitter.sample(rng).min(40.0),
+                }
+            } else {
+                AccessExtra {
+                    rtt_ms: rng.random_range(0.0..2.0),
+                    loss_pct: 0.0,
+                    jitter_ms: rng.random_range(0.0..0.5),
+                }
+            };
+
+            let path = self
+                .world
+                .perf()
+                .sample_option(src.id, dst.id, RelayOption::Direct, t, rng);
+            let direct_metrics = access_extra.apply(&path);
+
+            let caller = self.sample_user(src_idx, rng);
+            let callee = self.sample_user(dst_idx, rng);
+            let rating = self.config.rating.maybe_rate(&direct_metrics, rng);
+
+            out.push(CallRecord {
+                id: call_id,
+                t,
+                src_as: src.id,
+                dst_as: dst.id,
+                src_country: src.country,
+                dst_country: dst.country,
+                caller,
+                callee,
+                wireless,
+                duration_s: dists.duration.sample(rng).clamp(5.0, 7_200.0),
+                access_extra,
+                direct_metrics,
+                rating,
+            });
         }
-        Trace {
-            seed: self.trace_seed,
-            days,
-            records,
+        out.sort_by_key(|r| (r.t, r.id));
+    }
+
+    /// Generates the full trace. Deterministic in `(world, config, seed)`,
+    /// and byte-identical to collecting [`Self::stream`] — both run the same
+    /// per-day core.
+    pub fn generate(&self) -> Trace {
+        let mut stream = self.stream();
+        let mut records = Vec::with_capacity(usize::try_from(self.record_count()).unwrap_or(0));
+        while let Some(r) = stream.next_record() {
+            records.push(r);
+        }
+        Trace::new(self.trace_seed, self.effective_days(), records)
+    }
+
+    /// Lazy generation: yields the trace one record at a time, holding one
+    /// day's buffer resident. The record sequence is byte-identical to
+    /// [`Self::generate`] — see [`Self::generate_day`] for why.
+    pub fn stream(&self) -> GenRecords<'_> {
+        GenRecords {
+            generator: self,
+            rng: StdRng::seed_from_u64(seed::derive(self.trace_seed, "workload")),
+            dists: self.dists(),
+            days: self.effective_days(),
+            next_day: 0,
+            next_id: 0,
+            raw_base: 0,
+            buf: Vec::new(),
+            pos: 0,
         }
     }
 
@@ -371,6 +411,100 @@ impl<'w> TraceGenerator<'w> {
     /// The AS an id refers to (test helper / analysis use).
     pub fn as_of_user(user: ClientId) -> AsId {
         AsId(user.0 / 100_000)
+    }
+}
+
+/// Sampling distributions shared by every generated day.
+struct GenDists {
+    duration: LogNormal<f64>,
+    wifi_jitter: LogNormal<f64>,
+    wifi_loss: Gamma<f64>,
+}
+
+/// Lazy record stream over trace generation: one day's buffer resident at a
+/// time, record sequence byte-identical to [`TraceGenerator::generate`].
+/// Produced by [`TraceGenerator::stream`]; the streaming replay pipeline
+/// (see [`crate::stream`]) consumes it without materializing the trace.
+pub struct GenRecords<'a> {
+    generator: &'a TraceGenerator<'a>,
+    rng: StdRng,
+    dists: GenDists,
+    days: u64,
+    next_day: u64,
+    /// Next chronological (post-sort) id to hand out.
+    next_id: u32,
+    /// Pre-sort id of the next day's first record.
+    raw_base: u32,
+    buf: Vec<CallRecord>,
+    pos: usize,
+}
+
+impl GenRecords<'_> {
+    /// Seed of the trace being generated.
+    pub fn seed(&self) -> u64 {
+        self.generator.trace_seed
+    }
+
+    /// Trace horizon in days.
+    pub fn days(&self) -> u64 {
+        self.days
+    }
+
+    /// Total records this stream will yield.
+    pub fn record_count(&self) -> u64 {
+        self.generator.record_count()
+    }
+
+    /// Generates the next day into the buffer. Returns false once the
+    /// horizon is exhausted (or the world has no callable ASes).
+    fn refill(&mut self) -> bool {
+        let Some(global) = self.generator.global.as_ref() else {
+            return false;
+        };
+        if self.next_day >= self.days {
+            return false;
+        }
+        self.buf.clear();
+        self.pos = 0;
+        let day = self.next_day;
+        self.next_day += 1;
+        self.generator.generate_day(
+            global,
+            day,
+            self.raw_base,
+            &mut self.rng,
+            &self.dists,
+            &mut self.buf,
+        );
+        self.raw_base += self.generator.config.calls_per_day as u32;
+        // Re-number chronologically: days are disjoint in time, so a running
+        // counter reproduces the global post-sort renumbering.
+        for r in &mut self.buf {
+            r.id = CallId(self.next_id);
+            self.next_id += 1;
+        }
+        true
+    }
+
+    /// The next record in chronological order; `None` once the horizon is
+    /// exhausted.
+    pub fn next_record(&mut self) -> Option<CallRecord> {
+        while self.pos >= self.buf.len() {
+            if !self.refill() {
+                return None;
+            }
+        }
+        let r = self.buf[self.pos].clone();
+        self.pos += 1;
+        Some(r)
+    }
+}
+
+impl Iterator for GenRecords<'_> {
+    type Item = CallRecord;
+
+    fn next(&mut self) -> Option<CallRecord> {
+        self.next_record()
     }
 }
 
@@ -461,6 +595,16 @@ mod tests {
             assert_eq!(TraceGenerator::as_of_user(r.caller), r.src_as);
             assert_eq!(TraceGenerator::as_of_user(r.callee), r.dst_as);
         }
+    }
+
+    #[test]
+    fn stream_matches_generate_exactly() {
+        let world = World::generate(&WorldConfig::tiny(), 11);
+        let generator = TraceGenerator::new(&world, TraceConfig::tiny(), 11);
+        let materialized = generator.generate();
+        let streamed: Vec<CallRecord> = generator.stream().collect();
+        assert_eq!(streamed.len() as u64, generator.record_count());
+        assert_eq!(streamed, materialized.records);
     }
 
     #[test]
