@@ -17,7 +17,7 @@
 //! | `map-iteration-order` | simulation crates, all code | deny |
 //! | `rng-discipline` | simulation crates, non-test code | deny |
 //! | `float-accumulation` | simulation crates, non-test code | deny |
-//! | `cast-truncation` | hot-path crates, non-test lib code | deny |
+//! | `cast-truncation` | hot-path + socket crates, non-test lib code | deny |
 //! | `stale-suppression` | everywhere a directive appears | deny |
 //!
 //! Each file is lexed once ([`token`]) into a spanned token stream, comment
@@ -80,7 +80,7 @@ pub const EXEMPT_CRATES: &[&str] = &["via-experiments", "via-bench", "via-audit"
 /// Crates that drive real sockets: exempt from the determinism lint, but
 /// subject to the panic lint and the unbounded-socket-wait lint in non-test
 /// library code.
-pub const SOCKET_CRATES: &[&str] = &["via-testbed"];
+pub const SOCKET_CRATES: &[&str] = &["via-testbed", "via-server"];
 
 /// Crates on the parallel-replay hot path, where a whole-map `Mutex` is a
 /// scaling regression (`lock-contention` lint) and narrowing `as` casts are
@@ -341,6 +341,26 @@ mod tests {
         assert!(
             !lints_hit.contains(&lints::LINT_NONDET),
             "wall-clock reads are the testbed's job: {f:?}"
+        );
+    }
+
+    /// Regression for the harness.rs `r as u16` bug: a narrowing cast in
+    /// socket-crate lib code (session ids, relay indexes on the wire) must
+    /// be denied even though the crate is not hot-path.
+    #[test]
+    fn socket_crates_get_the_cast_truncation_lint() {
+        let src = "fn f(r: usize) -> u16 { r as u16 }\n";
+        let kind = FileKind {
+            sim_crate: false,
+            lib_code: true,
+            hot_path: false,
+            socket_crate: true,
+        };
+        let f = audit_source("x.rs", src, kind);
+        assert!(
+            f.iter()
+                .any(|x| x.severity == Severity::Deny && x.lint == semantic::LINT_CAST),
+            "{f:?}"
         );
     }
 

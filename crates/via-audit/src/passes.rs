@@ -74,8 +74,8 @@ fn hot(k: FileKind) -> bool {
     k.hot_path
 }
 
-fn hot_lib(k: FileKind) -> bool {
-    k.hot_path && k.lib_code
+fn hot_or_socket_lib(k: FileKind) -> bool {
+    (k.hot_path || k.socket_crate) && k.lib_code
 }
 
 /// Every lint pass, in the order they run. One entry per lint name.
@@ -125,9 +125,14 @@ pub const REGISTRY: &[Pass] = &[
         applies: sim,
         run: semantic::pass_float_accumulation,
     },
+    // Cast truncation is denied on the hot path for speed-of-light reasons
+    // and in socket-crate lib code for wire-correctness ones: a silently
+    // truncated relay index or session id becomes a cross-wired session
+    // (the harness.rs `r as u16` bug this scope extension would have
+    // caught).
     Pass {
         lint: semantic::LINT_CAST,
-        applies: hot_lib,
+        applies: hot_or_socket_lib,
         run: semantic::pass_cast_truncation,
     },
 ];

@@ -556,7 +556,7 @@ fn float_assign_target(ctx: &FileCtx, tokens: &[Token], at: usize) -> Option<Str
 /// Integer/float types an `as` cast can silently truncate into.
 const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
 
-/// The `cast-truncation` pass (hot-path crates, non-test code).
+/// The `cast-truncation` pass (hot-path and socket crates, non-test code).
 pub fn pass_cast_truncation(ctx: &FileCtx, out: &mut PassOutput) {
     let tokens = ctx.tokens;
     for i in 0..tokens.len().saturating_sub(1) {

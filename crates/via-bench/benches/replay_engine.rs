@@ -120,6 +120,30 @@ struct StreamRecord {
     digest: String,
 }
 
+/// Live-controller (via-server) closed-loop load results: the sustained
+/// select/report plane, in-process and over a loopback socket.
+#[derive(Debug, Clone, Serialize)]
+struct ServerRecord {
+    /// Selections measured in the in-process phase.
+    selections: u64,
+    /// Sustained in-process selections/sec (closed loop: one report per
+    /// four selects, spanning a window rollover).
+    in_process_selections_per_sec: f64,
+    /// Upper edge of the histogram bucket holding the p50 select latency,
+    /// microseconds (from the controller's own per-shard histogram).
+    in_process_p50_us: f64,
+    /// Upper edge of the bucket holding the p99 select latency, µs.
+    in_process_p99_us: f64,
+    /// Predictor publishes observed during the run.
+    refit_epochs: u64,
+    /// Round trips measured over the loopback socket phase.
+    socket_round_trips: u64,
+    /// Sustained select round trips/sec over one loopback connection.
+    socket_round_trips_per_sec: f64,
+    /// Client-measured p99 select round-trip latency over the socket, µs.
+    socket_p99_us: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct FitRecord {
     cells: usize,
@@ -177,6 +201,11 @@ struct Report {
     /// Tiny-scale overhead, always measured: comparable across quick and
     /// full runs of the suite.
     metrics_overhead_tiny: ObsRecord,
+    /// Live-controller select/report plane (via-server): sustained
+    /// selections/sec and select-latency percentiles, in-process and over a
+    /// loopback socket. The ≥100k selections/s and p99 ≤100 µs acceptance
+    /// gates run against the in-process figures of the full suite.
+    server: ServerRecord,
 }
 
 /// Online CPU count of the host. `available_parallelism()` alone respects
@@ -733,6 +762,150 @@ fn bench_streaming(quick: bool) -> Vec<StreamRecord> {
     streams
 }
 
+/// Builds a tiny-world live controller with the same predictor inputs the
+/// replay engine uses (AS-granularity geo prior, precomputed backbone legs).
+fn server_under_test() -> (
+    std::sync::Arc<via_server::Controller>,
+    u32,
+    Vec<RelayOption>,
+) {
+    let world = World::generate(&WorldConfig::tiny(), 7);
+    let granularity = via_core::replay::SpatialGranularity::As;
+    let key_positions = granularity.key_positions(&world);
+    let n_keys = u32::try_from(key_positions.len()).expect("key count fits u32");
+    let prior = GeoPrior::new(key_positions, world.relays.iter().map(|r| r.pos).collect());
+    let n_relays = world.relays.len();
+    let mut legs = Vec::with_capacity(n_relays * n_relays);
+    for i in 0..n_relays {
+        for j in 0..n_relays {
+            legs.push(
+                world
+                    .perf()
+                    .backbone_metrics(RelayId(i as u32), RelayId(j as u32)),
+            );
+        }
+    }
+    let backbone: via_core::BackboneFn = std::sync::Arc::new(move |a: RelayId, b: RelayId| {
+        legs[a.0 as usize * n_relays + b.0 as usize]
+    });
+    let cfg = via_server::ServerConfig {
+        seed: 7,
+        window: WindowLen::hours(1),
+        epsilon: 0.05,
+        budget: Some(0.3),
+        shards: 8,
+        ..via_server::ServerConfig::default()
+    };
+    let mut candidates = vec![RelayOption::Direct];
+    candidates.extend((0..n_relays.min(8)).map(|r| RelayOption::Bounce(RelayId(r as u32))));
+    if n_relays >= 2 {
+        candidates.push(RelayOption::Transit(RelayId(0), RelayId(1)));
+    }
+    (
+        std::sync::Arc::new(via_server::Controller::new(cfg, prior, backbone)),
+        n_keys,
+        candidates,
+    )
+}
+
+/// Closed-loop load against the live controller (via-server).
+///
+/// Phase 1 (in-process, the acceptance surface): a single driver issuing
+/// selects with one report per four selects, spanning a window rollover, so
+/// the measured rate includes incremental refits and one full predictor
+/// publish. Throughput is wall-clock; percentiles come from the
+/// controller's own select-latency histogram.
+///
+/// Phase 2 (socket): the same call pattern as select round trips over one
+/// loopback connection through the framed-TCP plane — measured separately
+/// because it prices serialization and scheduling, not selection.
+fn bench_server(quick: bool) -> ServerRecord {
+    use rand::Rng;
+
+    // -------- in-process phase --------
+    let (controller, n_keys, candidates) = server_under_test();
+    let mut rng = StdRng::seed_from_u64(11);
+    let window_secs = controller.config().window.secs();
+    let warm = 10_000u64;
+    let measured: u64 = if quick { 200_000 } else { 1_000_000 };
+    let span = 2 * window_secs; // measured phase crosses one rollover
+    let mut drive = |controller: &via_server::Controller, call_id: u64, t: SimTime| {
+        let src = rng.random_range(0..n_keys);
+        let dst = (src + rng.random_range(1..n_keys.max(2))) % n_keys;
+        let sel = controller.select(call_id, t, src, dst, &candidates);
+        if call_id.is_multiple_of(4) {
+            let m = PathMetrics::new(
+                40.0 + rng.random::<f64>() * 80.0,
+                rng.random::<f64>() * 2.0,
+                1.0 + rng.random::<f64>() * 5.0,
+            );
+            controller.report(t, src, dst, sel.option, &m);
+        }
+        black_box(sel);
+    };
+    for i in 0..warm {
+        drive(&controller, i, SimTime(i % window_secs));
+    }
+    let start = Instant::now();
+    for i in 0..measured {
+        drive(&controller, warm + i, SimTime(span * i / measured));
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let in_process_selections_per_sec = measured as f64 / wall;
+    let hist = controller.latency_histogram();
+    let in_process_p50_us = hist.quantile_bracket(0.5).map_or(f64::NAN, |(_, hi)| hi);
+    let in_process_p99_us = hist.quantile_bracket(0.99).map_or(f64::NAN, |(_, hi)| hi);
+    let refit_epochs = controller.refit_epoch();
+
+    // -------- socket phase --------
+    let (controller, n_keys, _) = server_under_test();
+    let handle = via_server::serve(controller).expect("bind loopback");
+    let mut client = via_server::Client::connect(handle.addr(), std::time::Duration::from_secs(10))
+        .expect("connect");
+    let round_trips: u64 = if quick { 5_000 } else { 20_000 };
+    let mut rtts_us = Vec::with_capacity(usize::try_from(round_trips).expect("fits usize"));
+    let start = Instant::now();
+    for i in 0..round_trips {
+        let src = rng.random_range(0..n_keys);
+        let dst = (src + 1) % n_keys;
+        let t0 = Instant::now();
+        let sel = client
+            .select(i, SimTime(i % window_secs), src, dst, &candidates)
+            .expect("socket select");
+        rtts_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        black_box(sel);
+    }
+    let socket_wall = start.elapsed().as_secs_f64();
+    client.shutdown().expect("clean shutdown");
+    handle.wait();
+    rtts_us.sort_by(f64::total_cmp);
+    let p99_idx = ((rtts_us.len() as f64) * 0.99) as usize;
+    let socket_p99_us = rtts_us[p99_idx.min(rtts_us.len() - 1)];
+
+    let record = ServerRecord {
+        selections: measured,
+        in_process_selections_per_sec,
+        in_process_p50_us,
+        in_process_p99_us,
+        refit_epochs,
+        socket_round_trips: round_trips,
+        socket_round_trips_per_sec: round_trips as f64 / socket_wall,
+        socket_p99_us,
+    };
+    println!(
+        "replay_engine/server/in-process    {:>10.0} selections/s  p50<={:.1}us p99<={:.1}us ({} rollovers)",
+        record.in_process_selections_per_sec,
+        record.in_process_p50_us,
+        record.in_process_p99_us,
+        record.refit_epochs,
+    );
+    println!(
+        "replay_engine/server/socket        {:>10.0} round-trips/s  p99={:.0}us",
+        record.socket_round_trips_per_sec, record.socket_p99_us,
+    );
+    record
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let mut criterion = Criterion::default();
@@ -815,6 +988,28 @@ fn main() {
     let metrics_overhead = bench_metrics_overhead(&world, &trace, "paper-world/short-trace", 20);
 
     let predictor_fit = bench_predictor_fit(&mut criterion);
+    let server = bench_server(quick);
+
+    // Live-controller acceptance gates: the select plane must sustain
+    // ≥100k selections/s with p99 ≤100 µs in-process (socket round trips
+    // are reported but not gated — they price the RPC layer, not
+    // selection). Quick mode keeps a relaxed floor so shared CI runners
+    // still catch order-of-magnitude regressions without flaking on noise.
+    let (min_sps, max_p99) = if quick {
+        (50_000.0, 400.0)
+    } else {
+        (100_000.0, 100.0)
+    };
+    assert!(
+        server.in_process_selections_per_sec >= min_sps,
+        "live controller sustained only {:.0} selections/s (target {min_sps:.0})",
+        server.in_process_selections_per_sec,
+    );
+    assert!(
+        server.in_process_p99_us <= max_p99,
+        "live controller p99 select latency {:.0} us exceeds {max_p99:.0} us",
+        server.in_process_p99_us,
+    );
 
     for s in &sweeps {
         assert!(
@@ -872,6 +1067,7 @@ fn main() {
         sample_option,
         metrics_overhead,
         metrics_overhead_tiny,
+        server,
     };
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()

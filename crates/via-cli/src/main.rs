@@ -40,6 +40,11 @@ USAGE:
     via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
                 [--probes N] [--gap-ms N] [--deadline-s N] [--chaos true]
                 [--metrics FILE.json] [--metrics-prom FILE.prom]
+    via server serve [--addr HOST:PORT] [--deadline-s N] [--scale tiny|small|paper]
+                [--seed N] [--objective rtt|loss|jitter] [--epsilon F]
+                [--budget F] [--shards N] [--window-hours N]
+    via server soak  [--clients N] [--calls N] [--windows N] [same knobs as serve]
+                [--metrics FILE.json] [--metrics-prom FILE.prom]
 
 `via trace gen` streams records straight to disk (any scale in bounded
 memory); `via gen` materializes first and only writes JSONL. `via replay
@@ -50,6 +55,12 @@ to the materialized replay at every --workers value.
 The replay `--metrics` snapshot holds only the deterministic metric core:
 it is byte-identical for any --workers value and across reruns of the same
 seed. Testbed metrics describe real socket behavior and are not.
+
+`via server serve` runs the live controller until a client sends Shutdown
+(or --deadline-s elapses). `via server soak` is self-contained: it serves
+on an ephemeral loopback port, drives concurrent clients through select/
+report rounds spanning window rollovers, fails on any protocol error, and
+writes the controller's observability snapshot wherever --metrics points.
 ";
 
 fn main() {
@@ -64,6 +75,7 @@ fn main() {
         "analyze" => cmd_analyze(rest),
         "replay" => cmd_replay(rest),
         "testbed" => cmd_testbed(rest),
+        "server" => cmd_server(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -468,6 +480,207 @@ fn cmd_testbed(rest: &[String]) -> CliResult {
         flags.str_opt("metrics"),
         flags.str_opt("metrics-prom"),
     )?;
+    Ok(())
+}
+
+/// A built controller plus the key-space size and candidate set the soak
+/// loop drives it with.
+type BuiltServer = (
+    std::sync::Arc<via_server::Controller>,
+    u32,
+    Vec<via_model::options::RelayOption>,
+);
+
+/// Builds a live controller from the shared server flags: world-derived
+/// geographic prior (AS granularity) and precomputed backbone legs, exactly
+/// the inputs the replay engine hands its predictor.
+fn build_server(flags: &Flags) -> Result<BuiltServer, Box<dyn std::error::Error>> {
+    use via_model::ids::RelayId;
+    use via_model::options::RelayOption;
+
+    let seed = flags.u64_or("seed", 7)?;
+    let (world_cfg, _) = scale_configs(flags.str_or("scale", "tiny"))?;
+    let world = World::generate(&world_cfg, seed);
+    let granularity = via_core::replay::SpatialGranularity::As;
+    let key_positions = granularity.key_positions(&world);
+    let n_keys = u32::try_from(key_positions.len())?;
+    let prior =
+        via_core::GeoPrior::new(key_positions, world.relays.iter().map(|r| r.pos).collect());
+    let n_relays = world.relays.len();
+    let mut legs = Vec::with_capacity(n_relays * n_relays);
+    for i in 0..n_relays {
+        for j in 0..n_relays {
+            legs.push(
+                world
+                    .perf()
+                    .backbone_metrics(RelayId(u32::try_from(i)?), RelayId(u32::try_from(j)?)),
+            );
+        }
+    }
+    let backbone: via_core::BackboneFn = std::sync::Arc::new(move |a: RelayId, b: RelayId| {
+        legs[a.0 as usize * n_relays + b.0 as usize]
+    });
+    let budget = flags.f64_or("budget", 0.0)?;
+    let cfg = via_server::ServerConfig {
+        seed,
+        objective: parse_objective(flags.str_or("objective", "rtt"))?,
+        window: WindowLen::hours(flags.u64_or("window-hours", 1)?.max(1)),
+        epsilon: flags.f64_or("epsilon", 0.05)?,
+        budget: (budget > 0.0).then_some(budget),
+        shards: usize::try_from(flags.u64_or("shards", 8)?)?,
+        start: via_model::time::SimTime::ZERO,
+        ..via_server::ServerConfig::default()
+    };
+    // Candidate set offered on every call: direct, a bounce through each of
+    // up to 8 relays, and one transit pair when the fleet allows it.
+    let mut candidates = vec![RelayOption::Direct];
+    candidates.extend((0..n_relays.min(8)).map(|r| RelayOption::Bounce(RelayId(r as u32))));
+    if n_relays >= 2 {
+        candidates.push(RelayOption::Transit(RelayId(0), RelayId(1)));
+    }
+    let controller = std::sync::Arc::new(via_server::Controller::new(cfg, prior, backbone));
+    Ok((controller, n_keys, candidates))
+}
+
+fn cmd_server(rest: &[String]) -> CliResult {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("server needs a subcommand (serve|soak)".into());
+    };
+    match sub.as_str() {
+        "serve" => cmd_server_serve(rest),
+        "soak" => cmd_server_soak(rest),
+        other => Err(format!("unknown server subcommand '{other}' (serve|soak)").into()),
+    }
+}
+
+fn cmd_server_serve(rest: &[String]) -> CliResult {
+    let flags = Flags::parse(rest)?;
+    let (controller, n_keys, candidates) = build_server(&flags)?;
+    let addr: std::net::SocketAddr = flags.str_or("addr", "127.0.0.1:4790").parse()?;
+    let deadline_s = flags.u64_or("deadline-s", 0)?;
+    let handle = via_server::serve_on(controller, addr)?;
+    println!(
+        "via-server listening on {} ({} keys, {} candidate options per call)",
+        handle.addr(),
+        n_keys,
+        candidates.len()
+    );
+    let started = std::time::Instant::now();
+    while !handle.shutting_down() {
+        if deadline_s > 0 && started.elapsed().as_secs() >= deadline_s {
+            println!("deadline reached; stopping");
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    let controller = std::sync::Arc::clone(handle.controller());
+    handle.stop();
+    let snap = controller.observability_snapshot();
+    println!("server stopped: {}", snap.brief());
+    Ok(())
+}
+
+/// Self-contained soak: serve on an ephemeral loopback port, drive
+/// concurrent client connections through select/report rounds that span
+/// window rollovers, then snapshot and shut down. Any protocol error fails
+/// the run (exit code 1) — this is the CI soak gate.
+fn cmd_server_soak(rest: &[String]) -> CliResult {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use via_model::time::SimTime;
+
+    let flags = Flags::parse(rest)?;
+    let (controller, n_keys, candidates) = build_server(&flags)?;
+    let seed = flags.u64_or("seed", 7)?;
+    let clients = flags.u64_or("clients", 4)?.max(1);
+    let calls = flags.u64_or("calls", 2_000)?.max(1);
+    let windows = flags.u64_or("windows", 3)?.max(1);
+    let window_secs = controller.config().window.secs();
+    let span = windows * window_secs;
+    let timeout = std::time::Duration::from_secs(10);
+
+    let handle = via_server::serve(controller)?;
+    let addr = handle.addr();
+    println!("soak: {clients} clients x {calls} calls over {windows} windows against {addr}");
+    let started = std::time::Instant::now();
+    let workers: Vec<std::thread::JoinHandle<Result<u64, String>>> = (0..clients)
+        .map(|c| {
+            let candidates = candidates.clone();
+            std::thread::spawn(move || {
+                let mut client = via_server::Client::connect(addr, timeout)
+                    .map_err(|e| format!("client {c} connect: {e}"))?;
+                let mut rng =
+                    StdRng::seed_from_u64(via_model::seed::derive_indexed(seed, "soak.client", c));
+                let mut done = 0u64;
+                for i in 0..calls {
+                    let call_id = c * calls + i;
+                    let t = SimTime(span * i / calls);
+                    let src = rng.random_range(0..n_keys);
+                    let dst = (src + rng.random_range(1..n_keys.max(2))) % n_keys;
+                    let sel = client
+                        .select(call_id, t, src, dst, &candidates)
+                        .map_err(|e| format!("client {c} select #{i}: {e}"))?;
+                    // Report the selected option so the soak is closed-loop.
+                    let m = via_model::metrics::PathMetrics::new(
+                        40.0 + rng.random::<f64>() * 80.0,
+                        rng.random::<f64>() * 2.0,
+                        1.0 + rng.random::<f64>() * 5.0,
+                    );
+                    client
+                        .report(t, src, dst, sel.option, m)
+                        .map_err(|e| format!("client {c} report #{i}: {e}"))?;
+                    done += 1;
+                }
+                Ok(done)
+            })
+        })
+        .collect();
+
+    let mut completed = 0u64;
+    let mut errors = Vec::new();
+    for worker in workers {
+        match worker.join() {
+            Ok(Ok(n)) => completed += n,
+            Ok(Err(e)) => errors.push(e),
+            Err(_) => errors.push("client thread panicked".to_string()),
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Snapshot over the wire (exercises the RPC), then client-initiated
+    // shutdown; wait() returns only when the accept loop exited cleanly.
+    let controller = std::sync::Arc::clone(handle.controller());
+    let mut control =
+        via_server::Client::connect(addr, timeout).map_err(|e| format!("control connect: {e}"))?;
+    let snapshot_json = control.snapshot().map_err(|e| format!("snapshot: {e}"))?;
+    control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    handle.wait();
+
+    let hist = controller.latency_histogram();
+    let p50 = hist.quantile_bracket(0.5).map_or(f64::NAN, |(_, hi)| hi);
+    let p99 = hist.quantile_bracket(0.99).map_or(f64::NAN, |(_, hi)| hi);
+    println!(
+        "soak: {completed} calls in {elapsed:.2}s ({:.0} selections/s over the socket), \
+         select p50 <= {p50:.1} us, p99 <= {p99:.1} us, {} rollovers, {} snapshot bytes",
+        completed as f64 / elapsed.max(1e-9),
+        controller.window_index(),
+        snapshot_json.len()
+    );
+    write_metrics(
+        &controller.observability_snapshot(),
+        flags.str_opt("metrics"),
+        flags.str_opt("metrics-prom"),
+    )?;
+    if !errors.is_empty() {
+        for e in &errors {
+            eprintln!("protocol error: {e}");
+        }
+        return Err(format!("soak saw {} protocol errors", errors.len()).into());
+    }
+    if completed != clients * calls {
+        return Err(format!("soak completed {completed} of {} calls", clients * calls).into());
+    }
+    println!("soak: clean shutdown, zero protocol errors");
     Ok(())
 }
 

@@ -9,10 +9,12 @@
 //! holds even while the estimator warms up or the benefit distribution
 //! drifts.
 
+use serde::{Deserialize, Serialize};
 use via_model::stats::P2Quantile;
 
-/// Streaming budget gate.
-#[derive(Debug, Clone)]
+/// Streaming budget gate. Serializable so a live controller can carry the
+/// gate's estimator and counters across a graceful restart.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BudgetGate {
     /// Budget: maximum fraction of calls relayed, in (0, 1].
     budget: f64,

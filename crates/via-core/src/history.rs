@@ -10,6 +10,7 @@
 //! machinery supports the granularity sweep of Figure 17a (country-level,
 //! AS-level, or finer-than-AS decisions).
 
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use via_model::metrics::{Metric, PathMetrics};
 use via_model::options::RelayOption;
@@ -17,7 +18,7 @@ use via_model::stats::OnlineStats;
 use via_model::time::Window;
 
 /// Canonical (order-independent) pair of spatial keys.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct KeyPair {
     /// Smaller key.
     pub lo: u32,
@@ -37,7 +38,7 @@ impl KeyPair {
 }
 
 /// Per-metric Welford accumulators for one (pair, option, window) cell.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MetricStats {
     stats: [OnlineStats; 3],
 }
@@ -110,6 +111,30 @@ impl CallHistory {
             .entry((pair, option.canonical()))
             .or_default()
             .push(m);
+    }
+
+    /// Installs a whole cell's accumulated statistics (snapshot restore).
+    ///
+    /// The window's call counter absorbs the cell's sample count; a cell
+    /// that already exists is combined with the Chan et al. merge, exactly
+    /// like [`Self::merge`].
+    pub fn insert_cell(
+        &mut self,
+        window: Window,
+        pair: KeyPair,
+        option: RelayOption,
+        stats: MetricStats,
+    ) {
+        let slot = self.windows.entry(window.index).or_default();
+        slot.calls += stats.count();
+        match slot.cells.entry((pair, option.canonical())) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(stats);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().merge(&stats);
+            }
+        }
     }
 
     /// Stats of one cell, if any calls were observed.

@@ -11,6 +11,9 @@
 //!   never observed.
 //! * [`predictor`] — `Pred` of Algorithm 1: empirical → tomography →
 //!   geographic prior, each with mean and 95 % confidence bounds.
+//! * [`online`] — the live controller's training loop: per-report
+//!   incremental refit that publishes predictors bit-identical to the batch
+//!   barrier fit, plus snapshot/restore for graceful restarts.
 //! * [`topk`] — Algorithm 2: the minimal confidence-interval closure that
 //!   provably contains every plausibly-best option.
 //! * [`bandit`] — Algorithm 3: UCB1 modified with outlier-robust
@@ -48,6 +51,7 @@ pub mod bandit;
 pub mod budget;
 pub mod coords;
 pub mod history;
+pub mod online;
 pub mod par;
 pub mod placement;
 pub mod predictor;
@@ -61,8 +65,9 @@ pub use bandit::UcbBandit;
 pub use budget::BudgetGate;
 pub use coords::{Coord, Vivaldi, VivaldiConfig};
 pub use history::{CallHistory, KeyPair, MetricStats};
+pub use online::{BackboneFn, CellSnapshot, OnlineRefit, RefitSnapshot};
 pub use placement::{plan_placement, Demand, Placement};
-pub use predictor::{GeoPrior, Prediction, PredictionSource, Predictor, PredictorConfig};
+pub use predictor::{fit_cell, GeoPrior, Prediction, PredictionSource, Predictor, PredictorConfig};
 pub use replay::{CallOutcome, Outcome, ReplayConfig, ReplaySim, ReplayStats, SpatialGranularity};
 pub use strategy::StrategyKind;
 pub use topk::{top_k, top_k_into, ScoredOption};

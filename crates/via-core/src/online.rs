@@ -1,0 +1,424 @@
+//! Incremental predictor refit: the live controller's training loop.
+//!
+//! The batch replay engine refits at the window barrier — it stops, walks
+//! every cell of the previous window, and fits a fresh [`Predictor`]. A
+//! long-running controller cannot stall its select path behind that
+//! whole-window pass, so this module keeps the per-cell Welford sufficient
+//! statistics *live*: every call report updates exactly one cell's
+//! accumulator and re-derives that one cell's [`Prediction`] — O(1) work per
+//! report. At window rollover the already-finished cell map is published
+//! together with a fresh tomography solve (the only remaining whole-window
+//! computation, which runs off the select path while the previous predictor
+//! keeps serving).
+//!
+//! **Byte-identity with the batch path.** Both paths feed each cell's final
+//! Welford statistics through the same `fit_cell` function, and Welford
+//! accumulation depends only on the per-cell push sequence — which is the
+//! report sequence either way. Tomography is fitted from the identical
+//! [`CallHistory`] by the identical deterministic solve. A predictor rolled
+//! out of [`OnlineRefit`] therefore returns bit-for-bit the same
+//! [`Prediction`]s as [`Predictor::fit`] over the same recorded window — the
+//! regression tests in this module pin that down to `f64::to_bits`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use via_model::ids::RelayId;
+use via_model::metrics::PathMetrics;
+use via_model::options::RelayOption;
+use via_model::time::Window;
+
+use crate::history::{CallHistory, KeyPair, MetricStats};
+use crate::predictor::{fit_cell, GeoPrior, Prediction, Predictor, PredictorConfig};
+use crate::tomography::Tomography;
+
+/// Shared inter-relay backbone metrics closure. `Arc` so every published
+/// predictor holds a handle to the same table instead of cloning it.
+pub type BackboneFn = Arc<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>;
+
+/// Online, per-report predictor training state.
+///
+/// Owns the accumulating window's history and a cell map of predictions that
+/// is kept current on every [`OnlineRefit::record`]. [`OnlineRefit::roll`]
+/// publishes a [`Predictor`] trained on the window that just closed —
+/// exactly what the batch engine fits at its barrier, minus the O(cells)
+/// refit pass.
+pub struct OnlineRefit {
+    cfg: PredictorConfig,
+    prior: GeoPrior,
+    backbone: BackboneFn,
+    /// Window whose reports are currently accumulating.
+    current: Window,
+    /// Full per-cell statistics (tomography's training set).
+    history: CallHistory,
+    /// Live per-cell empirical predictions over `current`'s statistics,
+    /// re-derived per touch so rollover publishes without a window scan.
+    cells: HashMap<(KeyPair, RelayOption), Prediction>,
+    /// Reports folded in since the last [`OnlineRefit::roll`].
+    pending: u64,
+}
+
+impl std::fmt::Debug for OnlineRefit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OnlineRefit")
+            .field("current", &self.current)
+            .field("cells", &self.cells.len())
+            .field("pending", &self.pending)
+            .finish()
+    }
+}
+
+impl OnlineRefit {
+    /// Starts the training loop at `start` with an empty history.
+    pub fn new(start: Window, prior: GeoPrior, backbone: BackboneFn, cfg: PredictorConfig) -> Self {
+        Self {
+            cfg,
+            prior,
+            backbone,
+            current: start,
+            history: CallHistory::new(),
+            cells: HashMap::new(),
+            pending: 0,
+        }
+    }
+
+    /// Window currently accumulating reports.
+    pub fn window(&self) -> Window {
+        self.current
+    }
+
+    /// Reports folded in since the last rollover (the "refit lag" a batch
+    /// controller would still owe at its next barrier).
+    pub fn pending(&self) -> u64 {
+        self.pending
+    }
+
+    /// Number of live empirical cells in the accumulating window.
+    pub fn cells_len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Folds one call report into the accumulating window: one Welford push
+    /// plus one single-cell fit — O(1), no window scan.
+    pub fn record(&mut self, pair: KeyPair, option: RelayOption, m: &PathMetrics) {
+        let option = option.canonical();
+        self.history.record(self.current, pair, option, m);
+        self.pending += 1;
+        if let Some(stats) = self.history.cell(self.current, pair, option) {
+            if let Some(pred) = fit_cell(stats, &self.cfg) {
+                self.cells.insert((pair, option), pred);
+            }
+        }
+    }
+
+    /// Closes the accumulating window and advances to `next`, publishing the
+    /// predictor the batch engine would fit at the same barrier: trained on
+    /// `next.prev()` (prior-only cold predictor when there is none). The
+    /// cell map ships as-is; only tomography — inherently a whole-window
+    /// solve — is computed here.
+    ///
+    /// `next.index` must be greater than the current window's; reports for
+    /// `next` must arrive after the roll.
+    pub fn roll(&mut self, next: Window) -> Predictor {
+        assert!(
+            next.index > self.current.index,
+            "window rollover must move forward: {} -> {}",
+            self.current.index,
+            next.index
+        );
+        let training = next
+            .prev()
+            .unwrap_or_else(|| unreachable!("next.index > current.index >= 0 implies a prev"));
+        let published = if training == self.current {
+            // The common case: the closing window is the training window and
+            // its cell map is already fitted.
+            let tomography = Tomography::fit(
+                &self.history,
+                training,
+                self.backbone_box().as_ref(),
+                &self.cfg.tomography,
+            );
+            Predictor::from_parts(
+                self.cfg,
+                training,
+                self.cells.clone(),
+                tomography,
+                self.prior.clone(),
+                self.backbone_box(),
+            )
+        } else {
+            // Idle gap: the window preceding `next` saw no traffic (or the
+            // clock jumped). Fit on whatever the history holds for it —
+            // normally nothing, yielding the same empty-window predictor the
+            // batch engine produces.
+            Predictor::fit(
+                &self.history,
+                training,
+                self.prior.clone(),
+                self.backbone_box(),
+                self.cfg,
+            )
+        };
+        self.current = next;
+        self.cells.clear();
+        self.pending = 0;
+        // Same memory bound as the batch engine: only the training window
+        // (and newer) stays resident.
+        self.history.prune_before(next.index.saturating_sub(1));
+        published
+    }
+
+    /// The prior-only predictor served before the first rollover — the
+    /// batch engine's cold-start behaviour.
+    pub fn cold_predictor(&self) -> Predictor {
+        Predictor::cold(self.prior.clone(), self.backbone_box(), self.cfg)
+    }
+
+    /// Serializable image of the accumulating state (graceful restart).
+    pub fn snapshot(&self) -> RefitSnapshot {
+        let mut cells: Vec<CellSnapshot> = self
+            .history
+            .window_cells(self.current)
+            .map(|(&(pair, option), stats)| CellSnapshot {
+                pair,
+                option,
+                stats: stats.clone(),
+            })
+            .collect();
+        // Hash-map iteration order must not leak into the snapshot bytes
+        // (restores and byte-compares depend on a canonical order).
+        cells.sort_by_key(|c| (c.pair, c.option));
+        RefitSnapshot {
+            window: self.current,
+            pending: self.pending,
+            cells,
+        }
+    }
+
+    /// Rebuilds the training loop from a [`RefitSnapshot`]: every cell's
+    /// statistics are reinstalled and refitted, so the restored state
+    /// publishes the same predictions the snapshotting instance would have.
+    pub fn restore(
+        snap: RefitSnapshot,
+        prior: GeoPrior,
+        backbone: BackboneFn,
+        cfg: PredictorConfig,
+    ) -> Self {
+        let mut refit = Self::new(snap.window, prior, backbone, cfg);
+        refit.pending = snap.pending;
+        for cell in snap.cells {
+            let option = cell.option.canonical();
+            if let Some(pred) = fit_cell(&cell.stats, &refit.cfg) {
+                refit.cells.insert((cell.pair, option), pred);
+            }
+            refit
+                .history
+                .insert_cell(snap.window, cell.pair, option, cell.stats);
+        }
+        refit
+    }
+
+    fn backbone_box(&self) -> Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync> {
+        let bb = Arc::clone(&self.backbone);
+        Box::new(move |a, b| bb(a, b))
+    }
+}
+
+/// One history cell in a [`RefitSnapshot`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CellSnapshot {
+    /// Canonical spatial pair.
+    pub pair: KeyPair,
+    /// Canonical relaying option.
+    pub option: RelayOption,
+    /// The cell's Welford accumulators.
+    pub stats: MetricStats,
+}
+
+/// Serializable image of an [`OnlineRefit`]'s accumulating window, in
+/// canonical cell order.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RefitSnapshot {
+    /// Window that was accumulating when the snapshot was taken.
+    pub window: Window,
+    /// Reports folded in since the last rollover.
+    pub pending: u64,
+    /// Every cell of the accumulating window, sorted by (pair, option).
+    pub cells: Vec<CellSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use via_model::metrics::Metric;
+    use via_model::time::{SimTime, WindowLen};
+
+    fn w(i: u64) -> Window {
+        WindowLen::DAY.window_of(SimTime::from_days(i))
+    }
+
+    fn prior() -> GeoPrior {
+        let keys = vec![
+            via_netsim::GeoPoint::new(37.0, -122.0),
+            via_netsim::GeoPoint::new(52.0, 13.0),
+            via_netsim::GeoPoint::new(1.0, 103.0),
+        ];
+        let relays = vec![
+            via_netsim::GeoPoint::new(40.0, -74.0),
+            via_netsim::GeoPoint::new(48.0, 2.0),
+        ];
+        GeoPrior::new(keys, relays)
+    }
+
+    fn backbone() -> BackboneFn {
+        Arc::new(|a: RelayId, b: RelayId| {
+            let d = (a.0 as f64 - b.0 as f64).abs();
+            PathMetrics::new(20.0 + 10.0 * d, 0.05, 1.0)
+        })
+    }
+
+    fn backbone_box() -> Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync> {
+        let bb = backbone();
+        Box::new(move |a, b| bb(a, b))
+    }
+
+    /// A deterministic synthetic report stream over a handful of pairs and
+    /// options, including repeated touches of the same cell.
+    fn reports(seed: u64, n: usize) -> Vec<(KeyPair, RelayOption, PathMetrics)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let a = rng.random_range(0..3u32);
+                let b = rng.random_range(0..3u32);
+                let option = match rng.random_range(0..4u32) {
+                    0 => RelayOption::Direct,
+                    1 => RelayOption::Bounce(RelayId(rng.random_range(0..2))),
+                    2 => RelayOption::Transit(RelayId(0), RelayId(1)),
+                    _ => RelayOption::Transit(RelayId(1), RelayId(0)),
+                };
+                let m = PathMetrics::new(
+                    40.0 + rng.random::<f64>() * 200.0,
+                    rng.random::<f64>() * 3.0,
+                    rng.random::<f64>() * 12.0,
+                );
+                (KeyPair::new(a, b), option, m)
+            })
+            .collect()
+    }
+
+    fn assert_bit_identical(a: &Predictor, b: &Predictor) {
+        for ka in 0..3u32 {
+            for kb in 0..3u32 {
+                for option in [
+                    RelayOption::Direct,
+                    RelayOption::Bounce(RelayId(0)),
+                    RelayOption::Bounce(RelayId(1)),
+                    RelayOption::Transit(RelayId(0), RelayId(1)),
+                ] {
+                    let pa = a.predict(ka, kb, option);
+                    let pb = b.predict(ka, kb, option);
+                    assert_eq!(pa.source, pb.source, "source for ({ka},{kb},{option:?})");
+                    for &m in Metric::ALL.iter() {
+                        assert_eq!(
+                            pa.mean(m).to_bits(),
+                            pb.mean(m).to_bits(),
+                            "mean[{m:?}] for ({ka},{kb},{option:?})"
+                        );
+                        assert_eq!(
+                            pa.lower(m).to_bits(),
+                            pb.lower(m).to_bits(),
+                            "lower[{m:?}] for ({ka},{kb},{option:?})"
+                        );
+                        assert_eq!(
+                            pa.upper(m).to_bits(),
+                            pb.upper(m).to_bits(),
+                            "upper[{m:?}] for ({ka},{kb},{option:?})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_roll_matches_batch_fit_bit_for_bit() {
+        let cfg = PredictorConfig::default();
+        let stream = reports(0xA11CE, 400);
+
+        // Batch: record everything into window 0, fit at the barrier.
+        let mut history = CallHistory::new();
+        for (pair, option, m) in &stream {
+            history.record(w(0), *pair, *option, m);
+        }
+        let batch = Predictor::fit(&history, w(0), prior(), backbone_box(), cfg);
+
+        // Incremental: one record() per report, publish at the rollover.
+        let mut online = OnlineRefit::new(w(0), prior(), backbone(), cfg);
+        for (pair, option, m) in &stream {
+            online.record(*pair, *option, m);
+        }
+        assert_eq!(online.pending(), 400);
+        let rolled = online.roll(w(1));
+        assert_eq!(online.pending(), 0);
+        assert_eq!(batch.empirical_cells(), rolled.empirical_cells());
+        assert_eq!(batch.tomography_segments(), rolled.tomography_segments());
+        assert_bit_identical(&batch, &rolled);
+    }
+
+    #[test]
+    fn rolling_over_an_idle_gap_matches_an_empty_batch_window() {
+        let cfg = PredictorConfig::default();
+        let mut online = OnlineRefit::new(w(0), prior(), backbone(), cfg);
+        for (pair, option, m) in reports(7, 50) {
+            online.record(pair, option, &m);
+        }
+        // Jump from window 0 straight to window 3: training window 2 is
+        // empty, exactly like a batch fit over a quiet window.
+        let rolled = online.roll(w(3));
+        let batch = Predictor::fit(&CallHistory::new(), w(2), prior(), backbone_box(), cfg);
+        assert_eq!(rolled.empirical_cells(), 0);
+        assert_bit_identical(&batch, &rolled);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_accumulating_window() {
+        let cfg = PredictorConfig::default();
+        let stream = reports(99, 250);
+        let mut online = OnlineRefit::new(w(4), prior(), backbone(), cfg);
+        for (pair, option, m) in &stream {
+            online.record(*pair, *option, m);
+        }
+
+        let snap = online.snapshot();
+        let bytes = serde_json::to_vec(&snap).unwrap();
+        let decoded: RefitSnapshot = serde_json::from_slice(&bytes).unwrap();
+        let mut restored = OnlineRefit::restore(decoded, prior(), backbone(), cfg);
+        assert_eq!(restored.window(), w(4));
+        assert_eq!(restored.pending(), online.pending());
+        assert_eq!(restored.cells_len(), online.cells_len());
+
+        // Snapshot bytes are canonical: re-snapshotting the restored state
+        // reproduces them exactly.
+        assert_eq!(serde_json::to_vec(&restored.snapshot()).unwrap(), bytes);
+
+        let a = online.roll(w(5));
+        let b = restored.roll(w(5));
+        assert_bit_identical(&a, &b);
+    }
+
+    #[test]
+    fn record_canonicalizes_options_like_the_history() {
+        let cfg = PredictorConfig::default();
+        let mut online = OnlineRefit::new(w(0), prior(), backbone(), cfg);
+        let pair = KeyPair::new(0, 1);
+        let m = PathMetrics::new(80.0, 0.5, 3.0);
+        online.record(pair, RelayOption::Transit(RelayId(1), RelayId(0)), &m);
+        online.record(pair, RelayOption::Transit(RelayId(0), RelayId(1)), &m);
+        assert_eq!(online.cells_len(), 1);
+        let snap = online.snapshot();
+        assert_eq!(snap.cells.len(), 1);
+        assert_eq!(snap.cells[0].stats.count(), 2);
+    }
+}

@@ -23,7 +23,7 @@ use via_model::options::RelayOption;
 use via_model::time::Window;
 use via_netsim::GeoPoint;
 
-use crate::history::{CallHistory, KeyPair};
+use crate::history::{CallHistory, KeyPair, MetricStats};
 use crate::tomography::{delinearize, linearize, linearize_sem, Tomography, TomographyConfig};
 
 /// Where a prediction came from (diagnostics and the Figure 11 experiment).
@@ -87,6 +87,43 @@ fn idx(m: Metric) -> usize {
         Metric::Loss => 1,
         Metric::Jitter => 2,
     }
+}
+
+/// The single-cell empirical fit applied to every observed cell.
+///
+/// Shared by the whole-window [`Predictor::fit`] and the per-report
+/// incremental path ([`crate::online::OnlineRefit`], and the live
+/// controller's sharded variant in `via-server`): all feed a cell's Welford
+/// sufficient statistics through this exact function, which is what makes
+/// batch and incremental refits produce bit-identical predictions from
+/// identical statistics.
+pub fn fit_cell(stats: &MetricStats, cfg: &PredictorConfig) -> Option<Prediction> {
+    let n = stats.count();
+    if n == 0 {
+        return None;
+    }
+    let mut lin_mean = [0.0; 3];
+    let mut lin_sem = [0.0; 3];
+    for &metric in Metric::ALL.iter() {
+        let s = stats.metric(metric);
+        let mean = s.mean().unwrap_or(0.0);
+        let sem = s
+            .sem()
+            .unwrap_or_else(|| mean.abs() * cfg.sparse_rel_sem)
+            .max(1e-9);
+        lin_mean[idx(metric)] = linearize(metric, mean);
+        // Floor the SEM for sparse cells (a relative uncertainty
+        // decaying as 1/n) so one lucky sample cannot look
+        // authoritative, without chaining every interval together
+        // once a handful of samples exist.
+        lin_sem[idx(metric)] = linearize_sem(metric, mean, sem)
+            .max(cfg.sparse_rel_sem / n as f64 * linearize(metric, mean).max(1e-6));
+    }
+    Some(Prediction::from_linear(
+        lin_mean,
+        lin_sem,
+        PredictionSource::Empirical(n),
+    ))
 }
 
 /// Predictor configuration.
@@ -210,31 +247,7 @@ impl Predictor {
             crate::par::resolve_workers(cfg.workers)
         };
         let fitted = crate::par::par_map(workers, &cells, |_, &(&(pair, option), stats)| {
-            let n = stats.count();
-            if n == 0 {
-                return None;
-            }
-            let mut lin_mean = [0.0; 3];
-            let mut lin_sem = [0.0; 3];
-            for &metric in Metric::ALL.iter() {
-                let s = stats.metric(metric);
-                let mean = s.mean().unwrap_or(0.0);
-                let sem = s
-                    .sem()
-                    .unwrap_or_else(|| mean.abs() * cfg.sparse_rel_sem)
-                    .max(1e-9);
-                lin_mean[idx(metric)] = linearize(metric, mean);
-                // Floor the SEM for sparse cells (a relative uncertainty
-                // decaying as 1/n) so one lucky sample cannot look
-                // authoritative, without chaining every interval together
-                // once a handful of samples exist.
-                lin_sem[idx(metric)] = linearize_sem(metric, mean, sem)
-                    .max(cfg.sparse_rel_sem / n as f64 * linearize(metric, mean).max(1e-6));
-            }
-            Some((
-                (pair, option),
-                Prediction::from_linear(lin_mean, lin_sem, PredictionSource::Empirical(n)),
-            ))
+            fit_cell(stats, &cfg).map(|pred| ((pair, option), pred))
         });
         let mut empirical = std::collections::HashMap::with_capacity(cells.len());
         for (key, pred) in fitted.into_iter().flatten() {
@@ -245,6 +258,31 @@ impl Predictor {
         Predictor {
             cfg,
             window: training_window,
+            empirical,
+            tomography,
+            prior,
+            backbone,
+        }
+    }
+
+    /// Assembles a predictor from an externally maintained empirical cell
+    /// map plus a fitted tomography model — the publish step of the
+    /// incremental-refit path ([`crate::online::OnlineRefit`] and the
+    /// sharded live controller in `via-server`). `fit` is exactly
+    /// `from_parts` applied to the cells it computes itself; callers must
+    /// pass cells produced by [`fit_cell`] over the same history for the
+    /// bit-identity guarantee to hold.
+    pub fn from_parts(
+        cfg: PredictorConfig,
+        window: Window,
+        empirical: std::collections::HashMap<(KeyPair, RelayOption), Prediction>,
+        tomography: Tomography,
+        prior: GeoPrior,
+        backbone: Box<dyn Fn(RelayId, RelayId) -> PathMetrics + Send + Sync>,
+    ) -> Predictor {
+        Predictor {
+            cfg,
+            window,
             empirical,
             tomography,
             prior,

@@ -11,7 +11,7 @@
 //! deliberately stores no sum and derives no mean.
 //!
 //! The record path is built for the replay engine's per-call loop: bucket
-//! counts live in a fixed inline array (no heap indirection), and the five
+//! counts live in a fixed inline array (no heap indirection), and the
 //! preset bound sets resolve through a precomputed [`BucketLut`] so the
 //! common-case bucket lookup is O(1) instead of a `partition_point` scan
 //! per recorded value.
@@ -34,7 +34,7 @@ pub struct Buckets {
 }
 
 /// Largest supported number of finite bounds: bucket counts live inline in
-/// `[u64; MAX_BOUNDS + 1]`, sized for the widest preset (LATENCY_MS, 19
+/// `[u64; MAX_BOUNDS + 1]`, sized for the widest preset (LATENCY_US, 21
 /// bounds) with headroom for custom test presets.
 pub const MAX_BOUNDS: usize = 23;
 
@@ -44,6 +44,18 @@ pub const LATENCY_MS: Buckets = Buckets {
     bounds: &[
         1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0, 400.0, 500.0, 750.0,
         1000.0, 1500.0, 2000.0, 3000.0, 5000.0,
+    ],
+};
+
+/// In-process operation latency, microseconds. Tuned for a controller's
+/// select hot path (target p99 in the tens of µs): sub-µs through 100 µs at
+/// fine resolution, with a coarse tail up to 100 ms for socket round-trips
+/// and scheduler stalls.
+pub const LATENCY_US: Buckets = Buckets {
+    name: "latency_us",
+    bounds: &[
+        0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 20.0, 30.0, 50.0, 75.0, 100.0, 200.0, 500.0, 1000.0,
+        2000.0, 5000.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0,
     ],
 };
 
@@ -178,6 +190,7 @@ impl BucketLut {
 }
 
 static LATENCY_MS_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(LATENCY_MS.bounds));
+static LATENCY_US_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(LATENCY_US.bounds));
 static MOS_DELTA_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(MOS_DELTA.bounds));
 static CI_WIDTH_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(CI_WIDTH.bounds));
 static REGRET_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(REGRET.bounds));
@@ -189,6 +202,7 @@ static FRACTION_LUT: LazyLock<BucketLut> = LazyLock::new(|| BucketLut::build(FRA
 fn lut_for(buckets: &Buckets) -> Option<&'static BucketLut> {
     let (preset, lut): (&Buckets, &'static LazyLock<BucketLut>) = match buckets.name {
         "latency_ms" => (&LATENCY_MS, &LATENCY_MS_LUT),
+        "latency_us" => (&LATENCY_US, &LATENCY_US_LUT),
         "mos_delta" => (&MOS_DELTA, &MOS_DELTA_LUT),
         "ci_width" => (&CI_WIDTH, &CI_WIDTH_LUT),
         "regret" => (&REGRET, &REGRET_LUT),
@@ -456,7 +470,9 @@ mod tests {
 
     #[test]
     fn presets_resolve_a_lut_and_custom_bounds_do_not() {
-        for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION] {
+        for b in [
+            LATENCY_MS, LATENCY_US, MOS_DELTA, CI_WIDTH, REGRET, FRACTION,
+        ] {
             assert!(b.lut().is_some(), "{} should have a LUT", b.name);
         }
         let custom = Buckets {
@@ -476,7 +492,9 @@ mod tests {
 
     #[test]
     fn lut_agrees_with_scan_on_edges_and_nonfinite() {
-        for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION] {
+        for b in [
+            LATENCY_MS, LATENCY_US, MOS_DELTA, CI_WIDTH, REGRET, FRACTION,
+        ] {
             for &bound in b.bounds {
                 for v in [
                     bound,
@@ -523,7 +541,9 @@ mod tests {
 
     #[test]
     fn preset_bounds_are_strictly_increasing() {
-        for b in [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION] {
+        for b in [
+            LATENCY_MS, LATENCY_US, MOS_DELTA, CI_WIDTH, REGRET, FRACTION,
+        ] {
             assert!(!b.bounds.is_empty(), "{}", b.name);
             assert!(b.bounds.len() <= MAX_BOUNDS, "{}", b.name);
             for w in b.bounds.windows(2) {

@@ -26,8 +26,8 @@ mod snapshot;
 mod time;
 
 pub use hist::{
-    BucketLut, Buckets, Histogram, HistogramSnapshot, CI_WIDTH, FRACTION, LATENCY_MS, MAX_BOUNDS,
-    MOS_DELTA, REGRET,
+    BucketLut, Buckets, Histogram, HistogramSnapshot, CI_WIDTH, FRACTION, LATENCY_MS, LATENCY_US,
+    MAX_BOUNDS, MOS_DELTA, REGRET,
 };
 pub use prom::to_prometheus;
 pub use snapshot::{Counter, MetricsSnapshot, SpanEvent, SpanField, Timing, TimingEntry};
@@ -224,6 +224,7 @@ impl MetricSink {
                     timing: *t,
                 })
                 .collect(),
+            app_state: None,
         }
     }
 }

@@ -78,6 +78,13 @@ pub struct MetricsSnapshot {
     /// two byte-identical snapshots may carry different timings.
     #[serde(skip)]
     pub timings: Vec<TimingEntry>,
+    /// Opaque application-state payload riding with the snapshot — e.g. a
+    /// controller's serialized selection state, so one snapshot file carries
+    /// everything a graceful restart needs. The payload must itself be
+    /// deterministic for snapshot diffing to stay a sound determinism check.
+    /// `None` (serialized as `null`) unless a producer sets it; replay
+    /// snapshots never do.
+    pub app_state: Option<String>,
 }
 
 impl MetricsSnapshot {

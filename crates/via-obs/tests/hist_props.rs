@@ -10,9 +10,11 @@
 //!    quantile.
 
 use proptest::prelude::*;
-use via_obs::{Buckets, Histogram, CI_WIDTH, FRACTION, LATENCY_MS, MOS_DELTA, REGRET};
+use via_obs::{Buckets, Histogram, CI_WIDTH, FRACTION, LATENCY_MS, LATENCY_US, MOS_DELTA, REGRET};
 
-const PRESETS: [Buckets; 5] = [LATENCY_MS, MOS_DELTA, CI_WIDTH, REGRET, FRACTION];
+const PRESETS: [Buckets; 6] = [
+    LATENCY_MS, LATENCY_US, MOS_DELTA, CI_WIDTH, REGRET, FRACTION,
+];
 
 fn hist_of(buckets: Buckets, xs: &[f64]) -> Histogram {
     let mut h = Histogram::new(buckets);

@@ -1,0 +1,740 @@
+//! The live selection plane: sharded controller state behind an epoch
+//! pointer, with per-report incremental refit.
+//!
+//! The batch replay engine (`via_core::replay`) advances through a trace
+//! window by window: at each barrier it refits the predictor over the
+//! closed window, rebuilds per-pair bandit state lazily, and replays the
+//! next window. A long-running controller answers `select` RPCs
+//! continuously and cannot stall them behind a whole-window refit, so this
+//! module splits the state three ways:
+//!
+//! * **Published predictor** — an [`EpochPtr`] holding the immutable
+//!   [`Predictor`] trained on the last closed window. The select path loads
+//!   it wait-free in practice; rollover publishes a replacement.
+//! * **Shards** — per-pair mutable state (accumulating [`CallHistory`],
+//!   live [`fit_cell`] predictions, per-pair bandits, a selection-latency
+//!   histogram), partitioned by spatial key pair so concurrent selects for
+//!   different pairs never contend.
+//! * **Roll state** — the once-per-window merge: shard histories and cell
+//!   maps are drained (disjoint by construction — each pair lives in
+//!   exactly one shard), tomography is solved over the merged history, and
+//!   [`Predictor::from_parts`] publishes without re-walking the cells.
+//!
+//! **Byte-identity with the batch path.** Every report feeds its cell's
+//! Welford accumulator and re-derives that one cell through the same
+//! [`fit_cell`] the batch fit uses; rollover unions the disjoint shard cell
+//! maps, which is exactly the cell map `Predictor::fit` would compute from
+//! the merged history. The regression tests in `tests/server_determinism.rs`
+//! pin selections against a reference loop built on `Predictor::fit`.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use via_core::budget::BudgetGate;
+use via_core::history::{CallHistory, KeyPair};
+use via_core::online::{BackboneFn, CellSnapshot, RefitSnapshot};
+use via_core::predictor::{fit_cell, GeoPrior, Prediction, Predictor, PredictorConfig};
+use via_core::tomography::Tomography;
+use via_core::topk::{top_k_into, ScoredOption};
+use via_core::UcbBandit;
+use via_model::metrics::{Metric, PathMetrics};
+use via_model::options::RelayOption;
+use via_model::seed::{self, splitmix64};
+use via_model::time::{SimTime, Window, WindowLen};
+
+use crate::epoch::EpochPtr;
+use crate::lock::lock;
+use crate::session::{SessionExhausted, SessionTable};
+
+/// Static configuration of a [`Controller`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Root seed for the ε-exploration RNG (derived per `call_id`, so a
+    /// replayed request stream re-derives identical coin flips).
+    pub seed: u64,
+    /// Objective metric selections optimize.
+    pub objective: Metric,
+    /// Control-window length.
+    pub window: WindowLen,
+    /// ε general-exploration fraction (Algorithm 3's uniform escape hatch).
+    pub epsilon: f64,
+    /// Budget-gate fraction in (0, 1], or `None` to disable gating.
+    pub budget: Option<f64>,
+    /// Number of pair shards (clamped to at least 1).
+    pub shards: usize,
+    /// Predictor / tomography settings.
+    pub predictor: PredictorConfig,
+    /// Simulation clock at startup; decides the first accumulating window.
+    pub start: SimTime,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            seed: 0,
+            objective: Metric::Rtt,
+            window: WindowLen::DAY,
+            epsilon: 0.05,
+            budget: None,
+            shards: 8,
+            predictor: PredictorConfig::default(),
+            start: SimTime::ZERO,
+        }
+    }
+}
+
+/// One selection decision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// The chosen option.
+    pub option: RelayOption,
+    /// False when the budget gate forced the direct path.
+    pub admitted: bool,
+    /// True when ε exploration picked a uniform random candidate.
+    pub explored: bool,
+    /// Window index the decision was made in.
+    pub window: u64,
+}
+
+/// Per-pair selection state for one window: the mirror of the replay
+/// engine's lazily built pair state.
+#[derive(Debug)]
+struct PairEntry {
+    /// Window index this entry was built for; stale entries are rebuilt
+    /// from the freshly published predictor.
+    window: u64,
+    bandit: UcbBandit,
+    best_mean: f64,
+    direct_mean: f64,
+}
+
+/// One pair shard: every mutable per-call structure for the pairs hashed
+/// here. Locked per select/report; different pairs in different shards
+/// proceed concurrently.
+struct Shard {
+    /// Window index the shard's live state belongs to.
+    window: u64,
+    /// Accumulating history (current window only; drained at rollover).
+    history: CallHistory,
+    /// Live per-cell predictions over the accumulating history.
+    cells: HashMap<(KeyPair, RelayOption), Prediction>,
+    /// Per-pair bandit state for the current window.
+    pairs: HashMap<KeyPair, PairEntry>,
+    /// Reports absorbed since the last rollover.
+    pending: u64,
+    /// Wall-clock select latency, microseconds (nondeterministic; only the
+    /// observability snapshot carries it).
+    latency: via_obs::Histogram,
+}
+
+impl Shard {
+    fn new(window: u64) -> Shard {
+        Shard {
+            window,
+            history: CallHistory::new(),
+            cells: HashMap::new(),
+            pairs: HashMap::new(),
+            pending: 0,
+            latency: via_obs::Histogram::new(via_obs::LATENCY_US),
+        }
+    }
+}
+
+/// State mutated only at window rollover, behind one mutex so rolls are
+/// serialized and the select path never waits on a whole-window pass.
+struct RollState {
+    /// History of the training window behind the live predictor — what a
+    /// restart needs to refit an identical predictor.
+    trained: CallHistory,
+    /// The training window, or `None` before any history exists (cold
+    /// start at window 0).
+    trained_window: Option<Window>,
+    /// Deterministic roll telemetry (one span per rollover).
+    obs: via_obs::MetricSink,
+}
+
+/// Serializable image of the controller's entire selection state: enough
+/// to restart and keep serving bit-identical predictions.
+///
+/// `trained` carries the per-cell statistics of the window behind the live
+/// predictor; restore refits it with [`Predictor::fit`], which is
+/// bit-identical to the incremental publish over the same statistics.
+/// `current` is the accumulating window in the same canonical cell order
+/// [`via_core::OnlineRefit`] snapshots use. Per-pair bandit arms are *not*
+/// carried: they rebuild lazily from the restored predictor's predictions
+/// (a prediction-warm-started bandit, exactly what the batch engine builds
+/// at a pair's first call in a window), trading the closed-over-restart
+/// in-window arm observations for a snapshot that stays small and
+/// deterministic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionSnapshot {
+    /// The accumulating window's cells, pending count, and window id.
+    pub current: RefitSnapshot,
+    /// The training window behind the live predictor, if any.
+    pub trained: Option<RefitSnapshot>,
+    /// Budget-gate estimator and counters, when gating is enabled.
+    pub gate: Option<BudgetGate>,
+}
+
+/// The live controller: the in-process API the socket plane, the load
+/// generator, and the tests all drive.
+pub struct Controller {
+    cfg: ServerConfig,
+    prior: GeoPrior,
+    backbone: BackboneFn,
+    predictor: EpochPtr<Predictor>,
+    /// Index of the accumulating window (shards lag only inside a roll).
+    window: AtomicU64,
+    shards: Vec<Mutex<Shard>>,
+    gate: Mutex<Option<BudgetGate>>,
+    roll: Mutex<RollState>,
+    sessions: Mutex<SessionTable>,
+    selections: AtomicU64,
+    reports: AtomicU64,
+    gated: AtomicU64,
+    explored: AtomicU64,
+    rolls: AtomicU64,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("window", &self.window.load(Ordering::Relaxed))
+            .field("shards", &self.shards.len())
+            .field("selections", &self.selections.load(Ordering::Relaxed))
+            .field("reports", &self.reports.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Controller {
+    /// Builds a controller serving from `cfg.start`. Before the first
+    /// rollover it serves what the batch engine would at the same window:
+    /// a predictor fitted on the (empty) preceding window, or the prior-only
+    /// cold predictor when starting at window 0.
+    pub fn new(cfg: ServerConfig, prior: GeoPrior, backbone: BackboneFn) -> Controller {
+        let start = cfg.window.window_of(cfg.start);
+        let trained_window = start.prev();
+        let initial = match trained_window {
+            Some(training) => Predictor::fit(
+                &CallHistory::new(),
+                training,
+                prior.clone(),
+                box_backbone(&backbone),
+                cfg.predictor,
+            ),
+            None => Predictor::cold(prior.clone(), box_backbone(&backbone), cfg.predictor),
+        };
+        let n_shards = cfg.shards.max(1);
+        Controller {
+            prior,
+            backbone,
+            predictor: EpochPtr::new(Arc::new(initial)),
+            window: AtomicU64::new(start.index),
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(Shard::new(start.index)))
+                .collect(),
+            gate: Mutex::new(cfg.budget.map(BudgetGate::new)),
+            roll: Mutex::new(RollState {
+                trained: CallHistory::new(),
+                trained_window,
+                obs: via_obs::MetricSink::new(),
+            }),
+            sessions: Mutex::new(SessionTable::new()),
+            selections: AtomicU64::new(0),
+            reports: AtomicU64::new(0),
+            gated: AtomicU64::new(0),
+            explored: AtomicU64::new(0),
+            rolls: AtomicU64::new(0),
+            cfg,
+        }
+    }
+
+    /// Rebuilds a controller from a [`SelectionSnapshot`] (graceful
+    /// restart). The caller must pass the same `cfg`, `prior`, and
+    /// `backbone` the snapshotting controller ran with; the restored
+    /// controller then serves bit-identical predictions, carries the same
+    /// accumulating statistics, and re-snapshots to the same bytes.
+    pub fn restore(
+        cfg: ServerConfig,
+        prior: GeoPrior,
+        backbone: BackboneFn,
+        snap: SelectionSnapshot,
+    ) -> Controller {
+        let ctrl = Controller::new(cfg, prior, backbone);
+        if let Some(trained) = snap.trained {
+            let mut hist = CallHistory::new();
+            for cell in &trained.cells {
+                hist.insert_cell(
+                    trained.window,
+                    cell.pair,
+                    cell.option.canonical(),
+                    cell.stats.clone(),
+                );
+            }
+            let refitted = Predictor::fit(
+                &hist,
+                trained.window,
+                ctrl.prior.clone(),
+                box_backbone(&ctrl.backbone),
+                ctrl.cfg.predictor,
+            );
+            ctrl.predictor.publish(Arc::new(refitted));
+            let mut roll = lock(&ctrl.roll);
+            roll.trained = hist;
+            roll.trained_window = Some(trained.window);
+        }
+        let current = snap.current.window;
+        ctrl.window.store(current.index, Ordering::Release);
+        for shard in &ctrl.shards {
+            lock(shard).window = current.index;
+        }
+        for cell in snap.current.cells {
+            let option = cell.option.canonical();
+            let mut shard = lock(&ctrl.shards[ctrl.shard_of(cell.pair)]);
+            if let Some(pred) = fit_cell(&cell.stats, &ctrl.cfg.predictor) {
+                shard.cells.insert((cell.pair, option), pred);
+            }
+            shard
+                .history
+                .insert_cell(current, cell.pair, option, cell.stats);
+        }
+        for shard in &ctrl.shards {
+            let mut shard = lock(shard);
+            shard.pending = shard.history.window_calls(current);
+        }
+        *lock(&ctrl.gate) = snap.gate;
+        ctrl
+    }
+
+    /// The controller's static configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// Index of the currently accumulating window.
+    pub fn window_index(&self) -> u64 {
+        self.window.load(Ordering::Acquire)
+    }
+
+    /// Number of predictor publishes since startup (the refit epoch).
+    pub fn refit_epoch(&self) -> u64 {
+        self.predictor.epoch()
+    }
+
+    fn shard_of(&self, pair: KeyPair) -> usize {
+        let h = splitmix64((u64::from(pair.lo) << 32) | u64::from(pair.hi));
+        (h % self.shards.len() as u64) as usize
+    }
+
+    fn current_window(&self) -> Window {
+        Window {
+            index: self.window.load(Ordering::Acquire),
+            len: self.cfg.window,
+        }
+    }
+
+    /// Mirror of the replay engine's lazily built pair state (the `Via`
+    /// strategy arm): score every candidate against the published
+    /// predictor, prune with the top-k CI closure, and warm-start a
+    /// normalized UCB bandit from the predicted means.
+    fn build_pair_entry(
+        pred: &Predictor,
+        pair: KeyPair,
+        candidates: &[RelayOption],
+        window: u64,
+        objective: Metric,
+    ) -> PairEntry {
+        let scored: Vec<ScoredOption> = candidates
+            .iter()
+            .map(|&opt| {
+                ScoredOption::from_prediction(opt, &pred.predict(pair.lo, pair.hi, opt), objective)
+            })
+            .collect();
+        let direct_mean = scored
+            .iter()
+            .find(|s| s.option == RelayOption::Direct)
+            .map_or(f64::INFINITY, |s| s.mean);
+        let mut order = Vec::new();
+        let mut selected = Vec::new();
+        top_k_into(&scored, &mut order, &mut selected);
+        let best_mean = selected.first().map_or(direct_mean, |s| s.mean);
+        // Algorithm 3 line 3: normalize by the mean top-k upper bound; arms
+        // warm-start from predicted means (3 virtual samples).
+        let w = selected.iter().map(|s| s.upper).sum::<f64>() / selected.len().max(1) as f64;
+        let bandit = UcbBandit::with_priors(selected.iter().map(|s| (s.option, s.mean)), w, 3);
+        bandit.validate();
+        PairEntry {
+            window,
+            bandit,
+            best_mean,
+            direct_mean,
+        }
+    }
+
+    /// Decides the relay option for one call. `call_id` seeds the
+    /// ε-exploration RNG, so identical request streams select identically.
+    pub fn select(
+        &self,
+        call_id: u64,
+        t: SimTime,
+        src_key: u32,
+        dst_key: u32,
+        candidates: &[RelayOption],
+    ) -> Selection {
+        let started = Instant::now();
+        self.ensure_window(self.cfg.window.window_of(t));
+        if candidates.is_empty() {
+            // Nothing to choose between; don't charge the budget gate.
+            self.selections.fetch_add(1, Ordering::Relaxed);
+            return Selection {
+                option: RelayOption::Direct,
+                admitted: true,
+                explored: false,
+                window: self.window.load(Ordering::Acquire),
+            };
+        }
+        let pred = self.predictor.load();
+        let pair = KeyPair::new(src_key, dst_key);
+        let mut shard = lock(&self.shards[self.shard_of(pair)]);
+        let wi = shard.window;
+        let objective = self.cfg.objective;
+        let entry = match shard.pairs.entry(pair) {
+            Entry::Occupied(mut o) => {
+                if o.get().window != wi {
+                    *o.get_mut() = Self::build_pair_entry(&pred, pair, candidates, wi, objective);
+                }
+                o.into_mut()
+            }
+            Entry::Vacant(v) => v.insert(Self::build_pair_entry(
+                &pred, pair, candidates, wi, objective,
+            )),
+        };
+        // Budget gate (§4.6): benefit = predicted direct cost minus best
+        // predicted cost. A non-finite benefit (no direct candidate, or a
+        // prior-only ∞ direct mean) bypasses the gate — such calls must
+        // relay regardless and must not poison the percentile estimator.
+        let benefit = entry.direct_mean - entry.best_mean;
+        let mut admitted = true;
+        if benefit.is_finite() {
+            let mut gate = lock(&self.gate);
+            if let Some(g) = gate.as_mut() {
+                admitted = g.admit(benefit);
+                g.validate();
+            }
+        }
+        let mut explored = false;
+        let option = if admitted {
+            let mut rng = StdRng::seed_from_u64(seed::derive_indexed(
+                self.cfg.seed,
+                "server.select",
+                call_id,
+            ));
+            if self.cfg.epsilon > 0.0 && rng.random::<f64>() < self.cfg.epsilon {
+                explored = true;
+                candidates[rng.random_range(0..candidates.len())]
+            } else {
+                entry.bandit.choose().unwrap_or(RelayOption::Direct)
+            }
+        } else {
+            RelayOption::Direct
+        };
+        let micros = started.elapsed().as_secs_f64() * 1e6;
+        shard.latency.record(micros);
+        self.selections.fetch_add(1, Ordering::Relaxed);
+        if explored {
+            self.explored.fetch_add(1, Ordering::Relaxed);
+        }
+        if !admitted {
+            self.gated.fetch_add(1, Ordering::Relaxed);
+        }
+        Selection {
+            option,
+            admitted,
+            explored,
+            window: wi,
+        }
+    }
+
+    /// Absorbs the measured outcome of one call: one Welford push, one
+    /// single-cell refit, one bandit update — O(1), no window scan. Returns
+    /// the window index the report was filed under.
+    pub fn report(
+        &self,
+        t: SimTime,
+        src_key: u32,
+        dst_key: u32,
+        option: RelayOption,
+        metrics: &PathMetrics,
+    ) -> u64 {
+        self.ensure_window(self.cfg.window.window_of(t));
+        let pair = KeyPair::new(src_key, dst_key);
+        let option = option.canonical();
+        let mut shard = lock(&self.shards[self.shard_of(pair)]);
+        let window = Window {
+            index: shard.window,
+            len: self.cfg.window,
+        };
+        shard.history.record(window, pair, option, metrics);
+        shard.pending += 1;
+        let fitted = shard
+            .history
+            .cell(window, pair, option)
+            .and_then(|stats| fit_cell(stats, &self.cfg.predictor));
+        if let Some(pred) = fitted {
+            shard.cells.insert((pair, option), pred);
+        }
+        if let Some(entry) = shard.pairs.get_mut(&pair) {
+            if entry.window == window.index {
+                entry.bandit.update(option, metrics[self.cfg.objective]);
+                entry.bandit.validate();
+            }
+        }
+        self.reports.fetch_add(1, Ordering::Relaxed);
+        window.index
+    }
+
+    /// Rolls forward when `w` is ahead of the accumulating window.
+    fn ensure_window(&self, w: Window) {
+        if w.index <= self.window.load(Ordering::Acquire) {
+            return;
+        }
+        self.roll_to(w);
+    }
+
+    /// The window rollover: drains every shard's history and cell map,
+    /// solves tomography over the merged history, and publishes the next
+    /// predictor — all off the select path (selects keep serving the old
+    /// epoch; only same-shard calls wait, briefly, for the drain).
+    fn roll_to(&self, next: Window) {
+        let mut roll = lock(&self.roll);
+        let cur = self.window.load(Ordering::Acquire);
+        if next.index <= cur {
+            return; // another thread rolled first
+        }
+        let current_window = Window {
+            index: cur,
+            len: self.cfg.window,
+        };
+        let Some(training) = next.prev() else {
+            return; // unreachable: next.index > cur >= 0
+        };
+        let mut merged = CallHistory::new();
+        let mut cells: HashMap<(KeyPair, RelayOption), Prediction> = HashMap::new();
+        let mut refit_lag = 0u64;
+        for shard in &self.shards {
+            let mut shard = lock(shard);
+            merged.merge(std::mem::take(&mut shard.history));
+            cells.extend(shard.cells.drain());
+            shard.pairs.clear();
+            refit_lag += shard.pending;
+            shard.pending = 0;
+            shard.window = next.index;
+        }
+        let published = if training == current_window {
+            // Common case: the window that just closed is the training
+            // window, and its cell map is already fitted — publish it with a
+            // fresh tomography solve, no per-cell pass.
+            let tomography = Tomography::fit(
+                &merged,
+                training,
+                self.backbone.as_ref(),
+                &self.cfg.predictor.tomography,
+            );
+            Predictor::from_parts(
+                self.cfg.predictor,
+                training,
+                cells,
+                tomography,
+                self.prior.clone(),
+                box_backbone(&self.backbone),
+            )
+        } else {
+            // Idle gap: the window preceding `next` saw no traffic. Fit on
+            // whatever the history holds for it (normally nothing) — the
+            // batch engine's empty-window behaviour.
+            Predictor::fit(
+                &merged,
+                training,
+                self.prior.clone(),
+                box_backbone(&self.backbone),
+                self.cfg.predictor,
+            )
+        };
+        let empirical = published.empirical_cells() as u64;
+        let segments = published.tomography_segments() as u64;
+        self.predictor.publish(Arc::new(published));
+        self.window.store(next.index, Ordering::Release);
+        merged.prune_before(training.index);
+        roll.trained = merged;
+        roll.trained_window = Some(training);
+        roll.obs.span(
+            "server.roll",
+            next.index,
+            &[
+                ("training_window", training.index),
+                ("empirical_cells", empirical),
+                ("tomography_segments", segments),
+                ("refit_lag_reports", refit_lag),
+            ],
+        );
+        self.rolls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deterministic image of the full selection state, in canonical cell
+    /// order: equal request streams produce byte-equal snapshots.
+    pub fn selection_snapshot(&self) -> SelectionSnapshot {
+        let roll = lock(&self.roll);
+        let current = self.current_window();
+        let mut cells: Vec<CellSnapshot> = Vec::new();
+        let mut pending = 0;
+        for shard in &self.shards {
+            let shard = lock(shard);
+            cells.extend(
+                shard
+                    .history
+                    .window_cells(current)
+                    .map(|(&(pair, option), stats)| CellSnapshot {
+                        pair,
+                        option,
+                        stats: stats.clone(),
+                    }),
+            );
+            pending += shard.pending;
+        }
+        cells.sort_by_key(|c| (c.pair, c.option));
+        let trained = roll.trained_window.map(|tw| {
+            let mut cells: Vec<CellSnapshot> = roll
+                .trained
+                .window_cells(tw)
+                .map(|(&(pair, option), stats)| CellSnapshot {
+                    pair,
+                    option,
+                    stats: stats.clone(),
+                })
+                .collect();
+            cells.sort_by_key(|c| (c.pair, c.option));
+            RefitSnapshot {
+                window: tw,
+                pending: 0,
+                cells,
+            }
+        });
+        SelectionSnapshot {
+            current: RefitSnapshot {
+                window: current,
+                pending,
+                cells,
+            },
+            trained,
+            gate: lock(&self.gate).clone(),
+        }
+    }
+
+    /// [`Controller::selection_snapshot`] as a JSON document (the
+    /// `Snapshot` RPC payload and the metrics snapshot's `app_state`).
+    pub fn selection_snapshot_json(&self) -> String {
+        // SelectionSnapshot contains no maps or non-finite floats that
+        // could fail serialization; an empty document would only indicate a
+        // serializer bug, and the deterministic tests would catch it.
+        serde_json::to_string(&self.selection_snapshot()).unwrap_or_default()
+    }
+
+    /// Counters and roll spans — the deterministic metric core.
+    fn base_sink(&self) -> via_obs::MetricSink {
+        let mut sink = via_obs::MetricSink::new();
+        sink.inc(
+            "server_selections_total",
+            self.selections.load(Ordering::Relaxed),
+        );
+        sink.inc("server_reports_total", self.reports.load(Ordering::Relaxed));
+        sink.inc("server_gated_total", self.gated.load(Ordering::Relaxed));
+        sink.inc(
+            "server_explored_total",
+            self.explored.load(Ordering::Relaxed),
+        );
+        sink.inc("server_rolls_total", self.rolls.load(Ordering::Relaxed));
+        sink.inc("server_window_index", self.window.load(Ordering::Acquire));
+        let pending: u64 = self.shards.iter().map(|s| lock(s).pending).sum();
+        sink.inc("server_refit_pending_reports", pending);
+        if let Some(g) = lock(&self.gate).as_ref() {
+            sink.inc("server_gate_calls_total", g.total());
+            // Stored as parts-per-million so the gauge stays integral (span
+            // and counter values are u64 by design).
+            sink.inc(
+                "server_gate_relayed_ppm",
+                (g.relayed_fraction() * 1e6).round() as u64,
+            );
+        }
+        sink.merge(&lock(&self.roll).obs);
+        sink
+    }
+
+    /// Deterministic metrics snapshot with the selection state embedded as
+    /// `app_state`: counters, roll spans, no wall-clock histograms. Equal
+    /// request streams serialize to equal bytes.
+    pub fn metrics_snapshot(&self) -> via_obs::MetricsSnapshot {
+        let app_state = self.selection_snapshot_json();
+        let mut snap = self.base_sink().snapshot();
+        snap.app_state = Some(app_state);
+        snap
+    }
+
+    /// Operator-facing snapshot: the deterministic core *plus* the merged
+    /// wall-clock selection-latency histogram. Not byte-stable across runs.
+    pub fn observability_snapshot(&self) -> via_obs::MetricsSnapshot {
+        let app_state = self.selection_snapshot_json();
+        let mut sink = self.base_sink();
+        sink.merge_histogram("server_select_latency_us", &self.latency_histogram());
+        let mut snap = sink.snapshot();
+        snap.app_state = Some(app_state);
+        snap
+    }
+
+    /// The merged per-shard selection-latency histogram (microseconds).
+    pub fn latency_histogram(&self) -> via_obs::Histogram {
+        let mut merged = via_obs::Histogram::new(via_obs::LATENCY_US);
+        for shard in &self.shards {
+            merged.merge(&lock(shard).latency);
+        }
+        merged
+    }
+
+    /// Opens a session (socket plane).
+    ///
+    /// # Errors
+    /// [`SessionExhausted`] when the id space under the probe bound is full.
+    pub fn open_session(&self) -> Result<u64, SessionExhausted> {
+        lock(&self.sessions).open()
+    }
+
+    /// True when `id` names a live session.
+    pub fn session_live(&self, id: u64) -> bool {
+        lock(&self.sessions).is_live(id)
+    }
+
+    /// Ends a session (connection closed); stale ids are then rejected.
+    pub fn end_session(&self, id: u64) -> bool {
+        lock(&self.sessions).close(id)
+    }
+
+    /// Number of open sessions.
+    pub fn live_sessions(&self) -> usize {
+        lock(&self.sessions).live_count()
+    }
+}
+
+/// Wraps the shared backbone closure in the boxed form `via-core`'s
+/// predictor constructors take.
+fn box_backbone(
+    bb: &BackboneFn,
+) -> Box<dyn Fn(via_model::ids::RelayId, via_model::ids::RelayId) -> PathMetrics + Send + Sync> {
+    let bb = Arc::clone(bb);
+    Box::new(move |a, b| bb(a, b))
+}

@@ -1,0 +1,259 @@
+//! The socket plane: accept loop and per-connection request handlers.
+//!
+//! One thread accepts connections (deadline-polled so shutdown is always
+//! observed within a poll slice); each connection gets a handler thread
+//! reading frames through [`FrameConn::read_deadline`] — never an unbounded
+//! socket wait, per the workspace's `socket-wait` lint. A connection's
+//! session is closed when the connection ends, whatever the reason, so a
+//! reconnecting client holding its old session id gets a typed
+//! [`ErrorKind::UnknownSession`] rather than silently adopting state it no
+//! longer owns.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use via_testbed::protocol::{accept_deadline, FrameConn, FrameError};
+
+use crate::controller::Controller;
+use crate::wire::{ErrorKind, Request, Response};
+
+/// How long the accept loop and handler reads block before re-checking the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// A running server: accept-loop thread plus shutdown plumbing.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    controller: Arc<Controller>,
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The controller this server fronts.
+    pub fn controller(&self) -> &Arc<Controller> {
+        &self.controller
+    }
+
+    /// True once a `Shutdown` request (or [`ServerHandle::stop`]) was seen.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown and joins the accept loop (which joins every
+    /// handler). Idempotent with a client-initiated `Shutdown`.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Blocks until the accept loop exits (a client sent `Shutdown`).
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// Binds a loopback listener on an ephemeral port and starts serving
+/// `controller`. Returns immediately; use the handle to reach the address
+/// and to stop or wait.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve(controller: Arc<Controller>) -> io::Result<ServerHandle> {
+    serve_on(controller, "127.0.0.1:0".parse().map_err(io::Error::other)?)
+}
+
+/// [`serve`] on an explicit address.
+///
+/// # Errors
+/// Propagates bind failures.
+pub fn serve_on(controller: Arc<Controller>, addr: SocketAddr) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let controller = Arc::clone(&controller);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || accept_loop(&listener, &controller, &shutdown))
+    };
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        controller,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, controller: &Arc<Controller>, shutdown: &Arc<AtomicBool>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::Acquire) {
+        match accept_deadline(listener, Instant::now() + POLL) {
+            Ok(Some((stream, _peer))) => {
+                let controller = Arc::clone(controller);
+                let shutdown = Arc::clone(shutdown);
+                handlers.push(std::thread::spawn(move || {
+                    handle_conn(stream, &controller, &shutdown);
+                }));
+            }
+            Ok(None) => {} // poll slice elapsed; re-check shutdown
+            Err(_) => break,
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Runs one connection: `Hello` handshake, then a request loop until the
+/// peer disconnects, errors, or the server shuts down. The session opened
+/// here is closed on every exit path.
+fn handle_conn(stream: std::net::TcpStream, controller: &Controller, shutdown: &AtomicBool) {
+    let Ok(mut conn) = FrameConn::new(stream) else {
+        return;
+    };
+    let Some(session) = handshake(&mut conn, controller, shutdown) else {
+        return;
+    };
+    loop {
+        match conn.read_deadline::<Request>(Instant::now() + POLL) {
+            Err(FrameError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(_) => break, // peer gone or stream corrupt
+            Ok(req) => {
+                let resp = dispatch(controller, session, req, shutdown);
+                let done = matches!(resp, Response::Bye);
+                if conn.write(&resp).is_err() || done {
+                    break;
+                }
+            }
+        }
+    }
+    controller.end_session(session);
+}
+
+/// Reads the opening `Hello` and issues a session. Any other first frame is
+/// a `BadRequest`; allocation failure is `SessionExhausted`.
+fn handshake(conn: &mut FrameConn, controller: &Controller, shutdown: &AtomicBool) -> Option<u64> {
+    let req = loop {
+        match conn.read_deadline::<Request>(Instant::now() + POLL) {
+            Err(FrameError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+            Ok(req) => break req,
+        }
+    };
+    if !matches!(req, Request::Hello) {
+        let _ = conn.write(&Response::Error {
+            kind: ErrorKind::BadRequest,
+            detail: "first frame must be Hello".to_string(),
+        });
+        return None;
+    }
+    match controller.open_session() {
+        Ok(session) => {
+            if conn.write(&Response::Welcome { session }).is_err() {
+                controller.end_session(session);
+                return None;
+            }
+            Some(session)
+        }
+        Err(e) => {
+            let _ = conn.write(&Response::Error {
+                kind: ErrorKind::SessionExhausted,
+                detail: e.to_string(),
+            });
+            None
+        }
+    }
+}
+
+fn check_session(controller: &Controller, mine: u64, claimed: u64) -> Result<(), Response> {
+    if claimed == mine && controller.session_live(claimed) {
+        Ok(())
+    } else {
+        Err(Response::Error {
+            kind: ErrorKind::UnknownSession,
+            detail: format!("session {claimed} is not live on this connection"),
+        })
+    }
+}
+
+fn dispatch(
+    controller: &Controller,
+    my_session: u64,
+    req: Request,
+    shutdown: &AtomicBool,
+) -> Response {
+    match req {
+        Request::Hello => Response::Error {
+            kind: ErrorKind::BadRequest,
+            detail: "session already open".to_string(),
+        },
+        Request::Select {
+            session,
+            call_id,
+            t,
+            src_key,
+            dst_key,
+            candidates,
+        } => match check_session(controller, my_session, session) {
+            Err(e) => e,
+            Ok(()) => {
+                let sel = controller.select(call_id, t, src_key, dst_key, &candidates);
+                Response::Selected {
+                    option: sel.option,
+                    admitted: sel.admitted,
+                    explored: sel.explored,
+                    window: sel.window,
+                }
+            }
+        },
+        Request::Report {
+            session,
+            t,
+            src_key,
+            dst_key,
+            option,
+            metrics,
+        } => match check_session(controller, my_session, session) {
+            Err(e) => e,
+            Ok(()) => Response::Reported {
+                window: controller.report(t, src_key, dst_key, option, &metrics),
+            },
+        },
+        Request::Snapshot { session } => match check_session(controller, my_session, session) {
+            Err(e) => e,
+            Ok(()) => Response::Snapshot {
+                json: controller.selection_snapshot_json(),
+            },
+        },
+        Request::Shutdown { session } => match check_session(controller, my_session, session) {
+            Err(e) => e,
+            Ok(()) => {
+                shutdown.store(true, Ordering::Release);
+                Response::Bye
+            }
+        },
+    }
+}

@@ -1,0 +1,169 @@
+//! Session-id allocation for the controller's socket plane.
+//!
+//! Every control connection gets a non-zero `u64` session id at `Hello`
+//! time and must echo it on every subsequent request. Ids are allocated
+//! from a wrapping counter that **skips live ids**: the same class of bug
+//! fixed in `via-testbed`'s relay-session allocator (a wrapped counter
+//! re-issuing an id still held by an open session, silently cross-wiring
+//! two peers) also applies here, so the allocator probes forward past
+//! collisions and reports exhaustion as a typed error instead of looping
+//! forever when every probed id is taken.
+
+use std::collections::HashSet;
+
+/// How many candidate ids [`SessionTable::open`] probes before declaring
+/// exhaustion. With 64-bit ids this only triggers when a test pins the
+/// counter into a deliberately saturated range, but the bound keeps the
+/// allocator O(1) instead of "walk the whole id space under the lock".
+const PROBE_LIMIT: u64 = 65_536;
+
+/// Allocation failure: every probed candidate id was live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionExhausted {
+    /// Number of sessions live when allocation gave up.
+    pub live: usize,
+}
+
+impl std::fmt::Display for SessionExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "session ids exhausted: {} live sessions, {} candidates probed",
+            self.live, PROBE_LIMIT
+        )
+    }
+}
+
+impl std::error::Error for SessionExhausted {}
+
+/// Live-session registry plus wrapping id allocator.
+#[derive(Debug)]
+pub struct SessionTable {
+    /// Next candidate id (0 is reserved as "no session" and never issued).
+    next: u64,
+    live: HashSet<u64>,
+}
+
+impl SessionTable {
+    /// An empty table allocating from id 1.
+    pub fn new() -> SessionTable {
+        SessionTable::starting_at(1)
+    }
+
+    /// An empty table whose first candidate id is `next` — lets tests pin
+    /// the counter next to `u64::MAX` to exercise wraparound without 2⁶⁴
+    /// allocations.
+    pub fn starting_at(next: u64) -> SessionTable {
+        SessionTable {
+            next: if next == 0 { 1 } else { next },
+            live: HashSet::new(),
+        }
+    }
+
+    /// Allocates a fresh session id: the first candidate from the wrapping
+    /// counter that is neither 0 nor currently live.
+    ///
+    /// # Errors
+    /// [`SessionExhausted`] when [`PROBE_LIMIT`] successive candidates were
+    /// all live.
+    pub fn open(&mut self) -> Result<u64, SessionExhausted> {
+        for _ in 0..PROBE_LIMIT {
+            let candidate = self.next;
+            self.next = self.next.wrapping_add(1);
+            if self.next == 0 {
+                self.next = 1;
+            }
+            if candidate != 0 && self.live.insert(candidate) {
+                return Ok(candidate);
+            }
+        }
+        Err(SessionExhausted {
+            live: self.live.len(),
+        })
+    }
+
+    /// Ends a session. Returns false when the id was not live (already
+    /// closed, or never issued).
+    pub fn close(&mut self, id: u64) -> bool {
+        self.live.remove(&id)
+    }
+
+    /// True when `id` names a currently open session.
+    pub fn is_live(&self, id: u64) -> bool {
+        self.live.contains(&id)
+    }
+
+    /// Number of open sessions.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+}
+
+impl Default for SessionTable {
+    fn default() -> Self {
+        SessionTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut t = SessionTable::new();
+        let mut seen = HashSet::new();
+        for _ in 0..1000 {
+            let id = t.open().unwrap();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+        assert_eq!(t.live_count(), 1000);
+    }
+
+    #[test]
+    fn wraparound_skips_zero_and_live_ids() {
+        // Counter parked two short of wrap; the first two ids are still live
+        // when the counter comes back around.
+        let mut t = SessionTable::starting_at(u64::MAX - 1);
+        let a = t.open().unwrap();
+        let b = t.open().unwrap();
+        assert_eq!((a, b), (u64::MAX - 1, u64::MAX));
+        // Wrap: 0 is skipped, 1 is issued.
+        assert_eq!(t.open().unwrap(), 1);
+        // Park the counter on a live id: allocation must skip it.
+        let mut t = SessionTable::starting_at(u64::MAX);
+        let held = t.open().unwrap();
+        assert_eq!(held, u64::MAX);
+        t.next = u64::MAX; // wrapped all the way around; u64::MAX still live
+        let next = t.open().unwrap();
+        assert_ne!(next, held, "reissued a live id after wraparound");
+        assert_eq!(next, 1);
+    }
+
+    #[test]
+    fn close_frees_ids_for_reuse() {
+        let mut t = SessionTable::starting_at(u64::MAX);
+        let id = t.open().unwrap();
+        assert!(t.is_live(id));
+        assert!(t.close(id));
+        assert!(!t.is_live(id));
+        assert!(!t.close(id), "double close should report not-live");
+        t.next = u64::MAX;
+        assert_eq!(t.open().unwrap(), u64::MAX, "closed id is reusable");
+    }
+
+    #[test]
+    fn exhaustion_is_a_typed_error_not_a_hang() {
+        let mut t = SessionTable::starting_at(1);
+        // Fill the entire probe range so every candidate collides.
+        for id in 1..=super::PROBE_LIMIT {
+            t.live.insert(id);
+        }
+        let err = t.open().unwrap_err();
+        assert_eq!(err.live as u64, super::PROBE_LIMIT);
+        // Giving up advanced the counter through the whole probe window, so
+        // the next allocation lands on the first free id past it.
+        assert_eq!(t.open().unwrap(), super::PROBE_LIMIT + 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! Session lifecycle over the real socket plane: distinct ids per
+//! connection, typed rejection of stale/foreign session ids (the
+//! cross-wiring bug class fixed in `via-testbed`'s allocator), and clean
+//! client-initiated shutdown.
+
+// Test code: panicking on a failed connect or round trip is the right
+// behavior.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use via_core::predictor::GeoPrior;
+use via_model::ids::RelayId;
+use via_model::metrics::PathMetrics;
+use via_model::options::RelayOption;
+use via_model::time::SimTime;
+use via_server::{serve, Client, ClientError, Controller, ErrorKind, ServerConfig};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn controller() -> Arc<Controller> {
+    Arc::new(Controller::new(
+        ServerConfig::default(),
+        GeoPrior::new(
+            vec![via_netsim::GeoPoint::new(0.0, 0.0)],
+            vec![via_netsim::GeoPoint::new(1.0, 1.0)],
+        ),
+        Arc::new(|_: RelayId, _: RelayId| PathMetrics::new(20.0, 0.1, 1.0)),
+    ))
+}
+
+/// Polls until `cond` holds or panics after 10 s — connection teardown is
+/// only observed by the server within a read-poll slice.
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn concurrent_connections_get_distinct_live_sessions() {
+    let handle = serve(controller()).unwrap();
+    let a = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let b = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    assert_ne!(a.session(), b.session());
+    assert_ne!(a.session(), 0);
+    assert_ne!(b.session(), 0);
+    let ctrl = Arc::clone(handle.controller());
+    wait_for(|| ctrl.live_sessions() == 2, "both sessions live");
+    drop(a);
+    wait_for(|| ctrl.live_sessions() == 1, "session A reaped");
+    drop(b);
+    wait_for(|| ctrl.live_sessions() == 0, "session B reaped");
+    handle.stop();
+}
+
+#[test]
+fn never_issued_session_id_is_rejected_with_typed_error() {
+    let handle = serve(controller()).unwrap();
+    let mut client = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    client.set_session(0xDEAD_BEEF);
+    let err = client
+        .select(0, SimTime::ZERO, 0, 1, &[RelayOption::Direct])
+        .unwrap_err();
+    match err {
+        ClientError::Remote { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+    handle.stop();
+}
+
+#[test]
+fn reconnect_with_stale_session_id_is_rejected() {
+    let handle = serve(controller()).unwrap();
+    let ctrl = Arc::clone(handle.controller());
+
+    // Client A opens a session, works, and disconnects.
+    let mut a = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let stale = a.session();
+    a.select(0, SimTime::ZERO, 0, 1, &[RelayOption::Direct])
+        .unwrap();
+    drop(a);
+    wait_for(|| !ctrl.session_live(stale), "stale session reaped");
+
+    // Client B reconnects and replays A's old id — the pre-fix allocator
+    // bug class: a stale id silently adopting live state. It must be a
+    // typed rejection instead.
+    let mut b = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let own = b.session();
+    assert_ne!(
+        own, stale,
+        "stale id must not be re-issued while fresh ids remain"
+    );
+    b.set_session(stale);
+    let err = b
+        .select(1, SimTime::ZERO, 0, 1, &[RelayOption::Direct])
+        .unwrap_err();
+    match err {
+        ClientError::Remote { kind, .. } => assert_eq!(kind, ErrorKind::UnknownSession),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+
+    // The connection survives the rejection: restoring its own id works.
+    b.set_session(own);
+    b.select(2, SimTime::ZERO, 0, 1, &[RelayOption::Direct])
+        .unwrap();
+    handle.stop();
+}
+
+#[test]
+fn one_session_cannot_speak_for_another_live_session() {
+    let handle = serve(controller()).unwrap();
+    let a = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    let mut b = Client::connect(handle.addr(), TIMEOUT).unwrap();
+    // A's id is live, but it is not B's connection's id — still rejected.
+    b.set_session(a.session());
+    let err = b
+        .select(0, SimTime::ZERO, 0, 1, &[RelayOption::Direct])
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClientError::Remote {
+                kind: ErrorKind::UnknownSession,
+                ..
+            }
+        ),
+        "cross-session id must be rejected, got {err:?}"
+    );
+    drop(a);
+    handle.stop();
+}
+
+#[test]
+fn client_shutdown_request_stops_the_server() {
+    let handle = serve(controller()).unwrap();
+    let addr = handle.addr();
+    let client = Client::connect(addr, TIMEOUT).unwrap();
+    client.shutdown().unwrap();
+    handle.wait(); // returns only when the accept loop exited cleanly
+                   // New connections now fail the handshake (refused or reset mid-Hello).
+    assert!(Client::connect(addr, Duration::from_millis(500)).is_err());
+}

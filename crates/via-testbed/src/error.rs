@@ -21,6 +21,12 @@ pub enum TestbedError {
     /// The testbed configuration is unusable (replaces the old asserts so a
     /// bad CLI invocation errors instead of aborting).
     Config(String),
+    /// Every session id is claimed by a live session; no new session can be
+    /// installed until one is released.
+    SessionExhausted {
+        /// Number of sessions live at the time of the failed allocation.
+        live: usize,
+    },
 }
 
 impl std::fmt::Display for TestbedError {
@@ -33,6 +39,10 @@ impl std::fmt::Display for TestbedError {
             TestbedError::Timeout(m) => write!(f, "testbed deadline elapsed: {m}"),
             TestbedError::Probe(m) => write!(f, "testbed probe failure: {m}"),
             TestbedError::Config(m) => write!(f, "testbed configuration error: {m}"),
+            TestbedError::SessionExhausted { live } => write!(
+                f,
+                "session id space exhausted: {live} sessions live, none free"
+            ),
         }
     }
 }

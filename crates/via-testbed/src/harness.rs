@@ -242,8 +242,15 @@ pub fn run_testbed(cfg: &TestbedConfig) -> Result<TestbedResult, TestbedError> {
                 caller: client_names[i].clone(),
                 callee: client_names[j].clone(),
                 relays: (0..cfg.n_relays)
-                    .map(|r| (r as u16, relays[r].addr()))
-                    .collect(),
+                    .map(|r| {
+                        let idx = u16::try_from(r).map_err(|_| {
+                            TestbedError::Config(format!(
+                                "relay index {r} exceeds the u16 wire range"
+                            ))
+                        })?;
+                        Ok((idx, relays[r].addr()))
+                    })
+                    .collect::<Result<_, TestbedError>>()?,
             });
             k += 1;
             if k >= cfg.n_pairs {

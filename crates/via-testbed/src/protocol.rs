@@ -121,23 +121,62 @@ pub fn write_frame<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), Fram
     if len > MAX_FRAME {
         return Err(FrameError::Oversized(len));
     }
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(&body)?;
+    // One write for prefix + body: two separate writes let Nagle hold the
+    // body segment behind the prefix's delayed ACK, turning every RPC round
+    // trip into tens of milliseconds on an otherwise-idle connection.
+    let mut frame = Vec::with_capacity(4 + body.len());
+    frame.extend_from_slice(&len.to_be_bytes());
+    frame.extend_from_slice(&body);
+    w.write_all(&frame)?;
     w.flush()?;
     Ok(())
 }
 
+/// Read granularity for frame bodies: the buffer grows by at most this much
+/// per successful read, so allocation tracks bytes actually received.
+const BODY_CHUNK: usize = 4096;
+
 /// Reads one length-prefixed JSON frame.
 pub fn read_frame<T: for<'de> Deserialize<'de>>(r: &mut impl Read) -> Result<T, FrameError> {
+    let mut body = Vec::new();
+    read_body(r, &mut body)?;
+    serde_json::from_slice(&body).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+/// Reads one frame body into `body` (cleared first, capacity kept so loops
+/// reuse a single allocation across frames).
+///
+/// The length prefix is untrusted input: a peer that writes 4 bytes claiming
+/// a 256 KiB frame must not be able to force that allocation before sending
+/// a single body byte. The buffer therefore grows incrementally — at most
+/// [`BODY_CHUNK`] per read that actually delivered data — so memory held is
+/// always proportional to bytes received, never to the claimed length.
+///
+/// # Errors
+/// [`FrameError::Oversized`] when the prefix exceeds [`MAX_FRAME`]; an
+/// `UnexpectedEof` I/O error when the peer closes mid-frame.
+pub fn read_body(r: &mut impl Read, body: &mut Vec<u8>) -> Result<(), FrameError> {
     let mut len_buf = [0u8; 4];
     r.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME {
         return Err(FrameError::Oversized(len));
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    serde_json::from_slice(&body).map_err(|e| FrameError::Decode(e.to_string()))
+    let len = len as usize;
+    body.clear();
+    let mut chunk = [0u8; BODY_CHUNK];
+    while body.len() < len {
+        let want = (len - body.len()).min(BODY_CHUNK);
+        let n = r.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(FrameError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer closed the stream mid-frame",
+            )));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    Ok(())
 }
 
 /// How long a write may block before the connection is declared dead.
@@ -211,6 +250,9 @@ impl FrameConn {
     /// # Errors
     /// Propagates socket-option failures.
     pub fn new(stream: TcpStream) -> io::Result<FrameConn> {
+        // Control frames are small request/response pairs; Nagle coalescing
+        // only adds delayed-ACK latency to them.
+        stream.set_nodelay(true)?;
         stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
         Ok(FrameConn {
             stream,
@@ -346,6 +388,62 @@ mod tests {
         buf.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
         let err = read_frame::<ClientMsg>(&mut Cursor::new(buf)).unwrap_err();
         assert!(matches!(err, FrameError::Oversized(_)));
+    }
+
+    /// A reader that hands out one byte per `read` call: the worst case for
+    /// the incremental body path (maximum number of grow steps).
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn body_buffer_grows_with_received_bytes_not_the_claimed_length() {
+        // A hostile 4-byte prefix claiming MAX_FRAME with no body: the
+        // buffer must not balloon to the claimed size before body bytes
+        // arrive. The EOF surfaces as an I/O error and the allocation stays
+        // bounded by what was actually received (zero bytes here).
+        let mut r = Cursor::new(MAX_FRAME.to_be_bytes().to_vec());
+        let mut body = Vec::new();
+        let err = read_body(&mut r, &mut body).unwrap_err();
+        assert!(matches!(err, FrameError::Io(_)));
+        assert_eq!(body.len(), 0);
+        assert!(
+            body.capacity() < MAX_FRAME as usize / 2,
+            "claimed length must not drive allocation (capacity {})",
+            body.capacity()
+        );
+    }
+
+    #[test]
+    fn read_body_reassembles_trickled_frames_and_reuses_the_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &ControllerMsg::Welcome).unwrap();
+        write_frame(&mut wire, &ControllerMsg::Finished).unwrap();
+        let mut r = Trickle { data: wire, pos: 0 };
+        let mut body = Vec::new();
+        read_body(&mut r, &mut body).unwrap();
+        let a: ControllerMsg = serde_json::from_slice(&body).unwrap();
+        assert_eq!(a, ControllerMsg::Welcome);
+        let cap_after_first = body.capacity();
+        read_body(&mut r, &mut body).unwrap();
+        let b: ControllerMsg = serde_json::from_slice(&body).unwrap();
+        assert_eq!(b, ControllerMsg::Finished);
+        assert!(
+            body.capacity() >= cap_after_first.min(body.len()),
+            "the body buffer is reused across frames"
+        );
     }
 
     #[test]
