@@ -94,10 +94,14 @@ pub const HOT_PATH_CRATES: &[&str] = &["via-netsim", "via-core"];
 /// (`stream.rs`) and the binary trace codec (`binfmt.rs`) run inside the
 /// streamed replay's prefetch loop — per-record cost there multiplies by
 /// hundreds of millions of calls, the same economics as via-core's shard
-/// loop. Paths are relative to the crate root.
+/// loop. Likewise via-media is mostly offline packet simulation, but the
+/// receiver-side multipath merge model (`merge.rs`) runs once per
+/// multipath call inside the shard loop. Paths are relative to the crate
+/// root.
 pub const HOT_PATH_FILES: &[(&str, &str)] = &[
     ("via-trace", "src/stream.rs"),
     ("via-trace", "src/binfmt.rs"),
+    ("via-media", "src/merge.rs"),
 ];
 
 /// Audits one file's source text: lex, analyze, run every applicable

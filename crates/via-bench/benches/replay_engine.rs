@@ -173,6 +173,23 @@ struct ObsRecord {
     spans: usize,
 }
 
+/// Multipath-vs-singlepath replay cost: what the redundant path set (extra
+/// per-path realizations + the receiver-side merge model) costs per call,
+/// relative to singlepath VIA on the same inputs.
+#[derive(Debug, Clone, Serialize)]
+struct MultipathRecord {
+    scale: String,
+    /// Fastest-half mean wall of singlepath VIA runs, ms.
+    wall_ms_singlepath: f64,
+    /// Fastest-half mean wall of `multipath-dup-2` runs, ms.
+    wall_ms_multipath: f64,
+    /// Per-call cost ratio (`wall_ms_multipath / wall_ms_singlepath` over
+    /// identical call counts). The acceptance gate holds this ≤ 2.5: a
+    /// duplicated call realizes two paths and merges them, so ~2x is the
+    /// honest floor and anything past 2.5x is merge-model bloat.
+    cost_ratio: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct Report {
     bench: String,
@@ -201,6 +218,9 @@ struct Report {
     /// Tiny-scale overhead, always measured: comparable across quick and
     /// full runs of the suite.
     metrics_overhead_tiny: ObsRecord,
+    /// Multipath replay cost relative to singlepath, gated at ≤ 2.5x per
+    /// call (see [`MultipathRecord::cost_ratio`]).
+    multipath: MultipathRecord,
     /// Live-controller select/report plane (via-server): sustained
     /// selections/sec and select-latency percentiles, in-process and over a
     /// loopback socket. The ≥100k selections/s and p99 ≤100 µs acceptance
@@ -578,6 +598,57 @@ fn bench_metrics_overhead(world: &World, trace: &Trace, scale: &str, reps: usize
     record
 }
 
+/// Times singlepath VIA against 2-path duplicate multipath on the same
+/// inputs, alternating the order each repetition (same noise discipline as
+/// [`bench_metrics_overhead`]: host interruptions are strictly additive, so
+/// the fastest-half means are the clean clusters).
+fn bench_multipath(world: &World, trace: &Trace, scale: &str, reps: usize) -> MultipathRecord {
+    let run = |kind: StrategyKind| {
+        let start = Instant::now();
+        let outcome = ReplaySim::new(world, trace, ReplayConfig::default()).run(kind);
+        (start.elapsed().as_secs_f64() * 1e3, outcome)
+    };
+    let single = StrategyKind::Via;
+    let multi = StrategyKind::Multipath {
+        k: 2,
+        mode: via_core::strategy::MultipathMode::Duplicate,
+        budget: 1.0,
+    };
+    // Throwaway run pays the first-touch segment builds for both sides.
+    let _ = run(single);
+    let mut walls_single = Vec::with_capacity(reps);
+    let mut walls_multi = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let (s, m) = if rep % 2 == 0 {
+            (run(single).0, run(multi).0)
+        } else {
+            let m = run(multi).0;
+            (run(single).0, m)
+        };
+        walls_single.push(s);
+        walls_multi.push(m);
+    }
+    let fastest_half_mean = |walls: &mut Vec<f64>| {
+        walls.sort_by(f64::total_cmp);
+        let k = (walls.len() / 2).max(1);
+        walls[..k].iter().sum::<f64>() / k as f64
+    };
+    let wall_single = fastest_half_mean(&mut walls_single);
+    let wall_multi = fastest_half_mean(&mut walls_multi);
+    let record = MultipathRecord {
+        scale: scale.to_string(),
+        wall_ms_singlepath: wall_single,
+        wall_ms_multipath: wall_multi,
+        cost_ratio: wall_multi / wall_single,
+    };
+    println!(
+        "replay_engine/{scale}/multipath: {:.1} ms singlepath vs {:.1} ms \
+         multipath-dup-2 ({:.2}x per call, gate 2.5x)",
+        record.wall_ms_singlepath, record.wall_ms_multipath, record.cost_ratio,
+    );
+    record
+}
+
 /// Peak resident set size of this process so far (`VmHWM` from
 /// `/proc/self/status`), in bytes; 0 when unreadable (non-Linux hosts).
 fn peak_rss_bytes() -> u64 {
@@ -951,6 +1022,15 @@ fn main() {
     // record below, measured at the largest scale the run includes — where
     // per-call cost is real work and the ratio means something.
     let metrics_overhead_tiny = bench_metrics_overhead(&world, &trace, "tiny", 5);
+    // Multipath cost section: quick mode measures at tiny scale (the CI
+    // smoke runs this); the full suite re-measures at small scale where a
+    // call's budget is dominated by real scoring/realization work.
+    let multipath = if quick {
+        bench_multipath(&world, &trace, "tiny", 5)
+    } else {
+        let (world, trace) = env(&WorldConfig::small(), TraceConfig::small(), 7);
+        bench_multipath(&world, &trace, "small", 5)
+    };
     if !quick {
         let (world, trace) = env(&WorldConfig::small(), TraceConfig::small(), 7);
         let counts: &[usize] = if multi_ok { &[1, 2, 8, 0] } else { &[1] };
@@ -1055,6 +1135,20 @@ fn main() {
         metrics_overhead.wall_ms_on,
     );
 
+    // Multipath cost gate: a 2-path duplicate call does two realizations
+    // plus one receiver-side merge, so its per-call cost must stay within
+    // 2.5x singlepath — past that the merge model is doing per-call work
+    // that belongs in the realization layer.
+    assert!(
+        multipath.cost_ratio <= 2.5,
+        "multipath replay costs {:.2}x singlepath per call at {} scale \
+         (gate 2.5x): {:.1} ms vs {:.1} ms",
+        multipath.cost_ratio,
+        multipath.scale,
+        multipath.wall_ms_multipath,
+        multipath.wall_ms_singlepath,
+    );
+
     let report = Report {
         bench: "replay_engine".to_string(),
         quick,
@@ -1067,6 +1161,7 @@ fn main() {
         sample_option,
         metrics_overhead,
         metrics_overhead_tiny,
+        multipath,
         server,
     };
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))

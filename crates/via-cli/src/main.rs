@@ -15,7 +15,7 @@ use std::path::Path;
 
 use args::Flags;
 use via_core::replay::{ReplayConfig, ReplaySim};
-use via_core::strategy::StrategyKind;
+use via_core::strategy::{MultipathMode, StrategyKind};
 use via_model::metrics::{Metric, Thresholds};
 use via_model::time::WindowLen;
 use via_netsim::{World, WorldConfig};
@@ -34,8 +34,9 @@ USAGE:
     via analyze FILE
     via replay  [--scale tiny|small|paper] [--seed N] [--workers N] [--warm]
                 [--stream] [--trace FILE.jsonl|.vbt]
-                [--strategy default|oracle|prediction|exploration|via|budgeted|racing]
+                [--strategy default|oracle|prediction|exploration|via|budgeted|racing|multipath]
                 [--objective rtt|loss|jitter] [--budget F]
+                [--k N] [--mode dup|stripe]   (multipath only)
                 [--metrics FILE.json] [--metrics-prom FILE.prom]
     via testbed [--clients N] [--relays N] [--pairs N] [--rounds N] [--seed N]
                 [--probes N] [--gap-ms N] [--deadline-s N] [--chaos true]
@@ -320,7 +321,7 @@ fn cmd_analyze(rest: &[String]) -> CliResult {
     Ok(())
 }
 
-fn parse_strategy(name: &str, budget: f64) -> Result<StrategyKind, String> {
+fn parse_strategy(name: &str, budget: f64, k: usize, mode: &str) -> Result<StrategyKind, String> {
     Ok(match name {
         "default" => StrategyKind::Default,
         "oracle" => StrategyKind::Oracle,
@@ -329,7 +330,25 @@ fn parse_strategy(name: &str, budget: f64) -> Result<StrategyKind, String> {
         "via" => StrategyKind::Via,
         "budgeted" => StrategyKind::ViaBudgeted { budget },
         "racing" => StrategyKind::HybridRacing { k: 3 },
+        "multipath" => {
+            if k == 0 {
+                return Err("multipath needs --k >= 1".into());
+            }
+            StrategyKind::Multipath {
+                k,
+                mode: parse_multipath_mode(mode)?,
+                budget,
+            }
+        }
         other => return Err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn parse_multipath_mode(name: &str) -> Result<MultipathMode, String> {
+    Ok(match name {
+        "dup" | "duplicate" => MultipathMode::Duplicate,
+        "stripe" => MultipathMode::Stripe,
+        other => return Err(format!("unknown multipath mode '{other}' (dup|stripe)")),
     })
 }
 
@@ -346,14 +365,25 @@ fn cmd_replay(rest: &[String]) -> CliResult {
     let flags = Flags::parse(rest)?;
     let seed = flags.u64_or("seed", 2016)?;
     let scale = flags.str_or("scale", "small");
-    let budget = flags.f64_or("budget", 0.3)?;
+    let strategy_name = flags.str_or("strategy", "via");
+    // Budgeted defaults to the paper's 0.3 relay budget; multipath defaults
+    // to an open gate so `--strategy multipath --k 2` duplicates freely
+    // until an explicit --budget is set (duplicate traffic is charged k×).
+    let default_budget = if strategy_name == "multipath" {
+        1.0
+    } else {
+        0.3
+    };
+    let budget = flags.f64_or("budget", default_budget)?;
+    let k = usize::try_from(flags.u64_or("k", 2)?)?;
+    let mp_mode = flags.str_or("mode", "dup");
     // Worker count only affects wall-clock: replay results are byte-identical
     // for any value (0 = one worker per core).
     let workers = usize::try_from(flags.u64_or("workers", 0)?)?;
     // Prebuild all trace-reachable segment latents before the replay loop;
     // purely a startup/throughput trade, never a results change.
     let warm = flags.bool_or("warm", false)?;
-    let kind = parse_strategy(flags.str_or("strategy", "via"), budget)?;
+    let kind = parse_strategy(strategy_name, budget, k, mp_mode)?;
     let objective = parse_objective(flags.str_or("objective", "rtt"))?;
     let metrics_json = flags.str_opt("metrics");
     let metrics_prom = flags.str_opt("metrics-prom");
@@ -691,22 +721,40 @@ mod tests {
     #[test]
     fn strategy_names_parse() {
         assert!(matches!(
-            parse_strategy("default", 0.3).unwrap(),
+            parse_strategy("default", 0.3, 2, "dup").unwrap(),
             StrategyKind::Default
         ));
         assert!(matches!(
-            parse_strategy("via", 0.3).unwrap(),
+            parse_strategy("via", 0.3, 2, "dup").unwrap(),
             StrategyKind::Via
         ));
         assert!(matches!(
-            parse_strategy("budgeted", 0.25).unwrap(),
+            parse_strategy("budgeted", 0.25, 2, "dup").unwrap(),
             StrategyKind::ViaBudgeted { .. }
         ));
         assert!(matches!(
-            parse_strategy("racing", 0.3).unwrap(),
+            parse_strategy("racing", 0.3, 2, "dup").unwrap(),
             StrategyKind::HybridRacing { k: 3 }
         ));
-        assert!(parse_strategy("bogus", 0.3).is_err());
+        assert!(matches!(
+            parse_strategy("multipath", 1.0, 2, "dup").unwrap(),
+            StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Duplicate,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_strategy("multipath", 0.25, 3, "stripe").unwrap(),
+            StrategyKind::Multipath {
+                k: 3,
+                mode: MultipathMode::Stripe,
+                ..
+            }
+        ));
+        assert!(parse_strategy("multipath", 1.0, 0, "dup").is_err());
+        assert!(parse_strategy("multipath", 1.0, 2, "fanout").is_err());
+        assert!(parse_strategy("bogus", 0.3, 2, "dup").is_err());
     }
 
     #[test]

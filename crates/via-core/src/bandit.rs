@@ -136,6 +136,53 @@ impl UcbBandit {
         best.map(|(_, o)| o)
     }
 
+    /// Combinatorial (CUCB-style) extension of [`UcbBandit::choose`]: fills
+    /// `out` with up to `k` distinct arms, best lower-confidence index
+    /// first. Under a cardinality-only constraint the optimal super-arm is
+    /// exactly the k best per-arm indices, so the set shares the same
+    /// per-path confidence intervals as the single-path bandit — no
+    /// per-subset statistics are kept, and semi-bandit feedback (one
+    /// `update` per played path) keeps the arms honest.
+    ///
+    /// Selection order is deterministic: each pass prefers the first
+    /// still-unplayed arm (UCB1's play-every-arm-once sweep), then the
+    /// strict-minimum index with first-wins tie-breaking — so `k = 1`
+    /// reproduces `choose()` exactly, and `out[0]` is always what
+    /// `choose()` would have returned.
+    pub fn choose_set(&self, k: usize, out: &mut Vec<RelayOption>) {
+        out.clear();
+        let want = k.min(self.arms.len());
+        let t = (self.total + 1) as f64;
+        let norm = if self.normalize { self.w } else { 1.0 };
+        while out.len() < want {
+            let mut best: Option<(f64, RelayOption)> = None;
+            let mut picked_unplayed = false;
+            for arm in &self.arms {
+                if out.contains(&arm.option) {
+                    continue;
+                }
+                if arm.n == 0 {
+                    out.push(arm.option);
+                    picked_unplayed = true;
+                    break;
+                }
+                let mean_cost = arm.cost_sum / (norm * arm.n as f64);
+                let bonus = (self.exploration_coef * t.ln() / arm.n as f64).sqrt();
+                let index = mean_cost - bonus;
+                if best.is_none_or(|(b, _)| index < b) {
+                    best = Some((index, arm.option));
+                }
+            }
+            if picked_unplayed {
+                continue;
+            }
+            match best {
+                Some((_, o)) => out.push(o),
+                None => break,
+            }
+        }
+    }
+
     /// Records the realized cost of a call assigned to `option`. Costs for
     /// options outside the arm set (e.g. ε general-exploration picks) are
     /// ignored here — they feed the history/predictor instead.
@@ -388,6 +435,51 @@ mod tests {
                 b.validate();
             }
         }
+    }
+
+    #[test]
+    fn choose_set_of_one_matches_choose() {
+        let mut b = UcbBandit::with_priors(opts(4).into_iter().map(|o| (o, 80.0)), 100.0, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut set = Vec::new();
+        for _ in 0..200 {
+            b.choose_set(1, &mut set);
+            assert_eq!(set.as_slice(), &[b.choose().unwrap()]);
+            let o = set[0];
+            b.update(o, rng.random_range(40.0..120.0));
+        }
+    }
+
+    #[test]
+    fn choose_set_prefers_unplayed_arms_and_dedups() {
+        let mut b = UcbBandit::new(opts(4), 100.0);
+        // Play arms 0 and 2; arms 1 and 3 stay unplayed.
+        b.update(RelayOption::Bounce(RelayId(0)), 10.0);
+        b.update(RelayOption::Bounce(RelayId(2)), 10.0);
+        let mut set = Vec::new();
+        b.choose_set(3, &mut set);
+        assert_eq!(set.len(), 3);
+        // Unplayed arms come first, in arm order.
+        assert_eq!(set[0], RelayOption::Bounce(RelayId(1)));
+        assert_eq!(set[1], RelayOption::Bounce(RelayId(3)));
+        let mut dedup = set.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), set.len(), "set members must be distinct");
+    }
+
+    #[test]
+    fn choose_set_is_capped_by_arm_count_and_deterministic() {
+        let mut b = UcbBandit::with_priors(opts(3).into_iter().map(|o| (o, 50.0)), 100.0, 3);
+        b.update(RelayOption::Bounce(RelayId(1)), 5.0);
+        let mut a = Vec::new();
+        let mut c = Vec::new();
+        b.choose_set(10, &mut a);
+        b.choose_set(10, &mut c);
+        assert_eq!(a.len(), 3, "set is capped at the arm count");
+        assert_eq!(a, c, "same state must give the same set");
+        // Best observed arm leads once every arm has plays.
+        assert_eq!(a[0], RelayOption::Bounce(RelayId(1)));
     }
 
     #[test]

@@ -50,8 +50,19 @@ impl BudgetGate {
     /// relayed, and records the decision. `benefit` is in objective-metric
     /// units (e.g. predicted RTT saved); non-positive benefits never relay.
     pub fn admit(&mut self, benefit: f64) -> bool {
+        self.admit_cost(benefit, 1)
+    }
+
+    /// Weighted-cost form of [`BudgetGate::admit`]: an admitted call charges
+    /// `cost` traffic units against the budget instead of one. Multipath
+    /// duplication uses `cost = k` (every packet rides `k` relay paths), so
+    /// the relayed-traffic fraction — not merely the relayed-*call*
+    /// fraction — stays within the cap at every prefix of the stream.
+    /// `admit(b)` is exactly `admit_cost(b, 1)`.
+    pub fn admit_cost(&mut self, benefit: f64, cost: u64) -> bool {
+        debug_assert!(cost >= 1, "an admitted call costs at least one unit");
         self.total += 1;
-        let decision = self.decide(benefit);
+        let decision = self.decide(benefit, cost.max(1));
         if let Some(q) = &mut self.quantile {
             // Only positive benefits inform the (1−B)-quantile. Non-positive
             // benefits never relay regardless of the threshold, so folding
@@ -63,27 +74,31 @@ impl BudgetGate {
             }
         }
         if decision {
-            self.relayed += 1;
+            self.relayed += cost.max(1);
         }
         decision
     }
 
-    fn decide(&self, benefit: f64) -> bool {
+    fn decide(&self, benefit: f64, cost: u64) -> bool {
         if benefit <= 0.0 {
+            return false;
+        }
+        // Hard guard, engaged from the very first call: admitting must keep
+        // the running relayed-traffic fraction within the cap at every
+        // prefix of the stream. (`total` already counts the current call.)
+        // Without this, a stream's opening burst of positive benefits would
+        // all be admitted during estimator warm-up and blow past the budget.
+        // At budget = 1.0 with unit costs the guard is vacuous (relayed ≤
+        // total − 1 before every call), so the historical "budget 1.0 admits
+        // any positive benefit" behavior is unchanged; a k× duplicate charge
+        // is still denied when it would push traffic past the cap.
+        let projected = (self.relayed + cost) as f64 / (self.total.max(1)) as f64;
+        if projected > self.budget {
             return false;
         }
         let Some(q) = &self.quantile else {
             return true; // budget = 1.0
         };
-        // Hard guard, engaged from the very first call: admitting must keep
-        // the running relayed fraction within the cap at every prefix of the
-        // stream. (`total` already counts the current call.) Without this, a
-        // stream's opening burst of positive benefits would all be admitted
-        // during estimator warm-up and blow past the budget.
-        let projected = (self.relayed + 1) as f64 / (self.total.max(1)) as f64;
-        if projected > self.budget {
-            return false;
-        }
         match q.estimate() {
             // Warm-up: admit while under the cap.
             None => true,
@@ -91,7 +106,8 @@ impl BudgetGate {
         }
     }
 
-    /// Fraction of calls relayed so far.
+    /// Fraction of traffic relayed so far: relayed cost units over calls
+    /// seen. With unit costs this is the relayed-call fraction.
     pub fn relayed_fraction(&self) -> f64 {
         if self.total == 0 {
             0.0
@@ -105,9 +121,11 @@ impl BudgetGate {
         self.total
     }
 
-    /// Debug-build invariants: the relayed count never exceeds the calls
-    /// seen (so `relayed_fraction` stays in `[0, 1]`) and the budget is a
-    /// valid fraction. Free in release builds.
+    /// Debug-build invariants: the relayed cost never exceeds the calls
+    /// seen (so `relayed_fraction` stays in `[0, 1]` — the always-on
+    /// projected-cost guard enforces `relayed ≤ budget·total ≤ total` even
+    /// under weighted costs) and the budget is a valid fraction. Free in
+    /// release builds.
     pub fn validate(&self) {
         debug_assert!(
             self.relayed <= self.total,
@@ -270,6 +288,34 @@ mod tests {
         }
     }
 
+    #[test]
+    fn admit_is_unit_cost_admit_cost() {
+        let mut a = BudgetGate::new(0.3);
+        let mut b = BudgetGate::new(0.3);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..2_000 {
+            let benefit = rng.random::<f64>() * 120.0 - 20.0;
+            assert_eq!(a.admit(benefit), b.admit_cost(benefit, 1));
+        }
+        assert_eq!(a.relayed_fraction(), b.relayed_fraction());
+        assert_eq!(a.total(), b.total());
+    }
+
+    #[test]
+    fn duplicate_cost_charges_k_times() {
+        // A 2× duplicate call counts double against the cap, so under a 0.5
+        // budget at most every fourth call can be a 2-path relay.
+        let mut g = BudgetGate::new(0.5);
+        for _ in 0..1_000u64 {
+            g.admit_cost(100.0, 2);
+            assert!(
+                g.relayed_fraction() <= 0.5 + 1e-12,
+                "k× charge blew the cap: {}",
+                g.relayed_fraction()
+            );
+        }
+    }
+
     proptest::proptest! {
         /// The budget is a *strict* prefix invariant, not asymptotic: after
         /// every single `admit` — warm-up `None` arm included — the running
@@ -290,6 +336,31 @@ mod tests {
                 proptest::prop_assert!(
                     g.relayed_fraction() <= budget + 1e-12,
                     "fraction {} of {} calls exceeds budget {budget}",
+                    g.relayed_fraction(),
+                    g.total()
+                );
+            }
+        }
+
+        /// Weighted-cost prefix invariant: even when every admitted call
+        /// charges an arbitrary k ∈ [1, 4] (multipath duplication), the
+        /// relayed-traffic fraction is at or under the budget after every
+        /// single `admit_cost` — the k× charge can never exceed the gate's
+        /// budget fraction at any prefix.
+        #[test]
+        fn weighted_cost_fraction_never_exceeds_budget_at_any_prefix(
+            calls in proptest::collection::vec((-50f64..150.0, 1u64..=4), 1..400),
+            budget_pct in 1u32..=100,
+        ) {
+            let budget = f64::from(budget_pct) / 100.0;
+            let mut g = BudgetGate::new(budget);
+            for (benefit, cost) in calls {
+                g.admit_cost(benefit, cost);
+                g.validate();
+                proptest::prop_assert!(
+                    g.relayed_fraction() <= budget + 1e-12,
+                    "traffic fraction {} of {} calls exceeds budget {budget} \
+                     under weighted costs",
                     g.relayed_fraction(),
                     g.total()
                 );

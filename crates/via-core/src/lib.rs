@@ -18,7 +18,10 @@
 //!   provably contains every plausibly-best option.
 //! * [`bandit`] — Algorithm 3: UCB1 modified with outlier-robust
 //!   normalization, in cost-minimization form.
-//! * [`budget`] — §4.6: streaming-percentile budget gate.
+//! * [`budget`] — §4.6: streaming-percentile budget gate, with weighted
+//!   costs so duplicated multipath traffic is charged honestly.
+//! * [`multipath`] — `PathSet`: the ordered, canonical set-of-paths
+//!   decision type behind `StrategyKind::Multipath`.
 //! * [`active`] — §7 future work, implemented: greedy set-cover planning of
 //!   active probes that fill tomography holes.
 //! * [`placement`] — Figure 17c's follow-up: submodular greedy relay-fleet
@@ -51,6 +54,7 @@ pub mod bandit;
 pub mod budget;
 pub mod coords;
 pub mod history;
+pub mod multipath;
 pub mod online;
 pub mod par;
 pub mod placement;
@@ -65,9 +69,10 @@ pub use bandit::UcbBandit;
 pub use budget::BudgetGate;
 pub use coords::{Coord, Vivaldi, VivaldiConfig};
 pub use history::{CallHistory, KeyPair, MetricStats};
+pub use multipath::PathSet;
 pub use online::{BackboneFn, CellSnapshot, OnlineRefit, RefitSnapshot};
 pub use placement::{plan_placement, Demand, Placement};
 pub use predictor::{fit_cell, GeoPrior, Prediction, PredictionSource, Predictor, PredictorConfig};
 pub use replay::{CallOutcome, Outcome, ReplayConfig, ReplaySim, ReplayStats, SpatialGranularity};
-pub use strategy::StrategyKind;
+pub use strategy::{MultipathMode, StrategyKind};
 pub use topk::{top_k, top_k_into, ScoredOption};

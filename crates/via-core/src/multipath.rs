@@ -1,0 +1,153 @@
+//! Path-set decisions for multipath relaying.
+//!
+//! Single-path VIA commits every call to one [`RelayOption`]; the multipath
+//! strategy commits to a small ordered *set* of them. [`PathSet`] is that
+//! decision type: the primary path first (what singlepath VIA would have
+//! picked — it feeds the per-call outcome record so the serialized shape is
+//! unchanged), then the redundant paths in selection order. Members are
+//! canonical and distinct by construction, so the set is a well-defined
+//! super-arm for the combinatorial bandit and a stable dedup key for the
+//! receiver-side merge model in `via-media`.
+
+use via_model::options::RelayOption;
+
+use crate::strategy::MultipathMode;
+
+/// An ordered set of distinct relay paths selected for one call.
+///
+/// Order is meaningful: `paths()[0]` is the primary (best lower-confidence
+/// index at selection time), the rest are redundancy in decreasing
+/// preference. Pushes canonicalize and drop duplicates, so two sets built
+/// from the same decisions compare equal regardless of how transit pairs
+/// were oriented.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathSet {
+    paths: Vec<RelayOption>,
+}
+
+impl PathSet {
+    /// Empty set.
+    pub fn new() -> PathSet {
+        PathSet::default()
+    }
+
+    /// Canonicalizes `option` and appends it unless already present.
+    /// Returns true when the set grew.
+    pub fn push(&mut self, option: RelayOption) -> bool {
+        let option = option.canonical();
+        if self.paths.contains(&option) {
+            return false;
+        }
+        self.paths.push(option);
+        true
+    }
+
+    /// The primary path, if any — what the singlepath bandit would report.
+    pub fn primary(&self) -> Option<RelayOption> {
+        self.paths.first().copied()
+    }
+
+    /// All paths, primary first.
+    pub fn paths(&self) -> &[RelayOption] {
+        &self.paths
+    }
+
+    /// Number of paths in the set.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when no path has been selected.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Clears the set for reuse.
+    pub fn clear(&mut self) {
+        self.paths.clear();
+    }
+
+    /// Budget-gate traffic charge for relaying this set (§4.6 extended):
+    /// duplication sends every packet down every path, so it costs the set
+    /// size; striping splits one stream across the set at unit cost. A set
+    /// whose only member is the direct path costs nothing.
+    pub fn relay_cost(&self, mode: MultipathMode) -> u64 {
+        let relayed = self
+            .paths
+            .iter()
+            .filter(|o| !matches!(o, RelayOption::Direct))
+            .count() as u64;
+        match mode {
+            MultipathMode::Duplicate => relayed,
+            MultipathMode::Stripe => u64::from(relayed > 0),
+        }
+    }
+}
+
+impl FromIterator<RelayOption> for PathSet {
+    fn from_iter<I: IntoIterator<Item = RelayOption>>(iter: I) -> PathSet {
+        let mut set = PathSet::new();
+        for o in iter {
+            set.push(o);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use via_model::ids::RelayId;
+
+    #[test]
+    fn push_canonicalizes_and_dedups() {
+        let mut set = PathSet::new();
+        assert!(set.push(RelayOption::Transit(RelayId(2), RelayId(1))));
+        // The same transit pair in the other orientation is the same path.
+        assert!(!set.push(RelayOption::Transit(RelayId(1), RelayId(2))));
+        assert!(set.push(RelayOption::Bounce(RelayId(0))));
+        assert_eq!(set.len(), 2);
+        assert_eq!(
+            set.primary(),
+            Some(RelayOption::Transit(RelayId(2), RelayId(1)).canonical())
+        );
+    }
+
+    #[test]
+    fn relay_cost_by_mode() {
+        let set: PathSet = [
+            RelayOption::Bounce(RelayId(0)),
+            RelayOption::Bounce(RelayId(1)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.relay_cost(MultipathMode::Duplicate), 2);
+        assert_eq!(set.relay_cost(MultipathMode::Stripe), 1);
+
+        let direct_only: PathSet = [RelayOption::Direct].into_iter().collect();
+        assert_eq!(direct_only.relay_cost(MultipathMode::Duplicate), 0);
+        assert_eq!(direct_only.relay_cost(MultipathMode::Stripe), 0);
+
+        let mixed: PathSet = [RelayOption::Direct, RelayOption::Bounce(RelayId(3))]
+            .into_iter()
+            .collect();
+        assert_eq!(mixed.relay_cost(MultipathMode::Duplicate), 1);
+        assert_eq!(mixed.relay_cost(MultipathMode::Stripe), 1);
+    }
+
+    #[test]
+    fn from_iterator_preserves_order() {
+        let set: PathSet = [
+            RelayOption::Bounce(RelayId(4)),
+            RelayOption::Direct,
+            RelayOption::Bounce(RelayId(4)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            set.paths(),
+            &[RelayOption::Bounce(RelayId(4)), RelayOption::Direct]
+        );
+        assert!(!set.is_empty());
+    }
+}

@@ -30,6 +30,7 @@ use rand::prelude::*;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use via_media::merge::{simulate_set, MergeConfig, MergeMode, MergeScratch, PathSpec};
 use via_model::ids::{AsId, RelayId};
 use via_model::metrics::{Metric, PathMetrics, Thresholds};
 use via_model::options::RelayOption;
@@ -45,7 +46,7 @@ use crate::bandit::UcbBandit;
 use crate::budget::BudgetGate;
 use crate::history::{CallHistory, KeyPair};
 use crate::predictor::{GeoPrior, Predictor, PredictorConfig};
-use crate::strategy::StrategyKind;
+use crate::strategy::{MultipathMode, StrategyKind};
 use crate::topk::{top_k_into, ScoredOption};
 
 /// Spatial granularity at which selection decisions are keyed (Figure 17a).
@@ -217,6 +218,18 @@ pub struct ReplayAggregate {
 
 /// FNV-1a 64-bit offset basis (digest accumulator start).
 const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Merge-model tunables for multipath replay. 16 frames keeps per-call
+/// packet synthesis inside the replay-engine bench gate (multipath must stay
+/// within 2.5× the singlepath per-call cost) while still exercising dedup,
+/// reordering, and head-of-line waits; the small drawn-death probability
+/// surfaces mid-call failover at replay scale without dominating quality.
+const MULTIPATH_MERGE: MergeConfig = MergeConfig {
+    frames: 16,
+    burst_len: 6.0,
+    delay_rho: 0.5,
+    death_prob: 0.01,
+};
 
 /// Folds bytes into an FNV-1a 64-bit accumulator.
 fn fnv1a_fold(mut h: u64, bytes: &[u8]) -> u64 {
@@ -561,6 +574,14 @@ struct Scratch {
     order: Vec<usize>,
     /// Top-k selection output.
     selected: Vec<ScoredOption>,
+    /// Multipath decision: the selected path set, primary first.
+    set: Vec<RelayOption>,
+    /// Per-path CRN realizations of the current multipath set.
+    set_specs: Vec<PathSpec>,
+    /// Per-path metric triples (parallel to `set`) for semi-bandit feedback.
+    set_metrics: Vec<PathMetrics>,
+    /// Receiver-side merge buffers, reused across calls.
+    merge_buf: MergeScratch,
 }
 
 /// Slot indices of the per-call hot-path metrics, registered once per run.
@@ -580,6 +601,9 @@ struct HotIds {
     cache_hits: usize,
     cache_misses: usize,
     race_probes: usize,
+    multipath_extra_paths: usize,
+    multipath_dedup_drops: usize,
+    multipath_failovers: usize,
     rtt: usize,
     mos_delta: usize,
     regret: usize,
@@ -600,6 +624,9 @@ impl HotIds {
             cache_hits: schema.counter("replay_cache_hits_total"),
             cache_misses: schema.counter("replay_cache_misses_total"),
             race_probes: schema.counter("replay_race_probes_total"),
+            multipath_extra_paths: schema.counter("replay_multipath_extra_paths_total"),
+            multipath_dedup_drops: schema.counter("replay_multipath_dedup_drops_total"),
+            multipath_failovers: schema.counter("replay_multipath_failovers_total"),
             rtt: schema.histogram("replay_call_rtt_ms", via_obs::LATENCY_MS),
             mos_delta: schema.histogram("replay_mos_delta", via_obs::MOS_DELTA),
             regret: schema.histogram("replay_bandit_regret", via_obs::REGRET),
@@ -928,6 +955,10 @@ impl<'a> ReplaySim<'a> {
         pred_cfg.tomography.workers = workers;
         let budget_gate = match kind {
             StrategyKind::ViaBudgeted { budget } => Some(BudgetGate::new(budget)),
+            // An unbudgeted multipath run (budget = 1.0) carries no gate at
+            // all, so its window pass — and its metrics snapshot — stays
+            // byte-identical to plain Via at k = 1.
+            StrategyKind::Multipath { budget, .. } if budget < 1.0 => Some(BudgetGate::new(budget)),
             _ => None,
         };
         let stats = ReplayStats {
@@ -1247,8 +1278,14 @@ impl<'a> ReplaySim<'a> {
         // in parallel, the gate walks the window in trace order once,
         // and the per-call verdicts ride into the shards as plain flags.
         let t_gate = Stopwatch::started();
-        let gated: Option<Vec<bool>> = match kind {
-            StrategyKind::ViaBudgeted { .. } | StrategyKind::ViaBudgetUnaware { .. } => {
+        let wants_gate = matches!(
+            kind,
+            StrategyKind::ViaBudgeted { .. } | StrategyKind::ViaBudgetUnaware { .. }
+        ) || matches!(kind, StrategyKind::Multipath { budget, .. } if budget < 1.0);
+        let gated: Option<Vec<bool>> = if !wants_gate {
+            None
+        } else {
+            {
                 predictor.as_ref().map(|pred| {
                     let built: Vec<Option<PairState>> =
                         crate::par::par_map(workers, &groups, |_, g| {
@@ -1277,6 +1314,22 @@ impl<'a> ReplaySim<'a> {
                                     !admitted
                                 })
                             }
+                            StrategyKind::Multipath { k, mode, .. } => {
+                                budget_gate.as_mut().is_some_and(|gate| {
+                                    // Duplicated traffic is charged honestly
+                                    // (§4.6 extended): a relayed duplicate
+                                    // call sends every packet down k paths,
+                                    // so it costs k× against the cap;
+                                    // striping splits one stream at 1×.
+                                    let cost = match mode {
+                                        MultipathMode::Duplicate => k.max(1) as u64,
+                                        MultipathMode::Stripe => 1,
+                                    };
+                                    let admitted = gate.admit_cost(benefit, cost);
+                                    gate.validate();
+                                    !admitted
+                                })
+                            }
                             _ => {
                                 // ViaBudgetUnaware: FCFS under a hard cap.
                                 let budget = match kind {
@@ -1301,7 +1354,6 @@ impl<'a> ReplaySim<'a> {
                     flags
                 })
             }
-            _ => None,
         };
         stats.gate_ms += t_gate.elapsed_ms();
         // Gate verdicts are produced by the sequential pass above, so
@@ -1686,12 +1738,122 @@ impl<'a> ReplaySim<'a> {
                             }
                         }
                     },
+                    StrategyKind::Multipath { k, .. } => match predictor {
+                        None => {
+                            scratch.set.clear();
+                            RelayOption::Direct
+                        }
+                        Some(pred) => {
+                            // Identical decision skeleton to the Via arm —
+                            // same state build, same gate flag, same RNG
+                            // draw order — except the combinatorial bandit
+                            // commits to a set of up to k paths. At k = 1
+                            // every step below degenerates to Via exactly.
+                            if state.is_none() {
+                                self.candidates_into(call, scratch);
+                            }
+                            let st = state.get_or_insert_with(|| {
+                                Self::build_pair_state(
+                                    pred,
+                                    g.ka,
+                                    g.kb,
+                                    &scratch.cand,
+                                    kind,
+                                    objective,
+                                )
+                            });
+                            scratch.set.clear();
+                            let gated_direct = gated.is_some_and(|flags| flags[i]);
+                            if gated_direct {
+                                RelayOption::Direct
+                            } else {
+                                let mut rng = self.call_rng(call);
+                                if rng.random::<f64>() < self.cfg.epsilon {
+                                    // General exploration picks the primary
+                                    // uniformly; redundancy still comes from
+                                    // the bandit's set choice so the explore
+                                    // draw count matches Via's.
+                                    hot.inc(ids.explore_epsilon, 1);
+                                    self.candidates_into(call, scratch);
+                                    let primary =
+                                        scratch.cand[rng.random_range(0..scratch.cand.len())];
+                                    scratch.set.push(primary);
+                                    if k > 1 {
+                                        st.bandit.choose_set(k, &mut scratch.staged);
+                                        for &o in &scratch.staged {
+                                            if scratch.set.len() >= k.max(1) {
+                                                break;
+                                            }
+                                            if !scratch.set.contains(&o) {
+                                                scratch.set.push(o);
+                                            }
+                                        }
+                                    }
+                                    primary
+                                } else {
+                                    hot.inc(ids.bandit_pulls, 1);
+                                    st.bandit.choose_set(k.max(1), &mut scratch.set);
+                                    scratch.set.first().copied().unwrap_or(RelayOption::Direct)
+                                }
+                            }
+                        }
+                    },
                 };
 
                 // The paired realize returns the chosen metrics bit-identical
                 // to `realize_with` plus a CRN direct baseline from the same
                 // draws, so enabling metrics cannot change call outcomes.
-                let (metrics, direct) = if want_mos && option != RelayOption::Direct {
+                let multi = matches!(kind, StrategyKind::Multipath { .. }) && scratch.set.len() > 1;
+                let (metrics, direct) = if multi {
+                    // Multipath: realize every path in the set under its own
+                    // CRN stream, then merge receiver-side. The per-path
+                    // triples stay in scratch for semi-bandit feedback; the
+                    // merged effective triple is what the call records.
+                    scratch.set_specs.clear();
+                    scratch.set_metrics.clear();
+                    for idx in 0..scratch.set.len() {
+                        let o = scratch.set[idx];
+                        let m = self.realize_with(call, o, sample);
+                        scratch.set_metrics.push(m);
+                        scratch.set_specs.push(PathSpec::alive(m, o.stable_code()));
+                    }
+                    let mmode = match kind {
+                        StrategyKind::Multipath {
+                            mode: MultipathMode::Stripe,
+                            ..
+                        } => MergeMode::Stripe,
+                        _ => MergeMode::Duplicate,
+                    };
+                    // The merge stream is keyed by the call and the set's
+                    // composition (the XOR fold is order-invariant), on a
+                    // label distinct from every per-path realize stream.
+                    let fold = scratch
+                        .set
+                        .iter()
+                        .fold(0u64, |a, o| a ^ seed::splitmix64(o.stable_code()));
+                    let merge_seed = seed::derive_indexed(
+                        self.realize_base,
+                        "multipath-merge",
+                        (u64::from(call.id.0) << 34) ^ fold,
+                    );
+                    let report = simulate_set(
+                        &scratch.set_specs,
+                        mmode,
+                        &MULTIPATH_MERGE,
+                        merge_seed,
+                        &mut scratch.merge_buf,
+                    );
+                    hot.inc(ids.multipath_extra_paths, scratch.set.len() as u64 - 1);
+                    hot.inc(ids.multipath_dedup_drops, report.dedup_drops);
+                    hot.inc(ids.multipath_failovers, report.failovers);
+                    let merged = report.effective;
+                    let direct = if want_mos {
+                        self.realize_with(call, RelayOption::Direct, sample)
+                    } else {
+                        merged
+                    };
+                    (merged, direct)
+                } else if want_mos && option != RelayOption::Direct {
                     let day = call.t.day();
                     let parts = match &mut direct_parts {
                         Some(p) if p.covers(call.src_as, call.dst_as, day) => p,
@@ -1740,10 +1902,27 @@ impl<'a> ReplaySim<'a> {
                 }
 
                 if track {
-                    out.history.record(window, g.pair, option, &metrics);
-                    if let Some(st) = state.as_mut() {
-                        st.bandit.update(option, metrics[objective]);
-                        st.bandit.validate();
+                    if multi {
+                        // Semi-bandit feedback (CUCB): every played path feeds
+                        // its own realization back to its own arm and to the
+                        // shared history, not the merged stream's triple.
+                        for idx in 0..scratch.set.len() {
+                            let o = scratch.set[idx];
+                            let m = scratch.set_metrics[idx];
+                            out.history.record(window, g.pair, o, &m);
+                            if let Some(st) = state.as_mut() {
+                                st.bandit.update(o, m[objective]);
+                            }
+                        }
+                        if let Some(st) = state.as_mut() {
+                            st.bandit.validate();
+                        }
+                    } else {
+                        out.history.record(window, g.pair, option, &metrics);
+                        if let Some(st) = state.as_mut() {
+                            st.bandit.update(option, metrics[objective]);
+                            st.bandit.validate();
+                        }
                     }
                 }
 
@@ -1958,6 +2137,16 @@ mod tests {
             StrategyKind::ViaBudgeted { budget: 0.2 },
             StrategyKind::ViaCached { ttl_hours: 6 },
             StrategyKind::ExplorationOnly,
+            StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Duplicate,
+                budget: 1.0,
+            },
+            StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Stripe,
+                budget: 0.25,
+            },
             StrategyKind::Oracle,
         ] {
             let sequential = summary(1, false, kind);
@@ -2058,6 +2247,11 @@ mod tests {
             StrategyKind::ViaBudgeted { budget: 0.2 },
             StrategyKind::ViaCached { ttl_hours: 6 },
             StrategyKind::HybridRacing { k: 2 },
+            StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Duplicate,
+                budget: 1.0,
+            },
             StrategyKind::Oracle,
         ] {
             for warm in [false, true] {
@@ -2071,6 +2265,92 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
+    fn multipath_k1_duplicate_is_call_identical_to_via() {
+        // A one-path "set" must collapse to exactly the singlepath Via run:
+        // same decision RNG draws, same realizations, no merge stage, no gate
+        // at budget 1.0. Only the strategy display name may differ.
+        let (world, trace) = setup();
+        let run = |kind: StrategyKind| {
+            let cfg = ReplayConfig {
+                metrics: true,
+                ..ReplayConfig::default()
+            };
+            ReplaySim::new(&world, &trace, cfg).run(kind)
+        };
+        let via = run(StrategyKind::Via);
+        let mp = run(StrategyKind::Multipath {
+            k: 1,
+            mode: MultipathMode::Duplicate,
+            budget: 1.0,
+        });
+        let calls = |o: &Outcome| serde_json::to_string(&o.calls).expect("calls serialize");
+        let agg = |o: &Outcome| serde_json::to_string(&o.aggregate).expect("aggregate serializes");
+        assert_eq!(calls(&via), calls(&mp));
+        assert_eq!(agg(&via), agg(&mp));
+        // The shared HotSchema registers the multipath counters for every
+        // strategy, so the snapshots agree byte-for-byte (all three zero).
+        let snap = |o: &Outcome| {
+            serde_json::to_string(o.obs.as_ref().expect("metrics enabled"))
+                .expect("snapshot serializes")
+        };
+        assert_eq!(snap(&via), snap(&mp));
+        assert_eq!(
+            mp.obs
+                .as_ref()
+                .expect("metrics enabled")
+                .counter("replay_multipath_extra_paths_total"),
+            0
+        );
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "full replay sims are orders of magnitude too slow under miri"
+    )]
+    fn multipath_k2_duplicates_paths_and_budget_gate_charges_k() {
+        let (world, trace) = setup();
+        let run = |budget: f64| {
+            let cfg = ReplayConfig {
+                metrics: true,
+                ..ReplayConfig::default()
+            };
+            ReplaySim::new(&world, &trace, cfg).run(StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Duplicate,
+                budget,
+            })
+        };
+        let open = run(1.0);
+        let snap = open.obs.as_ref().expect("metrics enabled");
+        let extra = snap.counter("replay_multipath_extra_paths_total");
+        assert!(extra > 0, "k=2 duplicate replay never opened a second path");
+        assert!(
+            snap.counter("replay_multipath_dedup_drops_total") > 0,
+            "duplicated media never produced a duplicate copy to drop"
+        );
+
+        // Tight budget: duplicate traffic is charged 2x per relayed call, so
+        // relayed traffic units stay within budget * total even though each
+        // admission covers two paths.
+        let tight = run(0.2);
+        let direct = |o: &Outcome| {
+            o.calls
+                .iter()
+                .filter(|c| c.option == RelayOption::Direct)
+                .count()
+        };
+        assert!(
+            direct(&tight) > direct(&open),
+            "a 0.2 budget with 2x-cost admissions must push more calls direct"
+        );
     }
 
     #[test]

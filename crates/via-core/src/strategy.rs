@@ -58,6 +58,30 @@ pub enum StrategyKind {
         /// Options raced per call.
         k: usize,
     },
+    /// Multipath VIA: per call the combinatorial bandit commits to a *set*
+    /// of up to `k` paths (shared per-path confidence intervals, top-k
+    /// lower-bound subset). The receiver-side merge model in `via-media`
+    /// turns the per-path draws into one played-out stream.
+    Multipath {
+        /// Maximum paths per call (k = 1 degenerates to `Via` exactly).
+        k: usize,
+        /// How the media stream uses the set.
+        mode: MultipathMode,
+        /// Maximum fraction of traffic relayed (1.0 = unbudgeted). Under
+        /// `Duplicate` a relayed call charges `k×` against this budget.
+        budget: f64,
+    },
+}
+
+/// How a multipath call spreads its media over the selected path set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MultipathMode {
+    /// Every packet is sent on every path; the receiver dedups. Loss
+    /// requires *all* copies lost, at `k×` traffic cost.
+    Duplicate,
+    /// Packets round-robin across the set; per-packet cost stays 1× but a
+    /// single dead path loses its share of the stream until failover.
+    Stripe,
 }
 
 impl StrategyKind {
@@ -77,6 +101,17 @@ impl StrategyKind {
             StrategyKind::ViaRawReward => "via-raw-reward".into(),
             StrategyKind::ViaCached { ttl_hours } => format!("via-cached-{ttl_hours}h"),
             StrategyKind::HybridRacing { k } => format!("hybrid-race-{k}"),
+            StrategyKind::Multipath { k, mode, budget } => {
+                let mode = match mode {
+                    MultipathMode::Duplicate => "dup",
+                    MultipathMode::Stripe => "stripe",
+                };
+                if *budget < 1.0 {
+                    format!("multipath-{mode}-{k}-budget-{budget:.2}")
+                } else {
+                    format!("multipath-{mode}-{k}")
+                }
+            }
         }
     }
 
@@ -111,6 +146,21 @@ mod tests {
             StrategyKind::ViaRawReward,
             StrategyKind::ViaCached { ttl_hours: 6 },
             StrategyKind::HybridRacing { k: 3 },
+            StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Duplicate,
+                budget: 1.0,
+            },
+            StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Stripe,
+                budget: 1.0,
+            },
+            StrategyKind::Multipath {
+                k: 2,
+                mode: MultipathMode::Duplicate,
+                budget: 0.3,
+            },
         ];
         let mut names: Vec<String> = kinds.iter().map(StrategyKind::name).collect();
         names.sort();
@@ -124,5 +174,27 @@ mod tests {
         assert!(!StrategyKind::Oracle.uses_history());
         assert!(StrategyKind::Via.uses_history());
         assert!(StrategyKind::ExplorationOnly.uses_history());
+        assert!(StrategyKind::Multipath {
+            k: 2,
+            mode: MultipathMode::Duplicate,
+            budget: 1.0,
+        }
+        .uses_history());
+    }
+
+    #[test]
+    fn multipath_names_encode_mode_and_budget() {
+        let dup = StrategyKind::Multipath {
+            k: 2,
+            mode: MultipathMode::Duplicate,
+            budget: 1.0,
+        };
+        assert_eq!(dup.name(), "multipath-dup-2");
+        let budgeted = StrategyKind::Multipath {
+            k: 3,
+            mode: MultipathMode::Stripe,
+            budget: 0.25,
+        };
+        assert_eq!(budgeted.name(), "multipath-stripe-3-budget-0.25");
     }
 }

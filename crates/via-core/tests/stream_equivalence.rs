@@ -15,7 +15,7 @@
 
 use std::path::PathBuf;
 use via_core::replay::{ReplayConfig, ReplaySim};
-use via_core::strategy::StrategyKind;
+use via_core::strategy::{MultipathMode, StrategyKind};
 use via_core::Outcome;
 use via_netsim::{World, WorldConfig};
 use via_trace::stream::{FileSource, TraceRecords};
@@ -156,6 +156,107 @@ fn metrics_snapshots_match_across_modes_and_worker_counts() {
             baseline,
             "streamed snapshot diverged at workers={workers}"
         );
+    }
+}
+
+/// Rewrites the strategy display name so outcomes from strategies that must
+/// behave identically (but print differently) can be compared byte-for-byte
+/// on everything else.
+fn neutralize_strategy(json: &str, name: &str) -> String {
+    json.replacen(
+        &format!("\"strategy\":\"{name}\""),
+        "\"strategy\":\"<normalized>\"",
+        1,
+    )
+}
+
+#[test]
+fn multipath_k1_equals_via_across_modes_and_worker_counts() {
+    // The degenerate set: `Multipath { k: 1, Duplicate, budget: 1.0 }` makes
+    // the same per-call decisions as Via from the same RNG draws, skips the
+    // merge stage for singleton sets, and carries no budget gate — so every
+    // engine mode at every worker count must produce byte-identical outcomes
+    // and metrics snapshots, save for the strategy display name.
+    let (world, trace) = env(14);
+    let mp = StrategyKind::Multipath {
+        k: 1,
+        mode: MultipathMode::Duplicate,
+        budget: 1.0,
+    };
+
+    let via_run = ReplaySim::new(&world, &trace, cfg(1, true)).run(StrategyKind::Via);
+    let baseline = neutralize_strategy(&outcome_json(&via_run), "via");
+    let baseline_snap =
+        serde_json::to_string(&via_run.obs.expect("metrics snapshot")).expect("serialize snapshot");
+
+    for workers in WORKER_COUNTS {
+        let materialized = ReplaySim::new(&world, &trace, cfg(workers, true)).run(mp);
+        assert_eq!(
+            neutralize_strategy(&outcome_json(&materialized), "multipath-dup-1"),
+            baseline,
+            "materialized multipath k=1 diverged from via at workers={workers}"
+        );
+        // Metrics snapshots need no normalization: the shared schema
+        // registers the multipath counters for every strategy, and they stay
+        // zero for both runs.
+        assert_eq!(
+            serde_json::to_string(&materialized.obs.expect("materialized snapshot"))
+                .expect("serialize snapshot"),
+            baseline_snap,
+            "materialized multipath k=1 snapshot diverged at workers={workers}"
+        );
+
+        let streamed = ReplaySim::streaming(&world, cfg(workers, true))
+            .run_stream(TraceRecords::new(&trace), mp)
+            .expect("streamed multipath run");
+        assert_eq!(
+            neutralize_strategy(&outcome_json(&streamed), "multipath-dup-1"),
+            baseline,
+            "streamed multipath k=1 diverged from via at workers={workers}"
+        );
+        assert_eq!(
+            serde_json::to_string(&streamed.obs.expect("streamed snapshot"))
+                .expect("serialize snapshot"),
+            baseline_snap,
+            "streamed multipath k=1 snapshot diverged at workers={workers}"
+        );
+    }
+}
+
+#[test]
+fn multipath_k2_is_byte_identical_across_modes_and_worker_counts() {
+    // The real multipath path (merge stage, semi-bandit updates, k-weighted
+    // budget gate) must hold the same determinism contract as every other
+    // strategy: one byte string across worker counts and engine drivers.
+    for mp in [
+        StrategyKind::Multipath {
+            k: 2,
+            mode: MultipathMode::Duplicate,
+            budget: 1.0,
+        },
+        StrategyKind::Multipath {
+            k: 2,
+            mode: MultipathMode::Stripe,
+            budget: 0.25,
+        },
+    ] {
+        let (world, trace) = env(15);
+        let baseline = outcome_json(&ReplaySim::new(&world, &trace, cfg(1, false)).run(mp));
+        for workers in WORKER_COUNTS {
+            assert_eq!(
+                outcome_json(&ReplaySim::new(&world, &trace, cfg(workers, false)).run(mp)),
+                baseline,
+                "materialized {mp:?} diverged at workers={workers}"
+            );
+            let streamed = ReplaySim::streaming(&world, cfg(workers, false))
+                .run_stream(TraceRecords::new(&trace), mp)
+                .expect("streamed multipath run");
+            assert_eq!(
+                outcome_json(&streamed),
+                baseline,
+                "streamed {mp:?} diverged at workers={workers}"
+            );
+        }
     }
 }
 

@@ -30,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig16",
     "fig17",
     "sec5_2",
+    "sec_multipath",
     "fig18",
     "ext_active",
     "ext_vivaldi",

@@ -31,11 +31,16 @@ pub mod call_sim;
 pub mod delay;
 pub mod jitter;
 pub mod loss;
+pub mod merge;
 pub mod packet;
 pub mod rtcp;
 
 pub use call_sim::{simulate_call, CallSimConfig, PacketTraceReport};
 pub use jitter::{JitterBuffer, JitterEstimator};
 pub use loss::GilbertElliott;
+pub use merge::{
+    receive, simulate_set, MergeConfig, MergeFailure, MergeMode, MergeReport, MergeScratch,
+    PathArrivals, PathSpec,
+};
 pub use packet::{RtpPacket, RtpParseError, RTP_HEADER_LEN};
 pub use rtcp::{ReceiverReport, ReportBlock, RtcpError};

@@ -28,7 +28,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::path::{Path, PathBuf};
-use via::core::strategy::StrategyKind;
+use via::core::strategy::{MultipathMode, StrategyKind};
 use via::model::metrics::{Metric, Thresholds};
 use via_experiments::{build_env, pnr_masked, Args, Env, Scale};
 
@@ -183,4 +183,48 @@ fn experiment_summary_matches_golden() {
         snap.counter("replay_explore_epsilon_total"),
     );
     check_golden("experiment_summary_tiny.json", &summary);
+}
+
+/// The `sec_multipath`-shaped summary and its metrics snapshot, pinned as
+/// fixtures: singlepath VIA vs 2-path redundant VIA vs the oracle, plus the
+/// multipath counters (paths per call, dedup drops, failovers) and the k×
+/// charge of the budgeted gate. Regenerate with `UPDATE_GOLDEN=1` as above.
+#[test]
+fn multipath_experiment_summary_matches_golden() {
+    let env = golden_env();
+    let thresholds = Thresholds::default();
+    let mask = env.eligible(Scale::Tiny);
+    let dup2 = |budget: f64| StrategyKind::Multipath {
+        k: 2,
+        mode: MultipathMode::Duplicate,
+        budget,
+    };
+
+    let via_out = env.run(StrategyKind::Via, Metric::Rtt);
+    let mp_out = env.run_observed(dup2(1.0), Metric::Rtt);
+    let budgeted_out = env.run_observed(dup2(0.3), Metric::Rtt);
+    let oracle_out = env.run(StrategyKind::Oracle, Metric::Rtt);
+
+    let pnr = |out: &via::core::Outcome| pnr_masked(out, &mask, &thresholds).any;
+    let snap = mp_out.obs.as_ref().expect("metrics recorded");
+    let budgeted_snap = budgeted_out.obs.as_ref().expect("metrics recorded");
+
+    let summary = format!(
+        "{{\n  \"pnr_any_via\": {:.6},\n  \"pnr_any_multipath\": {:.6},\n  \
+         \"pnr_any_multipath_budgeted\": {:.6},\n  \"pnr_any_oracle\": {:.6},\n  \
+         \"multipath_extra_paths\": {},\n  \"multipath_dedup_drops\": {},\n  \
+         \"multipath_failovers\": {},\n  \"budgeted_gate_admitted\": {},\n  \
+         \"budgeted_gate_denied\": {}\n}}\n",
+        pnr(&via_out),
+        pnr(&mp_out),
+        pnr(&budgeted_out),
+        pnr(&oracle_out),
+        snap.counter("replay_multipath_extra_paths_total"),
+        snap.counter("replay_multipath_dedup_drops_total"),
+        snap.counter("replay_multipath_failovers_total"),
+        budgeted_snap.counter("replay_gate_admitted_total"),
+        budgeted_snap.counter("replay_gate_denied_total"),
+    );
+    check_golden("sec_multipath_summary_tiny.json", &summary);
+    check_golden("multipath_metrics_tiny.json", &pretty(snap));
 }
